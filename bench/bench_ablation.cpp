@@ -1,0 +1,72 @@
+// Ablation bench for STCG's design choices (paper section III):
+//   - depth-sorted branch ordering ("sorts the model branches by depth to
+//     accelerate the test case generation process"),
+//   - the random-sequence fallback ("a random trace is executed
+//     dynamically to explore the new state space"),
+//   - solving on all state-tree nodes vs the root state only (the core
+//     state-aware idea itself),
+//   - condition/MCDC goal derivation.
+// Run on the three most state-heavy models.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace stcg;
+  const auto base = benchx::defaultOptions();
+  const int runs = benchx::repeats();
+
+  struct Variant {
+    const char* name;
+    gen::GenOptions (*tweak)(gen::GenOptions);
+  };
+  const Variant variants[] = {
+      {"full STCG", [](gen::GenOptions o) { return o; }},
+      {"no depth sort",
+       [](gen::GenOptions o) {
+         o.sortGoalsByDepth = false;
+         return o;
+       }},
+      {"no random fallback",
+       [](gen::GenOptions o) {
+         o.useRandomFallback = false;
+         return o;
+       }},
+      {"root-state only",
+       [](gen::GenOptions o) {
+         o.solveOnAllNodes = false;
+         return o;
+       }},
+      {"branch goals only",
+       [](gen::GenOptions o) {
+         o.includeConditionGoals = false;
+         return o;
+       }},
+  };
+
+  std::printf(
+      "=== Ablation: STCG variants (budget %lld ms, %d repeats) ===\n\n",
+      static_cast<long long>(base.budgetMillis), runs);
+  std::printf("%-12s %-20s %9s %10s %7s\n", "Model", "Variant", "Decision",
+              "Condition", "MCDC");
+
+  for (const char* modelName : {"CPUTask", "TCP", "LANSwitch"}) {
+    const auto cm = compile::compile(bench::buildBenchModel(modelName));
+    for (const auto& v : variants) {
+      gen::StcgGenerator tool;
+      const auto cell =
+          benchx::averagedRun(tool, cm, v.tweak(base), runs);
+      std::printf("%-12s %-20s %9s %10s %7s\n", modelName, v.name,
+                  benchx::pct(cell.decision).c_str(),
+                  benchx::pct(cell.condition).c_str(),
+                  benchx::pct(cell.mcdc).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected: 'root-state only' collapses on queue/handshake branches "
+      "(the paper's\ncentral claim), 'no random fallback' misses "
+      "fill-the-queue style branches\n(Table I step 17), 'no depth sort' "
+      "converges slower within the budget.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Shared plumbing for the paper-reproduction benches: tool construction,
+// budget configuration via environment variables, and table formatting.
+//
+// Budgets are scaled-down stand-ins for the paper's 1-hour runs (the
+// claims under reproduction are relative coverage and curve shape, which
+// survive scaling). Override with:
+//   STCG_BENCH_BUDGET_MS  per-run generation budget (default 1500)
+//   STCG_BENCH_REPEATS    repetitions averaged per cell (default 2;
+//                         the paper uses 10)
+//   STCG_BENCH_SEED       base RNG seed (default 1)
+#pragma once
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/simcotest_like.h"
+#include "baselines/sldv_like.h"
+#include "benchmodels/benchmodels.h"
+#include "compile/compiler.h"
+#include "stcg/stcg_generator.h"
+#include "util/strings.h"
+
+namespace stcg::benchx {
+
+inline std::int64_t envInt(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoll(v, nullptr, 10);
+}
+
+inline gen::GenOptions defaultOptions() {
+  gen::GenOptions opt;
+  opt.budgetMillis = envInt("STCG_BENCH_BUDGET_MS", 1500);
+  opt.seed = static_cast<std::uint64_t>(envInt("STCG_BENCH_SEED", 1));
+  opt.solver.timeBudgetMillis = 25;
+  return opt;
+}
+
+inline int repeats() { return static_cast<int>(envInt("STCG_BENCH_REPEATS", 2)); }
+
+/// The three tools of Table III, in the paper's row order.
+inline std::vector<std::unique_ptr<gen::Generator>> makeTools() {
+  std::vector<std::unique_ptr<gen::Generator>> tools;
+  tools.push_back(std::make_unique<gen::SldvLikeGenerator>());
+  tools.push_back(std::make_unique<gen::SimCoTestLikeGenerator>());
+  tools.push_back(std::make_unique<gen::StcgGenerator>());
+  return tools;
+}
+
+struct CoverageCell {
+  double decision = 0.0;
+  double condition = 0.0;
+  double mcdc = 0.0;
+};
+
+/// Average `runs` repetitions of `tool` on `cm` with per-repeat seeds.
+inline CoverageCell averagedRun(gen::Generator& tool,
+                                const compile::CompiledModel& cm,
+                                const gen::GenOptions& base, int runs) {
+  CoverageCell acc;
+  for (int r = 0; r < runs; ++r) {
+    gen::GenOptions opt = base;
+    opt.seed = base.seed + static_cast<std::uint64_t>(r) * 7919;
+    const auto res = tool.generate(cm, opt);
+    acc.decision += res.coverage.decision;
+    acc.condition += res.coverage.condition;
+    acc.mcdc += res.coverage.mcdc;
+  }
+  acc.decision /= runs;
+  acc.condition /= runs;
+  acc.mcdc /= runs;
+  return acc;
+}
+
+inline std::string pct(double v) { return formatPercent(v); }
+
+}  // namespace stcg::benchx

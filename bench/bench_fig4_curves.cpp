@@ -1,0 +1,75 @@
+// Reproduces paper Fig. 4: Decision Coverage versus time per model and
+// tool, with STCG's test-case origins marked — '^' (the paper's triangle)
+// for constraint-solving-on-internal-state cases and 'o' (diamond) for
+// random-sequence cases.
+//
+// Output: per model, one event list per tool — "t=<sec> DC=<pct> <mark>" —
+// plus an ASCII sparkline of the curve sampled at 10 points.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+std::string sparkline(const std::vector<stcg::gen::GenEvent>& events,
+                      double horizonSec) {
+  static const char* kLevels = " .:-=+*#%@";
+  std::string out;
+  for (int i = 1; i <= 20; ++i) {
+    const double t = horizonSec * i / 20.0;
+    double dc = 0.0;
+    for (const auto& e : events) {
+      if (e.timeSec <= t) dc = e.decisionCoverage;
+    }
+    const int level =
+        std::min(9, static_cast<int>(dc * 10.0));
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace stcg;
+  const auto base = benchx::defaultOptions();
+  const double horizon = static_cast<double>(base.budgetMillis) / 1000.0;
+  std::printf(
+      "=== Fig. 4: Decision Coverage vs time (budget %lld ms, seed %llu) ===\n"
+      "Marks: '^' solved-on-state test case (paper triangle), 'o' random "
+      "sequence (paper diamond)\n",
+      static_cast<long long>(base.budgetMillis),
+      static_cast<unsigned long long>(base.seed));
+
+  auto tools = benchx::makeTools();
+  for (const auto& info : bench::allBenchModels()) {
+    const auto cm = compile::compile(info.build());
+    std::printf("\n--- %s ---\n", info.name.c_str());
+    for (auto& tool : tools) {
+      const auto res = tool->generate(cm, base);
+      std::printf("%-15s [%s] final DC=%s  (%zu test cases)\n",
+                  tool->name().c_str(),
+                  sparkline(res.events, horizon).c_str(),
+                  benchx::pct(res.coverage.decision).c_str(),
+                  res.tests.size());
+      // Event list, capped to keep the report readable.
+      const std::size_t cap = 18;
+      for (std::size_t i = 0; i < res.events.size(); ++i) {
+        if (res.events.size() > cap && i == cap / 2) {
+          std::printf("    ... (%zu more events) ...\n",
+                      res.events.size() - cap);
+          i = res.events.size() - cap / 2;
+        }
+        const auto& e = res.events[i];
+        std::printf("    t=%6.2fs DC=%5.1f%% %c\n", e.timeSec,
+                    e.decisionCoverage * 100.0,
+                    e.origin == gen::TestOrigin::kSolved ? '^' : 'o');
+      }
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper): SimCoTest-like rises fastest early then "
+      "plateaus;\nSLDV-like produces one burst; STCG keeps producing "
+      "solved-on-state cases ('^')\nand overtakes both.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Authoring guide: build a model with every major construct — conditional
+// regions, a chart, data stores, delays — run a hand-written test suite
+// against it, and use the coverage report to find what the suite misses
+// (including genuinely dead logic).
+//
+//   $ ./build/examples/custom_model_coverage
+#include <cstdio>
+
+#include "compile/compiler.h"
+#include "expr/builder.h"
+#include "model/model.h"
+#include "sim/simulator.h"
+#include "stcg/stcg_generator.h"
+
+using namespace stcg;
+using expr::Scalar;
+using expr::Type;
+
+namespace {
+
+// A small battery charger: a mode chart (Idle/Charging/Full/Fault), a
+// charge counter in a data store, and a current limiter in an
+// if/else region.
+model::Model buildCharger() {
+  model::Model m("Charger");
+  auto plugged = m.addInport("plugged", Type::kBool, 0, 1);
+  auto voltage = m.addInport("voltage", Type::kReal, 0, 15);
+  auto temp = m.addInport("temp", Type::kReal, -10, 90);
+
+  const int energyStore =
+      m.addDataStore("energy", Type::kReal, 1, Scalar::r(0.0));
+  auto energy = m.addDataStoreRead("energy_rd", energyStore);
+
+  auto hot = m.addCompareToConst("hot", temp, model::RelOp::kGt, 60.0);
+  auto full = m.addCompareToConst("full", energy, model::RelOp::kGe, 100.0);
+  auto overV = m.addCompareToConst("over_v", voltage, model::RelOp::kGt, 14.0);
+
+  model::ChartBuilder cb(m, "mode");
+  auto cPlug = cb.input("plugged", Type::kBool);
+  auto cHot = cb.input("hot", Type::kBool);
+  auto cFull = cb.input("full", Type::kBool);
+  auto cOverV = cb.input("over_v", Type::kBool);
+  const int sIdle = cb.addState("Idle");
+  const int sCharge = cb.addState("Charging");
+  const int sFull = cb.addState("Full");
+  const int sFault = cb.addState("Fault");
+  cb.addTransition(sIdle, sCharge, cPlug);
+  cb.addTransition(sCharge, sFault, expr::orE(cHot, cOverV));
+  cb.addTransition(sCharge, sFull, cFull);
+  cb.addTransition(sCharge, sIdle, expr::notE(cPlug));
+  cb.addTransition(sFull, sIdle, expr::notE(cPlug));
+  cb.addTransition(sFault, sIdle, expr::notE(cPlug));
+  cb.exposeActiveState();
+  auto mode = m.addChart("mode_chart", cb.build(),
+                         {plugged, hot, full, overV})[0];
+
+  // Charging region: accumulate energy, with a current limit if/else.
+  auto charging =
+      m.addCompareToConst("is_charging", mode, model::RelOp::kEq, 1.0);
+  const auto region = m.addEnabled("charge_on", charging);
+  {
+    model::RegionScope scope(m, region);
+    auto lowBatt =
+        m.addCompareToConst("low_energy", energy, model::RelOp::kLt, 20.0);
+    const auto ifr = m.addIfElse("rate_sel", lowBatt);
+    std::vector<std::pair<model::RegionId, model::PortRef>> rateArms;
+    {
+      model::RegionScope fast(m, ifr.thenRegion);
+      rateArms.emplace_back(ifr.thenRegion,
+                            m.addConstant("fast_rate", Scalar::r(5.0)));
+    }
+    {
+      model::RegionScope slow(m, ifr.elseRegion);
+      rateArms.emplace_back(ifr.elseRegion,
+                            m.addConstant("slow_rate", Scalar::r(2.0)));
+    }
+    auto rate = m.addMerge("rate", rateArms, Scalar::r(0.0));
+    auto next = m.addSum("energy_next", {energy, rate}, "++");
+    auto clamped = m.addSaturation("energy_sat", next, 0.0, 120.0);
+    m.addDataStoreWrite("energy_w", energyStore, clamped);
+  }
+
+  m.addOutport("mode", mode);
+  m.addOutport("energy", energy);
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  auto m = buildCharger();
+  const auto problems = m.validate();
+  if (!problems.empty()) {
+    std::printf("validation failed: %s\n", problems.front().c_str());
+    return 1;
+  }
+  const auto cm = compile::compile(m);
+
+  // A hand-written suite: plug in and charge for a while.
+  coverage::CoverageTracker cov(cm);
+  sim::Simulator sim(cm);
+  for (int i = 0; i < 30; ++i) {
+    (void)sim.step({Scalar::b(true), Scalar::r(12.0), Scalar::r(25.0)}, &cov);
+  }
+  std::printf("Hand-written suite (30 normal charging steps):\n%s\n",
+              cov.report().c_str());
+
+  // Let STCG fill the gaps.
+  gen::GenOptions opt;
+  opt.budgetMillis = 2000;
+  opt.seed = 3;
+  gen::StcgGenerator stcg;
+  const auto res = stcg.generate(cm, opt);
+  const auto replay = gen::replaySuite(cm, res.tests);
+  std::printf("After STCG generation:\n%s\n", replay.report().c_str());
+  std::printf("STCG added %zu test cases; branches the hand suite missed "
+              "(fault entry, full battery,\nslow-rate region, unplug paths) "
+              "are now covered.\n",
+              res.tests.size());
+  return 0;
+}

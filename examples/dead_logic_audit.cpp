@@ -1,0 +1,62 @@
+// Dead-logic audit: the paper's Discussion-section workflow, automated.
+//
+//   $ ./build/examples/dead_logic_audit
+//
+// The paper reports that some branches "could not be triggered even after
+// a long solving time and random execution", later found to be
+// "perpetually false" — e.g. LEDLC's Switch-Case default arm — and
+// suggests verifying unreachable branches formally. This example runs the
+// interval-reachability + solver-backed dead-branch analysis over every
+// benchmark model and shows the solver time STCG saves when told to skip
+// the proven-dead goals.
+#include <cstdio>
+
+#include "analysis/reachability.h"
+#include "benchmodels/benchmodels.h"
+#include "compile/compiler.h"
+#include "stcg/stcg_generator.h"
+
+using namespace stcg;
+
+int main() {
+  std::printf("%-12s %9s %10s %12s\n", "Model", "branches", "dead",
+              "invariant");
+  for (const auto& info : bench::allBenchModels()) {
+    const auto cm = compile::compile(info.build());
+    const auto report = analysis::findDeadBranches(cm);
+    std::printf("%-12s %9zu %10zu %12s\n", info.name.c_str(),
+                cm.branches.size(), report.deadBranches.size(),
+                report.invariant.converged ? "converged" : "widened");
+    for (const int b : report.deadBranches) {
+      const auto& br = cm.branches[static_cast<std::size_t>(b)];
+      std::printf(
+          "    dead: %s : %s\n",
+          cm.decisions[static_cast<std::size_t>(br.decision)].name.c_str(),
+          br.label.c_str());
+    }
+  }
+
+  // Quantify the waste the paper describes: run STCG on LEDLC with and
+  // without pruning, under the same budget and seed.
+  std::printf("\nSTCG on LEDLC, with and without dead-goal pruning:\n");
+  const auto cm = compile::compile(bench::buildLedlc());
+  for (const bool prune : {false, true}) {
+    gen::GenOptions opt;
+    opt.budgetMillis = 2000;
+    opt.seed = 4;
+    opt.pruneProvablyDead = prune;
+    gen::StcgGenerator g;
+    const auto res = g.generate(cm, opt);
+    std::printf(
+        "  prune=%-5s DC=%5.1f%% solveCalls=%5d (sat %4d / unsat %4d) "
+        "pruned=%d\n",
+        prune ? "on" : "off", res.coverage.decision * 100,
+        res.stats.solveCalls, res.stats.solveSat, res.stats.solveUnsat,
+        res.stats.goalsPruned);
+  }
+  std::printf(
+      "\nWithout pruning, STCG re-attempts the dead default arm on every\n"
+      "state-tree node (the paper: \"STCG performs multiple solving for\n"
+      "this type of branch, resulting in a lot of wasted time\").\n");
+  return 0;
+}

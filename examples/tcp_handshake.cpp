@@ -1,0 +1,69 @@
+// TCP handshake exploration: watch STCG discover the three-way handshake.
+//
+//   $ ./build/examples/tcp_handshake
+//
+// The TCP model's Established branch requires pkt_ack == snd_nxt — an
+// equality against a value the endpoint committed to in an earlier step.
+// Random inputs hit it with probability ~1/4096 per attempt *after*
+// stumbling into SynRcvd; STCG reads snd_nxt from the state-tree node and
+// solves the equality instantly. This example prints the discovered
+// handshake sequence and the per-state solver story.
+#include <cstdio>
+#include <string>
+
+#include "benchmodels/benchmodels.h"
+#include "compile/compiler.h"
+#include "sim/simulator.h"
+#include "stcg/stcg_generator.h"
+
+using namespace stcg;
+
+namespace {
+const char* kStateNames[] = {"Closed",   "Listen",   "SynSent", "SynRcvd",
+                             "Established", "FinWait1", "FinWait2",
+                             "CloseWait", "LastAck",  "Closing", "TimeWait"};
+}
+
+int main() {
+  const auto cm = compile::compile(bench::buildTcp());
+  gen::GenOptions opt;
+  opt.budgetMillis = 4000;
+  opt.seed = 11;
+
+  gen::StcgGenerator stcg;
+  const auto res = stcg.generate(cm, opt);
+  std::printf("STCG on TCP: DC=%.1f%% CC=%.1f%% MCDC=%.1f%% (%zu tests)\n\n",
+              res.coverage.decision * 100, res.coverage.condition * 100,
+              res.coverage.mcdc * 100, res.tests.size());
+
+  // Find the test case that reaches Established via the passive-open
+  // handshake and replay it, narrating the connection state.
+  for (const auto& t : res.tests) {
+    if (t.goalLabel.find("handshake_done") == std::string::npos) continue;
+    std::printf("Handshake test case (%s), %zu steps:\n", t.goalLabel.c_str(),
+                t.steps.size());
+    sim::Simulator sim(cm);
+    for (std::size_t s = 0; s < t.steps.size(); ++s) {
+      (void)sim.step(t.steps[s], nullptr);
+      const auto state = sim.lastOutputs()[0].toInt();
+      std::printf("  step %zu: %s\n           -> %s (snd_nxt=%lld, "
+                  "rcv_nxt=%lld)\n",
+                  s, sim::formatInput(cm, t.steps[s]).c_str(),
+                  state >= 0 && state <= 10
+                      ? kStateNames[state]
+                      : "?",
+                  static_cast<long long>(sim.lastOutputs()[1].toInt()),
+                  static_cast<long long>(sim.lastOutputs()[2].toInt()));
+    }
+    break;
+  }
+
+  std::printf("\nSolver effort: %d calls, %d SAT, %d UNSAT, %d unknown; "
+              "state tree grew to %d nodes.\n",
+              res.stats.solveCalls, res.stats.solveSat, res.stats.solveUnsat,
+              res.stats.solveUnknown, res.stats.treeNodes);
+  std::printf(
+      "The ack==snd_nxt guards were solved as trivial equalities once the\n"
+      "state tree held SynRcvd/SynSent nodes — the paper's TCP observation.\n");
+  return 0;
+}

@@ -1,0 +1,229 @@
+#include "analysis/reachability.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "solver/solver.h"
+#include "util/strings.h"
+
+namespace stcg::analysis {
+
+using interval::Interval;
+
+namespace {
+
+/// Interval hull of the declared initial value of a state variable.
+std::vector<Interval> initDomains(const compile::StateVar& sv) {
+  std::vector<Interval> out;
+  out.reserve(static_cast<std::size_t>(sv.width));
+  for (const auto& e : sv.init.elems()) {
+    out.push_back(Interval::point(e.toReal()));
+  }
+  return out;
+}
+
+bool sameDomains(const std::vector<std::vector<Interval>>& a,
+                 const std::vector<std::vector<Interval>>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) return false;
+    for (std::size_t j = 0; j < a[i].size(); ++j) {
+      if (!(a[i][j] == b[i][j])) return false;
+    }
+  }
+  return true;
+}
+
+IntervalEnv toEnv(const compile::CompiledModel& cm,
+                  const std::vector<std::vector<Interval>>& domains) {
+  IntervalEnv env;
+  for (std::size_t i = 0; i < cm.states.size(); ++i) {
+    const auto& sv = cm.states[i];
+    if (sv.width == 1) {
+      env.set(sv.id, domains[i][0]);
+    } else {
+      env.setArray(sv.id, domains[i]);
+    }
+  }
+  return env;
+}
+
+}  // namespace
+
+StateInvariant computeStateInvariant(const compile::CompiledModel& cm,
+                                     const ReachabilityOptions& opt) {
+  // domains[i][j]: interval of element j of state variable i.
+  std::vector<std::vector<Interval>> domains;
+  domains.reserve(cm.states.size());
+  for (const auto& sv : cm.states) domains.push_back(initDomains(sv));
+
+  StateInvariant result;
+  for (int iter = 0; iter < opt.maxIterations; ++iter) {
+    const IntervalEnv env = toEnv(cm, domains);
+    IntervalEvaluator eval(env);
+
+    auto next = domains;
+    for (std::size_t i = 0; i < cm.states.size(); ++i) {
+      const auto& sv = cm.states[i];
+      if (sv.width == 1) {
+        Interval stepped = eval.evalScalar(sv.next);
+        if (sv.type != expr::Type::kReal) stepped = stepped.integralHull();
+        next[i][0] = domains[i][0].hull(stepped);
+      } else {
+        const auto stepped = eval.evalArray(sv.next);
+        for (std::size_t j = 0; j < next[i].size() && j < stepped.size();
+             ++j) {
+          Interval s = stepped[j];
+          if (sv.type != expr::Type::kReal) s = s.integralHull();
+          next[i][j] = domains[i][j].hull(s);
+        }
+      }
+    }
+
+    if (sameDomains(next, domains)) {
+      result.converged = true;
+      result.iterations = iter + 1;
+      break;
+    }
+
+    if (iter >= opt.widenAfter) {
+      // Widening: any still-growing dimension jumps to the finite whole
+      // hull; clamping structure (saturations, table ends) usually pulls
+      // it back at the next evaluation of the hull'ed input.
+      for (std::size_t i = 0; i < next.size(); ++i) {
+        for (std::size_t j = 0; j < next[i].size(); ++j) {
+          if (!(next[i][j] == domains[i][j])) {
+            next[i][j] = Interval::whole();
+          }
+        }
+      }
+    }
+    domains = std::move(next);
+    result.iterations = iter + 1;
+  }
+
+  if (result.converged) {
+    // Narrowing: with Inv a post-fixpoint (step(Inv) ⊆ Inv), the refined
+    // Inv' = init ∪ step(Inv) is still an invariant and is tighter —
+    // it recovers bounds that widening overshot (a saturated counter
+    // widened to ⊤ snaps back to its clamp range).
+    for (int pass = 0; pass < 4; ++pass) {
+      const IntervalEnv env = toEnv(cm, domains);
+      IntervalEvaluator eval(env);
+      auto refined = domains;
+      for (std::size_t i = 0; i < cm.states.size(); ++i) {
+        const auto& sv = cm.states[i];
+        const auto init = initDomains(sv);
+        if (sv.width == 1) {
+          Interval stepped = eval.evalScalar(sv.next);
+          if (sv.type != expr::Type::kReal) stepped = stepped.integralHull();
+          refined[i][0] = init[0].hull(stepped);
+        } else {
+          const auto stepped = eval.evalArray(sv.next);
+          for (std::size_t j = 0; j < refined[i].size() && j < stepped.size();
+               ++j) {
+            Interval s = stepped[j];
+            if (sv.type != expr::Type::kReal) s = s.integralHull();
+            refined[i][j] = init[j].hull(s);
+          }
+        }
+      }
+      if (sameDomains(refined, domains)) break;
+      domains = std::move(refined);
+    }
+  }
+
+  result.env = toEnv(cm, domains);
+  return result;
+}
+
+bool DeadBranchReport::isDead(int branchId) const {
+  return std::binary_search(deadBranches.begin(), deadBranches.end(),
+                            branchId);
+}
+
+namespace {
+
+/// Variable table for the solver-backed proof: every input plus every
+/// scalar state leaf, the latter bounded by the invariant. Returns false
+/// when the constraint references array state (not solver-expressible).
+bool proofVariables(const compile::CompiledModel& cm,
+                    const StateInvariant& inv, const expr::ExprPtr& goal,
+                    std::vector<expr::VarInfo>& out) {
+  std::unordered_map<expr::VarId, const compile::StateVar*> stateById;
+  for (const auto& sv : cm.states) stateById[sv.id] = &sv;
+
+  for (const expr::VarId id : expr::collectVars(goal)) {
+    const auto it = stateById.find(id);
+    if (it == stateById.end()) continue;  // an input: added below
+    const auto* sv = it->second;
+    if (sv->width != 1) return false;  // array state: interval-only
+    const Interval dom = inv.env.get(sv->id);
+    expr::VarInfo vi;
+    vi.id = sv->id;
+    vi.name = sv->name;
+    vi.type = sv->type;
+    vi.lo = dom.lo();
+    vi.hi = dom.hi();
+    out.push_back(vi);
+  }
+  for (const auto& in : cm.inputs) out.push_back(in.info);
+  return true;
+}
+
+}  // namespace
+
+DeadBranchReport findDeadBranches(const compile::CompiledModel& cm,
+                                  const ReachabilityOptions& opt) {
+  DeadBranchReport report;
+  report.invariant = computeStateInvariant(cm, opt);
+  IntervalEvaluator eval(report.invariant.env);
+  for (const auto& br : cm.branches) {
+    const Interval verdict = eval.evalScalar(br.pathConstraint);
+    if (verdict.isFalse()) {
+      report.deadBranches.push_back(br.id);
+      continue;
+    }
+    if (!opt.solverBackedProofs || verdict.isTrue()) continue;
+    // Inconclusive: ask the solver for an exhaustive refutation over the
+    // invariant-bounded state space. Only a proven UNSAT counts.
+    std::vector<expr::VarInfo> vars;
+    if (!proofVariables(cm, report.invariant, br.pathConstraint, vars)) {
+      continue;
+    }
+    solver::SolveOptions so;
+    so.timeBudgetMillis = opt.solverBudgetMillis;
+    so.seed = 1;
+    solver::BoxSolver proof(so);
+    if (proof.solve(br.pathConstraint, vars).status ==
+        solver::SolveStatus::kUnsat) {
+      report.deadBranches.push_back(br.id);
+    }
+  }
+  std::sort(report.deadBranches.begin(), report.deadBranches.end());
+  return report;
+}
+
+std::string renderInvariant(const compile::CompiledModel& cm,
+                            const StateInvariant& inv) {
+  std::string out = "State invariant (" +
+                    std::string(inv.converged ? "converged" : "widened") +
+                    " after " + std::to_string(inv.iterations) +
+                    " iterations):\n";
+  for (const auto& sv : cm.states) {
+    out += "  " + sv.name + ": ";
+    if (sv.width == 1) {
+      out += inv.env.get(sv.id).toString();
+    } else {
+      const auto& arr = inv.env.getArray(sv.id);
+      std::vector<std::string> parts;
+      parts.reserve(arr.size());
+      for (const auto& iv : arr) parts.push_back(iv.toString());
+      out += "[" + join(parts, ", ") + "]";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace stcg::analysis

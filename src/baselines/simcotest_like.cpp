@@ -1,0 +1,81 @@
+#include "baselines/simcotest_like.h"
+
+#include "util/stopwatch.h"
+
+namespace stcg::gen {
+
+namespace {
+
+std::vector<sim::InputVector> freshSequence(const compile::CompiledModel& cm,
+                                            Rng& rng, int maxLen) {
+  const int len = static_cast<int>(rng.uniformInt(1, maxLen));
+  std::vector<sim::InputVector> seq;
+  seq.reserve(static_cast<std::size_t>(len));
+  for (int i = 0; i < len; ++i) seq.push_back(sim::randomInput(cm, rng));
+  return seq;
+}
+
+std::vector<sim::InputVector> mutateSequence(
+    const compile::CompiledModel& cm, Rng& rng,
+    const std::vector<sim::InputVector>& base, int maxLen) {
+  std::vector<sim::InputVector> seq = base;
+  for (auto& step : seq) {
+    if (rng.chance(0.3)) step = sim::randomInput(cm, rng);
+  }
+  // Occasionally extend: deeper states may hide behind longer runs.
+  while (static_cast<int>(seq.size()) < maxLen && rng.chance(0.35)) {
+    seq.push_back(sim::randomInput(cm, rng));
+  }
+  return seq;
+}
+
+}  // namespace
+
+GenResult SimCoTestLikeGenerator::generate(const compile::CompiledModel& cm,
+                                           const GenOptions& opt) {
+  Stopwatch watch;
+  const Deadline deadline = Deadline::afterMillis(opt.budgetMillis);
+  Rng rng(opt.seed);
+  coverage::CoverageTracker tracker(cm);
+  sim::Simulator simulator(cm);
+
+  GenResult result;
+  result.toolName = "SimCoTest-like";
+  std::vector<std::vector<sim::InputVector>> archive;
+
+  while (!deadline.expired()) {
+    std::vector<sim::InputVector> seq;
+    if (!archive.empty() && rng.chance(0.5)) {
+      seq = mutateSequence(cm, rng, archive[rng.index(archive.size())],
+                           opt.randomMaxSeqLen);
+    } else {
+      seq = freshSequence(cm, rng, opt.randomMaxSeqLen);
+    }
+    ++result.stats.randomSequences;
+    simulator.reset();
+    bool newCover = false;
+    for (const auto& step : seq) {
+      const auto res = simulator.step(step, &tracker);
+      ++result.stats.stepsExecuted;
+      newCover = newCover || res.foundNewCoverage();
+      if (deadline.expired()) break;
+    }
+    if (newCover) {
+      TestCase tc;
+      tc.steps = seq;
+      tc.timestampSec = watch.elapsedSeconds();
+      tc.origin = TestOrigin::kRandom;
+      result.tests.push_back(std::move(tc));
+      result.events.push_back(GenEvent{watch.elapsedSeconds(),
+                                       tracker.decisionCoverage(),
+                                       TestOrigin::kRandom});
+      archive.push_back(std::move(seq));
+    }
+  }
+
+  const auto replay = replaySuite(cm, result.tests);
+  result.coverage = summarize(replay);
+  return result;
+}
+
+}  // namespace stcg::gen

@@ -1,0 +1,21 @@
+// SimCoTest-like baseline: random search with coverage feedback — the
+// paper's characterization of SimCoTest's Monte-Carlo test generation.
+//
+// Random input sequences are simulated from reset; sequences that cover
+// anything new are kept in an archive and later mutated (per-step value
+// perturbation and extension). This gets shallow coverage quickly and then
+// plateaus on state-dependent branches — the Fig. 4 shape.
+#pragma once
+
+#include "stcg/testgen.h"
+
+namespace stcg::gen {
+
+class SimCoTestLikeGenerator final : public Generator {
+ public:
+  [[nodiscard]] std::string name() const override { return "SimCoTest-like"; }
+  [[nodiscard]] GenResult generate(const compile::CompiledModel& cm,
+                                   const GenOptions& options) override;
+};
+
+}  // namespace stcg::gen

@@ -1,0 +1,173 @@
+#include "baselines/sldv_like.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "expr/builder.h"
+#include "expr/subst.h"
+#include "util/stopwatch.h"
+
+namespace stcg::gen {
+
+namespace {
+
+/// Per-depth symbolic unrolling context.
+struct Unrolling {
+  // Fresh input variables per step: inputVars[k][i] is input i at step k.
+  std::vector<std::vector<expr::VarInfo>> inputVars;
+  // State expressions entering each step (step 0 entry = initial consts).
+  std::vector<std::unordered_map<expr::VarId, expr::ExprPtr>> entryState;
+};
+
+expr::ExprPtr initLeafConst(const compile::StateVar& sv) {
+  if (sv.width == 1) return expr::cScalar(sv.init.scalar());
+  return expr::cArray(sv.type, sv.init.elems());
+}
+
+}  // namespace
+
+GenResult SldvLikeGenerator::generate(const compile::CompiledModel& cm,
+                                      const GenOptions& opt) {
+  Stopwatch watch;
+  const Deadline deadline = Deadline::afterMillis(opt.budgetMillis);
+  Rng rng(opt.seed);
+  coverage::CoverageTracker tracker(cm);
+  sim::Simulator simulator(cm);
+
+  auto goals = buildGoals(cm, opt.includeConditionGoals);
+  std::vector<int> order(goals.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return goals[static_cast<std::size_t>(a)].depth <
+           goals[static_cast<std::size_t>(b)].depth;
+  });
+
+  // Fresh variable ids start above everything the compiler allocated.
+  expr::VarId nextId = 0;
+  for (const auto& iv : cm.inputs) nextId = std::max(nextId, iv.info.id + 1);
+  for (const auto& sv : cm.states) nextId = std::max(nextId, sv.id + 1);
+
+  Unrolling u;
+  u.entryState.emplace_back();
+  for (const auto& sv : cm.states) {
+    u.entryState[0][sv.id] = initLeafConst(sv);
+  }
+
+  const auto extendUnrolling = [&](int toDepth) {
+    while (static_cast<int>(u.inputVars.size()) < toDepth) {
+      const int k = static_cast<int>(u.inputVars.size());
+      std::vector<expr::VarInfo> stepInputs;
+      std::unordered_map<expr::VarId, expr::ExprPtr> mapping =
+          u.entryState[static_cast<std::size_t>(k)];
+      for (const auto& iv : cm.inputs) {
+        expr::VarInfo fresh = iv.info;
+        fresh.id = nextId++;
+        fresh.name = iv.info.name + "@" + std::to_string(k);
+        mapping[iv.info.id] = expr::mkVar(fresh);
+        stepInputs.push_back(fresh);
+      }
+      std::unordered_map<expr::VarId, expr::ExprPtr> nextEntry;
+      for (const auto& sv : cm.states) {
+        nextEntry[sv.id] = expr::substituteExprs(sv.next, mapping);
+      }
+      u.inputVars.push_back(std::move(stepInputs));
+      u.entryState.push_back(std::move(nextEntry));
+    }
+  };
+
+  GenResult result;
+  result.toolName = "SLDV-like";
+
+  // Decode a SAT model into a k-step input sequence and run it from reset.
+  const auto commitSolution = [&](int depth, const expr::Env& model,
+                                  const std::string& label) {
+    TestCase tc;
+    tc.origin = TestOrigin::kSolved;
+    tc.goalLabel = label;
+    for (int k = 0; k < depth; ++k) {
+      sim::InputVector in;
+      for (std::size_t i = 0; i < cm.inputs.size(); ++i) {
+        const auto& vi = u.inputVars[static_cast<std::size_t>(k)][i];
+        in.push_back(model.has(vi.id)
+                         ? model.get(vi.id).castTo(vi.type)
+                         : solver::scalarForVar(vi, (vi.lo + vi.hi) / 2));
+      }
+      tc.steps.push_back(std::move(in));
+    }
+    simulator.reset();
+    bool newCover = false;
+    for (const auto& step : tc.steps) {
+      const auto res = simulator.step(step, &tracker);
+      ++result.stats.stepsExecuted;
+      newCover = newCover || res.foundNewCoverage();
+    }
+    if (newCover) {
+      tc.timestampSec = watch.elapsedSeconds();
+      result.tests.push_back(std::move(tc));
+      result.events.push_back(GenEvent{watch.elapsedSeconds(),
+                                       tracker.decisionCoverage(),
+                                       TestOrigin::kSolved});
+    }
+  };
+
+  // Attempt each uncovered goal at growing unroll depths.
+  for (int depth = 1;
+       depth <= opt.maxUnrollDepth && !deadline.expired(); ++depth) {
+    extendUnrolling(depth);
+    for (const int gi : order) {
+      if (deadline.expired()) break;
+      const Goal& goal = goals[static_cast<std::size_t>(gi)];
+      if (goalCovered(tracker, goal)) continue;
+
+      // The goal fires on the last unrolled step.
+      std::unordered_map<expr::VarId, expr::ExprPtr> mapping =
+          u.entryState[static_cast<std::size_t>(depth - 1)];
+      for (std::size_t i = 0; i < cm.inputs.size(); ++i) {
+        mapping[cm.inputs[i].info.id] = expr::mkVar(
+            u.inputVars[static_cast<std::size_t>(depth - 1)][i]);
+      }
+      const expr::ExprPtr constraint =
+          expr::substituteExprs(goal.pathConstraint, mapping);
+      ++result.stats.solveCalls;
+      if (constraint->op == expr::Op::kConst &&
+          !constraint->constVal.toBool()) {
+        ++result.stats.solveUnsat;
+        continue;
+      }
+      std::vector<expr::VarInfo> vars;
+      for (int k = 0; k < depth; ++k) {
+        for (const auto& vi : u.inputVars[static_cast<std::size_t>(k)]) {
+          vars.push_back(vi);
+        }
+      }
+      solver::SolveOptions so = opt.solver;
+      // Deeper queries get proportionally more budget, as a real
+      // bounded-model-checking loop would.
+      so.timeBudgetMillis = opt.solver.timeBudgetMillis * depth;
+      so.timeBudgetMillis =
+          std::min<std::int64_t>(so.timeBudgetMillis,
+                                 deadline.remainingMillis());
+      so.seed = static_cast<std::uint64_t>(rng.uniformInt(1, 1'000'000'000));
+      solver::BoxSolver solver(so);
+      const auto res = solver.solve(constraint, vars);
+      switch (res.status) {
+        case solver::SolveStatus::kSat:
+          ++result.stats.solveSat;
+          commitSolution(depth, res.model, goal.label);
+          break;
+        case solver::SolveStatus::kUnsat:
+          ++result.stats.solveUnsat;
+          break;
+        case solver::SolveStatus::kUnknown:
+          ++result.stats.solveUnknown;
+          break;
+      }
+    }
+  }
+
+  const auto replay = replaySuite(cm, result.tests);
+  result.coverage = summarize(replay);
+  return result;
+}
+
+}  // namespace stcg::gen

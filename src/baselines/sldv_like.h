@@ -1,0 +1,29 @@
+// SLDV-like baseline: constraint solving over a bounded multi-step
+// unrolling of the model from its initial state — the paper's
+// characterization of Simulink Design Verifier's approach (symbolic
+// analysis of whole paths from reset, no dynamic state feedback).
+//
+// For unroll depth k, the step function is composed k times symbolically:
+// state leaves of step i+1 are substituted with the step-i next-state
+// expressions (starting from the initial state constants), and the inputs
+// of each step get fresh variables. A goal is attempted at growing depths;
+// a SAT result yields a k-step test case, which is then simulated from
+// reset to record coverage.
+//
+// This reproduces the scaling the paper leans on: state-dependent goals
+// need deep unrollings whose store/select towers the solver grinds on,
+// while STCG's one-step queries stay tiny.
+#pragma once
+
+#include "stcg/testgen.h"
+
+namespace stcg::gen {
+
+class SldvLikeGenerator final : public Generator {
+ public:
+  [[nodiscard]] std::string name() const override { return "SLDV-like"; }
+  [[nodiscard]] GenResult generate(const compile::CompiledModel& cm,
+                                   const GenOptions& options) override;
+};
+
+}  // namespace stcg::gen

@@ -1,0 +1,121 @@
+// AFC: engine air-fuel control (paper Table II).
+//
+// A mode chart (Off / Startup / Normal / Power / Fault) supervises a
+// fuel-command pipeline: RPM-indexed base fuel table, O2-feedback integral
+// trim (active in Normal mode only), power enrichment, and an O2-sensor
+// plausibility monitor whose debounce counter drives the Fault mode — the
+// classic "condition depends on an internal counter" structure.
+#include "benchmodels/benchmodels.h"
+#include "benchmodels/helpers.h"
+#include "expr/builder.h"
+
+namespace stcg::bench {
+
+using expr::Scalar;
+using expr::Type;
+using model::ChartAssign;
+using model::ChartBuilder;
+using model::Model;
+using model::PortRef;
+
+model::Model buildAfc() {
+  Model m("AFC");
+
+  auto rpm = m.addInport("rpm", Type::kReal, 0, 8000);
+  auto throttle = m.addInport("throttle", Type::kReal, 0, 100);
+  auto o2 = m.addInport("o2", Type::kReal, 0, 1);
+  auto engineOn = m.addInport("engine_on", Type::kBool, 0, 1);
+  auto faultReset = m.addInport("fault_reset", Type::kBool, 0, 1);
+
+  // --- O2 sensor plausibility monitor (debounced). ---------------------
+  auto o2Low = m.addCompareToConst("o2_low", o2, model::RelOp::kLt, 0.05);
+  auto o2High = m.addCompareToConst("o2_high", o2, model::RelOp::kGt, 0.95);
+  auto o2Bad = m.addLogical("o2_bad", model::LogicOp::kOr, {o2Low, o2High});
+  auto badCnt = m.addUnitDelayHole("o2_bad_count", Scalar::i(0));
+  auto one = m.addConstant("one", Scalar::i(1));
+  auto zero = m.addConstant("zero", Scalar::i(0));
+  auto cntInc = m.addSum("o2_cnt_inc", {badCnt, one}, "++");
+  auto cntNext = m.addSwitch("o2_cnt_next", cntInc, o2Bad, zero,
+                             model::SwitchCriteria::kNotZero, 0.0);
+  auto cntSat = m.addSaturation("o2_cnt_sat", cntNext, 0, 100);
+  m.bindDelayInput(badCnt, cntSat);
+  auto sensorFault =
+      m.addCompareToConst("sensor_fault", badCnt, model::RelOp::kGt, 5.0);
+
+  // --- Supervisory mode chart. ------------------------------------------
+  ChartBuilder cb(m, "mode");
+  auto cOn = cb.input("engine_on", Type::kBool);
+  auto cRpm = cb.input("rpm", Type::kReal);
+  auto cThr = cb.input("throttle", Type::kReal);
+  auto cFault = cb.input("sensor_fault", Type::kBool);
+  auto cReset = cb.input("fault_reset", Type::kBool);
+  const int tmr = cb.addVar("startup_timer", Scalar::i(0));
+  const int sOff = cb.addState("Off");
+  const int sStart = cb.addState("Startup");
+  const int sNormal = cb.addState("Normal");
+  const int sPower = cb.addState("Power");
+  const int sFault = cb.addState("Fault");
+  cb.setInitialState(sOff);
+  cb.addTransition(sOff, sStart, cOn,
+                   {ChartAssign{tmr, expr::cInt(0)}});
+  cb.addTransition(sStart, sOff, expr::notE(cOn));
+  cb.addTransition(sStart, sFault,
+                   expr::gtE(cb.varRef(tmr), expr::cInt(20)));
+  cb.addTransition(sStart, sNormal, expr::gtE(cRpm, expr::cReal(800.0)));
+  cb.addDuring(sStart, tmr,
+               expr::addE(cb.varRef(tmr), expr::cInt(1)));
+  cb.addTransition(sNormal, sOff, expr::notE(cOn));
+  cb.addTransition(sNormal, sFault, cFault);
+  cb.addTransition(sNormal, sPower, expr::gtE(cThr, expr::cReal(80.0)));
+  cb.addTransition(sPower, sOff, expr::notE(cOn));
+  cb.addTransition(sPower, sFault, cFault);
+  cb.addTransition(sPower, sNormal, expr::ltE(cThr, expr::cReal(70.0)));
+  cb.addTransition(sFault, sStart, expr::andE(cReset, cOn));
+  cb.addTransition(sFault, sOff, expr::notE(cOn));
+  cb.exposeActiveState();
+  auto chartOuts = m.addChart("mode_chart", cb.build(),
+                              {engineOn, rpm, throttle, sensorFault,
+                               faultReset});
+  auto mode = chartOuts[0];
+
+  // --- Fuel pipeline. ------------------------------------------------------
+  auto baseFuel = m.addLookup1D("base_fuel", rpm,
+                                {0, 800, 2000, 4000, 6000, 8000},
+                                {2.0, 4.0, 8.0, 14.0, 20.0, 24.0});
+  // Integral O2 trim, frozen outside Normal mode (anti-windup).
+  auto half = m.addConstant("stoich", Scalar::r(0.5));
+  auto o2Err = m.addSum("o2_err", {half, o2}, "+-");
+  auto integ = m.addUnitDelayHole("o2_integrator", Scalar::r(0.0));
+  auto errGain = m.addGain("o2_err_gain", o2Err, 0.05);
+  auto integSum = m.addSum("integ_sum", {integ, errGain}, "++");
+  auto inNormal = m.addCompareToConst("in_normal", mode, model::RelOp::kEq, 2.0);
+  auto integNext = m.addSwitch("integ_gate", integSum, inNormal, integ,
+                               model::SwitchCriteria::kNotZero, 0.0);
+  auto integSat = m.addSaturation("integ_sat", integNext, -3.0, 3.0);
+  m.bindDelayInput(integ, integSat);
+
+  auto normalFuel = m.addSum("normal_fuel", {baseFuel, integ}, "++");
+  auto powerFuel = m.addGain("power_fuel", baseFuel, 1.3);
+  auto faultFuel = m.addGain("fault_fuel", baseFuel, 1.1);
+  auto crankFuel = m.addConstant("crank_fuel", Scalar::r(5.0));
+  auto zeroFuel = m.addConstant("zero_fuel", Scalar::r(0.0));
+  auto fuel = m.addMultiportSwitch(
+      "fuel_by_mode", mode, {zeroFuel, crankFuel, normalFuel, powerFuel,
+                             faultFuel});
+  auto fuelSat = m.addSaturation("fuel_sat", fuel, 0.0, 30.0);
+
+  // Rich/lean indicator for diagnostics.
+  auto rich = m.addCompareToConst("rich", o2, model::RelOp::kGt, 0.6);
+  auto lean = m.addCompareToConst("lean", o2, model::RelOp::kLt, 0.4);
+  auto mixOk = m.addLogical("mix_ok", model::LogicOp::kNor, {rich, lean});
+  auto lambdaOk = m.addSwitch("lambda_ok", one, mixOk, zero,
+                              model::SwitchCriteria::kNotZero, 0.0);
+
+  m.addOutport("fuel_cmd", fuelSat);
+  m.addOutport("mode", mode);
+  m.addOutport("sensor_fault", sensorFault);
+  m.addOutport("lambda_ok", lambdaOk);
+  return m;
+}
+
+}  // namespace stcg::bench

@@ -1,0 +1,46 @@
+// The benchmark model suite (paper Table II), rebuilt in the model IR.
+//
+// All eight models are synthetic equivalents of the paper's industrial
+// Simulink models: same functionality class, comparable branch/block
+// scale, and — crucially — the same *mechanisms* the paper attributes to
+// each (CPUTask's queue operations, TCP's handshake sequence matching,
+// LEDLC's unreachable Switch-Case default, ...). See DESIGN.md §2.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "model/model.h"
+
+namespace stcg::bench {
+
+struct BenchModelInfo {
+  std::string name;
+  std::string functionality;
+  int paperBranches = 0;  // Table II "#Branch"
+  int paperBlocks = 0;    // Table II "#Block"
+  std::function<model::Model()> build;
+};
+
+/// All eight Table-II models, in the paper's order.
+[[nodiscard]] const std::vector<BenchModelInfo>& allBenchModels();
+
+/// Build one by name; throws std::out_of_range for unknown names.
+[[nodiscard]] model::Model buildBenchModel(const std::string& name);
+
+// Individual builders.
+[[nodiscard]] model::Model buildCpuTask();
+[[nodiscard]] model::Model buildAfc();
+[[nodiscard]] model::Model buildTwc();
+[[nodiscard]] model::Model buildNicProtocol();
+[[nodiscard]] model::Model buildUtpc();
+[[nodiscard]] model::Model buildLanSwitch();
+[[nodiscard]] model::Model buildLedlc();
+[[nodiscard]] model::Model buildTcp();
+
+/// The 13-branch simplified CPUTask of Fig. 3 / Table I: a 5-way opcode
+/// dispatch with one success/failure decision per operation.
+[[nodiscard]] model::Model buildCpuTaskSimplified();
+
+}  // namespace stcg::bench

@@ -1,0 +1,292 @@
+// CPUTask: AutoSAR CPU task dispatch system (paper Fig. 1, Table II).
+//
+// A task queue maintained through Add / Delete / Modify / Check / Clear
+// opcodes. Deletion, modification and checking require a queue entry whose
+// task id (and for Check, also its parameter) matches the input — the
+// state-dependent conditions the paper's introduction builds its case on:
+// a solver must effectively reason about "add first, then operate", which
+// STCG sidesteps by solving one step from concrete queue states.
+#include "benchmodels/benchmodels.h"
+#include "benchmodels/helpers.h"
+
+namespace stcg::bench {
+
+using expr::Scalar;
+using expr::Type;
+using model::Model;
+using model::PortRef;
+using model::RegionScope;
+
+namespace {
+constexpr int kSlots = 8;
+}
+
+model::Model buildCpuTask() {
+  Model m("CPUTask");
+
+  auto op = m.addInport("op", Type::kInt, 0, 6);
+  auto taskId = m.addInport("task_id", Type::kInt, 0, 1000000);
+  auto param = m.addInport("param", Type::kInt, 0, 1000000);
+  auto prio = m.addInport("prio", Type::kInt, 0, 7);
+
+  const int validStore = m.addDataStore("valid", Type::kInt, kSlots, Scalar::i(0));
+  const int idStore = m.addDataStore("ids", Type::kInt, kSlots, Scalar::i(0));
+  const int paramStore =
+      m.addDataStore("params", Type::kInt, kSlots, Scalar::i(0));
+  const int prioStore = m.addDataStore("prios", Type::kInt, kSlots, Scalar::i(0));
+  const int countStore = m.addDataStore("count", Type::kInt, 1, Scalar::i(0));
+
+  auto count = m.addDataStoreRead("count_rd", countStore);
+  auto one = m.addConstant("one", Scalar::i(1));
+  auto zero = m.addConstant("zero", Scalar::i(0));
+
+  const auto regions = m.addSwitchCase(
+      "op_dispatch", op, {{0}, {1}, {2}, {3}, {4}}, /*addDefault=*/true);
+  const auto addR = regions[0], delR = regions[1], modR = regions[2],
+             chkR = regions[3], clrR = regions[4], invR = regions[5];
+
+  std::vector<std::pair<model::RegionId, PortRef>> resultArms;
+
+  // --- ADD: insert into the first free slot unless the queue is full. ---
+  {
+    RegionScope scope(m, addR);
+    auto notFull =
+        m.addCompareToConst("add_notfull", count, model::RelOp::kLt,
+                            static_cast<double>(kSlots));
+    const auto ifr = m.addIfElse("add_room", notFull);
+    {
+      RegionScope ok(m, ifr.thenRegion);
+      std::vector<PortRef> freeConds;
+      for (int i = 0; i < kSlots; ++i) {
+        auto idx = m.addConstant("add_idx" + std::to_string(i), Scalar::i(i));
+        auto v = m.addDataStoreReadElem("add_v" + std::to_string(i),
+                                        validStore, idx);
+        freeConds.push_back(m.addCompareToConst(
+            "add_free" + std::to_string(i), v, model::RelOp::kEq, 0.0));
+      }
+      auto freeIdx = firstTrueIndex(m, "add_slot", freeConds, kSlots - 1);
+      m.addDataStoreWriteElem("add_wid", idStore, freeIdx, taskId);
+      m.addDataStoreWriteElem("add_wparam", paramStore, freeIdx, param);
+      m.addDataStoreWriteElem("add_wprio", prioStore, freeIdx, prio);
+      m.addDataStoreWriteElem("add_wvalid", validStore, freeIdx, one);
+      auto inc = m.addSum("add_inc", {count, one}, "++");
+      m.addDataStoreWrite("add_wcount", countStore, inc);
+      resultArms.emplace_back(ifr.thenRegion, one);
+    }
+    {
+      RegionScope fail(m, ifr.elseRegion);
+      resultArms.emplace_back(ifr.elseRegion, zero);
+    }
+  }
+
+  // --- DELETE: remove the first slot whose id matches. ---
+  {
+    RegionScope scope(m, delR);
+    const auto scan = scanSlots(m, "del_scan", kSlots, validStore, idStore,
+                                taskId);
+    const auto ifr = m.addIfElse("del_found", scan.any);
+    {
+      RegionScope ok(m, ifr.thenRegion);
+      m.addDataStoreWriteElem("del_wvalid", validStore, scan.index, zero);
+      auto dec = m.addSum("del_dec", {count, one}, "+-");
+      auto decSat = m.addSaturation("del_sat", dec, 0, kSlots);
+      m.addDataStoreWrite("del_wcount", countStore, decSat);
+      resultArms.emplace_back(ifr.thenRegion, one);
+    }
+    {
+      RegionScope fail(m, ifr.elseRegion);
+      resultArms.emplace_back(ifr.elseRegion, zero);
+    }
+  }
+
+  // --- MODIFY: rewrite param/prio of the first slot whose id matches. ---
+  {
+    RegionScope scope(m, modR);
+    const auto scan = scanSlots(m, "mod_scan", kSlots, validStore, idStore,
+                                taskId);
+    const auto ifr = m.addIfElse("mod_found", scan.any);
+    {
+      RegionScope ok(m, ifr.thenRegion);
+      m.addDataStoreWriteElem("mod_wparam", paramStore, scan.index, param);
+      m.addDataStoreWriteElem("mod_wprio", prioStore, scan.index, prio);
+      resultArms.emplace_back(ifr.thenRegion, one);
+    }
+    {
+      RegionScope fail(m, ifr.elseRegion);
+      resultArms.emplace_back(ifr.elseRegion, zero);
+    }
+  }
+
+  // --- CHECK: does a matching task exist, and does its param also match? -
+  {
+    RegionScope scope(m, chkR);
+    const auto scan = scanSlots(m, "chk_scan", kSlots, validStore, idStore,
+                                taskId);
+    const auto ifr = m.addIfElse("chk_found", scan.any);
+    {
+      RegionScope ok(m, ifr.thenRegion);
+      auto slotParam =
+          m.addDataStoreReadElem("chk_param", paramStore, scan.index);
+      auto paramEq =
+          m.addRelational("chk_parameq", model::RelOp::kEq, slotParam, param);
+      const auto inner = m.addIfElse("chk_exact", paramEq);
+      auto two = m.addConstant("two", Scalar::i(2));
+      {
+        RegionScope exact(m, inner.thenRegion);
+        resultArms.emplace_back(inner.thenRegion, two);
+      }
+      {
+        RegionScope idOnly(m, inner.elseRegion);
+        resultArms.emplace_back(inner.elseRegion, one);
+      }
+    }
+    {
+      RegionScope fail(m, ifr.elseRegion);
+      resultArms.emplace_back(ifr.elseRegion, zero);
+    }
+  }
+
+  // --- CLEAR: wipe the queue if it holds anything. ---
+  {
+    RegionScope scope(m, clrR);
+    auto nonEmpty =
+        m.addCompareToConst("clr_nonempty", count, model::RelOp::kGt, 0.0);
+    const auto ifr = m.addIfElse("clr_any", nonEmpty);
+    {
+      RegionScope ok(m, ifr.thenRegion);
+      for (int i = 0; i < kSlots; ++i) {
+        auto idx = m.addConstant("clr_idx" + std::to_string(i), Scalar::i(i));
+        m.addDataStoreWriteElem("clr_w" + std::to_string(i), validStore, idx,
+                                zero);
+      }
+      m.addDataStoreWrite("clr_wcount", countStore, zero);
+      resultArms.emplace_back(ifr.thenRegion, one);
+    }
+    {
+      RegionScope fail(m, ifr.elseRegion);
+      resultArms.emplace_back(ifr.elseRegion, zero);
+    }
+  }
+
+  // --- Invalid opcode. ---
+  {
+    RegionScope scope(m, invR);
+    auto minusOne = m.addConstant("minus_one", Scalar::i(-1));
+    resultArms.emplace_back(invR, minusOne);
+  }
+
+  auto result = m.addMerge("result", resultArms, Scalar::i(-2));
+  m.addOutport("result", result);
+  m.addOutport("queue_count", count);
+  auto full = m.addCompareToConst("is_full", count, model::RelOp::kGe,
+                                  static_cast<double>(kSlots));
+  m.addOutport("queue_full", full);
+  return m;
+}
+
+model::Model buildCpuTaskSimplified() {
+  Model m("CPUTaskSimplified");
+  auto op = m.addInport("op", Type::kInt, 0, 5);
+  auto taskId = m.addInport("task_id", Type::kInt, 0, 7);
+  auto param = m.addInport("param", Type::kInt, 0, 15);
+  (void)param;
+
+  constexpr int kSmallSlots = 3;
+  const int validStore =
+      m.addDataStore("valid", Type::kInt, kSmallSlots, Scalar::i(0));
+  const int idStore =
+      m.addDataStore("ids", Type::kInt, kSmallSlots, Scalar::i(0));
+  const int countStore = m.addDataStore("count", Type::kInt, 1, Scalar::i(0));
+
+  auto count = m.addDataStoreRead("count_rd", countStore);
+  auto one = m.addConstant("one", Scalar::i(1));
+  auto zero = m.addConstant("zero", Scalar::i(0));
+
+  // B1..B5 of Fig. 3: the five opcode branches.
+  const auto regions = m.addSwitchCase("op_dispatch", op,
+                                       {{0}, {1}, {2}, {3}},
+                                       /*addDefault=*/true);
+  std::vector<std::pair<model::RegionId, PortRef>> resultArms;
+
+  // ADD (B1), with success (B6) / queue-full failure (B7).
+  {
+    RegionScope scope(m, regions[0]);
+    auto notFull = m.addCompareToConst("add_notfull", count, model::RelOp::kLt,
+                                       kSmallSlots);
+    const auto ifr = m.addIfElse("add_room", notFull);
+    {
+      RegionScope ok(m, ifr.thenRegion);
+      std::vector<PortRef> freeConds;
+      for (int i = 0; i < kSmallSlots; ++i) {
+        auto idx = m.addConstant("add_idx" + std::to_string(i), Scalar::i(i));
+        auto v = m.addDataStoreReadElem("add_v" + std::to_string(i),
+                                        validStore, idx);
+        freeConds.push_back(m.addCompareToConst(
+            "add_free" + std::to_string(i), v, model::RelOp::kEq, 0.0));
+      }
+      auto freeIdx =
+          firstTrueIndex(m, "add_slot", freeConds, kSmallSlots - 1);
+      m.addDataStoreWriteElem("add_wid", idStore, freeIdx, taskId);
+      m.addDataStoreWriteElem("add_wvalid", validStore, freeIdx, one);
+      auto inc = m.addSum("add_inc", {count, one}, "++");
+      m.addDataStoreWrite("add_wcount", countStore, inc);
+      resultArms.emplace_back(ifr.thenRegion, one);
+    }
+    resultArms.emplace_back(ifr.elseRegion, zero);
+  }
+
+  // DELETE (B2) with found (B8) / not-found (B9).
+  {
+    RegionScope scope(m, regions[1]);
+    const auto scan =
+        scanSlots(m, "del_scan", kSmallSlots, validStore, idStore, taskId);
+    const auto ifr = m.addIfElse("del_found", scan.any);
+    {
+      RegionScope ok(m, ifr.thenRegion);
+      m.addDataStoreWriteElem("del_wvalid", validStore, scan.index, zero);
+      auto dec = m.addSum("del_dec", {count, one}, "+-");
+      auto decSat = m.addSaturation("del_sat", dec, 0, kSmallSlots);
+      m.addDataStoreWrite("del_wcount", countStore, decSat);
+      resultArms.emplace_back(ifr.thenRegion, one);
+    }
+    resultArms.emplace_back(ifr.elseRegion, zero);
+  }
+
+  // MODIFY (B3) with found (B10) / not-found (B11).
+  {
+    RegionScope scope(m, regions[2]);
+    const auto scan =
+        scanSlots(m, "mod_scan", kSmallSlots, validStore, idStore, taskId);
+    const auto ifr = m.addIfElse("mod_found", scan.any);
+    {
+      RegionScope ok(m, ifr.thenRegion);
+      m.addDataStoreWriteElem("mod_wid", idStore, scan.index, taskId);
+      resultArms.emplace_back(ifr.thenRegion, one);
+    }
+    resultArms.emplace_back(ifr.elseRegion, zero);
+  }
+
+  // CHECK (B4) with found (B12) / not-found (B13).
+  {
+    RegionScope scope(m, regions[3]);
+    const auto scan =
+        scanSlots(m, "chk_scan", kSmallSlots, validStore, idStore, taskId);
+    const auto ifr = m.addIfElse("chk_found", scan.any);
+    resultArms.emplace_back(ifr.thenRegion, one);
+    resultArms.emplace_back(ifr.elseRegion, zero);
+  }
+
+  // Invalid opcode (B5).
+  {
+    RegionScope scope(m, regions[4]);
+    auto minusOne = m.addConstant("minus_one", Scalar::i(-1));
+    resultArms.emplace_back(regions[4], minusOne);
+  }
+
+  auto result = m.addMerge("result", resultArms, Scalar::i(-2));
+  m.addOutport("result", result);
+  m.addOutport("queue_count", count);
+  return m;
+}
+
+}  // namespace stcg::bench

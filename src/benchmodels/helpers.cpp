@@ -1,0 +1,55 @@
+#include "benchmodels/helpers.h"
+
+namespace stcg::bench {
+
+using model::Model;
+using model::PortRef;
+
+PortRef orAll(Model& m, const std::string& name,
+              const std::vector<PortRef>& xs) {
+  if (xs.empty()) return m.addConstant(name + "_false", expr::Scalar::b(false));
+  if (xs.size() == 1) return xs[0];
+  return m.addLogical(name, model::LogicOp::kOr, xs);
+}
+
+PortRef andAll(Model& m, const std::string& name,
+               const std::vector<PortRef>& xs) {
+  if (xs.empty()) return m.addConstant(name + "_true", expr::Scalar::b(true));
+  if (xs.size() == 1) return xs[0];
+  return m.addLogical(name, model::LogicOp::kAnd, xs);
+}
+
+PortRef firstTrueIndex(Model& m, const std::string& name,
+                       const std::vector<PortRef>& conds, int fallback) {
+  PortRef acc =
+      m.addConstant(name + "_none", expr::Scalar::i(fallback));
+  for (int i = static_cast<int>(conds.size()) - 1; i >= 0; --i) {
+    auto idx = m.addConstant(name + "_i" + std::to_string(i),
+                             expr::Scalar::i(i));
+    acc = m.addSwitch(name + "_sel" + std::to_string(i), idx,
+                      conds[static_cast<std::size_t>(i)], acc,
+                      model::SwitchCriteria::kNotZero, 0.0);
+  }
+  return acc;
+}
+
+SlotScan scanSlots(Model& m, const std::string& name, int slots,
+                   int validStore, int keyStore, PortRef key) {
+  SlotScan out;
+  for (int i = 0; i < slots; ++i) {
+    const std::string p = name + std::to_string(i);
+    auto idx = m.addConstant(p + "_idx", expr::Scalar::i(i));
+    auto valid = m.addDataStoreReadElem(p + "_valid", validStore, idx);
+    auto slotKey = m.addDataStoreReadElem(p + "_key", keyStore, idx);
+    auto validB =
+        m.addCompareToConst(p + "_isvalid", valid, model::RelOp::kNe, 0.0);
+    auto keyEq = m.addRelational(p + "_keyeq", model::RelOp::kEq, slotKey, key);
+    out.match.push_back(
+        m.addLogical(p + "_match", model::LogicOp::kAnd, {validB, keyEq}));
+  }
+  out.any = orAll(m, name + "_any", out.match);
+  out.index = firstTrueIndex(m, name + "_first", out.match, slots);
+  return out;
+}
+
+}  // namespace stcg::bench

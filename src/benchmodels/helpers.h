@@ -1,0 +1,38 @@
+// Shared construction idioms for the benchmark models.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/model.h"
+
+namespace stcg::bench {
+
+/// OR-reduce a list of boolean signals (returns const false for empty).
+[[nodiscard]] model::PortRef orAll(model::Model& m, const std::string& name,
+                                   const std::vector<model::PortRef>& xs);
+
+/// AND-reduce a list of boolean signals (returns const true for empty).
+[[nodiscard]] model::PortRef andAll(model::Model& m, const std::string& name,
+                                    const std::vector<model::PortRef>& xs);
+
+/// Priority index chain: the index of the first true condition, or
+/// `fallback` when none holds. Built from nested Switch blocks, so each
+/// condition contributes one decision — the "find the matching slot"
+/// structure of the CPUTask and LANSwitch models.
+[[nodiscard]] model::PortRef firstTrueIndex(
+    model::Model& m, const std::string& name,
+    const std::vector<model::PortRef>& conds, int fallback);
+
+/// Per-slot equality scan over parallel array stores: conds[i] =
+/// (valid[i] != 0) && (key[i] == key). Returns the per-slot match signals.
+struct SlotScan {
+  std::vector<model::PortRef> match;  // per-slot boolean
+  model::PortRef any;                 // OR of match
+  model::PortRef index;               // first matching slot or `slots`
+};
+[[nodiscard]] SlotScan scanSlots(model::Model& m, const std::string& name,
+                                 int slots, int validStore, int keyStore,
+                                 model::PortRef key);
+
+}  // namespace stcg::bench

@@ -1,0 +1,188 @@
+// LANSwitch: LAN switch controller (paper Table II).
+//
+// A learning L2 switch: an 8-entry MAC table (parallel array stores for
+// address, port, VLAN and validity), source-address learning with
+// insert/update/table-full outcomes, destination lookup with VLAN and
+// port-state filtering, flooding fallback, and per-port statistics.
+// Like CPUTask, almost every interesting branch needs the table to hold
+// specific prior frames.
+#include "benchmodels/benchmodels.h"
+#include "benchmodels/helpers.h"
+#include "expr/builder.h"
+
+namespace stcg::bench {
+
+using expr::Scalar;
+using expr::Type;
+using model::Model;
+using model::PortRef;
+using model::RegionScope;
+
+namespace {
+constexpr int kEntries = 8;
+constexpr int kPorts = 4;
+}
+
+model::Model buildLanSwitch() {
+  Model m("LANSwitch");
+
+  auto inPort = m.addInport("in_port", Type::kInt, 0, kPorts - 1);
+  auto srcMac = m.addInport("src_mac", Type::kInt, 0, 65535);
+  auto dstMac = m.addInport("dst_mac", Type::kInt, 0, 65535);
+  auto vlan = m.addInport("vlan", Type::kInt, 0, 3);
+  auto frameValid = m.addInport("frame_valid", Type::kBool, 0, 1);
+  auto portMask = m.addInport("port_up_mask", Type::kInt, 0, 15);
+
+  const int macStore = m.addDataStore("macs", Type::kInt, kEntries, Scalar::i(0));
+  const int portStore =
+      m.addDataStore("ports", Type::kInt, kEntries, Scalar::i(0));
+  const int vlanStore =
+      m.addDataStore("vlans", Type::kInt, kEntries, Scalar::i(0));
+  const int validStore =
+      m.addDataStore("valids", Type::kInt, kEntries, Scalar::i(0));
+  const int learnedStore = m.addDataStore("learned", Type::kInt, 1, Scalar::i(0));
+  const int floodedStore = m.addDataStore("flooded", Type::kInt, 1, Scalar::i(0));
+
+  auto one = m.addConstant("one", Scalar::i(1));
+  auto zero = m.addConstant("zero", Scalar::i(0));
+  auto learned = m.addDataStoreRead("learned_rd", learnedStore);
+  auto flooded = m.addDataStoreRead("flooded_rd", floodedStore);
+
+  // Per-port up bits from the mask: up_i = (mask / 2^i) % 2.
+  std::vector<PortRef> portUp;
+  for (int p = 0; p < kPorts; ++p) {
+    // (mask / 2^p) % 2 via integer ops: shifted - 2*(shifted/2).
+    auto div = m.addConstant("bit_div" + std::to_string(p),
+                             Scalar::i(std::int64_t{1} << p));
+    auto shifted = m.addProduct("mask_shift" + std::to_string(p),
+                                {portMask, div}, "*/");
+    auto halfC = m.addConstant("half_c" + std::to_string(p), Scalar::i(2));
+    auto halves = m.addProduct("mask_half" + std::to_string(p),
+                               {shifted, halfC}, "*/");
+    auto doubled = m.addGain("mask_dbl" + std::to_string(p), halves, 2.0);
+    auto rem = m.addSum("mask_rem" + std::to_string(p), {shifted, doubled},
+                        "+-");
+    portUp.push_back(m.addCompareToConst("port_up" + std::to_string(p), rem,
+                                         model::RelOp::kNe, 0.0));
+  }
+
+  PortRef fwdPortOut, floodOut, learnResultOut;
+
+  // Everything below only runs for valid frames.
+  const auto frameRegion = m.addEnabled("frame_ok", frameValid);
+  {
+    RegionScope frame(m, frameRegion);
+
+    // --- Learning: update if src known, insert otherwise. ----------------
+    const auto srcScan =
+        scanSlots(m, "src_scan", kEntries, validStore, macStore, srcMac);
+    std::vector<std::pair<model::RegionId, PortRef>> learnArms;
+    const auto srcIf = m.addIfElse("src_known", srcScan.any);
+    {
+      RegionScope update(m, srcIf.thenRegion);
+      m.addDataStoreWriteElem("upd_port", portStore, srcScan.index, inPort);
+      m.addDataStoreWriteElem("upd_vlan", vlanStore, srcScan.index, vlan);
+      learnArms.emplace_back(srcIf.thenRegion, one);
+    }
+    {
+      RegionScope insert(m, srcIf.elseRegion);
+      std::vector<PortRef> freeConds;
+      for (int i = 0; i < kEntries; ++i) {
+        auto idx = m.addConstant("ins_idx" + std::to_string(i), Scalar::i(i));
+        auto v = m.addDataStoreReadElem("ins_v" + std::to_string(i),
+                                        validStore, idx);
+        freeConds.push_back(m.addCompareToConst(
+            "ins_free" + std::to_string(i), v, model::RelOp::kEq, 0.0));
+      }
+      auto anyFree = orAll(m, "ins_anyfree", freeConds);
+      const auto roomIf = m.addIfElse("ins_room", anyFree);
+      {
+        RegionScope room(m, roomIf.thenRegion);
+        auto freeIdx = firstTrueIndex(m, "ins_slot", freeConds, kEntries - 1);
+        m.addDataStoreWriteElem("ins_mac", macStore, freeIdx, srcMac);
+        m.addDataStoreWriteElem("ins_port", portStore, freeIdx, inPort);
+        m.addDataStoreWriteElem("ins_vlan", vlanStore, freeIdx, vlan);
+        m.addDataStoreWriteElem("ins_valid", validStore, freeIdx, one);
+        auto inc = m.addSum("learned_inc", {learned, one}, "++");
+        m.addDataStoreWrite("learned_w", learnedStore, inc);
+        learnArms.emplace_back(roomIf.thenRegion, one);
+      }
+      {
+        RegionScope full(m, roomIf.elseRegion);
+        learnArms.emplace_back(roomIf.elseRegion, zero);  // table full
+      }
+    }
+    auto learnResult = m.addMerge("learn_result", learnArms, Scalar::i(-1));
+
+    // --- Forwarding: unicast when known+filtered, flood otherwise. --------
+    const auto dstScan =
+        scanSlots(m, "dst_scan", kEntries, validStore, macStore, dstMac);
+    auto entryVlan =
+        m.addDataStoreReadElem("entry_vlan", vlanStore, dstScan.index);
+    auto vlanOk =
+        m.addRelational("vlan_ok", model::RelOp::kEq, entryVlan, vlan);
+    auto entryPort =
+        m.addDataStoreReadElem("entry_port", portStore, dstScan.index);
+    auto samePort =
+        m.addRelational("same_port", model::RelOp::kEq, entryPort, inPort);
+    auto notSame = m.addLogical("not_same", model::LogicOp::kNot, {samePort});
+    // Destination port must be up: dstUp = OR_i (entryPort == i && up_i).
+    std::vector<PortRef> upTerms;
+    for (int p = 0; p < kPorts; ++p) {
+      auto pc = m.addConstant("pnum" + std::to_string(p), Scalar::i(p));
+      auto isP =
+          m.addRelational("is_port" + std::to_string(p), model::RelOp::kEq,
+                          entryPort, pc);
+      upTerms.push_back(m.addLogical("up_term" + std::to_string(p),
+                                     model::LogicOp::kAnd,
+                                     {isP, portUp[static_cast<std::size_t>(p)]}));
+    }
+    auto dstUp = orAll(m, "dst_up", upTerms);
+    auto unicastOk = m.addLogical(
+        "unicast_ok", model::LogicOp::kAnd,
+        {dstScan.any, vlanOk, notSame, dstUp});
+
+    std::vector<std::pair<model::RegionId, PortRef>> fwdArms;
+    std::vector<std::pair<model::RegionId, PortRef>> floodArms;
+    const auto fwdIf = m.addIfElse("do_unicast", unicastOk);
+    {
+      RegionScope uni(m, fwdIf.thenRegion);
+      fwdArms.emplace_back(fwdIf.thenRegion, entryPort);
+      floodArms.emplace_back(fwdIf.thenRegion, zero);
+    }
+    {
+      RegionScope flood(m, fwdIf.elseRegion);
+      auto inc = m.addSum("flooded_inc", {flooded, one}, "++");
+      m.addDataStoreWrite("flooded_w", floodedStore, inc);
+      auto minusOne = m.addConstant("flood_port", Scalar::i(-1));
+      fwdArms.emplace_back(fwdIf.elseRegion, minusOne);
+      floodArms.emplace_back(fwdIf.elseRegion, one);
+    }
+    fwdPortOut = m.addMerge("fwd_port", fwdArms, Scalar::i(-2));
+    floodOut = m.addMerge("flood_flag", floodArms, Scalar::i(0));
+    learnResultOut = learnResult;
+  }
+
+  // Table occupancy diagnostics.
+  std::vector<PortRef> occTerms;
+  for (int i = 0; i < kEntries; ++i) {
+    auto idx = m.addConstant("occ_idx" + std::to_string(i), Scalar::i(i));
+    auto v = m.addDataStoreReadElem("occ_v" + std::to_string(i), validStore,
+                                    idx);
+    occTerms.push_back(v);
+  }
+  auto occupancy = m.addSum("occupancy", occTerms,
+                            std::string(static_cast<std::size_t>(kEntries), '+'));
+  auto tableFull = m.addCompareToConst("table_full", occupancy,
+                                       model::RelOp::kGe, kEntries);
+
+  m.addOutport("fwd_port", fwdPortOut);
+  m.addOutport("flooded", floodOut);
+  m.addOutport("learn_result", learnResultOut);
+  m.addOutport("occupancy", occupancy);
+  m.addOutport("table_full", tableFull);
+  m.addOutport("learned_total", learned);
+  return m;
+}
+
+}  // namespace stcg::bench

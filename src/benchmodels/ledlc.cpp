@@ -1,0 +1,143 @@
+// LEDLC: LED matrix load control (paper Table II).
+//
+// A four-level brightness mode cycled by a push button (edge detected),
+// per-row fault masking and over-current cutoff across an 8-row matrix,
+// total-load foldback, thermal derating, an AC-fail emergency mode, and an
+// overload latch. The mode Switch-Case deliberately carries a default arm
+// that can never execute — the mode counter is always 0..3 — reproducing
+// the dead-logic branch the paper reports finding in this model
+// ("there are only four LED states, and the Switch-Case block ... has an
+// additional default port").
+#include "benchmodels/benchmodels.h"
+#include "benchmodels/helpers.h"
+#include "expr/builder.h"
+
+namespace stcg::bench {
+
+using expr::Scalar;
+using expr::Type;
+using model::Model;
+using model::PortRef;
+using model::RegionScope;
+
+namespace {
+constexpr int kRows = 8;
+}
+
+model::Model buildLedlc() {
+  Model m("LEDLC");
+
+  auto modeBtn = m.addInport("mode_btn", Type::kBool, 0, 1);
+  auto brightness = m.addInport("brightness", Type::kInt, 0, 255);
+  auto temp = m.addInport("temp", Type::kReal, 0, 120);
+  auto rowFaults = m.addInport("row_fault_mask", Type::kInt, 0, 255);
+  auto acOk = m.addInport("ac_ok", Type::kBool, 0, 1);
+
+  auto one = m.addConstant("one", Scalar::i(1));
+  auto zero = m.addConstant("zero", Scalar::i(0));
+  auto zeroR = m.addConstant("zero_r", Scalar::r(0.0));
+
+  // --- Button edge detection and mode counter (0..3). ---------------------
+  auto btnPrev = m.addUnitDelayHole("btn_prev", Scalar::b(false));
+  m.bindDelayInput(btnPrev, modeBtn);
+  auto notPrev = m.addLogical("btn_not_prev", model::LogicOp::kNot, {btnPrev});
+  auto rising =
+      m.addLogical("btn_rising", model::LogicOp::kAnd, {modeBtn, notPrev});
+  auto mode = m.addUnitDelayHole("led_mode", Scalar::i(0));
+  auto modeInc = m.addSum("mode_inc", {mode, one}, "++");
+  auto four = m.addConstant("four", Scalar::i(4));
+  auto modulo = m.addMod("mode_mod", modeInc, four);
+  auto modeNext = m.addSwitch("mode_next", modulo, rising, mode,
+                              model::SwitchCriteria::kNotZero, 0.0);
+  m.bindDelayInput(mode, modeNext);
+
+  // --- Target duty per mode; the default arm is dead logic by design. -----
+  const auto modeRegions = m.addSwitchCase(
+      "duty_by_mode", mode, {{0}, {1}, {2}, {3}}, /*addDefault=*/true);
+  std::vector<std::pair<model::RegionId, PortRef>> dutyArms;
+  const double dutyLevels[4] = {0.0, 30.0, 60.0, 100.0};
+  for (int i = 0; i < 4; ++i) {
+    RegionScope r(m, modeRegions[static_cast<std::size_t>(i)]);
+    dutyArms.emplace_back(modeRegions[static_cast<std::size_t>(i)],
+                          m.addConstant("duty" + std::to_string(i),
+                                        Scalar::r(dutyLevels[i])));
+  }
+  {
+    // Unreachable: mode is always in 0..3.
+    RegionScope dead(m, modeRegions[4]);
+    dutyArms.emplace_back(modeRegions[4],
+                          m.addConstant("duty_dead", Scalar::r(50.0)));
+  }
+  auto baseDuty = m.addMerge("base_duty", dutyArms, Scalar::r(0.0));
+
+  // Scale by the brightness input.
+  auto brightScale = m.addGain("bright_scale", brightness, 1.0 / 255.0);
+  auto duty = m.addProduct("duty_scaled", {baseDuty, brightScale}, "**");
+
+  // --- Thermal derating and AC failure. -----------------------------------
+  auto thermalTbl = m.addLookup1D("thermal", temp, {0, 50, 70, 90, 120},
+                                  {1.0, 1.0, 0.8, 0.5, 0.1});
+  auto dutyHot = m.addProduct("duty_hot", {duty, thermalTbl}, "**");
+  auto emergencyDuty = m.addConstant("emergency_duty", Scalar::r(10.0));
+  auto dutyAc = m.addSwitch("duty_ac", dutyHot, acOk, emergencyDuty,
+                            model::SwitchCriteria::kNotZero, 0.0);
+
+  // --- Per-row gating: fault bit and over-current both cut the row. -------
+  std::vector<PortRef> rowCurrents;
+  for (int r = 0; r < kRows; ++r) {
+    const std::string p = "row" + std::to_string(r);
+    auto div = m.addConstant(p + "_div", Scalar::i(std::int64_t{1} << r));
+    auto shifted = m.addProduct(p + "_shift", {rowFaults, div}, "*/");
+    auto halfC = m.addConstant(p + "_half", Scalar::i(2));
+    auto halves = m.addProduct(p + "_halves", {shifted, halfC}, "*/");
+    auto doubled = m.addGain(p + "_dbl", halves, 2.0);
+    auto bit = m.addSum(p + "_bit", {shifted, doubled}, "+-");
+    auto faulted = m.addCompareToConst(p + "_faulted", bit, model::RelOp::kNe,
+                                       0.0);
+    auto rowDuty = m.addSwitch(p + "_duty", zeroR, faulted, dutyAc,
+                               model::SwitchCriteria::kNotZero, 0.0);
+    // Row current model: duty * row gain (rows differ slightly).
+    auto current =
+        m.addGain(p + "_current", rowDuty, 0.012 + 0.001 * r);
+    auto overI = m.addCompareToConst(p + "_over", current, model::RelOp::kGt,
+                                     1.0);
+    auto gated = m.addSwitch(p + "_gate", zeroR, overI, current,
+                             model::SwitchCriteria::kNotZero, 0.0);
+    rowCurrents.push_back(gated);
+  }
+  auto totalCurrent =
+      m.addSum("total_current", rowCurrents,
+               std::string(static_cast<std::size_t>(kRows), '+'));
+
+  // --- Load foldback and overload latch. ----------------------------------
+  auto overload = m.addCompareToConst("overload", totalCurrent,
+                                      model::RelOp::kGt, 6.0);
+  auto ovCnt = m.addUnitDelayHole("overload_count", Scalar::i(0));
+  auto ovInc = m.addSum("ov_inc", {ovCnt, one}, "++");
+  auto ovNext = m.addSwitch("ov_next", ovInc, overload, zero,
+                            model::SwitchCriteria::kNotZero, 0.0);
+  auto ovSat = m.addSaturation("ov_sat", ovNext, 0, 100);
+  m.bindDelayInput(ovCnt, ovSat);
+  auto latched =
+      m.addCompareToConst("latched", ovCnt, model::RelOp::kGt, 4.0);
+  auto foldback = m.addGain("foldback_duty", dutyAc, 0.5);
+  auto outDuty = m.addSwitch("out_duty", foldback, latched, dutyAc,
+                             model::SwitchCriteria::kNotZero, 0.0);
+  auto outSat = m.addSaturation("out_sat", outDuty, 0.0, 100.0);
+
+  auto anyFault = m.addCompareToConst("any_fault", rowFaults,
+                                      model::RelOp::kGt, 0.0);
+  auto healthy = m.addLogical("healthy", model::LogicOp::kNor,
+                              {anyFault, latched});
+  auto healthFlag = m.addSwitch("health_flag", one, healthy, zero,
+                                model::SwitchCriteria::kNotZero, 0.0);
+
+  m.addOutport("pwm_duty", outSat);
+  m.addOutport("led_mode", mode);
+  m.addOutport("total_current", totalCurrent);
+  m.addOutport("overload_latched", latched);
+  m.addOutport("healthy", healthFlag);
+  return m;
+}
+
+}  // namespace stcg::bench

@@ -1,0 +1,145 @@
+// NICProtocol: vehicle NIC communication protocol (paper Table II).
+//
+// A byte-stream frame parser: double sync, destination filtering
+// (unicast or broadcast), length validation, payload accumulation with a
+// running checksum, and checksum verification. The checksum-match branch
+// is reachable only after the parser has accumulated exactly the right
+// internal state over several steps — a showcase state-dependent branch.
+#include "benchmodels/benchmodels.h"
+#include "benchmodels/helpers.h"
+#include "expr/builder.h"
+
+namespace stcg::bench {
+
+using expr::Scalar;
+using expr::Type;
+using model::ChartAssign;
+using model::ChartBuilder;
+using model::Model;
+using model::PortRef;
+
+model::Model buildNicProtocol() {
+  Model m("NICProtocol");
+
+  auto byte = m.addInport("byte", Type::kInt, 0, 255);
+  auto valid = m.addInport("byte_valid", Type::kBool, 0, 1);
+  auto myAddr = m.addInport("my_addr", Type::kInt, 0, 255);
+  auto linkUp = m.addInport("link_up", Type::kBool, 0, 1);
+
+  // --- Frame parser chart. -------------------------------------------------
+  ChartBuilder cb(m, "parser");
+  auto cByte = cb.input("byte", Type::kInt);
+  auto cValid = cb.input("byte_valid", Type::kBool);
+  auto cAddr = cb.input("my_addr", Type::kInt);
+  auto cLink = cb.input("link_up", Type::kBool);
+  const int len = cb.addVar("frame_len", Scalar::i(0));
+  const int cnt = cb.addVar("payload_count", Scalar::i(0));
+  const int sum = cb.addVar("checksum", Scalar::i(0));
+  const int good = cb.addVar("good_frames", Scalar::i(0));
+  const int bad = cb.addVar("bad_frames", Scalar::i(0));
+
+  const int sIdle = cb.addState("Idle");
+  const int sSync2 = cb.addState("Sync2");
+  const int sDest = cb.addState("Dest");
+  const int sLen = cb.addState("Len");
+  const int sPayload = cb.addState("Payload");
+  const int sCheck = cb.addState("Check");
+  const int sDown = cb.addState("LinkDown");
+  cb.setInitialState(sIdle);
+
+  const auto byteIs = [&](std::int64_t v) {
+    return expr::eqE(cByte, expr::cInt(v));
+  };
+
+  cb.addTransition(sIdle, sDown, expr::notE(cLink));
+  cb.addTransition(sIdle, sSync2, expr::andE(cValid, byteIs(0xAA)));
+  cb.addTransition(sSync2, sDest, expr::andE(cValid, byteIs(0x55)));
+  cb.addTransition(sSync2, sIdle, cValid);  // wrong second sync byte
+  // Destination filter: ours or broadcast (0xFF).
+  cb.addTransition(
+      sDest, sLen,
+      expr::andE(cValid,
+                 expr::orE(expr::eqE(cByte, cAddr), byteIs(0xFF))));
+  cb.addTransition(sDest, sIdle, cValid);  // not addressed to us
+  // Length: 1..16 accepted.
+  cb.addTransition(
+      sLen, sPayload,
+      expr::andE(cValid, expr::andE(expr::geE(cByte, expr::cInt(1)),
+                                    expr::leE(cByte, expr::cInt(16)))),
+      {ChartAssign{len, cByte}, ChartAssign{cnt, expr::cInt(0)},
+       ChartAssign{sum, expr::cInt(0)}});
+  cb.addTransition(
+      sLen, sIdle, cValid,
+      {ChartAssign{bad, expr::addE(cb.varRef(bad), expr::cInt(1))}});
+  // Payload accumulation: move to Check once len bytes consumed.
+  cb.addTransition(
+      sPayload, sCheck,
+      expr::andE(cValid, expr::geE(expr::addE(cb.varRef(cnt), expr::cInt(1)),
+                                   cb.varRef(len))),
+      {ChartAssign{sum, expr::modE(expr::addE(cb.varRef(sum), cByte),
+                                   expr::cInt(256))},
+       ChartAssign{cnt, expr::addE(cb.varRef(cnt), expr::cInt(1))}});
+  cb.addTransition(
+      sPayload, sPayload, cValid,
+      {ChartAssign{sum, expr::modE(expr::addE(cb.varRef(sum), cByte),
+                                   expr::cInt(256))},
+       ChartAssign{cnt, expr::addE(cb.varRef(cnt), expr::cInt(1))}});
+  // Checksum verdict.
+  cb.addTransition(
+      sCheck, sIdle, expr::andE(cValid, expr::eqE(cByte, cb.varRef(sum))),
+      {ChartAssign{good, expr::addE(cb.varRef(good), expr::cInt(1))}},
+      "Check->Idle(good)");
+  cb.addTransition(
+      sCheck, sIdle, cValid,
+      {ChartAssign{bad, expr::addE(cb.varRef(bad), expr::cInt(1))}},
+      "Check->Idle(bad)");
+  cb.addTransition(sDown, sIdle, cLink);
+
+  cb.exposeOutput(good);
+  cb.exposeOutput(bad);
+  cb.exposeActiveState();
+  auto outs = m.addChart("parser_chart", cb.build(),
+                         {byte, valid, myAddr, linkUp});
+  auto goodFrames = outs[0], badFrames = outs[1], parserState = outs[2];
+
+  // --- Link-quality supervision. ------------------------------------------
+  auto errThresh = m.addCompareToConst("errors_high", badFrames,
+                                       model::RelOp::kGe, 5.0);
+  auto anyGood =
+      m.addCompareToConst("any_good", goodFrames, model::RelOp::kGt, 0.0);
+  auto degraded = m.addLogical("degraded", model::LogicOp::kAnd,
+                               {errThresh, anyGood});
+  auto one = m.addConstant("one", Scalar::i(1));
+  auto zero = m.addConstant("zero", Scalar::i(0));
+  auto two = m.addConstant("two", Scalar::i(2));
+  auto healthInner = m.addSwitch("health_inner", two, degraded, zero,
+                                 model::SwitchCriteria::kNotZero, 0.0);
+  auto errOnly = m.addCompareToConst("errors_fatal", badFrames,
+                                     model::RelOp::kGe, 10.0);
+  auto health = m.addSwitch("health", one, errOnly, healthInner,
+                            model::SwitchCriteria::kNotZero, 0.0);
+
+  // Idle watchdog: consecutive invalid-byte steps while parsing.
+  auto parsing = m.addCompareToConst("parsing", parserState,
+                                     model::RelOp::kGt, 0.0);
+  auto notValid = m.addLogical("no_byte", model::LogicOp::kNot, {valid});
+  auto stalled =
+      m.addLogical("stalled", model::LogicOp::kAnd, {parsing, notValid});
+  auto stallCnt = m.addUnitDelayHole("stall_count", Scalar::i(0));
+  auto stallInc = m.addSum("stall_inc", {stallCnt, one}, "++");
+  auto stallNext = m.addSwitch("stall_next", stallInc, stalled, zero,
+                               model::SwitchCriteria::kNotZero, 0.0);
+  auto stallSat = m.addSaturation("stall_sat", stallNext, 0, 1000);
+  m.bindDelayInput(stallCnt, stallSat);
+  auto timeout =
+      m.addCompareToConst("rx_timeout", stallCnt, model::RelOp::kGt, 8.0);
+
+  m.addOutport("good_frames", goodFrames);
+  m.addOutport("bad_frames", badFrames);
+  m.addOutport("parser_state", parserState);
+  m.addOutport("link_health", health);
+  m.addOutport("rx_timeout", timeout);
+  return m;
+}
+
+}  // namespace stcg::bench

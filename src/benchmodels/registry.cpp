@@ -1,0 +1,29 @@
+#include "benchmodels/benchmodels.h"
+
+#include <stdexcept>
+
+namespace stcg::bench {
+
+const std::vector<BenchModelInfo>& allBenchModels() {
+  static const std::vector<BenchModelInfo> kModels = {
+      {"CPUTask", "AutoSAR CPU task dispatch system", 107, 275, buildCpuTask},
+      {"AFC", "Engine air-fuel control system", 35, 125, buildAfc},
+      {"TWC", "Train wheel speed controller", 80, 214, buildTwc},
+      {"NICProtocol", "Vehicle NIC communication protocol", 46, 294,
+       buildNicProtocol},
+      {"UTPC", "Underwater thruster power control", 92, 214, buildUtpc},
+      {"LANSwitch", "LAN Switch controller", 131, 570, buildLanSwitch},
+      {"LEDLC", "LED matrix load control", 94, 270, buildLedlc},
+      {"TCP", "TCP three-way handshake protocol", 146, 330, buildTcp},
+  };
+  return kModels;
+}
+
+model::Model buildBenchModel(const std::string& name) {
+  for (const auto& info : allBenchModels()) {
+    if (info.name == name) return info.build();
+  }
+  throw std::out_of_range("unknown benchmark model: " + name);
+}
+
+}  // namespace stcg::bench

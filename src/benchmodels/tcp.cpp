@@ -1,0 +1,238 @@
+// TCP: three-way handshake protocol endpoint (paper Table II).
+//
+// A full TCP connection state machine (both active and passive open, data
+// transfer accounting, and the four-way close) driven by application
+// events and incoming segments. Sequence-number bookkeeping (iss, rcv_nxt,
+// snd_nxt) makes the interesting guards — "ack == snd_nxt", "seq ==
+// rcv_nxt" — equalities against values the endpoint chose in earlier
+// steps, the paper's exemplar of why state-aware one-step solving wins
+// ("STCG can obtain the various handshake states ... it is easy to solve
+// the relevant branches of the second or the third handshake based on the
+// existing handshake states").
+#include "benchmodels/benchmodels.h"
+#include "benchmodels/helpers.h"
+#include "expr/builder.h"
+
+namespace stcg::bench {
+
+using expr::Scalar;
+using expr::Type;
+using model::ChartAssign;
+using model::ChartBuilder;
+using model::Model;
+using model::PortRef;
+
+model::Model buildTcp() {
+  Model m("TCP");
+
+  // Application events: 0 none, 1 passive open, 2 active open, 3 send,
+  // 4 close, 5 abort.
+  auto appEv = m.addInport("app_event", Type::kInt, 0, 5);
+  auto pktValid = m.addInport("pkt_valid", Type::kBool, 0, 1);
+  auto pktFlags = m.addInport("pkt_flags", Type::kInt, 0, 15);  // SYN|ACK|FIN|RST
+  auto pktSeq = m.addInport("pkt_seq", Type::kInt, 0, 4095);
+  auto pktAck = m.addInport("pkt_ack", Type::kInt, 0, 4095);
+  auto pktLen = m.addInport("pkt_len", Type::kInt, 0, 7);
+
+  auto one = m.addConstant("one", Scalar::i(1));
+  auto zero = m.addConstant("zero", Scalar::i(0));
+
+  // Flag bit extraction (kept as model logic so each bit is a condition).
+  const auto bitOf = [&](const std::string& name, int bit) {
+    auto div = m.addConstant(name + "_div", Scalar::i(std::int64_t{1} << bit));
+    auto shifted = m.addProduct(name + "_shift", {pktFlags, div}, "*/");
+    auto halfC = m.addConstant(name + "_half", Scalar::i(2));
+    auto halves = m.addProduct(name + "_halves", {shifted, halfC}, "*/");
+    auto doubled = m.addGain(name + "_dbl", halves, 2.0);
+    auto rem = m.addSum(name + "_rem", {shifted, doubled}, "+-");
+    return m.addCompareToConst(name, rem, model::RelOp::kNe, 0.0);
+  };
+  auto fSyn = bitOf("flag_syn", 0);
+  auto fAck = bitOf("flag_ack", 1);
+  auto fFin = bitOf("flag_fin", 2);
+  auto fRst = bitOf("flag_rst", 3);
+
+  // --- Connection chart. ---------------------------------------------------
+  ChartBuilder cb(m, "conn");
+  auto cEv = cb.input("app_event", Type::kInt);
+  auto cValid = cb.input("pkt_valid", Type::kBool);
+  auto cSyn = cb.input("syn", Type::kBool);
+  auto cAck = cb.input("ack", Type::kBool);
+  auto cFin = cb.input("fin", Type::kBool);
+  auto cRst = cb.input("rst", Type::kBool);
+  auto cSeq = cb.input("seq", Type::kInt);
+  auto cAckNo = cb.input("ackno", Type::kInt);
+  auto cLen = cb.input("len", Type::kInt);
+
+  const int iss = cb.addVar("iss", Scalar::i(7));        // our initial seq
+  const int sndNxt = cb.addVar("snd_nxt", Scalar::i(0)); // next seq to send
+  const int rcvNxt = cb.addVar("rcv_nxt", Scalar::i(0)); // next seq expected
+  const int retries = cb.addVar("retries", Scalar::i(0));
+  const int sent = cb.addVar("segments_sent", Scalar::i(0));
+  const int rcvd = cb.addVar("segments_rcvd", Scalar::i(0));
+  const int twTimer = cb.addVar("time_wait_timer", Scalar::i(0));
+
+  const int sClosed = cb.addState("Closed");
+  const int sListen = cb.addState("Listen");
+  const int sSynSent = cb.addState("SynSent");
+  const int sSynRcvd = cb.addState("SynRcvd");
+  const int sEstab = cb.addState("Established");
+  const int sFinWait1 = cb.addState("FinWait1");
+  const int sFinWait2 = cb.addState("FinWait2");
+  const int sCloseWait = cb.addState("CloseWait");
+  const int sLastAck = cb.addState("LastAck");
+  const int sClosing = cb.addState("Closing");
+  const int sTimeWait = cb.addState("TimeWait");
+  cb.setInitialState(sClosed);
+
+  const auto evIs = [&](std::int64_t v) {
+    return expr::eqE(cEv, expr::cInt(v));
+  };
+  const auto seg = [&](const expr::ExprPtr& flagsCond) {
+    return expr::andE(cValid, flagsCond);
+  };
+  const auto modSeq = [&](expr::ExprPtr e) {
+    return expr::modE(std::move(e), expr::cInt(4096));
+  };
+  // ack acceptable: ack == snd_nxt (the handshake equality).
+  const auto ackOk = expr::eqE(cAckNo, cb.varRef(sndNxt));
+  // in-order segment: seq == rcv_nxt.
+  const auto seqOk = expr::eqE(cSeq, cb.varRef(rcvNxt));
+
+  // --- Opens. ---
+  cb.addTransition(sClosed, sListen, evIs(1), {}, "passive_open");
+  cb.addTransition(
+      sClosed, sSynSent, evIs(2),
+      {ChartAssign{sndNxt, modSeq(expr::addE(cb.varRef(iss), expr::cInt(1)))},
+       ChartAssign{retries, expr::cInt(0)}},
+      "active_open");
+
+  // --- Listen. ---
+  cb.addTransition(sListen, sClosed, evIs(4), {}, "listen_close");
+  cb.addTransition(
+      sListen, sSynRcvd, seg(expr::andE(cSyn, expr::notE(cRst))),
+      {ChartAssign{rcvNxt, modSeq(expr::addE(cSeq, expr::cInt(1)))},
+       ChartAssign{sndNxt, modSeq(expr::addE(cb.varRef(iss), expr::cInt(1)))}},
+      "rx_syn");
+
+  // --- SynSent. ---
+  cb.addTransition(sSynSent, sClosed, seg(cRst), {}, "synsent_rst");
+  cb.addTransition(
+      sSynSent, sEstab,
+      seg(expr::andE(cSyn, expr::andE(cAck, ackOk))),
+      {ChartAssign{rcvNxt, modSeq(expr::addE(cSeq, expr::cInt(1)))}},
+      "rx_synack");
+  cb.addTransition(
+      sSynSent, sSynRcvd, seg(expr::andE(cSyn, expr::notE(cAck))),
+      {ChartAssign{rcvNxt, modSeq(expr::addE(cSeq, expr::cInt(1)))}},
+      "simultaneous_open");
+  cb.addTransition(
+      sSynSent, sClosed, expr::gtE(cb.varRef(retries), expr::cInt(5)),
+      {ChartAssign{retries, expr::cInt(0)}}, "syn_timeout");
+  cb.addDuring(sSynSent, retries,
+               expr::addE(cb.varRef(retries), expr::cInt(1)));
+
+  // --- SynRcvd. ---
+  cb.addTransition(sSynRcvd, sClosed, seg(cRst), {}, "synrcvd_rst");
+  cb.addTransition(
+      sSynRcvd, sEstab, seg(expr::andE(cAck, ackOk)),
+      {ChartAssign{retries, expr::cInt(0)}}, "handshake_done");
+  cb.addTransition(sSynRcvd, sFinWait1, evIs(4), {}, "synrcvd_close");
+
+  // --- Established: data both ways, close initiation. ---
+  cb.addTransition(sEstab, sClosed, seg(cRst), {}, "estab_rst");
+  cb.addTransition(
+      sEstab, sCloseWait, seg(expr::andE(cFin, seqOk)),
+      {ChartAssign{rcvNxt, modSeq(expr::addE(cSeq, expr::cInt(1)))}},
+      "rx_fin");
+  cb.addTransition(
+      sEstab, sEstab,
+      seg(expr::andE(seqOk, expr::gtE(cLen, expr::cInt(0)))),
+      {ChartAssign{rcvNxt, modSeq(expr::addE(cSeq, cLen))},
+       ChartAssign{rcvd, expr::addE(cb.varRef(rcvd), expr::cInt(1))}},
+      "rx_data");
+  cb.addTransition(
+      sEstab, sEstab, evIs(3),
+      {ChartAssign{sndNxt, modSeq(expr::addE(cb.varRef(sndNxt), expr::cInt(1)))},
+       ChartAssign{sent, expr::addE(cb.varRef(sent), expr::cInt(1))}},
+      "tx_data");
+  cb.addTransition(
+      sEstab, sFinWait1, evIs(4),
+      {ChartAssign{sndNxt, modSeq(expr::addE(cb.varRef(sndNxt), expr::cInt(1)))}},
+      "app_close");
+
+  // --- Four-way close. ---
+  cb.addTransition(sFinWait1, sClosed, seg(cRst), {}, "fw1_rst");
+  cb.addTransition(
+      sFinWait1, sClosing, seg(expr::andE(cFin, expr::notE(cAck))),
+      {ChartAssign{rcvNxt, modSeq(expr::addE(cSeq, expr::cInt(1)))}},
+      "simultaneous_close");
+  cb.addTransition(
+      sFinWait1, sTimeWait,
+      seg(expr::andE(cFin, expr::andE(cAck, ackOk))),
+      {ChartAssign{rcvNxt, modSeq(expr::addE(cSeq, expr::cInt(1)))},
+       ChartAssign{twTimer, expr::cInt(0)}},
+      "fin_ack_fin");
+  cb.addTransition(sFinWait1, sFinWait2, seg(expr::andE(cAck, ackOk)), {},
+                   "fin_acked");
+  cb.addTransition(sFinWait2, sClosed, seg(cRst), {}, "fw2_rst");
+  cb.addTransition(
+      sFinWait2, sTimeWait, seg(expr::andE(cFin, seqOk)),
+      {ChartAssign{rcvNxt, modSeq(expr::addE(cSeq, expr::cInt(1)))},
+       ChartAssign{twTimer, expr::cInt(0)}},
+      "rx_fin_fw2");
+  cb.addTransition(
+      sCloseWait, sLastAck, evIs(4),
+      {ChartAssign{sndNxt, modSeq(expr::addE(cb.varRef(sndNxt), expr::cInt(1)))}},
+      "closewait_close");
+  cb.addTransition(sLastAck, sClosed, seg(expr::andE(cAck, ackOk)), {},
+                   "last_ack");
+  cb.addTransition(sClosing, sTimeWait, seg(expr::andE(cAck, ackOk)),
+                   {ChartAssign{twTimer, expr::cInt(0)}}, "closing_acked");
+  cb.addTransition(sTimeWait, sClosed,
+                   expr::gtE(cb.varRef(twTimer), expr::cInt(6)), {},
+                   "time_wait_done");
+  cb.addDuring(sTimeWait, twTimer,
+               expr::addE(cb.varRef(twTimer), expr::cInt(1)));
+
+  // Abort from anywhere meaningful.
+  cb.addTransition(sEstab, sClosed, evIs(5), {}, "estab_abort");
+  cb.addTransition(sSynRcvd, sClosed, evIs(5), {}, "synrcvd_abort");
+  cb.addTransition(sSynSent, sClosed, evIs(5), {}, "synsent_abort");
+
+  cb.exposeOutput(sndNxt);
+  cb.exposeOutput(rcvNxt);
+  cb.exposeOutput(sent);
+  cb.exposeOutput(rcvd);
+  cb.exposeActiveState();
+  auto outs = m.addChart("conn_chart", cb.build(),
+                         {appEv, pktValid, fSyn, fAck, fFin, fRst, pktSeq,
+                          pktAck, pktLen});
+  auto sndNxtOut = outs[0], rcvNxtOut = outs[1];
+  auto sentOut = outs[2], rcvdOut = outs[3], connState = outs[4];
+
+  // --- Derived diagnostics. ------------------------------------------------
+  auto established = m.addCompareToConst("is_established", connState,
+                                         model::RelOp::kEq, 4.0);
+  auto closingStates = m.addCompareToConst("in_teardown", connState,
+                                           model::RelOp::kGe, 5.0);
+  auto txWindow = m.addSum("tx_minus_rx", {sentOut, rcvdOut}, "+-");
+  auto unbalanced =
+      m.addCompareToConst("unbalanced", txWindow, model::RelOp::kGt, 4.0);
+  auto busy = m.addLogical("busy", model::LogicOp::kOr,
+                           {established, closingStates});
+  auto flowWarn = m.addLogical("flow_warn", model::LogicOp::kAnd,
+                               {busy, unbalanced});
+  auto warnFlag = m.addSwitch("warn_flag", one, flowWarn, zero,
+                              model::SwitchCriteria::kNotZero, 0.0);
+
+  m.addOutport("conn_state", connState);
+  m.addOutport("snd_nxt", sndNxtOut);
+  m.addOutport("rcv_nxt", rcvNxtOut);
+  m.addOutport("segments_sent", sentOut);
+  m.addOutport("segments_rcvd", rcvdOut);
+  m.addOutport("flow_warn", warnFlag);
+  return m;
+}
+
+}  // namespace stcg::bench

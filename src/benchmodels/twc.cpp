@@ -1,0 +1,194 @@
+// TWC: train wheel speed controller (paper Table II).
+//
+// Wheel-slide protection (WSP) for two axles: slip-ratio detection with
+// track-condition-dependent thresholds, an anti-slip chart per train
+// (Normal / Slip / Recovery / Locked / Failsafe) with recovery timers and
+// a slip-event odometer, brake-force shaping per state, and a sanding
+// subsystem with a consumable-sand counter. The WSP can be disabled
+// entirely, which gates the whole protection logic (an Enabled region).
+#include "benchmodels/benchmodels.h"
+#include "benchmodels/helpers.h"
+#include "expr/builder.h"
+
+namespace stcg::bench {
+
+using expr::Scalar;
+using expr::Type;
+using model::ChartAssign;
+using model::ChartBuilder;
+using model::Model;
+using model::PortRef;
+using model::RegionScope;
+
+model::Model buildTwc() {
+  Model m("TWC");
+
+  auto trainSpeed = m.addInport("train_speed", Type::kReal, 0, 300);
+  auto wheel1 = m.addInport("wheel_speed_1", Type::kReal, 0, 300);
+  auto wheel2 = m.addInport("wheel_speed_2", Type::kReal, 0, 300);
+  auto brakeCmd = m.addInport("brake_cmd", Type::kBool, 0, 1);
+  auto trackCond = m.addInport("track_cond", Type::kInt, 0, 3);
+  auto wspEnable = m.addInport("wsp_enable", Type::kBool, 0, 1);
+
+  auto one = m.addConstant("one", Scalar::i(1));
+  auto zero = m.addConstant("zero", Scalar::i(0));
+
+  // --- Track-condition-dependent slip threshold. -------------------------
+  const auto trackRegions =
+      m.addSwitchCase("track_sel", trackCond, {{0}, {1}, {2}}, true);
+  std::vector<std::pair<model::RegionId, PortRef>> thrArms;
+  {
+    RegionScope dry(m, trackRegions[0]);
+    thrArms.emplace_back(trackRegions[0],
+                         m.addConstant("thr_dry", Scalar::r(0.15)));
+  }
+  {
+    RegionScope wet(m, trackRegions[1]);
+    thrArms.emplace_back(trackRegions[1],
+                         m.addConstant("thr_wet", Scalar::r(0.10)));
+  }
+  {
+    RegionScope icy(m, trackRegions[2]);
+    thrArms.emplace_back(trackRegions[2],
+                         m.addConstant("thr_icy", Scalar::r(0.05)));
+  }
+  {
+    RegionScope dflt(m, trackRegions[3]);
+    thrArms.emplace_back(trackRegions[3],
+                         m.addConstant("thr_default", Scalar::r(0.15)));
+  }
+  auto slipThr = m.addMerge("slip_threshold", thrArms, Scalar::r(0.15));
+
+  // --- Per-axle slip ratio. ----------------------------------------------
+  const auto slipRatio = [&](const std::string& p, PortRef wheel) {
+    auto diff = m.addSum(p + "_diff", {trainSpeed, wheel}, "+-");
+    auto floor1 = m.addConstant(p + "_floor", Scalar::r(1.0));
+    auto denom =
+        m.addMinMax(p + "_denom", model::MinMaxOp::kMax, trainSpeed, floor1);
+    return m.addProduct(p + "_ratio", {diff, denom}, "*/");
+  };
+  auto ratio1 = slipRatio("ax1", wheel1);
+  auto ratio2 = slipRatio("ax2", wheel2);
+  auto slip1 = m.addRelational("ax1_slip", model::RelOp::kGt, ratio1, slipThr);
+  auto slip2 = m.addRelational("ax2_slip", model::RelOp::kGt, ratio2, slipThr);
+  auto anySlip = m.addLogical("any_slip", model::LogicOp::kOr, {slip1, slip2});
+  auto bothSlip =
+      m.addLogical("both_slip", model::LogicOp::kAnd, {slip1, slip2});
+
+  // Lock detection: wheels (nearly) stopped while the train still moves.
+  auto w1Lock = m.addCompareToConst("ax1_still", wheel1, model::RelOp::kLt, 5.0);
+  auto w2Lock = m.addCompareToConst("ax2_still", wheel2, model::RelOp::kLt, 5.0);
+  auto moving =
+      m.addCompareToConst("train_moving", trainSpeed, model::RelOp::kGt, 30.0);
+  auto locked = m.addLogical("locked", model::LogicOp::kAnd,
+                             {w1Lock, w2Lock, moving});
+
+  // --- WSP supervisory chart, inside the enable region. -------------------
+  const auto wspRegion = m.addEnabled("wsp_on", wspEnable);
+  PortRef wspState;
+  {
+    RegionScope scope(m, wspRegion);
+    ChartBuilder cb(m, "wsp");
+    auto cSlip = cb.input("any_slip", Type::kBool);
+    auto cBoth = cb.input("both_slip", Type::kBool);
+    auto cLock = cb.input("locked", Type::kBool);
+    auto cBrake = cb.input("brake_cmd", Type::kBool);
+    const int recov = cb.addVar("recovery_timer", Scalar::i(0));
+    const int events = cb.addVar("slip_events", Scalar::i(0));
+    const int sNormal = cb.addState("Normal");
+    const int sSlip = cb.addState("Slip");
+    const int sRecov = cb.addState("Recovery");
+    const int sLocked = cb.addState("Locked");
+    const int sFailsafe = cb.addState("Failsafe");
+    cb.setInitialState(sNormal);
+
+    cb.addTransition(
+        sNormal, sFailsafe,
+        expr::gtE(cb.varRef(events), expr::cInt(10)));
+    cb.addTransition(sNormal, sLocked, cLock);
+    cb.addTransition(
+        sNormal, sSlip, expr::andE(cSlip, cBrake),
+        {ChartAssign{events,
+                     expr::addE(cb.varRef(events), expr::cInt(1))}});
+    cb.addTransition(sSlip, sLocked, cLock);
+    cb.addTransition(sSlip, sRecov, expr::notE(cSlip),
+                     {ChartAssign{recov, expr::cInt(0)}});
+    cb.addTransition(
+        sSlip, sFailsafe, cBoth,
+        {ChartAssign{events,
+                     expr::addE(cb.varRef(events), expr::cInt(2))}});
+    cb.addTransition(sRecov, sSlip, cSlip);
+    cb.addTransition(sRecov, sNormal,
+                     expr::gtE(cb.varRef(recov), expr::cInt(5)));
+    cb.addDuring(sRecov, recov,
+                 expr::addE(cb.varRef(recov), expr::cInt(1)));
+    cb.addTransition(sLocked, sRecov, expr::notE(cLock),
+                     {ChartAssign{recov, expr::cInt(0)}});
+    cb.addTransition(sFailsafe, sNormal,
+                     expr::notE(cBrake),
+                     {ChartAssign{events, expr::cInt(0)}});
+    cb.exposeActiveState();
+    auto outs = m.addChart("wsp_chart", cb.build(),
+                           {anySlip, bothSlip, locked, brakeCmd});
+    wspState = outs[0];
+  }
+
+  // --- Brake force shaping. ------------------------------------------------
+  auto demandTbl = m.addLookup1D("brake_demand", trainSpeed,
+                                 {0, 50, 120, 200, 300},
+                                 {20, 45, 70, 90, 100});
+  auto zeroF = m.addConstant("zero_force", Scalar::r(0.0));
+  auto requested = m.addSwitch("requested", demandTbl, brakeCmd, zeroF,
+                               model::SwitchCriteria::kNotZero, 0.0);
+  auto slipForce = m.addGain("slip_force", requested, 0.3);
+  auto failsafeForce = m.addGain("failsafe_force", requested, 0.5);
+  // Recovery ramps force back up from the previous applied value.
+  auto applied = m.addUnitDelayHole("applied_force", Scalar::r(0.0));
+  auto rampStep = m.addConstant("ramp_step", Scalar::r(5.0));
+  auto ramped = m.addSum("ramped", {applied, rampStep}, "++");
+  auto recovForce =
+      m.addMinMax("recovery_force", model::MinMaxOp::kMin, ramped, requested);
+  auto force = m.addMultiportSwitch(
+      "force_by_state", wspState,
+      {requested, slipForce, recovForce, zeroF, failsafeForce});
+  auto forceSat = m.addSaturation("force_sat", force, 0.0, 100.0);
+  m.bindDelayInput(applied, forceSat);
+
+  // --- Sanding subsystem (consumable). -------------------------------------
+  auto inSlip =
+      m.addCompareToConst("in_slip", wspState, model::RelOp::kEq, 1.0);
+  auto slippery =
+      m.addCompareToConst("track_slippery", trackCond, model::RelOp::kGe, 1.0);
+  auto wantSand =
+      m.addLogical("want_sand", model::LogicOp::kAnd, {inSlip, slippery});
+  auto sandUsed = m.addUnitDelayHole("sand_used", Scalar::i(0));
+  auto sandLeft =
+      m.addCompareToConst("sand_left", sandUsed, model::RelOp::kLt, 50.0);
+  auto sanding =
+      m.addLogical("sanding", model::LogicOp::kAnd, {wantSand, sandLeft});
+  auto usedInc = m.addSum("sand_inc", {sandUsed, one}, "++");
+  auto usedNext = m.addSwitch("sand_next", usedInc, sanding, sandUsed,
+                              model::SwitchCriteria::kNotZero, 0.0);
+  m.bindDelayInput(sandUsed, usedNext);
+  auto sandOut = m.addSwitch("sand_out", one, sanding, zero,
+                             model::SwitchCriteria::kNotZero, 0.0);
+
+  // --- Speed category (diagnostics). --------------------------------------
+  auto catHi = m.addCompareToConst("cat_hi", trainSpeed, model::RelOp::kGt,
+                                   200.0);
+  auto catMid = m.addCompareToConst("cat_mid", trainSpeed, model::RelOp::kGt,
+                                    100.0);
+  auto two = m.addConstant("two", Scalar::i(2));
+  auto catInner = m.addSwitch("cat_inner", one, catMid, zero,
+                              model::SwitchCriteria::kNotZero, 0.0);
+  auto speedCat = m.addSwitch("speed_cat", two, catHi, catInner,
+                              model::SwitchCriteria::kNotZero, 0.0);
+
+  m.addOutport("brake_force", forceSat);
+  m.addOutport("wsp_state", wspState);
+  m.addOutport("sanding", sandOut);
+  m.addOutport("speed_category", speedCat);
+  return m;
+}
+
+}  // namespace stcg::bench

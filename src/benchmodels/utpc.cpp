@@ -1,0 +1,172 @@
+// UTPC: underwater thruster power control (paper Table II).
+//
+// Command shaping (deadband, slew-rate ramp), battery-level power limits,
+// thermal derating, an over-current debounce counter, and a protection
+// chart (Run / Derate / Overtemp / Shutdown / EStop / Leak) that gates the
+// final power output. Several protections latch and need multi-step
+// histories to trip — state-dependent branches throughout.
+#include "benchmodels/benchmodels.h"
+#include "benchmodels/helpers.h"
+#include "expr/builder.h"
+
+namespace stcg::bench {
+
+using expr::Scalar;
+using expr::Type;
+using model::ChartAssign;
+using model::ChartBuilder;
+using model::Model;
+using model::PortRef;
+using model::RegionScope;
+
+model::Model buildUtpc() {
+  Model m("UTPC");
+
+  auto cmd = m.addInport("cmd_power", Type::kReal, -100, 100);
+  auto battV = m.addInport("battery_v", Type::kReal, 30, 60);
+  auto temp = m.addInport("temp", Type::kReal, -5, 120);
+  auto estop = m.addInport("estop", Type::kBool, 0, 1);
+  auto leak = m.addInport("water_leak", Type::kBool, 0, 1);
+  auto clearFault = m.addInport("clear_fault", Type::kBool, 0, 1);
+
+  auto one = m.addConstant("one", Scalar::i(1));
+  auto zero = m.addConstant("zero", Scalar::i(0));
+  auto zeroR = m.addConstant("zero_r", Scalar::r(0.0));
+
+  // --- Command deadband and slew-rate limiting. ---------------------------
+  auto absCmd = m.addAbs("abs_cmd", cmd);
+  auto inDeadband =
+      m.addCompareToConst("in_deadband", absCmd, model::RelOp::kLt, 3.0);
+  auto shaped = m.addSwitch("deadband", zeroR, inDeadband, cmd,
+                            model::SwitchCriteria::kNotZero, 0.0);
+  auto applied = m.addUnitDelayHole("applied_cmd", Scalar::r(0.0));
+  auto delta = m.addSum("slew_delta", {shaped, applied}, "+-");
+  auto deltaSat = m.addSaturation("slew_sat", delta, -5.0, 5.0);
+  auto ramped = m.addSum("ramped_cmd", {applied, deltaSat}, "++");
+
+  // --- Battery-level power limit (case regions). --------------------------
+  auto lowBatt = m.addCompareToConst("batt_low", battV, model::RelOp::kLt, 36.0);
+  auto midBatt = m.addCompareToConst("batt_mid", battV, model::RelOp::kLt, 44.0);
+  auto two = m.addConstant("two", Scalar::i(2));
+  auto battCatInner = m.addSwitch("batt_cat_inner", one, midBatt, two,
+                                  model::SwitchCriteria::kNotZero, 0.0);
+  auto battCat = m.addSwitch("batt_cat", zero, lowBatt, battCatInner,
+                             model::SwitchCriteria::kNotZero, 0.0);
+  const auto battRegions =
+      m.addSwitchCase("batt_sel", battCat, {{0}, {1}, {2}}, false);
+  std::vector<std::pair<model::RegionId, PortRef>> limitArms;
+  {
+    RegionScope r(m, battRegions[0]);
+    limitArms.emplace_back(battRegions[0],
+                           m.addConstant("limit_low", Scalar::r(30.0)));
+  }
+  {
+    RegionScope r(m, battRegions[1]);
+    limitArms.emplace_back(battRegions[1],
+                           m.addConstant("limit_mid", Scalar::r(60.0)));
+  }
+  {
+    RegionScope r(m, battRegions[2]);
+    limitArms.emplace_back(battRegions[2],
+                           m.addConstant("limit_full", Scalar::r(100.0)));
+  }
+  auto battLimit = m.addMerge("batt_limit", limitArms, Scalar::r(30.0));
+
+  // --- Thermal derating. ----------------------------------------------------
+  auto deratingTbl = m.addLookup1D("derating", temp,
+                                   {0, 40, 60, 80, 100, 120},
+                                   {1.0, 1.0, 0.85, 0.6, 0.3, 0.0});
+  auto hotWarn = m.addCompareToConst("hot_warn", temp, model::RelOp::kGt, 60.0);
+  auto hotTrip = m.addCompareToConst("hot_trip", temp, model::RelOp::kGt, 95.0);
+
+  // --- Over-current estimate and debounce. ----------------------------------
+  auto absRamped = m.addAbs("abs_ramped", ramped);
+  auto kI = m.addGain("current_gain", absRamped, 0.8);
+  auto current = m.addProduct("current_est", {kI, battV}, "*/");
+  auto currGain = m.addGain("current_scale", current, 48.0);
+  auto overI =
+      m.addCompareToConst("over_current", currGain, model::RelOp::kGt, 70.0);
+  auto ocCnt = m.addUnitDelayHole("oc_count", Scalar::i(0));
+  auto ocInc = m.addSum("oc_inc", {ocCnt, one}, "++");
+  auto ocDecRaw = m.addSum("oc_dec", {ocCnt, one}, "+-");
+  auto ocDec = m.addSaturation("oc_dec_sat", ocDecRaw, 0, 100);
+  auto ocNext = m.addSwitch("oc_next", ocInc, overI, ocDec,
+                            model::SwitchCriteria::kNotZero, 0.0);
+  auto ocSat = m.addSaturation("oc_sat", ocNext, 0, 100);
+  m.bindDelayInput(ocCnt, ocSat);
+  auto ocTrip = m.addCompareToConst("oc_trip", ocCnt, model::RelOp::kGt, 6.0);
+
+  // --- Protection chart. ------------------------------------------------------
+  ChartBuilder cb(m, "prot");
+  auto cEstop = cb.input("estop", Type::kBool);
+  auto cLeak = cb.input("water_leak", Type::kBool);
+  auto cHotWarn = cb.input("hot_warn", Type::kBool);
+  auto cHotTrip = cb.input("hot_trip", Type::kBool);
+  auto cOcTrip = cb.input("oc_trip", Type::kBool);
+  auto cClear = cb.input("clear_fault", Type::kBool);
+  const int trips = cb.addVar("trip_count", Scalar::i(0));
+  const int cool = cb.addVar("cooldown", Scalar::i(0));
+  const int sRun = cb.addState("Run");
+  const int sDerate = cb.addState("Derate");
+  const int sOvertemp = cb.addState("Overtemp");
+  const int sShutdown = cb.addState("Shutdown");
+  const int sEstop = cb.addState("EStop");
+  const int sLeak = cb.addState("Leak");
+  cb.setInitialState(sRun);
+  const auto bumpTrips =
+      ChartAssign{trips, expr::addE(cb.varRef(trips), expr::cInt(1))};
+  cb.addTransition(sRun, sEstop, cEstop);
+  cb.addTransition(sRun, sLeak, cLeak);
+  cb.addTransition(sRun, sOvertemp, cHotTrip, {bumpTrips});
+  cb.addTransition(sRun, sShutdown, cOcTrip, {bumpTrips});
+  cb.addTransition(sRun, sDerate, cHotWarn);
+  cb.addTransition(sDerate, sEstop, cEstop);
+  cb.addTransition(sDerate, sLeak, cLeak);
+  cb.addTransition(sDerate, sOvertemp, cHotTrip, {bumpTrips});
+  cb.addTransition(sDerate, sShutdown, cOcTrip, {bumpTrips});
+  cb.addTransition(sDerate, sRun, expr::notE(cHotWarn));
+  cb.addTransition(sOvertemp, sEstop, cEstop);
+  cb.addTransition(
+      sOvertemp, sDerate,
+      expr::andE(expr::notE(cHotTrip),
+                 expr::gtE(cb.varRef(cool), expr::cInt(10))));
+  cb.addDuring(sOvertemp, cool, expr::addE(cb.varRef(cool), expr::cInt(1)));
+  cb.addTransition(sShutdown, sEstop, cEstop);
+  cb.addTransition(
+      sShutdown, sRun,
+      expr::andE(cClear, expr::leE(cb.varRef(trips), expr::cInt(3))),
+      {ChartAssign{cool, expr::cInt(0)}});
+  cb.addTransition(sEstop, sRun,
+                   expr::andE(expr::notE(cEstop), cClear),
+                   {ChartAssign{trips, expr::cInt(0)}});
+  cb.addTransition(sLeak, sEstop, cEstop);
+  cb.exposeActiveState();
+  auto protOuts = m.addChart("prot_chart", cb.build(),
+                             {estop, leak, hotWarn, hotTrip, ocTrip,
+                              clearFault});
+  auto protState = protOuts[0];
+
+  // --- Final power gate. --------------------------------------------------
+  auto derated = m.addProduct("derated_cmd", {ramped, deratingTbl}, "**");
+  auto negLimit = m.addGain("neg_limit", battLimit, -1.0);
+  auto upperClamped =
+      m.addMinMax("upper_clamp", model::MinMaxOp::kMin, derated, battLimit);
+  auto limited =
+      m.addMinMax("lower_clamp", model::MinMaxOp::kMax, upperClamped, negLimit);
+  auto halfPower = m.addGain("half_power", limited, 0.5);
+  auto power = m.addMultiportSwitch(
+      "power_by_state", protState,
+      {limited, halfPower, zeroR, zeroR, zeroR, zeroR});
+  m.bindDelayInput(applied, ramped);
+
+  auto reverse = m.addCompareToConst("reversing", power, model::RelOp::kLt, 0.0);
+
+  m.addOutport("power_out", power);
+  m.addOutport("prot_state", protState);
+  m.addOutport("current_est", currGain);
+  m.addOutport("reversing", reverse);
+  m.addOutport("batt_category", battCat);
+  return m;
+}
+
+}  // namespace stcg::bench

@@ -1,0 +1,30 @@
+#include "compile/compiled_model.h"
+
+namespace stcg::compile {
+
+std::vector<expr::VarInfo> CompiledModel::inputInfos() const {
+  std::vector<expr::VarInfo> out;
+  out.reserve(inputs.size());
+  for (const auto& in : inputs) out.push_back(in.info);
+  return out;
+}
+
+expr::Env CompiledModel::initialStateEnv() const {
+  expr::Env env;
+  for (const auto& s : states) {
+    if (s.width == 1) {
+      env.set(s.id, s.init.scalar());
+    } else {
+      env.setArray(s.id, s.init.elems());
+    }
+  }
+  return env;
+}
+
+int CompiledModel::conditionCount() const {
+  int n = 0;
+  for (const auto& d : decisions) n += static_cast<int>(d.conditions.size());
+  return n;
+}
+
+}  // namespace stcg::compile

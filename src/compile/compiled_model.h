@@ -1,0 +1,109 @@
+// The compiled form of a model: pure expressions over inputs and state.
+//
+// compile() lowers a model::Model into
+//   outputs  = F(inputs, state)
+//   state'   = G(inputs, state)
+// plus the coverage structure the paper's algorithms operate on:
+//
+//   Decision — a block or construct with branching logic (paper Def. 1's
+//     container): a Switch, MultiportSwitch, If/Switch-Case/Enabled region
+//     group, or a chart transition. Each decision has mutually exclusive,
+//     exhaustive arms and an activation expression (the conjunction of the
+//     enclosing conditional-region guards: the decision only "executes" —
+//     and only counts for coverage — when its activation holds).
+//
+//   Branch — one arm of a decision (paper Def. 1's ⟨C, F, D⟩): condition C
+//     is the arm condition, parent F is the enclosing region's arm branch,
+//     depth D counts ancestor branches. pathConstraint is
+//     activation ∧ C — precisely what Algorithm 1 hands to the solver.
+//
+//   Conditions — the atomic boolean leaves of each decision's controlling
+//     expression, for Condition Coverage and MCDC.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "expr/eval.h"
+#include "expr/expr.h"
+#include "expr/scalar.h"
+
+namespace stcg::compile {
+
+struct InputVar {
+  expr::VarInfo info;           // id, name, type, domain
+  expr::ExprPtr leaf;           // the kVar node
+};
+
+struct StateVar {
+  expr::VarId id = -1;
+  std::string name;             // full path, e.g. "CPUTask/queue_ids"
+  expr::Type type = expr::Type::kReal;
+  int width = 1;                // 1 = scalar state, >1 = array state
+  expr::Value init;
+  expr::ExprPtr leaf;           // kVar (width 1) or kVarArray node
+  expr::ExprPtr next;           // next-state expression
+};
+
+enum class DecisionKind {
+  kSwitch,
+  kMultiportSwitch,
+  kRegionGroup,     // If / Switch-Case / Enabled region arms
+  kChartTransition,
+};
+
+struct Decision {
+  int id = -1;
+  DecisionKind kind = DecisionKind::kSwitch;
+  std::string name;
+  expr::ExprPtr activation;                // true at root level
+  std::vector<expr::ExprPtr> armConds;     // mutually exclusive + exhaustive
+  std::vector<std::string> armLabels;
+  std::vector<expr::ExprPtr> conditions;   // atomic conditions
+  int parentBranch = -1;                   // enclosing arm branch or -1
+  int depth = 0;                           // ancestor branch count
+  /// True for two-arm boolean decisions, where MCDC applies.
+  [[nodiscard]] bool isBooleanDecision() const { return armConds.size() == 2; }
+};
+
+struct Branch {
+  int id = -1;
+  int decision = -1;
+  int arm = 0;
+  std::string label;
+  int parentBranch = -1;
+  int depth = 0;
+  expr::ExprPtr pathConstraint;  // activation ∧ own condition (ancestors
+                                 // are folded into activation recursively)
+};
+
+/// A custom test objective: satisfied by any step where the owning
+/// region chain is active and the condition holds.
+struct Objective {
+  int id = -1;
+  std::string name;
+  expr::ExprPtr activation;
+  expr::ExprPtr cond;
+};
+
+struct CompiledModel {
+  std::string name;
+  std::vector<InputVar> inputs;
+  std::vector<StateVar> states;
+  std::vector<std::pair<std::string, expr::ExprPtr>> outputs;
+  std::vector<Decision> decisions;
+  std::vector<Branch> branches;
+  std::vector<Objective> objectives;
+  int blockCount = 0;
+
+  /// VarInfo list for the solver (all inputs).
+  [[nodiscard]] std::vector<expr::VarInfo> inputInfos() const;
+
+  /// Environment binding every state leaf to its initial value.
+  [[nodiscard]] expr::Env initialStateEnv() const;
+
+  /// Total number of atomic conditions across decisions.
+  [[nodiscard]] int conditionCount() const;
+};
+
+}  // namespace stcg::compile

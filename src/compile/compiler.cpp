@@ -1,0 +1,900 @@
+#include "compile/compiler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "expr/atoms.h"
+#include "expr/builder.h"
+#include "expr/subst.h"
+#include "util/strings.h"
+
+namespace stcg::compile {
+
+using expr::castE;
+using expr::cBool;
+using expr::cInt;
+using expr::cReal;
+using expr::cScalar;
+using expr::ExprPtr;
+using expr::Scalar;
+using expr::Type;
+using model::Block;
+using model::BlockId;
+using model::BlockKind;
+using model::Model;
+using model::PortRef;
+using model::Region;
+using model::RegionId;
+using model::RegionKind;
+using model::RelOp;
+using model::SwitchCriteria;
+
+namespace {
+
+ExprPtr applyRelOp(RelOp op, ExprPtr a, ExprPtr b) {
+  switch (op) {
+    case RelOp::kLt: return expr::ltE(std::move(a), std::move(b));
+    case RelOp::kLe: return expr::leE(std::move(a), std::move(b));
+    case RelOp::kGt: return expr::gtE(std::move(a), std::move(b));
+    case RelOp::kGe: return expr::geE(std::move(a), std::move(b));
+    case RelOp::kEq: return expr::eqE(std::move(a), std::move(b));
+    case RelOp::kNe: return expr::neE(std::move(a), std::move(b));
+  }
+  return nullptr;
+}
+
+/// Pending non-region decision gathered during block compilation.
+struct PendingDecision {
+  DecisionKind kind;
+  std::string name;
+  RegionId region;
+  std::vector<ExprPtr> armConds;
+  std::vector<std::string> armLabels;
+  std::vector<ExprPtr> conditions;
+  ExprPtr extraActivation;  // chart transitions: active==src ∧ ¬priors
+};
+
+class Compiler {
+ public:
+  explicit Compiler(const Model& m) : m_(m), nextId_(m.varIdWatermark()) {}
+
+  CompiledModel run() {
+    const auto problems = m_.validate();
+    if (!problems.empty()) {
+      throw CompileError("model '" + m_.name() +
+                         "' failed validation: " + join(problems, "; "));
+    }
+    allocateInputs();
+    allocateState();
+    computeTopoOrder();
+    compileBlocks();
+    finalizeStateNexts();
+    buildRegionDecisions();
+    materializePendingDecisions();
+    out_.name = m_.name();
+    out_.blockCount = static_cast<int>(m_.blocks().size());
+    return std::move(out_);
+  }
+
+ private:
+  expr::VarId freshId() { return nextId_++; }
+
+  // --- Setup -------------------------------------------------------------
+
+  void allocateInputs() {
+    for (const auto& b : m_.blocks()) {
+      if (b.kind != BlockKind::kInport) continue;
+      InputVar iv;
+      iv.info.id = freshId();
+      iv.info.name = b.name;
+      iv.info.type = b.valueType;
+      iv.info.lo = b.lo;
+      iv.info.hi = b.hi;
+      iv.leaf = expr::mkVar(iv.info);
+      inportVar_[b.id] = static_cast<int>(out_.inputs.size());
+      out_.inputs.push_back(std::move(iv));
+    }
+  }
+
+  int addStateVar(const std::string& name, Type type, int width,
+                  expr::Value init) {
+    StateVar sv;
+    sv.id = freshId();
+    sv.name = name;
+    sv.type = type;
+    sv.width = width;
+    sv.init = std::move(init);
+    sv.leaf = width == 1 ? expr::mkVar(expr::VarInfo{sv.id, name, type, -1e18,
+                                                     1e18})
+                         : expr::mkVarArray(sv.id, name, type, width);
+    sv.next = sv.leaf;  // default: hold
+    out_.states.push_back(std::move(sv));
+    return static_cast<int>(out_.states.size()) - 1;
+  }
+
+  void allocateState() {
+    // Data stores first (model-level), then block state in id order.
+    for (const auto& s : m_.dataStores()) {
+      const auto init = s.width == 1
+                            ? expr::Value(s.init)
+                            : expr::Value::splat(s.init, s.width);
+      storeState_[s.index] =
+          addStateVar(m_.name() + "/" + s.name, s.type, s.width, init);
+    }
+    for (const auto& b : m_.blocks()) {
+      switch (b.kind) {
+        case BlockKind::kUnitDelay:
+          blockState_[b.id] = addStateVar(
+              m_.name() + "/" + b.name, b.scalarParam.type(), 1,
+              expr::Value(b.scalarParam));
+          break;
+        case BlockKind::kDelayLine:
+          blockState_[b.id] = addStateVar(
+              m_.name() + "/" + b.name, b.scalarParam.type(), b.intParam,
+              expr::Value::splat(b.scalarParam, b.intParam));
+          break;
+        case BlockKind::kChart: {
+          const auto& spec =
+              m_.charts()[static_cast<std::size_t>(b.chartIndex)];
+          ChartState cs;
+          cs.active = addStateVar(m_.name() + "/" + b.name + ".active",
+                                  Type::kInt, 1,
+                                  expr::Value(Scalar::i(spec.initialState)));
+          for (const auto& v : spec.vars) {
+            cs.vars.push_back(addStateVar(
+                m_.name() + "/" + b.name + "." + v.name, v.type, 1,
+                expr::Value(v.init)));
+          }
+          chartState_[b.id] = std::move(cs);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  // --- Topological order ---------------------------------------------------
+
+  [[nodiscard]] bool breaksCycle(BlockKind k) const {
+    return k == BlockKind::kUnitDelay || k == BlockKind::kDelayLine;
+  }
+
+  void computeTopoOrder() {
+    const auto& blocks = m_.blocks();
+    const std::size_t n = blocks.size();
+    std::vector<std::vector<BlockId>> succ(n);
+    std::vector<int> indeg(n, 0);
+    const auto addEdge = [&](BlockId from, BlockId to) {
+      // A self-edge is a direct algebraic loop; keeping it makes Kahn's
+      // algorithm report the cycle instead of silently dropping it.
+      succ[static_cast<std::size_t>(from)].push_back(to);
+      ++indeg[static_cast<std::size_t>(to)];
+    };
+    const auto addRegionCtrlEdges = [&](RegionId r, BlockId to) {
+      // (region ctrl signals live in ancestor regions, so from != to here)
+      for (RegionId cur = r; cur != model::kRootRegion;
+           cur = m_.region(cur).parent) {
+        const Region& reg = m_.region(cur);
+        if (reg.ctrl.valid()) addEdge(reg.ctrl.block, to);
+      }
+    };
+    for (const auto& b : blocks) {
+      for (const auto& p : b.in) {
+        const Block& src = m_.block(p.block);
+        if (!breaksCycle(src.kind)) addEdge(p.block, b.id);
+      }
+      // A block needs its whole region-guard chain resolved first.
+      addRegionCtrlEdges(b.region, b.id);
+      if (b.kind == BlockKind::kMerge) {
+        for (const auto& [armRegion, port] : b.mergeArms) {
+          (void)port;
+          addRegionCtrlEdges(armRegion, b.id);
+        }
+      }
+    }
+    std::deque<BlockId> ready;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (indeg[i] == 0) ready.push_back(static_cast<BlockId>(i));
+    }
+    // Kahn's algorithm; the ready set is kept sorted by id for stability.
+    while (!ready.empty()) {
+      std::sort(ready.begin(), ready.end());
+      const BlockId b = ready.front();
+      ready.pop_front();
+      topo_.push_back(b);
+      for (const BlockId s : succ[static_cast<std::size_t>(b)]) {
+        if (--indeg[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+      }
+    }
+    if (topo_.size() != n) {
+      throw CompileError("model '" + m_.name() +
+                         "' contains an algebraic loop (insert a UnitDelay "
+                         "to break feedback)");
+    }
+  }
+
+  // --- Region guards -------------------------------------------------------
+
+  ExprPtr guardOf(RegionId r) {
+    if (auto it = guard_.find(r); it != guard_.end()) return it->second;
+    const Region& reg = m_.region(r);
+    ExprPtr g;
+    switch (reg.kind) {
+      case RegionKind::kRoot:
+        g = cBool(true);
+        break;
+      case RegionKind::kIfArm:
+      case RegionKind::kEnabled:
+        g = castE(portExpr(reg.ctrl), Type::kBool);
+        break;
+      case RegionKind::kElseArm:
+        g = expr::notE(castE(portExpr(reg.ctrl), Type::kBool));
+        break;
+      case RegionKind::kCaseArm: {
+        std::vector<ExprPtr> eqs;
+        eqs.reserve(reg.caseValues.size());
+        for (const auto v : reg.caseValues) {
+          eqs.push_back(expr::eqE(portExpr(reg.ctrl), cInt(v)));
+        }
+        g = expr::orAll(eqs);
+        break;
+      }
+      case RegionKind::kDefaultArm: {
+        std::vector<ExprPtr> nes;
+        nes.reserve(reg.caseValues.size());
+        for (const auto v : reg.caseValues) {
+          nes.push_back(expr::neE(portExpr(reg.ctrl), cInt(v)));
+        }
+        g = expr::andAll(nes);
+        break;
+      }
+    }
+    guard_.emplace(r, g);
+    return g;
+  }
+
+  ExprPtr activationOf(RegionId r) {
+    if (auto it = activation_.find(r); it != activation_.end()) {
+      return it->second;
+    }
+    const Region& reg = m_.region(r);
+    ExprPtr a = reg.kind == RegionKind::kRoot
+                    ? cBool(true)
+                    : expr::andE(activationOf(reg.parent), guardOf(r));
+    activation_.emplace(r, a);
+    return a;
+  }
+
+  // --- Block compilation -----------------------------------------------------
+
+  ExprPtr portExpr(PortRef p) const {
+    const auto it = outExprs_.find(p.block);
+    assert(it != outExprs_.end() && "use-before-def in topological order");
+    return it->second.at(static_cast<std::size_t>(p.port));
+  }
+
+  void compileBlocks() {
+    // Data stores start at their leaves; writes thread new expressions.
+    for (const auto& s : m_.dataStores()) {
+      storeCur_[s.index] = out_.states[static_cast<std::size_t>(
+                                           storeState_[s.index])]
+                               .leaf;
+    }
+    // Delay outputs are pure functions of state, so consumers may be
+    // ordered before the delay block itself; publish them up front.
+    for (const auto& b : m_.blocks()) {
+      if (b.kind == BlockKind::kUnitDelay) {
+        outExprs_[b.id] = {
+            out_.states[static_cast<std::size_t>(blockState_[b.id])].leaf};
+      } else if (b.kind == BlockKind::kDelayLine) {
+        const StateVar& s =
+            out_.states[static_cast<std::size_t>(blockState_[b.id])];
+        outExprs_[b.id] = {expr::selectE(s.leaf, cInt(s.width - 1))};
+      }
+    }
+    for (const BlockId id : topo_) {
+      compileBlock(m_.block(id));
+    }
+    // Whatever each store expression accumulated becomes its next state.
+    for (const auto& [idx, cur] : storeCur_) {
+      out_.states[static_cast<std::size_t>(storeState_[idx])].next = cur;
+    }
+  }
+
+  void compileBlock(const Block& b) {
+    std::vector<ExprPtr> outs;
+    switch (b.kind) {
+      case BlockKind::kInport:
+        outs = {out_.inputs[static_cast<std::size_t>(inportVar_[b.id])].leaf};
+        break;
+      case BlockKind::kOutport:
+        out_.outputs.emplace_back(b.name, portExpr(b.in[0]));
+        break;
+      case BlockKind::kConstant:
+        outs = {cScalar(b.scalarParam)};
+        break;
+      case BlockKind::kConstantArray:
+        outs = {expr::cArray(b.valueType, b.arrayParam)};
+        break;
+      case BlockKind::kSum: {
+        ExprPtr acc = b.signs[0] == '-' ? expr::negE(portExpr(b.in[0]))
+                                        : portExpr(b.in[0]);
+        for (std::size_t i = 1; i < b.in.size(); ++i) {
+          acc = b.signs[i] == '-' ? expr::subE(acc, portExpr(b.in[i]))
+                                  : expr::addE(acc, portExpr(b.in[i]));
+        }
+        outs = {acc};
+        break;
+      }
+      case BlockKind::kGain:
+        outs = {expr::mulE(portExpr(b.in[0]), cReal(b.scalarParam.toReal()))};
+        break;
+      case BlockKind::kProduct: {
+        ExprPtr acc = b.signs[0] == '/'
+                          ? expr::divE(cReal(1.0), portExpr(b.in[0]))
+                          : portExpr(b.in[0]);
+        for (std::size_t i = 1; i < b.in.size(); ++i) {
+          acc = b.signs[i] == '/' ? expr::divE(acc, portExpr(b.in[i]))
+                                  : expr::mulE(acc, portExpr(b.in[i]));
+        }
+        outs = {acc};
+        break;
+      }
+      case BlockKind::kAbs:
+        outs = {expr::absE(portExpr(b.in[0]))};
+        break;
+      case BlockKind::kMod:
+        outs = {expr::modE(portExpr(b.in[0]), portExpr(b.in[1]))};
+        break;
+      case BlockKind::kMinMax: {
+        auto a = portExpr(b.in[0]);
+        auto c = portExpr(b.in[1]);
+        outs = {b.minMaxOp == model::MinMaxOp::kMin ? expr::minE(a, c)
+                                                    : expr::maxE(a, c)};
+        break;
+      }
+      case BlockKind::kSaturation: {
+        ExprPtr in = portExpr(b.in[0]);
+        const bool integral = in->type == Type::kInt &&
+                              b.lo == std::floor(b.lo) &&
+                              b.hi == std::floor(b.hi);
+        ExprPtr lo = integral ? cInt(static_cast<std::int64_t>(b.lo))
+                              : cReal(b.lo);
+        ExprPtr hi = integral ? cInt(static_cast<std::int64_t>(b.hi))
+                              : cReal(b.hi);
+        outs = {expr::minE(expr::maxE(in, lo), hi)};
+        break;
+      }
+      case BlockKind::kRelational:
+        outs = {applyRelOp(b.relOp, portExpr(b.in[0]), portExpr(b.in[1]))};
+        break;
+      case BlockKind::kLogical: {
+        using model::LogicOp;
+        if (b.logicOp == LogicOp::kNot) {
+          outs = {expr::notE(castE(portExpr(b.in[0]), Type::kBool))};
+          break;
+        }
+        ExprPtr acc = castE(portExpr(b.in[0]), Type::kBool);
+        for (std::size_t i = 1; i < b.in.size(); ++i) {
+          ExprPtr rhs = castE(portExpr(b.in[i]), Type::kBool);
+          switch (b.logicOp) {
+            case LogicOp::kAnd:
+            case LogicOp::kNand:
+              acc = expr::andE(acc, rhs);
+              break;
+            case LogicOp::kOr:
+            case LogicOp::kNor:
+              acc = expr::orE(acc, rhs);
+              break;
+            case LogicOp::kXor:
+              acc = expr::xorE(acc, rhs);
+              break;
+            default:
+              break;
+          }
+        }
+        if (b.logicOp == LogicOp::kNand || b.logicOp == LogicOp::kNor) {
+          acc = expr::notE(acc);
+        }
+        outs = {acc};
+        break;
+      }
+      case BlockKind::kSwitch: {
+        ExprPtr ctrl = portExpr(b.in[1]);
+        ExprPtr cond;
+        switch (b.criteria) {
+          case SwitchCriteria::kGreaterThan:
+            cond = expr::gtE(ctrl, cReal(b.scalarParam.toReal()));
+            break;
+          case SwitchCriteria::kGreaterEqual:
+            cond = expr::geE(ctrl, cReal(b.scalarParam.toReal()));
+            break;
+          case SwitchCriteria::kNotZero:
+            cond = castE(ctrl, Type::kBool);
+            break;
+        }
+        outs = {expr::iteE(cond, portExpr(b.in[0]), portExpr(b.in[2]))};
+        PendingDecision d;
+        d.kind = DecisionKind::kSwitch;
+        d.name = m_.name() + "/" + b.name;
+        d.region = b.region;
+        d.armConds = {cond, expr::notE(cond)};
+        d.armLabels = {"true", "false"};
+        d.conditions = expr::extractAtoms(cond);
+        pending_.push_back(std::move(d));
+        break;
+      }
+      case BlockKind::kMultiportSwitch: {
+        ExprPtr ctrl = castE(portExpr(b.in[0]), Type::kInt);
+        const int nData = static_cast<int>(b.in.size()) - 1;
+        ExprPtr acc = portExpr(b.in[static_cast<std::size_t>(nData)]);
+        PendingDecision d;
+        d.kind = DecisionKind::kMultiportSwitch;
+        d.name = m_.name() + "/" + b.name;
+        d.region = b.region;
+        std::vector<ExprPtr> nes;
+        for (int i = nData - 2; i >= 0; --i) {
+          ExprPtr eq = expr::eqE(ctrl, cInt(i));
+          acc = expr::iteE(eq, portExpr(b.in[static_cast<std::size_t>(i + 1)]),
+                           acc);
+        }
+        for (int i = 0; i < nData - 1; ++i) {
+          ExprPtr eq = expr::eqE(ctrl, cInt(i));
+          d.armConds.push_back(eq);
+          d.armLabels.push_back("port" + std::to_string(i));
+          d.conditions.push_back(eq);
+          nes.push_back(expr::neE(ctrl, cInt(i)));
+        }
+        d.armConds.push_back(expr::andAll(nes));
+        d.armLabels.push_back("port" + std::to_string(nData - 1) +
+                              "(default)");
+        outs = {acc};
+        pending_.push_back(std::move(d));
+        break;
+      }
+      case BlockKind::kUnitDelay: {
+        // The delay's input may be compiled later (it breaks cycles), so
+        // resolving the update expression is deferred to finalize.
+        const int sv = blockState_[b.id];
+        outs = {out_.states[static_cast<std::size_t>(sv)].leaf};
+        DeferredUpdate u;
+        u.stateIndex = sv;
+        u.region = b.region;
+        u.kind = DeferredUpdate::Kind::kDelay;
+        u.pendingInput = b.in[0];
+        deferred_.push_back(std::move(u));
+        break;
+      }
+      case BlockKind::kDelayLine: {
+        const int sv = blockState_[b.id];
+        const StateVar& s = out_.states[static_cast<std::size_t>(sv)];
+        outs = {expr::selectE(s.leaf, cInt(s.width - 1))};
+        DeferredUpdate u;
+        u.stateIndex = sv;
+        u.region = b.region;
+        u.kind = DeferredUpdate::Kind::kDelayLine;
+        u.pendingInput = b.in[0];
+        deferred_.push_back(std::move(u));
+        break;
+      }
+      case BlockKind::kDataStoreRead:
+        outs = {storeCur_.at(b.intParam)};
+        break;
+      case BlockKind::kDataStoreReadElem: {
+        ExprPtr cur = storeCur_.at(b.intParam);
+        if (!cur->isArray()) {
+          throw CompileError("DataStoreReadElem '" + b.name +
+                             "' on scalar store");
+        }
+        outs = {expr::selectE(cur, portExpr(b.in[0]))};
+        break;
+      }
+      case BlockKind::kDataStoreWrite: {
+        ExprPtr cur = storeCur_.at(b.intParam);
+        if (cur->isArray()) {
+          throw CompileError("DataStoreWrite '" + b.name +
+                             "' on array store (use WriteElem)");
+        }
+        ExprPtr val = castE(portExpr(b.in[0]), cur->type);
+        storeCur_[b.intParam] =
+            expr::iteE(activationOf(b.region), val, cur);
+        break;
+      }
+      case BlockKind::kDataStoreWriteElem: {
+        ExprPtr cur = storeCur_.at(b.intParam);
+        if (!cur->isArray()) {
+          throw CompileError("DataStoreWriteElem '" + b.name +
+                             "' on scalar store");
+        }
+        ExprPtr written =
+            expr::storeE(cur, portExpr(b.in[0]), portExpr(b.in[1]));
+        storeCur_[b.intParam] =
+            expr::iteE(activationOf(b.region), written, cur);
+        break;
+      }
+      case BlockKind::kLookup1D: {
+        ExprPtr x = castE(portExpr(b.in[0]), Type::kReal);
+        const auto& bp = b.breakpoints;
+        const auto& tv = b.tableValues;
+        const std::size_t n = bp.size();
+        ExprPtr acc = cReal(tv[n - 1]);
+        for (std::size_t i = n - 1; i >= 1; --i) {
+          const double x0 = bp[i - 1], x1 = bp[i];
+          const double y0 = tv[i - 1], y1 = tv[i];
+          const double slope = (y1 - y0) / (x1 - x0);
+          ExprPtr seg = expr::addE(
+              cReal(y0),
+              expr::mulE(expr::subE(x, cReal(x0)), cReal(slope)));
+          acc = expr::iteE(expr::ltE(x, cReal(x1)), seg, acc);
+        }
+        acc = expr::iteE(expr::leE(x, cReal(bp[0])), cReal(tv[0]), acc);
+        outs = {acc};
+        break;
+      }
+      case BlockKind::kMerge: {
+        ExprPtr acc = cScalar(b.scalarParam);
+        for (auto it = b.mergeArms.rbegin(); it != b.mergeArms.rend(); ++it) {
+          acc = expr::iteE(activationOf(it->first), portExpr(it->second), acc);
+        }
+        outs = {acc};
+        break;
+      }
+      case BlockKind::kChart:
+        outs = compileChart(b);
+        break;
+      case BlockKind::kTestObjective: {
+        Objective obj;
+        obj.id = static_cast<int>(out_.objectives.size());
+        obj.name = m_.name() + "/" + b.name;
+        obj.activation = activationOf(b.region);
+        obj.cond = castE(portExpr(b.in[0]), Type::kBool);
+        out_.objectives.push_back(std::move(obj));
+        break;
+      }
+    }
+    outExprs_[b.id] = std::move(outs);
+  }
+
+  std::vector<ExprPtr> compileChart(const Block& b) {
+    const auto& spec = m_.charts()[static_cast<std::size_t>(b.chartIndex)];
+    const ChartState& cs = chartState_.at(b.id);
+    const StateVar& activeSv =
+        out_.states[static_cast<std::size_t>(cs.active)];
+    const ExprPtr activeLeaf = activeSv.leaf;
+
+    // Template leaf -> actual expression mapping.
+    std::unordered_map<expr::VarId, ExprPtr> tmap;
+    for (std::size_t i = 0; i < spec.inputTemplateIds.size(); ++i) {
+      tmap[spec.inputTemplateIds[i]] = portExpr(b.in[i]);
+    }
+    for (std::size_t v = 0; v < spec.vars.size(); ++v) {
+      tmap[spec.vars[v].templateId] =
+          out_.states[static_cast<std::size_t>(cs.vars[v])].leaf;
+    }
+
+    const int numStates = static_cast<int>(spec.states.size());
+    const int numVars = static_cast<int>(spec.vars.size());
+
+    // Transitions grouped by source state, in declaration (priority) order.
+    std::vector<std::vector<std::size_t>> bySrc(
+        static_cast<std::size_t>(numStates));
+    for (std::size_t t = 0; t < spec.transitions.size(); ++t) {
+      bySrc[static_cast<std::size_t>(spec.transitions[t].from)].push_back(t);
+    }
+
+    std::vector<ExprPtr> guards(spec.transitions.size());
+    for (std::size_t t = 0; t < spec.transitions.size(); ++t) {
+      guards[t] = castE(expr::substituteExprs(spec.transitions[t].guard, tmap),
+                        Type::kBool);
+    }
+
+    // Per-state next-active and next-var expressions.
+    ExprPtr nextActive = activeLeaf;
+    std::vector<ExprPtr> nextVars(static_cast<std::size_t>(numVars));
+    for (int v = 0; v < numVars; ++v) {
+      nextVars[static_cast<std::size_t>(v)] =
+          out_.states[static_cast<std::size_t>(
+                          cs.vars[static_cast<std::size_t>(v)])]
+              .leaf;
+    }
+    for (int s = numStates - 1; s >= 0; --s) {
+      const auto& stateSpec = spec.states[static_cast<std::size_t>(s)];
+      // Defaults when no transition fires: during-actions (or hold).
+      ExprPtr stActive = cInt(s);
+      std::vector<ExprPtr> stVars(static_cast<std::size_t>(numVars));
+      for (int v = 0; v < numVars; ++v) {
+        stVars[static_cast<std::size_t>(v)] =
+            out_.states[static_cast<std::size_t>(
+                            cs.vars[static_cast<std::size_t>(v)])]
+                .leaf;
+      }
+      for (const auto& a : stateSpec.duringActions) {
+        stVars[static_cast<std::size_t>(a.varIndex)] =
+            expr::substituteExprs(a.value, tmap);
+      }
+      // Fold transitions in reverse so the first declared has priority.
+      const auto& ts = bySrc[static_cast<std::size_t>(s)];
+      for (auto it = ts.rbegin(); it != ts.rend(); ++it) {
+        const auto& tr = spec.transitions[*it];
+        const ExprPtr g = guards[*it];
+        ExprPtr trActive = cInt(tr.to);
+        std::vector<ExprPtr> trVars(static_cast<std::size_t>(numVars));
+        for (int v = 0; v < numVars; ++v) {
+          trVars[static_cast<std::size_t>(v)] =
+              out_.states[static_cast<std::size_t>(
+                              cs.vars[static_cast<std::size_t>(v)])]
+                  .leaf;
+        }
+        for (const auto& a : tr.actions) {
+          trVars[static_cast<std::size_t>(a.varIndex)] =
+              expr::substituteExprs(a.value, tmap);
+        }
+        stActive = expr::iteE(g, trActive, stActive);
+        for (int v = 0; v < numVars; ++v) {
+          stVars[static_cast<std::size_t>(v)] =
+              expr::iteE(g, trVars[static_cast<std::size_t>(v)],
+                         stVars[static_cast<std::size_t>(v)]);
+        }
+      }
+      const ExprPtr here = expr::eqE(activeLeaf, cInt(s));
+      nextActive = expr::iteE(here, stActive, nextActive);
+      for (int v = 0; v < numVars; ++v) {
+        nextVars[static_cast<std::size_t>(v)] =
+            expr::iteE(here, stVars[static_cast<std::size_t>(v)],
+                       nextVars[static_cast<std::size_t>(v)]);
+      }
+    }
+
+    // Gate by the chart's region activation and commit next-state.
+    const ExprPtr act = activationOf(b.region);
+    DeferredUpdate ua;
+    ua.stateIndex = cs.active;
+    ua.region = b.region;
+    ua.computed = nextActive;
+    deferred_.push_back(ua);
+    for (int v = 0; v < numVars; ++v) {
+      DeferredUpdate uv;
+      uv.stateIndex = cs.vars[static_cast<std::size_t>(v)];
+      uv.region = b.region;
+      uv.computed = nextVars[static_cast<std::size_t>(v)];
+      deferred_.push_back(uv);
+    }
+
+    // Transition decisions, in declaration order per source state.
+    for (int s = 0; s < numStates; ++s) {
+      ExprPtr priorsFalse = cBool(true);
+      for (const auto t : bySrc[static_cast<std::size_t>(s)]) {
+        const auto& tr = spec.transitions[t];
+        PendingDecision d;
+        d.kind = DecisionKind::kChartTransition;
+        d.name = m_.name() + "/" + b.name + "." + tr.label;
+        d.region = b.region;
+        d.extraActivation =
+            expr::andE(expr::eqE(activeLeaf, cInt(s)), priorsFalse);
+        d.armConds = {guards[t], expr::notE(guards[t])};
+        d.armLabels = {"taken", "not-taken"};
+        d.conditions = expr::extractAtoms(guards[t]);
+        pending_.push_back(std::move(d));
+        priorsFalse = expr::andE(priorsFalse, expr::notE(guards[t]));
+      }
+    }
+
+    // Outputs: updated variable values (held when the region is inactive),
+    // then optionally the updated active state.
+    std::vector<ExprPtr> outs;
+    for (const int v : spec.outputVarIndices) {
+      const ExprPtr held =
+          out_.states[static_cast<std::size_t>(
+                          cs.vars[static_cast<std::size_t>(v)])]
+              .leaf;
+      outs.push_back(
+          expr::iteE(act, nextVars[static_cast<std::size_t>(v)], held));
+    }
+    if (spec.activeStateOutput) {
+      outs.push_back(expr::iteE(act, nextActive, activeLeaf));
+    }
+    return outs;
+  }
+
+  void finalizeStateNexts() {
+    for (const auto& u : deferred_) {
+      StateVar& s = out_.states[static_cast<std::size_t>(u.stateIndex)];
+      ExprPtr computed;
+      switch (u.kind) {
+        case DeferredUpdate::Kind::kExpr:
+          computed = u.computed;
+          break;
+        case DeferredUpdate::Kind::kDelay:
+          computed = castE(portExpr(u.pendingInput), s.type);
+          break;
+        case DeferredUpdate::Kind::kDelayLine: {
+          // Shift: new[0] = input, new[i] = old[i-1].
+          ExprPtr arr = s.leaf;
+          for (int i = s.width - 1; i >= 1; --i) {
+            arr = expr::storeE(arr, cInt(i),
+                               expr::selectE(s.leaf, cInt(i - 1)));
+          }
+          computed = expr::storeE(
+              arr, cInt(0), castE(portExpr(u.pendingInput), s.type));
+          break;
+        }
+      }
+      s.next = expr::iteE(activationOf(u.region), computed, s.leaf);
+    }
+    // Data-store nexts were threaded during compilation (already gated
+    // write-by-write); nothing further to do for them.
+  }
+
+  // --- Decisions and branches ----------------------------------------------
+
+  int addBranch(int decisionId, int arm, const std::string& label,
+                int parentBranch, const ExprPtr& pathConstraint) {
+    Branch br;
+    br.id = static_cast<int>(out_.branches.size());
+    br.decision = decisionId;
+    br.arm = arm;
+    br.label = label;
+    br.parentBranch = parentBranch;
+    br.depth = parentBranch < 0
+                   ? 0
+                   : out_.branches[static_cast<std::size_t>(parentBranch)]
+                             .depth +
+                         1;
+    br.pathConstraint = pathConstraint;
+    out_.branches.push_back(br);
+    return br.id;
+  }
+
+  int parentBranchOfRegion(RegionId r) const {
+    const auto it = armBranch_.find(r);
+    return it == armBranch_.end() ? -1 : it->second;
+  }
+
+  void buildRegionDecisions() {
+    // Group regions by decision group, ascending (construction order
+    // guarantees parents precede children).
+    std::unordered_map<int, std::vector<RegionId>> groups;
+    int maxGroup = -1;
+    for (const auto& r : m_.regions()) {
+      if (r.kind == RegionKind::kRoot) continue;
+      groups[r.decisionGroup].push_back(r.id);
+      maxGroup = std::max(maxGroup, r.decisionGroup);
+    }
+    for (int g = 0; g <= maxGroup; ++g) {
+      auto it = groups.find(g);
+      if (it == groups.end()) continue;
+      auto& arms = it->second;
+      std::sort(arms.begin(), arms.end(), [&](RegionId a, RegionId b) {
+        return m_.region(a).armIndex < m_.region(b).armIndex;
+      });
+      const Region& first = m_.region(arms.front());
+      const RegionId parentRegion = first.parent;
+
+      Decision d;
+      d.id = static_cast<int>(out_.decisions.size());
+      d.kind = DecisionKind::kRegionGroup;
+      d.name = m_.name() + "/" + first.name;
+      d.activation = activationOf(parentRegion);
+      d.parentBranch = parentBranchOfRegion(parentRegion);
+      d.depth = d.parentBranch < 0
+                    ? 0
+                    : out_.branches[static_cast<std::size_t>(d.parentBranch)]
+                              .depth +
+                          1;
+      for (const RegionId arm : arms) {
+        d.armConds.push_back(guardOf(arm));
+        d.armLabels.push_back(m_.region(arm).name);
+      }
+      bool needComplement = false;
+      if (first.kind == RegionKind::kEnabled) {
+        needComplement = true;  // the "disabled" arm has no region
+      } else if (first.kind == RegionKind::kCaseArm &&
+                 m_.region(arms.back()).kind != RegionKind::kDefaultArm) {
+        needComplement = true;  // case list without a default arm
+      }
+      if (needComplement) {
+        std::vector<ExprPtr> negs;
+        negs.reserve(d.armConds.size());
+        for (const auto& c : d.armConds) negs.push_back(expr::notE(c));
+        d.armConds.push_back(expr::andAll(negs));
+        d.armLabels.push_back("(no arm)");
+      }
+      // Conditions: atoms of the real arm guards (default and implicit
+      // arms restate the same atoms), deduplicated by node identity.
+      {
+        std::unordered_set<const expr::Expr*> seenAtoms;
+        for (std::size_t i = 0; i < arms.size(); ++i) {
+          if (m_.region(arms[i]).kind == RegionKind::kDefaultArm) continue;
+          for (auto& a : expr::extractAtoms(d.armConds[i])) {
+            if (seenAtoms.insert(a.get()).second) d.conditions.push_back(a);
+          }
+        }
+      }
+      const int decisionId = d.id;
+      out_.decisions.push_back(std::move(d));
+      const Decision& placed =
+          out_.decisions[static_cast<std::size_t>(decisionId)];
+      for (std::size_t i = 0; i < placed.armConds.size(); ++i) {
+        const ExprPtr pc =
+            expr::andE(placed.activation, placed.armConds[i]);
+        const int brId = addBranch(decisionId, static_cast<int>(i),
+                                   placed.armLabels[i], placed.parentBranch,
+                                   pc);
+        if (i < arms.size()) armBranch_[arms[i]] = brId;
+      }
+    }
+  }
+
+  void materializePendingDecisions() {
+    for (auto& p : pending_) {
+      Decision d;
+      d.id = static_cast<int>(out_.decisions.size());
+      d.kind = p.kind;
+      d.name = std::move(p.name);
+      ExprPtr act = activationOf(p.region);
+      if (p.extraActivation != nullptr) {
+        act = expr::andE(act, p.extraActivation);
+      }
+      d.activation = act;
+      d.armConds = std::move(p.armConds);
+      d.armLabels = std::move(p.armLabels);
+      d.conditions = std::move(p.conditions);
+      d.parentBranch = parentBranchOfRegion(p.region);
+      d.depth = d.parentBranch < 0
+                    ? 0
+                    : out_.branches[static_cast<std::size_t>(d.parentBranch)]
+                              .depth +
+                          1;
+      const int decisionId = d.id;
+      out_.decisions.push_back(std::move(d));
+      const Decision& placed =
+          out_.decisions[static_cast<std::size_t>(decisionId)];
+      for (std::size_t i = 0; i < placed.armConds.size(); ++i) {
+        addBranch(decisionId, static_cast<int>(i), placed.armLabels[i],
+                  placed.parentBranch,
+                  expr::andE(placed.activation, placed.armConds[i]));
+      }
+    }
+  }
+
+  struct ChartState {
+    int active = -1;
+    std::vector<int> vars;
+  };
+
+  struct DeferredUpdate {
+    enum class Kind { kExpr, kDelay, kDelayLine };
+    int stateIndex = -1;
+    RegionId region = model::kRootRegion;
+    Kind kind = Kind::kExpr;
+    ExprPtr computed;       // kExpr
+    PortRef pendingInput;   // kDelay / kDelayLine
+  };
+
+  const Model& m_;
+  expr::VarId nextId_;
+  CompiledModel out_;
+
+  std::unordered_map<BlockId, int> inportVar_;
+  std::unordered_map<BlockId, int> blockState_;
+  std::unordered_map<int, int> storeState_;   // store index -> state index
+  std::unordered_map<int, ExprPtr> storeCur_; // store index -> current expr
+  std::unordered_map<BlockId, ChartState> chartState_;
+  std::unordered_map<BlockId, std::vector<ExprPtr>> outExprs_;
+  std::unordered_map<RegionId, ExprPtr> guard_, activation_;
+  std::unordered_map<RegionId, int> armBranch_;
+  std::vector<BlockId> topo_;
+  std::vector<DeferredUpdate> deferred_;
+  std::vector<PendingDecision> pending_;
+};
+
+}  // namespace
+
+CompiledModel compile(const Model& m) { return Compiler(m).run(); }
+
+}  // namespace stcg::compile

@@ -1,0 +1,41 @@
+// Model -> CompiledModel lowering.
+//
+// The compiler walks blocks in a stable topological order (stateful blocks'
+// outputs act as sources, so algebraic loops are rejected but state
+// feedback loops compile fine), producing one expression per output port.
+// Conditional-region semantics are compiled structurally:
+//   - every block's dataflow value is computed unconditionally (as in
+//     Simulink, where inactive action subsystems simply hold state and
+//     their decisions don't count);
+//   - state updates (delays, data stores, charts) inside a region are
+//     gated: next = ite(region activation, computed, held);
+//   - Merge blocks select the active arm's value;
+//   - decisions carry their activation so coverage and solving only
+//     consider them when their region chain is live.
+//
+// Data-store read/write ordering follows the topological order with ties
+// broken by block insertion order; models should wire sequential store
+// pipelines through data dependencies (all bundled benchmark models do).
+#pragma once
+
+#include <stdexcept>
+
+#include "compile/compiled_model.h"
+#include "model/model.h"
+
+namespace stcg::compile {
+
+/// Thrown when the model is structurally invalid (validate() problems,
+/// algebraic loops, type inconsistencies).
+class CompileError : public std::runtime_error {
+ public:
+  explicit CompileError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Lower `m` to its compiled form. The model is left unchanged; fresh
+/// expression-variable ids are drawn starting at `m.allocVarId()`'s next
+/// value via an internal counter, so compiled ids never collide with chart
+/// template ids.
+[[nodiscard]] CompiledModel compile(const model::Model& m);
+
+}  // namespace stcg::compile

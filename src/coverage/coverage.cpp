@@ -1,0 +1,189 @@
+#include "coverage/coverage.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace stcg::coverage {
+
+CoverageTracker::CoverageTracker(const compile::CompiledModel& cm)
+    : cm_(&cm) {
+  branchCovered_.assign(cm.branches.size(), false);
+  decisionFirstBranch_.assign(cm.decisions.size(), -1);
+  for (const auto& br : cm.branches) {
+    auto& first = decisionFirstBranch_[static_cast<std::size_t>(br.decision)];
+    if (first < 0) first = br.id;
+  }
+  condSeen_.resize(cm.decisions.size());
+  for (std::size_t d = 0; d < cm.decisions.size(); ++d) {
+    condSeen_[d].assign(cm.decisions[d].conditions.size(),
+                        std::array<bool, 2>{false, false});
+  }
+  mcdcVectors_.resize(cm.decisions.size());
+  mcdcDemonstrated_.assign(cm.decisions.size(), 0);
+  objectiveCovered_.assign(cm.objectives.size(), false);
+}
+
+int CoverageTracker::recordDecision(int decisionId, int arm) {
+  const int branchId =
+      decisionFirstBranch_.at(static_cast<std::size_t>(decisionId)) + arm;
+  auto ref = branchCovered_.at(static_cast<std::size_t>(branchId));
+  if (!ref) {
+    branchCovered_[static_cast<std::size_t>(branchId)] = true;
+    ++coveredBranches_;
+    return branchId;
+  }
+  return -1;
+}
+
+bool CoverageTracker::recordConditions(int decisionId,
+                                       const std::vector<bool>& condVals,
+                                       bool outcome) {
+  auto& seen = condSeen_.at(static_cast<std::size_t>(decisionId));
+  assert(condVals.size() == seen.size());
+  bool anyNew = false;
+  std::uint64_t mask = 0;
+  for (std::size_t i = 0; i < condVals.size(); ++i) {
+    auto& slot = seen[i][condVals[i] ? 1 : 0];
+    if (!slot) {
+      slot = true;
+      anyNew = true;
+    }
+    if (i < 64 && condVals[i]) mask |= (std::uint64_t{1} << i);
+  }
+  const auto& d = cm_->decisions[static_cast<std::size_t>(decisionId)];
+  if (!d.isBooleanDecision() || d.conditions.empty()) return anyNew;
+  auto& vectors = mcdcVectors_[static_cast<std::size_t>(decisionId)];
+  if (vectors.size() >= kMaxVectorsPerDecision) return anyNew;
+  const McdcVector v{mask, outcome};
+  if (std::find(vectors.begin(), vectors.end(), v) == vectors.end()) {
+    // Unique-cause pairing against every prior vector: a single-bit mask
+    // difference with opposite outcomes demonstrates that bit's condition.
+    auto& demo = mcdcDemonstrated_[static_cast<std::size_t>(decisionId)];
+    for (const auto& w : vectors) {
+      if (w.outcome == outcome) continue;
+      const std::uint64_t diff = w.mask ^ mask;
+      if (diff != 0 && (diff & (diff - 1)) == 0) demo |= diff;
+    }
+    vectors.push_back(v);
+    // A fresh vector may complete an MCDC pair; treat it as progress so
+    // generators emit a test case that preserves it on replay.
+    anyNew = true;
+  }
+  return anyNew;
+}
+
+bool CoverageTracker::mcdcDemonstrated(int decisionId, int cond) const {
+  if (cond >= 64) return false;
+  return (mcdcDemonstrated_.at(static_cast<std::size_t>(decisionId)) >>
+          cond) &
+         1u;
+}
+
+bool CoverageTracker::conditionSeen(int decisionId, int cond,
+                                    bool polarity) const {
+  return condSeen_.at(static_cast<std::size_t>(decisionId))
+      .at(static_cast<std::size_t>(cond))[polarity ? 1 : 0];
+}
+
+double CoverageTracker::decisionCoverage() const {
+  if (branchCovered_.empty()) return 1.0;
+  return static_cast<double>(coveredBranches_) /
+         static_cast<double>(branchCovered_.size());
+}
+
+std::pair<int, int> CoverageTracker::conditionCounts() const {
+  int seen = 0, total = 0;
+  for (const auto& dec : condSeen_) {
+    for (const auto& c : dec) {
+      total += 2;
+      seen += (c[0] ? 1 : 0) + (c[1] ? 1 : 0);
+    }
+  }
+  return {seen, total};
+}
+
+double CoverageTracker::conditionCoverage() const {
+  const auto [seen, total] = conditionCounts();
+  if (total == 0) return 1.0;
+  return static_cast<double>(seen) / static_cast<double>(total);
+}
+
+std::pair<int, int> CoverageTracker::mcdcCounts() const {
+  int demonstrated = 0, total = 0;
+  for (std::size_t d = 0; d < cm_->decisions.size(); ++d) {
+    const auto& dec = cm_->decisions[d];
+    if (!dec.isBooleanDecision() || dec.conditions.empty()) continue;
+    const std::size_t nc = std::min<std::size_t>(dec.conditions.size(), 64);
+    total += static_cast<int>(nc);
+    const std::uint64_t demo = mcdcDemonstrated_[d];
+    for (std::size_t c = 0; c < nc; ++c) {
+      if ((demo >> c) & 1u) ++demonstrated;
+    }
+  }
+  return {demonstrated, total};
+}
+
+double CoverageTracker::mcdcCoverage() const {
+  const auto [demonstrated, total] = mcdcCounts();
+  if (total == 0) return 1.0;
+  return static_cast<double>(demonstrated) / static_cast<double>(total);
+}
+
+bool CoverageTracker::recordObjective(int objectiveId) {
+  auto idx = static_cast<std::size_t>(objectiveId);
+  if (objectiveCovered_.at(idx)) return false;
+  objectiveCovered_[idx] = true;
+  return true;
+}
+
+bool CoverageTracker::objectiveCovered(int objectiveId) const {
+  return objectiveCovered_.at(static_cast<std::size_t>(objectiveId));
+}
+
+std::pair<int, int> CoverageTracker::objectiveCounts() const {
+  int met = 0;
+  for (const bool b : objectiveCovered_) met += b ? 1 : 0;
+  return {met, static_cast<int>(objectiveCovered_.size())};
+}
+
+std::vector<int> CoverageTracker::uncoveredBranches() const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < branchCovered_.size(); ++i) {
+    if (!branchCovered_[i]) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::string CoverageTracker::report() const {
+  std::string out;
+  out += "Coverage for " + cm_->name + "\n";
+  out += "  Decision:  " + formatPercent(decisionCoverage()) + " (" +
+         std::to_string(coveredBranches_) + "/" +
+         std::to_string(branchCovered_.size()) + " branches)\n";
+  const auto [cs, ct] = conditionCounts();
+  out += "  Condition: " + formatPercent(conditionCoverage()) + " (" +
+         std::to_string(cs) + "/" + std::to_string(ct) + " polarities)\n";
+  const auto [ms, mt] = mcdcCounts();
+  out += "  MCDC:      " + formatPercent(mcdcCoverage()) + " (" +
+         std::to_string(ms) + "/" + std::to_string(mt) + " conditions)\n";
+  if (const auto [met, total] = objectiveCounts(); total > 0) {
+    out += "  Objectives: " + std::to_string(met) + "/" +
+           std::to_string(total) + " met\n";
+  }
+  const auto missing = uncoveredBranches();
+  if (!missing.empty()) {
+    out += "  Uncovered branches:";
+    for (const int b : missing) {
+      const auto& br = cm_->branches[static_cast<std::size_t>(b)];
+      out += " " + cm_->decisions[static_cast<std::size_t>(br.decision)].name +
+             ":" + br.label;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace stcg::coverage

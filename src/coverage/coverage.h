@@ -1,0 +1,104 @@
+// Coverage bookkeeping: Decision, Condition, and MCDC.
+//
+// Decision Coverage  — fraction of branches (decision arms) executed.
+// Condition Coverage — fraction of atomic-condition polarities observed
+//                      while their decision was active (each condition
+//                      counts twice: once true, once false).
+// MCDC               — fraction of conditions of boolean (two-arm)
+//                      decisions whose independent effect on the outcome
+//                      was demonstrated by a unique-cause pair: two
+//                      recorded evaluations differing only in that
+//                      condition, with different decision outcomes.
+//
+// The tracker mirrors how Simulink's coverage tool scores a test suite:
+// observations accumulate across every executed step (the suite), and
+// percentages are computed over the model's static goal sets.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "compile/compiled_model.h"
+
+namespace stcg::coverage {
+
+/// One recorded evaluation of a boolean decision: the condition values
+/// (bit i = condition i) and the outcome (true = arm 0 taken).
+struct McdcVector {
+  std::uint64_t mask = 0;
+  bool outcome = false;
+
+  [[nodiscard]] bool operator==(const McdcVector& o) const {
+    return mask == o.mask && outcome == o.outcome;
+  }
+};
+
+class CoverageTracker {
+ public:
+  explicit CoverageTracker(const compile::CompiledModel& cm);
+
+  /// Record that `arm` of `decisionId` executed. Returns the branch id if
+  /// this arm was newly covered, -1 otherwise.
+  int recordDecision(int decisionId, int arm);
+
+  /// Record the condition values of an *active* decision evaluation.
+  /// `condVals[i]` is condition i's value; `outcome` is arm==0 for
+  /// boolean decisions (ignored otherwise). Returns true if any condition
+  /// polarity was observed for the first time.
+  bool recordConditions(int decisionId, const std::vector<bool>& condVals,
+                        bool outcome);
+
+  [[nodiscard]] bool branchCovered(int branchId) const {
+    return branchCovered_.at(static_cast<std::size_t>(branchId));
+  }
+  [[nodiscard]] bool conditionSeen(int decisionId, int cond,
+                                   bool polarity) const;
+
+  /// Whether condition `cond` of boolean decision `decisionId` has a
+  /// recorded unique-cause pair (its MCDC obligation is met).
+  [[nodiscard]] bool mcdcDemonstrated(int decisionId, int cond) const;
+
+  /// Custom test objectives. recordObjective returns true when newly met.
+  bool recordObjective(int objectiveId);
+  [[nodiscard]] bool objectiveCovered(int objectiveId) const;
+  [[nodiscard]] std::pair<int, int> objectiveCounts() const;
+
+  [[nodiscard]] int coveredBranchCount() const { return coveredBranches_; }
+  [[nodiscard]] int totalBranchCount() const {
+    return static_cast<int>(branchCovered_.size());
+  }
+
+  /// Percentages in [0, 1]. Empty goal sets count as fully covered.
+  [[nodiscard]] double decisionCoverage() const;
+  [[nodiscard]] double conditionCoverage() const;
+  [[nodiscard]] double mcdcCoverage() const;
+
+  /// Number of MCDC-demonstrated conditions and the MCDC goal count.
+  [[nodiscard]] std::pair<int, int> mcdcCounts() const;
+  [[nodiscard]] std::pair<int, int> conditionCounts() const;
+
+  /// Branch ids that remain uncovered (for dead-logic reporting).
+  [[nodiscard]] std::vector<int> uncoveredBranches() const;
+
+  /// Multi-line human-readable summary.
+  [[nodiscard]] std::string report() const;
+
+ private:
+  const compile::CompiledModel* cm_;
+  std::vector<bool> branchCovered_;
+  int coveredBranches_ = 0;
+  std::vector<int> decisionFirstBranch_;
+  // Condition polarity bitsets, indexed [decision][condition][polarity].
+  std::vector<std::vector<std::array<bool, 2>>> condSeen_;
+  // Recorded MCDC vectors per boolean decision (bounded), plus an
+  // incrementally-maintained bitmask of demonstrated conditions.
+  std::vector<std::vector<McdcVector>> mcdcVectors_;
+  std::vector<std::uint64_t> mcdcDemonstrated_;
+  std::vector<bool> objectiveCovered_;
+  static constexpr std::size_t kMaxVectorsPerDecision = 512;
+};
+
+}  // namespace stcg::coverage

@@ -1,0 +1,62 @@
+#include "expr/atoms.h"
+
+#include <unordered_set>
+
+namespace stcg::expr {
+
+bool isAtom(const ExprPtr& e) {
+  if (e->type != Type::kBool) return false;
+  switch (e->op) {
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kNot:
+    case Op::kIte:
+      return false;
+    case Op::kConst:
+      return false;  // constants are not conditions
+    default:
+      return true;
+  }
+}
+
+namespace {
+
+void extractRec(const ExprPtr& e, std::unordered_set<const Expr*>& seen,
+                std::vector<ExprPtr>& out) {
+  if (!seen.insert(e.get()).second) return;
+  switch (e->op) {
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+      extractRec(e->args[0], seen, out);
+      extractRec(e->args[1], seen, out);
+      return;
+    case Op::kNot:
+      extractRec(e->args[0], seen, out);
+      return;
+    case Op::kIte:
+      // A boolean ITE contributes its condition and both branches.
+      if (e->type == Type::kBool) {
+        extractRec(e->args[0], seen, out);
+        extractRec(e->args[1], seen, out);
+        extractRec(e->args[2], seen, out);
+        return;
+      }
+      break;
+    default:
+      break;
+  }
+  if (isAtom(e)) out.push_back(e);
+}
+
+}  // namespace
+
+std::vector<ExprPtr> extractAtoms(const ExprPtr& e) {
+  std::unordered_set<const Expr*> seen;
+  std::vector<ExprPtr> out;
+  extractRec(e, seen, out);
+  return out;
+}
+
+}  // namespace stcg::expr

@@ -1,0 +1,26 @@
+// Atomic-condition extraction for Condition Coverage and MCDC.
+//
+// Following Simulink coverage semantics, the "conditions" of a decision are
+// the maximal boolean subexpressions that are not themselves built from
+// logical connectives: relational operators, boolean variables, and boolean
+// casts of numeric expressions. A decision such as
+//     (a > 3 && !(b == c)) || enable
+// has atoms {a > 3, b == c, enable}.
+#pragma once
+
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace stcg::expr {
+
+/// Extract the distinct atomic conditions of boolean expression `e`,
+/// in left-to-right first-occurrence order. Duplicate subtrees (by pointer
+/// identity or structural equality of relational leaves) appear once.
+[[nodiscard]] std::vector<ExprPtr> extractAtoms(const ExprPtr& e);
+
+/// True if `e` is an atomic boolean condition (no logical connectives
+/// at its root).
+[[nodiscard]] bool isAtom(const ExprPtr& e);
+
+}  // namespace stcg::expr

@@ -1,0 +1,379 @@
+#include "expr/builder.h"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace stcg::expr {
+
+namespace {
+
+ExprPtr makeNode(Op op, Type type, int arraySize, std::vector<ExprPtr> args) {
+  auto n = std::make_shared<Expr>();
+  n->op = op;
+  n->type = type;
+  n->arraySize = arraySize;
+  n->args = std::move(args);
+  return n;
+}
+
+bool isConstTrue(const ExprPtr& e) {
+  return e->op == Op::kConst && e->constVal.toBool();
+}
+bool isConstFalse(const ExprPtr& e) {
+  return e->op == Op::kConst && !e->constVal.toBool();
+}
+
+/// Clamp an array index into range; keeps select/store total.
+std::int64_t clampIndex(std::int64_t i, int size) {
+  if (i < 0) return 0;
+  if (i >= size) return size - 1;
+  return i;
+}
+
+}  // namespace
+
+Type promote(Type a, Type b) {
+  if (a == Type::kReal || b == Type::kReal) return Type::kReal;
+  return Type::kInt;
+}
+
+Scalar applyUnary(Op op, Type resultType, const Scalar& a) {
+  switch (op) {
+    case Op::kNot:
+      return Scalar::b(!a.toBool());
+    case Op::kNeg:
+      if (resultType == Type::kReal) return Scalar::r(-a.toReal());
+      return Scalar::i(-a.toInt());
+    case Op::kAbs:
+      if (resultType == Type::kReal) return Scalar::r(std::fabs(a.toReal()));
+      return Scalar::i(a.toInt() < 0 ? -a.toInt() : a.toInt());
+    case Op::kCast:
+      return a.castTo(resultType);
+    default:
+      assert(false && "not a unary op");
+      return a;
+  }
+}
+
+Scalar applyBinary(Op op, const Scalar& a, const Scalar& b) {
+  const Type nt = promote(a.type() == Type::kBool ? Type::kInt : a.type(),
+                          b.type() == Type::kBool ? Type::kInt : b.type());
+  const bool real = nt == Type::kReal;
+  switch (op) {
+    case Op::kAdd:
+      return real ? Scalar::r(a.toReal() + b.toReal())
+                  : Scalar::i(a.toInt() + b.toInt());
+    case Op::kSub:
+      return real ? Scalar::r(a.toReal() - b.toReal())
+                  : Scalar::i(a.toInt() - b.toInt());
+    case Op::kMul:
+      return real ? Scalar::r(a.toReal() * b.toReal())
+                  : Scalar::i(a.toInt() * b.toInt());
+    case Op::kDiv:
+      if (real) {
+        const double d = b.toReal();
+        return Scalar::r(d == 0.0 ? 0.0 : a.toReal() / d);
+      } else {
+        const std::int64_t d = b.toInt();
+        return Scalar::i(d == 0 ? 0 : a.toInt() / d);
+      }
+    case Op::kMod: {
+      const std::int64_t d = b.toInt();
+      return Scalar::i(d == 0 ? 0 : a.toInt() % d);
+    }
+    case Op::kMin:
+      return real ? Scalar::r(std::fmin(a.toReal(), b.toReal()))
+                  : Scalar::i(std::min(a.toInt(), b.toInt()));
+    case Op::kMax:
+      return real ? Scalar::r(std::fmax(a.toReal(), b.toReal()))
+                  : Scalar::i(std::max(a.toInt(), b.toInt()));
+    case Op::kLt:
+      return Scalar::b(a.toReal() < b.toReal());
+    case Op::kLe:
+      return Scalar::b(a.toReal() <= b.toReal());
+    case Op::kGt:
+      return Scalar::b(a.toReal() > b.toReal());
+    case Op::kGe:
+      return Scalar::b(a.toReal() >= b.toReal());
+    case Op::kEq:
+      return Scalar::b(a.toReal() == b.toReal());
+    case Op::kNe:
+      return Scalar::b(a.toReal() != b.toReal());
+    case Op::kAnd:
+      return Scalar::b(a.toBool() && b.toBool());
+    case Op::kOr:
+      return Scalar::b(a.toBool() || b.toBool());
+    case Op::kXor:
+      return Scalar::b(a.toBool() != b.toBool());
+    default:
+      assert(false && "not a binary op");
+      return a;
+  }
+}
+
+ExprPtr cBool(bool v) { return cScalar(Scalar::b(v)); }
+ExprPtr cInt(std::int64_t v) { return cScalar(Scalar::i(v)); }
+ExprPtr cReal(double v) { return cScalar(Scalar::r(v)); }
+
+ExprPtr cScalar(Scalar v) {
+  auto n = std::make_shared<Expr>();
+  n->op = Op::kConst;
+  n->type = v.type();
+  n->arraySize = 0;
+  n->constVal = v;
+  return n;
+}
+
+ExprPtr cArray(Type elemType, std::vector<Scalar> elems) {
+  assert(!elems.empty());
+  auto n = std::make_shared<Expr>();
+  n->op = Op::kConstArray;
+  n->type = elemType;
+  n->arraySize = static_cast<int>(elems.size());
+  for (auto& e : elems) e = e.castTo(elemType);
+  n->constArray = std::move(elems);
+  return n;
+}
+
+ExprPtr mkVarArray(VarId id, const std::string& name, Type elemType,
+                   int size) {
+  assert(id >= 0 && size > 0);
+  auto n = std::make_shared<Expr>();
+  n->op = Op::kVarArray;
+  n->type = elemType;
+  n->arraySize = size;
+  n->var = id;
+  n->varName = name;
+  return n;
+}
+
+ExprPtr mkVar(const VarInfo& info) {
+  assert(info.id >= 0);
+  auto n = std::make_shared<Expr>();
+  n->op = Op::kVar;
+  n->type = info.type;
+  n->arraySize = 0;
+  n->var = info.id;
+  n->varName = info.name;
+  n->varLo = info.lo;
+  n->varHi = info.hi;
+  return n;
+}
+
+namespace {
+
+ExprPtr unary(Op op, Type type, ExprPtr a) {
+  if (a->op == Op::kConst) return cScalar(applyUnary(op, type, a->constVal));
+  return makeNode(op, type, 0, {std::move(a)});
+}
+
+ExprPtr binary(Op op, Type type, ExprPtr a, ExprPtr b) {
+  if (a->op == Op::kConst && b->op == Op::kConst) {
+    return cScalar(applyBinary(op, a->constVal, b->constVal).castTo(type));
+  }
+  return makeNode(op, type, 0, {std::move(a), std::move(b)});
+}
+
+bool isConstZero(const ExprPtr& e) {
+  return e->op == Op::kConst && e->constVal.toReal() == 0.0;
+}
+bool isConstOne(const ExprPtr& e) {
+  return e->op == Op::kConst && e->constVal.toReal() == 1.0;
+}
+
+}  // namespace
+
+ExprPtr notE(ExprPtr a) {
+  if (a->op == Op::kNot) return a->args[0];  // double negation
+  return unary(Op::kNot, Type::kBool, std::move(a));
+}
+
+ExprPtr negE(ExprPtr a) {
+  const Type t = a->type == Type::kBool ? Type::kInt : a->type;
+  return unary(Op::kNeg, t, std::move(a));
+}
+
+ExprPtr absE(ExprPtr a) {
+  const Type t = a->type == Type::kBool ? Type::kInt : a->type;
+  return unary(Op::kAbs, t, std::move(a));
+}
+
+ExprPtr castE(ExprPtr a, Type to) {
+  if (a->type == to) return a;
+  return unary(Op::kCast, to, std::move(a));
+}
+
+ExprPtr addE(ExprPtr a, ExprPtr b) {
+  const Type t = promote(a->type == Type::kBool ? Type::kInt : a->type,
+                         b->type == Type::kBool ? Type::kInt : b->type);
+  if (isConstZero(a)) return castE(std::move(b), t);
+  if (isConstZero(b)) return castE(std::move(a), t);
+  return binary(Op::kAdd, t, std::move(a), std::move(b));
+}
+
+ExprPtr subE(ExprPtr a, ExprPtr b) {
+  const Type t = promote(a->type == Type::kBool ? Type::kInt : a->type,
+                         b->type == Type::kBool ? Type::kInt : b->type);
+  if (isConstZero(b)) return castE(std::move(a), t);
+  return binary(Op::kSub, t, std::move(a), std::move(b));
+}
+
+ExprPtr mulE(ExprPtr a, ExprPtr b) {
+  const Type t = promote(a->type == Type::kBool ? Type::kInt : a->type,
+                         b->type == Type::kBool ? Type::kInt : b->type);
+  if (isConstZero(a)) return castE(std::move(a), t);
+  if (isConstZero(b)) return castE(std::move(b), t);
+  if (isConstOne(a)) return castE(std::move(b), t);
+  if (isConstOne(b)) return castE(std::move(a), t);
+  return binary(Op::kMul, t, std::move(a), std::move(b));
+}
+
+ExprPtr divE(ExprPtr a, ExprPtr b) {
+  const Type t = promote(a->type == Type::kBool ? Type::kInt : a->type,
+                         b->type == Type::kBool ? Type::kInt : b->type);
+  if (isConstOne(b)) return castE(std::move(a), t);
+  return binary(Op::kDiv, t, std::move(a), std::move(b));
+}
+
+ExprPtr modE(ExprPtr a, ExprPtr b) {
+  return binary(Op::kMod, Type::kInt, std::move(a), std::move(b));
+}
+
+ExprPtr minE(ExprPtr a, ExprPtr b) {
+  const Type t = promote(a->type == Type::kBool ? Type::kInt : a->type,
+                         b->type == Type::kBool ? Type::kInt : b->type);
+  return binary(Op::kMin, t, std::move(a), std::move(b));
+}
+
+ExprPtr maxE(ExprPtr a, ExprPtr b) {
+  const Type t = promote(a->type == Type::kBool ? Type::kInt : a->type,
+                         b->type == Type::kBool ? Type::kInt : b->type);
+  return binary(Op::kMax, t, std::move(a), std::move(b));
+}
+
+ExprPtr ltE(ExprPtr a, ExprPtr b) {
+  return binary(Op::kLt, Type::kBool, std::move(a), std::move(b));
+}
+ExprPtr leE(ExprPtr a, ExprPtr b) {
+  return binary(Op::kLe, Type::kBool, std::move(a), std::move(b));
+}
+ExprPtr gtE(ExprPtr a, ExprPtr b) {
+  return binary(Op::kGt, Type::kBool, std::move(a), std::move(b));
+}
+ExprPtr geE(ExprPtr a, ExprPtr b) {
+  return binary(Op::kGe, Type::kBool, std::move(a), std::move(b));
+}
+ExprPtr eqE(ExprPtr a, ExprPtr b) {
+  if (a.get() == b.get()) return cBool(true);
+  return binary(Op::kEq, Type::kBool, std::move(a), std::move(b));
+}
+ExprPtr neE(ExprPtr a, ExprPtr b) {
+  if (a.get() == b.get()) return cBool(false);
+  return binary(Op::kNe, Type::kBool, std::move(a), std::move(b));
+}
+
+ExprPtr andE(ExprPtr a, ExprPtr b) {
+  a = castE(std::move(a), Type::kBool);
+  b = castE(std::move(b), Type::kBool);
+  if (isConstFalse(a) || isConstTrue(b)) return a;
+  if (isConstFalse(b) || isConstTrue(a)) return b;
+  return binary(Op::kAnd, Type::kBool, std::move(a), std::move(b));
+}
+
+ExprPtr orE(ExprPtr a, ExprPtr b) {
+  a = castE(std::move(a), Type::kBool);
+  b = castE(std::move(b), Type::kBool);
+  if (isConstTrue(a) || isConstFalse(b)) return a;
+  if (isConstTrue(b) || isConstFalse(a)) return b;
+  return binary(Op::kOr, Type::kBool, std::move(a), std::move(b));
+}
+
+ExprPtr xorE(ExprPtr a, ExprPtr b) {
+  a = castE(std::move(a), Type::kBool);
+  b = castE(std::move(b), Type::kBool);
+  return binary(Op::kXor, Type::kBool, std::move(a), std::move(b));
+}
+
+ExprPtr andAll(const std::vector<ExprPtr>& xs) {
+  ExprPtr acc = cBool(true);
+  for (const auto& x : xs) acc = andE(acc, x);
+  return acc;
+}
+
+ExprPtr orAll(const std::vector<ExprPtr>& xs) {
+  ExprPtr acc = cBool(false);
+  for (const auto& x : xs) acc = orE(acc, x);
+  return acc;
+}
+
+ExprPtr iteE(ExprPtr cond, ExprPtr thenE, ExprPtr elseE) {
+  cond = castE(std::move(cond), Type::kBool);
+  if (isConstTrue(cond)) return thenE;
+  if (isConstFalse(cond)) return elseE;
+  if (thenE.get() == elseE.get()) return thenE;
+
+  assert(thenE->isArray() == elseE->isArray());
+  if (thenE->isArray()) {
+    assert(thenE->arraySize == elseE->arraySize);
+    assert(thenE->type == elseE->type);
+    const int size = thenE->arraySize;
+    const Type t = thenE->type;
+    return makeNode(Op::kIte, t, size,
+                    {std::move(cond), std::move(thenE), std::move(elseE)});
+  }
+  const Type t = thenE->type == elseE->type
+                     ? thenE->type
+                     : promote(thenE->type == Type::kBool ? Type::kInt
+                                                          : thenE->type,
+                               elseE->type == Type::kBool ? Type::kInt
+                                                          : elseE->type);
+  thenE = castE(std::move(thenE), t);
+  elseE = castE(std::move(elseE), t);
+  // Both branches may have folded to the same constant after the casts.
+  if (thenE->op == Op::kConst && elseE->op == Op::kConst &&
+      thenE->constVal == elseE->constVal) {
+    return thenE;
+  }
+  return makeNode(Op::kIte, t, 0,
+                  {std::move(cond), std::move(thenE), std::move(elseE)});
+}
+
+ExprPtr selectE(ExprPtr array, ExprPtr index) {
+  assert(array->isArray());
+  index = castE(std::move(index), Type::kInt);
+  if (array->op == Op::kConstArray && index->op == Op::kConst) {
+    const auto i = clampIndex(index->constVal.toInt(), array->arraySize);
+    return cScalar(array->constArray[static_cast<std::size_t>(i)]);
+  }
+  // select(store(a, i, v), j): fold when i and j are both constant.
+  if (array->op == Op::kStore && index->op == Op::kConst &&
+      array->args[1]->op == Op::kConst) {
+    const auto i =
+        clampIndex(array->args[1]->constVal.toInt(), array->arraySize);
+    const auto j = clampIndex(index->constVal.toInt(), array->arraySize);
+    if (i == j) return array->args[2];
+    return selectE(array->args[0], std::move(index));
+  }
+  const Type t = array->type;
+  return makeNode(Op::kSelect, t, 0, {std::move(array), std::move(index)});
+}
+
+ExprPtr storeE(ExprPtr array, ExprPtr index, ExprPtr value) {
+  assert(array->isArray());
+  index = castE(std::move(index), Type::kInt);
+  value = castE(std::move(value), array->type);
+  if (array->op == Op::kConstArray && index->op == Op::kConst &&
+      value->op == Op::kConst) {
+    auto elems = array->constArray;
+    const auto i = clampIndex(index->constVal.toInt(), array->arraySize);
+    elems[static_cast<std::size_t>(i)] = value->constVal;
+    return cArray(array->type, std::move(elems));
+  }
+  const Type t = array->type;
+  const int size = array->arraySize;
+  return makeNode(Op::kStore, t, size,
+                  {std::move(array), std::move(index), std::move(value)});
+}
+
+}  // namespace stcg::expr

@@ -1,0 +1,69 @@
+// Smart constructors for expression nodes.
+//
+// Every constructor performs local constant folding (constant operands are
+// evaluated immediately) and a small set of algebraic simplifications
+// (identity/absorbing elements, ITE with constant condition, select of a
+// constant array at a constant index, ...). Because the STCG core fixes
+// model state as constants before solving (paper §III-A), this folding is
+// what collapses state-dependent conditions into trivial residuals — it is
+// a load-bearing part of the reproduction, not just an optimization.
+#pragma once
+
+#include "expr/expr.h"
+
+namespace stcg::expr {
+
+// Leaves.
+[[nodiscard]] ExprPtr cBool(bool v);
+[[nodiscard]] ExprPtr cInt(std::int64_t v);
+[[nodiscard]] ExprPtr cReal(double v);
+[[nodiscard]] ExprPtr cScalar(Scalar v);
+[[nodiscard]] ExprPtr cArray(Type elemType, std::vector<Scalar> elems);
+[[nodiscard]] ExprPtr mkVar(const VarInfo& info);
+[[nodiscard]] ExprPtr mkVarArray(VarId id, const std::string& name,
+                                 Type elemType, int size);
+
+// Unary.
+[[nodiscard]] ExprPtr notE(ExprPtr a);
+[[nodiscard]] ExprPtr negE(ExprPtr a);
+[[nodiscard]] ExprPtr absE(ExprPtr a);
+[[nodiscard]] ExprPtr castE(ExprPtr a, Type to);
+
+// Binary arithmetic. Mixed int/real operands promote to real.
+[[nodiscard]] ExprPtr addE(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr subE(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr mulE(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr divE(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr modE(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr minE(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr maxE(ExprPtr a, ExprPtr b);
+
+// Relational.
+[[nodiscard]] ExprPtr ltE(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr leE(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr gtE(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr geE(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr eqE(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr neE(ExprPtr a, ExprPtr b);
+
+// Boolean.
+[[nodiscard]] ExprPtr andE(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr orE(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr xorE(ExprPtr a, ExprPtr b);
+/// Conjunction / disjunction of an arbitrary list (empty list -> identity).
+[[nodiscard]] ExprPtr andAll(const std::vector<ExprPtr>& xs);
+[[nodiscard]] ExprPtr orAll(const std::vector<ExprPtr>& xs);
+
+// Ternary / arrays.
+[[nodiscard]] ExprPtr iteE(ExprPtr cond, ExprPtr thenE, ExprPtr elseE);
+[[nodiscard]] ExprPtr selectE(ExprPtr array, ExprPtr index);
+[[nodiscard]] ExprPtr storeE(ExprPtr array, ExprPtr index, ExprPtr value);
+
+// Scalar op application shared with the evaluator.
+[[nodiscard]] Scalar applyUnary(Op op, Type resultType, const Scalar& a);
+[[nodiscard]] Scalar applyBinary(Op op, const Scalar& a, const Scalar& b);
+
+/// Result type of a numeric binary op on these operand types.
+[[nodiscard]] Type promote(Type a, Type b);
+
+}  // namespace stcg::expr

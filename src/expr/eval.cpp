@@ -1,0 +1,155 @@
+#include "expr/eval.h"
+
+#include <cassert>
+
+#include "expr/builder.h"
+
+namespace stcg::expr {
+
+void Env::set(VarId id, Scalar v) {
+  assert(id >= 0);
+  const auto idx = static_cast<std::size_t>(id);
+  if (idx >= vals_.size()) {
+    vals_.resize(idx + 1);
+    present_.resize(idx + 1, false);
+  }
+  if (!present_[idx]) ++count_;
+  vals_[idx] = v;
+  present_[idx] = true;
+}
+
+bool Env::has(VarId id) const {
+  const auto idx = static_cast<std::size_t>(id);
+  return id >= 0 && idx < present_.size() && present_[idx];
+}
+
+const Scalar& Env::get(VarId id) const {
+  assert(has(id));
+  return vals_[static_cast<std::size_t>(id)];
+}
+
+void Env::setArray(VarId id, std::vector<Scalar> v) {
+  assert(id >= 0);
+  const auto idx = static_cast<std::size_t>(id);
+  if (idx >= arrays_.size()) arrays_.resize(idx + 1);
+  arrays_[idx] = std::make_shared<const std::vector<Scalar>>(std::move(v));
+}
+
+bool Env::hasArray(VarId id) const {
+  const auto idx = static_cast<std::size_t>(id);
+  return id >= 0 && idx < arrays_.size() && arrays_[idx] != nullptr;
+}
+
+const std::vector<Scalar>& Env::getArray(VarId id) const {
+  assert(hasArray(id));
+  return *arrays_[static_cast<std::size_t>(id)];
+}
+
+void Env::clear() {
+  vals_.clear();
+  present_.clear();
+  arrays_.clear();
+  count_ = 0;
+}
+
+Scalar Evaluator::evalScalar(const ExprPtr& e) {
+  assert(!e->isArray());
+  pinnedRoots_.push_back(e);
+  return scalarRec(e.get());
+}
+
+std::vector<Scalar> Evaluator::evalArray(const ExprPtr& e) {
+  assert(e->isArray());
+  pinnedRoots_.push_back(e);
+  return *arrayRec(e.get());
+}
+
+Scalar Evaluator::scalarRec(const Expr* e) {
+  if (auto it = scalarMemo_.find(e); it != scalarMemo_.end()) {
+    return it->second;
+  }
+  Scalar result;
+  switch (e->op) {
+    case Op::kConst:
+      result = e->constVal;
+      break;
+    case Op::kVar:
+      assert(env_->has(e->var) && "unbound variable during evaluation");
+      result = env_->get(e->var).castTo(e->type);
+      break;
+    case Op::kNot:
+    case Op::kNeg:
+    case Op::kAbs:
+    case Op::kCast:
+      result = applyUnary(e->op, e->type, scalarRec(e->args[0].get()));
+      break;
+    case Op::kIte: {
+      const bool c = scalarRec(e->args[0].get()).toBool();
+      result = scalarRec(e->args[c ? 1 : 2].get()).castTo(e->type);
+      break;
+    }
+    case Op::kSelect: {
+      const auto arr = arrayRec(e->args[0].get());
+      auto i = scalarRec(e->args[1].get()).toInt();
+      const auto n = static_cast<std::int64_t>(arr->size());
+      if (i < 0) i = 0;
+      if (i >= n) i = n - 1;
+      result = (*arr)[static_cast<std::size_t>(i)];
+      break;
+    }
+    default:
+      result = applyBinary(e->op, scalarRec(e->args[0].get()),
+                           scalarRec(e->args[1].get()))
+                   .castTo(e->type);
+      break;
+  }
+  scalarMemo_.emplace(e, result);
+  return result;
+}
+
+Evaluator::ArrayVal Evaluator::arrayRec(const Expr* e) {
+  if (auto it = arrayMemo_.find(e); it != arrayMemo_.end()) {
+    return it->second;
+  }
+  ArrayVal result;
+  switch (e->op) {
+    case Op::kConstArray:
+      result = std::make_shared<const std::vector<Scalar>>(e->constArray);
+      break;
+    case Op::kVarArray: {
+      assert(env_->hasArray(e->var) && "unbound array variable");
+      result = env_->arrays_[static_cast<std::size_t>(e->var)];
+      break;
+    }
+    case Op::kStore: {
+      const auto base = arrayRec(e->args[0].get());
+      auto i = scalarRec(e->args[1].get()).toInt();
+      const auto v = scalarRec(e->args[2].get()).castTo(e->type);
+      auto copy = std::make_shared<std::vector<Scalar>>(*base);
+      const auto n = static_cast<std::int64_t>(copy->size());
+      if (i < 0) i = 0;
+      if (i >= n) i = n - 1;
+      (*copy)[static_cast<std::size_t>(i)] = v;
+      result = std::move(copy);
+      break;
+    }
+    case Op::kIte: {
+      const bool c = scalarRec(e->args[0].get()).toBool();
+      result = arrayRec(e->args[c ? 1 : 2].get());
+      break;
+    }
+    default:
+      assert(false && "not an array-producing op");
+      result = std::make_shared<const std::vector<Scalar>>();
+      break;
+  }
+  arrayMemo_.emplace(e, result);
+  return result;
+}
+
+Scalar evaluate(const ExprPtr& e, const Env& env) {
+  Evaluator ev(env);
+  return ev.evalScalar(e);
+}
+
+}  // namespace stcg::expr

@@ -1,0 +1,71 @@
+// Concrete evaluation of expression DAGs.
+//
+// An Env assigns scalar values to variable ids; the Evaluator computes node
+// values bottom-up with per-node memoization, so shared subexpressions are
+// evaluated once per step.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace stcg::expr {
+
+/// Variable assignment: var id -> scalar value.
+class Env {
+ public:
+  void set(VarId id, Scalar v);
+  [[nodiscard]] bool has(VarId id) const;
+  [[nodiscard]] const Scalar& get(VarId id) const;
+
+  /// Array-typed bindings (state arrays: delay buffers, data stores).
+  void setArray(VarId id, std::vector<Scalar> v);
+  [[nodiscard]] bool hasArray(VarId id) const;
+  [[nodiscard]] const std::vector<Scalar>& getArray(VarId id) const;
+
+  void clear();
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+ private:
+  std::vector<Scalar> vals_;
+  std::vector<bool> present_;
+  std::vector<std::shared_ptr<const std::vector<Scalar>>> arrays_;
+  std::size_t count_ = 0;
+
+  friend class Evaluator;
+};
+
+/// Evaluates expressions under a fixed Env. Memoization lives for the
+/// lifetime of the Evaluator, so build one per simulation step.
+class Evaluator {
+ public:
+  explicit Evaluator(const Env& env) : env_(&env) {}
+
+  /// Evaluate a scalar-typed expression. Asserts on array-typed input.
+  [[nodiscard]] Scalar evalScalar(const ExprPtr& e);
+
+  /// Evaluate an array-typed expression into its element list.
+  [[nodiscard]] std::vector<Scalar> evalArray(const ExprPtr& e);
+
+ private:
+  using ArrayVal = std::shared_ptr<const std::vector<Scalar>>;
+
+  Scalar scalarRec(const Expr* e);
+  ArrayVal arrayRec(const Expr* e);
+
+  const Env* env_;
+  std::unordered_map<const Expr*, Scalar> scalarMemo_;
+  std::unordered_map<const Expr*, ArrayVal> arrayMemo_;
+  // Memo entries are keyed by node address; pinning evaluated roots keeps
+  // every memoized node alive, so addresses cannot be recycled between
+  // calls on the same evaluator.
+  std::vector<ExprPtr> pinnedRoots_;
+};
+
+/// Convenience: evaluate `e` (scalar) under `env` in one call.
+[[nodiscard]] Scalar evaluate(const ExprPtr& e, const Env& env);
+
+}  // namespace stcg::expr

@@ -1,0 +1,114 @@
+// Expression DAG: the single semantic core shared by the simulator and the
+// constraint solver.
+//
+// A compiled model is a set of expressions over input variables and
+// state-constant leaves. Concrete simulation evaluates them; state-aware
+// solving partially evaluates state to constants and hands the residual
+// expression to the box solver. Sharing one IR removes any possibility of
+// simulator/solver semantic divergence.
+//
+// Nodes are immutable and referenced by shared_ptr; subexpression sharing
+// makes the structure a DAG. The builder functions in builder.h perform
+// local constant folding and algebraic simplification on construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/scalar.h"
+
+namespace stcg::expr {
+
+enum class Op {
+  // Leaves.
+  kConst,       // scalar constant
+  kConstArray,  // array constant (used for state arrays fixed by STCG)
+  kVar,         // scalar input variable with a bounded domain
+  kVarArray,    // array-typed state variable (delay buffers, data stores)
+
+  // Unary.
+  kNot,
+  kNeg,
+  kAbs,
+  kCast,  // to this->type
+
+  // Binary arithmetic (numeric).
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,  // guarded: x/0 == 0 (protected division, common in control models)
+  kMod,  // integer remainder, guarded: x%0 == 0
+  kMin,
+  kMax,
+
+  // Binary relational (numeric -> bool).
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kNe,
+
+  // Binary boolean.
+  kAnd,
+  kOr,
+  kXor,
+
+  // Ternary.
+  kIte,  // ite(cond, then, else)
+
+  // Arrays.
+  kSelect,  // select(array, index) -> element
+  kStore,   // store(array, index, value) -> array
+};
+
+[[nodiscard]] const char* opName(Op op);
+
+using VarId = std::int32_t;
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// One immutable DAG node.
+class Expr {
+ public:
+  Op op;
+  Type type;       // element type for arrays
+  int arraySize;   // 0 for scalars, >0 for array-typed nodes
+
+  // Leaf payloads (meaningful only for the corresponding op).
+  Scalar constVal;                  // kConst
+  std::vector<Scalar> constArray;   // kConstArray
+  VarId var = -1;                   // kVar
+  std::string varName;              // kVar (diagnostics)
+  double varLo = 0.0, varHi = 0.0;  // kVar domain bounds (inclusive)
+
+  std::vector<ExprPtr> args;
+
+  [[nodiscard]] bool isArray() const { return arraySize > 0; }
+  [[nodiscard]] bool isConst() const {
+    return op == Op::kConst || op == Op::kConstArray;
+  }
+
+  /// Human-readable rendering (infix, parenthesized).
+  [[nodiscard]] std::string toString() const;
+};
+
+/// Collect the distinct variable ids appearing in `e` (sorted ascending).
+[[nodiscard]] std::vector<VarId> collectVars(const ExprPtr& e);
+
+/// Count distinct nodes reachable from `e` (DAG size).
+[[nodiscard]] std::size_t dagSize(const ExprPtr& e);
+
+/// Descriptor of an input variable: identity, type, and solver domain.
+struct VarInfo {
+  VarId id = -1;
+  std::string name;
+  Type type = Type::kReal;
+  double lo = 0.0;  // inclusive lower bound of the input domain
+  double hi = 0.0;  // inclusive upper bound
+};
+
+}  // namespace stcg::expr

@@ -1,0 +1,261 @@
+#include "expr/sexpr.h"
+
+#include <cctype>
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/builder.h"
+#include "util/strings.h"
+
+namespace stcg::expr {
+
+namespace {
+
+const char* sexprOpName(Op op) {
+  switch (op) {
+    case Op::kAdd: return "+";
+    case Op::kSub: return "-";
+    case Op::kMul: return "*";
+    case Op::kDiv: return "/";
+    case Op::kMod: return "%";
+    case Op::kMin: return "min";
+    case Op::kMax: return "max";
+    case Op::kNeg: return "neg";
+    case Op::kAbs: return "abs";
+    case Op::kLt: return "<";
+    case Op::kLe: return "<=";
+    case Op::kGt: return ">";
+    case Op::kGe: return ">=";
+    case Op::kEq: return "==";
+    case Op::kNe: return "!=";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kNot: return "not";
+    case Op::kIte: return "ite";
+    case Op::kSelect: return "select";
+    case Op::kStore: return "store";
+    default: return nullptr;
+  }
+}
+
+std::string scalarToken(const Scalar& s) {
+  switch (s.type()) {
+    case Type::kBool:
+      return std::string("(b ") + (s.asBool() ? "true" : "false") + ")";
+    case Type::kInt:
+      return "(i " + std::to_string(s.asInt()) + ")";
+    case Type::kReal: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "(r %.17g)", s.asReal());
+      return buf;
+    }
+  }
+  return "(i 0)";
+}
+
+void render(const Expr& e, std::string& out) {
+  switch (e.op) {
+    case Op::kConst:
+      out += scalarToken(e.constVal);
+      return;
+    case Op::kConstArray: {
+      out += "(array ";
+      out += typeName(e.type);
+      for (const auto& el : e.constArray) {
+        out += ' ';
+        out += el.toString();
+      }
+      out += ')';
+      return;
+    }
+    case Op::kVar:
+    case Op::kVarArray: {
+      for (const char c : e.varName) {
+        if (std::isspace(static_cast<unsigned char>(c)) || c == '(' ||
+            c == ')') {
+          throw SexprError("variable name not serializable: " + e.varName);
+        }
+      }
+      out += "(var " + e.varName + ")";
+      return;
+    }
+    case Op::kCast:
+      out += "(cast-";
+      out += typeName(e.type);
+      break;
+    default: {
+      const char* name = sexprOpName(e.op);
+      if (name == nullptr) throw SexprError("unserializable op");
+      out += '(';
+      out += name;
+      break;
+    }
+  }
+  for (const auto& a : e.args) {
+    out += ' ';
+    render(*a, out);
+  }
+  out += ')';
+}
+
+// ----- Parser ------------------------------------------------------------
+
+struct Token {
+  enum Kind { kOpen, kClose, kAtom } kind;
+  std::string text;
+};
+
+std::vector<Token> tokenize(const std::string& text) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+    } else if (c == '(') {
+      out.push_back({Token::kOpen, "("});
+      ++i;
+    } else if (c == ')') {
+      out.push_back({Token::kClose, ")"});
+      ++i;
+    } else {
+      std::size_t j = i;
+      while (j < text.size() && text[j] != '(' && text[j] != ')' &&
+             !std::isspace(static_cast<unsigned char>(text[j]))) {
+        ++j;
+      }
+      out.push_back({Token::kAtom, text.substr(i, j - i)});
+      i = j;
+    }
+  }
+  return out;
+}
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const VarResolver& resolve)
+      : tokens_(std::move(tokens)), resolve_(resolve) {}
+
+  ExprPtr parse() {
+    ExprPtr e = expr();
+    if (pos_ != tokens_.size()) throw SexprError("trailing tokens");
+    return e;
+  }
+
+ private:
+  const Token& need(Token::Kind k, const char* what) {
+    if (pos_ >= tokens_.size() || tokens_[pos_].kind != k) {
+      throw SexprError(std::string("expected ") + what);
+    }
+    return tokens_[pos_++];
+  }
+
+  Scalar scalarElem(Type t, const std::string& text) {
+    switch (t) {
+      case Type::kBool:
+        return Scalar::b(text == "true" || text == "1");
+      case Type::kInt:
+        return Scalar::i(std::stoll(text));
+      case Type::kReal:
+        return Scalar::r(std::stod(text));
+    }
+    return Scalar::i(0);
+  }
+
+  Type typeOf(const std::string& name) {
+    if (name == "bool") return Type::kBool;
+    if (name == "int") return Type::kInt;
+    if (name == "real") return Type::kReal;
+    throw SexprError("unknown type: " + name);
+  }
+
+  ExprPtr expr() {
+    need(Token::kOpen, "'('");
+    const std::string head = need(Token::kAtom, "operator").text;
+
+    if (head == "b" || head == "i" || head == "r") {
+      const std::string val = need(Token::kAtom, "literal").text;
+      need(Token::kClose, "')'");
+      if (head == "b") return cBool(val == "true" || val == "1");
+      if (head == "i") return cInt(std::stoll(val));
+      return cReal(std::stod(val));
+    }
+    if (head == "array") {
+      const Type t = typeOf(need(Token::kAtom, "type").text);
+      std::vector<Scalar> elems;
+      while (pos_ < tokens_.size() && tokens_[pos_].kind == Token::kAtom) {
+        elems.push_back(scalarElem(t, tokens_[pos_++].text));
+      }
+      need(Token::kClose, "')'");
+      return cArray(t, std::move(elems));
+    }
+    if (head == "var") {
+      const std::string name = need(Token::kAtom, "name").text;
+      need(Token::kClose, "')'");
+      ExprPtr leaf = resolve_(name);
+      if (leaf == nullptr) throw SexprError("unresolved variable: " + name);
+      return leaf;
+    }
+
+    std::vector<ExprPtr> args;
+    while (pos_ < tokens_.size() && tokens_[pos_].kind == Token::kOpen) {
+      args.push_back(expr());
+    }
+    need(Token::kClose, "')'");
+    const auto arity = [&](std::size_t n) {
+      if (args.size() != n) {
+        throw SexprError("bad arity for " + head);
+      }
+    };
+    if (head == "+") { arity(2); return addE(args[0], args[1]); }
+    if (head == "-") { arity(2); return subE(args[0], args[1]); }
+    if (head == "*") { arity(2); return mulE(args[0], args[1]); }
+    if (head == "/") { arity(2); return divE(args[0], args[1]); }
+    if (head == "%") { arity(2); return modE(args[0], args[1]); }
+    if (head == "min") { arity(2); return minE(args[0], args[1]); }
+    if (head == "max") { arity(2); return maxE(args[0], args[1]); }
+    if (head == "neg") { arity(1); return negE(args[0]); }
+    if (head == "abs") { arity(1); return absE(args[0]); }
+    if (head == "<") { arity(2); return ltE(args[0], args[1]); }
+    if (head == "<=") { arity(2); return leE(args[0], args[1]); }
+    if (head == ">") { arity(2); return gtE(args[0], args[1]); }
+    if (head == ">=") { arity(2); return geE(args[0], args[1]); }
+    if (head == "==") { arity(2); return eqE(args[0], args[1]); }
+    if (head == "!=") { arity(2); return neE(args[0], args[1]); }
+    if (head == "and") { arity(2); return andE(args[0], args[1]); }
+    if (head == "or") { arity(2); return orE(args[0], args[1]); }
+    if (head == "xor") { arity(2); return xorE(args[0], args[1]); }
+    if (head == "not") { arity(1); return notE(args[0]); }
+    if (head == "ite") { arity(3); return iteE(args[0], args[1], args[2]); }
+    if (head == "select") { arity(2); return selectE(args[0], args[1]); }
+    if (head == "store") {
+      arity(3);
+      return storeE(args[0], args[1], args[2]);
+    }
+    if (head == "cast-bool") { arity(1); return castE(args[0], Type::kBool); }
+    if (head == "cast-int") { arity(1); return castE(args[0], Type::kInt); }
+    if (head == "cast-real") { arity(1); return castE(args[0], Type::kReal); }
+    throw SexprError("unknown operator: " + head);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  const VarResolver& resolve_;
+};
+
+}  // namespace
+
+std::string toSexpr(const ExprPtr& e) {
+  std::string out;
+  render(*e, out);
+  return out;
+}
+
+ExprPtr parseSexpr(const std::string& text, const VarResolver& resolve) {
+  Parser p(tokenize(text), resolve);
+  return p.parse();
+}
+
+}  // namespace stcg::expr

@@ -1,0 +1,44 @@
+// S-expression serialization of expression DAGs.
+//
+// Used by the model serializer for chart guards and actions. Variables are
+// written as (var NAME) and resolved on parse through a caller-supplied
+// resolver (the chart builder's input/local leaves, for instance).
+//
+// Grammar:
+//   expr   := (b true|false) | (i INT) | (r REAL)
+//           | (array TYPE ELEM...) | (var NAME)
+//           | (OP expr...)
+//   OP     := + - * / % min max neg abs
+//           | < <= > >= == != and or xor not
+//           | ite select store cast-bool cast-int cast-real
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "expr/expr.h"
+
+namespace stcg::expr {
+
+/// Thrown on malformed input or unresolvable variables.
+class SexprError : public std::runtime_error {
+ public:
+  explicit SexprError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Render `e` as a single-line s-expression. Variable leaves are written
+/// by name; the caller must guarantee names are resolvable on the way
+/// back. Names containing whitespace or parentheses are rejected.
+[[nodiscard]] std::string toSexpr(const ExprPtr& e);
+
+/// Resolve a variable name to its leaf expression.
+using VarResolver = std::function<ExprPtr(const std::string&)>;
+
+/// Parse an s-expression produced by toSexpr. `resolve` supplies variable
+/// leaves; it should throw (or return nullptr, which is converted to a
+/// SexprError) for unknown names.
+[[nodiscard]] ExprPtr parseSexpr(const std::string& text,
+                                 const VarResolver& resolve);
+
+}  // namespace stcg::expr

@@ -1,0 +1,30 @@
+// Partial evaluation: substitute a (possibly partial) variable binding into
+// an expression and rebuild it through the folding constructors.
+//
+// This is the mechanism behind the paper's key move (§III-A): "we just bring
+// the model state value as constants rather than variables into the model".
+// Binding the state variables of a step function to the concrete values held
+// in a state-tree node collapses all state-dependent structure, leaving a
+// residual constraint over the current-step inputs only.
+#pragma once
+
+#include "expr/eval.h"
+#include "expr/expr.h"
+
+namespace stcg::expr {
+
+/// Rebuild `e` with every variable bound in `binding` replaced by its
+/// constant value (scalar and array bindings both apply). Unbound variables
+/// are preserved. Folding happens on the way up, so fully-determined
+/// subtrees become constants.
+[[nodiscard]] ExprPtr substitute(const ExprPtr& e, const Env& binding);
+
+/// Rebuild `e` with variables replaced by arbitrary expressions (the
+/// mapped expression's type/shape must match the variable's). Used by the
+/// SLDV-like baseline to unroll the step function: state leaves of step
+/// k+1 are substituted with the step-k next-state expressions, and input
+/// leaves with fresh per-step variables.
+[[nodiscard]] ExprPtr substituteExprs(
+    const ExprPtr& e, const std::unordered_map<VarId, ExprPtr>& mapping);
+
+}  // namespace stcg::expr

@@ -1,0 +1,181 @@
+#include "interval/interval.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace stcg::interval {
+
+namespace {
+constexpr double kHuge = 1e300;
+
+Interval fromBools(bool canFalse, bool canTrue) {
+  if (!canFalse && !canTrue) return Interval::empty();
+  return Interval(canTrue && !canFalse ? 1.0 : 0.0,
+                  canTrue ? 1.0 : 0.0);
+}
+}  // namespace
+
+Interval Interval::whole() { return Interval(-kHuge, kHuge); }
+
+double Interval::mid() const {
+  if (isEmpty()) return 0.0;
+  if (lo_ <= -kHuge && hi_ >= kHuge) return 0.0;
+  return lo_ + (hi_ - lo_) / 2.0;
+}
+
+Interval Interval::intersect(const Interval& o) const {
+  if (isEmpty() || o.isEmpty()) return empty();
+  return Interval(std::max(lo_, o.lo_), std::min(hi_, o.hi_));
+}
+
+Interval Interval::hull(const Interval& o) const {
+  if (isEmpty()) return o;
+  if (o.isEmpty()) return *this;
+  return Interval(std::min(lo_, o.lo_), std::max(hi_, o.hi_));
+}
+
+Interval Interval::integralHull() const {
+  if (isEmpty()) return empty();
+  return Interval(std::ceil(lo_), std::floor(hi_));
+}
+
+double Interval::integerCount() const {
+  const Interval h = integralHull();
+  if (h.isEmpty()) return 0.0;
+  return h.hi_ - h.lo_ + 1.0;
+}
+
+bool Interval::operator==(const Interval& o) const {
+  if (isEmpty() && o.isEmpty()) return true;
+  return lo_ == o.lo_ && hi_ == o.hi_;
+}
+
+std::string Interval::toString() const {
+  if (isEmpty()) return "[]";
+  return "[" + formatReal(lo_) + ", " + formatReal(hi_) + "]";
+}
+
+Interval addI(const Interval& a, const Interval& b) {
+  if (a.isEmpty() || b.isEmpty()) return Interval::empty();
+  return Interval(a.lo() + b.lo(), a.hi() + b.hi());
+}
+
+Interval subI(const Interval& a, const Interval& b) {
+  if (a.isEmpty() || b.isEmpty()) return Interval::empty();
+  return Interval(a.lo() - b.hi(), a.hi() - b.lo());
+}
+
+Interval mulI(const Interval& a, const Interval& b) {
+  if (a.isEmpty() || b.isEmpty()) return Interval::empty();
+  const double c[4] = {a.lo() * b.lo(), a.lo() * b.hi(), a.hi() * b.lo(),
+                       a.hi() * b.hi()};
+  double lo = c[0], hi = c[0];
+  for (double v : c) {
+    if (std::isnan(v)) v = 0.0;  // 0 * inf guard
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return Interval(lo, hi);
+}
+
+Interval divI(const Interval& a, const Interval& b) {
+  if (a.isEmpty() || b.isEmpty()) return Interval::empty();
+  if (b.containsZero()) {
+    // The guard x/0 == 0 makes the result contain 0; around the pole the
+    // quotient is unbounded, so fall back to the finite whole hull.
+    if (b.isPoint()) return Interval::point(0.0);
+    return Interval::whole();
+  }
+  const double c[4] = {a.lo() / b.lo(), a.lo() / b.hi(), a.hi() / b.lo(),
+                       a.hi() / b.hi()};
+  double lo = c[0], hi = c[0];
+  for (double v : c) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return Interval(lo, hi);
+}
+
+Interval modI(const Interval& a, const Interval& b) {
+  if (a.isEmpty() || b.isEmpty()) return Interval::empty();
+  const double m =
+      std::max(std::fabs(b.lo()), std::fabs(b.hi()));
+  if (m < 1.0) return Interval::point(0.0);  // b can only be 0
+  double lo = a.lo() >= 0.0 ? 0.0 : -(m - 1.0);
+  double hi = a.hi() <= 0.0 ? 0.0 : (m - 1.0);
+  // x % 0 == 0 by the guard, so 0 is always included (it already is).
+  return Interval(lo, hi);
+}
+
+Interval negI(const Interval& a) {
+  if (a.isEmpty()) return Interval::empty();
+  return Interval(-a.hi(), -a.lo());
+}
+
+Interval absI(const Interval& a) {
+  if (a.isEmpty()) return Interval::empty();
+  if (a.lo() >= 0.0) return a;
+  if (a.hi() <= 0.0) return negI(a);
+  return Interval(0.0, std::max(-a.lo(), a.hi()));
+}
+
+Interval minI(const Interval& a, const Interval& b) {
+  if (a.isEmpty() || b.isEmpty()) return Interval::empty();
+  return Interval(std::min(a.lo(), b.lo()), std::min(a.hi(), b.hi()));
+}
+
+Interval maxI(const Interval& a, const Interval& b) {
+  if (a.isEmpty() || b.isEmpty()) return Interval::empty();
+  return Interval(std::max(a.lo(), b.lo()), std::max(a.hi(), b.hi()));
+}
+
+Interval ltI(const Interval& a, const Interval& b) {
+  if (a.isEmpty() || b.isEmpty()) return Interval::empty();
+  const bool canTrue = a.lo() < b.hi();
+  const bool canFalse = a.hi() >= b.lo();
+  return fromBools(canFalse, canTrue);
+}
+
+Interval leI(const Interval& a, const Interval& b) {
+  if (a.isEmpty() || b.isEmpty()) return Interval::empty();
+  const bool canTrue = a.lo() <= b.hi();
+  const bool canFalse = a.hi() > b.lo();
+  return fromBools(canFalse, canTrue);
+}
+
+Interval eqI(const Interval& a, const Interval& b) {
+  if (a.isEmpty() || b.isEmpty()) return Interval::empty();
+  const bool canTrue = !a.intersect(b).isEmpty();
+  const bool canFalse = !(a.isPoint() && b.isPoint() && a.lo() == b.lo());
+  return fromBools(canFalse, canTrue);
+}
+
+Interval andI(const Interval& a, const Interval& b) {
+  if (a.isEmpty() || b.isEmpty()) return Interval::empty();
+  return fromBools(a.canBeFalse() || b.canBeFalse(),
+                   a.canBeTrue() && b.canBeTrue());
+}
+
+Interval orI(const Interval& a, const Interval& b) {
+  if (a.isEmpty() || b.isEmpty()) return Interval::empty();
+  return fromBools(a.canBeFalse() && b.canBeFalse(),
+                   a.canBeTrue() || b.canBeTrue());
+}
+
+Interval xorI(const Interval& a, const Interval& b) {
+  if (a.isEmpty() || b.isEmpty()) return Interval::empty();
+  const bool canTrue = (a.canBeTrue() && b.canBeFalse()) ||
+                       (a.canBeFalse() && b.canBeTrue());
+  const bool canFalse = (a.canBeTrue() && b.canBeTrue()) ||
+                        (a.canBeFalse() && b.canBeFalse());
+  return fromBools(canFalse, canTrue);
+}
+
+Interval notI(const Interval& a) {
+  if (a.isEmpty()) return Interval::empty();
+  return fromBools(a.canBeTrue(), a.canBeFalse());
+}
+
+}  // namespace stcg::interval

@@ -1,0 +1,88 @@
+// Interval arithmetic over doubles, with integer-aware rounding.
+//
+// The solver works on boxes (one interval per input variable) and contracts
+// them with HC4. Booleans are encoded as subintervals of [0, 1]:
+// [0,0] = definitely false, [1,1] = definitely true, [0,1] = unknown.
+// All intervals are closed; an interval with lo > hi is empty.
+#pragma once
+
+#include <string>
+
+namespace stcg::interval {
+
+class Interval {
+ public:
+  /// Default: the empty interval.
+  Interval() : lo_(1.0), hi_(-1.0) {}
+  Interval(double lo, double hi) : lo_(lo), hi_(hi) {}
+
+  static Interval empty() { return Interval(); }
+  static Interval point(double v) { return Interval(v, v); }
+  /// A huge but finite hull used when nothing better is known; finite so
+  /// that midpoints and widths stay usable.
+  static Interval whole();
+  /// Boolean lattice values.
+  static Interval boolFalse() { return point(0.0); }
+  static Interval boolTrue() { return point(1.0); }
+  static Interval boolUnknown() { return Interval(0.0, 1.0); }
+
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] bool isEmpty() const { return lo_ > hi_; }
+  [[nodiscard]] bool isPoint() const { return lo_ == hi_; }
+  [[nodiscard]] double width() const { return isEmpty() ? 0.0 : hi_ - lo_; }
+  [[nodiscard]] double mid() const;
+  [[nodiscard]] bool contains(double v) const {
+    return !isEmpty() && lo_ <= v && v <= hi_;
+  }
+  [[nodiscard]] bool containsZero() const { return contains(0.0); }
+
+  // Boolean lattice queries (for intervals representing booleans).
+  [[nodiscard]] bool canBeTrue() const { return !isEmpty() && hi_ >= 1.0; }
+  [[nodiscard]] bool canBeFalse() const { return !isEmpty() && lo_ <= 0.0; }
+  [[nodiscard]] bool isTrue() const { return !isEmpty() && lo_ >= 1.0; }
+  [[nodiscard]] bool isFalse() const { return !isEmpty() && hi_ <= 0.0; }
+
+  [[nodiscard]] Interval intersect(const Interval& o) const;
+  [[nodiscard]] Interval hull(const Interval& o) const;
+
+  /// Shrink to integral endpoints (ceil lo, floor hi). May become empty.
+  [[nodiscard]] Interval integralHull() const;
+
+  /// Number of integers contained; huge intervals saturate.
+  [[nodiscard]] double integerCount() const;
+
+  [[nodiscard]] bool operator==(const Interval& o) const;
+
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  double lo_, hi_;
+};
+
+// Forward arithmetic. All are tight except where noted.
+[[nodiscard]] Interval addI(const Interval& a, const Interval& b);
+[[nodiscard]] Interval subI(const Interval& a, const Interval& b);
+[[nodiscard]] Interval mulI(const Interval& a, const Interval& b);
+/// Guarded division matching expression semantics (x/0 == 0). If the
+/// denominator can be 0, the result hulls in 0 and is conservative.
+[[nodiscard]] Interval divI(const Interval& a, const Interval& b);
+/// Integer remainder hull (C++ truncated semantics), conservative.
+[[nodiscard]] Interval modI(const Interval& a, const Interval& b);
+[[nodiscard]] Interval negI(const Interval& a);
+[[nodiscard]] Interval absI(const Interval& a);
+[[nodiscard]] Interval minI(const Interval& a, const Interval& b);
+[[nodiscard]] Interval maxI(const Interval& a, const Interval& b);
+
+// Forward relational: boolean-lattice result.
+[[nodiscard]] Interval ltI(const Interval& a, const Interval& b);
+[[nodiscard]] Interval leI(const Interval& a, const Interval& b);
+[[nodiscard]] Interval eqI(const Interval& a, const Interval& b);
+
+// Forward boolean connectives on lattice values.
+[[nodiscard]] Interval andI(const Interval& a, const Interval& b);
+[[nodiscard]] Interval orI(const Interval& a, const Interval& b);
+[[nodiscard]] Interval xorI(const Interval& a, const Interval& b);
+[[nodiscard]] Interval notI(const Interval& a);
+
+}  // namespace stcg::interval

@@ -1,0 +1,89 @@
+#include "model/chart.h"
+
+#include <cassert>
+
+#include "expr/builder.h"
+#include "model/model.h"
+
+namespace stcg::model {
+
+ChartBuilder::ChartBuilder(Model& model, std::string name) : model_(model) {
+  spec_.name = std::move(name);
+}
+
+expr::ExprPtr ChartBuilder::input(const std::string& name, expr::Type type) {
+  expr::VarInfo info;
+  info.id = model_.allocVarId();
+  info.name = spec_.name + "." + name;
+  info.type = type;
+  // Domain bounds are irrelevant for template leaves (they are always
+  // substituted away); use a wide placeholder.
+  info.lo = -1e9;
+  info.hi = 1e9;
+  spec_.inputTemplateIds.push_back(info.id);
+  spec_.inputNames.push_back(name);
+  spec_.inputTypes.push_back(type);
+  return expr::mkVar(info);
+}
+
+int ChartBuilder::addVar(const std::string& name, expr::Scalar init) {
+  ChartVarSpec v;
+  v.name = name;
+  v.type = init.type();
+  v.init = init;
+  v.templateId = model_.allocVarId();
+  spec_.vars.push_back(std::move(v));
+  return static_cast<int>(spec_.vars.size()) - 1;
+}
+
+expr::ExprPtr ChartBuilder::varRef(int varIndex) const {
+  const auto& v = spec_.vars.at(static_cast<std::size_t>(varIndex));
+  expr::VarInfo info;
+  info.id = v.templateId;
+  info.name = spec_.name + "." + v.name;
+  info.type = v.type;
+  info.lo = -1e9;
+  info.hi = 1e9;
+  return expr::mkVar(info);
+}
+
+int ChartBuilder::addState(const std::string& name) {
+  ChartStateSpec s;
+  s.name = name;
+  spec_.states.push_back(std::move(s));
+  return static_cast<int>(spec_.states.size()) - 1;
+}
+
+void ChartBuilder::addTransition(int from, int to, expr::ExprPtr guard,
+                                 std::vector<ChartAssign> actions,
+                                 std::string label) {
+  assert(from >= 0 && from < static_cast<int>(spec_.states.size()));
+  assert(to >= 0 && to < static_cast<int>(spec_.states.size()));
+  ChartTransitionSpec t;
+  t.from = from;
+  t.to = to;
+  t.guard = std::move(guard);
+  t.actions = std::move(actions);
+  t.label = label.empty() ? (spec_.states[static_cast<std::size_t>(from)].name +
+                             "->" +
+                             spec_.states[static_cast<std::size_t>(to)].name)
+                          : std::move(label);
+  spec_.transitions.push_back(std::move(t));
+}
+
+void ChartBuilder::addDuring(int state, int varIndex, expr::ExprPtr value) {
+  auto& s = spec_.states.at(static_cast<std::size_t>(state));
+  s.duringActions.push_back(ChartAssign{varIndex, std::move(value)});
+}
+
+void ChartBuilder::exposeOutput(int varIndex) {
+  assert(varIndex >= 0 && varIndex < static_cast<int>(spec_.vars.size()));
+  spec_.outputVarIndices.push_back(varIndex);
+}
+
+ChartSpec ChartBuilder::build() {
+  assert(!spec_.states.empty() && "a chart needs at least one state");
+  return std::move(spec_);
+}
+
+}  // namespace stcg::model

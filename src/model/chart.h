@@ -1,0 +1,105 @@
+// Stateflow-like charts: flat finite-state machines with guarded,
+// prioritized transitions, local variables and per-state "during" actions.
+//
+// Guards and actions are written as expression templates over leaf
+// variables standing for the chart's inputs and local variables; at model
+// compile time these leaves are substituted with the actual signal and
+// state expressions. Template variable ids are allocated from the owning
+// Model so they never collide with compiler-allocated ids.
+//
+// Step semantics (matching the usual Stateflow discrete step):
+//   1. The outgoing transitions of the active state are evaluated in
+//      priority order (insertion order); the first true guard fires.
+//   2. A firing transition applies its actions sequentially and activates
+//      its destination state.
+//   3. If no transition fires, the active state's during-actions apply.
+// Each transition contributes one decision (taken / not taken) to the
+// model's coverage goals, with the guard's atoms as its conditions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "expr/scalar.h"
+
+namespace stcg::model {
+
+class Model;  // defined in model.h
+
+/// One variable assignment `vars[varIndex] := value` inside a chart.
+struct ChartAssign {
+  int varIndex = -1;
+  expr::ExprPtr value;
+};
+
+struct ChartTransitionSpec {
+  int from = -1;
+  int to = -1;
+  expr::ExprPtr guard;
+  std::vector<ChartAssign> actions;
+  std::string label;
+};
+
+struct ChartStateSpec {
+  std::string name;
+  std::vector<ChartAssign> duringActions;
+};
+
+struct ChartVarSpec {
+  std::string name;
+  expr::Type type = expr::Type::kReal;
+  expr::Scalar init;
+  expr::VarId templateId = -1;
+};
+
+/// Immutable description of a chart, produced by ChartBuilder::build().
+struct ChartSpec {
+  std::string name;
+  std::vector<ChartStateSpec> states;
+  std::vector<ChartVarSpec> vars;
+  std::vector<ChartTransitionSpec> transitions;
+  std::vector<expr::VarId> inputTemplateIds;
+  std::vector<std::string> inputNames;
+  std::vector<expr::Type> inputTypes;
+  std::vector<int> outputVarIndices;
+  bool activeStateOutput = false;
+  int initialState = 0;
+};
+
+class ChartBuilder {
+ public:
+  /// `model` provides the template-variable id space.
+  ChartBuilder(Model& model, std::string name);
+
+  /// Declare the next chart input; returns the leaf to use in guards.
+  [[nodiscard]] expr::ExprPtr input(const std::string& name, expr::Type type);
+
+  /// Declare a local variable; returns its index.
+  int addVar(const std::string& name, expr::Scalar init);
+  /// Leaf expression referring to local variable `varIndex`.
+  [[nodiscard]] expr::ExprPtr varRef(int varIndex) const;
+
+  int addState(const std::string& name);
+  void setInitialState(int state) { spec_.initialState = state; }
+
+  /// Transitions from one state fire in the order they were added.
+  void addTransition(int from, int to, expr::ExprPtr guard,
+                     std::vector<ChartAssign> actions = {},
+                     std::string label = "");
+  void addDuring(int state, int varIndex, expr::ExprPtr value);
+
+  /// Expose local variable `varIndex` as the chart's next output port.
+  void exposeOutput(int varIndex);
+  /// Additionally expose the active-state index as the final output port.
+  void exposeActiveState() { spec_.activeStateOutput = true; }
+
+  /// Finalize; the builder must not be used afterwards.
+  [[nodiscard]] ChartSpec build();
+
+ private:
+  Model& model_;
+  ChartSpec spec_;
+};
+
+}  // namespace stcg::model

@@ -1,0 +1,139 @@
+#include "model/export.h"
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace stcg::model {
+
+namespace {
+
+std::string escapeDot(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+const char* shapeOf(BlockKind k) {
+  switch (k) {
+    case BlockKind::kInport:
+    case BlockKind::kOutport:
+      return "cds";
+    case BlockKind::kConstant:
+    case BlockKind::kConstantArray:
+      return "plaintext";
+    case BlockKind::kSwitch:
+    case BlockKind::kMultiportSwitch:
+    case BlockKind::kMerge:
+      return "trapezium";
+    case BlockKind::kUnitDelay:
+    case BlockKind::kDelayLine:
+      return "box3d";
+    case BlockKind::kChart:
+      return "doubleoctagon";
+    case BlockKind::kDataStoreRead:
+    case BlockKind::kDataStoreReadElem:
+    case BlockKind::kDataStoreWrite:
+    case BlockKind::kDataStoreWriteElem:
+      return "cylinder";
+    case BlockKind::kTestObjective:
+      return "note";
+    default:
+      return "box";
+  }
+}
+
+}  // namespace
+
+std::string toDot(const Model& m) {
+  std::string out = "digraph \"" + escapeDot(m.name()) + "\" {\n";
+  out += "  rankdir=LR;\n  node [fontsize=10];\n";
+
+  // Blocks grouped per region; regions nest as clusters.
+  std::unordered_map<RegionId, std::vector<BlockId>> byRegion;
+  for (const auto& b : m.blocks()) byRegion[b.region].push_back(b.id);
+  std::unordered_map<RegionId, std::vector<RegionId>> children;
+  for (const auto& r : m.regions()) {
+    if (r.kind != RegionKind::kRoot) children[r.parent].push_back(r.id);
+  }
+
+  const auto emitBlock = [&](BlockId id, std::string& dst, int indent) {
+    const Block& b = m.block(id);
+    dst += std::string(static_cast<std::size_t>(indent), ' ') + "b" +
+           std::to_string(id) + " [label=\"" + escapeDot(b.name) + "\\n(" +
+           blockKindName(b.kind) + ")\" shape=" + shapeOf(b.kind) + "];\n";
+  };
+
+  // Recursive cluster emission.
+  const std::function<void(RegionId, std::string&, int)> emitRegion =
+      [&](RegionId r, std::string& dst, int indent) {
+        const std::string pad(static_cast<std::size_t>(indent), ' ');
+        if (r != kRootRegion) {
+          dst += pad + "subgraph cluster_r" + std::to_string(r) + " {\n";
+          dst += pad + "  label=\"" + escapeDot(m.region(r).name) + "\";\n";
+          dst += pad + "  style=dashed;\n";
+        }
+        for (const BlockId id : byRegion[r]) {
+          emitBlock(id, dst, indent + 2);
+        }
+        for (const RegionId c : children[r]) {
+          emitRegion(c, dst, indent + 2);
+        }
+        if (r != kRootRegion) dst += pad + "}\n";
+      };
+  emitRegion(kRootRegion, out, 2);
+
+  // Edges.
+  for (const auto& b : m.blocks()) {
+    for (const auto& p : b.in) {
+      out += "  b" + std::to_string(p.block) + " -> b" +
+             std::to_string(b.id);
+      if (p.port != 0) {
+        out += " [label=\"p" + std::to_string(p.port) + "\"]";
+      }
+      out += ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+ModelStats modelStats(const Model& m) {
+  ModelStats s;
+  s.blocks = static_cast<int>(m.blocks().size());
+  s.regions = static_cast<int>(m.regions().size()) - 1;
+  s.charts = static_cast<int>(m.charts().size());
+  s.dataStores = static_cast<int>(m.dataStores().size());
+  for (const auto& c : m.charts()) {
+    s.chartStates += static_cast<int>(c.states.size());
+    s.chartTransitions += static_cast<int>(c.transitions.size());
+  }
+  for (const auto& b : m.blocks()) {
+    ++s.blocksByKind[blockKindName(b.kind)];
+    if (b.kind == BlockKind::kUnitDelay || b.kind == BlockKind::kDelayLine ||
+        b.kind == BlockKind::kChart) {
+      ++s.statefulBlocks;
+    }
+  }
+  return s;
+}
+
+std::string ModelStats::toString() const {
+  std::string out;
+  out += "blocks=" + std::to_string(blocks) +
+         " regions=" + std::to_string(regions) +
+         " charts=" + std::to_string(charts) + " (" +
+         std::to_string(chartStates) + " states, " +
+         std::to_string(chartTransitions) + " transitions)" +
+         " dataStores=" + std::to_string(dataStores) +
+         " stateful=" + std::to_string(statefulBlocks) + "\n";
+  for (const auto& [kind, count] : blocksByKind) {
+    out += "  " + kind + ": " + std::to_string(count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace stcg::model

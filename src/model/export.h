@@ -1,0 +1,30 @@
+// Model introspection: Graphviz export and structural statistics.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "model/model.h"
+
+namespace stcg::model {
+
+/// Render the model as a Graphviz digraph: blocks as nodes (shaped by
+/// kind), signals as edges, conditional regions as nested clusters.
+[[nodiscard]] std::string toDot(const Model& m);
+
+struct ModelStats {
+  int blocks = 0;
+  int regions = 0;          // excluding the root
+  int charts = 0;
+  int chartStates = 0;
+  int chartTransitions = 0;
+  int dataStores = 0;
+  int statefulBlocks = 0;   // delays + charts
+  std::map<std::string, int> blocksByKind;
+
+  [[nodiscard]] std::string toString() const;
+};
+
+[[nodiscard]] ModelStats modelStats(const Model& m);
+
+}  // namespace stcg::model

@@ -1,0 +1,467 @@
+#include "model/model.h"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace stcg::model {
+
+const char* blockKindName(BlockKind k) {
+  switch (k) {
+    case BlockKind::kInport: return "Inport";
+    case BlockKind::kOutport: return "Outport";
+    case BlockKind::kConstant: return "Constant";
+    case BlockKind::kConstantArray: return "ConstantArray";
+    case BlockKind::kSum: return "Sum";
+    case BlockKind::kGain: return "Gain";
+    case BlockKind::kProduct: return "Product";
+    case BlockKind::kAbs: return "Abs";
+    case BlockKind::kMinMax: return "MinMax";
+    case BlockKind::kMod: return "Mod";
+    case BlockKind::kSaturation: return "Saturation";
+    case BlockKind::kRelational: return "Relational";
+    case BlockKind::kLogical: return "Logical";
+    case BlockKind::kSwitch: return "Switch";
+    case BlockKind::kMultiportSwitch: return "MultiportSwitch";
+    case BlockKind::kUnitDelay: return "UnitDelay";
+    case BlockKind::kDelayLine: return "DelayLine";
+    case BlockKind::kDataStoreRead: return "DataStoreRead";
+    case BlockKind::kDataStoreReadElem: return "DataStoreReadElem";
+    case BlockKind::kDataStoreWrite: return "DataStoreWrite";
+    case BlockKind::kDataStoreWriteElem: return "DataStoreWriteElem";
+    case BlockKind::kLookup1D: return "Lookup1D";
+    case BlockKind::kMerge: return "Merge";
+    case BlockKind::kChart: return "Chart";
+    case BlockKind::kTestObjective: return "TestObjective";
+  }
+  return "?";
+}
+
+Model::Model(std::string name) : name_(std::move(name)) {
+  Region root;
+  root.id = kRootRegion;
+  root.parent = -1;
+  root.name = "root";
+  root.kind = RegionKind::kRoot;
+  regions_.push_back(root);
+  regionStack_.push_back(kRootRegion);
+}
+
+Block& Model::newBlock(const std::string& name, BlockKind kind) {
+  Block b;
+  b.id = static_cast<BlockId>(blocks_.size());
+  b.name = name;
+  b.kind = kind;
+  b.region = currentRegion();
+  blocks_.push_back(std::move(b));
+  return blocks_.back();
+}
+
+RegionId Model::newRegion(const std::string& name, RegionKind kind,
+                          PortRef ctrl, int group, int armIndex) {
+  Region r;
+  r.id = static_cast<RegionId>(regions_.size());
+  r.parent = currentRegion();
+  r.name = name;
+  r.kind = kind;
+  r.ctrl = ctrl;
+  r.decisionGroup = group;
+  r.armIndex = armIndex;
+  regions_.push_back(std::move(r));
+  return regions_.back().id;
+}
+
+PortRef Model::addInport(const std::string& name, expr::Type type, double lo,
+                         double hi) {
+  Block& b = newBlock(name, BlockKind::kInport);
+  b.valueType = type;
+  b.lo = lo;
+  b.hi = hi;
+  return {b.id, 0};
+}
+
+void Model::addOutport(const std::string& name, PortRef src) {
+  Block& b = newBlock(name, BlockKind::kOutport);
+  b.in.push_back(src);
+}
+
+PortRef Model::addConstant(const std::string& name, expr::Scalar value) {
+  Block& b = newBlock(name, BlockKind::kConstant);
+  b.scalarParam = value;
+  return {b.id, 0};
+}
+
+PortRef Model::addConstantArray(const std::string& name, expr::Type elemType,
+                                std::vector<expr::Scalar> elems) {
+  Block& b = newBlock(name, BlockKind::kConstantArray);
+  b.valueType = elemType;
+  b.arrayParam = std::move(elems);
+  return {b.id, 0};
+}
+
+PortRef Model::addSum(const std::string& name, std::vector<PortRef> operands,
+                      const std::string& signs) {
+  assert(operands.size() == signs.size() && !operands.empty());
+  Block& b = newBlock(name, BlockKind::kSum);
+  b.in = std::move(operands);
+  b.signs = signs;
+  return {b.id, 0};
+}
+
+PortRef Model::addGain(const std::string& name, PortRef in, double k) {
+  Block& b = newBlock(name, BlockKind::kGain);
+  b.in.push_back(in);
+  b.scalarParam = expr::Scalar::r(k);
+  return {b.id, 0};
+}
+
+PortRef Model::addProduct(const std::string& name,
+                          std::vector<PortRef> operands,
+                          const std::string& ops) {
+  assert(operands.size() == ops.size() && !operands.empty());
+  Block& b = newBlock(name, BlockKind::kProduct);
+  b.in = std::move(operands);
+  b.signs = ops;
+  return {b.id, 0};
+}
+
+PortRef Model::addAbs(const std::string& name, PortRef in) {
+  Block& b = newBlock(name, BlockKind::kAbs);
+  b.in.push_back(in);
+  return {b.id, 0};
+}
+
+PortRef Model::addMinMax(const std::string& name, MinMaxOp op, PortRef a,
+                         PortRef b2) {
+  Block& b = newBlock(name, BlockKind::kMinMax);
+  b.minMaxOp = op;
+  b.in = {a, b2};
+  return {b.id, 0};
+}
+
+PortRef Model::addMod(const std::string& name, PortRef a, PortRef b2) {
+  Block& b = newBlock(name, BlockKind::kMod);
+  b.in = {a, b2};
+  return {b.id, 0};
+}
+
+PortRef Model::addSaturation(const std::string& name, PortRef in, double lo,
+                             double hi) {
+  Block& b = newBlock(name, BlockKind::kSaturation);
+  b.in.push_back(in);
+  b.lo = lo;
+  b.hi = hi;
+  return {b.id, 0};
+}
+
+PortRef Model::addRelational(const std::string& name, RelOp op, PortRef a,
+                             PortRef b2) {
+  Block& b = newBlock(name, BlockKind::kRelational);
+  b.relOp = op;
+  b.in = {a, b2};
+  return {b.id, 0};
+}
+
+PortRef Model::addLogical(const std::string& name, LogicOp op,
+                          std::vector<PortRef> operands) {
+  assert(op == LogicOp::kNot ? operands.size() == 1 : operands.size() >= 2);
+  Block& b = newBlock(name, BlockKind::kLogical);
+  b.logicOp = op;
+  b.in = std::move(operands);
+  return {b.id, 0};
+}
+
+PortRef Model::addCompareToConst(const std::string& name, PortRef in,
+                                 RelOp op, double c) {
+  // The constant must be created first: newBlock may reallocate the block
+  // vector, invalidating any reference held across it.
+  const PortRef constant = addConstant(name + "_const", expr::Scalar::r(c));
+  Block& b = newBlock(name, BlockKind::kRelational);
+  b.relOp = op;
+  b.in = {in, constant};
+  return {b.id, 0};
+}
+
+void Model::addTestObjective(const std::string& name, PortRef cond) {
+  Block& b = newBlock(name, BlockKind::kTestObjective);
+  b.in.push_back(cond);
+}
+
+PortRef Model::addSwitch(const std::string& name, PortRef onTrue,
+                         PortRef ctrl, PortRef onFalse,
+                         SwitchCriteria criteria, double threshold) {
+  Block& b = newBlock(name, BlockKind::kSwitch);
+  b.in = {onTrue, ctrl, onFalse};
+  b.criteria = criteria;
+  b.scalarParam = expr::Scalar::r(threshold);
+  return {b.id, 0};
+}
+
+PortRef Model::addMultiportSwitch(const std::string& name, PortRef ctrl,
+                                  std::vector<PortRef> data) {
+  assert(data.size() >= 2);
+  Block& b = newBlock(name, BlockKind::kMultiportSwitch);
+  b.in.push_back(ctrl);
+  for (const auto& d : data) b.in.push_back(d);
+  return {b.id, 0};
+}
+
+PortRef Model::addMerge(const std::string& name,
+                        std::vector<std::pair<RegionId, PortRef>> arms,
+                        expr::Scalar fallback) {
+  assert(!arms.empty());
+  Block& b = newBlock(name, BlockKind::kMerge);
+  b.mergeArms = std::move(arms);
+  b.scalarParam = fallback;
+  for (const auto& [r, p] : b.mergeArms) b.in.push_back(p);
+  return {b.id, 0};
+}
+
+PortRef Model::addUnitDelay(const std::string& name, PortRef in,
+                            expr::Scalar init) {
+  Block& b = newBlock(name, BlockKind::kUnitDelay);
+  b.in.push_back(in);
+  b.scalarParam = init;
+  return {b.id, 0};
+}
+
+PortRef Model::addUnitDelayHole(const std::string& name, expr::Scalar init) {
+  Block& b = newBlock(name, BlockKind::kUnitDelay);
+  b.scalarParam = init;
+  return {b.id, 0};
+}
+
+void Model::bindDelayInput(PortRef delay, PortRef input) {
+  assert(delay.valid() &&
+         static_cast<std::size_t>(delay.block) < blocks_.size());
+  Block& b = blocks_[static_cast<std::size_t>(delay.block)];
+  assert((b.kind == BlockKind::kUnitDelay ||
+          b.kind == BlockKind::kDelayLine) &&
+         b.in.empty() && "bindDelayInput expects an unbound delay");
+  b.in.push_back(input);
+}
+
+PortRef Model::addDelayLine(const std::string& name, PortRef in, int length,
+                            expr::Scalar init) {
+  assert(length >= 1);
+  Block& b = newBlock(name, BlockKind::kDelayLine);
+  b.in.push_back(in);
+  b.intParam = length;
+  b.scalarParam = init;
+  return {b.id, 0};
+}
+
+int Model::addDataStore(const std::string& name, expr::Type type, int width,
+                        expr::Scalar init) {
+  assert(width >= 1);
+  DataStore s;
+  s.index = static_cast<int>(stores_.size());
+  s.name = name;
+  s.type = type;
+  s.width = width;
+  s.init = init.castTo(type);
+  stores_.push_back(std::move(s));
+  return stores_.back().index;
+}
+
+PortRef Model::addDataStoreRead(const std::string& name, int store) {
+  Block& b = newBlock(name, BlockKind::kDataStoreRead);
+  b.intParam = store;
+  return {b.id, 0};
+}
+
+PortRef Model::addDataStoreReadElem(const std::string& name, int store,
+                                    PortRef index) {
+  Block& b = newBlock(name, BlockKind::kDataStoreReadElem);
+  b.intParam = store;
+  b.in.push_back(index);
+  return {b.id, 0};
+}
+
+void Model::addDataStoreWrite(const std::string& name, int store,
+                              PortRef value) {
+  Block& b = newBlock(name, BlockKind::kDataStoreWrite);
+  b.intParam = store;
+  b.in.push_back(value);
+}
+
+void Model::addDataStoreWriteElem(const std::string& name, int store,
+                                  PortRef index, PortRef value) {
+  Block& b = newBlock(name, BlockKind::kDataStoreWriteElem);
+  b.intParam = store;
+  b.in = {index, value};
+}
+
+PortRef Model::addLookup1D(const std::string& name, PortRef in,
+                           std::vector<double> breakpoints,
+                           std::vector<double> values) {
+  assert(breakpoints.size() == values.size() && breakpoints.size() >= 2);
+  Block& b = newBlock(name, BlockKind::kLookup1D);
+  b.in.push_back(in);
+  b.breakpoints = std::move(breakpoints);
+  b.tableValues = std::move(values);
+  return {b.id, 0};
+}
+
+std::vector<PortRef> Model::addChart(const std::string& name, ChartSpec spec,
+                                     std::vector<PortRef> inputs) {
+  assert(inputs.size() == spec.inputTemplateIds.size());
+  Block& b = newBlock(name, BlockKind::kChart);
+  b.in = std::move(inputs);
+  b.chartIndex = static_cast<int>(charts_.size());
+  const int numOutputs = static_cast<int>(spec.outputVarIndices.size()) +
+                         (spec.activeStateOutput ? 1 : 0);
+  charts_.push_back(std::move(spec));
+  std::vector<PortRef> outs;
+  outs.reserve(static_cast<std::size_t>(numOutputs));
+  for (int i = 0; i < numOutputs; ++i) outs.push_back({b.id, i});
+  return outs;
+}
+
+IfRegions Model::addIfElse(const std::string& name, PortRef cond) {
+  const int group = decisionGroups_++;
+  IfRegions out;
+  out.thenRegion =
+      newRegion(name + ".then", RegionKind::kIfArm, cond, group, 0);
+  out.elseRegion =
+      newRegion(name + ".else", RegionKind::kElseArm, cond, group, 1);
+  return out;
+}
+
+RegionId Model::addEnabled(const std::string& name, PortRef enable) {
+  const int group = decisionGroups_++;
+  return newRegion(name, RegionKind::kEnabled, enable, group, 0);
+}
+
+std::vector<RegionId> Model::addSwitchCase(
+    const std::string& name, PortRef ctrl,
+    const std::vector<std::vector<std::int64_t>>& cases, bool addDefault) {
+  assert(!cases.empty());
+  const int group = decisionGroups_++;
+  std::vector<RegionId> out;
+  int arm = 0;
+  for (const auto& values : cases) {
+    assert(!values.empty());
+    const RegionId r =
+        newRegion(name + ".case" + std::to_string(arm), RegionKind::kCaseArm,
+                  ctrl, group, arm);
+    regions_[static_cast<std::size_t>(r)].caseValues = values;
+    out.push_back(r);
+    ++arm;
+  }
+  if (addDefault) {
+    const RegionId r = newRegion(name + ".default", RegionKind::kDefaultArm,
+                                 ctrl, group, arm);
+    // The default arm matches anything not claimed by a sibling case.
+    for (const auto& values : cases) {
+      auto& dv = regions_[static_cast<std::size_t>(r)].caseValues;
+      dv.insert(dv.end(), values.begin(), values.end());
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+void Model::pushRegion(RegionId r) {
+  assert(r >= 0 && static_cast<std::size_t>(r) < regions_.size());
+  regionStack_.push_back(r);
+}
+
+void Model::popRegion() {
+  assert(regionStack_.size() > 1 && "cannot pop the root region");
+  regionStack_.pop_back();
+}
+
+std::vector<std::string> Model::validate() const {
+  std::vector<std::string> problems;
+  const auto complain = [&](const std::string& msg) {
+    problems.push_back(name_ + ": " + msg);
+  };
+
+  for (const auto& b : blocks_) {
+    for (const auto& p : b.in) {
+      if (!p.valid() || static_cast<std::size_t>(p.block) >= blocks_.size()) {
+        complain("block '" + b.name + "' has an invalid input reference");
+        continue;
+      }
+      const Block& src = blocks_[static_cast<std::size_t>(p.block)];
+      int srcOutputs = 1;
+      if (src.kind == BlockKind::kOutport ||
+          src.kind == BlockKind::kTestObjective ||
+          src.kind == BlockKind::kDataStoreWrite ||
+          src.kind == BlockKind::kDataStoreWriteElem) {
+        srcOutputs = 0;
+      } else if (src.kind == BlockKind::kChart) {
+        const auto& spec = charts_[static_cast<std::size_t>(src.chartIndex)];
+        srcOutputs = static_cast<int>(spec.outputVarIndices.size()) +
+                     (spec.activeStateOutput ? 1 : 0);
+      }
+      if (p.port < 0 || p.port >= srcOutputs) {
+        complain("block '" + b.name + "' references port " +
+                 std::to_string(p.port) + " of '" + src.name +
+                 "' which has " + std::to_string(srcOutputs) + " outputs");
+      }
+    }
+    switch (b.kind) {
+      case BlockKind::kSum:
+      case BlockKind::kProduct:
+        if (b.in.size() != b.signs.size()) {
+          complain("block '" + b.name + "' sign string mismatch");
+        }
+        break;
+      case BlockKind::kDataStoreRead:
+      case BlockKind::kDataStoreReadElem:
+      case BlockKind::kDataStoreWrite:
+      case BlockKind::kDataStoreWriteElem:
+        if (b.intParam < 0 ||
+            static_cast<std::size_t>(b.intParam) >= stores_.size()) {
+          complain("block '" + b.name + "' references unknown data store");
+        }
+        break;
+      case BlockKind::kChart: {
+        if (b.chartIndex < 0 ||
+            static_cast<std::size_t>(b.chartIndex) >= charts_.size()) {
+          complain("block '" + b.name + "' references unknown chart");
+          break;
+        }
+        const auto& spec = charts_[static_cast<std::size_t>(b.chartIndex)];
+        if (b.in.size() != spec.inputTemplateIds.size()) {
+          complain("chart '" + b.name + "' input arity mismatch");
+        }
+        for (const auto& t : spec.transitions) {
+          if (t.guard == nullptr) {
+            complain("chart '" + b.name + "' transition without guard");
+          }
+        }
+        break;
+      }
+      case BlockKind::kUnitDelay:
+      case BlockKind::kDelayLine:
+        if (b.in.empty()) {
+          complain("delay '" + b.name + "' has no input (unbound hole)");
+        }
+        break;
+      case BlockKind::kLookup1D:
+        for (std::size_t i = 1; i < b.breakpoints.size(); ++i) {
+          if (b.breakpoints[i] <= b.breakpoints[i - 1]) {
+            complain("block '" + b.name +
+                     "' breakpoints not strictly increasing");
+            break;
+          }
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  for (const auto& r : regions_) {
+    if (r.kind == RegionKind::kRoot) continue;
+    if (!r.ctrl.valid() ||
+        static_cast<std::size_t>(r.ctrl.block) >= blocks_.size()) {
+      complain("region '" + r.name + "' has an invalid control signal");
+    }
+  }
+  return problems;
+}
+
+}  // namespace stcg::model

@@ -1,0 +1,299 @@
+// Block-diagram model IR: the Simulink-like substrate.
+//
+// A Model is a graph of typed blocks connected by signals, organized into
+// conditionally-executed regions (the analogue of Simulink If / Switch-Case
+// action subsystems and enabled subsystems), plus named data stores (global
+// variables) and state-machine charts (the Stateflow analogue).
+//
+// Discrete-time semantics: each simulation step reads the inports, evaluates
+// every block once (region guards gate state updates and coverage, not
+// evaluation), and commits new state. The compiler in src/compile lowers a
+// Model to pure expressions over (inputs, state) — see compile/compiler.h.
+//
+// Builder style: add* methods return the PortRef of the new block's output
+// so models read as straight-line dataflow code. The "current region" is a
+// cursor manipulated via pushRegion/popRegion (or the RegionScope RAII
+// helper), and every added block lands in the current region.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "expr/scalar.h"
+#include "model/chart.h"
+
+namespace stcg::model {
+
+using BlockId = std::int32_t;
+using RegionId = std::int32_t;
+constexpr RegionId kRootRegion = 0;
+
+/// A reference to one output port of a block.
+struct PortRef {
+  BlockId block = -1;
+  int port = 0;
+
+  [[nodiscard]] bool valid() const { return block >= 0; }
+};
+
+enum class BlockKind {
+  kInport,
+  kOutport,
+  kConstant,
+  kConstantArray,
+  kSum,       // elementwise signed sum, signs given per operand
+  kGain,
+  kProduct,   // multiply/divide chain, ops given per operand
+  kAbs,
+  kMinMax,
+  kMod,  // integer remainder (truncated, guarded: x % 0 == 0)
+  kSaturation,
+  kRelational,
+  kLogical,
+  kSwitch,           // Simulink Switch: criteria(ctrl) ? first : third
+  kMultiportSwitch,  // data port selected by integer control (0-based)
+  kUnitDelay,        // one-step delay, scalar state
+  kDelayLine,        // N-step delay, array state
+  kDataStoreRead,      // whole store (scalar or array)
+  kDataStoreReadElem,  // store[index]
+  kDataStoreWrite,     // whole scalar store
+  kDataStoreWriteElem, // store[index] = value
+  kLookup1D,  // piecewise-linear interpolation table
+  kMerge,     // combines the outputs of mutually exclusive region arms
+  kChart,     // finite-state machine
+  kTestObjective,  // named boolean watch the generators try to satisfy
+};
+
+[[nodiscard]] const char* blockKindName(BlockKind k);
+
+enum class RelOp { kLt, kLe, kGt, kGe, kEq, kNe };
+enum class LogicOp { kAnd, kOr, kXor, kNot, kNand, kNor };
+enum class SwitchCriteria { kGreaterThan, kGreaterEqual, kNotZero };
+enum class MinMaxOp { kMin, kMax };
+
+/// One block instance. Interpretation of the parameter fields depends on
+/// `kind`; the builder methods keep them consistent.
+struct Block {
+  BlockId id = -1;
+  std::string name;
+  BlockKind kind = BlockKind::kConstant;
+  RegionId region = kRootRegion;
+  std::vector<PortRef> in;
+
+  expr::Scalar scalarParam;               // constant / init / threshold
+  std::vector<expr::Scalar> arrayParam;   // constant array contents
+  std::string signs;                      // Sum "+-+" / Product "**/"
+  double lo = 0.0, hi = 0.0;              // inport domain / saturation
+  int intParam = 0;                       // delay length / store index
+  expr::Type valueType = expr::Type::kReal;  // inport type
+  RelOp relOp = RelOp::kEq;
+  LogicOp logicOp = LogicOp::kAnd;
+  SwitchCriteria criteria = SwitchCriteria::kGreaterThan;
+  MinMaxOp minMaxOp = MinMaxOp::kMin;
+  std::vector<double> breakpoints, tableValues;  // lookup table
+  std::vector<std::pair<RegionId, PortRef>> mergeArms;
+  int chartIndex = -1;
+};
+
+enum class RegionKind {
+  kRoot,
+  kIfArm,
+  kElseArm,
+  kCaseArm,
+  kDefaultArm,
+  kEnabled,
+};
+
+/// A conditionally-executed group of blocks. Regions form a tree rooted at
+/// kRootRegion; sibling arms created by the same If/Switch-Case construct
+/// share a decision group and are mutually exclusive.
+struct Region {
+  RegionId id = kRootRegion;
+  RegionId parent = -1;
+  std::string name;
+  RegionKind kind = RegionKind::kRoot;
+  PortRef ctrl;                          // controlling signal
+  SwitchCriteria criteria = SwitchCriteria::kNotZero;  // for if/enabled arms
+  std::vector<std::int64_t> caseValues;  // for case arms
+  int decisionGroup = -1;                // arms of one construct share this
+  int armIndex = 0;
+};
+
+/// A named global variable (Simulink Data Store Memory).
+struct DataStore {
+  int index = -1;
+  std::string name;
+  expr::Type type = expr::Type::kReal;
+  int width = 1;  // 1 = scalar store, >1 = array store
+  expr::Scalar init;
+};
+
+/// Pair of regions created by addIfElse.
+struct IfRegions {
+  RegionId thenRegion = -1;
+  RegionId elseRegion = -1;
+};
+
+class Model {
+ public:
+  explicit Model(std::string name);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  // --- Sources and sinks -------------------------------------------------
+  /// Declare an external input with a bounded domain [lo, hi].
+  PortRef addInport(const std::string& name, expr::Type type, double lo,
+                    double hi);
+  void addOutport(const std::string& name, PortRef src);
+
+  PortRef addConstant(const std::string& name, expr::Scalar value);
+  PortRef addConstantArray(const std::string& name, expr::Type elemType,
+                           std::vector<expr::Scalar> elems);
+
+  // --- Math and logic ----------------------------------------------------
+  /// signs has one '+'/'-' per operand, e.g. addSum("s", {a,b,c}, "++-").
+  PortRef addSum(const std::string& name, std::vector<PortRef> operands,
+                 const std::string& signs);
+  PortRef addGain(const std::string& name, PortRef in, double k);
+  /// ops has one '*' or '/' per operand.
+  PortRef addProduct(const std::string& name, std::vector<PortRef> operands,
+                     const std::string& ops);
+  PortRef addAbs(const std::string& name, PortRef in);
+  PortRef addMinMax(const std::string& name, MinMaxOp op, PortRef a,
+                    PortRef b);
+  /// Integer remainder a % b (C++ truncated semantics, b == 0 yields 0).
+  PortRef addMod(const std::string& name, PortRef a, PortRef b);
+  PortRef addSaturation(const std::string& name, PortRef in, double lo,
+                        double hi);
+  PortRef addRelational(const std::string& name, RelOp op, PortRef a,
+                        PortRef b);
+  /// kNot takes one operand; the others take two or more.
+  PortRef addLogical(const std::string& name, LogicOp op,
+                     std::vector<PortRef> operands);
+  PortRef addCompareToConst(const std::string& name, PortRef in, RelOp op,
+                            double c);
+  /// Register a custom test objective (the analogue of SLDV's derived test
+  /// objectives): generators treat "cond becomes true while this block's
+  /// region is active" as an extra goal, and coverage reports track it.
+  void addTestObjective(const std::string& name, PortRef cond);
+
+  // --- Routing -----------------------------------------------------------
+  PortRef addSwitch(const std::string& name, PortRef onTrue, PortRef ctrl,
+                    PortRef onFalse, SwitchCriteria criteria,
+                    double threshold);
+  /// Data port `i` is selected when ctrl == i; the last data port also
+  /// serves as the out-of-range default.
+  PortRef addMultiportSwitch(const std::string& name, PortRef ctrl,
+                             std::vector<PortRef> data);
+  /// Merge of mutually exclusive region outputs; yields `fallback` when no
+  /// arm's region is active this step.
+  PortRef addMerge(const std::string& name,
+                   std::vector<std::pair<RegionId, PortRef>> arms,
+                   expr::Scalar fallback);
+
+  // --- State -------------------------------------------------------------
+  PortRef addUnitDelay(const std::string& name, PortRef in,
+                       expr::Scalar init);
+  /// Two-phase variant for feedback loops: create the delay first (its
+  /// output can feed the computation), then close the loop with
+  /// bindDelayInput. validate() rejects unbound delays.
+  PortRef addUnitDelayHole(const std::string& name, expr::Scalar init);
+  void bindDelayInput(PortRef delay, PortRef input);
+  /// Output is the input from `length` steps ago (array state of `length`).
+  PortRef addDelayLine(const std::string& name, PortRef in, int length,
+                       expr::Scalar init);
+
+  int addDataStore(const std::string& name, expr::Type type, int width,
+                   expr::Scalar init);
+  PortRef addDataStoreRead(const std::string& name, int store);
+  PortRef addDataStoreReadElem(const std::string& name, int store,
+                               PortRef index);
+  void addDataStoreWrite(const std::string& name, int store, PortRef value);
+  void addDataStoreWriteElem(const std::string& name, int store,
+                             PortRef index, PortRef value);
+
+  // --- Tables ------------------------------------------------------------
+  /// Piecewise-linear interpolation with clamped ends; breakpoints must be
+  /// strictly increasing and match tableValues in length.
+  PortRef addLookup1D(const std::string& name, PortRef in,
+                      std::vector<double> breakpoints,
+                      std::vector<double> values);
+
+  // --- Charts ------------------------------------------------------------
+  /// Instantiate a chart. `inputs[i]` feeds the template input i declared
+  /// on the builder. Returns one PortRef per declared chart output.
+  std::vector<PortRef> addChart(const std::string& name, ChartSpec spec,
+                                std::vector<PortRef> inputs);
+
+  // --- Conditional regions ----------------------------------------------
+  IfRegions addIfElse(const std::string& name, PortRef cond);
+  RegionId addEnabled(const std::string& name, PortRef enable);
+  /// One region per case group, plus a default region when addDefault.
+  std::vector<RegionId> addSwitchCase(
+      const std::string& name, PortRef ctrl,
+      const std::vector<std::vector<std::int64_t>>& cases, bool addDefault);
+
+  void pushRegion(RegionId r);
+  void popRegion();
+  [[nodiscard]] RegionId currentRegion() const { return regionStack_.back(); }
+
+  // --- Introspection -----------------------------------------------------
+  [[nodiscard]] const std::vector<Block>& blocks() const { return blocks_; }
+  [[nodiscard]] const Block& block(BlockId id) const {
+    return blocks_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] const std::vector<Region>& regions() const { return regions_; }
+  [[nodiscard]] const Region& region(RegionId id) const {
+    return regions_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] const std::vector<DataStore>& dataStores() const {
+    return stores_;
+  }
+  [[nodiscard]] const std::vector<ChartSpec>& charts() const {
+    return charts_;
+  }
+  [[nodiscard]] int decisionGroupCount() const { return decisionGroups_; }
+
+  /// Allocate a fresh expression-variable id (chart templates and the
+  /// compiler share this space so ids never collide).
+  [[nodiscard]] expr::VarId allocVarId() { return nextVarId_++; }
+
+  /// First id not yet handed out; the compiler allocates from here up.
+  [[nodiscard]] expr::VarId varIdWatermark() const { return nextVarId_; }
+
+  /// Structural checks: valid port references, arity, region nesting,
+  /// store indices, chart wiring. Returns a list of human-readable
+  /// problems; empty means the model is well-formed.
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+ private:
+  Block& newBlock(const std::string& name, BlockKind kind);
+  RegionId newRegion(const std::string& name, RegionKind kind, PortRef ctrl,
+                     int group, int armIndex);
+
+  std::string name_;
+  std::vector<Block> blocks_;
+  std::vector<Region> regions_;
+  std::vector<DataStore> stores_;
+  std::vector<ChartSpec> charts_;
+  std::vector<RegionId> regionStack_;
+  int decisionGroups_ = 0;
+  expr::VarId nextVarId_ = 0;
+};
+
+/// RAII region cursor: pushes `r` on construction, pops on destruction.
+class RegionScope {
+ public:
+  RegionScope(Model& m, RegionId r) : model_(m) { model_.pushRegion(r); }
+  ~RegionScope() { model_.popRegion(); }
+  RegionScope(const RegionScope&) = delete;
+  RegionScope& operator=(const RegionScope&) = delete;
+
+ private:
+  Model& model_;
+};
+
+}  // namespace stcg::model

@@ -1,0 +1,727 @@
+#include "model/serialize.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/builder.h"
+#include "expr/sexpr.h"
+#include "util/strings.h"
+
+namespace stcg::model {
+
+using expr::Scalar;
+using expr::Type;
+
+namespace {
+
+// ----- Token helpers -------------------------------------------------------
+
+const char* typeToken(Type t) { return expr::typeName(t); }
+
+Type typeFromToken(const std::string& s) {
+  if (s == "bool") return Type::kBool;
+  if (s == "int") return Type::kInt;
+  if (s == "real") return Type::kReal;
+  throw SerializeError("bad type token: " + s);
+}
+
+std::string scalarToken(const Scalar& s) {
+  switch (s.type()) {
+    case Type::kBool:
+      return std::string("b:") + (s.asBool() ? "1" : "0");
+    case Type::kInt:
+      return "i:" + std::to_string(s.asInt());
+    case Type::kReal: {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "r:%.17g", s.asReal());
+      return buf;
+    }
+  }
+  return "i:0";
+}
+
+Scalar scalarFromToken(const std::string& s) {
+  if (s.size() < 3 || s[1] != ':') {
+    throw SerializeError("bad scalar token: " + s);
+  }
+  const std::string v = s.substr(2);
+  switch (s[0]) {
+    case 'b': return Scalar::b(v == "1" || v == "true");
+    case 'i': return Scalar::i(std::stoll(v));
+    case 'r': return Scalar::r(std::stod(v));
+    default: throw SerializeError("bad scalar token: " + s);
+  }
+}
+
+std::string portToken(PortRef p) {
+  return "#" + std::to_string(p.block) + ":" + std::to_string(p.port);
+}
+
+PortRef portFromToken(const std::string& s) {
+  if (s.empty() || s[0] != '#') throw SerializeError("bad port token: " + s);
+  const auto colon = s.find(':');
+  if (colon == std::string::npos) {
+    throw SerializeError("bad port token: " + s);
+  }
+  PortRef p;
+  p.block = static_cast<BlockId>(std::stol(s.substr(1, colon - 1)));
+  p.port = std::stoi(s.substr(colon + 1));
+  return p;
+}
+
+/// Substring after the first `n` whitespace-separated tokens.
+std::string restAfterTokens(const std::string& line, int n) {
+  std::size_t i = 0;
+  int seen = 0;
+  while (i < line.size() && seen < n) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i >= line.size()) break;
+    ++seen;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+  }
+  while (i < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[i]))) {
+    ++i;
+  }
+  return line.substr(i);
+}
+
+std::vector<std::string> splitWs(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+std::vector<std::string> splitOn(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      if (i > start) out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+void checkName(const std::string& name) {
+  for (const char c : name) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      throw SerializeError("names may not contain whitespace: " + name);
+    }
+  }
+}
+
+const char* relOpToken(RelOp op) {
+  switch (op) {
+    case RelOp::kLt: return "lt";
+    case RelOp::kLe: return "le";
+    case RelOp::kGt: return "gt";
+    case RelOp::kGe: return "ge";
+    case RelOp::kEq: return "eq";
+    case RelOp::kNe: return "ne";
+  }
+  return "eq";
+}
+
+RelOp relOpFromToken(const std::string& s) {
+  if (s == "lt") return RelOp::kLt;
+  if (s == "le") return RelOp::kLe;
+  if (s == "gt") return RelOp::kGt;
+  if (s == "ge") return RelOp::kGe;
+  if (s == "eq") return RelOp::kEq;
+  if (s == "ne") return RelOp::kNe;
+  throw SerializeError("bad relop: " + s);
+}
+
+const char* logicOpToken(LogicOp op) {
+  switch (op) {
+    case LogicOp::kAnd: return "and";
+    case LogicOp::kOr: return "or";
+    case LogicOp::kXor: return "xor";
+    case LogicOp::kNot: return "not";
+    case LogicOp::kNand: return "nand";
+    case LogicOp::kNor: return "nor";
+  }
+  return "and";
+}
+
+LogicOp logicOpFromToken(const std::string& s) {
+  if (s == "and") return LogicOp::kAnd;
+  if (s == "or") return LogicOp::kOr;
+  if (s == "xor") return LogicOp::kXor;
+  if (s == "not") return LogicOp::kNot;
+  if (s == "nand") return LogicOp::kNand;
+  if (s == "nor") return LogicOp::kNor;
+  throw SerializeError("bad logicop: " + s);
+}
+
+const char* criteriaToken(SwitchCriteria c) {
+  switch (c) {
+    case SwitchCriteria::kGreaterThan: return "gt";
+    case SwitchCriteria::kGreaterEqual: return "ge";
+    case SwitchCriteria::kNotZero: return "nz";
+  }
+  return "nz";
+}
+
+SwitchCriteria criteriaFromToken(const std::string& s) {
+  if (s == "gt") return SwitchCriteria::kGreaterThan;
+  if (s == "ge") return SwitchCriteria::kGreaterEqual;
+  if (s == "nz") return SwitchCriteria::kNotZero;
+  throw SerializeError("bad criteria: " + s);
+}
+
+std::string csvOfDoubles(const std::vector<double>& v) {
+  std::vector<std::string> parts;
+  parts.reserve(v.size());
+  for (const double d : v) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    parts.emplace_back(buf);
+  }
+  return join(parts, ",");
+}
+
+std::vector<double> doublesOfCsv(const std::string& s) {
+  std::vector<double> out;
+  for (const auto& t : splitOn(s, ',')) out.push_back(std::stod(t));
+  return out;
+}
+
+// ----- Writer ---------------------------------------------------------------
+
+void writeChart(const ChartSpec& c, std::string& out) {
+  out += "chart\n";
+  out += "  cname " + c.name + "\n";
+  for (std::size_t i = 0; i < c.inputNames.size(); ++i) {
+    out += "  input " + c.inputNames[i] + " " +
+           typeToken(c.inputTypes[i]) + "\n";
+  }
+  for (const auto& v : c.vars) {
+    out += "  lvar " + v.name + " " + scalarToken(v.init) + "\n";
+  }
+  for (const auto& s : c.states) {
+    out += "  state " + s.name + "\n";
+  }
+  out += "  initial " + std::to_string(c.initialState) + "\n";
+  for (std::size_t s = 0; s < c.states.size(); ++s) {
+    for (const auto& a : c.states[s].duringActions) {
+      out += "  during " + std::to_string(s) + " " +
+             std::to_string(a.varIndex) + " " + expr::toSexpr(a.value) +
+             "\n";
+    }
+  }
+  for (const auto& t : c.transitions) {
+    out += "  transition " + std::to_string(t.from) + " " +
+           std::to_string(t.to) + " " + expr::toSexpr(t.guard) + "\n";
+    for (const auto& a : t.actions) {
+      out += "  taction " + std::to_string(a.varIndex) + " " +
+             expr::toSexpr(a.value) + "\n";
+    }
+    if (!t.label.empty()) out += "  tlabel " + t.label + "\n";
+  }
+  for (const int v : c.outputVarIndices) {
+    out += "  output " + std::to_string(v) + "\n";
+  }
+  if (c.activeStateOutput) out += "  activeout\n";
+  out += "endchart\n";
+}
+
+void writeBlockLine(const Model& m, const Block& b, std::string& out) {
+  out += "block " + std::string(blockKindName(b.kind)) + " " + b.name +
+         " region=" + std::to_string(b.region);
+  out += " in=";
+  if (b.in.empty()) {
+    out += "-";
+  } else {
+    std::vector<std::string> parts;
+    parts.reserve(b.in.size());
+    for (const auto& p : b.in) parts.push_back(portToken(p));
+    out += join(parts, ",");
+  }
+  switch (b.kind) {
+    case BlockKind::kInport: {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), " %s %.17g %.17g",
+                    typeToken(b.valueType), b.lo, b.hi);
+      out += buf;
+      break;
+    }
+    case BlockKind::kConstant:
+      out += " " + scalarToken(b.scalarParam);
+      break;
+    case BlockKind::kConstantArray: {
+      out += " ";
+      out += typeToken(b.valueType);
+      std::vector<std::string> parts;
+      parts.reserve(b.arrayParam.size());
+      for (const auto& e : b.arrayParam) parts.push_back(scalarToken(e));
+      out += " " + join(parts, ",");
+      break;
+    }
+    case BlockKind::kSum:
+    case BlockKind::kProduct:
+      out += " " + b.signs;
+      break;
+    case BlockKind::kGain:
+    case BlockKind::kSwitch: {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), " %.17g", b.scalarParam.toReal());
+      if (b.kind == BlockKind::kSwitch) {
+        out += " ";
+        out += criteriaToken(b.criteria);
+      }
+      out += buf;
+      break;
+    }
+    case BlockKind::kMinMax:
+      out += b.minMaxOp == MinMaxOp::kMin ? " min" : " max";
+      break;
+    case BlockKind::kSaturation: {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), " %.17g %.17g", b.lo, b.hi);
+      out += buf;
+      break;
+    }
+    case BlockKind::kRelational:
+      out += " ";
+      out += relOpToken(b.relOp);
+      break;
+    case BlockKind::kLogical:
+      out += " ";
+      out += logicOpToken(b.logicOp);
+      break;
+    case BlockKind::kUnitDelay:
+      out += " " + scalarToken(b.scalarParam);
+      break;
+    case BlockKind::kDelayLine:
+      out += " " + scalarToken(b.scalarParam) + " " +
+             std::to_string(b.intParam);
+      break;
+    case BlockKind::kDataStoreRead:
+    case BlockKind::kDataStoreReadElem:
+    case BlockKind::kDataStoreWrite:
+    case BlockKind::kDataStoreWriteElem:
+      out += " " + std::to_string(b.intParam);
+      break;
+    case BlockKind::kLookup1D:
+      out += " bp=" + csvOfDoubles(b.breakpoints) +
+             " vals=" + csvOfDoubles(b.tableValues);
+      break;
+    case BlockKind::kMerge: {
+      std::vector<std::string> parts;
+      parts.reserve(b.mergeArms.size());
+      for (const auto& [r, p] : b.mergeArms) {
+        parts.push_back(std::to_string(r) + "@" + portToken(p));
+      }
+      out += " arms=" + join(parts, ",") +
+             " fallback=" + scalarToken(b.scalarParam);
+      break;
+    }
+    case BlockKind::kChart:
+      out += " " + std::to_string(b.chartIndex);
+      break;
+    default:
+      break;  // Outport, Abs, Mod, MultiportSwitch, TestObjective: no params
+  }
+  out += "\n";
+  (void)m;
+}
+
+}  // namespace
+
+std::string writeModel(const Model& m) {
+  checkName(m.name());
+  std::string out = "stcg-model 1\n";
+  out += "name " + m.name() + "\n";
+  for (const auto& s : m.dataStores()) {
+    checkName(s.name);
+    out += "datastore " + s.name + " " + typeToken(s.type) + " " +
+           std::to_string(s.width) + " " + scalarToken(s.init) + "\n";
+  }
+  for (const auto& c : m.charts()) writeChart(c, out);
+
+  // Constructs grouped by decision group, in group (== region id) order.
+  std::map<int, std::vector<const Region*>> groups;
+  for (const auto& r : m.regions()) {
+    if (r.kind != RegionKind::kRoot) groups[r.decisionGroup].push_back(&r);
+  }
+  for (const auto& [group, arms] : groups) {
+    (void)group;
+    const Region& first = *arms.front();
+    checkName(first.name);
+    switch (first.kind) {
+      case RegionKind::kIfArm: {
+        // first.name is "<base>.then"; recover the construct name.
+        const std::string base =
+            first.name.substr(0, first.name.rfind(".then"));
+        out += "construct ifelse " + base + " parent=" +
+               std::to_string(first.parent) + " ctrl=" +
+               portToken(first.ctrl) + "\n";
+        break;
+      }
+      case RegionKind::kEnabled:
+        out += "construct enabled " + first.name + " parent=" +
+               std::to_string(first.parent) + " ctrl=" +
+               portToken(first.ctrl) + "\n";
+        break;
+      case RegionKind::kCaseArm: {
+        const std::string base =
+            first.name.substr(0, first.name.rfind(".case0"));
+        std::vector<std::string> caseParts;
+        bool hasDefault = false;
+        for (const auto* arm : arms) {
+          if (arm->kind == RegionKind::kDefaultArm) {
+            hasDefault = true;
+            continue;
+          }
+          std::vector<std::string> vals;
+          vals.reserve(arm->caseValues.size());
+          for (const auto v : arm->caseValues) {
+            vals.push_back(std::to_string(v));
+          }
+          caseParts.push_back(join(vals, ","));
+        }
+        out += "construct switchcase " + base + " parent=" +
+               std::to_string(first.parent) + " ctrl=" +
+               portToken(first.ctrl) + " cases=" + join(caseParts, "|") +
+               (hasDefault ? " default" : "") + "\n";
+        break;
+      }
+      default:
+        throw SerializeError("unexpected leading region kind in group");
+    }
+  }
+
+  for (const auto& b : m.blocks()) {
+    checkName(b.name);
+    writeBlockLine(m, b, out);
+  }
+  return out;
+}
+
+// ----- Parser ---------------------------------------------------------------
+
+namespace {
+
+class ModelParser {
+ public:
+  explicit ModelParser(const std::string& text) {
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty() || line[0] == '#') continue;
+      lines_.push_back(line);
+    }
+  }
+
+  Model parse() {
+    expectHeader();
+    std::string name = "model";
+    if (peekKey() == "name") {
+      name = splitWs(next())[1];
+    }
+    Model m(name);
+    while (pos_ < lines_.size()) {
+      const std::string key = peekKey();
+      if (key == "datastore") {
+        parseDataStore(m);
+      } else if (key == "chart") {
+        parseChart(m);
+      } else if (key == "construct") {
+        parseConstruct(m);
+      } else if (key == "block") {
+        parseBlock(m);
+      } else {
+        throw SerializeError("unexpected line: " + lines_[pos_]);
+      }
+    }
+    return m;
+  }
+
+ private:
+  std::string peekKey() {
+    if (pos_ >= lines_.size()) return "";
+    const auto toks = splitWs(lines_[pos_]);
+    return toks.empty() ? "" : toks[0];
+  }
+
+  const std::string& next() {
+    if (pos_ >= lines_.size()) throw SerializeError("unexpected EOF");
+    return lines_[pos_++];
+  }
+
+  void expectHeader() {
+    const auto toks = splitWs(next());
+    if (toks.size() < 2 || toks[0] != "stcg-model" || toks[1] != "1") {
+      throw SerializeError("missing stcg-model 1 header");
+    }
+  }
+
+  void parseDataStore(Model& m) {
+    const auto t = splitWs(next());
+    if (t.size() != 5) throw SerializeError("bad datastore line");
+    (void)m.addDataStore(t[1], typeFromToken(t[2]), std::stoi(t[3]),
+                         scalarFromToken(t[4]));
+  }
+
+  void parseChart(Model& m) {
+    (void)next();  // "chart"
+    // The builder's name is fixed at construction; read cname first (it is
+    // always emitted first by the writer).
+    auto toks = splitWs(next());
+    if (toks.size() != 2 || toks[0] != "cname") {
+      throw SerializeError("chart must begin with cname");
+    }
+    ChartBuilder builder(m, toks[1]);
+    std::unordered_map<std::string, expr::ExprPtr> leaves;
+    const expr::VarResolver resolve =
+        [&](const std::string& n) -> expr::ExprPtr {
+      const auto it = leaves.find(n);
+      return it == leaves.end() ? nullptr : it->second;
+    };
+    int lastTransition = -1;
+    std::vector<ChartTransitionSpec> pendingTransitions;
+
+    while (true) {
+      const std::string& line = next();
+      const auto t = splitWs(line);
+      if (t.empty()) continue;
+      if (t[0] == "endchart") break;
+      if (t[0] == "input") {
+        leaves[toks[1] + "." + t[1]] =
+            builder.input(t[1], typeFromToken(t[2]));
+      } else if (t[0] == "lvar") {
+        const int idx = builder.addVar(t[1], scalarFromToken(t[2]));
+        leaves[toks[1] + "." + t[1]] = builder.varRef(idx);
+      } else if (t[0] == "state") {
+        (void)builder.addState(t[1]);
+      } else if (t[0] == "initial") {
+        builder.setInitialState(std::stoi(t[1]));
+      } else if (t[0] == "during") {
+        builder.addDuring(std::stoi(t[1]), std::stoi(t[2]),
+                          expr::parseSexpr(restAfterTokens(line, 3),
+                                           resolve));
+      } else if (t[0] == "transition") {
+        ChartTransitionSpec tr;
+        tr.from = std::stoi(t[1]);
+        tr.to = std::stoi(t[2]);
+        tr.guard = expr::parseSexpr(restAfterTokens(line, 3), resolve);
+        pendingTransitions.push_back(std::move(tr));
+        lastTransition = static_cast<int>(pendingTransitions.size()) - 1;
+      } else if (t[0] == "taction") {
+        if (lastTransition < 0) throw SerializeError("taction before transition");
+        pendingTransitions[static_cast<std::size_t>(lastTransition)]
+            .actions.push_back(ChartAssign{
+                std::stoi(t[1]),
+                expr::parseSexpr(restAfterTokens(line, 2), resolve)});
+      } else if (t[0] == "tlabel") {
+        if (lastTransition < 0) throw SerializeError("tlabel before transition");
+        pendingTransitions[static_cast<std::size_t>(lastTransition)].label =
+            restAfterTokens(line, 1);
+      } else if (t[0] == "output") {
+        builder.exposeOutput(std::stoi(t[1]));
+      } else if (t[0] == "activeout") {
+        builder.exposeActiveState();
+      } else {
+        throw SerializeError("bad chart line: " + line);
+      }
+    }
+    for (auto& tr : pendingTransitions) {
+      builder.addTransition(tr.from, tr.to, tr.guard, std::move(tr.actions),
+                            std::move(tr.label));
+    }
+    charts_.push_back(builder.build());
+  }
+
+  std::unordered_map<std::string, std::string> kvOf(
+      const std::vector<std::string>& toks, std::size_t from) {
+    std::unordered_map<std::string, std::string> kv;
+    for (std::size_t i = from; i < toks.size(); ++i) {
+      const auto eq = toks[i].find('=');
+      if (eq == std::string::npos) {
+        kv[toks[i]] = "";
+      } else {
+        kv[toks[i].substr(0, eq)] = toks[i].substr(eq + 1);
+      }
+    }
+    return kv;
+  }
+
+  void parseConstruct(Model& m) {
+    const std::string line = next();
+    const auto t = splitWs(line);
+    if (t.size() < 3) throw SerializeError("bad construct line");
+    const auto kv = kvOf(t, 3);
+    const RegionId parent =
+        static_cast<RegionId>(std::stoi(kv.at("parent")));
+    const PortRef ctrl = portFromToken(kv.at("ctrl"));
+    m.pushRegion(parent == kRootRegion ? kRootRegion : parent);
+    if (t[1] == "ifelse") {
+      (void)m.addIfElse(t[2], ctrl);
+    } else if (t[1] == "enabled") {
+      (void)m.addEnabled(t[2], ctrl);
+    } else if (t[1] == "switchcase") {
+      std::vector<std::vector<std::int64_t>> cases;
+      for (const auto& grp : splitOn(kv.at("cases"), '|')) {
+        std::vector<std::int64_t> vals;
+        for (const auto& v : splitOn(grp, ',')) vals.push_back(std::stoll(v));
+        cases.push_back(std::move(vals));
+      }
+      (void)m.addSwitchCase(t[2], ctrl, cases, kv.count("default") > 0);
+    } else {
+      throw SerializeError("bad construct kind: " + t[1]);
+    }
+    m.popRegion();
+  }
+
+  std::vector<PortRef> portsOf(const std::string& s) {
+    std::vector<PortRef> out;
+    if (s == "-") return out;
+    for (const auto& t : splitOn(s, ',')) out.push_back(portFromToken(t));
+    return out;
+  }
+
+  void parseBlock(Model& m) {
+    const std::string line = next();
+    const auto t = splitWs(line);
+    if (t.size() < 5) throw SerializeError("bad block line: " + line);
+    const std::string kind = t[1];
+    const std::string name = t[2];
+    const auto kv = kvOf(t, 3);
+    const RegionId region =
+        static_cast<RegionId>(std::stoi(kv.at("region")));
+    const auto in = portsOf(kv.at("in"));
+    const auto param = [&](std::size_t i) -> const std::string& {
+      if (5 + i >= t.size()) throw SerializeError("missing param: " + line);
+      return t[5 + i];
+    };
+
+    m.pushRegion(region);
+    if (kind == "Inport") {
+      (void)m.addInport(name, typeFromToken(param(0)), std::stod(param(1)),
+                        std::stod(param(2)));
+    } else if (kind == "Outport") {
+      m.addOutport(name, in.at(0));
+    } else if (kind == "Constant") {
+      (void)m.addConstant(name, scalarFromToken(param(0)));
+    } else if (kind == "ConstantArray") {
+      std::vector<Scalar> elems;
+      for (const auto& e : splitOn(param(1), ',')) {
+        elems.push_back(scalarFromToken(e));
+      }
+      (void)m.addConstantArray(name, typeFromToken(param(0)),
+                               std::move(elems));
+    } else if (kind == "Sum") {
+      (void)m.addSum(name, in, param(0));
+    } else if (kind == "Product") {
+      (void)m.addProduct(name, in, param(0));
+    } else if (kind == "Gain") {
+      (void)m.addGain(name, in.at(0), std::stod(param(0)));
+    } else if (kind == "Abs") {
+      (void)m.addAbs(name, in.at(0));
+    } else if (kind == "Mod") {
+      (void)m.addMod(name, in.at(0), in.at(1));
+    } else if (kind == "MinMax") {
+      (void)m.addMinMax(name,
+                        param(0) == "min" ? MinMaxOp::kMin : MinMaxOp::kMax,
+                        in.at(0), in.at(1));
+    } else if (kind == "Saturation") {
+      (void)m.addSaturation(name, in.at(0), std::stod(param(0)),
+                            std::stod(param(1)));
+    } else if (kind == "Relational") {
+      (void)m.addRelational(name, relOpFromToken(param(0)), in.at(0),
+                            in.at(1));
+    } else if (kind == "Logical") {
+      (void)m.addLogical(name, logicOpFromToken(param(0)), in);
+    } else if (kind == "Switch") {
+      (void)m.addSwitch(name, in.at(0), in.at(1), in.at(2),
+                        criteriaFromToken(param(0)), std::stod(param(1)));
+    } else if (kind == "MultiportSwitch") {
+      std::vector<PortRef> data(in.begin() + 1, in.end());
+      (void)m.addMultiportSwitch(name, in.at(0), data);
+    } else if (kind == "UnitDelay") {
+      if (in.empty()) {
+        (void)m.addUnitDelayHole(name, scalarFromToken(param(0)));
+      } else {
+        (void)m.addUnitDelay(name, in.at(0), scalarFromToken(param(0)));
+      }
+    } else if (kind == "DelayLine") {
+      (void)m.addDelayLine(name, in.at(0), std::stoi(param(1)),
+                           scalarFromToken(param(0)));
+    } else if (kind == "DataStoreRead") {
+      (void)m.addDataStoreRead(name, std::stoi(param(0)));
+    } else if (kind == "DataStoreReadElem") {
+      (void)m.addDataStoreReadElem(name, std::stoi(param(0)), in.at(0));
+    } else if (kind == "DataStoreWrite") {
+      m.addDataStoreWrite(name, std::stoi(param(0)), in.at(0));
+    } else if (kind == "DataStoreWriteElem") {
+      m.addDataStoreWriteElem(name, std::stoi(param(0)), in.at(0), in.at(1));
+    } else if (kind == "Lookup1D") {
+      (void)m.addLookup1D(name, in.at(0),
+                          doublesOfCsv(kv.at("bp")),
+                          doublesOfCsv(kv.at("vals")));
+    } else if (kind == "Merge") {
+      std::vector<std::pair<RegionId, PortRef>> arms;
+      for (const auto& a : splitOn(kv.at("arms"), ',')) {
+        const auto at = a.find('@');
+        if (at == std::string::npos) throw SerializeError("bad merge arm");
+        arms.emplace_back(static_cast<RegionId>(std::stoi(a.substr(0, at))),
+                          portFromToken(a.substr(at + 1)));
+      }
+      (void)m.addMerge(name, std::move(arms),
+                       scalarFromToken(kv.at("fallback")));
+    } else if (kind == "Chart") {
+      const int idx = std::stoi(param(0));
+      (void)m.addChart(name, charts_.at(static_cast<std::size_t>(idx)), in);
+    } else if (kind == "TestObjective") {
+      m.addTestObjective(name, in.at(0));
+    } else {
+      m.popRegion();
+      throw SerializeError("unknown block kind: " + kind);
+    }
+    m.popRegion();
+  }
+
+  std::vector<std::string> lines_;
+  std::size_t pos_ = 0;
+  std::vector<ChartSpec> charts_;
+};
+
+}  // namespace
+
+Model parseModel(const std::string& text) {
+  ModelParser p(text);
+  return p.parse();
+}
+
+bool saveModel(const std::string& path, const Model& m) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << writeModel(m);
+  return static_cast<bool>(f);
+}
+
+Model loadModel(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw SerializeError("cannot read " + path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return parseModel(ss.str());
+}
+
+}  // namespace stcg::model

@@ -1,0 +1,36 @@
+// Textual model serialization: save and load complete models — blocks,
+// conditional regions, data stores, charts (guards/actions as
+// s-expressions), and test objectives.
+//
+// The format is line-oriented and stable under round-trip: region and
+// block ids are reproduced exactly, so a parsed model compiles to the same
+// branch structure as its source. This is the interchange path for models
+// authored outside C++ (the role .slx files play for the paper's tool).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "model/model.h"
+
+namespace stcg::model {
+
+class SerializeError : public std::runtime_error {
+ public:
+  explicit SerializeError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Render `m` in the stcg-model text format.
+[[nodiscard]] std::string writeModel(const Model& m);
+
+/// Parse a model previously produced by writeModel. Throws SerializeError
+/// on malformed input.
+[[nodiscard]] Model parseModel(const std::string& text);
+
+/// File convenience wrappers. saveModel returns false on I/O failure;
+/// loadModel throws SerializeError (also for unreadable files).
+bool saveModel(const std::string& path, const Model& m);
+[[nodiscard]] Model loadModel(const std::string& path);
+
+}  // namespace stcg::model

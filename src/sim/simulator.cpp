@@ -1,0 +1,148 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace stcg::sim {
+
+using expr::Env;
+using expr::Evaluator;
+using expr::Scalar;
+using expr::Type;
+using expr::Value;
+
+Simulator::Simulator(const compile::CompiledModel& cm) : cm_(&cm) { reset(); }
+
+void Simulator::reset() {
+  state_.clear();
+  state_.reserve(cm_->states.size());
+  for (const auto& s : cm_->states) state_.push_back(s.init);
+  lastOutputs_.assign(cm_->outputs.size(), Scalar::i(0));
+}
+
+void Simulator::restore(const StateSnapshot& s) {
+  assert(s.size() == cm_->states.size());
+  state_ = s;
+}
+
+void Simulator::bindState(Env& env) const {
+  for (std::size_t i = 0; i < cm_->states.size(); ++i) {
+    const auto& sv = cm_->states[i];
+    if (sv.width == 1) {
+      env.set(sv.id, state_[i].scalar());
+    } else {
+      env.setArray(sv.id, state_[i].elems());
+    }
+  }
+}
+
+StepResult Simulator::step(const InputVector& in,
+                           coverage::CoverageTracker* cov) {
+  assert(in.size() == cm_->inputs.size());
+  Env env;
+  bindState(env);
+  for (std::size_t i = 0; i < cm_->inputs.size(); ++i) {
+    env.set(cm_->inputs[i].info.id, in[i].castTo(cm_->inputs[i].info.type));
+  }
+
+  Evaluator ev(env);
+  StepResult result;
+
+  // Coverage: evaluate every decision whose activation holds.
+  if (cov != nullptr) {
+    for (const auto& d : cm_->decisions) {
+      if (!ev.evalScalar(d.activation).toBool()) continue;
+      int taken = -1;
+      for (std::size_t a = 0; a < d.armConds.size(); ++a) {
+        if (ev.evalScalar(d.armConds[a]).toBool()) {
+          taken = static_cast<int>(a);
+          break;
+        }
+      }
+      // Arms are exhaustive by construction; taken must be valid.
+      assert(taken >= 0);
+      if (taken < 0) continue;
+      const int newBranch = cov->recordDecision(d.id, taken);
+      if (newBranch >= 0) result.newlyCovered.push_back(newBranch);
+      if (!d.conditions.empty()) {
+        std::vector<bool> vals;
+        vals.reserve(d.conditions.size());
+        for (const auto& c : d.conditions) {
+          vals.push_back(ev.evalScalar(c).toBool());
+        }
+        if (cov->recordConditions(d.id, vals, taken == 0)) {
+          result.newConditionObservation = true;
+        }
+      }
+    }
+  }
+
+  if (cov != nullptr) {
+    for (const auto& obj : cm_->objectives) {
+      if (cov->objectiveCovered(obj.id)) continue;
+      if (ev.evalScalar(obj.activation).toBool() &&
+          ev.evalScalar(obj.cond).toBool()) {
+        if (cov->recordObjective(obj.id)) {
+          result.newConditionObservation = true;
+        }
+      }
+    }
+  }
+
+  // Outputs.
+  lastOutputs_.clear();
+  lastOutputs_.reserve(cm_->outputs.size());
+  for (const auto& [name, e] : cm_->outputs) {
+    (void)name;
+    lastOutputs_.push_back(ev.evalScalar(e));
+  }
+
+  // Next state (computed fully before committing).
+  StateSnapshot next;
+  next.reserve(cm_->states.size());
+  for (const auto& sv : cm_->states) {
+    if (sv.width == 1) {
+      next.emplace_back(ev.evalScalar(sv.next).castTo(sv.type));
+    } else {
+      next.emplace_back(Value(sv.type, ev.evalArray(sv.next)));
+    }
+  }
+  state_ = std::move(next);
+  return result;
+}
+
+InputVector randomInput(const compile::CompiledModel& cm, Rng& rng) {
+  InputVector out;
+  out.reserve(cm.inputs.size());
+  for (const auto& in : cm.inputs) {
+    const auto& info = in.info;
+    switch (info.type) {
+      case Type::kBool:
+        out.push_back(Scalar::b(rng.chance(0.5)));
+        break;
+      case Type::kInt:
+        out.push_back(Scalar::i(rng.uniformInt(
+            static_cast<std::int64_t>(std::ceil(info.lo)),
+            static_cast<std::int64_t>(std::floor(info.hi)))));
+        break;
+      case Type::kReal:
+        out.push_back(Scalar::r(rng.uniformReal(info.lo, info.hi)));
+        break;
+    }
+  }
+  return out;
+}
+
+std::string formatInput(const compile::CompiledModel& cm,
+                        const InputVector& in) {
+  std::vector<std::string> parts;
+  parts.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    parts.push_back(cm.inputs[i].info.name + "=" + in[i].toString());
+  }
+  return join(parts, ", ");
+}
+
+}  // namespace stcg::sim

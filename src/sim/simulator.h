@@ -1,0 +1,75 @@
+// Discrete-step execution of a compiled model, with state snapshot/restore
+// and coverage recording — the "Dynamic Execution" substrate of the paper.
+//
+// The paper's Model.setState / Model.run API (Algorithm 2) maps to
+// restore() / step(). A snapshot is the full linear state vector the paper
+// describes (Section IV: state values linearly arranged in memory, mapped
+// to model elements by a name/attribute table — here CompiledModel.states).
+#pragma once
+
+#include <vector>
+
+#include "compile/compiled_model.h"
+#include "coverage/coverage.h"
+#include "expr/eval.h"
+#include "util/rng.h"
+
+namespace stcg::sim {
+
+/// One step's external inputs, aligned with CompiledModel::inputs.
+using InputVector = std::vector<expr::Scalar>;
+
+/// The full internal state, aligned with CompiledModel::states.
+using StateSnapshot = std::vector<expr::Value>;
+
+struct StepResult {
+  /// Branch ids newly covered during this step (empty without a tracker).
+  std::vector<int> newlyCovered;
+  /// True if a condition polarity or MCDC vector was observed for the
+  /// first time this step.
+  bool newConditionObservation = false;
+  [[nodiscard]] bool foundNewCoverage() const {
+    return !newlyCovered.empty() || newConditionObservation;
+  }
+  [[nodiscard]] bool foundNewBranch() const { return !newlyCovered.empty(); }
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const compile::CompiledModel& cm);
+
+  /// Return to the model's initial state.
+  void reset();
+
+  [[nodiscard]] const StateSnapshot& state() const { return state_; }
+  [[nodiscard]] StateSnapshot snapshot() const { return state_; }
+  void restore(const StateSnapshot& s);
+
+  /// Execute one iteration: evaluate outputs, record coverage into `cov`
+  /// (optional), commit next state.
+  StepResult step(const InputVector& in, coverage::CoverageTracker* cov);
+
+  /// Output values computed by the most recent step.
+  [[nodiscard]] const std::vector<expr::Scalar>& lastOutputs() const {
+    return lastOutputs_;
+  }
+
+  [[nodiscard]] const compile::CompiledModel& compiled() const { return *cm_; }
+
+ private:
+  void bindState(expr::Env& env) const;
+
+  const compile::CompiledModel* cm_;
+  StateSnapshot state_;
+  std::vector<expr::Scalar> lastOutputs_;
+};
+
+/// Draw a uniformly random input vector within the declared input domains.
+[[nodiscard]] InputVector randomInput(const compile::CompiledModel& cm,
+                                      Rng& rng);
+
+/// Render an input vector as "name=value, ..." (for test-case export).
+[[nodiscard]] std::string formatInput(const compile::CompiledModel& cm,
+                                      const InputVector& in);
+
+}  // namespace stcg::sim

@@ -1,0 +1,241 @@
+#include "solver/local_search.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "expr/eval.h"
+#include "util/stopwatch.h"
+
+namespace stcg::solver {
+
+using expr::Env;
+using expr::Expr;
+using expr::ExprPtr;
+using expr::Op;
+using expr::Scalar;
+using expr::Type;
+using expr::VarInfo;
+
+namespace {
+
+constexpr double kEps = 1e-6;
+
+double distanceRec(const ExprPtr& e, expr::Evaluator& ev, bool want);
+
+double atomDistance(const ExprPtr& e, expr::Evaluator& ev, bool want) {
+  const auto lhs = [&] { return ev.evalScalar(e->args[0]).toReal(); };
+  const auto rhs = [&] { return ev.evalScalar(e->args[1]).toReal(); };
+  switch (e->op) {
+    case Op::kEq: {
+      const double d = std::fabs(lhs() - rhs());
+      return want ? d : (d == 0.0 ? 1.0 : 0.0);
+    }
+    case Op::kNe: {
+      const double d = std::fabs(lhs() - rhs());
+      return want ? (d == 0.0 ? 1.0 : 0.0) : d;
+    }
+    case Op::kLt: {
+      const double d = lhs() - rhs();
+      return want ? (d < 0.0 ? 0.0 : d + kEps)
+                  : (d >= 0.0 ? 0.0 : -d + kEps);
+    }
+    case Op::kLe: {
+      const double d = lhs() - rhs();
+      return want ? (d <= 0.0 ? 0.0 : d) : (d > 0.0 ? 0.0 : -d + kEps);
+    }
+    case Op::kGt: {
+      const double d = rhs() - lhs();
+      return want ? (d < 0.0 ? 0.0 : d + kEps)
+                  : (d >= 0.0 ? 0.0 : -d + kEps);
+    }
+    case Op::kGe: {
+      const double d = rhs() - lhs();
+      return want ? (d <= 0.0 ? 0.0 : d) : (d > 0.0 ? 0.0 : -d + kEps);
+    }
+    default: {
+      // Boolean leaf (variable, cast, select of booleans, ...): use its
+      // concrete truth value; distance 0/1.
+      return ev.evalScalar(e).toBool() == want ? 0.0 : 1.0;
+    }
+  }
+}
+
+double distanceRec(const ExprPtr& e, expr::Evaluator& ev, bool want) {
+  switch (e->op) {
+    case Op::kConst:
+      return e->constVal.toBool() == want ? 0.0 : 1.0;
+    case Op::kNot:
+      return distanceRec(e->args[0], ev, !want);
+    case Op::kAnd: {
+      const double a = distanceRec(e->args[0], ev, want);
+      const double b = distanceRec(e->args[1], ev, want);
+      return want ? a + b : std::min(a, b);
+    }
+    case Op::kOr: {
+      const double a = distanceRec(e->args[0], ev, want);
+      const double b = distanceRec(e->args[1], ev, want);
+      return want ? std::min(a, b) : a + b;
+    }
+    case Op::kXor: {
+      // xor(a,b) == (a && !b) || (!a && b); negation flips to equivalence.
+      const double aT = distanceRec(e->args[0], ev, true);
+      const double aF = distanceRec(e->args[0], ev, false);
+      const double bT = distanceRec(e->args[1], ev, true);
+      const double bF = distanceRec(e->args[1], ev, false);
+      return want ? std::min(aT + bF, aF + bT) : std::min(aT + bT, aF + bF);
+    }
+    case Op::kIte: {
+      if (e->type != Type::kBool) break;
+      const double cT = distanceRec(e->args[0], ev, true);
+      const double cF = distanceRec(e->args[0], ev, false);
+      const double t = distanceRec(e->args[1], ev, want);
+      const double f = distanceRec(e->args[2], ev, want);
+      return std::min(cT + t, cF + f);
+    }
+    default:
+      break;
+  }
+  return atomDistance(e, ev, want);
+}
+
+}  // namespace
+
+double branchDistance(const ExprPtr& goal, const Env& env, bool want) {
+  expr::Evaluator ev(env);
+  return distanceRec(goal, ev, want);
+}
+
+const char* solverKindName(SolverKind k) {
+  switch (k) {
+    case SolverKind::kBox: return "box";
+    case SolverKind::kLocalSearch: return "local-search";
+    case SolverKind::kPortfolio: return "portfolio";
+  }
+  return "?";
+}
+
+SolveResult LocalSearchSolver::solve(const ExprPtr& goal,
+                                     const std::vector<VarInfo>& vars) {
+  assert(goal->type == Type::kBool && !goal->isArray());
+  SolveResult result;
+  Stopwatch watch;
+  const Deadline deadline = Deadline::afterMillis(options_.timeBudgetMillis);
+  Rng rng(options_.seed);
+
+  const auto finish = [&](SolveStatus status) {
+    result.status = status;
+    result.stats.elapsedMillis = watch.elapsedMillis();
+    return result;
+  };
+
+  if (goal->op == Op::kConst && !goal->constVal.toBool()) {
+    return finish(SolveStatus::kUnsat);  // the one provable case
+  }
+
+  // Current point, stored as raw reals per variable.
+  std::vector<double> point(vars.size());
+  const auto randomize = [&] {
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      point[i] = vars[i].type == Type::kReal
+                     ? rng.uniformReal(vars[i].lo, vars[i].hi)
+                     : static_cast<double>(rng.uniformInt(
+                           static_cast<std::int64_t>(std::ceil(vars[i].lo)),
+                           static_cast<std::int64_t>(
+                               std::floor(vars[i].hi))));
+    }
+  };
+  const auto toEnv = [&](const std::vector<double>& p) {
+    Env env;
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      env.set(vars[i].id, scalarForVar(vars[i], p[i]));
+    }
+    return env;
+  };
+  const auto cost = [&](const std::vector<double>& p) {
+    ++result.stats.samplesTried;
+    return branchDistance(goal, toEnv(p), true);
+  };
+
+  randomize();
+  double best = cost(point);
+
+  while (!deadline.expired()) {
+    if (best == 0.0) {
+      result.model = toEnv(point);
+      // Certify (distance and truth must agree, but belt-and-braces).
+      if (expr::evaluate(goal, result.model).toBool()) {
+        return finish(SolveStatus::kSat);
+      }
+      best = 1.0;  // fall through to keep searching
+    }
+    bool improved = false;
+    for (std::size_t i = 0; i < vars.size() && !deadline.expired(); ++i) {
+      const double width = vars[i].hi - vars[i].lo;
+      // Pattern moves with geometrically shrinking steps.
+      for (double frac : {0.5, 0.1, 0.01, 0.001}) {
+        double step = std::max(width * frac,
+                               vars[i].type == Type::kReal ? 1e-9 : 1.0);
+        for (const double dir : {+1.0, -1.0}) {
+          auto candidate = point;
+          candidate[i] = std::clamp(candidate[i] + dir * step, vars[i].lo,
+                                    vars[i].hi);
+          if (vars[i].type != Type::kReal) {
+            candidate[i] = std::round(candidate[i]);
+          }
+          const double c = cost(candidate);
+          if (c < best) {
+            best = c;
+            point = std::move(candidate);
+            improved = true;
+            break;
+          }
+        }
+        if (improved) break;
+      }
+      if (improved) break;
+    }
+    if (!improved) {
+      // Stagnation: random restart.
+      randomize();
+      best = cost(point);
+    }
+  }
+  return finish(SolveStatus::kUnknown);
+}
+
+SolveResult solveWith(SolverKind kind, const ExprPtr& goal,
+                      const std::vector<VarInfo>& vars,
+                      const SolveOptions& options) {
+  switch (kind) {
+    case SolverKind::kBox: {
+      BoxSolver s(options);
+      return s.solve(goal, vars);
+    }
+    case SolverKind::kLocalSearch: {
+      LocalSearchSolver s(options);
+      return s.solve(goal, vars);
+    }
+    case SolverKind::kPortfolio: {
+      // Box first (fast SAT/UNSAT on the common cases), then spend the
+      // same budget again on search if the box engine gave up.
+      SolveOptions half = options;
+      half.timeBudgetMillis = std::max<std::int64_t>(
+          1, options.timeBudgetMillis / 2);
+      BoxSolver box(half);
+      auto res = box.solve(goal, vars);
+      if (res.status != SolveStatus::kUnknown) return res;
+      SolveOptions rest = options;
+      rest.timeBudgetMillis = half.timeBudgetMillis;
+      LocalSearchSolver search(rest);
+      auto res2 = search.solve(goal, vars);
+      res2.stats.boxesProcessed += res.stats.boxesProcessed;
+      res2.stats.samplesTried += res.stats.samplesTried;
+      return res2;
+    }
+  }
+  BoxSolver s(options);
+  return s.solve(goal, vars);
+}
+
+}  // namespace stcg::solver

@@ -1,0 +1,162 @@
+#include "solver/solver.h"
+
+#include <cassert>
+#include <cmath>
+#include <deque>
+
+#include "interval/hc4.h"
+
+namespace stcg::solver {
+
+using expr::Env;
+using expr::ExprPtr;
+using expr::Scalar;
+using expr::Type;
+using expr::VarInfo;
+using interval::Box;
+using interval::ContractOutcome;
+using interval::Hc4Contractor;
+using interval::Interval;
+
+const char* solveStatusName(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kSat: return "SAT";
+    case SolveStatus::kUnsat: return "UNSAT";
+    case SolveStatus::kUnknown: return "UNKNOWN";
+  }
+  return "?";
+}
+
+Scalar scalarForVar(const VarInfo& info, double v) {
+  switch (info.type) {
+    case Type::kBool:
+      return Scalar::b(v >= 0.5);
+    case Type::kInt:
+      return Scalar::i(static_cast<std::int64_t>(std::llround(v)));
+    case Type::kReal:
+      return Scalar::r(v);
+  }
+  return Scalar::r(v);
+}
+
+void BoxSolver::samplePoint(const Box& box, Rng& rng, bool corners,
+                            int cornerKind, Env& env) const {
+  for (const auto& v : box.vars()) {
+    const Interval d = box.domain(v.id);
+    double x;
+    if (d.isPoint()) {
+      x = d.lo();
+    } else if (corners) {
+      switch (cornerKind) {
+        case 0: x = d.lo(); break;
+        case 1: x = d.hi(); break;
+        default: x = d.mid(); break;
+      }
+    } else if (v.type == Type::kReal) {
+      x = rng.uniformReal(d.lo(), d.hi());
+    } else {
+      const auto lo = static_cast<std::int64_t>(std::ceil(d.lo()));
+      const auto hi = static_cast<std::int64_t>(std::floor(d.hi()));
+      x = static_cast<double>(rng.uniformInt(lo, hi));
+    }
+    if (v.type != Type::kReal) x = std::round(x);
+    env.set(v.id, scalarForVar(v, x));
+  }
+}
+
+bool BoxSolver::certify(const ExprPtr& goal, const Env& env) {
+  return expr::evaluate(goal, env).toBool();
+}
+
+SolveResult BoxSolver::solve(const ExprPtr& goal,
+                             const std::vector<VarInfo>& vars) {
+  assert(goal->type == Type::kBool && !goal->isArray());
+  SolveResult result;
+  Stopwatch watch;
+  const Deadline deadline = Deadline::afterMillis(options_.timeBudgetMillis);
+  Rng rng(options_.seed);
+
+  const auto finish = [&](SolveStatus status) {
+    result.status = status;
+    result.stats.elapsedMillis = watch.elapsedMillis();
+    return result;
+  };
+
+  // Constant goals decide immediately.
+  if (goal->op == expr::Op::kConst) {
+    if (!goal->constVal.toBool()) return finish(SolveStatus::kUnsat);
+    Env env;
+    for (const auto& v : vars) {
+      const Interval d =
+          v.type == Type::kReal
+              ? Interval(v.lo, v.hi)
+              : Interval(v.lo, v.hi).integralHull();
+      env.set(v.id, scalarForVar(v, d.isEmpty() ? v.lo : d.mid()));
+    }
+    result.model = std::move(env);
+    return finish(SolveStatus::kSat);
+  }
+
+  Hc4Contractor contractor(goal);
+  std::deque<Box> work;
+  work.emplace_back(vars);
+  bool exhaustive = true;  // whether every refuted region was proven empty
+
+  while (!work.empty()) {
+    if (deadline.expired() ||
+        result.stats.boxesProcessed >= options_.maxBoxes) {
+      return finish(SolveStatus::kUnknown);
+    }
+    Box box = std::move(work.front());
+    work.pop_front();
+    ++result.stats.boxesProcessed;
+
+    const ContractOutcome out = contractor.contract(box, options_.contractPasses);
+    if (out == ContractOutcome::kEmpty || box.isEmpty()) {
+      ++result.stats.boxesRefuted;
+      continue;
+    }
+
+    // Candidate points: three deterministic corners then random draws.
+    Env env;
+    for (int k = 0; k < 3 + options_.samplesPerBox; ++k) {
+      env.clear();
+      samplePoint(box, rng, /*corners=*/k < 3, k, env);
+      ++result.stats.samplesTried;
+      if (certify(goal, env)) {
+        result.model = std::move(env);
+        return finish(SolveStatus::kSat);
+      }
+    }
+
+    // Split and recurse.
+    const int dim = box.splitDimension();
+    if (dim < 0) {
+      // Degenerate box with no satisfying sample: refuted up to sampling,
+      // but not proven empty — remember we lost exhaustiveness.
+      exhaustive = false;
+      continue;
+    }
+    const VarInfo& v = box.vars()[static_cast<std::size_t>(dim)];
+    const Interval d = box.domain(v.id);
+    double cut = d.mid();
+    Box left = box, right = box;
+    if (v.type == Type::kReal) {
+      left.setDomain(v.id, Interval(d.lo(), cut));
+      right.setDomain(v.id, Interval(cut, d.hi()));
+    } else {
+      cut = std::floor(cut);
+      left.setDomain(v.id, Interval(d.lo(), cut));
+      right.setDomain(v.id, Interval(cut + 1.0, d.hi()));
+    }
+    // Depth-first on the left half keeps memory bounded and finds nearby
+    // models fast; the right half goes to the back of the queue for
+    // breadth across the space.
+    work.push_front(std::move(left));
+    work.push_back(std::move(right));
+  }
+
+  return finish(exhaustive ? SolveStatus::kUnsat : SolveStatus::kUnknown);
+}
+
+}  // namespace stcg::solver

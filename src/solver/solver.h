@@ -1,0 +1,86 @@
+// Branch-and-prune box solver over expression constraints.
+//
+// This plays the role SLDV's internal engine plays in the paper: given a
+// boolean constraint over bounded input variables, find a satisfying
+// assignment, prove none exists, or give up within a budget.
+//
+// Algorithm: maintain a worklist of boxes. For each box, (1) contract with
+// HC4 — an empty contraction soundly refutes the box; (2) sample candidate
+// points (box corners, midpoint, random draws) and certify them by concrete
+// evaluation — a certified point is a model; (3) otherwise split the widest
+// dimension and recurse. UNSAT is reported only when every box has been
+// refuted; running out of time/boxes yields UNKNOWN.
+//
+// The paper's central observation lives here: after STCG fixes the model
+// state as constants, the residual constraints are small and this solver
+// disposes of them in microseconds, whereas multi-step unrollings (the
+// SLDV-like baseline) produce deep store/select towers it must grind on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "expr/eval.h"
+#include "expr/expr.h"
+#include "interval/box.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace stcg::solver {
+
+enum class SolveStatus { kSat, kUnsat, kUnknown };
+
+[[nodiscard]] const char* solveStatusName(SolveStatus s);
+
+struct SolveOptions {
+  std::int64_t timeBudgetMillis = 100;  // wall-clock budget per query
+  int maxBoxes = 4096;                  // worklist expansion cap
+  int samplesPerBox = 6;                // random samples per box
+  int contractPasses = 3;               // HC4 sweeps per box
+  std::uint64_t seed = 1;               // sampling seed
+};
+
+struct SolveStats {
+  int boxesProcessed = 0;
+  int boxesRefuted = 0;
+  int samplesTried = 0;
+  std::int64_t elapsedMillis = 0;
+};
+
+struct SolveResult {
+  SolveStatus status = SolveStatus::kUnknown;
+  expr::Env model;  // populated when status == kSat, covers all variables
+  SolveStats stats;
+
+  [[nodiscard]] bool sat() const { return status == SolveStatus::kSat; }
+};
+
+class BoxSolver {
+ public:
+  explicit BoxSolver(SolveOptions options = {}) : options_(options) {}
+
+  /// Find an assignment over `vars` making `goal` true. `goal` must be
+  /// boolean-typed. Variables of `vars` not occurring in `goal` receive
+  /// their domain midpoint in the model.
+  [[nodiscard]] SolveResult solve(const expr::ExprPtr& goal,
+                                  const std::vector<expr::VarInfo>& vars);
+
+  [[nodiscard]] const SolveOptions& options() const { return options_; }
+
+ private:
+  /// Draw a concrete point from `box` into `env` (all dimensions).
+  void samplePoint(const interval::Box& box, Rng& rng, bool corners,
+                   int cornerKind, expr::Env& env) const;
+
+  /// True if `goal` evaluates to true at `env`.
+  [[nodiscard]] static bool certify(const expr::ExprPtr& goal,
+                                    const expr::Env& env);
+
+  SolveOptions options_;
+};
+
+/// Convert a solver scalar draw (stored as real) to the variable's type.
+[[nodiscard]] expr::Scalar scalarForVar(const expr::VarInfo& info, double v);
+
+}  // namespace stcg::solver

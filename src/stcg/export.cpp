@@ -1,0 +1,38 @@
+#include "stcg/export.h"
+
+#include <fstream>
+
+#include "sim/simulator.h"
+
+namespace stcg::gen {
+
+std::string renderTestSuite(const compile::CompiledModel& cm,
+                            const std::vector<TestCase>& tests) {
+  std::string out;
+  out += "# Test suite for model " + cm.name + "\n";
+  out += "# " + std::to_string(tests.size()) + " test cases\n";
+  for (std::size_t i = 0; i < tests.size(); ++i) {
+    const auto& t = tests[i];
+    out += "\n[test " + std::to_string(i) + "]\n";
+    out += "origin=" +
+           std::string(t.origin == TestOrigin::kSolved ? "solved" : "random") +
+           "\n";
+    if (!t.goalLabel.empty()) out += "goal=" + t.goalLabel + "\n";
+    out += "steps=" + std::to_string(t.steps.size()) + "\n";
+    for (std::size_t s = 0; s < t.steps.size(); ++s) {
+      out += "step" + std::to_string(s) + ": " +
+             sim::formatInput(cm, t.steps[s]) + "\n";
+    }
+  }
+  return out;
+}
+
+bool writeTestSuite(const std::string& path, const compile::CompiledModel& cm,
+                    const std::vector<TestCase>& tests) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << renderTestSuite(cm, tests);
+  return static_cast<bool>(f);
+}
+
+}  // namespace stcg::gen

@@ -1,0 +1,23 @@
+// Text export of generated test suites (the paper exports text-format test
+// case files that Signal Builder replays for fair coverage comparison).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compile/compiled_model.h"
+#include "stcg/testgen.h"
+
+namespace stcg::gen {
+
+/// Render a whole suite as text: one section per test case, one line per
+/// step listing every input as name=value.
+[[nodiscard]] std::string renderTestSuite(const compile::CompiledModel& cm,
+                                          const std::vector<TestCase>& tests);
+
+/// Write renderTestSuite() output to `path`. Returns false on I/O failure.
+bool writeTestSuite(const std::string& path,
+                    const compile::CompiledModel& cm,
+                    const std::vector<TestCase>& tests);
+
+}  // namespace stcg::gen

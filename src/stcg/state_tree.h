@@ -1,0 +1,75 @@
+// The state tree (paper Definitions 3 and 4).
+//
+// Node N = ⟨P, S, IN, SB, CV⟩: parent P, model state S, the input IN that
+// drove the parent state to S, and the set SB of goals already attempted
+// (solved-for) at this node. CV — the branches covered along the path — is
+// tracked globally by the CoverageTracker rather than per node.
+//
+// Each root-to-node path is an executable input sequence (one test case).
+// As an engineering refinement over the paper, nodes are deduplicated by
+// state value: reaching an already-known state attaches exploration to the
+// existing node instead of growing an identical subtree (documented in
+// DESIGN.md; it does not change which tests are emitted).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace stcg::gen {
+
+struct StateTreeNode {
+  int id = 0;
+  int parent = -1;  // -1 for the root
+  sim::StateSnapshot state;
+  sim::InputVector inputFromParent;  // empty for the root
+  std::vector<int> children;
+  std::unordered_set<int> attemptedGoals;  // the paper's SB set
+};
+
+/// Order-preserving hash of a state snapshot (used for deduplication).
+[[nodiscard]] std::uint64_t hashSnapshot(const sim::StateSnapshot& s);
+
+class StateTree {
+ public:
+  explicit StateTree(sim::StateSnapshot rootState);
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] const StateTreeNode& node(int id) const {
+    return nodes_.at(static_cast<std::size_t>(id));
+  }
+
+  /// Add a child of `parent` reached by `input` with resulting `state`.
+  int addChild(int parent, sim::InputVector input, sim::StateSnapshot state);
+
+  /// Node id of an existing node with exactly this state, or -1.
+  [[nodiscard]] int findByState(const sim::StateSnapshot& s) const;
+
+  /// The input sequence along the path root -> `id` (root's empty input
+  /// excluded), i.e. a test case prefix reaching node `id`'s state.
+  [[nodiscard]] std::vector<sim::InputVector> pathInputs(int id) const;
+
+  [[nodiscard]] bool isAttempted(int id, int goal) const {
+    return node(id).attemptedGoals.count(goal) > 0;
+  }
+  void markAttempted(int id, int goal) {
+    nodes_[static_cast<std::size_t>(id)].attemptedGoals.insert(goal);
+  }
+
+  [[nodiscard]] int randomNode(Rng& rng) const {
+    return static_cast<int>(rng.index(nodes_.size()));
+  }
+
+  /// Depth of node `id` (root = 0).
+  [[nodiscard]] int depth(int id) const;
+
+ private:
+  std::vector<StateTreeNode> nodes_;
+  std::unordered_multimap<std::uint64_t, int> byHash_;
+};
+
+}  // namespace stcg::gen

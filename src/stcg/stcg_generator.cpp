@@ -1,0 +1,334 @@
+#include "stcg/stcg_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+#include <unordered_set>
+
+#include "analysis/reachability.h"
+#include "expr/builder.h"
+#include "expr/subst.h"
+#include "util/stopwatch.h"
+
+namespace stcg::gen {
+
+namespace {
+
+/// Bind a state snapshot into an Env keyed by the compiled state leaves.
+expr::Env stateEnv(const compile::CompiledModel& cm,
+                   const sim::StateSnapshot& s) {
+  expr::Env env;
+  for (std::size_t i = 0; i < cm.states.size(); ++i) {
+    const auto& sv = cm.states[i];
+    if (sv.width == 1) {
+      env.set(sv.id, s[i].scalar());
+    } else {
+      env.setArray(sv.id, s[i].elems());
+    }
+  }
+  return env;
+}
+
+/// Extract the input vector from a solver model.
+sim::InputVector inputFromModel(const compile::CompiledModel& cm,
+                                const expr::Env& model) {
+  sim::InputVector in;
+  in.reserve(cm.inputs.size());
+  for (const auto& iv : cm.inputs) {
+    assert(model.has(iv.info.id));
+    in.push_back(model.get(iv.info.id).castTo(iv.info.type));
+  }
+  return in;
+}
+
+struct SolveHit {
+  int nodeId = -1;
+  int goalIdx = -1;
+  sim::InputVector input;
+};
+
+class Run {
+ public:
+  Run(const compile::CompiledModel& cm, const GenOptions& opt,
+      StcgGenerator::TraceFn trace, void* traceUser)
+      : cm_(cm),
+        opt_(opt),
+        rng_(opt.seed),
+        tracker_(cm),
+        sim_(cm),
+        tree_(sim_.snapshot()),
+        deadline_(Deadline::afterMillis(opt.budgetMillis)),
+        trace_(trace),
+        traceUser_(traceUser) {
+    goals_ = buildGoals(cm, opt.includeConditionGoals,
+                        /*includeMcdcGoals=*/opt.includeConditionGoals);
+    order_.resize(goals_.size());
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+      order_[i] = static_cast<int>(i);
+    }
+    if (opt.sortGoalsByDepth) {
+      std::stable_sort(order_.begin(), order_.end(), [&](int a, int b) {
+        return goals_[static_cast<std::size_t>(a)].depth <
+               goals_[static_cast<std::size_t>(b)].depth;
+      });
+    }
+    if (opt.pruneProvablyDead) {
+      pruneDeadGoals();
+    }
+  }
+
+  /// Dead-goal pre-verification (paper Discussion): evaluate every goal's
+  /// path constraint under the interval state invariant; a definitely-
+  /// false verdict proves the goal unreachable from any reachable state,
+  /// so solving it (repeatedly, on every tree node) would be pure waste.
+  void pruneDeadGoals() {
+    // Branch goals get the full (solver-backed) dead proof; condition and
+    // MCDC goals get the cheap interval verdict.
+    const auto report = analysis::findDeadBranches(cm_);
+    analysis::IntervalEvaluator eval(report.invariant.env);
+    for (const auto& g : goals_) {
+      const bool dead = g.kind == GoalKind::kBranch
+                            ? report.isDead(g.branchId)
+                            : eval.evalScalar(g.pathConstraint).isFalse();
+      if (dead) {
+        pruned_.insert(g.id);
+        ++stats_.goalsPruned;
+        trace("pruned provably-dead goal " + g.label);
+      }
+    }
+  }
+
+  GenResult execute() {
+    // Main loop: Algorithm 1 then Algorithm 2, until budget or full
+    // coverage of the goal set.
+    while (!deadline_.expired() && !allGoalsCovered()) {
+      const auto hit = stateAwareSolve();
+      if (hit.has_value()) {
+        const Goal& goal = goals_[static_cast<std::size_t>(hit->goalIdx)];
+        library_.push_back(hit->input);
+        executeSequence(hit->nodeId, {hit->input}, TestOrigin::kSolved,
+                        goal.label);
+        if (goal.kind == GoalKind::kCondition ||
+            goal.kind == GoalKind::kMcdcPair) {
+          tryMcdcPair(*hit, goal);
+        }
+      } else {
+        if (!opt_.useRandomFallback) break;
+        randomExecution();
+      }
+    }
+
+    GenResult result;
+    result.toolName = "STCG";
+    result.tests = std::move(tests_);
+    result.events = std::move(events_);
+    result.stats = stats_;
+    result.stats.treeNodes = static_cast<int>(tree_.size());
+    const auto replay = replaySuite(cm_, result.tests);
+    result.coverage = summarize(replay);
+    return result;
+  }
+
+ private:
+  void trace(const std::string& line) {
+    if (trace_ != nullptr) trace_(line, traceUser_);
+  }
+
+  [[nodiscard]] bool allGoalsCovered() const {
+    for (const auto& g : goals_) {
+      if (pruned_.count(g.id) > 0) continue;
+      if (!goalCovered(tracker_, g)) return false;
+    }
+    return true;
+  }
+
+  // ----- Algorithm 1: state-aware solving --------------------------------
+  [[nodiscard]] std::optional<SolveHit> stateAwareSolve() {
+    for (const int goalIdx : order_) {
+      const Goal& goal = goals_[static_cast<std::size_t>(goalIdx)];
+      if (pruned_.count(goal.id) > 0) continue;
+      if (goalCovered(tracker_, goal)) continue;
+      const std::size_t nodeCount = opt_.solveOnAllNodes ? tree_.size() : 1;
+      for (std::size_t nodeId = 0; nodeId < nodeCount; ++nodeId) {
+        if (deadline_.expired()) return std::nullopt;
+        const int nid = static_cast<int>(nodeId);
+        if (tree_.isAttempted(nid, goalIdx)) continue;
+        tree_.markAttempted(nid, goalIdx);
+
+        // "Bring the model state value as constants into the model."
+        const expr::Env env = stateEnv(cm_, tree_.node(nid).state);
+        const expr::ExprPtr residual =
+            expr::substitute(goal.pathConstraint, env);
+        ++stats_.solveCalls;
+        if (residual->op == expr::Op::kConst &&
+            !residual->constVal.toBool()) {
+          // Folded to false: this state provably cannot reach the goal
+          // in one step.
+          ++stats_.solveUnsat;
+          trace("solve " + goal.label + " on S" + std::to_string(nid) +
+                ": infeasible (state-folded)");
+          continue;
+        }
+        solver::SolveOptions so = opt_.solver;
+        so.seed = static_cast<std::uint64_t>(rng_.uniformInt(1, 1'000'000'000));
+        const auto res = solver::solveWith(opt_.solverKind, residual,
+                                           cm_.inputInfos(), so);
+        switch (res.status) {
+          case solver::SolveStatus::kSat: {
+            ++stats_.solveSat;
+            trace("solve " + goal.label + " on S" + std::to_string(nid) +
+                  ": SAT");
+            return SolveHit{nid, goalIdx, inputFromModel(cm_, res.model)};
+          }
+          case solver::SolveStatus::kUnsat:
+            ++stats_.solveUnsat;
+            trace("solve " + goal.label + " on S" + std::to_string(nid) +
+                  ": UNSAT");
+            break;
+          case solver::SolveStatus::kUnknown:
+            ++stats_.solveUnknown;
+            trace("solve " + goal.label + " on S" + std::to_string(nid) +
+                  ": UNKNOWN (budget)");
+            break;
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  // ----- Algorithm 2: dynamic execution -----------------------------------
+  void executeSequence(int startNode, std::vector<sim::InputVector> seq,
+                       TestOrigin origin, const std::string& goalLabel) {
+    sim_.restore(tree_.node(startNode).state);
+    int cur = startNode;
+    std::vector<sim::InputVector> executed;
+    executed.reserve(seq.size());
+    for (auto& input : seq) {
+      const auto res = sim_.step(input, &tracker_);
+      ++stats_.stepsExecuted;
+      executed.push_back(input);
+      const auto snap = sim_.snapshot();
+      const int existing = tree_.findByState(snap);
+      if (existing >= 0) {
+        cur = existing;
+      } else if (tree_.size() <
+                 static_cast<std::size_t>(opt_.maxTreeNodes)) {
+        cur = tree_.addChild(cur, input, snap);
+        trace("new state S" + std::to_string(cur));
+      }
+      if (res.foundNewCoverage()) {
+        TestCase tc;
+        tc.steps = tree_.pathInputs(startNode);
+        tc.steps.insert(tc.steps.end(), executed.begin(), executed.end());
+        tc.timestampSec = watch_.elapsedSeconds();
+        tc.origin = origin;
+        tc.goalLabel = goalLabel;
+        tests_.push_back(std::move(tc));
+        events_.push_back(GenEvent{watch_.elapsedSeconds(),
+                                   tracker_.decisionCoverage(), origin});
+        trace("test case emitted (" +
+              std::string(origin == TestOrigin::kSolved ? "solved" : "random") +
+              "), DC=" + std::to_string(tracker_.decisionCoverage()));
+      }
+      if (deadline_.expired()) break;
+    }
+  }
+
+  // ----- MCDC pair completion ---------------------------------------------
+  // After satisfying a condition-polarity goal, immediately look for the
+  // unique-cause partner on the same state: flip the target condition while
+  // pinning every sibling condition to the value it just took. Executing
+  // both inputs from one state records two MCDC vectors differing only in
+  // the target condition — the same "derived test objectives" SLDV builds
+  // for the MCDC criterion.
+  void tryMcdcPair(const SolveHit& hit, const Goal& goal) {
+    const auto& d =
+        cm_.decisions[static_cast<std::size_t>(goal.decisionId)];
+    if (!d.isBooleanDecision() || d.conditions.size() < 2) return;
+    if (deadline_.expired()) return;
+
+    // Observed sibling condition values under the solved input.
+    expr::Env env = stateEnv(cm_, tree_.node(hit.nodeId).state);
+    for (std::size_t i = 0; i < cm_.inputs.size(); ++i) {
+      env.set(cm_.inputs[i].info.id, hit.input[i]);
+    }
+    std::vector<expr::ExprPtr> pins;
+    pins.push_back(d.activation);
+    for (std::size_t c = 0; c < d.conditions.size(); ++c) {
+      const bool v = expr::evaluate(d.conditions[c], env).toBool();
+      if (static_cast<int>(c) == goal.condIndex) {
+        pins.push_back(v ? expr::notE(d.conditions[c]) : d.conditions[c]);
+      } else {
+        pins.push_back(v ? d.conditions[c] : expr::notE(d.conditions[c]));
+      }
+    }
+    const expr::ExprPtr residual = expr::substitute(
+        expr::andAll(pins), stateEnv(cm_, tree_.node(hit.nodeId).state));
+    ++stats_.solveCalls;
+    if (residual->op == expr::Op::kConst && !residual->constVal.toBool()) {
+      ++stats_.solveUnsat;
+      return;
+    }
+    solver::SolveOptions so = opt_.solver;
+    so.seed = static_cast<std::uint64_t>(rng_.uniformInt(1, 1'000'000'000));
+    const auto res = solver::solveWith(opt_.solverKind, residual,
+                                       cm_.inputInfos(), so);
+    if (res.status != solver::SolveStatus::kSat) {
+      res.status == solver::SolveStatus::kUnsat ? ++stats_.solveUnsat
+                                                : ++stats_.solveUnknown;
+      return;
+    }
+    ++stats_.solveSat;
+    auto pairInput = inputFromModel(cm_, res.model);
+    library_.push_back(pairInput);
+    executeSequence(hit.nodeId, {std::move(pairInput)}, TestOrigin::kSolved,
+                    goal.label + "-mcdc-pair");
+  }
+
+  void randomExecution() {
+    ++stats_.randomSequences;
+    const int start = tree_.randomNode(rng_);
+    std::vector<sim::InputVector> seq;
+    seq.reserve(static_cast<std::size_t>(opt_.randomSeqLen));
+    for (int i = 0; i < opt_.randomSeqLen; ++i) {
+      if (!library_.empty() && !rng_.chance(opt_.freshRandomProbability)) {
+        seq.push_back(library_[rng_.index(library_.size())]);
+      } else {
+        // Fresh domain-random draw: covers input values no solved goal
+        // ever produced (also the bootstrap before anything was solved).
+        seq.push_back(sim::randomInput(cm_, rng_));
+      }
+    }
+    trace("random execution on S" + std::to_string(start) + " (" +
+          std::to_string(seq.size()) + " steps)");
+    executeSequence(start, std::move(seq), TestOrigin::kRandom, "");
+  }
+
+  const compile::CompiledModel& cm_;
+  const GenOptions& opt_;
+  Rng rng_;
+  coverage::CoverageTracker tracker_;
+  sim::Simulator sim_;
+  StateTree tree_;
+  Deadline deadline_;
+  Stopwatch watch_;
+  std::vector<Goal> goals_;
+  std::vector<int> order_;
+  std::unordered_set<int> pruned_;  // provably-dead goal ids
+  std::vector<sim::InputVector> library_;  // the solved-input library
+  std::vector<TestCase> tests_;
+  std::vector<GenEvent> events_;
+  GenStats stats_;
+  StcgGenerator::TraceFn trace_;
+  void* traceUser_;
+};
+
+}  // namespace
+
+GenResult StcgGenerator::generate(const compile::CompiledModel& cm,
+                                  const GenOptions& options) {
+  Run run(cm, options, trace_, traceUser_);
+  return run.execute();
+}
+
+}  // namespace stcg::gen

@@ -1,0 +1,43 @@
+// STCG: the paper's state-aware test case generator (Algorithms 1 and 2).
+//
+// The generation loop alternates:
+//   State-aware solving (Alg. 1) — walk uncovered goals (depth-sorted) ×
+//   state-tree nodes; fix the node's state as constants in the goal's path
+//   constraint via partial evaluation; hand the residual (over current-step
+//   inputs only) to the box solver. First SAT result wins.
+//
+//   Dynamic execution (Alg. 2) — run the solved input from the chosen
+//   node's state (one step), or, when nothing is solvable, replay a random
+//   sequence drawn from the library of previously solved inputs starting at
+//   a random tree node. Every step that covers a new branch emits a test
+//   case: the input path from the root plus the steps executed so far.
+//
+// Ablation switches in GenOptions turn off depth sorting, the random
+// fallback, or multi-node solving (root only), for the ablation bench.
+#pragma once
+
+#include "stcg/state_tree.h"
+#include "stcg/testgen.h"
+
+namespace stcg::gen {
+
+class StcgGenerator final : public Generator {
+ public:
+  [[nodiscard]] std::string name() const override { return "STCG"; }
+  [[nodiscard]] GenResult generate(const compile::CompiledModel& cm,
+                                   const GenOptions& options) override;
+
+  /// Per-step trace hook for the Table-I style walkthrough bench. Set
+  /// before generate(); receives human-readable trace lines.
+  using TraceFn = void (*)(const std::string& line, void* user);
+  void setTrace(TraceFn fn, void* user) {
+    trace_ = fn;
+    traceUser_ = user;
+  }
+
+ private:
+  TraceFn trace_ = nullptr;
+  void* traceUser_ = nullptr;
+};
+
+}  // namespace stcg::gen

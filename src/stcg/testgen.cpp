@@ -1,0 +1,116 @@
+#include "stcg/testgen.h"
+
+#include <algorithm>
+
+#include "expr/builder.h"
+
+namespace stcg::gen {
+
+std::vector<Goal> buildGoals(const compile::CompiledModel& cm,
+                             bool includeConditionGoals,
+                             bool includeMcdcGoals) {
+  std::vector<Goal> goals;
+  for (const auto& br : cm.branches) {
+    Goal g;
+    g.id = static_cast<int>(goals.size());
+    g.kind = GoalKind::kBranch;
+    g.branchId = br.id;
+    g.depth = br.depth;
+    g.pathConstraint = br.pathConstraint;
+    const auto& d = cm.decisions[static_cast<std::size_t>(br.decision)];
+    g.label = d.name + ":" + br.label;
+    goals.push_back(std::move(g));
+  }
+  if (includeConditionGoals) {
+    for (const auto& d : cm.decisions) {
+      for (std::size_t c = 0; c < d.conditions.size(); ++c) {
+        for (const bool polarity : {true, false}) {
+          Goal g;
+          g.id = static_cast<int>(goals.size());
+          g.kind = GoalKind::kCondition;
+          g.decisionId = d.id;
+          g.condIndex = static_cast<int>(c);
+          g.polarity = polarity;
+          g.depth = d.depth;
+          const expr::ExprPtr lit =
+              polarity ? d.conditions[c] : expr::notE(d.conditions[c]);
+          g.pathConstraint = expr::andE(d.activation, lit);
+          g.label = d.name + ":cond" + std::to_string(c) +
+                    (polarity ? "=T" : "=F");
+          goals.push_back(std::move(g));
+        }
+      }
+    }
+  }
+  for (const auto& obj : cm.objectives) {
+    Goal g;
+    g.id = static_cast<int>(goals.size());
+    g.kind = GoalKind::kObjective;
+    g.objectiveId = obj.id;
+    g.depth = 0;
+    g.pathConstraint = expr::andE(obj.activation, obj.cond);
+    g.label = obj.name + ":objective";
+    goals.push_back(std::move(g));
+  }
+  if (includeMcdcGoals) {
+    for (const auto& d : cm.decisions) {
+      if (!d.isBooleanDecision()) continue;
+      const std::size_t nc = std::min<std::size_t>(d.conditions.size(), 64);
+      for (std::size_t c = 0; c < nc; ++c) {
+        Goal g;
+        g.id = static_cast<int>(goals.size());
+        g.kind = GoalKind::kMcdcPair;
+        g.decisionId = d.id;
+        g.condIndex = static_cast<int>(c);
+        g.depth = d.depth;
+        // Reaching the condition true while the decision is active is the
+        // anchor; the generator then flips the condition with siblings
+        // pinned (unique-cause partner).
+        g.pathConstraint = expr::andE(d.activation, d.conditions[c]);
+        g.label = d.name + ":mcdc" + std::to_string(c);
+        goals.push_back(std::move(g));
+      }
+    }
+  }
+  return goals;
+}
+
+bool goalCovered(const coverage::CoverageTracker& cov, const Goal& goal) {
+  switch (goal.kind) {
+    case GoalKind::kBranch:
+      return cov.branchCovered(goal.branchId);
+    case GoalKind::kCondition:
+      return cov.conditionSeen(goal.decisionId, goal.condIndex,
+                               goal.polarity);
+    case GoalKind::kMcdcPair:
+      return cov.mcdcDemonstrated(goal.decisionId, goal.condIndex);
+    case GoalKind::kObjective:
+      return cov.objectiveCovered(goal.objectiveId);
+  }
+  return false;
+}
+
+CoverageSummary summarize(const coverage::CoverageTracker& cov) {
+  CoverageSummary s;
+  s.decision = cov.decisionCoverage();
+  s.condition = cov.conditionCoverage();
+  s.mcdc = cov.mcdcCoverage();
+  s.coveredBranches = cov.coveredBranchCount();
+  s.totalBranches = cov.totalBranchCount();
+  return s;
+}
+
+coverage::CoverageTracker replaySuite(const compile::CompiledModel& cm,
+                                      const std::vector<TestCase>& tests) {
+  coverage::CoverageTracker cov(cm);
+  sim::Simulator simulator(cm);
+  for (const auto& t : tests) {
+    simulator.reset();
+    for (const auto& step : t.steps) {
+      (void)simulator.step(step, &cov);
+    }
+  }
+  return cov;
+}
+
+}  // namespace stcg::gen

@@ -1,0 +1,142 @@
+// Common test-generation vocabulary shared by STCG and the baselines:
+// goals, options, test cases, events, results, and the Generator interface.
+//
+// A "goal" generalizes the paper's BranchList entry: branch goals are the
+// paper's model branches (Def. 1); condition goals additionally target each
+// atomic condition's two polarities (SLDV derives the same objectives for
+// Condition/MCDC criteria), letting every generator chase Condition
+// Coverage explicitly. Goal path constraints are solver-ready expressions
+// over (inputs, state leaves).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compile/compiled_model.h"
+#include "coverage/coverage.h"
+#include "sim/simulator.h"
+#include "solver/local_search.h"
+#include "solver/solver.h"
+#include "util/rng.h"
+
+namespace stcg::gen {
+
+enum class GoalKind { kBranch, kCondition, kMcdcPair, kObjective };
+
+struct Goal {
+  int id = -1;
+  GoalKind kind = GoalKind::kBranch;
+  int branchId = -1;    // kBranch
+  int decisionId = -1;  // kCondition / kMcdcPair
+  int condIndex = -1;   // kCondition / kMcdcPair
+  int objectiveId = -1; // kObjective
+  bool polarity = false;
+  int depth = 0;
+  expr::ExprPtr pathConstraint;
+  std::string label;
+};
+
+/// Build the goal list for a model: one goal per branch, plus (optionally)
+/// one per condition polarity, plus (optionally) one MCDC-pair obligation
+/// per condition of each boolean decision.
+[[nodiscard]] std::vector<Goal> buildGoals(const compile::CompiledModel& cm,
+                                           bool includeConditionGoals,
+                                           bool includeMcdcGoals = false);
+
+/// Whether `goal` is already satisfied according to `cov`.
+[[nodiscard]] bool goalCovered(const coverage::CoverageTracker& cov,
+                               const Goal& goal);
+
+struct GenOptions {
+  std::int64_t budgetMillis = 3000;  // total generation budget
+  std::uint64_t seed = 1;
+  solver::SolveOptions solver{};     // per-query solver budget
+  /// Engine for state-aware queries (paper future work: "incorporating
+  /// more constraint solvers"). kPortfolio adds branch-distance local
+  /// search behind the box solver for nonlinear residuals.
+  solver::SolverKind solverKind = solver::SolverKind::kBox;
+  int randomSeqLen = 24;             // N of Algorithm 2
+  int maxTreeNodes = 4096;
+  int maxUnrollDepth = 3;            // SLDV-like unrolling bound
+  int randomMaxSeqLen = 40;          // SimCoTest-like sequence length cap
+
+  // Ablation switches (STCG only).
+  bool sortGoalsByDepth = true;
+  bool useRandomFallback = true;
+  bool solveOnAllNodes = true;  // false: solve on the root state only
+  bool includeConditionGoals = true;
+  /// Probability that a step of a random fallback sequence draws a fresh
+  /// domain-random input instead of a solved-library input. The paper's
+  /// Discussion section proposes exactly this compensation ("constructing
+  /// a random input sequence using only previously solved inputs may not
+  /// reach some branches, which can be compensated by attaching random
+  /// methods"); 0.0 reproduces Algorithm 2 verbatim.
+  double freshRandomProbability = 0.5;
+  /// Run the interval reachability analysis up front and skip goals whose
+  /// path constraints are provably unreachable — the paper's Discussion
+  /// suggestion for the "perpetually false" branches it kept re-solving.
+  /// Pruned goals are excluded from solving only; coverage denominators
+  /// are unchanged.
+  bool pruneProvablyDead = false;
+};
+
+enum class TestOrigin { kSolved, kRandom };
+
+struct TestCase {
+  std::vector<sim::InputVector> steps;
+  double timestampSec = 0.0;  // when it was produced, since run start
+  TestOrigin origin = TestOrigin::kSolved;
+  std::string goalLabel;
+};
+
+struct CoverageSummary {
+  double decision = 0.0;
+  double condition = 0.0;
+  double mcdc = 0.0;
+  int coveredBranches = 0;
+  int totalBranches = 0;
+};
+
+[[nodiscard]] CoverageSummary summarize(const coverage::CoverageTracker& cov);
+
+/// One coverage-progress sample, for Fig. 4-style curves.
+struct GenEvent {
+  double timeSec = 0.0;
+  double decisionCoverage = 0.0;
+  TestOrigin origin = TestOrigin::kSolved;
+};
+
+struct GenStats {
+  int solveCalls = 0;
+  int solveSat = 0;
+  int solveUnsat = 0;
+  int solveUnknown = 0;
+  int stepsExecuted = 0;
+  int treeNodes = 0;
+  int randomSequences = 0;
+  int goalsPruned = 0;  // goals skipped by dead-branch pre-verification
+};
+
+struct GenResult {
+  std::string toolName;
+  std::vector<TestCase> tests;
+  CoverageSummary coverage;  // from replaying the produced suite from reset
+  std::vector<GenEvent> events;
+  GenStats stats;
+};
+
+class Generator {
+ public:
+  virtual ~Generator() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual GenResult generate(const compile::CompiledModel& cm,
+                                           const GenOptions& options) = 0;
+};
+
+/// Replay a test suite from reset and return the resulting tracker (the
+/// paper's "fair comparison via Signal Builder" measurement).
+[[nodiscard]] coverage::CoverageTracker replaySuite(
+    const compile::CompiledModel& cm, const std::vector<TestCase>& tests);
+
+}  // namespace stcg::gen

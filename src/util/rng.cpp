@@ -1,0 +1,31 @@
+#include "util/rng.h"
+
+#include <cassert>
+
+namespace stcg {
+
+std::int64_t Rng::uniformInt(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::uniformReal(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::chance(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  assert(n > 0);
+  std::uniform_int_distribution<std::size_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+Rng Rng::fork() { return Rng(engine_()); }
+
+}  // namespace stcg

@@ -1,0 +1,27 @@
+#include "util/stopwatch.h"
+
+#include <limits>
+
+namespace stcg {
+
+Deadline Deadline::afterMillis(std::int64_t millis) {
+  if (millis < 0) return never();
+  return Deadline(Clock::now() + std::chrono::milliseconds(millis), false);
+}
+
+Deadline Deadline::never() { return Deadline(Clock::time_point::max(), true); }
+
+bool Deadline::expired() const {
+  if (unlimited_) return false;
+  return Clock::now() >= when_;
+}
+
+std::int64_t Deadline::remainingMillis() const {
+  if (unlimited_) return std::numeric_limits<std::int64_t>::max() / 4;
+  auto diff = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  when_ - Clock::now())
+                  .count();
+  return diff < 0 ? 0 : diff;
+}
+
+}  // namespace stcg

@@ -1,0 +1,57 @@
+// Wall-clock timing utilities: Stopwatch for elapsed measurement and
+// Deadline for budget-bounded loops (solver budgets, generation budgets).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace stcg {
+
+/// Measures elapsed wall-clock time since construction or last reset().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] std::int64_t elapsedMillis() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A point in time after which budget-bounded work must stop.
+class Deadline {
+ public:
+  /// A deadline `millis` milliseconds from now. Negative means "no limit".
+  static Deadline afterMillis(std::int64_t millis);
+
+  /// A deadline that never expires.
+  static Deadline never();
+
+  [[nodiscard]] bool expired() const;
+
+  /// Milliseconds remaining; never negative. Large value if unlimited.
+  [[nodiscard]] std::int64_t remainingMillis() const;
+
+  [[nodiscard]] bool unlimited() const { return unlimited_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Deadline(Clock::time_point when, bool unlimited)
+      : when_(when), unlimited_(unlimited) {}
+
+  Clock::time_point when_;
+  bool unlimited_;
+};
+
+}  // namespace stcg

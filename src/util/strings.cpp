@@ -1,0 +1,47 @@
+#include "util/strings.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace stcg {
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string formatReal(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string formatPercent(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", ratio * 100.0);
+  return buf;
+}
+
+std::string padRight(const std::string& s, std::size_t width) {
+  std::string out = s;
+  while (out.size() < width) out += ' ';
+  return out;
+}
+
+std::string padLeft(const std::string& s, std::size_t width) {
+  std::string out = s;
+  while (out.size() < width) out.insert(out.begin(), ' ');
+  return out;
+}
+
+}  // namespace stcg

@@ -1,0 +1,24 @@
+// Small string formatting helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace stcg {
+
+/// Join `parts` with `sep` between consecutive elements.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               const std::string& sep);
+
+/// Format a double compactly: integers without trailing ".000000",
+/// otherwise up to 6 significant decimals.
+[[nodiscard]] std::string formatReal(double v);
+
+/// Format a ratio as a percentage with one decimal, e.g. "93.8%".
+[[nodiscard]] std::string formatPercent(double ratio);
+
+/// Left-pad or right-pad `s` with spaces to `width` characters.
+[[nodiscard]] std::string padRight(const std::string& s, std::size_t width);
+[[nodiscard]] std::string padLeft(const std::string& s, std::size_t width);
+
+}  // namespace stcg

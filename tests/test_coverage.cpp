@@ -1,0 +1,111 @@
+// Unit tests for the coverage tracker: decision, condition, and MCDC
+// accounting, including unique-cause pair detection.
+#include <gtest/gtest.h>
+
+#include "compile/compiler.h"
+#include "coverage/coverage.h"
+#include "model/model.h"
+
+namespace stcg::coverage {
+namespace {
+
+using expr::Scalar;
+using expr::Type;
+
+// A model with one boolean 2-condition decision: switch on (a && b).
+compile::CompiledModel twoCondModel() {
+  model::Model m("cov");
+  auto a = m.addInport("a", Type::kBool, 0, 1);
+  auto b = m.addInport("b", Type::kBool, 0, 1);
+  auto cond = m.addLogical("ab", model::LogicOp::kAnd, {a, b});
+  auto one = m.addConstant("one", Scalar::i(1));
+  auto zero = m.addConstant("zero", Scalar::i(0));
+  m.addOutport("y", m.addSwitch("sw", one, cond, zero,
+                                model::SwitchCriteria::kNotZero, 0.0));
+  return compile::compile(m);
+}
+
+TEST(Coverage, StartsEmpty) {
+  const auto cm = twoCondModel();
+  CoverageTracker cov(cm);
+  EXPECT_EQ(cov.coveredBranchCount(), 0);
+  EXPECT_EQ(cov.decisionCoverage(), 0.0);
+  EXPECT_EQ(cov.conditionCoverage(), 0.0);
+  EXPECT_EQ(cov.mcdcCoverage(), 0.0);
+  EXPECT_EQ(cov.uncoveredBranches().size(), cm.branches.size());
+}
+
+TEST(Coverage, RecordDecisionReportsNewBranchOnce) {
+  const auto cm = twoCondModel();
+  CoverageTracker cov(cm);
+  const int d = cm.decisions[0].id;
+  EXPECT_GE(cov.recordDecision(d, 0), 0);   // new
+  EXPECT_EQ(cov.recordDecision(d, 0), -1);  // repeat
+  EXPECT_GE(cov.recordDecision(d, 1), 0);   // other arm new
+  EXPECT_EQ(cov.decisionCoverage(), 1.0);
+}
+
+TEST(Coverage, ConditionPolaritiesTrackedSeparately) {
+  const auto cm = twoCondModel();
+  CoverageTracker cov(cm);
+  const int d = cm.decisions[0].id;
+  EXPECT_TRUE(cov.recordConditions(d, {true, false}, false));
+  EXPECT_TRUE(cov.conditionSeen(d, 0, true));
+  EXPECT_FALSE(cov.conditionSeen(d, 0, false));
+  EXPECT_TRUE(cov.conditionSeen(d, 1, false));
+  const auto [seen, total] = cov.conditionCounts();
+  EXPECT_EQ(seen, 2);
+  EXPECT_EQ(total, 4);
+  // Re-recording the same vector adds nothing new.
+  EXPECT_FALSE(cov.recordConditions(d, {true, false}, false));
+}
+
+TEST(Coverage, McdcUniqueCausePairDetection) {
+  const auto cm = twoCondModel();
+  CoverageTracker cov(cm);
+  const int d = cm.decisions[0].id;
+  // (T,T)->true and (F,T)->false differ only in condition 0: pair for c0.
+  (void)cov.recordConditions(d, {true, true}, true);
+  (void)cov.recordConditions(d, {false, true}, false);
+  EXPECT_TRUE(cov.mcdcDemonstrated(d, 0));
+  EXPECT_FALSE(cov.mcdcDemonstrated(d, 1));
+  const auto [ms, mt] = cov.mcdcCounts();
+  EXPECT_EQ(ms, 1);
+  EXPECT_EQ(mt, 2);
+  // (T,F)->false completes condition 1 against (T,T)->true.
+  (void)cov.recordConditions(d, {true, false}, false);
+  EXPECT_TRUE(cov.mcdcDemonstrated(d, 1));
+  EXPECT_EQ(cov.mcdcCoverage(), 1.0);
+}
+
+TEST(Coverage, McdcRequiresOutcomeChange) {
+  const auto cm = twoCondModel();
+  CoverageTracker cov(cm);
+  const int d = cm.decisions[0].id;
+  // Same outcome on both vectors: no pair even though only c0 flips.
+  (void)cov.recordConditions(d, {true, false}, false);
+  (void)cov.recordConditions(d, {false, false}, false);
+  EXPECT_FALSE(cov.mcdcDemonstrated(d, 0));
+}
+
+TEST(Coverage, McdcRequiresSingleConditionDifference) {
+  const auto cm = twoCondModel();
+  CoverageTracker cov(cm);
+  const int d = cm.decisions[0].id;
+  // Both conditions flip: no unique cause.
+  (void)cov.recordConditions(d, {true, true}, true);
+  (void)cov.recordConditions(d, {false, false}, false);
+  EXPECT_FALSE(cov.mcdcDemonstrated(d, 0));
+  EXPECT_FALSE(cov.mcdcDemonstrated(d, 1));
+}
+
+TEST(Coverage, ReportMentionsUncoveredBranches) {
+  const auto cm = twoCondModel();
+  CoverageTracker cov(cm);
+  const auto report = cov.report();
+  EXPECT_NE(report.find("Uncovered branches"), std::string::npos);
+  EXPECT_NE(report.find("cov/sw"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stcg::coverage

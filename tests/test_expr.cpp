@@ -1,0 +1,308 @@
+// Unit tests for the expression core: scalars, builder folding, evaluation,
+// substitution, and atomic-condition extraction.
+#include <gtest/gtest.h>
+
+#include "expr/atoms.h"
+#include "expr/builder.h"
+#include "expr/eval.h"
+#include "expr/subst.h"
+
+namespace stcg::expr {
+namespace {
+
+// ---------- Scalar / Value ----------
+
+TEST(Scalar, TypesAndConversions) {
+  EXPECT_EQ(Scalar::b(true).type(), Type::kBool);
+  EXPECT_EQ(Scalar::i(3).type(), Type::kInt);
+  EXPECT_EQ(Scalar::r(2.5).type(), Type::kReal);
+
+  EXPECT_EQ(Scalar::b(true).toInt(), 1);
+  EXPECT_EQ(Scalar::r(2.9).toInt(), 2);   // truncation toward zero
+  EXPECT_EQ(Scalar::r(-2.9).toInt(), -2);
+  EXPECT_TRUE(Scalar::i(-5).toBool());
+  EXPECT_FALSE(Scalar::r(0.0).toBool());
+  EXPECT_DOUBLE_EQ(Scalar::i(7).toReal(), 7.0);
+}
+
+TEST(Scalar, CastPreservesSemantics) {
+  EXPECT_EQ(Scalar::r(3.7).castTo(Type::kInt), Scalar::i(3));
+  EXPECT_EQ(Scalar::i(0).castTo(Type::kBool), Scalar::b(false));
+  EXPECT_EQ(Scalar::b(true).castTo(Type::kReal), Scalar::r(1.0));
+}
+
+TEST(Scalar, EqualityIsTypeSensitive) {
+  EXPECT_NE(Scalar::i(1), Scalar::r(1.0));
+  EXPECT_EQ(Scalar::i(1), Scalar::i(1));
+}
+
+TEST(Value, SplatAndAccess) {
+  const Value v = Value::splat(Scalar::i(4), 3);
+  EXPECT_EQ(v.width(), 3);
+  EXPECT_EQ(v.at(2), Scalar::i(4));
+  EXPECT_FALSE(v.isScalar());
+  Value w = v;
+  w.set(1, Scalar::i(9));
+  EXPECT_NE(v, w);
+  EXPECT_EQ(w.at(1), Scalar::i(9));
+}
+
+TEST(Value, ConstructorCoercesElementTypes) {
+  const Value v(Type::kInt, {Scalar::r(2.7), Scalar::b(true)});
+  EXPECT_EQ(v.at(0), Scalar::i(2));
+  EXPECT_EQ(v.at(1), Scalar::i(1));
+}
+
+// ---------- Builder folding ----------
+
+TEST(Builder, ConstantFoldsArithmetic) {
+  EXPECT_EQ(addE(cInt(2), cInt(3))->constVal, Scalar::i(5));
+  EXPECT_EQ(mulE(cReal(2.0), cReal(4.0))->constVal, Scalar::r(8.0));
+  EXPECT_EQ(subE(cInt(2), cReal(0.5))->constVal, Scalar::r(1.5));
+  EXPECT_EQ(minE(cInt(2), cInt(7))->constVal, Scalar::i(2));
+  EXPECT_EQ(absE(cInt(-4))->constVal, Scalar::i(4));
+}
+
+TEST(Builder, GuardedDivisionByZeroYieldsZero) {
+  EXPECT_EQ(divE(cInt(5), cInt(0))->constVal, Scalar::i(0));
+  EXPECT_EQ(divE(cReal(5.0), cReal(0.0))->constVal, Scalar::r(0.0));
+  EXPECT_EQ(modE(cInt(5), cInt(0))->constVal, Scalar::i(0));
+}
+
+TEST(Builder, IdentityAndAbsorbingElements) {
+  const auto x = mkVar({0, "x", Type::kInt, -10, 10});
+  EXPECT_EQ(addE(x, cInt(0)).get(), x.get());
+  EXPECT_EQ(mulE(x, cInt(1)).get(), x.get());
+  EXPECT_EQ(mulE(x, cInt(0))->constVal, Scalar::i(0));
+  const auto b = mkVar({1, "b", Type::kBool, 0, 1});
+  EXPECT_EQ(andE(b, cBool(true)).get(), b.get());
+  EXPECT_EQ(andE(b, cBool(false))->constVal, Scalar::b(false));
+  EXPECT_EQ(orE(b, cBool(false)).get(), b.get());
+  EXPECT_EQ(orE(b, cBool(true))->constVal, Scalar::b(true));
+  EXPECT_EQ(notE(notE(b)).get(), b.get());
+}
+
+TEST(Builder, IteSimplifications) {
+  const auto x = mkVar({0, "x", Type::kInt, -10, 10});
+  const auto y = mkVar({1, "y", Type::kInt, -10, 10});
+  const auto c = mkVar({2, "c", Type::kBool, 0, 1});
+  EXPECT_EQ(iteE(cBool(true), x, y).get(), x.get());
+  EXPECT_EQ(iteE(cBool(false), x, y).get(), y.get());
+  EXPECT_EQ(iteE(c, x, x).get(), x.get());
+}
+
+TEST(Builder, TypePromotionIntRealAndBool) {
+  const auto i = mkVar({0, "i", Type::kInt, -10, 10});
+  const auto r = mkVar({1, "r", Type::kReal, -10, 10});
+  const auto b = mkVar({2, "b", Type::kBool, 0, 1});
+  EXPECT_EQ(addE(i, r)->type, Type::kReal);
+  EXPECT_EQ(addE(i, b)->type, Type::kInt);  // bool promotes to int
+  EXPECT_EQ(ltE(i, r)->type, Type::kBool);
+}
+
+TEST(Builder, SelectStoreFolding) {
+  const auto arr = cArray(Type::kInt, {Scalar::i(10), Scalar::i(20),
+                                       Scalar::i(30)});
+  EXPECT_EQ(selectE(arr, cInt(1))->constVal, Scalar::i(20));
+  // Out-of-range selection clamps.
+  EXPECT_EQ(selectE(arr, cInt(9))->constVal, Scalar::i(30));
+  EXPECT_EQ(selectE(arr, cInt(-2))->constVal, Scalar::i(10));
+  // Constant store folds into a new constant array.
+  const auto stored = storeE(arr, cInt(2), cInt(99));
+  EXPECT_EQ(stored->op, Op::kConstArray);
+  EXPECT_EQ(selectE(stored, cInt(2))->constVal, Scalar::i(99));
+}
+
+TEST(Builder, SelectThroughSymbolicStore) {
+  const auto x = mkVar({0, "x", Type::kInt, 0, 100});
+  const auto arr = cArray(Type::kInt, {Scalar::i(1), Scalar::i(2)});
+  // store at known index, select at different known index: bypasses store.
+  const auto s = storeE(arr, cInt(0), x);
+  EXPECT_EQ(selectE(s, cInt(1))->constVal, Scalar::i(2));
+  // select at the stored index returns the stored value.
+  EXPECT_EQ(selectE(s, cInt(0)).get(), x.get());
+}
+
+TEST(Builder, AndAllOrAll) {
+  const auto b = mkVar({0, "b", Type::kBool, 0, 1});
+  EXPECT_EQ(andAll({})->constVal, Scalar::b(true));
+  EXPECT_EQ(orAll({})->constVal, Scalar::b(false));
+  EXPECT_EQ(andAll({b, cBool(true)}).get(), b.get());
+}
+
+// ---------- Evaluation ----------
+
+TEST(Eval, BasicEnvLookups) {
+  const auto x = mkVar({0, "x", Type::kInt, -100, 100});
+  const auto y = mkVar({1, "y", Type::kReal, -100, 100});
+  Env env;
+  env.set(0, Scalar::i(4));
+  env.set(1, Scalar::r(0.5));
+  EXPECT_EQ(evaluate(addE(x, y), env), Scalar::r(4.5));
+  EXPECT_EQ(evaluate(ltE(x, cInt(5)), env), Scalar::b(true));
+}
+
+TEST(Eval, IteShortCircuitsOnConditionValue) {
+  const auto c = mkVar({0, "c", Type::kBool, 0, 1});
+  const auto e = iteE(c, cInt(1), cInt(2));
+  Env env;
+  env.set(0, Scalar::b(false));
+  EXPECT_EQ(evaluate(e, env), Scalar::i(2));
+  env.set(0, Scalar::b(true));
+  EXPECT_EQ(evaluate(e, env), Scalar::i(1));
+}
+
+TEST(Eval, ArrayEnvBindingAndStoreChain) {
+  const auto arr = mkVarArray(0, "a", Type::kInt, 4);
+  const auto idx = mkVar({1, "i", Type::kInt, 0, 3});
+  const auto val = mkVar({2, "v", Type::kInt, 0, 100});
+  const auto expr = selectE(storeE(arr, idx, val), cInt(2));
+  Env env;
+  env.setArray(0, {Scalar::i(5), Scalar::i(6), Scalar::i(7), Scalar::i(8)});
+  env.set(1, Scalar::i(2));
+  env.set(2, Scalar::i(42));
+  EXPECT_EQ(evaluate(expr, env), Scalar::i(42));
+  env.set(1, Scalar::i(0));  // store elsewhere: original element visible
+  EXPECT_EQ(evaluate(expr, env), Scalar::i(7));
+}
+
+TEST(Eval, OutOfRangeIndexClampsAtRuntime) {
+  const auto arr = mkVarArray(0, "a", Type::kInt, 2);
+  const auto idx = mkVar({1, "i", Type::kInt, -10, 10});
+  Env env;
+  env.setArray(0, {Scalar::i(100), Scalar::i(200)});
+  env.set(1, Scalar::i(7));
+  EXPECT_EQ(evaluate(selectE(arr, idx), env), Scalar::i(200));
+  env.set(1, Scalar::i(-3));
+  EXPECT_EQ(evaluate(selectE(arr, idx), env), Scalar::i(100));
+}
+
+TEST(Eval, SharedSubexpressionsEvaluateOnce) {
+  // Build a deep chain of shared nodes: without memoization this would be
+  // exponential (2^40 naive evaluations).
+  auto x = mkVar({0, "x", Type::kInt, 0, 10});
+  ExprPtr e = x;
+  for (int i = 0; i < 40; ++i) e = addE(e, e);
+  Env env;
+  env.set(0, Scalar::i(1));
+  EXPECT_EQ(evaluate(e, env).asInt(), std::int64_t{1} << 40);
+}
+
+// ---------- Substitution ----------
+
+TEST(Subst, PartialEvalFoldsBoundParts) {
+  const auto x = mkVar({0, "x", Type::kInt, 0, 10});
+  const auto s = mkVar({1, "state", Type::kInt, 0, 10});
+  const auto e = andE(eqE(x, cInt(3)), gtE(s, cInt(5)));
+  Env binding;
+  binding.set(1, Scalar::i(7));  // state true -> residual is x == 3
+  const auto r = substitute(e, binding);
+  EXPECT_EQ(r->op, Op::kEq);
+  binding.set(1, Scalar::i(2));  // state false -> whole expr false
+  const auto r2 = substitute(e, binding);
+  ASSERT_EQ(r2->op, Op::kConst);
+  EXPECT_FALSE(r2->constVal.toBool());
+}
+
+TEST(Subst, ArrayBindingCollapsesDisjunction) {
+  // The CPUTask pattern: OR over slots of (valid[i] && id[i] == x).
+  const auto valid = mkVarArray(0, "valid", Type::kInt, 3);
+  const auto ids = mkVarArray(1, "ids", Type::kInt, 3);
+  const auto x = mkVar({2, "x", Type::kInt, 0, 1000});
+  std::vector<ExprPtr> terms;
+  for (int i = 0; i < 3; ++i) {
+    terms.push_back(andE(neE(selectE(valid, cInt(i)), cInt(0)),
+                         eqE(selectE(ids, cInt(i)), x)));
+  }
+  const auto found = orAll(terms);
+  Env st;
+  st.setArray(0, {Scalar::i(0), Scalar::i(1), Scalar::i(0)});
+  st.setArray(1, {Scalar::i(11), Scalar::i(42), Scalar::i(13)});
+  const auto residual = substitute(found, st);
+  // Only slot 1 is valid: residual must be exactly x == 42.
+  ASSERT_EQ(residual->op, Op::kEq);
+  Env in;
+  in.set(2, Scalar::i(42));
+  EXPECT_TRUE(evaluate(residual, in).toBool());
+  in.set(2, Scalar::i(41));
+  EXPECT_FALSE(evaluate(residual, in).toBool());
+}
+
+TEST(Subst, ExprSubstitutionRenamesVariables) {
+  const auto x = mkVar({0, "x", Type::kInt, 0, 10});
+  const auto y = mkVar({5, "y", Type::kInt, 0, 10});
+  const auto e = addE(x, cInt(1));
+  std::unordered_map<VarId, ExprPtr> mapping{{0, y}};
+  const auto r = substituteExprs(e, mapping);
+  const auto vars = collectVars(r);
+  ASSERT_EQ(vars.size(), 1u);
+  EXPECT_EQ(vars[0], 5);
+}
+
+TEST(Subst, ExprSubstitutionComposesStepFunctions) {
+  // next = state + in; composing twice from state=0 gives in0 + in1.
+  const auto state = mkVar({0, "s", Type::kInt, 0, 100});
+  const auto in = mkVar({1, "in", Type::kInt, 0, 100});
+  const auto next = addE(state, in);
+  const auto in0 = mkVar({10, "in0", Type::kInt, 0, 100});
+  const auto in1 = mkVar({11, "in1", Type::kInt, 0, 100});
+  std::unordered_map<VarId, ExprPtr> step0{{0, cInt(0)}, {1, in0}};
+  const auto s1 = substituteExprs(next, step0);
+  std::unordered_map<VarId, ExprPtr> step1{{0, s1}, {1, in1}};
+  const auto s2 = substituteExprs(next, step1);
+  Env env;
+  env.set(10, Scalar::i(3));
+  env.set(11, Scalar::i(4));
+  EXPECT_EQ(evaluate(s2, env), Scalar::i(7));
+}
+
+// ---------- Atoms / variables / misc ----------
+
+TEST(Atoms, ExtractsMaximalBooleanLeaves) {
+  const auto a = mkVar({0, "a", Type::kReal, 0, 10});
+  const auto b = mkVar({1, "b", Type::kReal, 0, 10});
+  const auto en = mkVar({2, "en", Type::kBool, 0, 1});
+  const auto e = orE(andE(gtE(a, cReal(3.0)), notE(eqE(b, a))), en);
+  const auto atoms = extractAtoms(e);
+  ASSERT_EQ(atoms.size(), 3u);
+  EXPECT_EQ(atoms[0]->op, Op::kGt);
+  EXPECT_EQ(atoms[1]->op, Op::kEq);
+  EXPECT_EQ(atoms[2]->op, Op::kVar);
+}
+
+TEST(Atoms, DeduplicatesSharedSubtrees) {
+  const auto a = mkVar({0, "a", Type::kReal, 0, 10});
+  const auto atom = gtE(a, cReal(1.0));
+  const auto e = orE(atom, andE(atom, notE(atom)));
+  EXPECT_EQ(extractAtoms(e).size(), 1u);
+}
+
+TEST(Atoms, ConstantsAreNotConditions) {
+  EXPECT_TRUE(extractAtoms(cBool(true)).empty());
+}
+
+TEST(ExprMisc, CollectVarsSortedUnique) {
+  const auto x = mkVar({3, "x", Type::kInt, 0, 1});
+  const auto y = mkVar({1, "y", Type::kInt, 0, 1});
+  const auto e = addE(addE(x, y), x);
+  const auto vars = collectVars(e);
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars[0], 1);
+  EXPECT_EQ(vars[1], 3);
+}
+
+TEST(ExprMisc, DagSizeCountsSharedOnce) {
+  const auto x = mkVar({0, "x", Type::kInt, 0, 1});
+  const auto shared = addE(x, cInt(1));
+  const auto e = mulE(shared, shared);
+  EXPECT_EQ(dagSize(e), 4u);  // x, 1, add, mul
+}
+
+TEST(ExprMisc, ToStringRendersInfix) {
+  const auto x = mkVar({0, "x", Type::kInt, 0, 1});
+  EXPECT_EQ(addE(x, cInt(2))->toString(), "(x + 2)");
+  EXPECT_EQ(notE(castE(x, Type::kBool))->toString(), "!(cast<bool>(x))");
+}
+
+}  // namespace
+}  // namespace stcg::expr

@@ -1,0 +1,55 @@
+// Tests for model introspection: Graphviz export and statistics.
+#include <gtest/gtest.h>
+
+#include "benchmodels/benchmodels.h"
+#include "model/export.h"
+
+namespace stcg::model {
+namespace {
+
+TEST(Dot, ContainsBlocksEdgesAndClusters) {
+  const auto m = bench::buildCpuTaskSimplified();
+  const auto dot = toDot(m);
+  EXPECT_NE(dot.find("digraph \"CPUTaskSimplified\""), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_r"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("op_dispatch.case0"), std::string::npos);
+  // Every block appears exactly once as a node definition.
+  std::size_t nodes = 0;
+  for (std::size_t pos = 0; (pos = dot.find(" [label=", pos)) != std::string::npos;
+       ++pos) {
+    ++nodes;
+  }
+  EXPECT_GE(nodes, m.blocks().size());
+}
+
+TEST(Dot, EscapesQuotes) {
+  Model m("quoted\"name");
+  (void)m.addInport("in", expr::Type::kInt, 0, 1);
+  const auto dot = toDot(m);
+  EXPECT_NE(dot.find("quoted\\\"name"), std::string::npos);
+}
+
+TEST(Stats, CountsMatchStructure) {
+  const auto m = bench::buildTcp();
+  const auto s = modelStats(m);
+  EXPECT_EQ(s.blocks, static_cast<int>(m.blocks().size()));
+  EXPECT_EQ(s.charts, 1);
+  EXPECT_EQ(s.chartStates, 11);
+  EXPECT_GT(s.chartTransitions, 20);
+  EXPECT_GT(s.blocksByKind.at("Relational"), 0);
+  EXPECT_NE(s.toString().find("blocks="), std::string::npos);
+}
+
+TEST(Stats, StatefulBlockAccounting) {
+  Model m("t");
+  auto x = m.addInport("x", expr::Type::kInt, 0, 1);
+  (void)m.addUnitDelay("d1", x, expr::Scalar::i(0));
+  (void)m.addDelayLine("d2", x, 3, expr::Scalar::i(0));
+  const auto s = modelStats(m);
+  EXPECT_EQ(s.statefulBlocks, 2);
+  EXPECT_EQ(s.regions, 0);
+}
+
+}  // namespace
+}  // namespace stcg::model

@@ -1,0 +1,154 @@
+// Tests for the search-based solver (branch distance), the portfolio
+// dispatcher, and their integration with STCG.
+#include <gtest/gtest.h>
+
+#include "compile/compiler.h"
+#include "expr/builder.h"
+#include "model/model.h"
+#include "solver/local_search.h"
+#include "stcg/stcg_generator.h"
+
+namespace stcg::solver {
+namespace {
+
+using expr::cInt;
+using expr::cReal;
+using expr::Env;
+using expr::mkVar;
+using expr::Scalar;
+using expr::Type;
+using expr::VarInfo;
+
+const VarInfo kX{0, "x", Type::kInt, -1000, 1000};
+const VarInfo kY{1, "y", Type::kInt, -1000, 1000};
+
+Env envOf(std::int64_t x, std::int64_t y) {
+  Env env;
+  env.set(0, Scalar::i(x));
+  env.set(1, Scalar::i(y));
+  return env;
+}
+
+TEST(BranchDistance, ZeroIffSatisfied) {
+  const auto goal = expr::eqE(mkVar(kX), cInt(7));
+  EXPECT_EQ(branchDistance(goal, envOf(7, 0), true), 0.0);
+  EXPECT_EQ(branchDistance(goal, envOf(9, 0), true), 2.0);
+  EXPECT_EQ(branchDistance(goal, envOf(7, 0), false), 1.0);
+  EXPECT_EQ(branchDistance(goal, envOf(9, 0), false), 0.0);
+}
+
+TEST(BranchDistance, GradientTowardInequality) {
+  const auto goal = expr::ltE(mkVar(kX), cInt(0));
+  const double far = branchDistance(goal, envOf(100, 0), true);
+  const double near = branchDistance(goal, envOf(1, 0), true);
+  EXPECT_GT(far, near);
+  EXPECT_EQ(branchDistance(goal, envOf(-1, 0), true), 0.0);
+}
+
+TEST(BranchDistance, ConjunctionAddsDisjunctionMins) {
+  const auto x = mkVar(kX);
+  const auto y = mkVar(kY);
+  const auto both =
+      expr::andE(expr::eqE(x, cInt(5)), expr::eqE(y, cInt(3)));
+  EXPECT_EQ(branchDistance(both, envOf(4, 1), true), 1.0 + 2.0);
+  const auto either =
+      expr::orE(expr::eqE(x, cInt(5)), expr::eqE(y, cInt(3)));
+  EXPECT_EQ(branchDistance(either, envOf(4, 1), true), 1.0);
+}
+
+TEST(BranchDistance, NegationFlipsPolarity) {
+  const auto goal = expr::notE(expr::leE(mkVar(kX), cInt(10)));
+  EXPECT_EQ(branchDistance(goal, envOf(11, 0), true), 0.0);
+  EXPECT_GT(branchDistance(goal, envOf(5, 0), true), 0.0);
+}
+
+TEST(LocalSearch, SolvesNonlinearSumOfSquares) {
+  // x*x + y*y == 1000000 (e.g. 600^2 + 800^2): interval contraction is
+  // nearly useless here, but the distance gradient homes right in.
+  const auto x = mkVar(kX);
+  const auto y = mkVar(kY);
+  const auto goal = expr::eqE(
+      expr::addE(expr::mulE(x, x), expr::mulE(y, y)), cInt(1000000));
+  SolveOptions opt;
+  opt.timeBudgetMillis = 2000;
+  opt.seed = 11;
+  LocalSearchSolver s(opt);
+  const auto res = s.solve(goal, {kX, kY});
+  ASSERT_EQ(res.status, SolveStatus::kSat);
+  EXPECT_TRUE(expr::evaluate(goal, res.model).toBool());
+}
+
+TEST(LocalSearch, NeverClaimsUnsat) {
+  const auto x = mkVar(kX);
+  const auto goal =
+      expr::andE(expr::gtE(x, cInt(5)), expr::ltE(x, cInt(5)));
+  SolveOptions opt;
+  opt.timeBudgetMillis = 30;
+  LocalSearchSolver s(opt);
+  EXPECT_EQ(s.solve(goal, {kX}).status, SolveStatus::kUnknown);
+}
+
+TEST(Portfolio, FallsThroughToSearchOnUnknown) {
+  const auto x = mkVar(kX);
+  const auto y = mkVar(kY);
+  const auto goal = expr::eqE(
+      expr::addE(expr::mulE(x, x), expr::mulE(y, y)), cInt(1000000));
+  SolveOptions opt;
+  opt.timeBudgetMillis = 2000;
+  opt.seed = 3;
+  opt.maxBoxes = 64;  // cripple the box engine so it reports UNKNOWN
+  const auto res = solveWith(SolverKind::kPortfolio, goal, {kX, kY}, opt);
+  ASSERT_EQ(res.status, SolveStatus::kSat);
+  EXPECT_TRUE(expr::evaluate(goal, res.model).toBool());
+}
+
+TEST(Portfolio, KeepsBoxUnsatProofs) {
+  const auto x = mkVar(kX);
+  const auto goal =
+      expr::andE(expr::gtE(x, cInt(5)), expr::ltE(x, cInt(5)));
+  SolveOptions opt;
+  opt.timeBudgetMillis = 500;
+  EXPECT_EQ(solveWith(SolverKind::kPortfolio, goal, {kX}, opt).status,
+            SolveStatus::kUnsat);
+}
+
+TEST(Portfolio, StcgRunsWithPortfolioEngine) {
+  // A model whose interesting branch is a nonlinear equation on inputs:
+  // trigger when x*x + y*y is within a thin shell, latched thereafter.
+  model::Model m("Shell");
+  auto x = m.addInport("x", Type::kInt, -1000, 1000);
+  auto y = m.addInport("y", Type::kInt, -1000, 1000);
+  auto xx = m.addProduct("xx", {x, x}, "**");
+  auto yy = m.addProduct("yy", {y, y}, "**");
+  auto sum = m.addSum("sum", {xx, yy}, "++");
+  auto inShell =
+      m.addCompareToConst("in_shell", sum, model::RelOp::kEq, 1000000.0);
+  auto latch = m.addUnitDelayHole("hit", Scalar::b(false));
+  auto latched = m.addLogical("latched", model::LogicOp::kOr,
+                              {latch, inShell});
+  m.bindDelayInput(latch, latched);
+  auto one = m.addConstant("one", Scalar::i(1));
+  auto zero = m.addConstant("zero", Scalar::i(0));
+  m.addOutport("out", m.addSwitch("sw", one, latch, zero,
+                                  model::SwitchCriteria::kNotZero, 0.0));
+
+  const auto cm = compile::compile(m);
+  gen::GenOptions opt;
+  opt.budgetMillis = 4000;
+  opt.seed = 21;
+  opt.solver.timeBudgetMillis = 150;
+  opt.solverKind = SolverKind::kPortfolio;
+  gen::StcgGenerator g;
+  const auto res = g.generate(cm, opt);
+  EXPECT_EQ(res.coverage.decision, 1.0)
+      << res.coverage.coveredBranches << "/" << res.coverage.totalBranches;
+}
+
+TEST(Portfolio, KindNames) {
+  EXPECT_STREQ(solverKindName(SolverKind::kBox), "box");
+  EXPECT_STREQ(solverKindName(SolverKind::kLocalSearch), "local-search");
+  EXPECT_STREQ(solverKindName(SolverKind::kPortfolio), "portfolio");
+}
+
+}  // namespace
+}  // namespace stcg::solver

@@ -1,0 +1,509 @@
+// Semantics tests for the model IR and compiler: one golden test per block
+// kind, region gating, charts, branch/decision structure, and the
+// compiler's error paths.
+#include <gtest/gtest.h>
+
+#include "compile/compiler.h"
+#include "expr/builder.h"
+#include "model/model.h"
+#include "sim/simulator.h"
+
+namespace stcg {
+namespace {
+
+using expr::Scalar;
+using expr::Type;
+using model::Model;
+using model::PortRef;
+using model::RegionScope;
+
+/// Build a one-in/one-out model around `wire`, simulate one step with
+/// input `in`, and return the single output.
+Scalar evalBlock(const std::function<PortRef(Model&, PortRef)>& wire,
+                 Scalar in, Type inType = Type::kReal, double lo = -100,
+                 double hi = 100) {
+  Model m("t");
+  auto x = m.addInport("x", inType, lo, hi);
+  m.addOutport("y", wire(m, x));
+  const auto cm = compile::compile(m);
+  sim::Simulator s(cm);
+  (void)s.step({in}, nullptr);
+  return s.lastOutputs()[0];
+}
+
+TEST(Blocks, SumWithMixedSigns) {
+  Model m("t");
+  auto a = m.addInport("a", Type::kInt, -10, 10);
+  auto b = m.addInport("b", Type::kInt, -10, 10);
+  auto c = m.addInport("c", Type::kInt, -10, 10);
+  m.addOutport("y", m.addSum("s", {a, b, c}, "+-+"));
+  const auto cm = compile::compile(m);
+  sim::Simulator s(cm);
+  (void)s.step({Scalar::i(5), Scalar::i(3), Scalar::i(2)}, nullptr);
+  EXPECT_EQ(s.lastOutputs()[0], Scalar::i(4));
+}
+
+TEST(Blocks, GainScales) {
+  EXPECT_EQ(evalBlock([](Model& m, PortRef x) { return m.addGain("g", x, 2.5); },
+                      Scalar::r(4.0)),
+            Scalar::r(10.0));
+}
+
+TEST(Blocks, ProductWithDivision) {
+  Model m("t");
+  auto a = m.addInport("a", Type::kReal, -10, 10);
+  auto b = m.addInport("b", Type::kReal, -10, 10);
+  m.addOutport("y", m.addProduct("p", {a, b}, "*/"));
+  const auto cm = compile::compile(m);
+  sim::Simulator s(cm);
+  (void)s.step({Scalar::r(6.0), Scalar::r(3.0)}, nullptr);
+  EXPECT_EQ(s.lastOutputs()[0], Scalar::r(2.0));
+  // Guarded division: dividing by zero yields zero, not a crash.
+  (void)s.step({Scalar::r(6.0), Scalar::r(0.0)}, nullptr);
+  EXPECT_EQ(s.lastOutputs()[0], Scalar::r(0.0));
+}
+
+TEST(Blocks, AbsMinMaxSaturation) {
+  EXPECT_EQ(evalBlock([](Model& m, PortRef x) { return m.addAbs("a", x); },
+                      Scalar::r(-3.5)),
+            Scalar::r(3.5));
+  EXPECT_EQ(
+      evalBlock(
+          [](Model& m, PortRef x) { return m.addSaturation("s", x, -1, 1); },
+          Scalar::r(7.0)),
+      Scalar::r(1.0));
+  Model m("t");
+  auto a = m.addInport("a", Type::kReal, -10, 10);
+  auto b = m.addInport("b", Type::kReal, -10, 10);
+  m.addOutport("lo", m.addMinMax("mn", model::MinMaxOp::kMin, a, b));
+  m.addOutport("hi", m.addMinMax("mx", model::MinMaxOp::kMax, a, b));
+  const auto cm = compile::compile(m);
+  sim::Simulator s(cm);
+  (void)s.step({Scalar::r(2.0), Scalar::r(5.0)}, nullptr);
+  EXPECT_EQ(s.lastOutputs()[0], Scalar::r(2.0));
+  EXPECT_EQ(s.lastOutputs()[1], Scalar::r(5.0));
+}
+
+TEST(Blocks, RelationalAndLogicalOps) {
+  Model m("t");
+  auto a = m.addInport("a", Type::kInt, -10, 10);
+  auto b = m.addInport("b", Type::kInt, -10, 10);
+  auto lt = m.addRelational("lt", model::RelOp::kLt, a, b);
+  auto ge = m.addRelational("ge", model::RelOp::kGe, a, b);
+  m.addOutport("and", m.addLogical("and", model::LogicOp::kAnd, {lt, ge}));
+  m.addOutport("or", m.addLogical("or", model::LogicOp::kOr, {lt, ge}));
+  m.addOutport("nand", m.addLogical("nand", model::LogicOp::kNand, {lt, ge}));
+  m.addOutport("nor", m.addLogical("nor", model::LogicOp::kNor, {lt, ge}));
+  m.addOutport("xor", m.addLogical("xor", model::LogicOp::kXor, {lt, ge}));
+  m.addOutport("not", m.addLogical("not", model::LogicOp::kNot, {lt}));
+  const auto cm = compile::compile(m);
+  sim::Simulator s(cm);
+  (void)s.step({Scalar::i(1), Scalar::i(2)}, nullptr);  // lt=T, ge=F
+  EXPECT_EQ(s.lastOutputs()[0], Scalar::b(false));  // and
+  EXPECT_EQ(s.lastOutputs()[1], Scalar::b(true));   // or
+  EXPECT_EQ(s.lastOutputs()[2], Scalar::b(true));   // nand
+  EXPECT_EQ(s.lastOutputs()[3], Scalar::b(false));  // nor
+  EXPECT_EQ(s.lastOutputs()[4], Scalar::b(true));   // xor
+  EXPECT_EQ(s.lastOutputs()[5], Scalar::b(false));  // not lt
+}
+
+TEST(Blocks, SwitchCriteriaVariants) {
+  Model m("t");
+  auto ctrl = m.addInport("ctrl", Type::kReal, -10, 10);
+  auto one = m.addConstant("one", Scalar::i(1));
+  auto zero = m.addConstant("zero", Scalar::i(0));
+  m.addOutport("gt", m.addSwitch("gt", one, ctrl, zero,
+                                 model::SwitchCriteria::kGreaterThan, 2.0));
+  m.addOutport("ge", m.addSwitch("ge", one, ctrl, zero,
+                                 model::SwitchCriteria::kGreaterEqual, 2.0));
+  m.addOutport("nz", m.addSwitch("nz", one, ctrl, zero,
+                                 model::SwitchCriteria::kNotZero, 0.0));
+  const auto cm = compile::compile(m);
+  sim::Simulator s(cm);
+  (void)s.step({Scalar::r(2.0)}, nullptr);
+  EXPECT_EQ(s.lastOutputs()[0].toInt(), 0);  // 2 > 2 false
+  EXPECT_EQ(s.lastOutputs()[1].toInt(), 1);  // 2 >= 2 true
+  EXPECT_EQ(s.lastOutputs()[2].toInt(), 1);  // nonzero
+  (void)s.step({Scalar::r(0.0)}, nullptr);
+  EXPECT_EQ(s.lastOutputs()[2].toInt(), 0);
+}
+
+TEST(Blocks, MultiportSwitchSelectsAndDefaults) {
+  Model m("t");
+  auto ctrl = m.addInport("ctrl", Type::kInt, -5, 10);
+  auto d0 = m.addConstant("d0", Scalar::i(100));
+  auto d1 = m.addConstant("d1", Scalar::i(200));
+  auto d2 = m.addConstant("d2", Scalar::i(300));
+  m.addOutport("y", m.addMultiportSwitch("mp", ctrl, {d0, d1, d2}));
+  const auto cm = compile::compile(m);
+  sim::Simulator s(cm);
+  (void)s.step({Scalar::i(1)}, nullptr);
+  EXPECT_EQ(s.lastOutputs()[0], Scalar::i(200));
+  (void)s.step({Scalar::i(7)}, nullptr);  // out of range -> last port
+  EXPECT_EQ(s.lastOutputs()[0], Scalar::i(300));
+}
+
+TEST(Blocks, UnitDelayHoldsOneStep) {
+  Model m("t");
+  auto x = m.addInport("x", Type::kInt, -10, 10);
+  m.addOutport("y", m.addUnitDelay("d", x, Scalar::i(-1)));
+  const auto cm = compile::compile(m);
+  sim::Simulator s(cm);
+  (void)s.step({Scalar::i(5)}, nullptr);
+  EXPECT_EQ(s.lastOutputs()[0], Scalar::i(-1));  // initial value
+  (void)s.step({Scalar::i(9)}, nullptr);
+  EXPECT_EQ(s.lastOutputs()[0], Scalar::i(5));
+}
+
+TEST(Blocks, DelayLineShiftsNSteps) {
+  Model m("t");
+  auto x = m.addInport("x", Type::kInt, 0, 100);
+  m.addOutport("y", m.addDelayLine("d", x, 3, Scalar::i(0)));
+  const auto cm = compile::compile(m);
+  sim::Simulator s(cm);
+  const int inputs[] = {11, 22, 33, 44, 55};
+  const int expected[] = {0, 0, 0, 11, 22};
+  for (int i = 0; i < 5; ++i) {
+    (void)s.step({Scalar::i(inputs[i])}, nullptr);
+    EXPECT_EQ(s.lastOutputs()[0].asInt(), expected[i]) << "step " << i;
+  }
+}
+
+TEST(Blocks, Lookup1DInterpolatesAndClamps) {
+  const auto table = [](Model& m, PortRef x) {
+    return m.addLookup1D("l", x, {0, 10, 20}, {0, 100, 400});
+  };
+  EXPECT_EQ(evalBlock(table, Scalar::r(5.0)), Scalar::r(50.0));     // interp
+  EXPECT_EQ(evalBlock(table, Scalar::r(15.0)), Scalar::r(250.0));   // interp
+  EXPECT_EQ(evalBlock(table, Scalar::r(-5.0)), Scalar::r(0.0));     // clamp
+  EXPECT_EQ(evalBlock(table, Scalar::r(99.0)), Scalar::r(400.0));   // clamp
+  EXPECT_EQ(evalBlock(table, Scalar::r(10.0)), Scalar::r(100.0));   // knot
+}
+
+TEST(Blocks, DataStoreReadWriteOrdering) {
+  // Read sees the pre-step value; writes commit for the next step.
+  Model m("t");
+  auto x = m.addInport("x", Type::kInt, 0, 100);
+  const int store = m.addDataStore("s", Type::kInt, 1, Scalar::i(7));
+  auto rd = m.addDataStoreRead("rd", store);
+  m.addDataStoreWrite("wr", store, x);
+  m.addOutport("y", rd);
+  const auto cm = compile::compile(m);
+  sim::Simulator s(cm);
+  (void)s.step({Scalar::i(42)}, nullptr);
+  EXPECT_EQ(s.lastOutputs()[0], Scalar::i(7));  // initial value visible
+  (void)s.step({Scalar::i(0)}, nullptr);
+  EXPECT_EQ(s.lastOutputs()[0], Scalar::i(42));  // write committed
+}
+
+TEST(Blocks, DataStoreArrayElemAccess) {
+  Model m("t");
+  auto idx = m.addInport("idx", Type::kInt, 0, 3);
+  auto val = m.addInport("val", Type::kInt, 0, 100);
+  const int store = m.addDataStore("arr", Type::kInt, 4, Scalar::i(0));
+  auto rd = m.addDataStoreReadElem("rd", store, idx);
+  m.addDataStoreWriteElem("wr", store, idx, val);
+  m.addOutport("y", rd);
+  const auto cm = compile::compile(m);
+  sim::Simulator s(cm);
+  (void)s.step({Scalar::i(2), Scalar::i(55)}, nullptr);
+  EXPECT_EQ(s.lastOutputs()[0], Scalar::i(0));
+  (void)s.step({Scalar::i(2), Scalar::i(0)}, nullptr);
+  EXPECT_EQ(s.lastOutputs()[0], Scalar::i(55));
+  (void)s.step({Scalar::i(1), Scalar::i(0)}, nullptr);
+  EXPECT_EQ(s.lastOutputs()[0], Scalar::i(0));  // other slot untouched
+}
+
+// ---------- Regions ----------
+
+TEST(Regions, IfElseGatesStateUpdates) {
+  Model m("t");
+  auto en = m.addInport("en", Type::kBool, 0, 1);
+  const int store = m.addDataStore("cnt", Type::kInt, 1, Scalar::i(0));
+  auto cnt = m.addDataStoreRead("rd", store);
+  auto one = m.addConstant("one", Scalar::i(1));
+  const auto ifr = m.addIfElse("gate", en);
+  {
+    RegionScope scope(m, ifr.thenRegion);
+    auto inc = m.addSum("inc", {cnt, one}, "++");
+    m.addDataStoreWrite("wr", store, inc);
+  }
+  m.addOutport("y", cnt);
+  const auto cm = compile::compile(m);
+  sim::Simulator s(cm);
+  (void)s.step({Scalar::b(true)}, nullptr);
+  (void)s.step({Scalar::b(false)}, nullptr);  // held
+  (void)s.step({Scalar::b(true)}, nullptr);
+  (void)s.step({Scalar::b(false)}, nullptr);
+  EXPECT_EQ(s.lastOutputs()[0], Scalar::i(2));  // two enabled steps counted
+}
+
+TEST(Regions, MergeSelectsActiveArmOrFallback) {
+  Model m("t");
+  auto sel = m.addInport("sel", Type::kInt, 0, 5);
+  const auto regions = m.addSwitchCase("sc", sel, {{0}, {1}}, false);
+  std::vector<std::pair<model::RegionId, PortRef>> arms;
+  {
+    RegionScope r0(m, regions[0]);
+    arms.emplace_back(regions[0], m.addConstant("a", Scalar::i(10)));
+  }
+  {
+    RegionScope r1(m, regions[1]);
+    arms.emplace_back(regions[1], m.addConstant("b", Scalar::i(20)));
+  }
+  m.addOutport("y", m.addMerge("mg", arms, Scalar::i(-1)));
+  const auto cm = compile::compile(m);
+  sim::Simulator s(cm);
+  (void)s.step({Scalar::i(0)}, nullptr);
+  EXPECT_EQ(s.lastOutputs()[0], Scalar::i(10));
+  (void)s.step({Scalar::i(1)}, nullptr);
+  EXPECT_EQ(s.lastOutputs()[0], Scalar::i(20));
+  (void)s.step({Scalar::i(4)}, nullptr);  // no arm
+  EXPECT_EQ(s.lastOutputs()[0], Scalar::i(-1));
+}
+
+TEST(Regions, NestedRegionsComposeDepthAndActivation) {
+  Model m("t");
+  auto a = m.addInport("a", Type::kBool, 0, 1);
+  auto b = m.addInport("b", Type::kBool, 0, 1);
+  const int store = m.addDataStore("hits", Type::kInt, 1, Scalar::i(0));
+  auto hits = m.addDataStoreRead("rd", store);
+  auto one = m.addConstant("one", Scalar::i(1));
+  const auto outer = m.addIfElse("outer", a);
+  {
+    RegionScope so(m, outer.thenRegion);
+    const auto inner = m.addIfElse("inner", b);
+    {
+      RegionScope si(m, inner.thenRegion);
+      auto inc = m.addSum("inc", {hits, one}, "++");
+      m.addDataStoreWrite("wr", store, inc);
+    }
+  }
+  m.addOutport("y", hits);
+  const auto cm = compile::compile(m);
+
+  // Depth structure: outer arms at depth 0, inner at depth 1.
+  int maxDepth = 0;
+  for (const auto& br : cm.branches) maxDepth = std::max(maxDepth, br.depth);
+  EXPECT_EQ(maxDepth, 1);
+
+  sim::Simulator s(cm);
+  (void)s.step({Scalar::b(true), Scalar::b(true)}, nullptr);    // counted
+  (void)s.step({Scalar::b(false), Scalar::b(true)}, nullptr);   // outer off
+  (void)s.step({Scalar::b(true), Scalar::b(false)}, nullptr);   // inner off
+  (void)s.step({Scalar::b(true), Scalar::b(true)}, nullptr);    // counted
+  (void)s.step({Scalar::b(false), Scalar::b(false)}, nullptr);
+  EXPECT_EQ(s.lastOutputs()[0], Scalar::i(2));
+}
+
+TEST(Regions, InactiveRegionDecisionsDoNotCount) {
+  Model m("t");
+  auto en = m.addInport("en", Type::kBool, 0, 1);
+  auto x = m.addInport("x", Type::kReal, -10, 10);
+  const auto region = m.addEnabled("gate", en);
+  {
+    RegionScope scope(m, region);
+    auto one = m.addConstant("one", Scalar::i(1));
+    auto zero = m.addConstant("zero", Scalar::i(0));
+    auto pos = m.addCompareToConst("pos", x, model::RelOp::kGt, 0.0);
+    m.addOutport("y", m.addSwitch("sw", one, pos, zero,
+                                  model::SwitchCriteria::kNotZero, 0.0));
+  }
+  const auto cm = compile::compile(m);
+  sim::Simulator s(cm);
+  coverage::CoverageTracker cov(cm);
+  // Disabled: only the enable decision's "disabled" arm counts.
+  (void)s.step({Scalar::b(false), Scalar::r(5.0)}, &cov);
+  EXPECT_EQ(cov.coveredBranchCount(), 1);
+  // Enabled: the switch decision now records too.
+  (void)s.step({Scalar::b(true), Scalar::r(5.0)}, &cov);
+  EXPECT_EQ(cov.coveredBranchCount(), 3);
+}
+
+// ---------- Charts ----------
+
+TEST(Charts, TransitionPriorityAndActions) {
+  Model m("t");
+  auto go = m.addInport("go", Type::kBool, 0, 1);
+  model::ChartBuilder cb(m, "c");
+  auto cGo = cb.input("go", Type::kBool);
+  const int ticks = cb.addVar("ticks", Scalar::i(0));
+  const int sA = cb.addState("A");
+  const int sB = cb.addState("B");
+  // Two transitions from A; the first declared must win when both fire.
+  cb.addTransition(sA, sB, cGo,
+                   {model::ChartAssign{
+                       ticks, expr::addE(cb.varRef(ticks), expr::cInt(10))}});
+  cb.addTransition(sA, sA, cGo,
+                   {model::ChartAssign{
+                       ticks, expr::addE(cb.varRef(ticks), expr::cInt(1))}});
+  cb.addTransition(sB, sA, expr::notE(cGo));
+  cb.exposeOutput(ticks);
+  cb.exposeActiveState();
+  auto outs = m.addChart("chart", cb.build(), {go});
+  m.addOutport("ticks", outs[0]);
+  m.addOutport("state", outs[1]);
+  const auto cm = compile::compile(m);
+  sim::Simulator s(cm);
+  (void)s.step({Scalar::b(true)}, nullptr);
+  EXPECT_EQ(s.lastOutputs()[0], Scalar::i(10));  // first transition won
+  EXPECT_EQ(s.lastOutputs()[1], Scalar::i(1));   // now in B
+}
+
+TEST(Charts, DuringActionsRunWhenNoTransitionFires) {
+  Model m("t");
+  auto go = m.addInport("go", Type::kBool, 0, 1);
+  model::ChartBuilder cb(m, "c");
+  auto cGo = cb.input("go", Type::kBool);
+  const int count = cb.addVar("count", Scalar::i(0));
+  const int sA = cb.addState("A");
+  const int sB = cb.addState("B");
+  cb.addTransition(sA, sB, cGo);
+  cb.addDuring(sA, count, expr::addE(cb.varRef(count), expr::cInt(1)));
+  cb.exposeOutput(count);
+  auto outs = m.addChart("chart", cb.build(), {go});
+  m.addOutport("count", outs[0]);
+  const auto cm = compile::compile(m);
+  sim::Simulator s(cm);
+  (void)s.step({Scalar::b(false)}, nullptr);
+  (void)s.step({Scalar::b(false)}, nullptr);
+  EXPECT_EQ(s.lastOutputs()[0], Scalar::i(2));  // two during ticks
+  (void)s.step({Scalar::b(true)}, nullptr);     // fires: during suppressed
+  EXPECT_EQ(s.lastOutputs()[0], Scalar::i(2));
+  (void)s.step({Scalar::b(false)}, nullptr);    // in B: no during action
+  EXPECT_EQ(s.lastOutputs()[0], Scalar::i(2));
+}
+
+TEST(Charts, TransitionsBecomeDecisionsWithGuardAtoms) {
+  Model m("t");
+  auto x = m.addInport("x", Type::kInt, 0, 100);
+  model::ChartBuilder cb(m, "c");
+  auto cX = cb.input("x", Type::kInt);
+  const int sA = cb.addState("A");
+  const int sB = cb.addState("B");
+  cb.addTransition(sA, sB,
+                   expr::andE(expr::gtE(cX, expr::cInt(5)),
+                              expr::ltE(cX, expr::cInt(10))),
+                   {}, "window");
+  cb.addTransition(sB, sA, expr::eqE(cX, expr::cInt(0)));
+  cb.exposeActiveState();
+  auto outs = m.addChart("chart", cb.build(), {x});
+  m.addOutport("s", outs[0]);
+  const auto cm = compile::compile(m);
+  int chartDecisions = 0;
+  for (const auto& d : cm.decisions) {
+    if (d.kind == compile::DecisionKind::kChartTransition) {
+      ++chartDecisions;
+      if (d.name.find("window") != std::string::npos) {
+        EXPECT_EQ(d.conditions.size(), 2u);  // the two relational atoms
+      }
+    }
+  }
+  EXPECT_EQ(chartDecisions, 2);
+}
+
+// ---------- Compiler error paths and structure ----------
+
+TEST(Compiler, AlgebraicLoopIsRejected) {
+  Model m("t");
+  auto x = m.addInport("x", Type::kInt, 0, 10);
+  // sum depends on itself through no delay: s = x + s.
+  // Construct via a forward reference: sum's second operand is its own id.
+  const PortRef selfRef{static_cast<model::BlockId>(1), 0};
+  m.addOutport("y", m.addSum("s", {x, selfRef}, "++"));
+  EXPECT_THROW((void)compile::compile(m), compile::CompileError);
+}
+
+TEST(Compiler, UnboundDelayHoleFailsValidation) {
+  Model m("t");
+  (void)m.addUnitDelayHole("d", Scalar::i(0));
+  EXPECT_FALSE(m.validate().empty());
+  EXPECT_THROW((void)compile::compile(m), compile::CompileError);
+}
+
+TEST(Compiler, ScalarStoreElemAccessRejected) {
+  Model m("t");
+  auto x = m.addInport("x", Type::kInt, 0, 10);
+  const int store = m.addDataStore("s", Type::kInt, 1, Scalar::i(0));
+  (void)m.addDataStoreReadElem("rd", store, x);
+  EXPECT_THROW((void)compile::compile(m), compile::CompileError);
+}
+
+TEST(Compiler, PathConstraintIncludesAncestors) {
+  Model m("t");
+  auto sel = m.addInport("sel", Type::kInt, 0, 3);
+  auto x = m.addInport("x", Type::kReal, -10, 10);
+  const auto regions = m.addSwitchCase("sc", sel, {{0}, {1}}, true);
+  PortRef inner;
+  {
+    RegionScope r0(m, regions[0]);
+    auto one = m.addConstant("one", Scalar::i(1));
+    auto zero = m.addConstant("zero", Scalar::i(0));
+    auto pos = m.addCompareToConst("pos", x, model::RelOp::kGt, 0.0);
+    inner = m.addSwitch("sw", one, pos, zero,
+                        model::SwitchCriteria::kNotZero, 0.0);
+  }
+  m.addOutport("y", inner);
+  const auto cm = compile::compile(m);
+
+  // The switch's true-branch path constraint must require sel == 0 too.
+  const compile::Branch* swTrue = nullptr;
+  for (const auto& br : cm.branches) {
+    const auto& d = cm.decisions[static_cast<std::size_t>(br.decision)];
+    if (d.kind == compile::DecisionKind::kSwitch && br.label == "true") {
+      swTrue = &br;
+    }
+  }
+  ASSERT_NE(swTrue, nullptr);
+  EXPECT_EQ(swTrue->depth, 1);
+  expr::Env env;
+  env.set(cm.inputs[0].info.id, Scalar::i(1));  // sel = 1: wrong region
+  env.set(cm.inputs[1].info.id, Scalar::r(5.0));
+  EXPECT_FALSE(expr::evaluate(swTrue->pathConstraint, env).toBool());
+  env.set(cm.inputs[0].info.id, Scalar::i(0));  // sel = 0: active
+  EXPECT_TRUE(expr::evaluate(swTrue->pathConstraint, env).toBool());
+}
+
+TEST(Compiler, DecisionArmsAreExhaustiveAndExclusive) {
+  const auto cm = compile::compile([&] {
+    Model m("t");
+    auto sel = m.addInport("sel", Type::kInt, 0, 9);
+    auto d0 = m.addConstant("d0", Scalar::i(1));
+    auto d1 = m.addConstant("d1", Scalar::i(2));
+    auto d2 = m.addConstant("d2", Scalar::i(3));
+    m.addOutport("y", m.addMultiportSwitch("mp", sel, {d0, d1, d2}));
+    (void)m.addSwitchCase("sc", sel, {{0, 1}, {2}}, false);
+    return m;
+  }());
+  expr::Env env;
+  for (int v = 0; v <= 9; ++v) {
+    env.set(cm.inputs[0].info.id, Scalar::i(v));
+    for (const auto& d : cm.decisions) {
+      int hits = 0;
+      for (const auto& arm : d.armConds) {
+        if (expr::evaluate(arm, env).toBool()) ++hits;
+      }
+      EXPECT_EQ(hits, 1) << d.name << " at sel=" << v;
+    }
+  }
+}
+
+TEST(Compiler, InitialStateEnvMatchesDeclaredInits) {
+  Model m("t");
+  auto x = m.addInport("x", Type::kInt, 0, 10);
+  (void)m.addUnitDelay("d", x, Scalar::i(42));
+  (void)m.addDataStore("arr", Type::kReal, 3, Scalar::r(1.5));
+  const auto cm = compile::compile(m);
+  const auto env = cm.initialStateEnv();
+  for (const auto& sv : cm.states) {
+    if (sv.width == 1) {
+      EXPECT_TRUE(env.has(sv.id));
+    } else {
+      EXPECT_TRUE(env.hasArray(sv.id));
+      EXPECT_EQ(env.getArray(sv.id).size(), 3u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stcg

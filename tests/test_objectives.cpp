@@ -1,0 +1,109 @@
+// Custom test-objective tests: registration, compilation, satisfaction by
+// execution, and STCG targeting them as goals.
+#include <gtest/gtest.h>
+
+#include "compile/compiler.h"
+#include "model/model.h"
+#include "sim/simulator.h"
+#include "stcg/stcg_generator.h"
+
+namespace stcg {
+namespace {
+
+using expr::Scalar;
+using expr::Type;
+using model::Model;
+
+// A counter model with an objective that requires five enabled steps:
+// "counter reaches exactly 5".
+Model makeObjectiveModel() {
+  Model m("Obj");
+  auto en = m.addInport("en", Type::kBool, 0, 1);
+  auto x = m.addInport("x", Type::kInt, 0, 100000);
+  auto count = m.addUnitDelayHole("count", Scalar::i(0));
+  auto one = m.addConstant("one", Scalar::i(1));
+  auto zero = m.addConstant("zero", Scalar::i(0));
+  auto amount = m.addSwitch("amount", one, en, zero,
+                            model::SwitchCriteria::kNotZero, 0.0);
+  auto next = m.addSum("next", {count, amount}, "++");
+  m.bindDelayInput(count, m.addSaturation("sat", next, 0, 9));
+  auto atFive = m.addCompareToConst("at_five", count, model::RelOp::kEq, 5.0);
+  // The x-part makes the objective unreachable by side-effect: only a
+  // solver aiming at it will pick x == 77777.
+  auto magic = m.addCompareToConst("magic", x, model::RelOp::kEq, 77777.0);
+  auto both = m.addLogical("both", model::LogicOp::kAnd, {atFive, magic});
+  m.addTestObjective("reach_five", both);
+  m.addOutport("count", count);
+  return m;
+}
+
+TEST(Objectives, CompiledIntoTheModel) {
+  const auto cm = compile::compile(makeObjectiveModel());
+  ASSERT_EQ(cm.objectives.size(), 1u);
+  EXPECT_EQ(cm.objectives[0].name, "Obj/reach_five");
+  EXPECT_NE(cm.objectives[0].cond, nullptr);
+}
+
+TEST(Objectives, SatisfiedByExecution) {
+  const auto cm = compile::compile(makeObjectiveModel());
+  sim::Simulator s(cm);
+  coverage::CoverageTracker cov(cm);
+  for (int i = 0; i < 5; ++i) {
+    (void)s.step({Scalar::b(true), Scalar::i(77777)}, &cov);
+    EXPECT_FALSE(cov.objectiveCovered(0)) << "too early at step " << i;
+  }
+  // count == 5 this step, with the magic input.
+  const auto res = s.step({Scalar::b(true), Scalar::i(77777)}, &cov);
+  EXPECT_TRUE(cov.objectiveCovered(0));
+  EXPECT_TRUE(res.foundNewCoverage());
+  const auto [met, total] = cov.objectiveCounts();
+  EXPECT_EQ(met, 1);
+  EXPECT_EQ(total, 1);
+}
+
+TEST(Objectives, RegionScopedObjectiveNeedsActiveRegion) {
+  Model m("ObjR");
+  auto en = m.addInport("en", Type::kBool, 0, 1);
+  auto x = m.addInport("x", Type::kInt, 0, 100);
+  const auto region = m.addEnabled("gate", en);
+  {
+    model::RegionScope scope(m, region);
+    auto big = m.addCompareToConst("big", x, model::RelOp::kGt, 50.0);
+    m.addTestObjective("big_while_enabled", big);
+  }
+  m.addOutport("y", x);
+  const auto cm = compile::compile(m);
+  sim::Simulator s(cm);
+  coverage::CoverageTracker cov(cm);
+  (void)s.step({Scalar::b(false), Scalar::i(99)}, &cov);
+  EXPECT_FALSE(cov.objectiveCovered(0)) << "region inactive";
+  (void)s.step({Scalar::b(true), Scalar::i(99)}, &cov);
+  EXPECT_TRUE(cov.objectiveCovered(0));
+}
+
+TEST(Objectives, StcgTargetsAndSatisfiesThem) {
+  const auto cm = compile::compile(makeObjectiveModel());
+  gen::GenOptions opt;
+  opt.budgetMillis = 3000;
+  opt.seed = 9;
+  gen::StcgGenerator g;
+  const auto res = g.generate(cm, opt);
+  const auto replay = gen::replaySuite(cm, res.tests);
+  EXPECT_TRUE(replay.objectiveCovered(0))
+      << "STCG must reach count==5 through the state tree";
+  // The goal's label should show up on some emitted test case.
+  bool found = false;
+  for (const auto& t : res.tests) {
+    if (t.goalLabel.find("reach_five") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Objectives, ReportListsThem) {
+  const auto cm = compile::compile(makeObjectiveModel());
+  coverage::CoverageTracker cov(cm);
+  EXPECT_NE(cov.report().find("Objectives: 0/1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stcg

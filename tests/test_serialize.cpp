@@ -1,0 +1,148 @@
+// Serialization tests: s-expression round trips, model round trips across
+// the whole benchmark suite, and parser error paths.
+#include <gtest/gtest.h>
+
+#include "benchmodels/benchmodels.h"
+#include "compile/compiler.h"
+#include "expr/builder.h"
+#include "expr/sexpr.h"
+#include "model/serialize.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace stcg {
+namespace {
+
+using expr::Scalar;
+using expr::Type;
+
+// ---------- S-expressions ----------
+
+TEST(Sexpr, ScalarLiteralsRoundTrip) {
+  const auto none = [](const std::string&) -> expr::ExprPtr {
+    return nullptr;
+  };
+  EXPECT_EQ(expr::parseSexpr("(i 42)", none)->constVal, Scalar::i(42));
+  EXPECT_EQ(expr::parseSexpr("(b true)", none)->constVal, Scalar::b(true));
+  EXPECT_EQ(expr::parseSexpr("(r 2.5)", none)->constVal, Scalar::r(2.5));
+}
+
+TEST(Sexpr, CompoundExpressionRoundTrips) {
+  const auto x = expr::mkVar({0, "x", Type::kInt, 0, 100});
+  const auto y = expr::mkVar({1, "y", Type::kReal, -1, 1});
+  const auto e = expr::andE(
+      expr::gtE(expr::addE(x, expr::cInt(3)), expr::cInt(10)),
+      expr::notE(expr::eqE(y, expr::cReal(0.5))));
+  const auto text = expr::toSexpr(e);
+  const expr::VarResolver resolve = [&](const std::string& n) {
+    if (n == "x") return x;
+    if (n == "y") return y;
+    return expr::ExprPtr();
+  };
+  const auto back = expr::parseSexpr(text, resolve);
+  // Semantics must match across a sample of points.
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    expr::Env env;
+    env.set(0, Scalar::i(rng.uniformInt(0, 100)));
+    env.set(1, Scalar::r(rng.uniformReal(-1, 1)));
+    EXPECT_EQ(expr::evaluate(e, env), expr::evaluate(back, env));
+  }
+  // And a second render is stable.
+  EXPECT_EQ(expr::toSexpr(back), text);
+}
+
+TEST(Sexpr, ArraysAndStores) {
+  const auto none = [](const std::string&) -> expr::ExprPtr {
+    return nullptr;
+  };
+  const auto e = expr::parseSexpr("(select (array int 10 20 30) (i 2))", none);
+  ASSERT_EQ(e->op, expr::Op::kConst);
+  EXPECT_EQ(e->constVal, Scalar::i(30));
+}
+
+TEST(Sexpr, Errors) {
+  const auto none = [](const std::string&) -> expr::ExprPtr {
+    return nullptr;
+  };
+  EXPECT_THROW((void)expr::parseSexpr("(frobnicate (i 1))", none),
+               expr::SexprError);
+  EXPECT_THROW((void)expr::parseSexpr("(var unknown)", none),
+               expr::SexprError);
+  EXPECT_THROW((void)expr::parseSexpr("(+ (i 1))", none), expr::SexprError);
+  EXPECT_THROW((void)expr::parseSexpr("(i 1) trailing", none),
+               expr::SexprError);
+}
+
+// ---------- Model round trips ----------
+
+class SerializeSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SerializeSweep, RoundTripPreservesStructureAndBehaviour) {
+  const auto original = bench::buildBenchModel(GetParam());
+  const auto text = model::writeModel(original);
+  const auto reparsed = model::parseModel(text);
+
+  // Writer is stable across the round trip.
+  EXPECT_EQ(model::writeModel(reparsed), text);
+
+  // Same compiled structure.
+  const auto cmA = compile::compile(original);
+  const auto cmB = compile::compile(reparsed);
+  ASSERT_EQ(cmA.inputs.size(), cmB.inputs.size());
+  ASSERT_EQ(cmA.states.size(), cmB.states.size());
+  ASSERT_EQ(cmA.branches.size(), cmB.branches.size());
+  ASSERT_EQ(cmA.decisions.size(), cmB.decisions.size());
+  EXPECT_EQ(cmA.conditionCount(), cmB.conditionCount());
+  EXPECT_EQ(cmA.objectives.size(), cmB.objectives.size());
+
+  // Same behaviour on a random input script, including coverage.
+  sim::Simulator a(cmA), b(cmB);
+  coverage::CoverageTracker covA(cmA), covB(cmB);
+  Rng rng(77);
+  for (int i = 0; i < 120; ++i) {
+    const auto in = sim::randomInput(cmA, rng);
+    (void)a.step(in, &covA);
+    (void)b.step(in, &covB);
+    ASSERT_EQ(a.lastOutputs(), b.lastOutputs()) << GetParam() << " step " << i;
+  }
+  EXPECT_EQ(covA.coveredBranchCount(), covB.coveredBranchCount());
+  EXPECT_EQ(a.snapshot(), b.snapshot());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, SerializeSweep,
+                         ::testing::Values("CPUTask", "AFC", "TWC",
+                                           "NICProtocol", "UTPC", "LANSwitch",
+                                           "LEDLC", "TCP"),
+                         [](const auto& info) { return info.param; });
+
+TEST(Serialize, FileRoundTrip) {
+  const auto m = bench::buildCpuTaskSimplified();
+  const std::string path = "/tmp/stcg_model_roundtrip.stcgm";
+  ASSERT_TRUE(model::saveModel(path, m));
+  const auto back = model::loadModel(path);
+  EXPECT_EQ(model::writeModel(back), model::writeModel(m));
+}
+
+TEST(Serialize, ObjectivesSurvive) {
+  model::Model m("WithObj");
+  auto x = m.addInport("x", Type::kInt, 0, 9);
+  auto big = m.addCompareToConst("big", x, model::RelOp::kGt, 5.0);
+  m.addTestObjective("see_big", big);
+  const auto back = model::parseModel(model::writeModel(m));
+  const auto cm = compile::compile(back);
+  ASSERT_EQ(cm.objectives.size(), 1u);
+  EXPECT_EQ(cm.objectives[0].name, "WithObj/see_big");
+}
+
+TEST(Serialize, ErrorsOnGarbage) {
+  EXPECT_THROW((void)model::parseModel("not a model"),
+               model::SerializeError);
+  EXPECT_THROW((void)model::parseModel("stcg-model 1\nname x\nbogus line"),
+               model::SerializeError);
+  EXPECT_THROW((void)model::loadModel("/nonexistent/path.stcgm"),
+               model::SerializeError);
+}
+
+}  // namespace
+}  // namespace stcg

@@ -1,0 +1,227 @@
+// Unit and property tests for the branch-and-prune box solver.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "expr/builder.h"
+#include "expr/eval.h"
+#include "solver/solver.h"
+#include "util/rng.h"
+
+namespace stcg::solver {
+namespace {
+
+using expr::cBool;
+using expr::cInt;
+using expr::cReal;
+using expr::ExprPtr;
+using expr::mkVar;
+using expr::Scalar;
+using expr::Type;
+using expr::VarInfo;
+
+const VarInfo kX{0, "x", Type::kInt, -1000, 1000};
+const VarInfo kY{1, "y", Type::kInt, -1000, 1000};
+const VarInfo kR{2, "r", Type::kReal, -10.0, 10.0};
+const VarInfo kB{3, "b", Type::kBool, 0, 1};
+
+SolveResult solveOne(const ExprPtr& goal, std::vector<VarInfo> vars,
+                     std::int64_t budgetMs = 500) {
+  SolveOptions opt;
+  opt.timeBudgetMillis = budgetMs;
+  opt.seed = 99;
+  BoxSolver s(opt);
+  return s.solve(goal, vars);
+}
+
+TEST(Solver, TrivialTrueAssignsAllVariables) {
+  const auto res = solveOne(cBool(true), {kX, kR, kB});
+  ASSERT_EQ(res.status, SolveStatus::kSat);
+  EXPECT_TRUE(res.model.has(0));
+  EXPECT_TRUE(res.model.has(2));
+  EXPECT_TRUE(res.model.has(3));
+}
+
+TEST(Solver, TrivialFalseIsUnsat) {
+  EXPECT_EQ(solveOne(cBool(false), {kX}).status, SolveStatus::kUnsat);
+}
+
+TEST(Solver, WideIntegerEqualitySolvesInstantly) {
+  // The STCG workhorse: id == 123456 over a 2-million-wide domain.
+  const VarInfo wide{0, "id", Type::kInt, 0, 2000000};
+  const auto goal = expr::eqE(mkVar(wide), cInt(123456));
+  const auto res = solveOne(goal, {wide}, 50);
+  ASSERT_EQ(res.status, SolveStatus::kSat);
+  EXPECT_EQ(res.model.get(0), Scalar::i(123456));
+  EXPECT_LE(res.stats.boxesProcessed, 3);
+}
+
+TEST(Solver, ConjunctionOfBoundsIsUnsatWhenEmpty) {
+  const auto x = mkVar(kX);
+  const auto res = solveOne(
+      expr::andE(expr::gtE(x, cInt(5)), expr::ltE(x, cInt(5))), {kX});
+  EXPECT_EQ(res.status, SolveStatus::kUnsat);
+}
+
+TEST(Solver, DisjunctionPicksAFeasibleArm) {
+  const auto x = mkVar(kX);
+  const auto goal = expr::orE(expr::eqE(x, cInt(-777)),
+                              expr::eqE(x, cInt(2000)));  // 2000 out? no: in
+  const auto res = solveOne(goal, {kX});
+  ASSERT_EQ(res.status, SolveStatus::kSat);
+  const auto v = res.model.get(0).asInt();
+  EXPECT_TRUE(v == -777 || v == 2000);
+}
+
+TEST(Solver, MixedTypesWithBoolean) {
+  // b && r > 2.5 && x == 7
+  const auto goal = expr::andE(
+      expr::andE(expr::castE(mkVar(kB), Type::kBool),
+                 expr::gtE(mkVar(kR), cReal(2.5))),
+      expr::eqE(mkVar(kX), cInt(7)));
+  const auto res = solveOne(goal, {kX, kR, kB});
+  ASSERT_EQ(res.status, SolveStatus::kSat);
+  EXPECT_TRUE(res.model.get(3).asBool());
+  EXPECT_GT(res.model.get(2).asReal(), 2.5);
+  EXPECT_EQ(res.model.get(0).asInt(), 7);
+}
+
+TEST(Solver, NonlinearProductConstraint) {
+  // x * x == 49 with x in [-1000, 1000].
+  const auto x = mkVar(kX);
+  const auto res = solveOne(expr::eqE(expr::mulE(x, x), cInt(49)), {kX});
+  ASSERT_EQ(res.status, SolveStatus::kSat);
+  const auto v = res.model.get(0).asInt();
+  EXPECT_TRUE(v == 7 || v == -7);
+}
+
+TEST(Solver, SelectOverConstantArray) {
+  // a[i] == 30 where a = [10, 20, 30, 40] -> i == 2.
+  const auto arr = expr::cArray(
+      Type::kInt,
+      {Scalar::i(10), Scalar::i(20), Scalar::i(30), Scalar::i(40)});
+  const VarInfo idx{0, "i", Type::kInt, 0, 3};
+  const auto goal = expr::eqE(expr::selectE(arr, mkVar(idx)), cInt(30));
+  const auto res = solveOne(goal, {idx});
+  ASSERT_EQ(res.status, SolveStatus::kSat);
+  EXPECT_EQ(res.model.get(0), Scalar::i(2));
+}
+
+TEST(Solver, SymbolicStoreThenSelect) {
+  // store(a, i, v); a'[2] == 99 with a[2] == 30 initially: either i==2 and
+  // v==99, or contradiction — the solver must find i=2, v=99.
+  const auto arr = expr::cArray(
+      Type::kInt,
+      {Scalar::i(10), Scalar::i(20), Scalar::i(30), Scalar::i(40)});
+  const VarInfo idx{0, "i", Type::kInt, 0, 3};
+  const VarInfo val{1, "v", Type::kInt, 0, 100};
+  const auto stored = expr::storeE(arr, mkVar(idx), mkVar(val));
+  const auto goal = expr::eqE(expr::selectE(stored, cInt(2)), cInt(99));
+  const auto res = solveOne(goal, {idx, val});
+  ASSERT_EQ(res.status, SolveStatus::kSat);
+  EXPECT_EQ(res.model.get(0), Scalar::i(2));
+  EXPECT_EQ(res.model.get(1), Scalar::i(99));
+}
+
+TEST(Solver, GuardedDivisionTarget) {
+  // 100 / x == 25 -> x == 4 (division guarded, x != 0 implied by value).
+  const auto x = mkVar(kX);
+  const auto res =
+      solveOne(expr::eqE(expr::divE(cInt(100), x), cInt(25)), {kX});
+  ASSERT_EQ(res.status, SolveStatus::kSat);
+  EXPECT_EQ(res.model.get(0), Scalar::i(4));
+}
+
+TEST(Solver, BudgetExhaustionReportsUnknown) {
+  // A needle that interval reasoning cannot prune: sum of products equal
+  // to a specific awkward value, under an absurdly small budget.
+  const auto x = mkVar(kX);
+  const auto y = mkVar(kY);
+  const auto goal =
+      expr::eqE(expr::addE(expr::mulE(x, x), expr::mulE(y, y)), cInt(999983));
+  SolveOptions opt;
+  opt.timeBudgetMillis = 1;
+  opt.maxBoxes = 4;
+  opt.samplesPerBox = 1;
+  BoxSolver s(opt);
+  const auto res = s.solve(goal, {kX, kY});
+  EXPECT_NE(res.status, SolveStatus::kSat);  // kUnsat impossible that fast
+}
+
+TEST(Solver, ModelsAreAlwaysCertified) {
+  // Every SAT answer must actually evaluate to true — checked across a
+  // batch of random linear/relational goals.
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto x = mkVar(kX);
+    const auto y = mkVar(kY);
+    const auto a = cInt(rng.uniformInt(-5, 5));
+    const auto b = cInt(rng.uniformInt(-5, 5));
+    const auto t = cInt(rng.uniformInt(-100, 100));
+    const auto goal = expr::leE(
+        expr::addE(expr::mulE(a, x), expr::mulE(b, y)), t);
+    const auto res = solveOne(goal, {kX, kY}, 100);
+    if (res.status != SolveStatus::kSat) continue;
+    EXPECT_TRUE(expr::evaluate(goal, res.model).toBool())
+        << goal->toString();
+  }
+}
+
+// Exhaustive cross-check on small domains: the solver's SAT/UNSAT verdicts
+// must agree with brute force.
+class SolverExhaustiveSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverExhaustiveSweep, AgreesWithBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7907 + 3);
+  const VarInfo a{0, "a", Type::kInt, -4, 4};
+  const VarInfo b{1, "b", Type::kInt, -4, 4};
+  const auto va = mkVar(a), vb = mkVar(b);
+
+  // Random goal from a small grammar.
+  const auto num = [&]() {
+    switch (rng.index(4)) {
+      case 0: return va;
+      case 1: return vb;
+      case 2: return expr::addE(va, vb);
+      default: return expr::mulE(va, vb);
+    }
+  };
+  const auto relOf = [&](ExprPtr l, ExprPtr r) {
+    switch (rng.index(3)) {
+      case 0: return expr::eqE(l, r);
+      case 1: return expr::ltE(l, r);
+      default: return expr::geE(l, r);
+    }
+  };
+  const auto goal = expr::andE(relOf(num(), cInt(rng.uniformInt(-6, 6))),
+                               relOf(num(), cInt(rng.uniformInt(-6, 6))));
+
+  bool bruteSat = false;
+  for (std::int64_t i = -4; i <= 4 && !bruteSat; ++i) {
+    for (std::int64_t j = -4; j <= 4 && !bruteSat; ++j) {
+      expr::Env env;
+      env.set(0, Scalar::i(i));
+      env.set(1, Scalar::i(j));
+      bruteSat = expr::evaluate(goal, env).toBool();
+    }
+  }
+  const auto res = solveOne(goal, {a, b}, 2000);
+  if (bruteSat) {
+    ASSERT_EQ(res.status, SolveStatus::kSat) << goal->toString();
+    EXPECT_TRUE(expr::evaluate(goal, res.model).toBool());
+  } else {
+    EXPECT_EQ(res.status, SolveStatus::kUnsat) << goal->toString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGoals, SolverExhaustiveSweep,
+                         ::testing::Range(0, 40));
+
+TEST(Solver, StatusNames) {
+  EXPECT_STREQ(solveStatusName(SolveStatus::kSat), "SAT");
+  EXPECT_STREQ(solveStatusName(SolveStatus::kUnsat), "UNSAT");
+  EXPECT_STREQ(solveStatusName(SolveStatus::kUnknown), "UNKNOWN");
+}
+
+}  // namespace
+}  // namespace stcg::solver

@@ -1,0 +1,101 @@
+// Unit tests for the state tree (paper Definitions 3/4) and snapshot
+// hashing.
+#include <gtest/gtest.h>
+
+#include "stcg/state_tree.h"
+
+namespace stcg::gen {
+namespace {
+
+using expr::Scalar;
+using expr::Value;
+
+sim::StateSnapshot snap(std::initializer_list<std::int64_t> vals) {
+  sim::StateSnapshot s;
+  for (const auto v : vals) s.emplace_back(Scalar::i(v));
+  return s;
+}
+
+sim::InputVector in(std::int64_t v) { return {Scalar::i(v)}; }
+
+TEST(StateTree, RootOnlyAtConstruction) {
+  StateTree t(snap({0, 0}));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.node(0).parent, -1);
+  EXPECT_TRUE(t.pathInputs(0).empty());
+  EXPECT_EQ(t.depth(0), 0);
+}
+
+TEST(StateTree, AddChildLinksParentAndChildren) {
+  StateTree t(snap({0}));
+  const int a = t.addChild(0, in(1), snap({1}));
+  const int b = t.addChild(a, in(2), snap({2}));
+  EXPECT_EQ(t.node(a).parent, 0);
+  EXPECT_EQ(t.node(b).parent, a);
+  ASSERT_EQ(t.node(0).children.size(), 1u);
+  EXPECT_EQ(t.node(0).children[0], a);
+  EXPECT_EQ(t.depth(b), 2);
+}
+
+TEST(StateTree, PathInputsIsRootToNodeOrder) {
+  StateTree t(snap({0}));
+  const int a = t.addChild(0, in(10), snap({1}));
+  const int b = t.addChild(a, in(20), snap({2}));
+  const int c = t.addChild(b, in(30), snap({3}));
+  const auto path = t.pathInputs(c);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0][0], Scalar::i(10));
+  EXPECT_EQ(path[1][0], Scalar::i(20));
+  EXPECT_EQ(path[2][0], Scalar::i(30));
+}
+
+TEST(StateTree, FindByStateMatchesExactValues) {
+  StateTree t(snap({0, 5}));
+  const int a = t.addChild(0, in(1), snap({1, 5}));
+  EXPECT_EQ(t.findByState(snap({1, 5})), a);
+  EXPECT_EQ(t.findByState(snap({0, 5})), 0);
+  EXPECT_EQ(t.findByState(snap({2, 5})), -1);
+}
+
+TEST(StateTree, AttemptedGoalsPerNode) {
+  StateTree t(snap({0}));
+  const int a = t.addChild(0, in(1), snap({1}));
+  EXPECT_FALSE(t.isAttempted(0, 7));
+  t.markAttempted(0, 7);
+  EXPECT_TRUE(t.isAttempted(0, 7));
+  EXPECT_FALSE(t.isAttempted(a, 7));  // per node, not global
+}
+
+TEST(StateTree, HashDistinguishesValueAndOrder) {
+  EXPECT_EQ(hashSnapshot(snap({1, 2})), hashSnapshot(snap({1, 2})));
+  EXPECT_NE(hashSnapshot(snap({1, 2})), hashSnapshot(snap({2, 1})));
+  EXPECT_NE(hashSnapshot(snap({1, 2})), hashSnapshot(snap({1, 3})));
+  // Types matter: int 1 vs real 1.0 are different states.
+  sim::StateSnapshot intState{Value(Scalar::i(1))};
+  sim::StateSnapshot realState{Value(Scalar::r(1.0))};
+  EXPECT_NE(hashSnapshot(intState), hashSnapshot(realState));
+}
+
+TEST(StateTree, ArrayStatesHashElementwise) {
+  sim::StateSnapshot a{Value(expr::Type::kInt,
+                             {Scalar::i(1), Scalar::i(2), Scalar::i(3)})};
+  sim::StateSnapshot b{Value(expr::Type::kInt,
+                             {Scalar::i(1), Scalar::i(2), Scalar::i(4)})};
+  EXPECT_NE(hashSnapshot(a), hashSnapshot(b));
+}
+
+TEST(StateTree, RandomNodeStaysInRange) {
+  StateTree t(snap({0}));
+  for (int i = 0; i < 5; ++i) {
+    (void)t.addChild(0, in(i), snap({i + 1}));
+  }
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const int n = t.randomNode(rng);
+    EXPECT_GE(n, 0);
+    EXPECT_LT(n, static_cast<int>(t.size()));
+  }
+}
+
+}  // namespace
+}  // namespace stcg::gen

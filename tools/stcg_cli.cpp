@@ -1,0 +1,211 @@
+// stcg_cli: command-line front end for the library.
+//
+//   stcg_cli --list
+//   stcg_cli <model> [--tool stcg|sldv|simcotest] [--budget MS] [--seed N]
+//            [--solver box|local|portfolio] [--prune-dead]
+//            [--export suite.txt] [--csv curve.csv] [--dot model.dot]
+//            [--invariant] [--trace]
+//
+// <model> is one of the Table-II benchmark names (see --list).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "analysis/reachability.h"
+#include "baselines/simcotest_like.h"
+#include "baselines/sldv_like.h"
+#include "benchmodels/benchmodels.h"
+#include "compile/compiler.h"
+#include "model/export.h"
+#include "model/serialize.h"
+#include "stcg/export.h"
+#include "stcg/stcg_generator.h"
+
+namespace {
+
+using namespace stcg;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --list\n"
+      "       %s <model> [--tool stcg|sldv|simcotest] [--budget MS]\n"
+      "            [--seed N] [--solver box|local|portfolio] [--prune-dead]\n"
+      "            [--export FILE] [--csv FILE] [--dot FILE]\n"
+      "            [--save-model FILE] [--invariant] [--trace]\n"
+      "  <model> is a benchmark name (--list) or an .stcgm file path\n",
+      argv0, argv0);
+  return 2;
+}
+
+void traceSink(const std::string& line, void*) {
+  std::printf("  %s\n", line.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+
+  if (std::strcmp(argv[1], "--list") == 0) {
+    for (const auto& info : bench::allBenchModels()) {
+      std::printf("%-12s %s (paper: %d branches, %d blocks)\n",
+                  info.name.c_str(), info.functionality.c_str(),
+                  info.paperBranches, info.paperBlocks);
+    }
+    return 0;
+  }
+
+  const std::string modelName = argv[1];
+  std::string tool = "stcg";
+  std::string exportPath, csvPath, dotPath, saveModelPath;
+  bool wantInvariant = false, wantTrace = false;
+  gen::GenOptions opt;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--tool") {
+      tool = next();
+    } else if (arg == "--budget") {
+      opt.budgetMillis = std::atoll(next());
+    } else if (arg == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--solver") {
+      const std::string s = next();
+      if (s == "box") {
+        opt.solverKind = solver::SolverKind::kBox;
+      } else if (s == "local") {
+        opt.solverKind = solver::SolverKind::kLocalSearch;
+      } else if (s == "portfolio") {
+        opt.solverKind = solver::SolverKind::kPortfolio;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--prune-dead") {
+      opt.pruneProvablyDead = true;
+    } else if (arg == "--export") {
+      exportPath = next();
+    } else if (arg == "--csv") {
+      csvPath = next();
+    } else if (arg == "--dot") {
+      dotPath = next();
+    } else if (arg == "--save-model") {
+      saveModelPath = next();
+    } else if (arg == "--invariant") {
+      wantInvariant = true;
+    } else if (arg == "--trace") {
+      wantTrace = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  model::Model m = [&] {
+    // Names containing a path separator or extension load from disk
+    // (stcg-model text format); otherwise it is a benchmark name.
+    if (modelName.find('/') != std::string::npos ||
+        modelName.find(".stcgm") != std::string::npos) {
+      try {
+        return model::loadModel(modelName);
+      } catch (const model::SerializeError& e) {
+        std::fprintf(stderr, "cannot load '%s': %s\n", modelName.c_str(),
+                     e.what());
+        std::exit(2);
+      }
+    }
+    try {
+      return bench::buildBenchModel(modelName);
+    } catch (const std::out_of_range&) {
+      std::fprintf(stderr, "unknown model '%s'; try --list\n",
+                   modelName.c_str());
+      std::exit(2);
+    }
+  }();
+
+  if (!saveModelPath.empty()) {
+    if (model::saveModel(saveModelPath, m)) {
+      std::printf("wrote %s\n", saveModelPath.c_str());
+    }
+  }
+  if (!dotPath.empty()) {
+    std::ofstream f(dotPath);
+    f << model::toDot(m);
+    std::printf("wrote %s\n", dotPath.c_str());
+  }
+
+  const auto cm = compile::compile(m);
+  std::printf("%s: %zu branches, %d conditions, %zu states\n",
+              cm.name.c_str(), cm.branches.size(), cm.conditionCount(),
+              cm.states.size());
+  std::printf("%s", model::modelStats(m).toString().c_str());
+
+  if (wantInvariant) {
+    const auto inv = analysis::computeStateInvariant(cm);
+    std::printf("%s", analysis::renderInvariant(cm, inv).c_str());
+    const auto dead = analysis::findDeadBranches(cm);
+    std::printf("provably dead branches: %zu\n", dead.deadBranches.size());
+    for (const int b : dead.deadBranches) {
+      const auto& br = cm.branches[static_cast<std::size_t>(b)];
+      std::printf(
+          "  %s : %s\n",
+          cm.decisions[static_cast<std::size_t>(br.decision)].name.c_str(),
+          br.label.c_str());
+    }
+  }
+
+  gen::StcgGenerator stcg;
+  if (wantTrace) stcg.setTrace(traceSink, nullptr);
+  gen::SldvLikeGenerator sldv;
+  gen::SimCoTestLikeGenerator simcotest;
+  gen::Generator* g = nullptr;
+  if (tool == "stcg") {
+    g = &stcg;
+  } else if (tool == "sldv") {
+    g = &sldv;
+  } else if (tool == "simcotest") {
+    g = &simcotest;
+  } else {
+    return usage(argv[0]);
+  }
+
+  const auto res = g->generate(cm, opt);
+  std::printf(
+      "\n%s: %zu tests | Decision %.1f%% | Condition %.1f%% | MCDC %.1f%%\n",
+      res.toolName.c_str(), res.tests.size(), res.coverage.decision * 100,
+      res.coverage.condition * 100, res.coverage.mcdc * 100);
+  std::printf(
+      "solver: %d calls (%d SAT / %d UNSAT / %d unknown), %d steps, "
+      "%d tree nodes, %d goals pruned\n",
+      res.stats.solveCalls, res.stats.solveSat, res.stats.solveUnsat,
+      res.stats.solveUnknown, res.stats.stepsExecuted, res.stats.treeNodes,
+      res.stats.goalsPruned);
+
+  if (!exportPath.empty()) {
+    if (gen::writeTestSuite(exportPath, cm, res.tests)) {
+      std::printf("wrote %s\n", exportPath.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", exportPath.c_str());
+      return 1;
+    }
+  }
+  if (!csvPath.empty()) {
+    std::ofstream f(csvPath);
+    f << "time_sec,decision_coverage,origin\n";
+    for (const auto& e : res.events) {
+      f << e.timeSec << ',' << e.decisionCoverage << ','
+        << (e.origin == gen::TestOrigin::kSolved ? "solved" : "random")
+        << '\n';
+    }
+    std::printf("wrote %s\n", csvPath.c_str());
+  }
+  return 0;
+}
