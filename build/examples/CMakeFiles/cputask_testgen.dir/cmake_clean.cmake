@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cputask_testgen.dir/cputask_testgen.cpp.o"
+  "CMakeFiles/cputask_testgen.dir/cputask_testgen.cpp.o.d"
+  "cputask_testgen"
+  "cputask_testgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cputask_testgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/custom_model_coverage.cpp" "examples/CMakeFiles/custom_model_coverage.dir/custom_model_coverage.cpp.o" "gcc" "examples/CMakeFiles/custom_model_coverage.dir/custom_model_coverage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stcg/CMakeFiles/stcg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/stcg_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmodels/CMakeFiles/stcg_benchmodels.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/stcg_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stcg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/stcg_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/stcg_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/stcg_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/compile/CMakeFiles/stcg_compile.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/stcg_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/stcg_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stcg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_model_coverage.dir/custom_model_coverage.cpp.o"
+  "CMakeFiles/custom_model_coverage.dir/custom_model_coverage.cpp.o.d"
+  "custom_model_coverage"
+  "custom_model_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_model_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dead_logic_audit.dir/dead_logic_audit.cpp.o"
+  "CMakeFiles/dead_logic_audit.dir/dead_logic_audit.cpp.o.d"
+  "dead_logic_audit"
+  "dead_logic_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dead_logic_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_handshake.dir/tcp_handshake.cpp.o"
+  "CMakeFiles/tcp_handshake.dir/tcp_handshake.cpp.o.d"
+  "tcp_handshake"
+  "tcp_handshake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_handshake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("expr")
+subdirs("interval")
+subdirs("solver")
+subdirs("model")
+subdirs("compile")
+subdirs("coverage")
+subdirs("analysis")
+subdirs("sim")
+subdirs("stcg")
+subdirs("baselines")
+subdirs("benchmodels")

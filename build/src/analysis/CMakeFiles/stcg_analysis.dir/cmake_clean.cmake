@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcg_analysis.dir/interval_eval.cpp.o"
+  "CMakeFiles/stcg_analysis.dir/interval_eval.cpp.o.d"
+  "CMakeFiles/stcg_analysis.dir/reachability.cpp.o"
+  "CMakeFiles/stcg_analysis.dir/reachability.cpp.o.d"
+  "libstcg_analysis.a"
+  "libstcg_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcg_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcg_baselines.dir/simcotest_like.cpp.o"
+  "CMakeFiles/stcg_baselines.dir/simcotest_like.cpp.o.d"
+  "CMakeFiles/stcg_baselines.dir/sldv_like.cpp.o"
+  "CMakeFiles/stcg_baselines.dir/sldv_like.cpp.o.d"
+  "libstcg_baselines.a"
+  "libstcg_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcg_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

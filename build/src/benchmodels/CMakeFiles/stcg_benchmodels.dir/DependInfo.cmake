@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchmodels/afc.cpp" "src/benchmodels/CMakeFiles/stcg_benchmodels.dir/afc.cpp.o" "gcc" "src/benchmodels/CMakeFiles/stcg_benchmodels.dir/afc.cpp.o.d"
+  "/root/repo/src/benchmodels/cputask.cpp" "src/benchmodels/CMakeFiles/stcg_benchmodels.dir/cputask.cpp.o" "gcc" "src/benchmodels/CMakeFiles/stcg_benchmodels.dir/cputask.cpp.o.d"
+  "/root/repo/src/benchmodels/helpers.cpp" "src/benchmodels/CMakeFiles/stcg_benchmodels.dir/helpers.cpp.o" "gcc" "src/benchmodels/CMakeFiles/stcg_benchmodels.dir/helpers.cpp.o.d"
+  "/root/repo/src/benchmodels/lanswitch.cpp" "src/benchmodels/CMakeFiles/stcg_benchmodels.dir/lanswitch.cpp.o" "gcc" "src/benchmodels/CMakeFiles/stcg_benchmodels.dir/lanswitch.cpp.o.d"
+  "/root/repo/src/benchmodels/ledlc.cpp" "src/benchmodels/CMakeFiles/stcg_benchmodels.dir/ledlc.cpp.o" "gcc" "src/benchmodels/CMakeFiles/stcg_benchmodels.dir/ledlc.cpp.o.d"
+  "/root/repo/src/benchmodels/nicprotocol.cpp" "src/benchmodels/CMakeFiles/stcg_benchmodels.dir/nicprotocol.cpp.o" "gcc" "src/benchmodels/CMakeFiles/stcg_benchmodels.dir/nicprotocol.cpp.o.d"
+  "/root/repo/src/benchmodels/registry.cpp" "src/benchmodels/CMakeFiles/stcg_benchmodels.dir/registry.cpp.o" "gcc" "src/benchmodels/CMakeFiles/stcg_benchmodels.dir/registry.cpp.o.d"
+  "/root/repo/src/benchmodels/tcp.cpp" "src/benchmodels/CMakeFiles/stcg_benchmodels.dir/tcp.cpp.o" "gcc" "src/benchmodels/CMakeFiles/stcg_benchmodels.dir/tcp.cpp.o.d"
+  "/root/repo/src/benchmodels/twc.cpp" "src/benchmodels/CMakeFiles/stcg_benchmodels.dir/twc.cpp.o" "gcc" "src/benchmodels/CMakeFiles/stcg_benchmodels.dir/twc.cpp.o.d"
+  "/root/repo/src/benchmodels/utpc.cpp" "src/benchmodels/CMakeFiles/stcg_benchmodels.dir/utpc.cpp.o" "gcc" "src/benchmodels/CMakeFiles/stcg_benchmodels.dir/utpc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/stcg_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/stcg_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stcg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcg_benchmodels.dir/afc.cpp.o"
+  "CMakeFiles/stcg_benchmodels.dir/afc.cpp.o.d"
+  "CMakeFiles/stcg_benchmodels.dir/cputask.cpp.o"
+  "CMakeFiles/stcg_benchmodels.dir/cputask.cpp.o.d"
+  "CMakeFiles/stcg_benchmodels.dir/helpers.cpp.o"
+  "CMakeFiles/stcg_benchmodels.dir/helpers.cpp.o.d"
+  "CMakeFiles/stcg_benchmodels.dir/lanswitch.cpp.o"
+  "CMakeFiles/stcg_benchmodels.dir/lanswitch.cpp.o.d"
+  "CMakeFiles/stcg_benchmodels.dir/ledlc.cpp.o"
+  "CMakeFiles/stcg_benchmodels.dir/ledlc.cpp.o.d"
+  "CMakeFiles/stcg_benchmodels.dir/nicprotocol.cpp.o"
+  "CMakeFiles/stcg_benchmodels.dir/nicprotocol.cpp.o.d"
+  "CMakeFiles/stcg_benchmodels.dir/registry.cpp.o"
+  "CMakeFiles/stcg_benchmodels.dir/registry.cpp.o.d"
+  "CMakeFiles/stcg_benchmodels.dir/tcp.cpp.o"
+  "CMakeFiles/stcg_benchmodels.dir/tcp.cpp.o.d"
+  "CMakeFiles/stcg_benchmodels.dir/twc.cpp.o"
+  "CMakeFiles/stcg_benchmodels.dir/twc.cpp.o.d"
+  "CMakeFiles/stcg_benchmodels.dir/utpc.cpp.o"
+  "CMakeFiles/stcg_benchmodels.dir/utpc.cpp.o.d"
+  "libstcg_benchmodels.a"
+  "libstcg_benchmodels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcg_benchmodels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstcg_benchmodels.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcg_compile.dir/compiled_model.cpp.o"
+  "CMakeFiles/stcg_compile.dir/compiled_model.cpp.o.d"
+  "CMakeFiles/stcg_compile.dir/compiler.cpp.o"
+  "CMakeFiles/stcg_compile.dir/compiler.cpp.o.d"
+  "libstcg_compile.a"
+  "libstcg_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcg_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

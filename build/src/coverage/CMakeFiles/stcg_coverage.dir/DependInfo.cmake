@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coverage/coverage.cpp" "src/coverage/CMakeFiles/stcg_coverage.dir/coverage.cpp.o" "gcc" "src/coverage/CMakeFiles/stcg_coverage.dir/coverage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compile/CMakeFiles/stcg_compile.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stcg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/stcg_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/stcg_expr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcg_coverage.dir/coverage.cpp.o"
+  "CMakeFiles/stcg_coverage.dir/coverage.cpp.o.d"
+  "libstcg_coverage.a"
+  "libstcg_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcg_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

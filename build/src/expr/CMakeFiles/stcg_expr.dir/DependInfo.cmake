@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/atoms.cpp" "src/expr/CMakeFiles/stcg_expr.dir/atoms.cpp.o" "gcc" "src/expr/CMakeFiles/stcg_expr.dir/atoms.cpp.o.d"
+  "/root/repo/src/expr/builder.cpp" "src/expr/CMakeFiles/stcg_expr.dir/builder.cpp.o" "gcc" "src/expr/CMakeFiles/stcg_expr.dir/builder.cpp.o.d"
+  "/root/repo/src/expr/eval.cpp" "src/expr/CMakeFiles/stcg_expr.dir/eval.cpp.o" "gcc" "src/expr/CMakeFiles/stcg_expr.dir/eval.cpp.o.d"
+  "/root/repo/src/expr/expr.cpp" "src/expr/CMakeFiles/stcg_expr.dir/expr.cpp.o" "gcc" "src/expr/CMakeFiles/stcg_expr.dir/expr.cpp.o.d"
+  "/root/repo/src/expr/scalar.cpp" "src/expr/CMakeFiles/stcg_expr.dir/scalar.cpp.o" "gcc" "src/expr/CMakeFiles/stcg_expr.dir/scalar.cpp.o.d"
+  "/root/repo/src/expr/sexpr.cpp" "src/expr/CMakeFiles/stcg_expr.dir/sexpr.cpp.o" "gcc" "src/expr/CMakeFiles/stcg_expr.dir/sexpr.cpp.o.d"
+  "/root/repo/src/expr/subst.cpp" "src/expr/CMakeFiles/stcg_expr.dir/subst.cpp.o" "gcc" "src/expr/CMakeFiles/stcg_expr.dir/subst.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/stcg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcg_expr.dir/atoms.cpp.o"
+  "CMakeFiles/stcg_expr.dir/atoms.cpp.o.d"
+  "CMakeFiles/stcg_expr.dir/builder.cpp.o"
+  "CMakeFiles/stcg_expr.dir/builder.cpp.o.d"
+  "CMakeFiles/stcg_expr.dir/eval.cpp.o"
+  "CMakeFiles/stcg_expr.dir/eval.cpp.o.d"
+  "CMakeFiles/stcg_expr.dir/expr.cpp.o"
+  "CMakeFiles/stcg_expr.dir/expr.cpp.o.d"
+  "CMakeFiles/stcg_expr.dir/scalar.cpp.o"
+  "CMakeFiles/stcg_expr.dir/scalar.cpp.o.d"
+  "CMakeFiles/stcg_expr.dir/sexpr.cpp.o"
+  "CMakeFiles/stcg_expr.dir/sexpr.cpp.o.d"
+  "CMakeFiles/stcg_expr.dir/subst.cpp.o"
+  "CMakeFiles/stcg_expr.dir/subst.cpp.o.d"
+  "libstcg_expr.a"
+  "libstcg_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcg_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interval/box.cpp" "src/interval/CMakeFiles/stcg_interval.dir/box.cpp.o" "gcc" "src/interval/CMakeFiles/stcg_interval.dir/box.cpp.o.d"
+  "/root/repo/src/interval/hc4.cpp" "src/interval/CMakeFiles/stcg_interval.dir/hc4.cpp.o" "gcc" "src/interval/CMakeFiles/stcg_interval.dir/hc4.cpp.o.d"
+  "/root/repo/src/interval/interval.cpp" "src/interval/CMakeFiles/stcg_interval.dir/interval.cpp.o" "gcc" "src/interval/CMakeFiles/stcg_interval.dir/interval.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/stcg_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stcg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

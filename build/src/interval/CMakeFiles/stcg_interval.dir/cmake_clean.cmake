@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcg_interval.dir/box.cpp.o"
+  "CMakeFiles/stcg_interval.dir/box.cpp.o.d"
+  "CMakeFiles/stcg_interval.dir/hc4.cpp.o"
+  "CMakeFiles/stcg_interval.dir/hc4.cpp.o.d"
+  "CMakeFiles/stcg_interval.dir/interval.cpp.o"
+  "CMakeFiles/stcg_interval.dir/interval.cpp.o.d"
+  "libstcg_interval.a"
+  "libstcg_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcg_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

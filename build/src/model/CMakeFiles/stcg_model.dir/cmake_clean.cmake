@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcg_model.dir/chart.cpp.o"
+  "CMakeFiles/stcg_model.dir/chart.cpp.o.d"
+  "CMakeFiles/stcg_model.dir/export.cpp.o"
+  "CMakeFiles/stcg_model.dir/export.cpp.o.d"
+  "CMakeFiles/stcg_model.dir/model.cpp.o"
+  "CMakeFiles/stcg_model.dir/model.cpp.o.d"
+  "CMakeFiles/stcg_model.dir/serialize.cpp.o"
+  "CMakeFiles/stcg_model.dir/serialize.cpp.o.d"
+  "libstcg_model.a"
+  "libstcg_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcg_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcg_sim.dir/simulator.cpp.o"
+  "CMakeFiles/stcg_sim.dir/simulator.cpp.o.d"
+  "libstcg_sim.a"
+  "libstcg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

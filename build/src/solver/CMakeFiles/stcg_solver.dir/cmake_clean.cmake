@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcg_solver.dir/local_search.cpp.o"
+  "CMakeFiles/stcg_solver.dir/local_search.cpp.o.d"
+  "CMakeFiles/stcg_solver.dir/solver.cpp.o"
+  "CMakeFiles/stcg_solver.dir/solver.cpp.o.d"
+  "libstcg_solver.a"
+  "libstcg_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcg_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

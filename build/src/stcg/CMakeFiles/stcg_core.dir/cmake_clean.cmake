@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcg_core.dir/export.cpp.o"
+  "CMakeFiles/stcg_core.dir/export.cpp.o.d"
+  "CMakeFiles/stcg_core.dir/state_tree.cpp.o"
+  "CMakeFiles/stcg_core.dir/state_tree.cpp.o.d"
+  "CMakeFiles/stcg_core.dir/stcg_generator.cpp.o"
+  "CMakeFiles/stcg_core.dir/stcg_generator.cpp.o.d"
+  "CMakeFiles/stcg_core.dir/testgen.cpp.o"
+  "CMakeFiles/stcg_core.dir/testgen.cpp.o.d"
+  "libstcg_core.a"
+  "libstcg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcg_util.dir/rng.cpp.o"
+  "CMakeFiles/stcg_util.dir/rng.cpp.o.d"
+  "CMakeFiles/stcg_util.dir/stopwatch.cpp.o"
+  "CMakeFiles/stcg_util.dir/stopwatch.cpp.o.d"
+  "CMakeFiles/stcg_util.dir/strings.cpp.o"
+  "CMakeFiles/stcg_util.dir/strings.cpp.o.d"
+  "libstcg_util.a"
+  "libstcg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

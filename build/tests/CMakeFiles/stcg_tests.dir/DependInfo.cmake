@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/stcg_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/stcg_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_benchmodels.cpp" "tests/CMakeFiles/stcg_tests.dir/test_benchmodels.cpp.o" "gcc" "tests/CMakeFiles/stcg_tests.dir/test_benchmodels.cpp.o.d"
+  "/root/repo/tests/test_coverage.cpp" "tests/CMakeFiles/stcg_tests.dir/test_coverage.cpp.o" "gcc" "tests/CMakeFiles/stcg_tests.dir/test_coverage.cpp.o.d"
+  "/root/repo/tests/test_expr.cpp" "tests/CMakeFiles/stcg_tests.dir/test_expr.cpp.o" "gcc" "tests/CMakeFiles/stcg_tests.dir/test_expr.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/stcg_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/stcg_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_interval.cpp" "tests/CMakeFiles/stcg_tests.dir/test_interval.cpp.o" "gcc" "tests/CMakeFiles/stcg_tests.dir/test_interval.cpp.o.d"
+  "/root/repo/tests/test_introspection.cpp" "tests/CMakeFiles/stcg_tests.dir/test_introspection.cpp.o" "gcc" "tests/CMakeFiles/stcg_tests.dir/test_introspection.cpp.o.d"
+  "/root/repo/tests/test_invariant_property.cpp" "tests/CMakeFiles/stcg_tests.dir/test_invariant_property.cpp.o" "gcc" "tests/CMakeFiles/stcg_tests.dir/test_invariant_property.cpp.o.d"
+  "/root/repo/tests/test_local_search.cpp" "tests/CMakeFiles/stcg_tests.dir/test_local_search.cpp.o" "gcc" "tests/CMakeFiles/stcg_tests.dir/test_local_search.cpp.o.d"
+  "/root/repo/tests/test_model_compile.cpp" "tests/CMakeFiles/stcg_tests.dir/test_model_compile.cpp.o" "gcc" "tests/CMakeFiles/stcg_tests.dir/test_model_compile.cpp.o.d"
+  "/root/repo/tests/test_objectives.cpp" "tests/CMakeFiles/stcg_tests.dir/test_objectives.cpp.o" "gcc" "tests/CMakeFiles/stcg_tests.dir/test_objectives.cpp.o.d"
+  "/root/repo/tests/test_property.cpp" "tests/CMakeFiles/stcg_tests.dir/test_property.cpp.o" "gcc" "tests/CMakeFiles/stcg_tests.dir/test_property.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/stcg_tests.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/stcg_tests.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/stcg_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/stcg_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_solver.cpp" "tests/CMakeFiles/stcg_tests.dir/test_solver.cpp.o" "gcc" "tests/CMakeFiles/stcg_tests.dir/test_solver.cpp.o.d"
+  "/root/repo/tests/test_statetree.cpp" "tests/CMakeFiles/stcg_tests.dir/test_statetree.cpp.o" "gcc" "tests/CMakeFiles/stcg_tests.dir/test_statetree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stcg/CMakeFiles/stcg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/stcg_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmodels/CMakeFiles/stcg_benchmodels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stcg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/stcg_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/stcg_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/stcg_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/compile/CMakeFiles/stcg_compile.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/stcg_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/stcg_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/stcg_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stcg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

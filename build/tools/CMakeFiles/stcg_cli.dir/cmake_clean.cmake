@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcg_cli.dir/stcg_cli.cpp.o"
+  "CMakeFiles/stcg_cli.dir/stcg_cli.cpp.o.d"
+  "stcg_cli"
+  "stcg_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
