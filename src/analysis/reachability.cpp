@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "interval/box.h"
+#include "interval/hc4.h"
 #include "solver/solver.h"
 #include "util/strings.h"
 
@@ -173,30 +175,44 @@ bool proofVariables(const compile::CompiledModel& cm,
 
 }  // namespace
 
+bool proveConstraintDead(const compile::CompiledModel& cm,
+                         const StateInvariant& inv,
+                         const expr::ExprPtr& constraint,
+                         const ReachabilityOptions& opt) {
+  IntervalEvaluator eval(inv.env);
+  const Interval verdict = eval.evalScalar(constraint);
+  if (verdict.isFalse()) return true;
+  if (verdict.isTrue()) return false;
+
+  std::vector<expr::VarInfo> vars;
+  if (!proofVariables(cm, inv, constraint, vars)) {
+    return false;  // array state: interval verdict is all we have
+  }
+
+  // HC4 contraction over the invariant-bounded box: an empty contraction
+  // soundly refutes the constraint everywhere in the box, at a fraction of
+  // a full solver query's cost.
+  interval::Box box(vars);
+  interval::Hc4Contractor contractor(constraint);
+  if (contractor.contract(box, 8) == interval::ContractOutcome::kEmpty) {
+    return true;
+  }
+
+  if (!opt.solverBackedProofs) return false;
+  // Exhaustive solver refutation: only a proven UNSAT counts.
+  solver::SolveOptions so;
+  so.timeBudgetMillis = opt.solverBudgetMillis;
+  so.seed = 1;
+  solver::BoxSolver proof(so);
+  return proof.solve(constraint, vars).status == solver::SolveStatus::kUnsat;
+}
+
 DeadBranchReport findDeadBranches(const compile::CompiledModel& cm,
                                   const ReachabilityOptions& opt) {
   DeadBranchReport report;
   report.invariant = computeStateInvariant(cm, opt);
-  IntervalEvaluator eval(report.invariant.env);
   for (const auto& br : cm.branches) {
-    const Interval verdict = eval.evalScalar(br.pathConstraint);
-    if (verdict.isFalse()) {
-      report.deadBranches.push_back(br.id);
-      continue;
-    }
-    if (!opt.solverBackedProofs || verdict.isTrue()) continue;
-    // Inconclusive: ask the solver for an exhaustive refutation over the
-    // invariant-bounded state space. Only a proven UNSAT counts.
-    std::vector<expr::VarInfo> vars;
-    if (!proofVariables(cm, report.invariant, br.pathConstraint, vars)) {
-      continue;
-    }
-    solver::SolveOptions so;
-    so.timeBudgetMillis = opt.solverBudgetMillis;
-    so.seed = 1;
-    solver::BoxSolver proof(so);
-    if (proof.solve(br.pathConstraint, vars).status ==
-        solver::SolveStatus::kUnsat) {
+    if (proveConstraintDead(cm, report.invariant, br.pathConstraint, opt)) {
       report.deadBranches.push_back(br.id);
     }
   }

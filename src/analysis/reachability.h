@@ -68,6 +68,18 @@ struct DeadBranchReport {
 [[nodiscard]] DeadBranchReport findDeadBranches(
     const compile::CompiledModel& cm, const ReachabilityOptions& opt = {});
 
+/// Attempt to prove an arbitrary boolean constraint over (inputs, state)
+/// unsatisfiable from every reachable state. Three escalating layers:
+/// (1) forward interval evaluation under the invariant, (2) HC4
+/// contraction of the invariant-bounded box (inputs + scalar state), and
+/// (3) an exhaustive solver refutation when solverBackedProofs is set.
+/// A true result is a proof; false means "possibly satisfiable".
+/// Constraints over array state stop after layer (1).
+[[nodiscard]] bool proveConstraintDead(const compile::CompiledModel& cm,
+                                       const StateInvariant& inv,
+                                       const expr::ExprPtr& constraint,
+                                       const ReachabilityOptions& opt = {});
+
 /// Human-readable rendering of the invariant (diagnostics).
 [[nodiscard]] std::string renderInvariant(const compile::CompiledModel& cm,
                                           const StateInvariant& inv);

@@ -1,5 +1,6 @@
 #include "baselines/simcotest_like.h"
 
+#include "lint/lint.h"
 #include "util/stopwatch.h"
 
 namespace stcg::gen {
@@ -41,6 +42,14 @@ GenResult SimCoTestLikeGenerator::generate(const compile::CompiledModel& cm,
 
   GenResult result;
   result.toolName = "SimCoTest-like";
+  // Random search has no goal list, but the reported percentages should
+  // still use the pruned denominators for a fair comparison.
+  coverage::Exclusions exclusions;
+  if (opt.pruneProvablyDead) {
+    exclusions = lint::findUnreachableGoals(cm);
+    tracker.applyExclusions(exclusions);
+    result.stats.goalsPruned = exclusions.count();
+  }
   std::vector<std::vector<sim::InputVector>> archive;
 
   while (!deadline.expired()) {
@@ -73,7 +82,7 @@ GenResult SimCoTestLikeGenerator::generate(const compile::CompiledModel& cm,
     }
   }
 
-  const auto replay = replaySuite(cm, result.tests);
+  const auto replay = replaySuite(cm, result.tests, exclusions);
   result.coverage = summarize(replay);
   return result;
 }

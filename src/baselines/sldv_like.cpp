@@ -35,6 +35,13 @@ GenResult SldvLikeGenerator::generate(const compile::CompiledModel& cm,
   sim::Simulator simulator(cm);
 
   auto goals = buildGoals(cm, opt.includeConditionGoals);
+  coverage::Exclusions exclusions;
+  int goalsPruned = 0;
+  if (opt.pruneProvablyDead) {
+    PruneResult pr = pruneUnreachableGoals(cm, goals, tracker);
+    exclusions = std::move(pr.exclusions);
+    goalsPruned = pr.removed;
+  }
   std::vector<int> order(goals.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
   std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
@@ -77,6 +84,7 @@ GenResult SldvLikeGenerator::generate(const compile::CompiledModel& cm,
 
   GenResult result;
   result.toolName = "SLDV-like";
+  result.stats.goalsPruned = goalsPruned;
 
   // Decode a SAT model into a k-step input sequence and run it from reset.
   const auto commitSolution = [&](int depth, const expr::Env& model,
@@ -165,7 +173,7 @@ GenResult SldvLikeGenerator::generate(const compile::CompiledModel& cm,
     }
   }
 
-  const auto replay = replaySuite(cm, result.tests);
+  const auto replay = replaySuite(cm, result.tests, exclusions);
   result.coverage = summarize(replay);
   return result;
 }

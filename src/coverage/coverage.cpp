@@ -24,6 +24,45 @@ CoverageTracker::CoverageTracker(const compile::CompiledModel& cm)
   mcdcVectors_.resize(cm.decisions.size());
   mcdcDemonstrated_.assign(cm.decisions.size(), 0);
   objectiveCovered_.assign(cm.objectives.size(), false);
+  branchExcluded_.assign(cm.branches.size(), false);
+  objectiveExcluded_.assign(cm.objectives.size(), false);
+  condExcluded_.resize(cm.decisions.size());
+  for (std::size_t d = 0; d < cm.decisions.size(); ++d) {
+    condExcluded_[d].assign(cm.decisions[d].conditions.size(),
+                            std::array<bool, 2>{false, false});
+  }
+  mcdcExcluded_.assign(cm.decisions.size(), 0);
+}
+
+void CoverageTracker::applyExclusions(const Exclusions& excl) {
+  for (const int b : excl.branches) {
+    branchExcluded_.at(static_cast<std::size_t>(b)) = true;
+  }
+  for (const int o : excl.objectives) {
+    objectiveExcluded_.at(static_cast<std::size_t>(o)) = true;
+  }
+  for (const auto& s : excl.conditionSlots) {
+    condExcluded_.at(static_cast<std::size_t>(s.decision))
+        .at(static_cast<std::size_t>(s.cond))[s.polarity ? 1 : 0] = true;
+  }
+  for (const auto& s : excl.mcdcSlots) {
+    if (s.cond < 64) {
+      mcdcExcluded_.at(static_cast<std::size_t>(s.decision)) |=
+          (std::uint64_t{1} << s.cond);
+    }
+  }
+}
+
+bool CoverageTracker::conditionExcluded(int decisionId, int cond,
+                                        bool polarity) const {
+  return condExcluded_.at(static_cast<std::size_t>(decisionId))
+      .at(static_cast<std::size_t>(cond))[polarity ? 1 : 0];
+}
+
+bool CoverageTracker::mcdcExcluded(int decisionId, int cond) const {
+  if (cond >= 64) return false;
+  return (mcdcExcluded_.at(static_cast<std::size_t>(decisionId)) >> cond) &
+         1u;
 }
 
 int CoverageTracker::recordDecision(int decisionId, int arm) {
@@ -89,17 +128,25 @@ bool CoverageTracker::conditionSeen(int decisionId, int cond,
 }
 
 double CoverageTracker::decisionCoverage() const {
-  if (branchCovered_.empty()) return 1.0;
-  return static_cast<double>(coveredBranches_) /
-         static_cast<double>(branchCovered_.size());
+  int covered = 0, total = 0;
+  for (std::size_t i = 0; i < branchCovered_.size(); ++i) {
+    if (branchExcluded_[i]) continue;
+    ++total;
+    covered += branchCovered_[i] ? 1 : 0;
+  }
+  if (total == 0) return 1.0;
+  return static_cast<double>(covered) / static_cast<double>(total);
 }
 
 std::pair<int, int> CoverageTracker::conditionCounts() const {
   int seen = 0, total = 0;
-  for (const auto& dec : condSeen_) {
-    for (const auto& c : dec) {
-      total += 2;
-      seen += (c[0] ? 1 : 0) + (c[1] ? 1 : 0);
+  for (std::size_t d = 0; d < condSeen_.size(); ++d) {
+    for (std::size_t c = 0; c < condSeen_[d].size(); ++c) {
+      for (const int pol : {0, 1}) {
+        if (condExcluded_[d][c][static_cast<std::size_t>(pol)]) continue;
+        ++total;
+        seen += condSeen_[d][c][static_cast<std::size_t>(pol)] ? 1 : 0;
+      }
     }
   }
   return {seen, total};
@@ -117,9 +164,11 @@ std::pair<int, int> CoverageTracker::mcdcCounts() const {
     const auto& dec = cm_->decisions[d];
     if (!dec.isBooleanDecision() || dec.conditions.empty()) continue;
     const std::size_t nc = std::min<std::size_t>(dec.conditions.size(), 64);
-    total += static_cast<int>(nc);
     const std::uint64_t demo = mcdcDemonstrated_[d];
+    const std::uint64_t excl = mcdcExcluded_[d];
     for (std::size_t c = 0; c < nc; ++c) {
+      if ((excl >> c) & 1u) continue;
+      ++total;
       if ((demo >> c) & 1u) ++demonstrated;
     }
   }
@@ -144,9 +193,13 @@ bool CoverageTracker::objectiveCovered(int objectiveId) const {
 }
 
 std::pair<int, int> CoverageTracker::objectiveCounts() const {
-  int met = 0;
-  for (const bool b : objectiveCovered_) met += b ? 1 : 0;
-  return {met, static_cast<int>(objectiveCovered_.size())};
+  int met = 0, total = 0;
+  for (std::size_t i = 0; i < objectiveCovered_.size(); ++i) {
+    if (objectiveExcluded_[i]) continue;
+    ++total;
+    met += objectiveCovered_[i] ? 1 : 0;
+  }
+  return {met, total};
 }
 
 std::vector<int> CoverageTracker::uncoveredBranches() const {
@@ -159,10 +212,14 @@ std::vector<int> CoverageTracker::uncoveredBranches() const {
 
 std::string CoverageTracker::report() const {
   std::string out;
+  int excludedBranches = 0;
+  for (const bool e : branchExcluded_) excludedBranches += e ? 1 : 0;
   out += "Coverage for " + cm_->name + "\n";
   out += "  Decision:  " + formatPercent(decisionCoverage()) + " (" +
          std::to_string(coveredBranches_) + "/" +
-         std::to_string(branchCovered_.size()) + " branches)\n";
+         std::to_string(branchCovered_.size() -
+                        static_cast<std::size_t>(excludedBranches)) +
+         " branches)\n";
   const auto [cs, ct] = conditionCounts();
   out += "  Condition: " + formatPercent(conditionCoverage()) + " (" +
          std::to_string(cs) + "/" + std::to_string(ct) + " polarities)\n";
@@ -180,8 +237,15 @@ std::string CoverageTracker::report() const {
       const auto& br = cm_->branches[static_cast<std::size_t>(b)];
       out += " " + cm_->decisions[static_cast<std::size_t>(br.decision)].name +
              ":" + br.label;
+      if (branchExcluded_[static_cast<std::size_t>(b)]) {
+        out += "(unreachable)";
+      }
     }
     out += "\n";
+  }
+  if (excludedBranches > 0) {
+    out += "  Excluded as proven unreachable: " +
+           std::to_string(excludedBranches) + " branches\n";
   }
   return out;
 }

@@ -36,9 +36,47 @@ struct McdcVector {
   }
 };
 
+/// Goals proven statically unsatisfiable (by the lint / reachability
+/// pass). Excluded goals drop out of the coverage denominators: a suite
+/// cannot be blamed for not reaching logic that no input sequence can
+/// reach. Exclusion is driven by *proofs* — applying a guessed exclusion
+/// would inflate the reported percentages.
+struct Exclusions {
+  std::vector<int> branches;                 // branch ids
+  std::vector<int> objectives;               // objective ids
+  /// Unreachable condition polarities: {decision, condition, polarity}.
+  struct ConditionSlot {
+    int decision = -1;
+    int cond = -1;
+    bool polarity = false;
+  };
+  std::vector<ConditionSlot> conditionSlots;
+  /// MCDC obligations with an unreachable outcome or polarity.
+  struct McdcSlot {
+    int decision = -1;
+    int cond = -1;
+  };
+  std::vector<McdcSlot> mcdcSlots;
+
+  [[nodiscard]] bool empty() const {
+    return branches.empty() && objectives.empty() &&
+           conditionSlots.empty() && mcdcSlots.empty();
+  }
+  /// Total number of excluded goals across all four kinds.
+  [[nodiscard]] int count() const {
+    return static_cast<int>(branches.size() + objectives.size() +
+                            conditionSlots.size() + mcdcSlots.size());
+  }
+};
+
 class CoverageTracker {
  public:
   explicit CoverageTracker(const compile::CompiledModel& cm);
+
+  /// Remove proven-unreachable goals from every denominator. Observations
+  /// on excluded goals are still recorded (a covered "excluded" goal would
+  /// indicate an unsound proof) but no longer counted.
+  void applyExclusions(const Exclusions& excl);
 
   /// Record that `arm` of `decisionId` executed. Returns the branch id if
   /// this arm was newly covered, -1 otherwise.
@@ -86,9 +124,24 @@ class CoverageTracker {
   /// Multi-line human-readable summary.
   [[nodiscard]] std::string report() const;
 
+  [[nodiscard]] bool branchExcluded(int branchId) const {
+    return branchExcluded_.at(static_cast<std::size_t>(branchId));
+  }
+  [[nodiscard]] bool objectiveExcluded(int objectiveId) const {
+    return objectiveExcluded_.at(static_cast<std::size_t>(objectiveId));
+  }
+  [[nodiscard]] bool conditionExcluded(int decisionId, int cond,
+                                       bool polarity) const;
+  [[nodiscard]] bool mcdcExcluded(int decisionId, int cond) const;
+
  private:
   const compile::CompiledModel* cm_;
   std::vector<bool> branchCovered_;
+  std::vector<bool> branchExcluded_;
+  std::vector<bool> objectiveExcluded_;
+  // Excluded condition polarities, indexed like condSeen_.
+  std::vector<std::vector<std::array<bool, 2>>> condExcluded_;
+  std::vector<std::uint64_t> mcdcExcluded_;  // bitmask per decision
   int coveredBranches_ = 0;
   std::vector<int> decisionFirstBranch_;
   // Condition polarity bitsets, indexed [decision][condition][polarity].

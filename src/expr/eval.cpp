@@ -53,13 +53,23 @@ void Env::clear() {
 }
 
 Scalar Evaluator::evalScalar(const ExprPtr& e) {
-  assert(!e->isArray());
+  // Invariant: callers hand scalar-typed roots here, array roots to
+  // evalArray. Enforced by throwing (not assert) so release builds and
+  // the lint-driven diagnostics see the same behaviour.
+  if (e->isArray()) {
+    throw EvalError("evalScalar on array-typed expression (op " +
+                    std::string(opName(e->op)) + ")");
+  }
   pinnedRoots_.push_back(e);
   return scalarRec(e.get());
 }
 
 std::vector<Scalar> Evaluator::evalArray(const ExprPtr& e) {
-  assert(e->isArray());
+  // Invariant: see evalScalar.
+  if (!e->isArray()) {
+    throw EvalError("evalArray on scalar-typed expression (op " +
+                    std::string(opName(e->op)) + ")");
+  }
   pinnedRoots_.push_back(e);
   return *arrayRec(e.get());
 }
@@ -74,7 +84,12 @@ Scalar Evaluator::scalarRec(const Expr* e) {
       result = e->constVal;
       break;
     case Op::kVar:
-      assert(env_->has(e->var) && "unbound variable during evaluation");
+      // Invariant: the environment binds every variable the expression
+      // mentions (unbound = the lint "unbound variable" defect class).
+      if (!env_->has(e->var)) {
+        throw EvalError("unbound variable '" + e->varName + "' (id " +
+                        std::to_string(e->var) + ") during evaluation");
+      }
       result = env_->get(e->var).castTo(e->type);
       break;
     case Op::kNot:
@@ -117,7 +132,12 @@ Evaluator::ArrayVal Evaluator::arrayRec(const Expr* e) {
       result = std::make_shared<const std::vector<Scalar>>(e->constArray);
       break;
     case Op::kVarArray: {
-      assert(env_->hasArray(e->var) && "unbound array variable");
+      // Invariant: array-typed state leaves are always bound by the
+      // simulator; an unbound leaf means a malformed environment.
+      if (!env_->hasArray(e->var)) {
+        throw EvalError("unbound array variable '" + e->varName + "' (id " +
+                        std::to_string(e->var) + ") during evaluation");
+      }
       result = env_->arrays_[static_cast<std::size_t>(e->var)];
       break;
     }
@@ -139,9 +159,9 @@ Evaluator::ArrayVal Evaluator::arrayRec(const Expr* e) {
       break;
     }
     default:
-      assert(false && "not an array-producing op");
-      result = std::make_shared<const std::vector<Scalar>>();
-      break;
+      // Only kConstArray/kVarArray/kStore/kIte produce arrays.
+      throw EvalError("op " + std::string(opName(e->op)) +
+                      " does not produce an array");
   }
   arrayMemo_.emplace(e, result);
   return result;

@@ -6,12 +6,22 @@
 #pragma once
 
 #include <memory>
+#include <stdexcept>
 #include <unordered_map>
 #include <vector>
 
 #include "expr/expr.h"
 
 namespace stcg::expr {
+
+/// Thrown on evaluation errors that a well-formed model can never hit:
+/// unbound variables, array/scalar misuse. Carries the offending
+/// variable or op name in the message so diagnostics can point at the
+/// model element instead of an assert line.
+class EvalError : public std::runtime_error {
+ public:
+  explicit EvalError(const std::string& what) : std::runtime_error(what) {}
+};
 
 /// Variable assignment: var id -> scalar value.
 class Env {
@@ -44,10 +54,12 @@ class Evaluator {
  public:
   explicit Evaluator(const Env& env) : env_(&env) {}
 
-  /// Evaluate a scalar-typed expression. Asserts on array-typed input.
+  /// Evaluate a scalar-typed expression. Throws EvalError on array-typed
+  /// input or an unbound variable.
   [[nodiscard]] Scalar evalScalar(const ExprPtr& e);
 
-  /// Evaluate an array-typed expression into its element list.
+  /// Evaluate an array-typed expression into its element list. Throws
+  /// EvalError on scalar-typed input or an unbound array variable.
   [[nodiscard]] std::vector<Scalar> evalArray(const ExprPtr& e);
 
  private:

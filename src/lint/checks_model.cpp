@@ -1,0 +1,353 @@
+// Model-layer lint checks: structural well-formedness of the block graph.
+//
+// These run before (and without) compilation, so they must tolerate
+// arbitrarily broken graphs: every port reference is bounds-checked before
+// being followed, and the type-inference walk carries a cycle guard
+// (delays legitimately close feedback loops; their output type comes from
+// the initial value, which breaks the recursion).
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace stcg::lint {
+
+namespace {
+
+using model::Block;
+using model::BlockKind;
+using model::Model;
+
+/// Inferred signal type of a block output; kUnknownType when inference
+/// cannot tell (charts, broken references, cycles mid-walk).
+enum class SigType { kBool, kInt, kReal, kUnknownType };
+
+SigType fromType(expr::Type t) {
+  switch (t) {
+    case expr::Type::kBool: return SigType::kBool;
+    case expr::Type::kInt: return SigType::kInt;
+    case expr::Type::kReal: return SigType::kReal;
+  }
+  return SigType::kUnknownType;
+}
+
+/// Number of output ports a block exposes (0 for pure sinks).
+int outputCount(const Model& m, const Block& b) {
+  switch (b.kind) {
+    case BlockKind::kOutport:
+    case BlockKind::kTestObjective:
+    case BlockKind::kDataStoreWrite:
+    case BlockKind::kDataStoreWriteElem:
+      return 0;
+    case BlockKind::kChart: {
+      if (b.chartIndex < 0 ||
+          static_cast<std::size_t>(b.chartIndex) >= m.charts().size()) {
+        return 0;
+      }
+      const auto& spec = m.charts()[static_cast<std::size_t>(b.chartIndex)];
+      return static_cast<int>(spec.outputVarIndices.size()) +
+             (spec.activeStateOutput ? 1 : 0);
+    }
+    default:
+      return 1;
+  }
+}
+
+/// Bottom-up output-type inference with memoization and a cycle guard.
+class TypeInference {
+ public:
+  explicit TypeInference(const Model& m) : m_(m) {
+    memo_.assign(m.blocks().size(), SigType::kUnknownType);
+    state_.assign(m.blocks().size(), 0);
+  }
+
+  SigType typeOf(model::PortRef p) {
+    if (!p.valid() ||
+        static_cast<std::size_t>(p.block) >= m_.blocks().size()) {
+      return SigType::kUnknownType;
+    }
+    const auto idx = static_cast<std::size_t>(p.block);
+    if (state_[idx] == 2) return memo_[idx];
+    if (state_[idx] == 1) return SigType::kUnknownType;  // cycle mid-walk
+    state_[idx] = 1;
+    memo_[idx] = infer(m_.blocks()[idx]);
+    state_[idx] = 2;
+    return memo_[idx];
+  }
+
+ private:
+  SigType infer(const Block& b) {
+    switch (b.kind) {
+      case BlockKind::kInport:
+        return fromType(b.valueType);
+      case BlockKind::kConstant:
+        return fromType(b.scalarParam.type());
+      case BlockKind::kConstantArray:
+        return b.arrayParam.empty() ? SigType::kUnknownType
+                                    : fromType(b.arrayParam[0].type());
+      case BlockKind::kSum:
+      case BlockKind::kGain:
+      case BlockKind::kProduct:
+      case BlockKind::kAbs:
+      case BlockKind::kMinMax:
+      case BlockKind::kSaturation:
+      case BlockKind::kLookup1D:
+        return SigType::kReal;
+      case BlockKind::kMod:
+        return SigType::kInt;
+      case BlockKind::kRelational:
+      case BlockKind::kLogical:
+        return SigType::kBool;
+      case BlockKind::kUnitDelay:
+      case BlockKind::kDelayLine:
+        return fromType(b.scalarParam.type());
+      case BlockKind::kDataStoreRead:
+      case BlockKind::kDataStoreReadElem:
+        if (b.intParam >= 0 &&
+            static_cast<std::size_t>(b.intParam) < m_.dataStores().size()) {
+          return fromType(
+              m_.dataStores()[static_cast<std::size_t>(b.intParam)].type);
+        }
+        return SigType::kUnknownType;
+      case BlockKind::kSwitch:
+      case BlockKind::kMultiportSwitch:
+      case BlockKind::kMerge: {
+        // Hull of the data inputs: one consistent type, else unknown.
+        SigType t = SigType::kUnknownType;
+        const auto consider = [&](model::PortRef p) {
+          const SigType pt = typeOf(p);
+          if (t == SigType::kUnknownType) {
+            t = pt;
+          } else if (pt != SigType::kUnknownType && pt != t) {
+            t = SigType::kUnknownType;
+          }
+        };
+        if (b.kind == BlockKind::kSwitch) {
+          if (b.in.size() == 3) {
+            consider(b.in[0]);
+            consider(b.in[2]);
+          }
+        } else if (b.kind == BlockKind::kMultiportSwitch) {
+          for (std::size_t i = 1; i < b.in.size(); ++i) consider(b.in[i]);
+        } else {
+          for (const auto& [region, port] : b.mergeArms) consider(port);
+        }
+        return t;
+      }
+      case BlockKind::kChart:
+      default:
+        return SigType::kUnknownType;
+    }
+  }
+
+  const Model& m_;
+  std::vector<SigType> memo_;
+  std::vector<int> state_;  // 0 = unvisited, 1 = in progress, 2 = done
+};
+
+}  // namespace
+
+void runModelChecks(const model::Model& m, DiagnosticSink& sink) {
+  const auto loc = [&](const std::string& blockName) {
+    return m.name() + "/" + blockName;
+  };
+  const auto& blocks = m.blocks();
+
+  // --- Structural errors (everything compile() would reject) ------------
+  for (const auto& b : blocks) {
+    for (const auto& p : b.in) {
+      if (!p.valid() || static_cast<std::size_t>(p.block) >= blocks.size()) {
+        sink.report(Severity::kError, "invalid-ref", loc(b.name),
+                    "input references a missing block");
+        continue;
+      }
+      const Block& src = blocks[static_cast<std::size_t>(p.block)];
+      const int srcOutputs = outputCount(m, src);
+      if (p.port < 0 || p.port >= srcOutputs) {
+        sink.report(Severity::kError, "invalid-ref", loc(b.name),
+                    "references port " + std::to_string(p.port) + " of '" +
+                        src.name + "' which has " +
+                        std::to_string(srcOutputs) + " outputs");
+      }
+    }
+    switch (b.kind) {
+      case BlockKind::kSum:
+      case BlockKind::kProduct:
+        if (b.in.size() != b.signs.size()) {
+          sink.report(Severity::kError, "arity-mismatch", loc(b.name),
+                      std::to_string(b.in.size()) + " operands but " +
+                          std::to_string(b.signs.size()) +
+                          " signs/ops characters");
+        }
+        break;
+      case BlockKind::kLogical:
+        if (b.logicOp == model::LogicOp::kNot && b.in.size() != 1) {
+          sink.report(Severity::kError, "arity-mismatch", loc(b.name),
+                      "NOT takes exactly one operand, got " +
+                          std::to_string(b.in.size()));
+        }
+        break;
+      case BlockKind::kDataStoreRead:
+      case BlockKind::kDataStoreReadElem:
+      case BlockKind::kDataStoreWrite:
+      case BlockKind::kDataStoreWriteElem:
+        if (b.intParam < 0 ||
+            static_cast<std::size_t>(b.intParam) >= m.dataStores().size()) {
+          sink.report(Severity::kError, "invalid-ref", loc(b.name),
+                      "references unknown data store " +
+                          std::to_string(b.intParam));
+        }
+        break;
+      case BlockKind::kChart: {
+        if (b.chartIndex < 0 ||
+            static_cast<std::size_t>(b.chartIndex) >= m.charts().size()) {
+          sink.report(Severity::kError, "invalid-ref", loc(b.name),
+                      "references unknown chart");
+          break;
+        }
+        const auto& spec = m.charts()[static_cast<std::size_t>(b.chartIndex)];
+        if (b.in.size() != spec.inputTemplateIds.size()) {
+          sink.report(Severity::kError, "arity-mismatch", loc(b.name),
+                      std::to_string(b.in.size()) + " wired inputs but " +
+                          std::to_string(spec.inputTemplateIds.size()) +
+                          " chart inputs declared");
+        }
+        for (const auto& t : spec.transitions) {
+          if (t.guard == nullptr) {
+            sink.report(Severity::kError, "chart-guard", loc(b.name),
+                        "transition without a guard expression");
+          }
+        }
+        break;
+      }
+      case BlockKind::kUnitDelay:
+      case BlockKind::kDelayLine:
+        if (b.in.empty()) {
+          sink.report(
+              Severity::kError, "unbound-delay", loc(b.name),
+              "delay has no input: its state is stuck at the initial "
+              "value (unbound hole — close the loop with bindDelayInput)");
+        }
+        break;
+      case BlockKind::kLookup1D: {
+        if (b.breakpoints.size() != b.tableValues.size()) {
+          sink.report(Severity::kError, "lookup-table", loc(b.name),
+                      std::to_string(b.breakpoints.size()) +
+                          " breakpoints vs " +
+                          std::to_string(b.tableValues.size()) + " values");
+        }
+        for (std::size_t i = 1; i < b.breakpoints.size(); ++i) {
+          if (b.breakpoints[i] <= b.breakpoints[i - 1]) {
+            sink.report(Severity::kError, "lookup-table", loc(b.name),
+                        "breakpoints not strictly increasing");
+            break;
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  for (const auto& r : m.regions()) {
+    if (r.kind == model::RegionKind::kRoot) continue;
+    if (!r.ctrl.valid() ||
+        static_cast<std::size_t>(r.ctrl.block) >= blocks.size()) {
+      sink.report(Severity::kError, "invalid-ref", loc(r.name),
+                  "region has an invalid control signal");
+    }
+  }
+
+  // --- Data store usage (unbound / unused variables) --------------------
+  std::unordered_set<int> storesRead, storesWritten;
+  for (const auto& b : blocks) {
+    switch (b.kind) {
+      case BlockKind::kDataStoreRead:
+      case BlockKind::kDataStoreReadElem:
+        storesRead.insert(b.intParam);
+        break;
+      case BlockKind::kDataStoreWrite:
+      case BlockKind::kDataStoreWriteElem:
+        storesWritten.insert(b.intParam);
+        break;
+      default:
+        break;
+    }
+  }
+  for (const auto& ds : m.dataStores()) {
+    const bool read = storesRead.count(ds.index) > 0;
+    const bool written = storesWritten.count(ds.index) > 0;
+    if (read && !written) {
+      sink.report(Severity::kWarning, "store-never-written",
+                  loc(ds.name),
+                  "data store is read but never written: every read "
+                  "returns the initial value " +
+                      ds.init.toString());
+    } else if (!read && !written) {
+      sink.report(Severity::kNote, "store-unused", loc(ds.name),
+                  "data store is neither read nor written");
+    }
+  }
+
+  // --- Type seams --------------------------------------------------------
+  // Only bool<->numeric seams are flagged: int<->real coercion is routine
+  // in Simulink-style models, but a boolean feeding arithmetic-only
+  // machinery (or a real-valued signal used as a store index) almost
+  // always means a miswired port.
+  TypeInference types(m);
+  for (const auto& b : blocks) {
+    switch (b.kind) {
+      case BlockKind::kLogical:
+        for (std::size_t i = 0; i < b.in.size(); ++i) {
+          if (types.typeOf(b.in[i]) == SigType::kReal) {
+            sink.report(Severity::kWarning, "type-mismatch", loc(b.name),
+                        "logical operand " + std::to_string(i) +
+                            " is real-typed; comparisons should produce "
+                            "the boolean");
+          }
+        }
+        break;
+      case BlockKind::kDataStoreWrite:
+      case BlockKind::kDataStoreWriteElem: {
+        if (b.intParam < 0 ||
+            static_cast<std::size_t>(b.intParam) >= m.dataStores().size() ||
+            b.in.empty()) {
+          break;
+        }
+        const auto& ds =
+            m.dataStores()[static_cast<std::size_t>(b.intParam)];
+        // Value is the last input (write: value; writeElem: index, value).
+        const SigType vt = types.typeOf(b.in.back());
+        const SigType st = fromType(ds.type);
+        const bool boolSeam = (vt == SigType::kBool) != (st == SigType::kBool);
+        if (vt != SigType::kUnknownType && boolSeam) {
+          sink.report(Severity::kWarning, "type-mismatch", loc(b.name),
+                      "writes a " +
+                          std::string(vt == SigType::kBool ? "boolean"
+                                                           : "numeric") +
+                          " value into " +
+                          std::string(st == SigType::kBool ? "boolean"
+                                                           : "numeric") +
+                          " store '" + ds.name + "'");
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    // Element accesses index with an integer; a real-typed index is
+    // silently truncated and usually signals a wiring mistake.
+    if ((b.kind == BlockKind::kDataStoreReadElem && b.in.size() == 1 &&
+         types.typeOf(b.in[0]) == SigType::kReal) ||
+        (b.kind == BlockKind::kDataStoreWriteElem && b.in.size() == 2 &&
+         types.typeOf(b.in[0]) == SigType::kReal)) {
+      sink.report(Severity::kWarning, "type-mismatch", loc(b.name),
+                  "store element index is real-typed and will be "
+                  "truncated");
+    }
+  }
+}
+
+}  // namespace stcg::lint

@@ -1,0 +1,99 @@
+#include "lint/diagnostics.h"
+
+#include <algorithm>
+
+namespace stcg::lint {
+
+const char* severityName(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+void DiagnosticSink::report(Severity severity, std::string check,
+                            std::string location, std::string message) {
+  switch (severity) {
+    case Severity::kNote: ++notes_; break;
+    case Severity::kWarning: ++warnings_; break;
+    case Severity::kError: ++errors_; break;
+  }
+  diags_.push_back(Diagnostic{severity, std::move(check), std::move(location),
+                              std::move(message)});
+}
+
+int DiagnosticSink::countFor(const std::string& check) const {
+  int n = 0;
+  for (const auto& d : diags_) n += d.check == check ? 1 : 0;
+  return n;
+}
+
+void DiagnosticSink::sortBySeverity() {
+  std::stable_sort(diags_.begin(), diags_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return static_cast<int>(a.severity) >
+                            static_cast<int>(b.severity);
+                   });
+}
+
+std::string DiagnosticSink::render() const {
+  std::string out;
+  for (const auto& d : diags_) {
+    out += std::string(severityName(d.severity)) + " [" + d.check + "] " +
+           d.location + ": " + d.message + "\n";
+  }
+  out += std::to_string(errors_) + " error(s), " +
+         std::to_string(warnings_) + " warning(s), " +
+         std::to_string(notes_) + " note(s)\n";
+  return out;
+}
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string DiagnosticSink::renderJson(const std::string& modelName) const {
+  std::string out = "{\n  \"model\": \"" + jsonEscape(modelName) + "\",\n";
+  out += "  \"errors\": " + std::to_string(errors_) + ",\n";
+  out += "  \"warnings\": " + std::to_string(warnings_) + ",\n";
+  out += "  \"notes\": " + std::to_string(notes_) + ",\n";
+  out += "  \"diagnostics\": [";
+  for (std::size_t i = 0; i < diags_.size(); ++i) {
+    const auto& d = diags_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"severity\": \"" + std::string(severityName(d.severity)) +
+           "\", \"check\": \"" + jsonEscape(d.check) +
+           "\", \"location\": \"" + jsonEscape(d.location) +
+           "\", \"message\": \"" + jsonEscape(d.message) + "\"}";
+  }
+  out += diags_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace stcg::lint

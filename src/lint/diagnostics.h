@@ -1,0 +1,66 @@
+// Diagnostics engine for the model lint subsystem.
+//
+// A Diagnostic is one finding of one named static check: a severity, the
+// check's kebab-case id, a location inside the model (block, decision arm,
+// store, objective — rendered as a path string), and a human-readable
+// message. A DiagnosticSink collects findings across checks, keeps
+// severity tallies, and renders the batch as text or JSON (the `stcg_cli
+// lint --json` schema documented in README.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace stcg::lint {
+
+enum class Severity {
+  kNote,     // observation; never affects exit codes
+  kWarning,  // suspicious but well-defined behaviour (hazards, dead logic)
+  kError,    // malformed model; compilation or simulation would misbehave
+};
+
+[[nodiscard]] const char* severityName(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  std::string check;     // check id, e.g. "div-by-zero"
+  std::string location;  // model path, e.g. "LEDLC/mode_sel:default"
+  std::string message;
+};
+
+class DiagnosticSink {
+ public:
+  void report(Severity severity, std::string check, std::string location,
+              std::string message);
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+  [[nodiscard]] int errorCount() const { return errors_; }
+  [[nodiscard]] int warningCount() const { return warnings_; }
+  [[nodiscard]] int noteCount() const { return notes_; }
+  [[nodiscard]] bool hasErrors() const { return errors_ > 0; }
+  [[nodiscard]] bool empty() const { return diags_.empty(); }
+
+  /// Count of findings produced by one check id.
+  [[nodiscard]] int countFor(const std::string& check) const;
+
+  /// Stable order: errors first, then warnings, then notes; ties keep
+  /// discovery order (checks run in registry order, so related findings
+  /// stay adjacent).
+  void sortBySeverity();
+
+  /// One line per diagnostic: "severity [check] location: message".
+  [[nodiscard]] std::string render() const;
+
+  /// The full report as a JSON object (see README "JSON schema").
+  [[nodiscard]] std::string renderJson(const std::string& modelName) const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  int errors_ = 0;
+  int warnings_ = 0;
+  int notes_ = 0;
+};
+
+}  // namespace stcg::lint

@@ -1,6 +1,5 @@
 #include "sim/simulator.h"
 
-#include <cassert>
 #include <cmath>
 
 #include "util/strings.h"
@@ -23,7 +22,14 @@ void Simulator::reset() {
 }
 
 void Simulator::restore(const StateSnapshot& s) {
-  assert(s.size() == cm_->states.size());
+  // Invariant: snapshots are only valid for the model they were taken
+  // from. Enforced by throwing (not assert) so release builds and the
+  // lint-driven diagnostics see the same behaviour.
+  if (s.size() != cm_->states.size()) {
+    throw SimError("restore: snapshot has " + std::to_string(s.size()) +
+                   " state(s), model '" + cm_->name + "' expects " +
+                   std::to_string(cm_->states.size()));
+  }
   state_ = s;
 }
 
@@ -40,7 +46,12 @@ void Simulator::bindState(Env& env) const {
 
 StepResult Simulator::step(const InputVector& in,
                            coverage::CoverageTracker* cov) {
-  assert(in.size() == cm_->inputs.size());
+  // Invariant: one scalar per declared input, in declaration order.
+  if (in.size() != cm_->inputs.size()) {
+    throw SimError("step: input vector has " + std::to_string(in.size()) +
+                   " value(s), model '" + cm_->name + "' expects " +
+                   std::to_string(cm_->inputs.size()));
+  }
   Env env;
   bindState(env);
   for (std::size_t i = 0; i < cm_->inputs.size(); ++i) {
@@ -61,9 +72,12 @@ StepResult Simulator::step(const InputVector& in,
           break;
         }
       }
-      // Arms are exhaustive by construction; taken must be valid.
-      assert(taken >= 0);
-      if (taken < 0) continue;
+      // Arms are exhaustive by construction (the compiler appends a
+      // default arm); no arm firing means a malformed compilation.
+      if (taken < 0) {
+        throw SimError("step: no arm of decision '" + d.name +
+                       "' satisfied although its activation holds");
+      }
       const int newBranch = cov->recordDecision(d.id, taken);
       if (newBranch >= 0) result.newlyCovered.push_back(newBranch);
       if (!d.conditions.empty()) {

@@ -7,6 +7,7 @@
 // to model elements by a name/attribute table — here CompiledModel.states).
 #pragma once
 
+#include <stdexcept>
 #include <vector>
 
 #include "compile/compiled_model.h"
@@ -15,6 +16,15 @@
 #include "util/rng.h"
 
 namespace stcg::sim {
+
+/// Thrown on simulator misuse that a correct harness can never trigger:
+/// input/snapshot vectors whose size disagrees with the compiled model,
+/// or a decision whose arms are not exhaustive. Carries the model
+/// element and the observed/expected sizes in the message.
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
 
 /// One step's external inputs, aligned with CompiledModel::inputs.
 using InputVector = std::vector<expr::Scalar>;
@@ -43,10 +53,14 @@ class Simulator {
 
   [[nodiscard]] const StateSnapshot& state() const { return state_; }
   [[nodiscard]] StateSnapshot snapshot() const { return state_; }
+
+  /// Restore a snapshot taken from this compiled model. Throws SimError
+  /// when the snapshot length disagrees with CompiledModel::states.
   void restore(const StateSnapshot& s);
 
   /// Execute one iteration: evaluate outputs, record coverage into `cov`
-  /// (optional), commit next state.
+  /// (optional), commit next state. Throws SimError when the input
+  /// vector length disagrees with CompiledModel::inputs.
   StepResult step(const InputVector& in, coverage::CoverageTracker* cov);
 
   /// Output values computed by the most recent step.

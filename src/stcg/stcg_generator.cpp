@@ -3,9 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <optional>
-#include <unordered_set>
 
-#include "analysis/reachability.h"
 #include "expr/builder.h"
 #include "expr/subst.h"
 #include "util/stopwatch.h"
@@ -62,6 +60,18 @@ class Run {
         traceUser_(traceUser) {
     goals_ = buildGoals(cm, opt.includeConditionGoals,
                         /*includeMcdcGoals=*/opt.includeConditionGoals);
+    if (opt.pruneProvablyDead) {
+      // Dead-goal pre-verification (paper Discussion): the lint
+      // reachability pass proves goals unreachable from every reachable
+      // state; they are removed from the goal list and excluded from the
+      // coverage denominators.
+      PruneResult pr = pruneUnreachableGoals(cm, goals_, tracker_);
+      exclusions_ = std::move(pr.exclusions);
+      stats_.goalsPruned = pr.removed;
+      for (const auto& label : pr.prunedLabels) {
+        this->trace("pruned provably-dead goal " + label);
+      }
+    }
     order_.resize(goals_.size());
     for (std::size_t i = 0; i < order_.size(); ++i) {
       order_[i] = static_cast<int>(i);
@@ -71,30 +81,6 @@ class Run {
         return goals_[static_cast<std::size_t>(a)].depth <
                goals_[static_cast<std::size_t>(b)].depth;
       });
-    }
-    if (opt.pruneProvablyDead) {
-      pruneDeadGoals();
-    }
-  }
-
-  /// Dead-goal pre-verification (paper Discussion): evaluate every goal's
-  /// path constraint under the interval state invariant; a definitely-
-  /// false verdict proves the goal unreachable from any reachable state,
-  /// so solving it (repeatedly, on every tree node) would be pure waste.
-  void pruneDeadGoals() {
-    // Branch goals get the full (solver-backed) dead proof; condition and
-    // MCDC goals get the cheap interval verdict.
-    const auto report = analysis::findDeadBranches(cm_);
-    analysis::IntervalEvaluator eval(report.invariant.env);
-    for (const auto& g : goals_) {
-      const bool dead = g.kind == GoalKind::kBranch
-                            ? report.isDead(g.branchId)
-                            : eval.evalScalar(g.pathConstraint).isFalse();
-      if (dead) {
-        pruned_.insert(g.id);
-        ++stats_.goalsPruned;
-        trace("pruned provably-dead goal " + g.label);
-      }
     }
   }
 
@@ -124,7 +110,7 @@ class Run {
     result.events = std::move(events_);
     result.stats = stats_;
     result.stats.treeNodes = static_cast<int>(tree_.size());
-    const auto replay = replaySuite(cm_, result.tests);
+    const auto replay = replaySuite(cm_, result.tests, exclusions_);
     result.coverage = summarize(replay);
     return result;
   }
@@ -136,7 +122,6 @@ class Run {
 
   [[nodiscard]] bool allGoalsCovered() const {
     for (const auto& g : goals_) {
-      if (pruned_.count(g.id) > 0) continue;
       if (!goalCovered(tracker_, g)) return false;
     }
     return true;
@@ -146,7 +131,6 @@ class Run {
   [[nodiscard]] std::optional<SolveHit> stateAwareSolve() {
     for (const int goalIdx : order_) {
       const Goal& goal = goals_[static_cast<std::size_t>(goalIdx)];
-      if (pruned_.count(goal.id) > 0) continue;
       if (goalCovered(tracker_, goal)) continue;
       const std::size_t nodeCount = opt_.solveOnAllNodes ? tree_.size() : 1;
       for (std::size_t nodeId = 0; nodeId < nodeCount; ++nodeId) {
@@ -314,7 +298,7 @@ class Run {
   Stopwatch watch_;
   std::vector<Goal> goals_;
   std::vector<int> order_;
-  std::unordered_set<int> pruned_;  // provably-dead goal ids
+  coverage::Exclusions exclusions_;  // proven-unreachable goals
   std::vector<sim::InputVector> library_;  // the solved-input library
   std::vector<TestCase> tests_;
   std::vector<GenEvent> events_;

@@ -1,8 +1,11 @@
 #include "stcg/testgen.h"
 
 #include <algorithm>
+#include <set>
+#include <tuple>
 
 #include "expr/builder.h"
+#include "lint/lint.h"
 
 namespace stcg::gen {
 
@@ -90,6 +93,57 @@ bool goalCovered(const coverage::CoverageTracker& cov, const Goal& goal) {
   return false;
 }
 
+PruneResult pruneUnreachableGoals(const compile::CompiledModel& cm,
+                                  std::vector<Goal>& goals,
+                                  coverage::CoverageTracker& tracker) {
+  PruneResult result;
+  result.exclusions = lint::findUnreachableGoals(cm);
+  if (result.exclusions.empty()) return result;
+  tracker.applyExclusions(result.exclusions);
+
+  const std::set<int> deadBranches(result.exclusions.branches.begin(),
+                                   result.exclusions.branches.end());
+  const std::set<int> deadObjectives(result.exclusions.objectives.begin(),
+                                     result.exclusions.objectives.end());
+  std::set<std::tuple<int, int, bool>> deadPolarities;
+  for (const auto& s : result.exclusions.conditionSlots) {
+    deadPolarities.emplace(s.decision, s.cond, s.polarity);
+  }
+  std::set<std::pair<int, int>> deadMcdc;
+  for (const auto& s : result.exclusions.mcdcSlots) {
+    deadMcdc.emplace(s.decision, s.cond);
+  }
+
+  const auto isDead = [&](const Goal& g) {
+    switch (g.kind) {
+      case GoalKind::kBranch:
+        return deadBranches.count(g.branchId) > 0;
+      case GoalKind::kCondition:
+        return deadPolarities.count(
+                   {g.decisionId, g.condIndex, g.polarity}) > 0;
+      case GoalKind::kMcdcPair:
+        return deadMcdc.count({g.decisionId, g.condIndex}) > 0;
+      case GoalKind::kObjective:
+        return deadObjectives.count(g.objectiveId) > 0;
+    }
+    return false;
+  };
+
+  std::vector<Goal> kept;
+  kept.reserve(goals.size());
+  for (auto& g : goals) {
+    if (isDead(g)) {
+      result.prunedLabels.push_back(g.label);
+      ++result.removed;
+    } else {
+      g.id = static_cast<int>(kept.size());
+      kept.push_back(std::move(g));
+    }
+  }
+  goals = std::move(kept);
+  return result;
+}
+
 CoverageSummary summarize(const coverage::CoverageTracker& cov) {
   CoverageSummary s;
   s.decision = cov.decisionCoverage();
@@ -101,8 +155,10 @@ CoverageSummary summarize(const coverage::CoverageTracker& cov) {
 }
 
 coverage::CoverageTracker replaySuite(const compile::CompiledModel& cm,
-                                      const std::vector<TestCase>& tests) {
+                                      const std::vector<TestCase>& tests,
+                                      const coverage::Exclusions& excl) {
   coverage::CoverageTracker cov(cm);
+  if (!excl.empty()) cov.applyExclusions(excl);
   sim::Simulator simulator(cm);
   for (const auto& t : tests) {
     simulator.reset();

@@ -48,6 +48,22 @@ struct Goal {
 [[nodiscard]] bool goalCovered(const coverage::CoverageTracker& cov,
                                const Goal& goal);
 
+/// Result of the dead-goal pre-verification pass (lint reachability).
+struct PruneResult {
+  coverage::Exclusions exclusions;
+  std::vector<std::string> prunedLabels;  // label per removed goal
+  int removed = 0;
+};
+
+/// Prove coverage goals statically unreachable (via the lint subsystem's
+/// three-layer proof), remove them from `goals` (ids renumbered to stay
+/// equal to the index), and exclude them from `tracker`'s coverage
+/// denominators. The returned exclusions must also be applied to any
+/// replay tracker so reported percentages match (see replaySuite).
+[[nodiscard]] PruneResult pruneUnreachableGoals(
+    const compile::CompiledModel& cm, std::vector<Goal>& goals,
+    coverage::CoverageTracker& tracker);
+
 struct GenOptions {
   std::int64_t budgetMillis = 3000;  // total generation budget
   std::uint64_t seed = 1;
@@ -73,11 +89,13 @@ struct GenOptions {
   /// reach some branches, which can be compensated by attaching random
   /// methods"); 0.0 reproduces Algorithm 2 verbatim.
   double freshRandomProbability = 0.5;
-  /// Run the interval reachability analysis up front and skip goals whose
-  /// path constraints are provably unreachable — the paper's Discussion
+  /// Run the lint reachability pass up front and drop goals whose path
+  /// constraints are provably unreachable — the paper's Discussion
   /// suggestion for the "perpetually false" branches it kept re-solving.
-  /// Pruned goals are excluded from solving only; coverage denominators
-  /// are unchanged.
+  /// Pruned goals are skipped by the solve loop AND excluded from the
+  /// coverage denominators (a suite cannot be blamed for logic no input
+  /// sequence can reach), so reported percentages reflect satisfiable
+  /// goals only.
   bool pruneProvablyDead = false;
 };
 
@@ -135,8 +153,11 @@ class Generator {
 };
 
 /// Replay a test suite from reset and return the resulting tracker (the
-/// paper's "fair comparison via Signal Builder" measurement).
+/// paper's "fair comparison via Signal Builder" measurement). Exclusions
+/// from the pruning pass are applied to the fresh tracker so replayed
+/// percentages use the same denominators as generation.
 [[nodiscard]] coverage::CoverageTracker replaySuite(
-    const compile::CompiledModel& cm, const std::vector<TestCase>& tests);
+    const compile::CompiledModel& cm, const std::vector<TestCase>& tests,
+    const coverage::Exclusions& excl = {});
 
 }  // namespace stcg::gen

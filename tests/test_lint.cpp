@@ -1,0 +1,282 @@
+// Lint subsystem tests: bench models stay error-free (with the known
+// true-positive warnings documented below), seeded defects each trigger
+// exactly the expected diagnostic, the generator prunes provably-dead
+// goals out of the coverage denominators, JSON rendering is well-formed,
+// and the runtime diagnostics (EvalError/SimError) replace the old
+// assert-only failure modes.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "benchmodels/benchmodels.h"
+#include "compile/compiler.h"
+#include "expr/builder.h"
+#include "lint/lint.h"
+#include "model/model.h"
+#include "sim/simulator.h"
+#include "stcg/stcg_generator.h"
+
+namespace stcg {
+namespace {
+
+using expr::Scalar;
+using expr::Type;
+using model::Model;
+
+lint::LintResult lintByName(const std::string& name) {
+  return lint::lintModel(bench::buildBenchModel(name));
+}
+
+// ---------------------------------------------------------------------
+// Bench sweep: every Table-II model lints with zero errors. Warnings are
+// restricted to the audited true positives:
+//   CPUTask / LANSwitch — "array-bounds": scanSlots uses an out-of-range
+//     sentinel index (== slot count) when no slot matches, and dataflow
+//     evaluates eagerly, so the clamped select genuinely executes.
+//   UTPC — "unreachable-branch" on batt_sel's implicit no-arm-active
+//     branch (the Switch-Case groups are exhaustive).
+//   LEDLC — "unreachable-branch" on duty_by_mode's default arm (the
+//     dead arm the paper discusses).
+// ---------------------------------------------------------------------
+
+class BenchLint : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BenchLint, NoErrorsAndOnlyAuditedWarnings) {
+  const auto result = lintByName(GetParam());
+  EXPECT_EQ(result.sink.errorCount(), 0)
+      << result.sink.render() << "bench models must lint clean of errors";
+  EXPECT_TRUE(result.compiledChecksRan);
+
+  static const std::set<std::string> auditedWarningChecks = {
+      "array-bounds", "unreachable-branch"};
+  for (const auto& d : result.sink.diagnostics()) {
+    if (d.severity != lint::Severity::kWarning) continue;
+    EXPECT_TRUE(auditedWarningChecks.count(d.check) > 0)
+        << "unaudited warning [" << d.check << "] at " << d.location << ": "
+        << d.message;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, BenchLint,
+                         ::testing::Values("AFC", "CPUTask", "LANSwitch",
+                                           "LEDLC", "NICProtocol", "TCP",
+                                           "TWC", "UTPC"));
+
+TEST(BenchLint, CleanModelsHaveNoWarnings) {
+  for (const std::string name : {"AFC", "TWC", "NICProtocol", "TCP"}) {
+    const auto result = lintByName(name);
+    EXPECT_EQ(result.sink.warningCount(), 0)
+        << name << ":\n" << result.sink.render();
+  }
+}
+
+TEST(BenchLint, LedlcDeadDefaultArmIsFlagged) {
+  const auto result = lintByName("LEDLC");
+  EXPECT_GE(result.sink.countFor("unreachable-branch"), 1);
+  bool found = false;
+  for (const auto& d : result.sink.diagnostics()) {
+    if (d.check == "unreachable-branch" &&
+        d.location.find("duty_by_mode") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << result.sink.render();
+  EXPECT_FALSE(result.exclusions.empty());
+}
+
+// ---------------------------------------------------------------------
+// Seeded defects: each model plants exactly one defect class and must
+// trigger exactly that diagnostic (no cross-talk between checks).
+// ---------------------------------------------------------------------
+
+TEST(SeededDefects, UnboundDelayIsAnError) {
+  Model m("seeded");
+  auto x = m.addInport("x", Type::kInt, -10, 10);
+  auto hole = m.addUnitDelayHole("latch", Scalar::i(0));  // never bound
+  m.addOutport("y", m.addSum("s", {x, hole}, "++"));
+  const auto result = lint::lintModel(m);
+  EXPECT_EQ(result.sink.countFor("unbound-delay"), 1)
+      << result.sink.render();
+  EXPECT_TRUE(result.sink.hasErrors());
+  // Errors stop the compiled layer: an unbound delay cannot be lowered.
+  EXPECT_FALSE(result.compiledChecksRan);
+}
+
+TEST(SeededDefects, StoreReadButNeverWritten) {
+  Model m("seeded");
+  auto x = m.addInport("x", Type::kInt, -10, 10);
+  const int store = m.addDataStore("cfg", Type::kInt, 1, Scalar::i(3));
+  auto cfg = m.addDataStoreRead("rd", store);
+  m.addOutport("y", m.addSum("s", {x, cfg}, "++"));
+  const auto result = lint::lintModel(m);
+  EXPECT_EQ(result.sink.countFor("store-never-written"), 1)
+      << result.sink.render();
+  EXPECT_EQ(result.sink.errorCount(), 0);
+}
+
+TEST(SeededDefects, ReachableDivisionByZero) {
+  Model m("seeded");
+  auto a = m.addInport("a", Type::kReal, -10, 10);
+  auto b = m.addInport("b", Type::kReal, -10, 10);  // domain spans zero
+  m.addOutport("y", m.addProduct("quot", {a, b}, "*/"));
+  const auto result = lint::lintModel(m);
+  EXPECT_EQ(result.sink.countFor("div-by-zero"), 1)
+      << result.sink.render();
+  EXPECT_EQ(result.sink.errorCount(), 0);
+}
+
+TEST(SeededDefects, NoDivisionWarningWhenDomainExcludesZero) {
+  Model m("seeded");
+  auto a = m.addInport("a", Type::kReal, -10, 10);
+  auto b = m.addInport("b", Type::kReal, 1, 10);  // bounded away from 0
+  m.addOutport("y", m.addProduct("quot", {a, b}, "*/"));
+  const auto result = lint::lintModel(m);
+  EXPECT_EQ(result.sink.countFor("div-by-zero"), 0)
+      << result.sink.render();
+}
+
+/// A saturated counter in [0,10] can never exceed 50: the guarded
+/// Switch's true arm is provably dead (same shape as the paper's
+/// "perpetually false" branches).
+Model makeDeadBranchModel() {
+  Model m("DeadBranch");
+  auto inc = m.addInport("inc", Type::kBool, 0, 1);
+  auto count = m.addUnitDelayHole("count", Scalar::i(0));
+  auto one = m.addConstant("one", Scalar::i(1));
+  auto zero = m.addConstant("zero", Scalar::i(0));
+  auto amount = m.addSwitch("amount", one, inc, zero,
+                            model::SwitchCriteria::kNotZero, 0.0);
+  auto next = m.addSum("next", {count, amount}, "++");
+  m.bindDelayInput(count, m.addSaturation("sat", next, 0, 10));
+  auto never = m.addCompareToConst("never", count, model::RelOp::kGt, 50.0);
+  m.addOutport("y", m.addSwitch("dead", one, never, zero,
+                                model::SwitchCriteria::kNotZero, 0.0));
+  return m;
+}
+
+TEST(SeededDefects, DeadBranchIsFlaggedUnreachable) {
+  const auto result = lint::lintModel(makeDeadBranchModel());
+  EXPECT_EQ(result.sink.errorCount(), 0) << result.sink.render();
+  EXPECT_GE(result.sink.countFor("unreachable-branch"), 1)
+      << result.sink.render();
+  bool found = false;
+  for (const auto& d : result.sink.diagnostics()) {
+    if (d.check == "unreachable-branch" &&
+        d.location.find("/dead'") != std::string::npos &&
+        d.location.find("true") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << result.sink.render();
+}
+
+// ---------------------------------------------------------------------
+// Generator integration: pruning removes the dead goal from both the
+// solve loop and the coverage denominator, so the suite reaches 100% of
+// the satisfiable goals.
+// ---------------------------------------------------------------------
+
+TEST(Pruning, DeadBranchModelReachesFullCoverageAfterPruning) {
+  const auto cm = compile::compile(makeDeadBranchModel());
+  gen::GenOptions opt;
+  opt.budgetMillis = 2500;
+  opt.seed = 7;
+  opt.solver.timeBudgetMillis = 20;
+
+  gen::StcgGenerator stcg;
+  opt.pruneProvablyDead = false;
+  const auto plain = stcg.generate(cm, opt);
+  EXPECT_EQ(plain.stats.goalsPruned, 0);
+  // The dead arm keeps the unpruned denominator from reaching 100%.
+  EXPECT_LT(plain.coverage.decision, 1.0);
+
+  opt.pruneProvablyDead = true;
+  const auto pruned = stcg.generate(cm, opt);
+  EXPECT_GT(pruned.stats.goalsPruned, 0);
+  EXPECT_DOUBLE_EQ(pruned.coverage.decision, 1.0)
+      << "all satisfiable decisions must be covered once the dead arm is "
+         "excluded";
+  EXPECT_GE(pruned.coverage.decision, plain.coverage.decision);
+}
+
+// ---------------------------------------------------------------------
+// JSON rendering.
+// ---------------------------------------------------------------------
+
+TEST(Diagnostics, JsonReportIsWellFormed) {
+  lint::DiagnosticSink sink;
+  sink.report(lint::Severity::kWarning, "div-by-zero", "output 'y'",
+              "denominator [-10, 10] may be zero");
+  sink.report(lint::Severity::kError, "invalid-ref", "block \"s\"",
+              "line1\nline2");
+  sink.sortBySeverity();
+  const std::string json = sink.renderJson("M");
+  EXPECT_NE(json.find("\"model\": \"M\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"errors\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"warnings\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"check\": \"div-by-zero\""), std::string::npos);
+  // Quotes and newlines inside fields must be escaped.
+  EXPECT_NE(json.find("block \\\"s\\\""), std::string::npos) << json;
+  EXPECT_NE(json.find("line1\\nline2"), std::string::npos) << json;
+  // Errors sort before warnings.
+  EXPECT_LT(json.find("invalid-ref"), json.find("div-by-zero"));
+}
+
+TEST(Diagnostics, RegistryCoversEveryReportedCheckId) {
+  std::set<std::string> registered;
+  for (const auto& c : lint::allChecks()) registered.insert(c.id);
+  for (const std::string name :
+       {"AFC", "CPUTask", "LANSwitch", "LEDLC", "NICProtocol", "TCP", "TWC",
+        "UTPC"}) {
+    const auto result = lintByName(name);
+    for (const auto& d : result.sink.diagnostics()) {
+      EXPECT_TRUE(registered.count(d.check) > 0)
+          << "unregistered check id: " << d.check;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Runtime diagnostics: the evaluator and simulator throw typed errors
+// (with the offending element in the message) where they used to assert.
+// ---------------------------------------------------------------------
+
+TEST(RuntimeDiagnostics, UnboundVariableThrowsEvalError) {
+  const auto v = expr::mkVar({7, "speed", Type::kInt, -10, 10});
+  expr::Env env;  // deliberately empty
+  try {
+    (void)expr::evaluate(v, env);
+    FAIL() << "expected EvalError";
+  } catch (const expr::EvalError& e) {
+    EXPECT_NE(std::string(e.what()).find("speed"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(RuntimeDiagnostics, ArrayScalarMisuseThrowsEvalError) {
+  expr::Env env;
+  env.setArray(3, {Scalar::i(1), Scalar::i(2)});
+  expr::Evaluator ev(env);
+  const auto arr = expr::mkVarArray(3, "buf", Type::kInt, 2);
+  EXPECT_THROW((void)ev.evalScalar(arr), expr::EvalError);
+  const auto scalar = expr::cScalar(Scalar::i(1));
+  expr::Evaluator ev2(env);
+  EXPECT_THROW((void)ev2.evalArray(scalar), expr::EvalError);
+}
+
+TEST(RuntimeDiagnostics, SimulatorSizeMismatchesThrowSimError) {
+  const auto cm = compile::compile(bench::buildBenchModel("LEDLC"));
+  sim::Simulator s(cm);
+  try {
+    (void)s.step({}, nullptr);  // wrong arity
+    FAIL() << "expected SimError";
+  } catch (const sim::SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("LEDLC"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(s.restore(sim::StateSnapshot{}), sim::SimError);
+}
+
+}  // namespace
+}  // namespace stcg

@@ -22,6 +22,15 @@ using expr::VarInfo;
 const VarInfo kX{0, "x", Type::kInt, -1000, 1000};
 const VarInfo kY{1, "y", Type::kInt, -1000, 1000};
 
+// Sanitized builds slow the solver several-fold; scale the time budgets
+// of the end-to-end search tests so they measure behaviour, not ASan
+// overhead.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr std::int64_t kBudgetScale = 4;
+#else
+constexpr std::int64_t kBudgetScale = 1;
+#endif
+
 Env envOf(std::int64_t x, std::int64_t y) {
   Env env;
   env.set(0, Scalar::i(x));
@@ -134,9 +143,9 @@ TEST(Portfolio, StcgRunsWithPortfolioEngine) {
 
   const auto cm = compile::compile(m);
   gen::GenOptions opt;
-  opt.budgetMillis = 4000;
+  opt.budgetMillis = 4000 * kBudgetScale;
   opt.seed = 21;
-  opt.solver.timeBudgetMillis = 150;
+  opt.solver.timeBudgetMillis = 150 * kBudgetScale;
   opt.solverKind = SolverKind::kPortfolio;
   gen::StcgGenerator g;
   const auto res = g.generate(cm, opt);

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# CI-style gate: sanitizer + warnings-as-errors build, full test suite,
+# and (when installed) clang-tidy over src/.
+#
+# Usage: tools/check.sh [build-dir]
+#
+# Exits non-zero on the first failing stage. clang-tidy is optional —
+# containers without it skip that stage with a notice instead of failing.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"$repo_root/build-check"}"
+
+echo "== configure (STCG_SANITIZE=address,undefined STCG_WERROR=ON) =="
+cmake -S "$repo_root" -B "$build_dir" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSTCG_SANITIZE=address,undefined \
+  -DSTCG_WERROR=ON \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+  ${STCG_CHECK_GENERATOR:+-G "$STCG_CHECK_GENERATOR"}
+
+echo "== build =="
+cmake --build "$build_dir" -j "$(nproc)"
+
+echo "== test =="
+ctest --test-dir "$build_dir" --output-on-failure
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy (src/) =="
+  find "$repo_root/src" -name '*.cpp' -print0 |
+    xargs -0 -P "$(nproc)" -n 1 \
+      clang-tidy -p "$build_dir" --quiet
+else
+  echo "== clang-tidy not installed; skipping static-analysis stage =="
+fi
+
+echo "== all checks passed =="

@@ -1,12 +1,16 @@
 // stcg_cli: command-line front end for the library.
 //
 //   stcg_cli --list
+//   stcg_cli lint <model> [--json] [--no-reachability]
 //   stcg_cli <model> [--tool stcg|sldv|simcotest] [--budget MS] [--seed N]
 //            [--solver box|local|portfolio] [--prune-dead]
 //            [--export suite.txt] [--csv curve.csv] [--dot model.dot]
 //            [--invariant] [--trace]
 //
 // <model> is one of the Table-II benchmark names (see --list).
+//
+// `lint` exit codes: 0 = no errors (warnings/notes allowed), 1 = errors
+// found, 2 = usage or model-load failure.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +22,7 @@
 #include "baselines/sldv_like.h"
 #include "benchmodels/benchmodels.h"
 #include "compile/compiler.h"
+#include "lint/lint.h"
 #include "model/export.h"
 #include "model/serialize.h"
 #include "stcg/export.h"
@@ -31,17 +36,71 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --list\n"
+      "       %s lint <model> [--json] [--no-reachability]\n"
       "       %s <model> [--tool stcg|sldv|simcotest] [--budget MS]\n"
       "            [--seed N] [--solver box|local|portfolio] [--prune-dead]\n"
       "            [--export FILE] [--csv FILE] [--dot FILE]\n"
       "            [--save-model FILE] [--invariant] [--trace]\n"
-      "  <model> is a benchmark name (--list) or an .stcgm file path\n",
-      argv0, argv0);
+      "  <model> is a benchmark name (--list) or an .stcgm file path\n"
+      "  lint exits 0 (clean), 1 (errors found) or 2 (bad usage/load)\n",
+      argv0, argv0, argv0);
   return 2;
 }
 
 void traceSink(const std::string& line, void*) {
   std::printf("  %s\n", line.c_str());
+}
+
+/// Resolve <model> as a benchmark name or an .stcgm file path; exits
+/// with status 2 on failure.
+model::Model loadModelArg(const std::string& modelName) {
+  if (modelName.find('/') != std::string::npos ||
+      modelName.find(".stcgm") != std::string::npos) {
+    try {
+      return model::loadModel(modelName);
+    } catch (const model::SerializeError& e) {
+      std::fprintf(stderr, "cannot load '%s': %s\n", modelName.c_str(),
+                   e.what());
+      std::exit(2);
+    }
+  }
+  try {
+    return bench::buildBenchModel(modelName);
+  } catch (const std::out_of_range&) {
+    std::fprintf(stderr, "unknown model '%s'; try --list\n",
+                 modelName.c_str());
+    std::exit(2);
+  }
+}
+
+int runLint(int argc, char** argv) {
+  if (argc < 3) return usage(argv[0]);
+  bool wantJson = false;
+  lint::LintOptions opt;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      wantJson = true;
+    } else if (arg == "--no-reachability") {
+      opt.reachabilityChecks = false;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  const model::Model m = loadModelArg(argv[2]);
+  const lint::LintResult result = lint::lintModel(m, opt);
+  if (wantJson) {
+    std::printf("%s", result.sink.renderJson(m.name()).c_str());
+  } else {
+    std::printf("%s", result.sink.render().c_str());
+    if (!result.compiledChecksRan) {
+      std::printf("compiled-layer checks skipped (model has errors)\n");
+    } else if (result.exclusions.count() > 0) {
+      std::printf("%d coverage goal(s) provably unreachable\n",
+                  result.exclusions.count());
+    }
+  }
+  return result.sink.hasErrors() ? 1 : 0;
 }
 
 }  // namespace
@@ -56,6 +115,10 @@ int main(int argc, char** argv) {
                   info.paperBranches, info.paperBlocks);
     }
     return 0;
+  }
+
+  if (std::strcmp(argv[1], "lint") == 0) {
+    return runLint(argc, argv);
   }
 
   const std::string modelName = argv[1];
@@ -109,27 +172,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  model::Model m = [&] {
-    // Names containing a path separator or extension load from disk
-    // (stcg-model text format); otherwise it is a benchmark name.
-    if (modelName.find('/') != std::string::npos ||
-        modelName.find(".stcgm") != std::string::npos) {
-      try {
-        return model::loadModel(modelName);
-      } catch (const model::SerializeError& e) {
-        std::fprintf(stderr, "cannot load '%s': %s\n", modelName.c_str(),
-                     e.what());
-        std::exit(2);
-      }
-    }
-    try {
-      return bench::buildBenchModel(modelName);
-    } catch (const std::out_of_range&) {
-      std::fprintf(stderr, "unknown model '%s'; try --list\n",
-                   modelName.c_str());
-      std::exit(2);
-    }
-  }();
+  model::Model m = loadModelArg(modelName);
 
   if (!saveModelPath.empty()) {
     if (model::saveModel(saveModelPath, m)) {
