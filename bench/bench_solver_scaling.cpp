@@ -9,6 +9,7 @@
 // contraction).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <unordered_map>
 
 #include "benchmodels/benchmodels.h"
@@ -18,7 +19,9 @@
 #include "interval/hc4.h"
 #include "sim/simulator.h"
 #include "solver/solver.h"
+#include "stcg/stcg_generator.h"
 #include "stcg/testgen.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -192,6 +195,72 @@ BENCHMARK(BM_SolverKindsNonlinear)
     ->Arg(static_cast<int>(solver::SolverKind::kLocalSearch))
     ->Arg(static_cast<int>(solver::SolverKind::kPortfolio))
     ->Unit(benchmark::kMillisecond);
+
+// One stateAwareSolve round's workload — a grid of per-branch residual
+// solves against the warm state — fanned across the work-stealing pool.
+// The argument is the lane count (GenOptions.jobs / stcg_cli --jobs).
+// Real time should drop with lanes up to the core count; on a
+// single-core host all lanes time-slice and the curve stays flat.
+void BM_ParallelSolveGrid(benchmark::State& state) {
+  const auto& cm = cpuTask();
+  const auto env = stateEnvOf(warmState());
+  const auto infos = cm.inputInfos();
+  std::vector<expr::ExprPtr> residuals;
+  for (const auto& br : cm.branches) {
+    residuals.push_back(expr::substitute(br.pathConstraint, env));
+  }
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  const Rng root(7);
+  for (auto _ : state) {
+    std::atomic<int> sat{0};
+    pool.parallelFor(residuals.size(), [&](std::size_t i) {
+      solver::SolveOptions so;
+      so.timeBudgetMillis = 50;
+      Rng taskRng = root.fork(i);
+      so.seed =
+          static_cast<std::uint64_t>(taskRng.uniformInt(1, 1'000'000'000));
+      solver::BoxSolver solver(so);
+      if (solver.solve(residuals[i], infos).sat()) {
+        sat.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    benchmark::DoNotOptimize(sat.load());
+    state.counters["sat"] = static_cast<double>(sat.load());
+  }
+}
+BENCHMARK(BM_ParallelSolveGrid)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// End-to-end STCG generation at different --jobs values. The 2 s budget
+// binds here (CPUTask holds unsatisfiable MCDC goals), so this measures
+// throughput under a fixed time budget — NOT the determinism contract,
+// which assumes non-binding budgets and is pinned by
+// tests/test_parallel_gen.cpp instead.
+void BM_StcgGenerateJobs(benchmark::State& state) {
+  const auto& cm = cpuTask();
+  gen::GenOptions opt;
+  opt.budgetMillis = 2000;
+  opt.seed = 11;
+  opt.jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    gen::StcgGenerator g;
+    const auto res = g.generate(cm, opt);
+    benchmark::DoNotOptimize(res.tests.size());
+    state.counters["decision_cov"] = res.coverage.decision;
+    state.counters["tests"] = static_cast<double>(res.tests.size());
+  }
+}
+BENCHMARK(BM_StcgGenerateJobs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_Hc4Contract(benchmark::State& state) {
   const auto& cm = cpuTask();

@@ -36,7 +36,14 @@ GenResult SimCoTestLikeGenerator::generate(const compile::CompiledModel& cm,
                                            const GenOptions& opt) {
   Stopwatch watch;
   const Deadline deadline = Deadline::afterMillis(opt.budgetMillis);
-  Rng rng(opt.seed);
+  // Per-phase RNG streams: archive selection, mutation, and fresh
+  // generation draw independently, so a draw in one phase can never shift
+  // another phase's sequence (mutating one archive entry more or less
+  // would otherwise reshuffle every later fresh sequence).
+  const Rng rootRng(opt.seed);
+  Rng selectRng = rootRng.fork(1);
+  Rng mutateRng = rootRng.fork(2);
+  Rng freshRng = rootRng.fork(3);
   coverage::CoverageTracker tracker(cm);
   sim::Simulator simulator(cm);
 
@@ -54,11 +61,12 @@ GenResult SimCoTestLikeGenerator::generate(const compile::CompiledModel& cm,
 
   while (!deadline.expired()) {
     std::vector<sim::InputVector> seq;
-    if (!archive.empty() && rng.chance(0.5)) {
-      seq = mutateSequence(cm, rng, archive[rng.index(archive.size())],
+    if (!archive.empty() && selectRng.chance(0.5)) {
+      seq = mutateSequence(cm, mutateRng,
+                           archive[selectRng.index(archive.size())],
                            opt.randomMaxSeqLen);
     } else {
-      seq = freshSequence(cm, rng, opt.randomMaxSeqLen);
+      seq = freshSequence(cm, freshRng, opt.randomMaxSeqLen);
     }
     ++result.stats.randomSequences;
     simulator.reset();

@@ -30,7 +30,11 @@ GenResult SldvLikeGenerator::generate(const compile::CompiledModel& cm,
                                       const GenOptions& opt) {
   Stopwatch watch;
   const Deadline deadline = Deadline::afterMillis(opt.budgetMillis);
-  Rng rng(opt.seed);
+  // Solver seeds are forked per (depth, goal) rather than drawn from one
+  // advancing stream: which queries run depends on coverage so far and on
+  // the deadline, so a shared stream would let one query's outcome shift
+  // every later query's seed.
+  const Rng seedRoot(opt.seed);
   coverage::CoverageTracker tracker(cm);
   sim::Simulator simulator(cm);
 
@@ -155,7 +159,10 @@ GenResult SldvLikeGenerator::generate(const compile::CompiledModel& cm,
       so.timeBudgetMillis =
           std::min<std::int64_t>(so.timeBudgetMillis,
                                  deadline.remainingMillis());
-      so.seed = static_cast<std::uint64_t>(rng.uniformInt(1, 1'000'000'000));
+      Rng queryRng = seedRoot.fork((static_cast<std::uint64_t>(depth) << 32) ^
+                                   static_cast<std::uint64_t>(gi));
+      so.seed =
+          static_cast<std::uint64_t>(queryRng.uniformInt(1, 1'000'000'000));
       solver::BoxSolver solver(so);
       const auto res = solver.solve(constraint, vars);
       switch (res.status) {

@@ -127,13 +127,18 @@ bool CoverageTracker::conditionSeen(int decisionId, int cond,
       .at(static_cast<std::size_t>(cond))[polarity ? 1 : 0];
 }
 
-double CoverageTracker::decisionCoverage() const {
+std::pair<int, int> CoverageTracker::branchCounts() const {
   int covered = 0, total = 0;
   for (std::size_t i = 0; i < branchCovered_.size(); ++i) {
     if (branchExcluded_[i]) continue;
     ++total;
     covered += branchCovered_[i] ? 1 : 0;
   }
+  return {covered, total};
+}
+
+double CoverageTracker::decisionCoverage() const {
+  const auto [covered, total] = branchCounts();
   if (total == 0) return 1.0;
   return static_cast<double>(covered) / static_cast<double>(total);
 }
@@ -215,11 +220,12 @@ std::string CoverageTracker::report() const {
   int excludedBranches = 0;
   for (const bool e : branchExcluded_) excludedBranches += e ? 1 : 0;
   out += "Coverage for " + cm_->name + "\n";
+  // branchCounts() keeps numerator and denominator over the same goal
+  // set: coveredBranches_ also counts excluded branches covered anyway,
+  // which over the excluded denominator can read as more than 100%.
+  const auto [bc, bt] = branchCounts();
   out += "  Decision:  " + formatPercent(decisionCoverage()) + " (" +
-         std::to_string(coveredBranches_) + "/" +
-         std::to_string(branchCovered_.size() -
-                        static_cast<std::size_t>(excludedBranches)) +
-         " branches)\n";
+         std::to_string(bc) + "/" + std::to_string(bt) + " branches)\n";
   const auto [cs, ct] = conditionCounts();
   out += "  Condition: " + formatPercent(conditionCoverage()) + " (" +
          std::to_string(cs) + "/" + std::to_string(ct) + " polarities)\n";

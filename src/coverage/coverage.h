@@ -104,10 +104,20 @@ class CoverageTracker {
   [[nodiscard]] bool objectiveCovered(int objectiveId) const;
   [[nodiscard]] std::pair<int, int> objectiveCounts() const;
 
+  /// Raw counts over ALL branches, ignoring exclusions (coveredBranchCount
+  /// includes excluded branches that were covered anyway — an unsound
+  /// exclusion proof shows up here). For reporting, use branchCounts():
+  /// pairing these raw counts with excluded denominators double-counts a
+  /// goal as both pruned and covered, pushing ratios past 100%.
   [[nodiscard]] int coveredBranchCount() const { return coveredBranches_; }
   [[nodiscard]] int totalBranchCount() const {
     return static_cast<int>(branchCovered_.size());
   }
+
+  /// {covered, total} over non-excluded branches only — numerator and
+  /// denominator drawn from the same goal set, so covered/total always
+  /// equals decisionCoverage().
+  [[nodiscard]] std::pair<int, int> branchCounts() const;
 
   /// Percentages in [0, 1]. Empty goal sets count as fully covered.
   [[nodiscard]] double decisionCoverage() const;

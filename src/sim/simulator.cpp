@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "util/strings.h"
 
@@ -11,6 +12,40 @@ using expr::Evaluator;
 using expr::Scalar;
 using expr::Type;
 using expr::Value;
+
+namespace {
+
+void hashCombine(std::uint64_t& h, std::uint64_t v) {
+  // 64-bit variant of boost::hash_combine.
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4);
+}
+
+std::uint64_t hashScalar(const Scalar& s) {
+  switch (s.type()) {
+    case Type::kBool:
+      return s.asBool() ? 0x9e3779b9ULL : 0x85ebca6bULL;
+    case Type::kInt:
+      return static_cast<std::uint64_t>(s.asInt()) * 0xff51afd7ed558ccdULL;
+    case Type::kReal: {
+      const double d = s.asReal();
+      std::uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(d));
+      std::memcpy(&bits, &d, sizeof(bits));
+      return bits * 0xc4ceb9fe1a85ec53ULL;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::uint64_t snapshotHash(const StateSnapshot& s) {
+  std::uint64_t h = 0x517cc1b727220a95ULL;
+  for (const auto& v : s) {
+    for (const auto& e : v.elems()) hashCombine(h, hashScalar(e));
+  }
+  return h;
+}
 
 Simulator::Simulator(const compile::CompiledModel& cm) : cm_(&cm) { reset(); }
 

@@ -7,6 +7,7 @@
 // to model elements by a name/attribute table — here CompiledModel.states).
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
 
@@ -31,6 +32,11 @@ using InputVector = std::vector<expr::Scalar>;
 
 /// The full internal state, aligned with CompiledModel::states.
 using StateSnapshot = std::vector<expr::Value>;
+
+/// Order-preserving 64-bit hash of a snapshot's values (type-sensitive:
+/// int 1 and real 1.0 hash differently). Equal snapshots hash equal; the
+/// state tree keys its node and attempted-goal dedup sets on this.
+[[nodiscard]] std::uint64_t snapshotHash(const StateSnapshot& s);
 
 struct StepResult {
   /// Branch ids newly covered during this step (empty without a tracker).

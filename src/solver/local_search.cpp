@@ -1,7 +1,6 @@
 #include "solver/local_search.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 #include "expr/eval.h"
@@ -117,7 +116,10 @@ const char* solverKindName(SolverKind k) {
 
 SolveResult LocalSearchSolver::solve(const ExprPtr& goal,
                                      const std::vector<VarInfo>& vars) {
-  assert(goal->type == Type::kBool && !goal->isArray());
+  if (goal->type != Type::kBool || goal->isArray()) {
+    throw expr::EvalError(
+        "LocalSearchSolver::solve: goal must be a scalar boolean expression");
+  }
   SolveResult result;
   Stopwatch watch;
   const Deadline deadline = Deadline::afterMillis(options_.timeBudgetMillis);
@@ -137,12 +139,15 @@ SolveResult LocalSearchSolver::solve(const ExprPtr& goal,
   std::vector<double> point(vars.size());
   const auto randomize = [&] {
     for (std::size_t i = 0; i < vars.size(); ++i) {
-      point[i] = vars[i].type == Type::kReal
-                     ? rng.uniformReal(vars[i].lo, vars[i].hi)
-                     : static_cast<double>(rng.uniformInt(
-                           static_cast<std::int64_t>(std::ceil(vars[i].lo)),
-                           static_cast<std::int64_t>(
-                               std::floor(vars[i].hi))));
+      if (vars[i].type == Type::kReal) {
+        point[i] = rng.uniformReal(vars[i].lo, vars[i].hi);
+      } else {
+        const auto [lo, hi] = integerEndpoints(vars[i].lo, vars[i].hi);
+        // lo > hi: no integer in the domain; start from the midpoint and
+        // let the distance landscape (or the UNKNOWN verdict) handle it.
+        point[i] = lo <= hi ? static_cast<double>(rng.uniformInt(lo, hi))
+                            : (vars[i].lo + vars[i].hi) * 0.5;
+      }
     }
   };
   const auto toEnv = [&](const std::vector<double>& p) {

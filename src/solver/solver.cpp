@@ -1,6 +1,6 @@
 #include "solver/solver.h"
 
-#include <cassert>
+#include <algorithm>
 #include <cmath>
 #include <deque>
 
@@ -39,6 +39,16 @@ Scalar scalarForVar(const VarInfo& info, double v) {
   return Scalar::r(v);
 }
 
+std::pair<std::int64_t, std::int64_t> integerEndpoints(double lo, double hi) {
+  // 2^62 is exactly representable in double and round-trips through the
+  // cast; it is far beyond any model domain, so saturation never distorts
+  // finite bounds that matter.
+  constexpr double kCap = 4611686018427387904.0;  // 2^62
+  const double l = std::clamp(std::ceil(lo), -kCap, kCap);
+  const double h = std::clamp(std::floor(hi), -kCap, kCap);
+  return {static_cast<std::int64_t>(l), static_cast<std::int64_t>(h)};
+}
+
 void BoxSolver::samplePoint(const Box& box, Rng& rng, bool corners,
                             int cornerKind, Env& env) const {
   for (const auto& v : box.vars()) {
@@ -55,9 +65,10 @@ void BoxSolver::samplePoint(const Box& box, Rng& rng, bool corners,
     } else if (v.type == Type::kReal) {
       x = rng.uniformReal(d.lo(), d.hi());
     } else {
-      const auto lo = static_cast<std::int64_t>(std::ceil(d.lo()));
-      const auto hi = static_cast<std::int64_t>(std::floor(d.hi()));
-      x = static_cast<double>(rng.uniformInt(lo, hi));
+      const auto [lo, hi] = integerEndpoints(d.lo(), d.hi());
+      // lo > hi: the interval holds no integer. Probe the midpoint —
+      // still inside the box, and certify() rejects it if infeasible.
+      x = lo <= hi ? static_cast<double>(rng.uniformInt(lo, hi)) : d.mid();
     }
     if (v.type != Type::kReal) x = std::round(x);
     env.set(v.id, scalarForVar(v, x));
@@ -70,7 +81,10 @@ bool BoxSolver::certify(const ExprPtr& goal, const Env& env) {
 
 SolveResult BoxSolver::solve(const ExprPtr& goal,
                              const std::vector<VarInfo>& vars) {
-  assert(goal->type == Type::kBool && !goal->isArray());
+  if (goal->type != Type::kBool || goal->isArray()) {
+    throw expr::EvalError(
+        "BoxSolver::solve: goal must be a scalar boolean expression");
+  }
   SolveResult result;
   Stopwatch watch;
   const Deadline deadline = Deadline::afterMillis(options_.timeBudgetMillis);

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "expr/eval.h"
 #include "expr/expr.h"
@@ -82,5 +83,12 @@ class BoxSolver {
 
 /// Convert a solver scalar draw (stored as real) to the variable's type.
 [[nodiscard]] expr::Scalar scalarForVar(const expr::VarInfo& info, double v);
+
+/// Integer endpoints of the real interval [lo, hi], saturated to a range
+/// that casts exactly to int64 — casting an unbounded (±inf) endpoint
+/// directly is UB and yields garbage bounds. first > second means the
+/// interval contains no integer (e.g. a sub-unit real interval).
+[[nodiscard]] std::pair<std::int64_t, std::int64_t> integerEndpoints(
+    double lo, double hi);
 
 }  // namespace stcg::solver

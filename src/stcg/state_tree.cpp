@@ -1,50 +1,16 @@
 #include "stcg/state_tree.h"
 
 #include <algorithm>
-#include <cstring>
 
 namespace stcg::gen {
-
-namespace {
-
-void hashCombine(std::uint64_t& h, std::uint64_t v) {
-  // 64-bit variant of boost::hash_combine.
-  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4);
-}
-
-std::uint64_t hashScalar(const expr::Scalar& s) {
-  switch (s.type()) {
-    case expr::Type::kBool:
-      return s.asBool() ? 0x9e3779b9ULL : 0x85ebca6bULL;
-    case expr::Type::kInt:
-      return static_cast<std::uint64_t>(s.asInt()) * 0xff51afd7ed558ccdULL;
-    case expr::Type::kReal: {
-      const double d = s.asReal();
-      std::uint64_t bits = 0;
-      static_assert(sizeof(bits) == sizeof(d));
-      std::memcpy(&bits, &d, sizeof(bits));
-      return bits * 0xc4ceb9fe1a85ec53ULL;
-    }
-  }
-  return 0;
-}
-
-}  // namespace
-
-std::uint64_t hashSnapshot(const sim::StateSnapshot& s) {
-  std::uint64_t h = 0x517cc1b727220a95ULL;
-  for (const auto& v : s) {
-    for (const auto& e : v.elems()) hashCombine(h, hashScalar(e));
-  }
-  return h;
-}
 
 StateTree::StateTree(sim::StateSnapshot rootState) {
   StateTreeNode root;
   root.id = 0;
   root.parent = -1;
   root.state = std::move(rootState);
-  byHash_.emplace(hashSnapshot(root.state), 0);
+  root.stateHash = sim::snapshotHash(root.state);
+  byHash_.emplace(root.stateHash, 0);
   nodes_.push_back(std::move(root));
 }
 
@@ -55,14 +21,15 @@ int StateTree::addChild(int parent, sim::InputVector input,
   n.parent = parent;
   n.inputFromParent = std::move(input);
   n.state = std::move(state);
-  byHash_.emplace(hashSnapshot(n.state), n.id);
+  n.stateHash = sim::snapshotHash(n.state);
+  byHash_.emplace(n.stateHash, n.id);
   nodes_[static_cast<std::size_t>(parent)].children.push_back(n.id);
   nodes_.push_back(std::move(n));
   return nodes_.back().id;
 }
 
 int StateTree::findByState(const sim::StateSnapshot& s) const {
-  const auto [lo, hi] = byHash_.equal_range(hashSnapshot(s));
+  const auto [lo, hi] = byHash_.equal_range(sim::snapshotHash(s));
   for (auto it = lo; it != hi; ++it) {
     if (nodes_[static_cast<std::size_t>(it->second)].state == s) {
       return it->second;

@@ -10,6 +10,12 @@
 // state value: reaching an already-known state attaches exploration to the
 // existing node instead of growing an identical subtree (documented in
 // DESIGN.md; it does not change which tests are emitted).
+//
+// On top of the per-node SB sets, the tree keeps a global
+// (state-hash, goal) dedup set: a goal is never re-solved against a state
+// value it was already attempted on, even if that state is re-reached via
+// a different node id (e.g. after hitting the node cap). The parallel
+// solve loop enumerates its task grid against this set.
 #pragma once
 
 #include <cstdint>
@@ -26,13 +32,17 @@ struct StateTreeNode {
   int id = 0;
   int parent = -1;  // -1 for the root
   sim::StateSnapshot state;
+  std::uint64_t stateHash = 0;  // snapshotHash(state), computed once
   sim::InputVector inputFromParent;  // empty for the root
   std::vector<int> children;
   std::unordered_set<int> attemptedGoals;  // the paper's SB set
 };
 
 /// Order-preserving hash of a state snapshot (used for deduplication).
-[[nodiscard]] std::uint64_t hashSnapshot(const sim::StateSnapshot& s);
+/// Forwards to sim::snapshotHash — kept here for existing callers.
+[[nodiscard]] inline std::uint64_t hashSnapshot(const sim::StateSnapshot& s) {
+  return sim::snapshotHash(s);
+}
 
 class StateTree {
  public:
@@ -53,11 +63,23 @@ class StateTree {
   /// excluded), i.e. a test case prefix reaching node `id`'s state.
   [[nodiscard]] std::vector<sim::InputVector> pathInputs(int id) const;
 
+  /// Whether `goal` was already attempted at node `id` — per-node SB
+  /// first, then the global (state-hash, goal) dedup set.
   [[nodiscard]] bool isAttempted(int id, int goal) const {
-    return node(id).attemptedGoals.count(goal) > 0;
+    const StateTreeNode& n = node(id);
+    return n.attemptedGoals.count(goal) > 0 ||
+           attemptedPairs_.count(pairKey(n.stateHash, goal)) > 0;
   }
   void markAttempted(int id, int goal) {
-    nodes_[static_cast<std::size_t>(id)].attemptedGoals.insert(goal);
+    StateTreeNode& n = nodes_[static_cast<std::size_t>(id)];
+    n.attemptedGoals.insert(goal);
+    attemptedPairs_.insert(pairKey(n.stateHash, goal));
+  }
+
+  /// Number of distinct (state, goal) attempts recorded (for tests and
+  /// stats; equals the number of solver queries the dedup set absorbs).
+  [[nodiscard]] std::size_t attemptedPairCount() const {
+    return attemptedPairs_.size();
   }
 
   [[nodiscard]] int randomNode(Rng& rng) const {
@@ -68,8 +90,16 @@ class StateTree {
   [[nodiscard]] int depth(int id) const;
 
  private:
+  static std::uint64_t pairKey(std::uint64_t stateHash, int goal) {
+    // SplitMix over the pair: collisions would only skip one solve
+    // attempt, deterministically, so a 64-bit key is plenty.
+    return splitmix64(stateHash ^
+                      (static_cast<std::uint64_t>(goal) * 0x9e3779b97f4a7c15ULL));
+  }
+
   std::vector<StateTreeNode> nodes_;
   std::unordered_multimap<std::uint64_t, int> byHash_;
+  std::unordered_set<std::uint64_t> attemptedPairs_;
 };
 
 }  // namespace stcg::gen

@@ -1,12 +1,15 @@
 #include "stcg/stcg_generator.h"
 
 #include <algorithm>
-#include <cassert>
+#include <atomic>
+#include <memory>
 #include <optional>
+#include <utility>
 
 #include "expr/builder.h"
 #include "expr/subst.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace stcg::gen {
 
@@ -27,16 +30,21 @@ expr::Env stateEnv(const compile::CompiledModel& cm,
   return env;
 }
 
-/// Extract the input vector from a solver model.
-sim::InputVector inputFromModel(const compile::CompiledModel& cm,
-                                const expr::Env& model) {
-  sim::InputVector in;
-  in.reserve(cm.inputs.size());
-  for (const auto& iv : cm.inputs) {
-    assert(model.has(iv.info.id));
-    in.push_back(model.get(iv.info.id).castTo(iv.info.type));
-  }
-  return in;
+/// Named RNG streams forked off the run seed. Every stochastic phase owns
+/// a stream: draws in one phase can never shift another phase's sequence,
+/// so ablations and repetitions stay independently seeded.
+enum RngStream : std::uint64_t {
+  kSolveStream = 1,   // per-task solver seeds (counter-based per cell)
+  kMcdcStream = 2,    // MCDC-pair completion solver seeds
+  kRandomStream = 3,  // random-fallback node/input/library draws
+};
+
+/// Counter-based stream id for one cell of one solve round. Depends only
+/// on the cell coordinates, never on thread count or execution order.
+std::uint64_t taskStream(int round, int goalIdx, int nodeId) {
+  std::uint64_t h = splitmix64(static_cast<std::uint64_t>(round));
+  h = splitmix64(h ^ static_cast<std::uint64_t>(goalIdx));
+  return splitmix64(h ^ static_cast<std::uint64_t>(nodeId));
 }
 
 struct SolveHit {
@@ -45,17 +53,39 @@ struct SolveHit {
   sim::InputVector input;
 };
 
+/// One cell of the goal × node solve grid of a round.
+struct SolveTask {
+  int goalIdx = -1;
+  int nodeId = -1;
+};
+
+/// What a worker found for one cell. Workers fill these in parallel; the
+/// coordinator replays the prefix the sequential scan would have visited
+/// and commits stats/marks/trace lines in grid order.
+struct TaskOutcome {
+  bool ran = false;
+  bool folded = false;  // residual folded to const false; no solver call
+  solver::SolveStatus status = solver::SolveStatus::kUnknown;
+  sim::InputVector input;  // populated on SAT
+  std::string traceLine;
+};
+
 class Run {
  public:
   Run(const compile::CompiledModel& cm, const GenOptions& opt,
       StcgGenerator::TraceFn trace, void* traceUser)
       : cm_(cm),
         opt_(opt),
-        rng_(opt.seed),
+        rngRoot_(opt.seed),
+        mcdcRng_(rngRoot_.fork(kMcdcStream)),
+        randomRng_(rngRoot_.fork(kRandomStream)),
+        inputInfos_(cm.inputInfos()),
         tracker_(cm),
         sim_(cm),
         tree_(sim_.snapshot()),
         deadline_(Deadline::afterMillis(opt.budgetMillis)),
+        pool_(std::make_unique<ThreadPool>(
+            opt.jobs <= 0 ? ThreadPool::hardwareThreads() : opt.jobs)),
         trace_(trace),
         traceUser_(traceUser) {
     goals_ = buildGoals(cm, opt.includeConditionGoals,
@@ -128,56 +158,126 @@ class Run {
   }
 
   // ----- Algorithm 1: state-aware solving --------------------------------
+  //
+  // Each round enumerates the grid of (uncovered goal × tree node) cells
+  // not yet attempted, in the order the paper's sequential scan visits
+  // them, then fans the cells across the pool. Every cell is hermetic: it
+  // reads only immutable round state (compiled model, node snapshots,
+  // goal expressions) and draws its solver seed from a counter-based
+  // stream keyed by (round, goal, node). The coordinator then commits, in
+  // grid order, exactly the prefix the sequential scan would have
+  // visited: every cell before the lowest SAT cell, plus that cell.
+  // Speculative results past the winner are discarded — never marked
+  // attempted, never counted — so tree, tracker, stats, and trace are
+  // bit-identical for any jobs value.
   [[nodiscard]] std::optional<SolveHit> stateAwareSolve() {
+    ++round_;
+    std::vector<SolveTask> tasks;
     for (const int goalIdx : order_) {
       const Goal& goal = goals_[static_cast<std::size_t>(goalIdx)];
       if (goalCovered(tracker_, goal)) continue;
       const std::size_t nodeCount = opt_.solveOnAllNodes ? tree_.size() : 1;
       for (std::size_t nodeId = 0; nodeId < nodeCount; ++nodeId) {
-        if (deadline_.expired()) return std::nullopt;
         const int nid = static_cast<int>(nodeId);
         if (tree_.isAttempted(nid, goalIdx)) continue;
-        tree_.markAttempted(nid, goalIdx);
-
-        // "Bring the model state value as constants into the model."
-        const expr::Env env = stateEnv(cm_, tree_.node(nid).state);
-        const expr::ExprPtr residual =
-            expr::substitute(goal.pathConstraint, env);
-        ++stats_.solveCalls;
-        if (residual->op == expr::Op::kConst &&
-            !residual->constVal.toBool()) {
-          // Folded to false: this state provably cannot reach the goal
-          // in one step.
-          ++stats_.solveUnsat;
-          trace("solve " + goal.label + " on S" + std::to_string(nid) +
-                ": infeasible (state-folded)");
-          continue;
-        }
-        solver::SolveOptions so = opt_.solver;
-        so.seed = static_cast<std::uint64_t>(rng_.uniformInt(1, 1'000'000'000));
-        const auto res = solver::solveWith(opt_.solverKind, residual,
-                                           cm_.inputInfos(), so);
-        switch (res.status) {
-          case solver::SolveStatus::kSat: {
-            ++stats_.solveSat;
-            trace("solve " + goal.label + " on S" + std::to_string(nid) +
-                  ": SAT");
-            return SolveHit{nid, goalIdx, inputFromModel(cm_, res.model)};
-          }
-          case solver::SolveStatus::kUnsat:
-            ++stats_.solveUnsat;
-            trace("solve " + goal.label + " on S" + std::to_string(nid) +
-                  ": UNSAT");
-            break;
-          case solver::SolveStatus::kUnknown:
-            ++stats_.solveUnknown;
-            trace("solve " + goal.label + " on S" + std::to_string(nid) +
-                  ": UNKNOWN (budget)");
-            break;
-        }
+        tasks.push_back(SolveTask{goalIdx, nid});
       }
     }
-    return std::nullopt;
+    if (tasks.empty()) return std::nullopt;
+
+    std::vector<TaskOutcome> outcomes(tasks.size());
+    // Lowest grid index that solved SAT so far; cells past it are skipped
+    // (their work would be discarded by the commit rule anyway).
+    std::atomic<std::size_t> winner{tasks.size()};
+
+    pool_->parallelFor(tasks.size(), [&](std::size_t i) {
+      if (i > winner.load(std::memory_order_acquire)) return;
+      if (deadline_.expired()) return;
+      runSolveTask(tasks[i], outcomes[i]);
+      if (!outcomes[i].folded &&
+          outcomes[i].status == solver::SolveStatus::kSat) {
+        std::size_t cur = winner.load(std::memory_order_acquire);
+        while (i < cur && !winner.compare_exchange_weak(
+                              cur, i, std::memory_order_acq_rel,
+                              std::memory_order_acquire)) {
+        }
+      }
+    });
+
+    const std::size_t w = winner.load(std::memory_order_acquire);
+    const std::size_t limit = w == tasks.size() ? tasks.size() : w + 1;
+    std::optional<SolveHit> hit;
+    for (std::size_t i = 0; i < limit; ++i) {
+      TaskOutcome& out = outcomes[i];
+      if (!out.ran) break;  // deadline expired before this cell ran
+      const SolveTask& t = tasks[i];
+      tree_.markAttempted(t.nodeId, t.goalIdx);
+      ++stats_.solveCalls;
+      if (out.folded || out.status == solver::SolveStatus::kUnsat) {
+        ++stats_.solveUnsat;
+      } else if (out.status == solver::SolveStatus::kUnknown) {
+        ++stats_.solveUnknown;
+      } else {
+        ++stats_.solveSat;
+      }
+      if (!out.traceLine.empty()) trace(out.traceLine);
+      if (i == w) {
+        hit = SolveHit{t.nodeId, t.goalIdx, std::move(out.input)};
+      }
+    }
+    return hit;
+  }
+
+  /// Solve one grid cell. Hermetic: reads only round-immutable state and
+  /// writes only `out` — safe to run from any pool lane.
+  void runSolveTask(const SolveTask& t, TaskOutcome& out) {
+    out.ran = true;
+    const Goal& goal = goals_[static_cast<std::size_t>(t.goalIdx)];
+    const bool wantTrace = trace_ != nullptr;
+
+    // "Bring the model state value as constants into the model."
+    const expr::Env env = stateEnv(cm_, tree_.node(t.nodeId).state);
+    const expr::ExprPtr residual = expr::substitute(goal.pathConstraint, env);
+    if (residual->op == expr::Op::kConst && !residual->constVal.toBool()) {
+      // Folded to false: this state provably cannot reach the goal in
+      // one step.
+      out.folded = true;
+      out.status = solver::SolveStatus::kUnsat;
+      if (wantTrace) {
+        out.traceLine = "solve " + goal.label + " on S" +
+                        std::to_string(t.nodeId) +
+                        ": infeasible (state-folded)";
+      }
+      return;
+    }
+    solver::SolveOptions so = opt_.solver;
+    Rng taskRng = rngRoot_.fork(kSolveStream)
+                      .fork(taskStream(round_, t.goalIdx, t.nodeId));
+    so.seed = static_cast<std::uint64_t>(taskRng.uniformInt(1, 1'000'000'000));
+    const auto res =
+        solver::solveWith(opt_.solverKind, residual, inputInfos_, so);
+    out.status = res.status;
+    switch (res.status) {
+      case solver::SolveStatus::kSat:
+        out.input = inputsFromEnv(cm_, res.model);
+        if (wantTrace) {
+          out.traceLine = "solve " + goal.label + " on S" +
+                          std::to_string(t.nodeId) + ": SAT";
+        }
+        break;
+      case solver::SolveStatus::kUnsat:
+        if (wantTrace) {
+          out.traceLine = "solve " + goal.label + " on S" +
+                          std::to_string(t.nodeId) + ": UNSAT";
+        }
+        break;
+      case solver::SolveStatus::kUnknown:
+        if (wantTrace) {
+          out.traceLine = "solve " + goal.label + " on S" +
+                          std::to_string(t.nodeId) + ": UNKNOWN (budget)";
+        }
+        break;
+    }
   }
 
   // ----- Algorithm 2: dynamic execution -----------------------------------
@@ -254,16 +354,17 @@ class Run {
       return;
     }
     solver::SolveOptions so = opt_.solver;
-    so.seed = static_cast<std::uint64_t>(rng_.uniformInt(1, 1'000'000'000));
+    so.seed =
+        static_cast<std::uint64_t>(mcdcRng_.uniformInt(1, 1'000'000'000));
     const auto res = solver::solveWith(opt_.solverKind, residual,
-                                       cm_.inputInfos(), so);
+                                       inputInfos_, so);
     if (res.status != solver::SolveStatus::kSat) {
       res.status == solver::SolveStatus::kUnsat ? ++stats_.solveUnsat
                                                 : ++stats_.solveUnknown;
       return;
     }
     ++stats_.solveSat;
-    auto pairInput = inputFromModel(cm_, res.model);
+    auto pairInput = inputsFromEnv(cm_, res.model);
     library_.push_back(pairInput);
     executeSequence(hit.nodeId, {std::move(pairInput)}, TestOrigin::kSolved,
                     goal.label + "-mcdc-pair");
@@ -271,16 +372,17 @@ class Run {
 
   void randomExecution() {
     ++stats_.randomSequences;
-    const int start = tree_.randomNode(rng_);
+    const int start = tree_.randomNode(randomRng_);
     std::vector<sim::InputVector> seq;
     seq.reserve(static_cast<std::size_t>(opt_.randomSeqLen));
     for (int i = 0; i < opt_.randomSeqLen; ++i) {
-      if (!library_.empty() && !rng_.chance(opt_.freshRandomProbability)) {
-        seq.push_back(library_[rng_.index(library_.size())]);
+      if (!library_.empty() &&
+          !randomRng_.chance(opt_.freshRandomProbability)) {
+        seq.push_back(library_[randomRng_.index(library_.size())]);
       } else {
         // Fresh domain-random draw: covers input values no solved goal
         // ever produced (also the bootstrap before anything was solved).
-        seq.push_back(sim::randomInput(cm_, rng_));
+        seq.push_back(sim::randomInput(cm_, randomRng_));
       }
     }
     trace("random execution on S" + std::to_string(start) + " (" +
@@ -290,12 +392,17 @@ class Run {
 
   const compile::CompiledModel& cm_;
   const GenOptions& opt_;
-  Rng rng_;
+  Rng rngRoot_;    // never drawn from directly; phases fork below
+  Rng mcdcRng_;    // MCDC-pair solver seeds (coordinator only)
+  Rng randomRng_;  // random-fallback draws (coordinator only)
+  std::vector<expr::VarInfo> inputInfos_;
   coverage::CoverageTracker tracker_;
   sim::Simulator sim_;
   StateTree tree_;
   Deadline deadline_;
   Stopwatch watch_;
+  std::unique_ptr<ThreadPool> pool_;
+  int round_ = 0;  // solve rounds completed (keys per-task RNG streams)
   std::vector<Goal> goals_;
   std::vector<int> order_;
   coverage::Exclusions exclusions_;  // proven-unreachable goals

@@ -78,6 +78,21 @@ std::vector<Goal> buildGoals(const compile::CompiledModel& cm,
   return goals;
 }
 
+sim::InputVector inputsFromEnv(const compile::CompiledModel& cm,
+                               const expr::Env& model) {
+  sim::InputVector in;
+  in.reserve(cm.inputs.size());
+  for (const auto& iv : cm.inputs) {
+    if (!model.has(iv.info.id)) {
+      throw expr::EvalError("solver model for '" + cm.name +
+                            "' is missing a binding for input '" +
+                            iv.info.name + "'");
+    }
+    in.push_back(model.get(iv.info.id).castTo(iv.info.type));
+  }
+  return in;
+}
+
 bool goalCovered(const coverage::CoverageTracker& cov, const Goal& goal) {
   switch (goal.kind) {
     case GoalKind::kBranch:
@@ -149,8 +164,9 @@ CoverageSummary summarize(const coverage::CoverageTracker& cov) {
   s.decision = cov.decisionCoverage();
   s.condition = cov.conditionCoverage();
   s.mcdc = cov.mcdcCoverage();
-  s.coveredBranches = cov.coveredBranchCount();
-  s.totalBranches = cov.totalBranchCount();
+  // branchCounts() is exclusion-consistent: the pair always reduces to
+  // s.decision, even when an excluded branch was covered anyway.
+  std::tie(s.coveredBranches, s.totalBranches) = cov.branchCounts();
   return s;
 }
 

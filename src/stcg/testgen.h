@@ -48,6 +48,14 @@ struct Goal {
 [[nodiscard]] bool goalCovered(const coverage::CoverageTracker& cov,
                                const Goal& goal);
 
+/// Extract the input vector from a solver model (one scalar per declared
+/// input, cast to its declared type). Throws expr::EvalError naming the
+/// missing input when the model lacks a binding — solver models are
+/// supposed to cover all variables, but a typed error beats NDEBUG UB
+/// when an engine breaks that contract.
+[[nodiscard]] sim::InputVector inputsFromEnv(const compile::CompiledModel& cm,
+                                             const expr::Env& model);
+
 /// Result of the dead-goal pre-verification pass (lint reachability).
 struct PruneResult {
   coverage::Exclusions exclusions;
@@ -67,6 +75,13 @@ struct PruneResult {
 struct GenOptions {
   std::int64_t budgetMillis = 3000;  // total generation budget
   std::uint64_t seed = 1;
+  /// Parallelism of the state-aware solve loop (STCG only): the
+  /// goal × state-tree-node grid of each round fans out across this many
+  /// lanes. 1 = sequential (no threads spawned); 0 = hardware
+  /// concurrency. Output is bit-identical for a fixed seed regardless of
+  /// the value, provided the time budgets do not bind (see DESIGN.md,
+  /// "Parallel state-aware solving").
+  int jobs = 1;
   solver::SolveOptions solver{};     // per-query solver budget
   /// Engine for state-aware queries (paper future work: "incorporating
   /// more constraint solvers"). kPortfolio adds branch-distance local

@@ -1,11 +1,16 @@
 #include "util/rng.h"
 
-#include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace stcg {
 
 std::int64_t Rng::uniformInt(std::int64_t lo, std::int64_t hi) {
-  assert(lo <= hi);
+  if (lo > hi) {
+    throw std::invalid_argument("Rng::uniformInt: empty range [" +
+                                std::to_string(lo) + ", " +
+                                std::to_string(hi) + "]");
+  }
   std::uniform_int_distribution<std::int64_t> dist(lo, hi);
   return dist(engine_);
 }
@@ -21,7 +26,9 @@ bool Rng::chance(double p) {
 }
 
 std::size_t Rng::index(std::size_t n) {
-  assert(n > 0);
+  if (n == 0) {
+    throw std::invalid_argument("Rng::index: n must be positive");
+  }
   std::uniform_int_distribution<std::size_t> dist(0, n - 1);
   return dist(engine_);
 }

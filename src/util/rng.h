@@ -2,6 +2,14 @@
 //
 // Every source of randomness in the library flows through an explicitly
 // seeded Rng instance, so any experiment is reproducible from its seed.
+//
+// Two forking flavours support that discipline:
+//   fork()        advances this stream and derives a child from the drawn
+//                 word — children depend on how much the parent consumed.
+//   fork(stream)  counter-based: depends only on (seed, stream id), never
+//                 on the engine position. This is what parallel code uses —
+//                 task 17 gets the same child stream no matter how many
+//                 threads ran, in what order, or what else was drawn.
 #pragma once
 
 #include <cstdint>
@@ -9,6 +17,15 @@
 #include <vector>
 
 namespace stcg {
+
+/// SplitMix64 finalizer: a bijective 64-bit mix used to derive independent
+/// child seeds from (seed, stream) pairs.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
 
 /// Seedable pseudo-random generator wrapping std::mt19937_64 with the
 /// convenience draws the generators need. Cheap to copy; pass by reference
@@ -20,7 +37,8 @@ class Rng {
   /// The seed this generator was constructed with (for logging).
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
-  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  /// Uniform integer in [lo, hi] (inclusive). Throws std::invalid_argument
+  /// when lo > hi (an assert would be UB under NDEBUG).
   [[nodiscard]] std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
 
   /// Uniform real in [lo, hi].
@@ -29,11 +47,20 @@ class Rng {
   /// Bernoulli draw with probability p of true.
   [[nodiscard]] bool chance(double p);
 
-  /// Uniform index in [0, n). Requires n > 0.
+  /// Uniform index in [0, n). Throws std::invalid_argument when n == 0.
   [[nodiscard]] std::size_t index(std::size_t n);
 
-  /// Derive an independent child generator (for parallel or nested use).
+  /// Derive an independent child generator by drawing from this stream
+  /// (advances the engine; order-sensitive).
   [[nodiscard]] Rng fork();
+
+  /// Counter-based fork: the child depends only on (seed(), stream), not
+  /// on the engine position, so any task can reconstruct its stream from
+  /// a task id alone. Distinct stream ids give statistically independent
+  /// children (SplitMix64 over the pair).
+  [[nodiscard]] Rng fork(std::uint64_t stream) const {
+    return Rng(splitmix64(seed_ ^ splitmix64(stream + 0x632be59bd9b4e019ULL)));
+  }
 
   /// Access the raw engine for use with std:: distributions.
   std::mt19937_64& engine() { return engine_; }

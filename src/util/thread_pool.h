@@ -1,0 +1,96 @@
+// A small work-stealing thread pool for index-space parallelism.
+//
+// The pool exists for the STCG solve grid: per generation round, the
+// (uncovered goal × state-tree node) tasks are independent solver queries
+// of wildly varying cost (a state-folded residual is nanoseconds, a hard
+// box query is the full per-query budget). parallelFor() deals the index
+// range into per-worker chunks; a worker that drains its own chunk steals
+// the back half of the largest remaining victim chunk, so one expensive
+// task never serializes the round.
+//
+// Determinism contract: the pool promises only that every index in [0, n)
+// is executed exactly once (in some order) before parallelFor returns.
+// Callers that need order-independent results must make each task
+// self-contained (own RNG stream, no shared mutable state) and reduce the
+// results themselves — see stcg_generator.cpp for the canonical pattern.
+//
+// Exceptions thrown by the body are captured; after all indices settle,
+// the exception from the lowest-numbered throwing index is rethrown on
+// the calling thread (lowest-index, so the choice does not depend on the
+// thread schedule).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stcg {
+
+class ThreadPool {
+ public:
+  /// A pool with `threads` total lanes of parallelism, *including* the
+  /// thread that calls parallelFor (which always participates). Values
+  /// <= 1 mean no worker threads are spawned and parallelFor degrades to
+  /// an inline sequential loop over 0..n-1.
+  explicit ThreadPool(int threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Joins all workers. Safe to call with no parallelFor in flight.
+  ~ThreadPool();
+
+  [[nodiscard]] int threadCount() const { return threads_; }
+
+  /// Execute body(i) for every i in [0, n), across the pool plus the
+  /// calling thread. Blocks until all indices settle, then rethrows the
+  /// lowest-index captured exception, if any. Not reentrant: do not call
+  /// parallelFor from inside a body.
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Total lanes the hardware offers (>= 1 even when unknown).
+  [[nodiscard]] static int hardwareThreads();
+
+ private:
+  /// One contiguous slice of the index range, owned by one lane. `next`
+  /// and `end` are guarded by `m` (steals shrink `end`, pops advance
+  /// `next`); contention is rare because chunks start balanced.
+  struct Shard {
+    std::mutex m;
+    std::size_t next = 0;
+    std::size_t end = 0;
+  };
+
+  void workerLoop(int lane);
+  /// Run tasks from shard `lane`, stealing when it drains; returns when
+  /// no shard has work left.
+  void runLane(int lane);
+  void recordException(std::size_t index);
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::mutex m_;
+  std::condition_variable cv_;      // workers wait for a new batch
+  std::condition_variable doneCv_;  // caller waits for batch completion
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+  /// Current batch body; atomic because a straggler lane from the prior
+  /// batch may claim freshly dealt tasks concurrently with publication.
+  std::atomic<const std::function<void(std::size_t)>*> body_{nullptr};
+  std::size_t pending_ = 0;  // indices not yet settled this batch
+
+  std::mutex errM_;
+  std::size_t errIndex_ = 0;
+  std::exception_ptr firstError_;
+};
+
+}  // namespace stcg

@@ -99,6 +99,37 @@ TEST(Coverage, McdcRequiresSingleConditionDifference) {
   EXPECT_FALSE(cov.mcdcDemonstrated(d, 1));
 }
 
+TEST(Coverage, ExcludedGoalCoveredAnywayNeverInflatesTheRatio) {
+  // Regression: an excluded branch that is covered anyway (an unsound
+  // exclusion, or exclusions applied after coverage was recorded) used to
+  // be counted in the exclusion-inclusive numerator over the
+  // exclusion-exclusive denominator — a goal double-counted as both
+  // pruned and covered, pushing reports past 100%.
+  const auto cm = twoCondModel();
+  CoverageTracker cov(cm);
+  const int d = cm.decisions[0].id;
+  Exclusions excl;
+  for (const auto& br : cm.branches) {
+    if (br.decision == d && br.arm == 0) excl.branches.push_back(br.id);
+  }
+  ASSERT_EQ(excl.branches.size(), 1u);
+  cov.applyExclusions(excl);
+  (void)cov.recordDecision(d, 0);  // covered despite the exclusion
+  (void)cov.recordDecision(d, 1);
+
+  const auto [covered, total] = cov.branchCounts();
+  EXPECT_LE(covered, total);
+  EXPECT_EQ(covered, 1);
+  EXPECT_EQ(total, 1);
+  EXPECT_EQ(cov.decisionCoverage(), 1.0);
+  // The raw counters still expose the unsound-proof signal, distinct
+  // from the reporting pair.
+  EXPECT_EQ(cov.coveredBranchCount(), 2);
+  // And the human-readable report agrees with branchCounts().
+  EXPECT_NE(cov.report().find("(1/1 branches)"), std::string::npos)
+      << cov.report();
+}
+
 TEST(Coverage, ReportMentionsUncoveredBranches) {
   const auto cm = twoCondModel();
   CoverageTracker cov(cm);

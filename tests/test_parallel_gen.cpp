@@ -1,0 +1,342 @@
+// Parallel generation tests: the determinism contract of the threaded
+// state-aware solve loop (same seed => byte-identical suite for any
+// --jobs value), the work-stealing pool itself, counter-based RNG
+// streams, snapshot-hash dedup, and the typed errors that replaced
+// assert-only validity checks (NDEBUG safety).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "compile/compiler.h"
+#include "expr/builder.h"
+#include "model/model.h"
+#include "solver/local_search.h"
+#include "solver/solver.h"
+#include "stcg/state_tree.h"
+#include "stcg/stcg_generator.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace stcg::gen {
+namespace {
+
+using expr::Scalar;
+using expr::Type;
+using model::Model;
+
+// The same latch model the sequential determinism test uses: its deep
+// branch needs a remembered secret, full coverage is reachable, so runs
+// terminate on goal completion rather than on the wall clock.
+Model makeLatchModel() {
+  Model m("Latch");
+  auto code = m.addInport("code", Type::kInt, 0, 100000);
+  auto arm = m.addInport("arm", Type::kBool, 0, 1);
+  auto latch = m.addUnitDelayHole("latched", Scalar::i(-1));
+  auto latchNext = m.addSwitch("latch_next", code, arm, latch,
+                               model::SwitchCriteria::kNotZero, 0.0);
+  m.bindDelayInput(latch, latchNext);
+  auto match = m.addRelational("match", model::RelOp::kEq, code, latch);
+  auto valid = m.addCompareToConst("valid", latch, model::RelOp::kGe, 0.0);
+  auto unlock = m.addLogical("unlock", model::LogicOp::kAnd, {match, valid});
+  auto one = m.addConstant("one", Scalar::i(1));
+  auto zero = m.addConstant("zero", Scalar::i(0));
+  m.addOutport("y", m.addSwitch("out", one, unlock, zero,
+                                model::SwitchCriteria::kNotZero, 0.0));
+  return m;
+}
+
+// ----- ThreadPool ---------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallelFor(kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, SingleLaneRunsInlineAndInOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threadCount(), 1);
+  std::vector<std::size_t> order;
+  pool.parallelFor(16, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 16u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ZeroTasksIsANoop) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallelFor(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, RethrowsTheLowestIndexException) {
+  ThreadPool pool(4);
+  try {
+    pool.parallelFor(64, [&](std::size_t i) {
+      if (i == 5 || i == 20) {
+        throw std::runtime_error("boom " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 5");
+  }
+}
+
+TEST(ThreadPool, ReusableAfterAnException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallelFor(8, [](std::size_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+  std::atomic<int> sum{0};
+  pool.parallelFor(100, [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, SurvivesManyBatches) {
+  // Exercises batch-epoch handover: a straggler from batch k must never
+  // claim batch k+1 work with a stale task body.
+  ThreadPool pool(3);
+  for (int batch = 0; batch < 50; ++batch) {
+    std::atomic<int> count{0};
+    pool.parallelFor(17, [&](std::size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(count.load(), 17) << "batch " << batch;
+  }
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::hardwareThreads(), 1);
+}
+
+// ----- Counter-based RNG streams ------------------------------------------
+
+TEST(Rng, CounterForkIgnoresEnginePosition) {
+  Rng a(42);
+  Rng b(42);
+  // Advance `a` arbitrarily; the counter-based fork must not care.
+  for (int i = 0; i < 13; ++i) (void)a.uniformInt(0, 9);
+  Rng childA = a.fork(std::uint64_t{7});
+  Rng childB = b.fork(std::uint64_t{7});
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(childA.uniformInt(0, 1 << 30), childB.uniformInt(0, 1 << 30));
+  }
+}
+
+TEST(Rng, DistinctStreamsDiverge) {
+  const Rng root(42);
+  Rng s1 = root.fork(std::uint64_t{1});
+  Rng s2 = root.fork(std::uint64_t{2});
+  bool anyDiff = false;
+  for (int i = 0; i < 8; ++i) {
+    anyDiff |= s1.uniformInt(0, 1 << 30) != s2.uniformInt(0, 1 << 30);
+  }
+  EXPECT_TRUE(anyDiff);
+}
+
+TEST(Rng, ThrowsOnInvalidArgumentsInsteadOfUb) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.uniformInt(3, 2), std::invalid_argument);
+  EXPECT_THROW((void)rng.index(0), std::invalid_argument);
+}
+
+// ----- Saturating integer endpoints (solver NDEBUG fix) -------------------
+
+TEST(Solver, IntegerEndpointsSaturateUnboundedDomains) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const auto [lo, hi] = solver::integerEndpoints(1.0, kInf);
+  EXPECT_EQ(lo, 1);
+  EXPECT_GT(hi, std::int64_t{1} << 60);  // saturated, not INT64_MIN garbage
+  const auto [l2, h2] = solver::integerEndpoints(-kInf, -3.5);
+  EXPECT_LT(l2, -(std::int64_t{1} << 60));
+  EXPECT_EQ(h2, -4);
+}
+
+TEST(Solver, IntegerEndpointsDetectEmptyIntegerInterval) {
+  const auto [lo, hi] = solver::integerEndpoints(0.2, 0.8);
+  EXPECT_GT(lo, hi);  // no integer in (0.2, 0.8)
+}
+
+TEST(Solver, SolvesOverHalfUnboundedIntegerDomain) {
+  // Regression: sampling an integer var whose domain includes +inf used
+  // to cast inf to int64 (UB) and feed an empty range to the RNG.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const expr::VarInfo v{910001, "n", Type::kInt, 1.0, kInf};
+  const auto goal = expr::geE(expr::mkVar(v), expr::cInt(5));
+  solver::SolveOptions so;
+  so.timeBudgetMillis = 200;
+  solver::BoxSolver s(so);
+  const auto res = s.solve(goal, {v});
+  ASSERT_TRUE(res.sat());
+  EXPECT_GE(res.model.get(v.id).toReal(), 5.0);
+}
+
+TEST(Solver, NonBooleanGoalThrowsTypedError) {
+  solver::BoxSolver box;
+  EXPECT_THROW((void)box.solve(expr::cInt(3), {}), expr::EvalError);
+  solver::LocalSearchSolver ls;
+  EXPECT_THROW((void)ls.solve(expr::cInt(3), {}), expr::EvalError);
+}
+
+TEST(Stcg, MissingModelBindingThrowsTypedError) {
+  const auto cm = compile::compile(makeLatchModel());
+  const expr::Env empty;
+  try {
+    (void)inputsFromEnv(cm, empty);
+    FAIL() << "expected EvalError";
+  } catch (const expr::EvalError& e) {
+    // Must name the missing input so the failure is debuggable in
+    // release builds too.
+    EXPECT_NE(std::string(e.what()).find("code"), std::string::npos)
+        << e.what();
+  }
+}
+
+// ----- Snapshot-hash dedup -------------------------------------------------
+
+TEST(StateTree, GlobalDedupSkipsSameStateUnderDifferentNodeId) {
+  const sim::StateSnapshot s{expr::Value(Scalar::i(7))};
+  StateTree tree(s);
+  // A second node with the same state value (the generator normally
+  // dedups via findByState, but the cap path can still create one).
+  const int dup = tree.addChild(0, {}, s);
+  tree.markAttempted(0, 3);
+  EXPECT_TRUE(tree.isAttempted(0, 3));
+  EXPECT_TRUE(tree.isAttempted(dup, 3))
+      << "same state value must share attempt marks";
+  EXPECT_FALSE(tree.isAttempted(dup, 4));
+  EXPECT_EQ(tree.attemptedPairCount(), 1u);
+  tree.markAttempted(dup, 3);  // no-op: the pair is already recorded
+  EXPECT_EQ(tree.attemptedPairCount(), 1u);
+}
+
+TEST(StateTree, DistinctStatesKeepDistinctAttemptSets) {
+  StateTree tree({expr::Value(Scalar::i(1))});
+  const int other = tree.addChild(0, {}, {expr::Value(Scalar::i(2))});
+  tree.markAttempted(0, 9);
+  EXPECT_FALSE(tree.isAttempted(other, 9));
+  EXPECT_EQ(tree.attemptedPairCount(), 1u);
+}
+
+TEST(SnapshotHash, MatchesOnEqualValueOnly) {
+  const sim::StateSnapshot a{expr::Value(Scalar::i(1)),
+                             expr::Value(Scalar::i(2))};
+  const sim::StateSnapshot b{expr::Value(Scalar::i(1)),
+                             expr::Value(Scalar::i(2))};
+  const sim::StateSnapshot swapped{expr::Value(Scalar::i(2)),
+                                   expr::Value(Scalar::i(1))};
+  EXPECT_EQ(sim::snapshotHash(a), sim::snapshotHash(b));
+  EXPECT_NE(sim::snapshotHash(a), sim::snapshotHash(swapped));
+}
+
+// ----- Determinism across jobs --------------------------------------------
+
+GenResult runLatch(int jobs) {
+  const auto cm = compile::compile(makeLatchModel());
+  GenOptions opt;
+  // Budgets generous enough that runs stop on full coverage, never on the
+  // wall clock — the determinism contract assumes non-binding budgets.
+  opt.budgetMillis = 30000;
+  opt.seed = 77;
+  opt.solver.timeBudgetMillis = 1000;
+  // Branch goals only: the latch has provably unsatisfiable MCDC pairs
+  // (valid=F forces latched=-1 while match needs code==latched, outside
+  // code's domain), and a run holding unsatisfiable goals is budget-bound
+  // — its iteration counts depend on the wall clock, which the contract
+  // excludes.
+  opt.includeConditionGoals = false;
+  opt.jobs = jobs;
+  StcgGenerator g;
+  return g.generate(cm, opt);
+}
+
+// (a && b) over free boolean inputs: every branch, condition polarity,
+// and MCDC pair is satisfiable, so the full-goal run also terminates on
+// coverage and the whole GenResult must be reproducible.
+GenResult runAndModel(int jobs) {
+  model::Model m("and2");
+  auto a = m.addInport("a", Type::kBool, 0, 1);
+  auto b = m.addInport("b", Type::kBool, 0, 1);
+  auto cond = m.addLogical("ab", model::LogicOp::kAnd, {a, b});
+  auto one = m.addConstant("one", Scalar::i(1));
+  auto zero = m.addConstant("zero", Scalar::i(0));
+  m.addOutport("y", m.addSwitch("sw", one, cond, zero,
+                                model::SwitchCriteria::kNotZero, 0.0));
+  const auto cm = compile::compile(m);
+  GenOptions opt;
+  opt.budgetMillis = 30000;
+  opt.seed = 9;
+  opt.solver.timeBudgetMillis = 1000;
+  opt.jobs = jobs;
+  StcgGenerator g;
+  return g.generate(cm, opt);
+}
+
+void expectIdentical(const GenResult& a, const GenResult& b,
+                     const std::string& what) {
+  ASSERT_EQ(a.tests.size(), b.tests.size()) << what;
+  for (std::size_t i = 0; i < a.tests.size(); ++i) {
+    EXPECT_EQ(a.tests[i].steps, b.tests[i].steps) << what << " test " << i;
+    EXPECT_EQ(a.tests[i].origin, b.tests[i].origin) << what << " test " << i;
+    EXPECT_EQ(a.tests[i].goalLabel, b.tests[i].goalLabel)
+        << what << " test " << i;
+  }
+  ASSERT_EQ(a.events.size(), b.events.size()) << what;
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].decisionCoverage, b.events[i].decisionCoverage)
+        << what << " event " << i;
+    EXPECT_EQ(a.events[i].origin, b.events[i].origin)
+        << what << " event " << i;
+  }
+  EXPECT_EQ(a.coverage.decision, b.coverage.decision) << what;
+  EXPECT_EQ(a.coverage.condition, b.coverage.condition) << what;
+  EXPECT_EQ(a.coverage.mcdc, b.coverage.mcdc) << what;
+  EXPECT_EQ(a.coverage.coveredBranches, b.coverage.coveredBranches) << what;
+  EXPECT_EQ(a.stats.solveCalls, b.stats.solveCalls) << what;
+  EXPECT_EQ(a.stats.solveSat, b.stats.solveSat) << what;
+  EXPECT_EQ(a.stats.solveUnsat, b.stats.solveUnsat) << what;
+  EXPECT_EQ(a.stats.solveUnknown, b.stats.solveUnknown) << what;
+  EXPECT_EQ(a.stats.stepsExecuted, b.stats.stepsExecuted) << what;
+  EXPECT_EQ(a.stats.treeNodes, b.stats.treeNodes) << what;
+  EXPECT_EQ(a.stats.randomSequences, b.stats.randomSequences) << what;
+}
+
+TEST(ParallelGen, SameSuiteForAnyJobsValue) {
+  const auto seq = runLatch(1);
+  EXPECT_EQ(seq.coverage.decision, 1.0)
+      << "latch must reach full coverage for the comparison to be stable";
+  expectIdentical(seq, runLatch(2), "jobs=2");
+  expectIdentical(seq, runLatch(8), "jobs=8");
+}
+
+TEST(ParallelGen, JobsZeroMeansHardwareConcurrencyAndStaysDeterministic) {
+  expectIdentical(runLatch(1), runLatch(0), "jobs=0");
+}
+
+TEST(ParallelGen, RepeatedThreadedRunsAreIdentical) {
+  expectIdentical(runLatch(8), runLatch(8), "jobs=8 repeat");
+}
+
+TEST(ParallelGen, FullGoalSetDeterministicAcrossJobs) {
+  const auto seq = runAndModel(1);
+  EXPECT_EQ(seq.coverage.decision, 1.0);
+  EXPECT_EQ(seq.coverage.mcdc, 1.0)
+      << "every and2 goal is satisfiable; the run must stop on coverage";
+  expectIdentical(seq, runAndModel(2), "and2 jobs=2");
+  expectIdentical(seq, runAndModel(8), "and2 jobs=8");
+}
+
+}  // namespace
+}  // namespace stcg::gen

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # CI-style gate: sanitizer + warnings-as-errors build, full test suite,
-# and (when installed) clang-tidy over src/.
+# a thread-sanitizer pass over the parallel solve loop (when the
+# toolchain supports -fsanitize=thread), and (when installed) clang-tidy
+# over src/.
 #
 # Usage: tools/check.sh [build-dir]
 #
-# Exits non-zero on the first failing stage. clang-tidy is optional —
-# containers without it skip that stage with a notice instead of failing.
+# Exits non-zero on the first failing stage. clang-tidy and TSAN are
+# optional — containers without them skip those stages with a notice
+# instead of failing.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -24,6 +27,25 @@ cmake --build "$build_dir" -j "$(nproc)"
 
 echo "== test =="
 ctest --test-dir "$build_dir" --output-on-failure
+
+# TSAN is a separate build: it cannot share shadow memory with ASAN, and
+# the race it exists to catch (the work-stealing pool's batch handover)
+# only shows in the threaded tests, so only those run here.
+tsan_probe="$(mktemp -d)"
+echo 'int main(){return 0;}' > "$tsan_probe/t.cpp"
+if c++ -fsanitize=thread "$tsan_probe/t.cpp" -o "$tsan_probe/t" 2>/dev/null; then
+  echo "== thread-sanitizer smoke (STCG_SANITIZE=thread) =="
+  tsan_dir="${build_dir}-tsan"
+  cmake -S "$repo_root" -B "$tsan_dir" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSTCG_SANITIZE=thread \
+    ${STCG_CHECK_GENERATOR:+-G "$STCG_CHECK_GENERATOR"}
+  cmake --build "$tsan_dir" -j "$(nproc)" --target stcg_tests
+  "$tsan_dir/tests/stcg_tests" --gtest_filter='ThreadPool.*:ParallelGen.*'
+else
+  echo "== -fsanitize=thread unsupported by this toolchain; skipping TSAN =="
+fi
+rm -rf "$tsan_probe"
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "== clang-tidy (src/) =="

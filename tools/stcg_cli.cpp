@@ -3,7 +3,7 @@
 //   stcg_cli --list
 //   stcg_cli lint <model> [--json] [--no-reachability]
 //   stcg_cli <model> [--tool stcg|sldv|simcotest] [--budget MS] [--seed N]
-//            [--solver box|local|portfolio] [--prune-dead]
+//            [--jobs N] [--solver box|local|portfolio] [--prune-dead]
 //            [--export suite.txt] [--csv curve.csv] [--dot model.dot]
 //            [--invariant] [--trace]
 //
@@ -38,10 +38,12 @@ int usage(const char* argv0) {
       "usage: %s --list\n"
       "       %s lint <model> [--json] [--no-reachability]\n"
       "       %s <model> [--tool stcg|sldv|simcotest] [--budget MS]\n"
-      "            [--seed N] [--solver box|local|portfolio] [--prune-dead]\n"
-      "            [--export FILE] [--csv FILE] [--dot FILE]\n"
+      "            [--seed N] [--jobs N] [--solver box|local|portfolio]\n"
+      "            [--prune-dead] [--export FILE] [--csv FILE] [--dot FILE]\n"
       "            [--save-model FILE] [--invariant] [--trace]\n"
       "  <model> is a benchmark name (--list) or an .stcgm file path\n"
+      "  --jobs N runs the STCG solve loop on N lanes (0 = all cores);\n"
+      "    results are identical for a fixed seed regardless of N\n"
       "  lint exits 0 (clean), 1 (errors found) or 2 (bad usage/load)\n",
       argv0, argv0, argv0);
   return 2;
@@ -142,6 +144,8 @@ int main(int argc, char** argv) {
       opt.budgetMillis = std::atoll(next());
     } else if (arg == "--seed") {
       opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--jobs") {
+      opt.jobs = std::atoi(next());
     } else if (arg == "--solver") {
       const std::string s = next();
       if (s == "box") {
