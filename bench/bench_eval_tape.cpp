@@ -1,0 +1,268 @@
+// Evaluation-engine microbenchmark: tree Evaluator vs compiled tape.
+//
+// Two production hot loops, measured per bench model:
+//   - simulation throughput (steps/sec): Simulator::step with a coverage
+//     tracker, tree engine vs tape engine, identical input streams;
+//   - solver scoring throughput (candidates/sec): the hill climber's
+//     single-coordinate candidate scoring, tree branchDistance vs a full
+//     DistanceTape rebind vs the incremental dirty-cone update path.
+// The scored goal is the disjunction of the model's non-constant branch
+// residuals at the initial state — the same partial-evaluation product the
+// STCG solve loop hands to the solver.
+//
+// Usage: bench_eval_tape [--quick] [--json PATH] [--seconds S]
+//   --quick    short measurement windows and a pass/fail gate: exits 1 if
+//              the tape engine is slower than the tree on any model (used
+//              as the Release smoke stage of tools/check.sh);
+//   --json     write the measured table as JSON (tools/bench.sh writes
+//              BENCH_eval.json for EXPERIMENTS.md);
+//   --seconds  measurement window per cell (default 0.25; 0.05 in quick).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "benchmodels/benchmodels.h"
+#include "compile/compiler.h"
+#include "coverage/coverage.h"
+#include "expr/builder.h"
+#include "expr/subst.h"
+#include "sim/simulator.h"
+#include "solver/distance_tape.h"
+#include "solver/local_search.h"
+#include "solver/solver.h"
+#include "util/rng.h"
+
+namespace stcg {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Row {
+  std::string name;
+  double stepsTree = 0, stepsTape = 0;
+  double candTree = 0, candRebind = 0, candIncr = 0;
+  std::size_t tapeInstrs = 0, maxCone = 0, overlayInstrs = 0;
+
+  [[nodiscard]] double stepSpeedup() const {
+    return stepsTree > 0 ? stepsTape / stepsTree : 0;
+  }
+  [[nodiscard]] double incrSpeedup() const {
+    return candTree > 0 ? candIncr / candTree : 0;
+  }
+};
+
+double measureStepsPerSec(const compile::CompiledModel& cm,
+                          sim::EvalEngine engine,
+                          const std::vector<sim::InputVector>& inputs,
+                          double window) {
+  sim::Simulator s(cm, engine);
+  coverage::CoverageTracker cov(cm);
+  std::size_t cursor = 0;
+  const auto batch = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      (void)s.step(inputs[cursor], &cov);
+      cursor = (cursor + 1) % inputs.size();
+    }
+  };
+  batch(64);  // warmup
+  std::size_t steps = 0;
+  const auto t0 = Clock::now();
+  double elapsed = 0;
+  do {
+    batch(128);
+    steps += 128;
+    elapsed = secondsSince(t0);
+  } while (elapsed < window);
+  return static_cast<double>(steps) / elapsed;
+}
+
+// The residual goal the solver modes score. Empty when every branch folds
+// to a constant at the initial state (then the caller synthesizes one).
+expr::ExprPtr residualGoal(const compile::CompiledModel& cm) {
+  const expr::Env state = cm.initialStateEnv();
+  std::vector<expr::ExprPtr> parts;
+  for (const auto& br : cm.branches) {
+    if (parts.size() >= 6) break;
+    auto r = expr::substitute(br.pathConstraint, state);
+    if (r->op != expr::Op::kConst) parts.push_back(std::move(r));
+  }
+  expr::ExprPtr goal = expr::orAll(parts);
+  if (goal->op != expr::Op::kConst) return goal;
+  const auto& v = cm.inputs[0].info;
+  return expr::geE(expr::mkVar(v), expr::cReal((v.lo + v.hi) * 0.5));
+}
+
+enum class CandMode { kTree, kRebind, kIncremental };
+
+double measureCandidatesPerSec(const expr::ExprPtr& goal,
+                               const std::vector<expr::VarInfo>& vars,
+                               CandMode mode, double window) {
+  // The same deterministic mutation stream for every mode: start from the
+  // domain midpoint, move one coordinate per candidate.
+  Rng rng(4242);
+  std::vector<double> point(vars.size());
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    point[i] = (vars[i].lo + vars[i].hi) * 0.5;
+  }
+  const auto mutate = [&]() -> std::size_t {
+    const std::size_t i = rng.index(vars.size());
+    point[i] = vars[i].type == expr::Type::kReal
+                   ? rng.uniformReal(vars[i].lo, vars[i].hi)
+                   : static_cast<double>(rng.uniformInt(
+                         static_cast<std::int64_t>(vars[i].lo),
+                         static_cast<std::int64_t>(vars[i].hi)));
+    return i;
+  };
+  const auto toEnv = [&] {
+    expr::Env env;
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      env.set(vars[i].id, solver::scalarForVar(vars[i], point[i]));
+    }
+    return env;
+  };
+
+  solver::DistanceTape dt(goal, vars);
+  (void)dt.rebind(point);
+  double sink = 0;  // defeat dead-code elimination of the measured work
+  std::size_t cands = 0;
+  const auto t0 = Clock::now();
+  double elapsed = 0;
+  do {
+    for (int i = 0; i < 64; ++i) {
+      const std::size_t moved = mutate();
+      switch (mode) {
+        case CandMode::kTree:
+          sink += solver::branchDistance(goal, toEnv(), true);
+          break;
+        case CandMode::kRebind:
+          sink += dt.rebind(point);
+          break;
+        case CandMode::kIncremental:
+          sink += dt.update(moved, point[moved]);
+          break;
+      }
+    }
+    cands += 64;
+    elapsed = secondsSince(t0);
+  } while (elapsed < window);
+  if (sink == -1.0) std::cerr << "";  // keep `sink` observable
+  return static_cast<double>(cands) / elapsed;
+}
+
+void writeJson(const std::string& path, const std::vector<Row>& rows) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"eval_tape\",\n  \"models\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"name\": \"%s\", \"steps_per_sec_tree\": %.0f, "
+        "\"steps_per_sec_tape\": %.0f, \"step_speedup\": %.2f, "
+        "\"cand_per_sec_tree\": %.0f, \"cand_per_sec_rebind\": %.0f, "
+        "\"cand_per_sec_incremental\": %.0f, \"incr_speedup\": %.2f, "
+        "\"tape_instrs\": %zu, \"max_cone\": %zu, \"overlay_instrs\": %zu}%s\n",
+        r.name.c_str(), r.stepsTree, r.stepsTape, r.stepSpeedup(), r.candTree,
+        r.candRebind, r.candIncr, r.incrSpeedup(), r.tapeInstrs, r.maxCone,
+        r.overlayInstrs, i + 1 < rows.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+}
+
+int run(int argc, char** argv) {
+  bool quick = false;
+  std::string jsonPath;
+  double window = 0.25;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+      window = 0.05;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
+    } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      window = std::strtod(argv[++i], nullptr);
+    } else {
+      std::cerr << "usage: bench_eval_tape [--quick] [--json PATH] "
+                   "[--seconds S]\n";
+      return 2;
+    }
+  }
+
+  std::vector<Row> rows;
+  for (const auto& info : bench::allBenchModels()) {
+    const auto cm = compile::compile(info.build());
+    Row row;
+    row.name = info.name;
+
+    Rng inputRng(42);
+    std::vector<sim::InputVector> inputs;
+    for (int i = 0; i < 256; ++i) inputs.push_back(sim::randomInput(cm, inputRng));
+    row.stepsTree =
+        measureStepsPerSec(cm, sim::EvalEngine::kTree, inputs, window);
+    row.stepsTape =
+        measureStepsPerSec(cm, sim::EvalEngine::kTape, inputs, window);
+
+    const auto goal = residualGoal(cm);
+    const auto vars = cm.inputInfos();
+    solver::DistanceTape probe(goal, vars);
+    row.tapeInstrs = probe.valueInstrCount();
+    row.maxCone = probe.maxConeSize();
+    row.overlayInstrs = probe.overlayInstrCount();
+    row.candTree =
+        measureCandidatesPerSec(goal, vars, CandMode::kTree, window);
+    row.candRebind =
+        measureCandidatesPerSec(goal, vars, CandMode::kRebind, window);
+    row.candIncr =
+        measureCandidatesPerSec(goal, vars, CandMode::kIncremental, window);
+    rows.push_back(std::move(row));
+  }
+
+  std::printf("%-12s %12s %12s %8s %12s %12s %12s %8s\n", "model",
+              "steps/s tree", "steps/s tape", "speedup", "cand/s tree",
+              "cand/s reb", "cand/s incr", "speedup");
+  int stepWins = 0, incrWins = 0;
+  for (const Row& r : rows) {
+    std::printf("%-12s %12.0f %12.0f %7.2fx %12.0f %12.0f %12.0f %7.2fx\n",
+                r.name.c_str(), r.stepsTree, r.stepsTape, r.stepSpeedup(),
+                r.candTree, r.candRebind, r.candIncr, r.incrSpeedup());
+    stepWins += r.stepSpeedup() >= 3.0 ? 1 : 0;
+    incrWins += r.incrSpeedup() >= 5.0 ? 1 : 0;
+  }
+  std::printf("models with step speedup >= 3x: %d/%zu; incremental "
+              "candidate speedup >= 5x: %d/%zu\n",
+              stepWins, rows.size(), incrWins, rows.size());
+
+  if (!jsonPath.empty()) {
+    writeJson(jsonPath, rows);
+    std::printf("wrote %s\n", jsonPath.c_str());
+  }
+
+  if (quick) {
+    for (const Row& r : rows) {
+      if (r.stepsTape < r.stepsTree) {
+        std::fprintf(stderr,
+                     "FAIL: tape slower than tree on %s (%.0f vs %.0f "
+                     "steps/s)\n",
+                     r.name.c_str(), r.stepsTape, r.stepsTree);
+        return 1;
+      }
+    }
+    std::printf("quick gate passed: tape >= tree on every model\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace stcg
+
+int main(int argc, char** argv) { return stcg::run(argc, argv); }

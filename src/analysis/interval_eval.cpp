@@ -34,13 +34,13 @@ const std::vector<Interval>& IntervalEnv::getArray(expr::VarId id) const {
 
 Interval IntervalEvaluator::evalScalar(const ExprPtr& e) {
   assert(!e->isArray());
-  pinnedRoots_.push_back(e);
+  if (pinnedSet_.insert(e.get()).second) pinnedRoots_.push_back(e);
   return scalarRec(e.get());
 }
 
 std::vector<Interval> IntervalEvaluator::evalArray(const ExprPtr& e) {
   assert(e->isArray());
-  pinnedRoots_.push_back(e);
+  if (pinnedSet_.insert(e.get()).second) pinnedRoots_.push_back(e);
   return arrayRec(e.get());
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "expr/expr.h"
@@ -45,6 +46,12 @@ class IntervalEvaluator {
   [[nodiscard]] std::vector<interval::Interval> evalArray(
       const expr::ExprPtr& e);
 
+  /// Number of distinct roots currently pinned (regression hook: reusing
+  /// one evaluator across many calls on the same root must not grow this).
+  [[nodiscard]] std::size_t pinnedRootCount() const {
+    return pinnedRoots_.size();
+  }
+
  private:
   interval::Interval scalarRec(const expr::Expr* e);
   std::vector<interval::Interval> arrayRec(const expr::Expr* e);
@@ -55,7 +62,10 @@ class IntervalEvaluator {
       arrayMemo_;
   // Pins evaluated roots so pointer-keyed memo entries can't go stale
   // (node addresses would otherwise be recyclable across calls).
+  // Deduplicated by address: re-evaluating the same root must not grow
+  // the pin list without bound.
   std::vector<expr::ExprPtr> pinnedRoots_;
+  std::unordered_set<const expr::Expr*> pinnedSet_;
 };
 
 }  // namespace stcg::analysis

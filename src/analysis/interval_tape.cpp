@@ -1,0 +1,236 @@
+#include "analysis/interval_tape.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stcg::analysis {
+
+using expr::Op;
+using expr::TapeInstr;
+using expr::Type;
+using interval::Interval;
+
+IntervalTapeExecutor::IntervalTapeExecutor(
+    std::shared_ptr<const expr::Tape> tape)
+    : tape_(std::move(tape)),
+      scalars_(tape_->scalarSlotCount()),
+      arrays_(tape_->arraySlotCount()) {
+  // Constant slots never change: image them into the interval domain once.
+  const auto& sInit = tape_->scalarInit();
+  for (const std::int32_t slot : tape_->constScalarSlots()) {
+    scalars_[static_cast<std::size_t>(slot)] =
+        Interval::point(sInit[static_cast<std::size_t>(slot)].toReal());
+  }
+  const auto& aInit = tape_->arrayInit();
+  for (const std::int32_t slot : tape_->constArraySlots()) {
+    auto& dst = arrays_[static_cast<std::size_t>(slot)];
+    const auto& src = aInit[static_cast<std::size_t>(slot)];
+    dst.reserve(src.size());
+    for (const auto& s : src) dst.push_back(Interval::point(s.toReal()));
+  }
+}
+
+void IntervalTapeExecutor::bind(const IntervalEnv& env) {
+  for (const auto& b : tape_->varBindings()) {
+    Interval iv;
+    if (env.has(b.var)) {
+      iv = env.get(b.var);
+    } else {
+      iv = Interval(b.lo, b.hi);
+      if (b.type != Type::kReal) iv = iv.integralHull();
+    }
+    scalars_[static_cast<std::size_t>(b.slot)] = iv;
+  }
+  for (const auto& b : tape_->arrayBindings()) {
+    auto& dst = arrays_[static_cast<std::size_t>(b.slot)];
+    if (env.hasArray(b.var)) {
+      dst = env.getArray(b.var);
+    } else {
+      dst.assign(static_cast<std::size_t>(b.size), Interval::whole());
+    }
+  }
+}
+
+void IntervalTapeExecutor::run() {
+  for (const TapeInstr& in : tape_->code()) exec(in);
+}
+
+void IntervalTapeExecutor::exec(const TapeInstr& in) {
+  // Per-op transfer functions copied from IntervalEvaluator::scalarRec /
+  // arrayRec — results are identical to the tree walk.
+  const auto s = [&](std::int32_t slot) -> const Interval& {
+    return scalars_[static_cast<std::size_t>(slot)];
+  };
+  const auto a = [&](std::int32_t slot) -> const std::vector<Interval>& {
+    return arrays_[static_cast<std::size_t>(slot)];
+  };
+  Interval out;
+  switch (in.op) {
+    case Op::kNot:
+      out = notI(s(in.a));
+      break;
+    case Op::kNeg:
+      out = negI(s(in.a));
+      break;
+    case Op::kAbs:
+      out = absI(s(in.a));
+      break;
+    case Op::kCast: {
+      const Interval& x = s(in.a);
+      if (in.type == Type::kBool) {
+        if (x.isEmpty()) {
+          out = x;
+        } else if (x.isPoint()) {
+          out = x.lo() == 0.0 ? Interval::boolFalse() : Interval::boolTrue();
+        } else {
+          out = x.containsZero() ? Interval::boolUnknown()
+                                 : Interval::boolTrue();
+        }
+      } else if (in.type == Type::kInt) {
+        out = x.isEmpty() ? x
+                          : Interval(std::trunc(x.lo()), std::trunc(x.hi()));
+      } else {
+        out = x;
+      }
+      break;
+    }
+    case Op::kAdd:
+      out = addI(s(in.a), s(in.b));
+      break;
+    case Op::kSub:
+      out = subI(s(in.a), s(in.b));
+      break;
+    case Op::kMul:
+      out = mulI(s(in.a), s(in.b));
+      break;
+    case Op::kDiv:
+      out = divI(s(in.a), s(in.b));
+      // Integer division truncates toward zero (see IntervalEvaluator).
+      if (in.type == Type::kInt && !out.isEmpty()) {
+        out = Interval(std::trunc(out.lo()), std::trunc(out.hi()));
+      }
+      break;
+    case Op::kMod:
+      out = modI(s(in.a), s(in.b));
+      break;
+    case Op::kMin:
+      out = minI(s(in.a), s(in.b));
+      break;
+    case Op::kMax:
+      out = maxI(s(in.a), s(in.b));
+      break;
+    case Op::kLt:
+      out = ltI(s(in.a), s(in.b));
+      break;
+    case Op::kLe:
+      out = leI(s(in.a), s(in.b));
+      break;
+    case Op::kGt:
+      out = ltI(s(in.b), s(in.a));
+      break;
+    case Op::kGe:
+      out = leI(s(in.b), s(in.a));
+      break;
+    case Op::kEq:
+      out = eqI(s(in.a), s(in.b));
+      break;
+    case Op::kNe:
+      out = notI(eqI(s(in.a), s(in.b)));
+      break;
+    case Op::kAnd:
+      out = andI(s(in.a), s(in.b));
+      break;
+    case Op::kOr:
+      out = orI(s(in.a), s(in.b));
+      break;
+    case Op::kXor:
+      out = xorI(s(in.a), s(in.b));
+      break;
+    case Op::kIte: {
+      const Interval& c = s(in.a);
+      if (in.arrayResult) {
+        auto& dst = arrays_[static_cast<std::size_t>(in.dst)];
+        if (c.isTrue()) {
+          dst = a(in.b);
+        } else if (c.isFalse()) {
+          dst = a(in.c);
+        } else {
+          dst = a(in.b);
+          const auto& other = a(in.c);
+          for (std::size_t i = 0; i < dst.size() && i < other.size(); ++i) {
+            dst[i] = dst[i].hull(other[i]);
+          }
+        }
+        return;
+      }
+      if (c.isTrue()) {
+        out = s(in.b);
+      } else if (c.isFalse()) {
+        out = s(in.c);
+      } else {
+        out = s(in.b).hull(s(in.c));
+      }
+      break;
+    }
+    case Op::kSelect: {
+      const auto& arr = a(in.a);
+      const Interval idx = s(in.b).integralHull();
+      const auto n = static_cast<std::int64_t>(arr.size());
+      Interval acc = Interval::empty();
+      if (!idx.isEmpty() && n > 0) {
+        const auto lo = static_cast<std::int64_t>(
+            std::clamp(idx.lo(), 0.0, static_cast<double>(n - 1)));
+        const auto hi = static_cast<std::int64_t>(
+            std::clamp(idx.hi(), 0.0, static_cast<double>(n - 1)));
+        for (std::int64_t i = lo; i <= hi; ++i) {
+          acc = acc.hull(arr[static_cast<std::size_t>(i)]);
+        }
+      }
+      out = acc;
+      break;
+    }
+    case Op::kStore: {
+      auto& dst = arrays_[static_cast<std::size_t>(in.dst)];
+      dst = a(in.a);
+      const Interval idx = s(in.b).integralHull();
+      const Interval val = s(in.c);
+      const auto n = static_cast<std::int64_t>(dst.size());
+      if (!idx.isEmpty() && n > 0) {
+        const auto lo = static_cast<std::int64_t>(
+            std::clamp(idx.lo(), 0.0, static_cast<double>(n - 1)));
+        const auto hi = static_cast<std::int64_t>(
+            std::clamp(idx.hi(), 0.0, static_cast<double>(n - 1)));
+        if (lo == hi) {
+          dst[static_cast<std::size_t>(lo)] = val;  // definite write
+        } else {
+          for (std::int64_t i = lo; i <= hi; ++i) {
+            auto& slot = dst[static_cast<std::size_t>(i)];
+            slot = slot.hull(val);  // may or may not be written
+          }
+        }
+      }
+      return;
+    }
+    default:
+      out = Interval::whole();
+      break;
+  }
+  scalars_[static_cast<std::size_t>(in.dst)] = out;
+}
+
+std::vector<Interval> intervalVerdicts(
+    const std::vector<expr::ExprPtr>& roots, const IntervalEnv& env) {
+  expr::TapeBuilder b;
+  std::vector<expr::SlotRef> slots;
+  slots.reserve(roots.size());
+  for (const auto& r : roots) slots.push_back(b.addRoot(r));
+  IntervalTapeExecutor ex(b.finish());
+  ex.bind(env);
+  ex.run();
+  std::vector<Interval> out;
+  out.reserve(slots.size());
+  for (const auto& slot : slots) out.push_back(ex.scalar(slot));
+  return out;
+}
+
+}  // namespace stcg::analysis

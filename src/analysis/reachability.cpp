@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "analysis/interval_tape.h"
+#include "expr/tape.h"
 #include "interval/box.h"
 #include "interval/hc4.h"
 #include "solver/solver.h"
@@ -59,20 +61,29 @@ StateInvariant computeStateInvariant(const compile::CompiledModel& cm,
   domains.reserve(cm.states.size());
   for (const auto& sv : cm.states) domains.push_back(initDomains(sv));
 
+  // The fixpoint re-evaluates the same next-state functions dozens of
+  // times: compile them to one CSE-shared tape up front and rebind the
+  // interval environment per iteration.
+  expr::TapeBuilder builder;
+  std::vector<expr::SlotRef> nextSlots;
+  nextSlots.reserve(cm.states.size());
+  for (const auto& sv : cm.states) nextSlots.push_back(builder.addRoot(sv.next));
+  IntervalTapeExecutor eval(builder.finish());
+
   StateInvariant result;
   for (int iter = 0; iter < opt.maxIterations; ++iter) {
-    const IntervalEnv env = toEnv(cm, domains);
-    IntervalEvaluator eval(env);
+    eval.bind(toEnv(cm, domains));
+    eval.run();
 
     auto next = domains;
     for (std::size_t i = 0; i < cm.states.size(); ++i) {
       const auto& sv = cm.states[i];
       if (sv.width == 1) {
-        Interval stepped = eval.evalScalar(sv.next);
+        Interval stepped = eval.scalar(nextSlots[i]);
         if (sv.type != expr::Type::kReal) stepped = stepped.integralHull();
         next[i][0] = domains[i][0].hull(stepped);
       } else {
-        const auto stepped = eval.evalArray(sv.next);
+        const auto& stepped = eval.array(nextSlots[i]);
         for (std::size_t j = 0; j < next[i].size() && j < stepped.size();
              ++j) {
           Interval s = stepped[j];
@@ -110,18 +121,18 @@ StateInvariant computeStateInvariant(const compile::CompiledModel& cm,
     // it recovers bounds that widening overshot (a saturated counter
     // widened to ⊤ snaps back to its clamp range).
     for (int pass = 0; pass < 4; ++pass) {
-      const IntervalEnv env = toEnv(cm, domains);
-      IntervalEvaluator eval(env);
+      eval.bind(toEnv(cm, domains));
+      eval.run();
       auto refined = domains;
       for (std::size_t i = 0; i < cm.states.size(); ++i) {
         const auto& sv = cm.states[i];
         const auto init = initDomains(sv);
         if (sv.width == 1) {
-          Interval stepped = eval.evalScalar(sv.next);
+          Interval stepped = eval.scalar(nextSlots[i]);
           if (sv.type != expr::Type::kReal) stepped = stepped.integralHull();
           refined[i][0] = init[0].hull(stepped);
         } else {
-          const auto stepped = eval.evalArray(sv.next);
+          const auto& stepped = eval.array(nextSlots[i]);
           for (std::size_t j = 0; j < refined[i].size() && j < stepped.size();
                ++j) {
             Interval s = stepped[j];
@@ -179,8 +190,15 @@ bool proveConstraintDead(const compile::CompiledModel& cm,
                          const StateInvariant& inv,
                          const expr::ExprPtr& constraint,
                          const ReachabilityOptions& opt) {
-  IntervalEvaluator eval(inv.env);
-  const Interval verdict = eval.evalScalar(constraint);
+  const Interval verdict = intervalVerdicts({constraint}, inv.env)[0];
+  return proveConstraintDeadFrom(cm, inv, constraint, verdict, opt);
+}
+
+bool proveConstraintDeadFrom(const compile::CompiledModel& cm,
+                             const StateInvariant& inv,
+                             const expr::ExprPtr& constraint,
+                             const Interval& verdict,
+                             const ReachabilityOptions& opt) {
   if (verdict.isFalse()) return true;
   if (verdict.isTrue()) return false;
 
@@ -211,8 +229,15 @@ DeadBranchReport findDeadBranches(const compile::CompiledModel& cm,
                                   const ReachabilityOptions& opt) {
   DeadBranchReport report;
   report.invariant = computeStateInvariant(cm, opt);
-  for (const auto& br : cm.branches) {
-    if (proveConstraintDead(cm, report.invariant, br.pathConstraint, opt)) {
+  // Layer (1) for every branch in one tape pass; survivors escalate.
+  std::vector<expr::ExprPtr> constraints;
+  constraints.reserve(cm.branches.size());
+  for (const auto& br : cm.branches) constraints.push_back(br.pathConstraint);
+  const auto verdicts = intervalVerdicts(constraints, report.invariant.env);
+  for (std::size_t i = 0; i < cm.branches.size(); ++i) {
+    const auto& br = cm.branches[i];
+    if (proveConstraintDeadFrom(cm, report.invariant, br.pathConstraint,
+                                verdicts[i], opt)) {
       report.deadBranches.push_back(br.id);
     }
   }

@@ -80,6 +80,16 @@ struct DeadBranchReport {
                                        const expr::ExprPtr& constraint,
                                        const ReachabilityOptions& opt = {});
 
+/// Layers (2) and (3) of proveConstraintDead, given a precomputed layer-(1)
+/// interval verdict for `constraint` under the invariant. Callers judging
+/// many constraints under one environment batch layer (1) through a single
+/// tape pass (analysis::intervalVerdicts) and escalate survivors here.
+[[nodiscard]] bool proveConstraintDeadFrom(const compile::CompiledModel& cm,
+                                           const StateInvariant& inv,
+                                           const expr::ExprPtr& constraint,
+                                           const interval::Interval& verdict,
+                                           const ReachabilityOptions& opt = {});
+
 /// Human-readable rendering of the invariant (diagnostics).
 [[nodiscard]] std::string renderInvariant(const compile::CompiledModel& cm,
                                           const StateInvariant& inv);

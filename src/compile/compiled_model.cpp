@@ -1,5 +1,7 @@
 #include "compile/compiled_model.h"
 
+#include <algorithm>
+
 namespace stcg::compile {
 
 std::vector<expr::VarInfo> CompiledModel::inputInfos() const {
@@ -9,8 +11,16 @@ std::vector<expr::VarInfo> CompiledModel::inputInfos() const {
   return out;
 }
 
+std::size_t CompiledModel::varCount() const {
+  expr::VarId maxId = -1;
+  for (const auto& in : inputs) maxId = std::max(maxId, in.info.id);
+  for (const auto& s : states) maxId = std::max(maxId, s.id);
+  return static_cast<std::size_t>(maxId + 1);
+}
+
 expr::Env CompiledModel::initialStateEnv() const {
   expr::Env env;
+  env.reserve(varCount());
   for (const auto& s : states) {
     if (s.width == 1) {
       env.set(s.id, s.init.scalar());

@@ -104,6 +104,10 @@ struct CompiledModel {
 
   /// Total number of atomic conditions across decisions.
   [[nodiscard]] int conditionCount() const;
+
+  /// One past the largest variable id (inputs and states). Env::reserve
+  /// with this count makes per-step environment binding allocation-free.
+  [[nodiscard]] std::size_t varCount() const;
 };
 
 }  // namespace stcg::compile

@@ -6,6 +6,13 @@
 
 namespace stcg::expr {
 
+void Env::reserve(std::size_t nVars) {
+  if (nVars > vals_.size()) {
+    vals_.resize(nVars);
+    present_.resize(nVars, false);
+  }
+}
+
 void Env::set(VarId id, Scalar v) {
   assert(id >= 0);
   const auto idx = static_cast<std::size_t>(id);
@@ -60,7 +67,7 @@ Scalar Evaluator::evalScalar(const ExprPtr& e) {
     throw EvalError("evalScalar on array-typed expression (op " +
                     std::string(opName(e->op)) + ")");
   }
-  pinnedRoots_.push_back(e);
+  if (pinnedSet_.insert(e.get()).second) pinnedRoots_.push_back(e);
   return scalarRec(e.get());
 }
 
@@ -70,7 +77,7 @@ std::vector<Scalar> Evaluator::evalArray(const ExprPtr& e) {
     throw EvalError("evalArray on scalar-typed expression (op " +
                     std::string(opName(e->op)) + ")");
   }
-  pinnedRoots_.push_back(e);
+  if (pinnedSet_.insert(e.get()).second) pinnedRoots_.push_back(e);
   return *arrayRec(e.get());
 }
 

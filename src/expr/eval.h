@@ -8,6 +8,7 @@
 #include <memory>
 #include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "expr/expr.h"
@@ -26,6 +27,12 @@ class EvalError : public std::runtime_error {
 /// Variable assignment: var id -> scalar value.
 class Env {
  public:
+  /// Pre-size the scalar binding tables for ids in [0, nVars). set() grows
+  /// them one id at a time otherwise — a hot-loop cost when binding a full
+  /// model environment per step; callers that know the compiled model's
+  /// variable count should reserve once up front.
+  void reserve(std::size_t nVars);
+
   void set(VarId id, Scalar v);
   [[nodiscard]] bool has(VarId id) const;
   [[nodiscard]] const Scalar& get(VarId id) const;
@@ -62,6 +69,12 @@ class Evaluator {
   /// EvalError on scalar-typed input or an unbound array variable.
   [[nodiscard]] std::vector<Scalar> evalArray(const ExprPtr& e);
 
+  /// Number of distinct roots currently pinned (regression hook: reusing
+  /// one evaluator across many calls on the same root must not grow this).
+  [[nodiscard]] std::size_t pinnedRootCount() const {
+    return pinnedRoots_.size();
+  }
+
  private:
   using ArrayVal = std::shared_ptr<const std::vector<Scalar>>;
 
@@ -73,8 +86,10 @@ class Evaluator {
   std::unordered_map<const Expr*, ArrayVal> arrayMemo_;
   // Memo entries are keyed by node address; pinning evaluated roots keeps
   // every memoized node alive, so addresses cannot be recycled between
-  // calls on the same evaluator.
+  // calls on the same evaluator. Deduplicated by address: re-evaluating
+  // the same root must not grow the pin list without bound.
   std::vector<ExprPtr> pinnedRoots_;
+  std::unordered_set<const Expr*> pinnedSet_;
 };
 
 /// Convenience: evaluate `e` (scalar) under `env` in one call.

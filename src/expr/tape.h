@@ -1,0 +1,230 @@
+// Tape-compiled evaluation: the expression DAG flattened into a linear
+// instruction tape over dense value slots.
+//
+// The recursive Evaluator pays a pointer chase, a hash-map memo lookup and
+// a call frame per DAG node per evaluation. The tape pays all of that once,
+// at compile time: a TapeBuilder topologically sorts the DAG into an
+// instruction sequence (one instruction per distinct computation, global
+// value-numbering CSE across every root added), after which evaluation is a
+// single non-recursive switch loop over dense slot vectors — no shared_ptr
+// dereferences, no memo hashing, no recursion.
+//
+// Three engines execute the same tape:
+//   - TapeExecutor (here): concrete Scalar slots, bit-identical to the
+//     tree Evaluator (same applyUnary/applyBinary/castTo calls in the same
+//     order, same guarded kDiv/kMod and clamped kSelect/kStore semantics).
+//   - analysis::IntervalTapeExecutor: interval slots, mirroring
+//     IntervalEvaluator (the abstract domain of the reachability pass).
+//   - solver::DistanceTape: a branch-distance overlay for local search.
+//
+// Incremental re-evaluation: finish() precomputes, per variable, the
+// ascending list of instructions whose result transitively depends on that
+// variable (its "dirty cone"). Rebinding one variable and replaying only
+// its cone — runCone() — recomputes exactly the affected slots, which is
+// what makes tape-backed local search fast: one mutated input re-executes
+// a handful of instructions instead of the whole model.
+//
+// Strictness note: the tree Evaluator throws on an *unbound variable it
+// reaches* (kIte arms are lazy); the tape binds eagerly, so run() requires
+// every variable of the tape to be bound and throws EvalError otherwise.
+// All production callers (simulator, solvers) bind complete environments,
+// where the two semantics coincide.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/eval.h"
+#include "expr/expr.h"
+
+namespace stcg::expr {
+
+/// Reference to one tape slot. Scalar and array slots live in disjoint
+/// dense index spaces; isArray selects the space.
+struct SlotRef {
+  std::int32_t slot = -1;
+  bool isArray = false;
+
+  [[nodiscard]] bool valid() const { return slot >= 0; }
+};
+
+/// One tape instruction. Operand meaning depends on op:
+///   unary (kNot/kNeg/kAbs/kCast)  a = scalar operand
+///   binary arith/rel/bool         a, b = scalar operands
+///   kIte, scalar result           a = cond, b = then, c = else (scalars)
+///   kIte, array result            a = cond (scalar), b/c = arrays
+///   kSelect                       a = array, b = index (scalar)
+///   kStore                        a = base array, b = index, c = value
+/// dst indexes the scalar or array slot space according to arrayResult.
+struct TapeInstr {
+  Op op = Op::kConst;
+  Type type = Type::kReal;  // result type (cast target, as on the DAG node)
+  bool arrayResult = false;
+  std::int32_t dst = -1;
+  std::int32_t a = -1;
+  std::int32_t b = -1;
+  std::int32_t c = -1;
+};
+
+/// A scalar variable's slot: one per distinct (VarId, node type) pair.
+/// Binding writes value.castTo(type) into the slot — the same coercion the
+/// tree Evaluator applies at every kVar visit.
+struct TapeVarBinding {
+  VarId var = -1;
+  Type type = Type::kReal;
+  std::int32_t slot = -1;
+  std::string name;
+  double lo = 0.0, hi = 0.0;  // declared domain (interval-engine default)
+};
+
+/// An array variable's slot (one per VarId).
+struct TapeArrayBinding {
+  VarId var = -1;
+  Type type = Type::kReal;
+  int size = 0;
+  std::int32_t slot = -1;
+  std::string name;
+};
+
+/// The immutable compiled tape. Built by TapeBuilder, shared by executors.
+class Tape {
+ public:
+  [[nodiscard]] const std::vector<TapeInstr>& code() const { return code_; }
+  [[nodiscard]] std::size_t scalarSlotCount() const {
+    return scalarInit_.size();
+  }
+  [[nodiscard]] std::size_t arraySlotCount() const {
+    return arrayInit_.size();
+  }
+
+  /// Initial slot images: constants hold their value (never overwritten);
+  /// variable and temporary slots hold zero / empty until bound/computed.
+  [[nodiscard]] const std::vector<Scalar>& scalarInit() const {
+    return scalarInit_;
+  }
+  [[nodiscard]] const std::vector<std::vector<Scalar>>& arrayInit() const {
+    return arrayInit_;
+  }
+  /// Scalar/array slots holding kConst / kConstArray leaves.
+  [[nodiscard]] const std::vector<std::int32_t>& constScalarSlots() const {
+    return constScalarSlots_;
+  }
+  [[nodiscard]] const std::vector<std::int32_t>& constArraySlots() const {
+    return constArraySlots_;
+  }
+
+  /// Variable bindings, sorted by (var, type) / var.
+  [[nodiscard]] const std::vector<TapeVarBinding>& varBindings() const {
+    return varBindings_;
+  }
+  [[nodiscard]] const std::vector<TapeArrayBinding>& arrayBindings() const {
+    return arrayBindings_;
+  }
+
+  /// Ascending instruction indices transitively affected by `var`
+  /// (scalar or array variable), or nullptr when the tape has no such
+  /// variable / nothing depends on it.
+  [[nodiscard]] const std::vector<std::int32_t>* coneOf(VarId var) const;
+
+  /// Largest dirty-cone size (diagnostics / bench reporting).
+  [[nodiscard]] std::size_t maxConeSize() const { return maxConeSize_; }
+
+ private:
+  friend class TapeBuilder;
+
+  std::vector<TapeInstr> code_;
+  std::vector<Scalar> scalarInit_;
+  std::vector<std::vector<Scalar>> arrayInit_;
+  std::vector<std::int32_t> constScalarSlots_;
+  std::vector<std::int32_t> constArraySlots_;
+  std::vector<TapeVarBinding> varBindings_;
+  std::vector<TapeArrayBinding> arrayBindings_;
+  // Sorted by VarId; cones hold ascending instruction indices.
+  std::vector<std::pair<VarId, std::vector<std::int32_t>>> cones_;
+  std::size_t maxConeSize_ = 0;
+  // Roots pinned so slot-keyed references can never dangle (mirrors the
+  // Evaluator's pinnedRoots_ contract).
+  std::vector<ExprPtr> pinnedRoots_;
+};
+
+/// Compiles expression DAGs into a Tape. Add every root first (CSE is
+/// global across roots), then finish() — the builder is spent afterwards.
+class TapeBuilder {
+ public:
+  /// Emit `e` (and its whole DAG) onto the tape; returns its slot.
+  SlotRef addRoot(const ExprPtr& e);
+
+  /// Slot of an already-emitted node (any node reachable from a root).
+  /// Throws EvalError if `e` was never emitted.
+  [[nodiscard]] SlotRef slotOf(const Expr* e) const;
+
+  /// Seal the tape: computes per-variable dirty cones. The builder must
+  /// not be reused afterwards.
+  [[nodiscard]] std::shared_ptr<const Tape> finish();
+
+ private:
+  SlotRef emitDag(const Expr* root);
+  SlotRef assignSlot(const Expr* e);
+  std::int32_t newScalarSlot(const Scalar& init);
+  std::int32_t newArraySlot(std::vector<Scalar> init);
+
+  std::shared_ptr<Tape> tape_ = std::make_shared<Tape>();
+  std::unordered_map<const Expr*, SlotRef> memo_;
+  // Value-numbering tables (global CSE): constants by (type, payload
+  // bits), scalar vars by (var, type), array vars by var, instructions by
+  // (op, type, operand slots).
+  std::unordered_map<std::uint64_t, std::int32_t> constSlots_;
+  std::unordered_map<std::uint64_t, std::int32_t> varSlots_;
+  std::unordered_map<std::int64_t, std::int32_t> arrayVarSlots_;
+  std::unordered_map<std::uint64_t, std::vector<std::int32_t>> instrBuckets_;
+};
+
+/// Executes a Tape over concrete Scalar slots. Bind every variable the
+/// tape mentions (setVar/setArrayVar/bindEnv), then run(); read results
+/// through scalar()/array() using the SlotRefs returned at build time.
+class TapeExecutor {
+ public:
+  explicit TapeExecutor(std::shared_ptr<const Tape> tape);
+
+  /// Bind a scalar variable (all its typed slots). Ids the tape does not
+  /// mention are ignored — environments may bind more than the tape uses.
+  void setVar(VarId id, const Scalar& v);
+  void setArrayVar(VarId id, const std::vector<Scalar>& v);
+
+  /// Bind every tape variable present in `env` (missing ones stay
+  /// unbound and run() will throw).
+  void bindEnv(const Env& env);
+
+  /// Execute the full tape. Throws EvalError naming the first unbound
+  /// variable (checked once; later runs skip the scan).
+  void run();
+
+  /// Re-execute only the instructions depending on `id` — the dirty cone.
+  /// Requires a prior full run() with all variables bound.
+  void runCone(VarId id);
+
+  [[nodiscard]] const Scalar& scalar(SlotRef r) const {
+    return scalars_[static_cast<std::size_t>(r.slot)];
+  }
+  [[nodiscard]] const std::vector<Scalar>& array(SlotRef r) const {
+    return arrays_[static_cast<std::size_t>(r.slot)];
+  }
+
+  [[nodiscard]] const Tape& tape() const { return *tape_; }
+
+ private:
+  void exec(const TapeInstr& in);
+  void requireAllBound();
+
+  std::shared_ptr<const Tape> tape_;
+  std::vector<Scalar> scalars_;
+  std::vector<std::vector<Scalar>> arrays_;
+  std::vector<bool> varBound_;    // parallel to tape varBindings()
+  std::vector<bool> arrayBound_;  // parallel to tape arrayBindings()
+  bool checkedBound_ = false;
+};
+
+}  // namespace stcg::expr

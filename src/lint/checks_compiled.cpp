@@ -14,6 +14,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/interval_tape.h"
 #include "expr/builder.h"
 #include "interval/interval.h"
 #include "lint/lint.h"
@@ -164,10 +165,34 @@ void collectUnreachable(const CompiledModel& cm,
     if (labels != nullptr) labels->push_back(std::move(s));
   };
 
+  // Batch the interval layer: every constraint is judged under the same
+  // invariant, so one CSE-shared tape pass yields all layer-(1) verdicts
+  // (branches, then condition-polarity conjunctions, then objectives, in
+  // the loop order below); only inconclusive ones escalate to HC4/solver.
+  std::vector<expr::ExprPtr> constraints;
+  for (const auto& br : cm.branches) constraints.push_back(br.pathConstraint);
+  for (const auto& d : cm.decisions) {
+    for (const auto& c : d.conditions) {
+      constraints.push_back(expr::andE(d.activation, c));
+      constraints.push_back(expr::andE(d.activation, expr::notE(c)));
+    }
+  }
+  for (const auto& obj : cm.objectives) {
+    constraints.push_back(expr::andE(obj.activation, obj.cond));
+  }
+  const auto verdicts = analysis::intervalVerdicts(constraints, inv.env);
+  std::size_t vi = 0;
+  const auto dead = [&]() {
+    const bool d = analysis::proveConstraintDeadFrom(
+        cm, inv, constraints[vi], verdicts[vi], opt);
+    ++vi;
+    return d;
+  };
+
   // Branches. Track dead arms per decision for the MCDC rule below.
   std::unordered_map<int, std::unordered_set<int>> deadArms;
   for (const auto& br : cm.branches) {
-    if (analysis::proveConstraintDead(cm, inv, br.pathConstraint, opt)) {
+    if (dead()) {
       excl.branches.push_back(br.id);
       deadArms[br.decision].insert(br.arm);
       const auto& d = cm.decisions[static_cast<std::size_t>(br.decision)];
@@ -180,13 +205,7 @@ void collectUnreachable(const CompiledModel& cm,
   for (const auto& d : cm.decisions) {
     for (std::size_t c = 0; c < d.conditions.size(); ++c) {
       for (const bool polarity : {true, false}) {
-        const expr::ExprPtr lit =
-            polarity ? d.conditions[c] : expr::notE(d.conditions[c]);
-        if (!analysis::proveConstraintDead(cm, inv,
-                                           expr::andE(d.activation, lit),
-                                           opt)) {
-          continue;
-        }
+        if (!dead()) continue;
         excl.conditionSlots.push_back(
             {d.id, static_cast<int>(c), polarity});
         deadPolarities[d.id].insert(static_cast<int>(c));
@@ -218,8 +237,7 @@ void collectUnreachable(const CompiledModel& cm,
 
   // Custom test objectives.
   for (const auto& obj : cm.objectives) {
-    if (analysis::proveConstraintDead(
-            cm, inv, expr::andE(obj.activation, obj.cond), opt)) {
+    if (dead()) {
       excl.objectives.push_back(obj.id);
       label("objective " + obj.name);
     }

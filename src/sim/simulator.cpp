@@ -47,7 +47,14 @@ std::uint64_t snapshotHash(const StateSnapshot& s) {
   return h;
 }
 
-Simulator::Simulator(const compile::CompiledModel& cm) : cm_(&cm) { reset(); }
+Simulator::Simulator(const compile::CompiledModel& cm, EvalEngine engine)
+    : cm_(&cm), engine_(engine) {
+  if (engine_ == EvalEngine::kTape) {
+    modelTape_ = compile::buildModelTape(cm);
+    exec_.emplace(modelTape_.tape);
+  }
+  reset();
+}
 
 void Simulator::reset() {
   state_.clear();
@@ -87,7 +94,13 @@ StepResult Simulator::step(const InputVector& in,
                    " value(s), model '" + cm_->name + "' expects " +
                    std::to_string(cm_->inputs.size()));
   }
+  return engine_ == EvalEngine::kTape ? stepTape(in, cov) : stepTree(in, cov);
+}
+
+StepResult Simulator::stepTree(const InputVector& in,
+                               coverage::CoverageTracker* cov) {
   Env env;
+  env.reserve(cm_->varCount());
   bindState(env);
   for (std::size_t i = 0; i < cm_->inputs.size(); ++i) {
     env.set(cm_->inputs[i].info.id, in[i].castTo(cm_->inputs[i].info.type));
@@ -156,6 +169,91 @@ StepResult Simulator::step(const InputVector& in,
       next.emplace_back(ev.evalScalar(sv.next).castTo(sv.type));
     } else {
       next.emplace_back(Value(sv.type, ev.evalArray(sv.next)));
+    }
+  }
+  state_ = std::move(next);
+  return result;
+}
+
+StepResult Simulator::stepTape(const InputVector& in,
+                               coverage::CoverageTracker* cov) {
+  // One linear pass computes every root; the coverage/output/next-state
+  // logic below reads slots in exactly the order stepTree evaluates, so
+  // recorded coverage and committed values are bit-identical to the tree.
+  expr::TapeExecutor& ex = *exec_;
+  for (std::size_t i = 0; i < cm_->states.size(); ++i) {
+    const auto& sv = cm_->states[i];
+    if (sv.width == 1) {
+      ex.setVar(sv.id, state_[i].scalar());
+    } else {
+      ex.setArrayVar(sv.id, state_[i].elems());
+    }
+  }
+  for (std::size_t i = 0; i < cm_->inputs.size(); ++i) {
+    // Same coercion chain as the tree path: the env stores
+    // in[i].castTo(info.type), and each kVar slot casts to its node type.
+    ex.setVar(cm_->inputs[i].info.id,
+              in[i].castTo(cm_->inputs[i].info.type));
+  }
+  ex.run();
+
+  StepResult result;
+  if (cov != nullptr) {
+    for (std::size_t di = 0; di < cm_->decisions.size(); ++di) {
+      const auto& d = cm_->decisions[di];
+      if (!ex.scalar(modelTape_.decisionActivations[di]).toBool()) continue;
+      int taken = -1;
+      const auto& arms = modelTape_.decisionArms[di];
+      for (std::size_t a = 0; a < arms.size(); ++a) {
+        if (ex.scalar(arms[a]).toBool()) {
+          taken = static_cast<int>(a);
+          break;
+        }
+      }
+      if (taken < 0) {
+        throw SimError("step: no arm of decision '" + d.name +
+                       "' satisfied although its activation holds");
+      }
+      const int newBranch = cov->recordDecision(d.id, taken);
+      if (newBranch >= 0) result.newlyCovered.push_back(newBranch);
+      if (!d.conditions.empty()) {
+        std::vector<bool> vals;
+        vals.reserve(d.conditions.size());
+        for (const auto& slot : modelTape_.decisionConditions[di]) {
+          vals.push_back(ex.scalar(slot).toBool());
+        }
+        if (cov->recordConditions(d.id, vals, taken == 0)) {
+          result.newConditionObservation = true;
+        }
+      }
+    }
+    for (std::size_t oi = 0; oi < cm_->objectives.size(); ++oi) {
+      const auto& obj = cm_->objectives[oi];
+      if (cov->objectiveCovered(obj.id)) continue;
+      if (ex.scalar(modelTape_.objectiveActivations[oi]).toBool() &&
+          ex.scalar(modelTape_.objectiveConds[oi]).toBool()) {
+        if (cov->recordObjective(obj.id)) {
+          result.newConditionObservation = true;
+        }
+      }
+    }
+  }
+
+  lastOutputs_.clear();
+  lastOutputs_.reserve(cm_->outputs.size());
+  for (const auto& slot : modelTape_.outputs) {
+    lastOutputs_.push_back(ex.scalar(slot));
+  }
+
+  StateSnapshot next;
+  next.reserve(cm_->states.size());
+  for (std::size_t i = 0; i < cm_->states.size(); ++i) {
+    const auto& sv = cm_->states[i];
+    const auto& slot = modelTape_.stateNext[i];
+    if (sv.width == 1) {
+      next.emplace_back(ex.scalar(slot).castTo(sv.type));
+    } else {
+      next.emplace_back(Value(sv.type, ex.array(slot)));
     }
   }
   state_ = std::move(next);

@@ -8,12 +8,15 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
 #include "compile/compiled_model.h"
+#include "compile/model_tape.h"
 #include "coverage/coverage.h"
 #include "expr/eval.h"
+#include "expr/tape.h"
 #include "util/rng.h"
 
 namespace stcg::sim {
@@ -50,9 +53,16 @@ struct StepResult {
   [[nodiscard]] bool foundNewBranch() const { return !newlyCovered.empty(); }
 };
 
+/// Which evaluation engine backs step(). kTape (default) executes the
+/// model's flattened instruction tape — bit-identical to kTree, which
+/// re-walks the expression DAG through the memoizing tree Evaluator and
+/// is kept as the semantic oracle for differential tests.
+enum class EvalEngine { kTape, kTree };
+
 class Simulator {
  public:
-  explicit Simulator(const compile::CompiledModel& cm);
+  explicit Simulator(const compile::CompiledModel& cm,
+                     EvalEngine engine = EvalEngine::kTape);
 
   /// Return to the model's initial state.
   void reset();
@@ -76,10 +86,19 @@ class Simulator {
 
   [[nodiscard]] const compile::CompiledModel& compiled() const { return *cm_; }
 
+  [[nodiscard]] EvalEngine engine() const { return engine_; }
+
  private:
   void bindState(expr::Env& env) const;
+  StepResult stepTree(const InputVector& in, coverage::CoverageTracker* cov);
+  StepResult stepTape(const InputVector& in, coverage::CoverageTracker* cov);
 
   const compile::CompiledModel* cm_;
+  EvalEngine engine_;
+  // Tape engine state: the model tape is compiled once per simulator; the
+  // executor persists across steps (slots are fully overwritten per run).
+  compile::ModelTape modelTape_;
+  std::optional<expr::TapeExecutor> exec_;
   StateSnapshot state_;
   std::vector<expr::Scalar> lastOutputs_;
 };

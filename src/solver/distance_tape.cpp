@@ -1,0 +1,239 @@
+#include "solver/distance_tape.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "expr/eval.h"
+#include "solver/solver.h"
+
+namespace stcg::solver {
+
+using expr::Expr;
+using expr::ExprPtr;
+using expr::Op;
+using expr::Type;
+
+namespace {
+
+constexpr double kEps = 1e-6;  // same as branchDistance's atom epsilon
+
+}  // namespace
+
+DistanceTape::DistanceTape(const ExprPtr& goal,
+                           const std::vector<expr::VarInfo>& vars)
+    : vars_(vars) {
+  if (goal->type != Type::kBool || goal->isArray()) {
+    throw expr::EvalError(
+        "DistanceTape: goal must be a scalar boolean expression");
+  }
+  expr::TapeBuilder b;
+  (void)b.addRoot(goal);
+  root_ = build(goal.get(), true, b);
+  exec_.emplace(b.finish());
+}
+
+std::int32_t DistanceTape::newSlot(double init) {
+  dist_.push_back(init);
+  return static_cast<std::int32_t>(dist_.size() - 1);
+}
+
+std::int32_t DistanceTape::build(const Expr* e, bool want,
+                                 expr::TapeBuilder& b) {
+  // Memoizing on (node, want) is sound because the distance of a node is
+  // a pure function of the point — distanceRec just recomputes shared
+  // subterms; the values are identical. Look up / store by value: the
+  // recursive calls below insert into memo_, which may rehash.
+  if (const auto it = memo_.find(e); it != memo_.end()) {
+    const std::int32_t cached = it->second[want ? 1 : 0];
+    if (cached >= 0) return cached;
+  }
+  const auto emit = [&](DistInstr in) {
+    in.dst = newSlot(0.0);
+    code_.push_back(in);
+    return in.dst;
+  };
+  const auto minOfSums = [&](std::int32_t a1, std::int32_t b1,
+                             std::int32_t a2, std::int32_t b2) {
+    DistInstr s1;
+    s1.kind = DistInstr::Kind::kSum;
+    s1.a = a1;
+    s1.b = b1;
+    const std::int32_t lhs = emit(s1);
+    DistInstr s2;
+    s2.kind = DistInstr::Kind::kSum;
+    s2.a = a2;
+    s2.b = b2;
+    const std::int32_t rhs = emit(s2);
+    DistInstr m;
+    m.kind = DistInstr::Kind::kMin;
+    m.a = lhs;
+    m.b = rhs;
+    return emit(m);
+  };
+
+  std::int32_t slot = -1;
+  switch (e->op) {
+    case Op::kConst:
+      slot = newSlot(e->constVal.toBool() == want ? 0.0 : 1.0);
+      break;
+    case Op::kNot:
+      slot = build(e->args[0].get(), !want, b);
+      break;
+    case Op::kAnd:
+    case Op::kOr: {
+      const std::int32_t a = build(e->args[0].get(), want, b);
+      const std::int32_t bb = build(e->args[1].get(), want, b);
+      // kAnd want / kOr !want -> sum; the dual -> min.
+      DistInstr in;
+      in.kind = ((e->op == Op::kAnd) == want) ? DistInstr::Kind::kSum
+                                              : DistInstr::Kind::kMin;
+      in.a = a;
+      in.b = bb;
+      slot = emit(in);
+      break;
+    }
+    case Op::kXor: {
+      const std::int32_t aT = build(e->args[0].get(), true, b);
+      const std::int32_t aF = build(e->args[0].get(), false, b);
+      const std::int32_t bT = build(e->args[1].get(), true, b);
+      const std::int32_t bF = build(e->args[1].get(), false, b);
+      // want: min(aT + bF, aF + bT); else: min(aT + bT, aF + bF).
+      slot = want ? minOfSums(aT, bF, aF, bT) : minOfSums(aT, bT, aF, bF);
+      break;
+    }
+    case Op::kIte: {
+      if (e->type != Type::kBool) break;  // non-bool ite: concrete atom
+      const std::int32_t cT = build(e->args[0].get(), true, b);
+      const std::int32_t cF = build(e->args[0].get(), false, b);
+      const std::int32_t t = build(e->args[1].get(), want, b);
+      const std::int32_t f = build(e->args[2].get(), want, b);
+      slot = minOfSums(cT, t, cF, f);
+      break;
+    }
+    default:
+      break;
+  }
+  if (slot < 0) {
+    // Atom: a comparison gets the Korel/Tracey distance off its operand
+    // values; anything else scores its concrete truth 0/1.
+    switch (e->op) {
+      case Op::kEq:
+      case Op::kNe:
+      case Op::kLt:
+      case Op::kLe:
+      case Op::kGt:
+      case Op::kGe: {
+        DistInstr in;
+        in.kind = DistInstr::Kind::kCmp;
+        in.cmpOp = e->op;
+        in.want = want;
+        in.va = b.slotOf(e->args[0].get()).slot;
+        in.vb = b.slotOf(e->args[1].get()).slot;
+        slot = emit(in);
+        break;
+      }
+      default: {
+        DistInstr in;
+        in.kind = DistInstr::Kind::kTruth;
+        in.want = want;
+        in.va = b.slotOf(e).slot;
+        slot = emit(in);
+        break;
+      }
+    }
+  }
+  memo_.try_emplace(e, std::array<std::int32_t, 2>{-1, -1})
+      .first->second[want ? 1 : 0] = slot;
+  return slot;
+}
+
+double DistanceTape::runOverlay() {
+  const auto& scalars = *exec_;
+  for (const DistInstr& in : code_) {
+    double out = 0.0;
+    switch (in.kind) {
+      case DistInstr::Kind::kSum:
+        out = dist_[static_cast<std::size_t>(in.a)] +
+              dist_[static_cast<std::size_t>(in.b)];
+        break;
+      case DistInstr::Kind::kMin:
+        out = std::min(dist_[static_cast<std::size_t>(in.a)],
+                       dist_[static_cast<std::size_t>(in.b)]);
+        break;
+      case DistInstr::Kind::kCmp: {
+        // Same expressions as atomDistance, operand for operand.
+        const double l =
+            scalars.scalar({in.va, false}).toReal();
+        const double r =
+            scalars.scalar({in.vb, false}).toReal();
+        switch (in.cmpOp) {
+          case Op::kEq: {
+            const double d = std::fabs(l - r);
+            out = in.want ? d : (d == 0.0 ? 1.0 : 0.0);
+            break;
+          }
+          case Op::kNe: {
+            const double d = std::fabs(l - r);
+            out = in.want ? (d == 0.0 ? 1.0 : 0.0) : d;
+            break;
+          }
+          case Op::kLt: {
+            const double d = l - r;
+            out = in.want ? (d < 0.0 ? 0.0 : d + kEps)
+                          : (d >= 0.0 ? 0.0 : -d + kEps);
+            break;
+          }
+          case Op::kLe: {
+            const double d = l - r;
+            out = in.want ? (d <= 0.0 ? 0.0 : d)
+                          : (d > 0.0 ? 0.0 : -d + kEps);
+            break;
+          }
+          case Op::kGt: {
+            const double d = r - l;
+            out = in.want ? (d < 0.0 ? 0.0 : d + kEps)
+                          : (d >= 0.0 ? 0.0 : -d + kEps);
+            break;
+          }
+          default: {  // kGe
+            const double d = r - l;
+            out = in.want ? (d <= 0.0 ? 0.0 : d)
+                          : (d > 0.0 ? 0.0 : -d + kEps);
+            break;
+          }
+        }
+        break;
+      }
+      case DistInstr::Kind::kTruth:
+        out = scalars.scalar({in.va, false}).toBool() == in.want ? 0.0 : 1.0;
+        break;
+    }
+    dist_[static_cast<std::size_t>(in.dst)] = out;
+  }
+  return dist_[static_cast<std::size_t>(root_)];
+}
+
+double DistanceTape::rebind(const std::vector<double>& point) {
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    exec_->setVar(vars_[i].id, scalarForVar(vars_[i], point[i]));
+  }
+  exec_->run();
+  return runOverlay();
+}
+
+double DistanceTape::update(std::size_t varIdx, double value) {
+  const auto& v = vars_[varIdx];
+  exec_->setVar(v.id, scalarForVar(v, value));
+  exec_->runCone(v.id);
+  return runOverlay();
+}
+
+std::size_t DistanceTape::valueInstrCount() const {
+  return exec_->tape().code().size();
+}
+
+std::size_t DistanceTape::maxConeSize() const {
+  return exec_->tape().maxConeSize();
+}
+
+}  // namespace stcg::solver

@@ -1,0 +1,79 @@
+// Incremental branch-distance evaluation for the local-search solver.
+//
+// The hill climber scores thousands of candidate points per query, and
+// each score is a full branchDistance() tree walk: value evaluation of
+// every atom plus the Korel/Tracey distance recursion. A DistanceTape
+// compiles the goal once into
+//   (1) a value tape (expr::Tape) over the goal's whole DAG, and
+//   (2) a distance overlay: a linear program of sum/min/compare/truth
+//       instructions over double slots, one per distinct (node, want)
+//       pair of the distance recursion,
+// so scoring a point is two linear sweeps. Because the climber mutates
+// one variable at a time, update() rebinds that variable and re-executes
+// only its dirty cone on the value tape before re-running the (small)
+// overlay — the incremental mode that makes tape-backed search fast.
+//
+// Bit-identity: the overlay applies the same double operations in the
+// same order as distanceRec/atomDistance (same kEps, same operand order
+// for + and std::min), and value slots are bit-identical to the tree
+// Evaluator, so every cost returned equals branchDistance() exactly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/expr.h"
+#include "expr/tape.h"
+
+namespace stcg::solver {
+
+class DistanceTape {
+ public:
+  /// Compile `goal` (scalar boolean) for the variable list the search
+  /// mutates. Throws expr::EvalError on a non-boolean goal.
+  DistanceTape(const expr::ExprPtr& goal,
+               const std::vector<expr::VarInfo>& vars);
+
+  /// Bind every variable to `point` (raw reals, scalarForVar coercion)
+  /// and return the full-evaluation distance.
+  double rebind(const std::vector<double>& point);
+
+  /// Mutate variable `varIdx` (index into the constructor's list) to
+  /// `value` and return the re-evaluated distance, re-executing only the
+  /// variable's dirty cone on the value tape. Requires a prior rebind().
+  double update(std::size_t varIdx, double value);
+
+  /// Diagnostics for bench reporting.
+  [[nodiscard]] std::size_t valueInstrCount() const;
+  [[nodiscard]] std::size_t overlayInstrCount() const { return code_.size(); }
+  [[nodiscard]] std::size_t maxConeSize() const;
+
+ private:
+  struct DistInstr {
+    enum class Kind { kSum, kMin, kCmp, kTruth };
+    Kind kind = Kind::kSum;
+    std::int32_t dst = -1;
+    std::int32_t a = -1, b = -1;    // distance-slot operands (kSum/kMin)
+    std::int32_t va = -1, vb = -1;  // value-tape scalar slots (kCmp/kTruth)
+    expr::Op cmpOp = expr::Op::kEq; // kCmp
+    bool want = true;               // kCmp/kTruth
+  };
+
+  std::int32_t build(const expr::Expr* e, bool want, expr::TapeBuilder& b);
+  std::int32_t newSlot(double init);
+  double runOverlay();
+
+  std::vector<expr::VarInfo> vars_;
+  std::optional<expr::TapeExecutor> exec_;
+  std::vector<DistInstr> code_;
+  std::vector<double> dist_;       // distance slots (constants pre-set)
+  std::int32_t root_ = -1;
+  // Build-time distance memo: node -> slot per want polarity (-1 = none).
+  std::unordered_map<const expr::Expr*, std::array<std::int32_t, 2>> memo_;
+};
+
+}  // namespace stcg::solver

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include <optional>
+
 #include "expr/eval.h"
+#include "solver/distance_tape.h"
 #include "util/stopwatch.h"
 
 namespace stcg::solver {
@@ -150,16 +153,24 @@ SolveResult LocalSearchSolver::solve(const ExprPtr& goal,
       }
     }
   };
+  expr::VarId maxVarId = -1;
+  for (const auto& v : vars) maxVarId = std::max(maxVarId, v.id);
   const auto toEnv = [&](const std::vector<double>& p) {
     Env env;
+    env.reserve(static_cast<std::size_t>(maxVarId + 1));
     for (std::size_t i = 0; i < vars.size(); ++i) {
       env.set(vars[i].id, scalarForVar(vars[i], p[i]));
     }
     return env;
   };
+  // Tape engine: goal compiled once; full rebinds at (re)starts, dirty-cone
+  // updates for the single-variable pattern moves below. Cost values are
+  // bit-identical to branchDistance, so both engines walk the same points.
+  std::optional<DistanceTape> dt;
+  if (engine_ == Engine::kTape) dt.emplace(goal, vars);
   const auto cost = [&](const std::vector<double>& p) {
     ++result.stats.samplesTried;
-    return branchDistance(goal, toEnv(p), true);
+    return dt ? dt->rebind(p) : branchDistance(goal, toEnv(p), true);
   };
 
   randomize();
@@ -188,13 +199,23 @@ SolveResult LocalSearchSolver::solve(const ExprPtr& goal,
           if (vars[i].type != Type::kReal) {
             candidate[i] = std::round(candidate[i]);
           }
-          const double c = cost(candidate);
+          double c;
+          if (dt) {
+            // Single-coordinate move: dirty-cone re-evaluation only.
+            ++result.stats.samplesTried;
+            c = dt->update(i, candidate[i]);
+          } else {
+            c = cost(candidate);
+          }
           if (c < best) {
             best = c;
             point = std::move(candidate);
             improved = true;
             break;
           }
+          // Rejected: restore the tape to the current point (the revert
+          // replays the same cone; it is not a scored sample).
+          if (dt) (void)dt->update(i, point[i]);
         }
         if (improved) break;
       }

@@ -24,8 +24,16 @@ namespace stcg::solver {
 
 class LocalSearchSolver {
  public:
-  explicit LocalSearchSolver(SolveOptions options = {})
-      : options_(options) {}
+  /// Cost engine. kTape (default) scores candidates through an
+  /// incremental DistanceTape (dirty-cone re-evaluation per mutated
+  /// variable); kTree walks branchDistance's recursion each time and is
+  /// kept as the oracle. Both produce bit-identical cost sequences, so
+  /// the search visits the same points and returns the same result.
+  enum class Engine { kTape, kTree };
+
+  explicit LocalSearchSolver(SolveOptions options = {},
+                             Engine engine = Engine::kTape)
+      : options_(options), engine_(engine) {}
 
   /// Find an assignment making `goal` true, or report UNKNOWN — local
   /// search can never prove UNSAT.
@@ -34,6 +42,7 @@ class LocalSearchSolver {
 
  private:
   SolveOptions options_;
+  Engine engine_ = Engine::kTape;
 };
 
 /// Branch distance of `goal` (toward `want`) under `env`; 0 iff satisfied.

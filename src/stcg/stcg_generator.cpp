@@ -19,6 +19,7 @@ namespace {
 expr::Env stateEnv(const compile::CompiledModel& cm,
                    const sim::StateSnapshot& s) {
   expr::Env env;
+  env.reserve(cm.varCount());
   for (std::size_t i = 0; i < cm.states.size(); ++i) {
     const auto& sv = cm.states[i];
     if (sv.width == 1) {
@@ -81,7 +82,7 @@ class Run {
         randomRng_(rngRoot_.fork(kRandomStream)),
         inputInfos_(cm.inputInfos()),
         tracker_(cm),
-        sim_(cm),
+        sim_(cm, opt.simEngine),
         tree_(sim_.snapshot()),
         deadline_(Deadline::afterMillis(opt.budgetMillis)),
         pool_(std::make_unique<ThreadPool>(

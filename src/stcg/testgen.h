@@ -87,6 +87,10 @@ struct GenOptions {
   /// more constraint solvers"). kPortfolio adds branch-distance local
   /// search behind the box solver for nonlinear residuals.
   solver::SolverKind solverKind = solver::SolverKind::kBox;
+  /// Simulation engine for dynamic execution. kTape (default) runs the
+  /// flattened instruction tape; kTree keeps the recursive Evaluator as a
+  /// semantic oracle. Results are bit-identical either way.
+  sim::EvalEngine simEngine = sim::EvalEngine::kTape;
   int randomSeqLen = 24;             // N of Algorithm 2
   int maxTreeNodes = 4096;
   int maxUnrollDepth = 3;            // SLDV-like unrolling bound

@@ -1,0 +1,818 @@
+// Tape-engine tests: the bit-identity contract between the compiled
+// instruction tape and the tree walkers it replaces.
+//
+//   - differential fuzz over random expression DAGs (every Op kind):
+//     concrete tape vs tree Evaluator, interval tape vs IntervalEvaluator,
+//     incremental dirty-cone updates vs full re-evaluation,
+//   - DistanceTape vs branchDistance (bitwise costs, including the
+//     incremental update path the hill climber uses),
+//   - tape-vs-tree Simulator runs across all eight bench models
+//     (outputs, snapshots, coverage events),
+//   - batched interval verdicts vs per-constraint tree walks under the
+//     computed state invariant,
+//   - LocalSearchSolver and StcgGenerator producing identical results on
+//     either engine,
+//   - the satellite regressions: pinned-root dedup in both evaluators and
+//     Env::reserve semantics.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/interval_eval.h"
+#include "analysis/interval_tape.h"
+#include "analysis/reachability.h"
+#include "benchmodels/benchmodels.h"
+#include "compile/compiler.h"
+#include "coverage/coverage.h"
+#include "expr/builder.h"
+#include "expr/eval.h"
+#include "expr/tape.h"
+#include "interval/interval.h"
+#include "model/model.h"
+#include "sim/simulator.h"
+#include "solver/distance_tape.h"
+#include "solver/local_search.h"
+#include "solver/solver.h"
+#include "stcg/stcg_generator.h"
+#include "util/rng.h"
+
+namespace stcg {
+namespace {
+
+using expr::Env;
+using expr::ExprPtr;
+using expr::Scalar;
+using expr::SlotRef;
+using expr::Type;
+using expr::VarInfo;
+using interval::Interval;
+
+// Bitwise comparison helpers. Scalar::operator== compares doubles with
+// ==, which would miss a NaN-vs-NaN agreement and accept -0.0 == +0.0;
+// the tape contract is *bit* identity, so compare payload bits.
+bool sameBits(double a, double b) {
+  std::uint64_t x = 0, y = 0;
+  std::memcpy(&x, &a, sizeof a);
+  std::memcpy(&y, &b, sizeof b);
+  return x == y;
+}
+
+bool sameScalar(const Scalar& a, const Scalar& b) {
+  if (a.type() != b.type()) return false;
+  if (a.type() == Type::kReal) return sameBits(a.toReal(), b.toReal());
+  return a == b;
+}
+
+bool sameInterval(const Interval& a, const Interval& b) {
+  if (a.isEmpty() || b.isEmpty()) return a.isEmpty() == b.isEmpty();
+  return sameBits(a.lo(), b.lo()) && sameBits(a.hi(), b.hi());
+}
+
+// ----- Random-DAG fuzz harness --------------------------------------------
+//
+// Grows pools of well-typed expressions by repeatedly applying random
+// productions to random pool members, which yields genuinely shared DAG
+// structure (the same subterm feeds many parents). Integer and real
+// arithmetic results are clamped through min/max towers so no value chain
+// can reach signed-overflow or out-of-int64 territory — the tape evaluates
+// untaken kIte arms eagerly, so *every* emitted computation must stay
+// defined under UBSAN, not just the taken path.
+
+ExprPtr clampInt(ExprPtr e) {
+  return expr::minE(expr::maxE(std::move(e), expr::cInt(-100000)),
+                    expr::cInt(100000));
+}
+
+ExprPtr clampReal(ExprPtr e) {
+  return expr::minE(expr::maxE(std::move(e), expr::cReal(-1e6)),
+                    expr::cReal(1e6));
+}
+
+struct FuzzDag {
+  std::vector<VarInfo> vars;  // scalar variables, ids 0..7
+  std::vector<ExprPtr> bools, ints, reals;
+  std::vector<ExprPtr> realArrays, intArrays;  // ids 8 (real,4) / 9 (int,3)
+  bool withArrays = false;
+
+  std::vector<ExprPtr>& pool(Type t) {
+    return t == Type::kBool ? bools : (t == Type::kInt ? ints : reals);
+  }
+};
+
+constexpr expr::VarId kRealArrId = 8;
+constexpr expr::VarId kIntArrId = 9;
+
+FuzzDag makeFuzzDag(Rng& rng, bool withArrays) {
+  FuzzDag d;
+  d.withArrays = withArrays;
+  d.vars = {
+      {0, "b0", Type::kBool, 0, 1},      {1, "b1", Type::kBool, 0, 1},
+      {2, "i0", Type::kInt, -10, 10},    {3, "i1", Type::kInt, -10, 10},
+      {4, "i2", Type::kInt, -10, 10},    {5, "r0", Type::kReal, -100, 100},
+      {6, "r1", Type::kReal, -100, 100}, {7, "r2", Type::kReal, -100, 100},
+  };
+  for (const auto& v : d.vars) d.pool(v.type).push_back(expr::mkVar(v));
+  d.ints.push_back(expr::cInt(rng.uniformInt(-5, 5)));
+  d.reals.push_back(expr::cReal(rng.uniformReal(-5.0, 5.0)));
+  if (withArrays) {
+    d.realArrays.push_back(expr::mkVarArray(kRealArrId, "ar", Type::kReal, 4));
+    d.intArrays.push_back(expr::mkVarArray(kIntArrId, "ai", Type::kInt, 3));
+    d.realArrays.push_back(expr::cArray(
+        Type::kReal,
+        {Scalar::r(0.5), Scalar::r(-2.0), Scalar::r(7.25), Scalar::r(3.0)}));
+    d.intArrays.push_back(
+        expr::cArray(Type::kInt, {Scalar::i(1), Scalar::i(-4), Scalar::i(9)}));
+  }
+
+  const auto pick = [&](const std::vector<ExprPtr>& pool) -> const ExprPtr& {
+    return pool[rng.index(pool.size())];
+  };
+  const auto pickNumPool = [&]() -> std::vector<ExprPtr>& {
+    return rng.chance(0.5) ? d.ints : d.reals;
+  };
+
+  const int kGrow = 80;
+  for (int it = 0; it < kGrow; ++it) {
+    switch (rng.index(withArrays ? 11 : 8)) {
+      case 0:
+        d.bools.push_back(expr::notE(pick(d.bools)));
+        break;
+      case 1: {
+        const auto& a = pick(d.bools);
+        const auto& b = pick(d.bools);
+        switch (rng.index(3)) {
+          case 0: d.bools.push_back(expr::andE(a, b)); break;
+          case 1: d.bools.push_back(expr::orE(a, b)); break;
+          default: d.bools.push_back(expr::xorE(a, b)); break;
+        }
+        break;
+      }
+      case 2: {  // scalar ite, same-typed arms
+        const Type t = std::vector<Type>{Type::kBool, Type::kInt,
+                                         Type::kReal}[rng.index(3)];
+        auto& p = d.pool(t);
+        p.push_back(expr::iteE(pick(d.bools), pick(p), pick(p)));
+        break;
+      }
+      case 3: {  // relational over numerics (mixed int/real promotes)
+        const auto& a = pick(pickNumPool());
+        const auto& b = pick(pickNumPool());
+        switch (rng.index(6)) {
+          case 0: d.bools.push_back(expr::ltE(a, b)); break;
+          case 1: d.bools.push_back(expr::leE(a, b)); break;
+          case 2: d.bools.push_back(expr::gtE(a, b)); break;
+          case 3: d.bools.push_back(expr::geE(a, b)); break;
+          case 4: d.bools.push_back(expr::eqE(a, b)); break;
+          default: d.bools.push_back(expr::neE(a, b)); break;
+        }
+        break;
+      }
+      case 4: {  // integer arithmetic, clamped
+        const auto& a = pick(d.ints);
+        const auto& b = pick(d.ints);
+        ExprPtr e;
+        switch (rng.index(7)) {
+          case 0: e = expr::addE(a, b); break;
+          case 1: e = expr::subE(a, b); break;
+          case 2: e = expr::mulE(a, b); break;
+          case 3: e = expr::divE(a, b); break;  // guarded: x/0 == 0
+          case 4: e = expr::modE(a, b); break;  // guarded: x%0 == 0
+          case 5: e = expr::minE(a, b); break;
+          default: e = expr::maxE(a, b); break;
+        }
+        d.ints.push_back(clampInt(std::move(e)));
+        break;
+      }
+      case 5: {  // real arithmetic, clamped
+        const auto& a = pick(d.reals);
+        const auto& b = pick(d.reals);
+        ExprPtr e;
+        switch (rng.index(7)) {
+          case 0: e = expr::addE(a, b); break;
+          case 1: e = expr::subE(a, b); break;
+          case 2: e = expr::mulE(a, b); break;
+          case 3: e = expr::divE(a, b); break;
+          case 4: e = expr::modE(a, b); break;
+          case 5: e = expr::minE(a, b); break;
+          default: e = expr::maxE(a, b); break;
+        }
+        d.reals.push_back(clampReal(std::move(e)));
+        break;
+      }
+      case 6: {  // unary numeric (stays within the clamped range)
+        auto& p = pickNumPool();
+        p.push_back(rng.chance(0.5) ? expr::negE(pick(p))
+                                    : expr::absE(pick(p)));
+        break;
+      }
+      case 7: {  // cast between scalar types
+        const Type from = std::vector<Type>{Type::kBool, Type::kInt,
+                                            Type::kReal}[rng.index(3)];
+        const Type to = std::vector<Type>{Type::kBool, Type::kInt,
+                                          Type::kReal}[rng.index(3)];
+        d.pool(to).push_back(expr::castE(pick(d.pool(from)), to));
+        break;
+      }
+      case 8: {  // select (index clamps at runtime)
+        if (rng.chance(0.5)) {
+          d.reals.push_back(expr::selectE(pick(d.realArrays), pick(d.ints)));
+        } else {
+          d.ints.push_back(expr::selectE(pick(d.intArrays), pick(d.ints)));
+        }
+        break;
+      }
+      case 9: {  // store
+        if (rng.chance(0.5)) {
+          d.realArrays.push_back(expr::storeE(pick(d.realArrays),
+                                              pick(d.ints), pick(d.reals)));
+        } else {
+          d.intArrays.push_back(expr::storeE(pick(d.intArrays), pick(d.ints),
+                                             pick(d.ints)));
+        }
+        break;
+      }
+      default: {  // array ite
+        auto& p = rng.chance(0.5) ? d.realArrays : d.intArrays;
+        p.push_back(expr::iteE(pick(d.bools), pick(p), pick(p)));
+        break;
+      }
+    }
+  }
+  return d;
+}
+
+Scalar randomScalarFor(Rng& rng, const VarInfo& v) {
+  switch (v.type) {
+    case Type::kBool: return Scalar::b(rng.chance(0.5));
+    case Type::kInt: return Scalar::i(rng.uniformInt(-10, 10));
+    case Type::kReal: return Scalar::r(rng.uniformReal(-100.0, 100.0));
+  }
+  return Scalar::r(0);
+}
+
+Env randomEnv(Rng& rng, const FuzzDag& d) {
+  Env env;
+  env.reserve(10);
+  for (const auto& v : d.vars) env.set(v.id, randomScalarFor(rng, v));
+  if (d.withArrays) {
+    std::vector<Scalar> ar;
+    for (int i = 0; i < 4; ++i) ar.push_back(Scalar::r(rng.uniformReal(-50.0, 50.0)));
+    env.setArray(kRealArrId, std::move(ar));
+    std::vector<Scalar> ai;
+    for (int i = 0; i < 3; ++i) ai.push_back(Scalar::i(rng.uniformInt(-20, 20)));
+    env.setArray(kIntArrId, std::move(ai));
+  }
+  return env;
+}
+
+// ----- Tape basics ---------------------------------------------------------
+
+TEST(TapeBasics, ConstantRootsNeedNoInstructions) {
+  expr::TapeBuilder b;
+  const auto c = expr::cReal(2.5);
+  const SlotRef s1 = b.addRoot(c);
+  const SlotRef s2 = b.addRoot(expr::cReal(2.5));  // distinct node, same bits
+  const auto arr =
+      expr::cArray(Type::kInt, {Scalar::i(1), Scalar::i(2)});
+  const SlotRef sa = b.addRoot(arr);
+  expr::TapeExecutor ex(b.finish());
+  EXPECT_TRUE(ex.tape().code().empty());
+  EXPECT_EQ(s1.slot, s2.slot) << "equal constants must share one slot";
+  ex.run();  // no variables, no instructions: a no-op
+  EXPECT_TRUE(sameScalar(ex.scalar(s1), Scalar::r(2.5)));
+  ASSERT_TRUE(sa.isArray);
+  ASSERT_EQ(ex.array(sa).size(), 2u);
+  EXPECT_TRUE(sameScalar(ex.array(sa)[1], Scalar::i(2)));
+}
+
+TEST(TapeBasics, CseSharesSubtermsWithinAndAcrossRoots) {
+  const VarInfo xi{0, "x", Type::kInt, -10, 10};
+  const VarInfo yi{1, "y", Type::kInt, -10, 10};
+  const auto x = expr::mkVar(xi);
+  const auto y = expr::mkVar(yi);
+  const auto common = expr::addE(x, y);
+  expr::TapeBuilder b;
+  (void)b.addRoot(expr::mulE(common, x));
+  (void)b.addRoot(expr::subE(common, y));
+  // A structurally identical add built from fresh nodes: value numbering
+  // must fold it onto the existing instruction, not emit a new one.
+  const SlotRef again = b.addRoot(expr::addE(expr::mkVar(xi), expr::mkVar(yi)));
+  const SlotRef first = b.slotOf(common.get());
+  EXPECT_EQ(again.slot, first.slot);
+  expr::TapeExecutor ex(b.finish());
+  // Exactly {add, mul, sub}: the shared add is emitted once.
+  EXPECT_EQ(ex.tape().code().size(), 3u);
+  ex.setVar(0, Scalar::i(4));
+  ex.setVar(1, Scalar::i(7));
+  ex.run();
+  EXPECT_TRUE(sameScalar(ex.scalar(first), Scalar::i(11)));
+}
+
+TEST(TapeBasics, SlotOfUnknownNodeThrows) {
+  expr::TapeBuilder b;
+  (void)b.addRoot(expr::cInt(1));
+  const auto stranger = expr::cInt(99);
+  EXPECT_THROW((void)b.slotOf(stranger.get()), expr::EvalError);
+}
+
+TEST(TapeBasics, RunNamesTheFirstUnboundVariable) {
+  const auto x = expr::mkVar({0, "x", Type::kInt, -10, 10});
+  const auto y = expr::mkVar({1, "lonely_y", Type::kInt, -10, 10});
+  expr::TapeBuilder b;
+  const SlotRef root = b.addRoot(expr::addE(x, y));
+  expr::TapeExecutor ex(b.finish());
+  ex.setVar(0, Scalar::i(1));
+  try {
+    ex.run();
+    FAIL() << "expected EvalError for the unbound variable";
+  } catch (const expr::EvalError& e) {
+    EXPECT_NE(std::string(e.what()).find("lonely_y"), std::string::npos)
+        << e.what();
+  }
+  ex.setVar(1, Scalar::i(2));
+  ex.run();
+  EXPECT_TRUE(sameScalar(ex.scalar(root), Scalar::i(3)));
+}
+
+TEST(TapeBasics, ConesCoverExactlyTheDependentInstructions) {
+  const auto x = expr::mkVar({0, "x", Type::kInt, -10, 10});
+  const auto y = expr::mkVar({1, "y", Type::kInt, -10, 10});
+  const auto z = expr::mkVar({2, "z", Type::kInt, -10, 10});
+  expr::TapeBuilder b;
+  const SlotRef sum = b.addRoot(expr::addE(x, y));      // depends on x, y
+  const SlotRef dbl = b.addRoot(expr::mulE(z, z));      // depends on z only
+  expr::TapeExecutor ex(b.finish());
+  const auto* coneX = ex.tape().coneOf(0);
+  ASSERT_NE(coneX, nullptr);
+  EXPECT_EQ(coneX->size(), 1u);
+  const auto* coneZ = ex.tape().coneOf(2);
+  ASSERT_NE(coneZ, nullptr);
+  EXPECT_EQ(coneZ->size(), 1u);
+  EXPECT_NE((*coneX)[0], (*coneZ)[0]);
+  EXPECT_EQ(ex.tape().coneOf(77), nullptr) << "unknown variable: no cone";
+  EXPECT_GE(ex.tape().maxConeSize(), 1u);
+
+  ex.setVar(0, Scalar::i(1));
+  ex.setVar(1, Scalar::i(2));
+  ex.setVar(2, Scalar::i(5));
+  ex.run();
+  EXPECT_TRUE(sameScalar(ex.scalar(dbl), Scalar::i(25)));
+  ex.setVar(2, Scalar::i(6));
+  ex.runCone(2);
+  EXPECT_TRUE(sameScalar(ex.scalar(dbl), Scalar::i(36)));
+  EXPECT_TRUE(sameScalar(ex.scalar(sum), Scalar::i(3)))
+      << "z's cone must not touch the x+y slot";
+}
+
+// ----- Differential fuzz: concrete tape vs tree Evaluator ------------------
+
+TEST(TapeFuzz, ScalarTapeMatchesTreeEvaluatorBitwise) {
+  Rng rng(20260805);
+  for (int trial = 0; trial < 25; ++trial) {
+    FuzzDag d = makeFuzzDag(rng, /*withArrays=*/true);
+    expr::TapeBuilder b;
+    std::vector<ExprPtr> roots;
+    std::vector<SlotRef> slots;
+    const auto addRootFrom = [&](const std::vector<ExprPtr>& pool) {
+      const auto& e = pool[rng.index(pool.size())];
+      roots.push_back(e);
+      slots.push_back(b.addRoot(e));
+    };
+    for (int i = 0; i < 3; ++i) addRootFrom(d.bools);
+    for (int i = 0; i < 2; ++i) {
+      addRootFrom(d.ints);
+      addRootFrom(d.reals);
+    }
+    addRootFrom(d.realArrays);
+    addRootFrom(d.intArrays);
+
+    expr::TapeExecutor ex(b.finish());
+    Env env = randomEnv(rng, d);
+    ex.bindEnv(env);
+    ex.run();
+
+    const auto checkAll = [&](const Env& cur, const char* what) {
+      expr::Evaluator ev(cur);
+      for (std::size_t i = 0; i < roots.size(); ++i) {
+        if (roots[i]->isArray()) {
+          const auto tree = ev.evalArray(roots[i]);
+          const auto& tape = ex.array(slots[i]);
+          ASSERT_EQ(tree.size(), tape.size())
+              << what << " trial " << trial << " root " << i;
+          for (std::size_t j = 0; j < tree.size(); ++j) {
+            EXPECT_TRUE(sameScalar(tree[j], tape[j]))
+                << what << " trial " << trial << " root " << i << " [" << j
+                << "]";
+          }
+        } else {
+          EXPECT_TRUE(sameScalar(ev.evalScalar(roots[i]), ex.scalar(slots[i])))
+              << what << " trial " << trial << " root " << i;
+        }
+      }
+    };
+    checkAll(env, "full");
+
+    // Incremental: mutate one variable at a time, replay only its cone on
+    // the live executor, and require *every* root (not just the obviously
+    // affected ones) to match a fresh tree evaluation — this catches any
+    // instruction missing from a cone.
+    for (int m = 0; m < 6; ++m) {
+      const auto& v = d.vars[rng.index(d.vars.size())];
+      const Scalar nv = randomScalarFor(rng, v);
+      env.set(v.id, nv);
+      ex.setVar(v.id, nv);
+      ex.runCone(v.id);
+      checkAll(env, "cone");
+    }
+    // One array-variable cone as well.
+    std::vector<Scalar> ar;
+    for (int i = 0; i < 4; ++i) {
+      ar.push_back(Scalar::r(rng.uniformReal(-50.0, 50.0)));
+    }
+    env.setArray(kRealArrId, ar);
+    ex.setArrayVar(kRealArrId, ar);
+    ex.runCone(kRealArrId);
+    checkAll(env, "array-cone");
+  }
+}
+
+// ----- Differential fuzz: interval tape vs IntervalEvaluator ---------------
+
+TEST(TapeFuzz, IntervalTapeMatchesTreeIntervalEvaluator) {
+  Rng rng(77001);
+  for (int trial = 0; trial < 20; ++trial) {
+    FuzzDag d = makeFuzzDag(rng, /*withArrays=*/true);
+    expr::TapeBuilder b;
+    std::vector<ExprPtr> roots;
+    std::vector<SlotRef> slots;
+    const auto addRootFrom = [&](const std::vector<ExprPtr>& pool) {
+      const auto& e = pool[rng.index(pool.size())];
+      roots.push_back(e);
+      slots.push_back(b.addRoot(e));
+    };
+    for (int i = 0; i < 3; ++i) addRootFrom(d.bools);
+    for (int i = 0; i < 2; ++i) {
+      addRootFrom(d.ints);
+      addRootFrom(d.reals);
+    }
+    addRootFrom(d.realArrays);
+    addRootFrom(d.intArrays);
+
+    // Bind a random subset; unbound variables must fall back to their
+    // declared domains identically in both engines.
+    analysis::IntervalEnv env;
+    for (const auto& v : d.vars) {
+      if (!rng.chance(0.6)) continue;
+      if (v.type == Type::kReal) {
+        double a = rng.uniformReal(v.lo, v.hi);
+        double c = rng.uniformReal(v.lo, v.hi);
+        if (a > c) std::swap(a, c);
+        env.set(v.id, Interval(a, c));
+      } else {
+        std::int64_t a = rng.uniformInt(static_cast<std::int64_t>(v.lo),
+                                        static_cast<std::int64_t>(v.hi));
+        std::int64_t c = rng.uniformInt(static_cast<std::int64_t>(v.lo),
+                                        static_cast<std::int64_t>(v.hi));
+        if (a > c) std::swap(a, c);
+        env.set(v.id, Interval(static_cast<double>(a),
+                               static_cast<double>(c)));
+      }
+    }
+    if (rng.chance(0.5)) {
+      std::vector<Interval> elems;
+      for (int i = 0; i < 4; ++i) {
+        const double m = rng.uniformReal(-50.0, 50.0);
+        elems.push_back(Interval(m, m + rng.uniformReal(0.0, 10.0)));
+      }
+      env.setArray(kRealArrId, std::move(elems));
+    }
+    if (rng.chance(0.5)) {
+      std::vector<Interval> elems;
+      for (int i = 0; i < 3; ++i) {
+        const auto m = static_cast<double>(rng.uniformInt(-20, 20));
+        elems.push_back(Interval(m, m + 3.0));
+      }
+      env.setArray(kIntArrId, std::move(elems));
+    }
+
+    analysis::IntervalTapeExecutor ex(b.finish());
+    ex.bind(env);
+    ex.run();
+    analysis::IntervalEvaluator ev(env);
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+      if (roots[i]->isArray()) {
+        const auto tree = ev.evalArray(roots[i]);
+        const auto& tape = ex.array(slots[i]);
+        ASSERT_EQ(tree.size(), tape.size()) << "trial " << trial;
+        for (std::size_t j = 0; j < tree.size(); ++j) {
+          EXPECT_TRUE(sameInterval(tree[j], tape[j]))
+              << "trial " << trial << " root " << i << " [" << j << "]: ["
+              << tree[j].lo() << "," << tree[j].hi() << "] vs ["
+              << tape[j].lo() << "," << tape[j].hi() << "]";
+        }
+      } else {
+        const Interval tree = ev.evalScalar(roots[i]);
+        const Interval& tape = ex.scalar(slots[i]);
+        EXPECT_TRUE(sameInterval(tree, tape))
+            << "trial " << trial << " root " << i << ": [" << tree.lo() << ","
+            << tree.hi() << "] vs [" << tape.lo() << "," << tape.hi() << "]";
+      }
+    }
+  }
+}
+
+// ----- Differential fuzz: DistanceTape vs branchDistance -------------------
+
+TEST(TapeFuzz, DistanceTapeMatchesBranchDistanceBitwise) {
+  Rng rng(5150);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Scalar-only DAG: the hill climber's goals range over input scalars.
+    FuzzDag d = makeFuzzDag(rng, /*withArrays=*/false);
+    ExprPtr goal = d.bools[rng.index(d.bools.size())];
+    goal = expr::andE(std::move(goal), d.bools[rng.index(d.bools.size())]);
+    goal = expr::orE(std::move(goal), d.bools[rng.index(d.bools.size())]);
+
+    solver::DistanceTape dt(goal, d.vars);
+    EXPECT_GT(dt.overlayInstrCount() + 1, 0u);  // touch the diagnostics
+
+    const auto toEnv = [&](const std::vector<double>& p) {
+      Env env;
+      for (std::size_t i = 0; i < d.vars.size(); ++i) {
+        env.set(d.vars[i].id, solver::scalarForVar(d.vars[i], p[i]));
+      }
+      return env;
+    };
+    const auto randomCoord = [&](const VarInfo& v) -> double {
+      if (v.type == Type::kReal) return rng.uniformReal(v.lo, v.hi);
+      return static_cast<double>(
+          rng.uniformInt(static_cast<std::int64_t>(v.lo),
+                         static_cast<std::int64_t>(v.hi)));
+    };
+
+    std::vector<double> point(d.vars.size());
+    for (std::size_t i = 0; i < point.size(); ++i) {
+      point[i] = randomCoord(d.vars[i]);
+    }
+    EXPECT_EQ(dt.rebind(point),
+              solver::branchDistance(goal, toEnv(point), true))
+        << "trial " << trial << " initial rebind";
+
+    // The climber's pattern: single-coordinate mutations scored through
+    // the dirty cone. Every cost must equal the full tree walk exactly.
+    for (int m = 0; m < 25; ++m) {
+      const std::size_t i = rng.index(d.vars.size());
+      point[i] = randomCoord(d.vars[i]);
+      EXPECT_EQ(dt.update(i, point[i]),
+                solver::branchDistance(goal, toEnv(point), true))
+          << "trial " << trial << " move " << m;
+    }
+    // And a mid-stream full rebind (restart path).
+    EXPECT_EQ(dt.rebind(point),
+              solver::branchDistance(goal, toEnv(point), true))
+        << "trial " << trial << " restart rebind";
+  }
+}
+
+// ----- Simulator: tape engine vs tree engine on the bench suite ------------
+
+class TapeSimSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TapeSimSweep, TapeAndTreeEnginesAgreeStepForStep) {
+  const auto cm = compile::compile(bench::buildBenchModel(GetParam()));
+  sim::Simulator tape(cm);  // kTape is the default
+  sim::Simulator tree(cm, sim::EvalEngine::kTree);
+  EXPECT_EQ(tape.engine(), sim::EvalEngine::kTape);
+  EXPECT_EQ(tree.engine(), sim::EvalEngine::kTree);
+  coverage::CoverageTracker covTape(cm);
+  coverage::CoverageTracker covTree(cm);
+
+  Rng rng(2026);
+  sim::StateSnapshot mark = tape.snapshot();
+  for (int stepNo = 0; stepNo < 250; ++stepNo) {
+    if (stepNo == 100) mark = tape.snapshot();
+    if (stepNo == 200) {  // exercise the restore path under both engines
+      tape.restore(mark);
+      tree.restore(mark);
+    }
+    const auto in = sim::randomInput(cm, rng);
+    const auto ra = tape.step(in, &covTape);
+    const auto rb = tree.step(in, &covTree);
+    EXPECT_EQ(ra.newlyCovered, rb.newlyCovered) << "step " << stepNo;
+    EXPECT_EQ(ra.newConditionObservation, rb.newConditionObservation)
+        << "step " << stepNo;
+    const auto& outA = tape.lastOutputs();
+    const auto& outB = tree.lastOutputs();
+    ASSERT_EQ(outA.size(), outB.size());
+    for (std::size_t i = 0; i < outA.size(); ++i) {
+      EXPECT_TRUE(sameScalar(outA[i], outB[i]))
+          << "step " << stepNo << " output " << i;
+    }
+    EXPECT_TRUE(tape.state() == tree.state()) << "step " << stepNo;
+    EXPECT_EQ(sim::snapshotHash(tape.state()), sim::snapshotHash(tree.state()))
+        << "step " << stepNo;
+  }
+  EXPECT_EQ(covTape.coveredBranchCount(), covTree.coveredBranchCount());
+  EXPECT_EQ(covTape.decisionCoverage(), covTree.decisionCoverage());
+  EXPECT_EQ(covTape.conditionCoverage(), covTree.conditionCoverage());
+  EXPECT_EQ(covTape.mcdcCoverage(), covTree.mcdcCoverage());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, TapeSimSweep,
+                         ::testing::Values("CPUTask", "AFC", "TWC",
+                                           "NICProtocol", "UTPC", "LANSwitch",
+                                           "LEDLC", "TCP"));
+
+// ----- Batched interval verdicts under the real state invariants -----------
+
+TEST(IntervalTape, BatchVerdictsMatchTreeWalkUnderModelInvariants) {
+  for (const auto& info : bench::allBenchModels()) {
+    const auto cm = compile::compile(info.build());
+    const auto inv = analysis::computeStateInvariant(cm);
+    std::vector<ExprPtr> roots;
+    for (const auto& br : cm.branches) roots.push_back(br.pathConstraint);
+    for (const auto& obj : cm.objectives) {
+      roots.push_back(expr::andE(obj.activation, obj.cond));
+    }
+    if (roots.empty()) continue;
+    const auto batch = analysis::intervalVerdicts(roots, inv.env);
+    ASSERT_EQ(batch.size(), roots.size()) << info.name;
+    analysis::IntervalEvaluator ev(inv.env);
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+      const Interval tree = ev.evalScalar(roots[i]);
+      EXPECT_TRUE(sameInterval(tree, batch[i]))
+          << info.name << " constraint " << i << ": [" << tree.lo() << ","
+          << tree.hi() << "] vs [" << batch[i].lo() << "," << batch[i].hi()
+          << "]";
+    }
+  }
+}
+
+// ----- LocalSearchSolver: identical search under either engine -------------
+
+TEST(LocalSearchEngines, TapeAndTreeProduceIdenticalResults) {
+  const VarInfo x{201, "x", Type::kReal, -10, 10};
+  const VarInfo y{202, "y", Type::kReal, -10, 10};
+  const auto dx = expr::subE(expr::mkVar(x), expr::cReal(3.0));
+  const auto dy = expr::addE(expr::mkVar(y), expr::cReal(2.0));
+  const auto goal = expr::leE(
+      expr::addE(expr::mulE(dx, dx), expr::mulE(dy, dy)), expr::cReal(0.5));
+
+  solver::SolveOptions so;
+  so.seed = 5;
+  so.timeBudgetMillis = 5000;  // generous: both runs terminate on SAT
+  solver::LocalSearchSolver tapeSolver(so);  // kTape is the default
+  solver::LocalSearchSolver treeSolver(so, solver::LocalSearchSolver::Engine::kTree);
+  const auto ra = tapeSolver.solve(goal, {x, y});
+  const auto rb = treeSolver.solve(goal, {x, y});
+  ASSERT_TRUE(ra.sat());
+  ASSERT_TRUE(rb.sat());
+  EXPECT_EQ(ra.stats.samplesTried, rb.stats.samplesTried)
+      << "bit-identical costs must drive the identical search path";
+  EXPECT_TRUE(sameBits(ra.model.get(x.id).toReal(), rb.model.get(x.id).toReal()));
+  EXPECT_TRUE(sameBits(ra.model.get(y.id).toReal(), rb.model.get(y.id).toReal()));
+}
+
+// ----- End-to-end: StcgGenerator result pinned across sim engines ----------
+
+// The latch model from the parallel-determinism tests: deep state, full
+// branch coverage reachable, so runs terminate on coverage (not the wall
+// clock) and the whole GenResult is comparable.
+model::Model makeLatchModel() {
+  model::Model m("Latch");
+  auto code = m.addInport("code", Type::kInt, 0, 100000);
+  auto arm = m.addInport("arm", Type::kBool, 0, 1);
+  auto latch = m.addUnitDelayHole("latched", Scalar::i(-1));
+  auto latchNext = m.addSwitch("latch_next", code, arm, latch,
+                               model::SwitchCriteria::kNotZero, 0.0);
+  m.bindDelayInput(latch, latchNext);
+  auto match = m.addRelational("match", model::RelOp::kEq, code, latch);
+  auto valid = m.addCompareToConst("valid", latch, model::RelOp::kGe, 0.0);
+  auto unlock = m.addLogical("unlock", model::LogicOp::kAnd, {match, valid});
+  auto one = m.addConstant("one", Scalar::i(1));
+  auto zero = m.addConstant("zero", Scalar::i(0));
+  m.addOutport("y", m.addSwitch("out", one, unlock, zero,
+                                model::SwitchCriteria::kNotZero, 0.0));
+  return m;
+}
+
+void expectIdenticalGen(const gen::GenResult& a, const gen::GenResult& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.tests.size(), b.tests.size()) << what;
+  for (std::size_t i = 0; i < a.tests.size(); ++i) {
+    EXPECT_EQ(a.tests[i].steps, b.tests[i].steps) << what << " test " << i;
+    EXPECT_EQ(a.tests[i].origin, b.tests[i].origin) << what << " test " << i;
+    EXPECT_EQ(a.tests[i].goalLabel, b.tests[i].goalLabel)
+        << what << " test " << i;
+  }
+  EXPECT_EQ(a.coverage.decision, b.coverage.decision) << what;
+  EXPECT_EQ(a.coverage.condition, b.coverage.condition) << what;
+  EXPECT_EQ(a.coverage.mcdc, b.coverage.mcdc) << what;
+  EXPECT_EQ(a.coverage.coveredBranches, b.coverage.coveredBranches) << what;
+  EXPECT_EQ(a.stats.solveCalls, b.stats.solveCalls) << what;
+  EXPECT_EQ(a.stats.solveSat, b.stats.solveSat) << what;
+  EXPECT_EQ(a.stats.stepsExecuted, b.stats.stepsExecuted) << what;
+  EXPECT_EQ(a.stats.treeNodes, b.stats.treeNodes) << what;
+  EXPECT_EQ(a.stats.randomSequences, b.stats.randomSequences) << what;
+}
+
+TEST(StcgEngines, GenResultIdenticalAcrossSimEngines) {
+  const auto cm = compile::compile(makeLatchModel());
+  const auto runWith = [&](sim::EvalEngine engine) {
+    gen::GenOptions opt;
+    opt.budgetMillis = 30000;  // non-binding: the run stops on coverage
+    opt.seed = 77;
+    opt.solver.timeBudgetMillis = 1000;
+    opt.includeConditionGoals = false;  // see test_parallel_gen.cpp
+    opt.simEngine = engine;
+    gen::StcgGenerator g;
+    return g.generate(cm, opt);
+  };
+  const auto tape = runWith(sim::EvalEngine::kTape);
+  EXPECT_EQ(tape.coverage.decision, 1.0)
+      << "latch must reach full coverage for the comparison to be stable";
+  expectIdenticalGen(tape, runWith(sim::EvalEngine::kTree), "latch engines");
+}
+
+TEST(StcgEngines, SimEngineDefaultsToTape) {
+  const gen::GenOptions opt;
+  EXPECT_EQ(opt.simEngine, sim::EvalEngine::kTape);
+}
+
+// ----- Satellite regressions ----------------------------------------------
+
+TEST(EvaluatorRegression, PinnedRootsDoNotGrowOnRepeatedEval) {
+  const auto v = expr::mkVar({0, "v", Type::kInt, -10, 10});
+  const auto root = expr::addE(v, expr::cInt(1));
+  Env env;
+  env.set(0, Scalar::i(41));
+  expr::Evaluator ev(env);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(sameScalar(ev.evalScalar(root), Scalar::i(42)));
+  }
+  EXPECT_EQ(ev.pinnedRootCount(), 1u)
+      << "re-evaluating one root must pin it exactly once";
+  const auto root2 = expr::subE(v, expr::cInt(1));
+  (void)ev.evalScalar(root2);
+  (void)ev.evalScalar(root2);
+  EXPECT_EQ(ev.pinnedRootCount(), 2u);
+
+  // Array roots go through the same dedup.
+  const auto arr = expr::mkVarArray(1, "a", Type::kInt, 2);
+  env.setArray(1, {Scalar::i(1), Scalar::i(2)});
+  expr::Evaluator ev2(env);
+  for (int i = 0; i < 50; ++i) (void)ev2.evalArray(arr);
+  EXPECT_EQ(ev2.pinnedRootCount(), 1u);
+}
+
+TEST(IntervalEvaluatorRegression, PinnedRootsDoNotGrowOnRepeatedEval) {
+  const auto v = expr::mkVar({0, "v", Type::kReal, -5, 5});
+  const auto root = expr::mulE(v, v);
+  analysis::IntervalEnv env;
+  env.set(0, Interval(1.0, 2.0));
+  analysis::IntervalEvaluator ev(env);
+  for (int i = 0; i < 100; ++i) (void)ev.evalScalar(root);
+  EXPECT_EQ(ev.pinnedRootCount(), 1u);
+  const auto arr = expr::mkVarArray(1, "a", Type::kReal, 3);
+  for (int i = 0; i < 50; ++i) (void)ev.evalArray(arr);
+  EXPECT_EQ(ev.pinnedRootCount(), 2u);
+}
+
+TEST(EnvReserve, ReserveKeepsSetGetSemantics) {
+  Env env;
+  env.reserve(4);
+  env.set(0, Scalar::i(10));
+  env.set(3, Scalar::r(2.5));
+  EXPECT_TRUE(env.has(0));
+  EXPECT_TRUE(env.has(3));
+  EXPECT_FALSE(env.has(2));
+  EXPECT_TRUE(sameScalar(env.get(3), Scalar::r(2.5)));
+  // Setting past the reserved range still grows.
+  env.set(10, Scalar::b(true));
+  EXPECT_TRUE(env.has(10));
+  EXPECT_TRUE(env.get(10).toBool());
+  EXPECT_EQ(env.size(), 3u);
+  // A smaller reserve never shrinks or drops bindings.
+  env.reserve(1);
+  EXPECT_TRUE(env.has(10));
+  EXPECT_TRUE(sameScalar(env.get(0), Scalar::i(10)));
+}
+
+TEST(EnvReserve, CompiledModelVarCountCoversAllIds) {
+  for (const auto& info : bench::allBenchModels()) {
+    const auto cm = compile::compile(info.build());
+    const std::size_t n = cm.varCount();
+    for (const auto& in : cm.inputs) {
+      EXPECT_LT(static_cast<std::size_t>(in.info.id), n) << info.name;
+    }
+    for (const auto& sv : cm.states) {
+      EXPECT_LT(static_cast<std::size_t>(sv.id), n) << info.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stcg

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Release-mode evaluation-engine benchmark: builds bench_eval_tape with
+# full optimization and writes the measured tree-vs-tape table to
+# BENCH_eval.json at the repo root (the numbers quoted in EXPERIMENTS.md).
+#
+# Usage: tools/bench.sh [build-dir] [-- extra bench_eval_tape args]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"$repo_root/build-release"}"
+shift || true
+[ "${1:-}" = "--" ] && shift
+
+echo "== configure (Release) =="
+cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release \
+  ${STCG_CHECK_GENERATOR:+-G "$STCG_CHECK_GENERATOR"}
+
+echo "== build bench_eval_tape =="
+cmake --build "$build_dir" -j "$(nproc)" --target bench_eval_tape
+
+echo "== run =="
+"$build_dir/bench/bench_eval_tape" --json "$repo_root/BENCH_eval.json" "$@"

@@ -47,6 +47,16 @@ else
 fi
 rm -rf "$tsan_probe"
 
+# The tape engine's perf contract is meaningless under sanitizers, so the
+# bench smoke gate gets its own small Release build: --quick fails (exit 1)
+# if the tape engine is ever slower than the tree walk it replaced.
+echo "== release bench smoke (bench_eval_tape --quick) =="
+bench_dir="${build_dir}-bench"
+cmake -S "$repo_root" -B "$bench_dir" -DCMAKE_BUILD_TYPE=Release \
+  ${STCG_CHECK_GENERATOR:+-G "$STCG_CHECK_GENERATOR"}
+cmake --build "$bench_dir" -j "$(nproc)" --target bench_eval_tape
+"$bench_dir/bench/bench_eval_tape" --quick
+
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "== clang-tidy (src/) =="
   find "$repo_root/src" -name '*.cpp' -print0 |
