@@ -1,0 +1,292 @@
+// Batched-lane microbenchmark: scalar tape vs the SoA multi-lane
+// BatchTapeExecutor, on the two production hot loops it accelerates.
+//
+// Per bench model and per lane width B in {1, 4, 8, 16, 32}:
+//   - solver scoring throughput (candidates/sec): the hill climber's
+//     single-coordinate candidate scoring. B=1 is the scalar
+//     DistanceTape full rebind; B>1 scores B candidates per pass through
+//     a BatchDistanceTape. Both evaluate the full distance program per
+//     candidate — the batch only amortizes instruction dispatch across
+//     lanes, which is exactly what the local-search batch path buys.
+//   - replay throughput (steps/sec): coverage-recorded simulation. B=1
+//     is Simulator::step (tape engine) with a tracker; B>1 advances B
+//     trajectories per BatchSimulator::stepBatch and replays every
+//     lane's observation into the tracker, the same work the generator's
+//     batched replay expansion and replaySuite do per committed lane.
+//
+// Usage: bench_batch_eval [--quick] [--json PATH] [--seconds S]
+//   --quick    short windows and a pass/fail gate: exits 1 unless B=8
+//              beats the scalar tape on candidates/sec for every model
+//              (Release smoke stage of tools/check.sh);
+//   --json     write the measured table as JSON (tools/bench.sh writes
+//              BENCH_batch.json for EXPERIMENTS.md);
+//   --seconds  measurement window per cell (default 0.25; 0.05 in quick).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "benchmodels/benchmodels.h"
+#include "compile/compiler.h"
+#include "coverage/coverage.h"
+#include "expr/builder.h"
+#include "expr/subst.h"
+#include "sim/batch_simulator.h"
+#include "sim/simulator.h"
+#include "solver/distance_tape.h"
+#include "solver/solver.h"
+#include "util/rng.h"
+
+namespace stcg {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int kWidths[] = {1, 4, 8, 16, 32};
+constexpr std::size_t kNumWidths = sizeof kWidths / sizeof kWidths[0];
+
+double secondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Row {
+  std::string name;
+  double cand[kNumWidths] = {};   // candidates/sec at kWidths[i]
+  double steps[kNumWidths] = {};  // replay steps/sec at kWidths[i]
+
+  [[nodiscard]] double candSpeedupB8() const {
+    return cand[0] > 0 ? cand[2] / cand[0] : 0;  // kWidths[2] == 8
+  }
+  [[nodiscard]] double stepSpeedupB8() const {
+    return steps[0] > 0 ? steps[2] / steps[0] : 0;
+  }
+};
+
+// The residual goal the solver modes score: disjunction of the model's
+// non-constant branch residuals at the initial state (same as
+// bench_eval_tape, so candidates/sec columns are comparable across the
+// two benchmarks).
+expr::ExprPtr residualGoal(const compile::CompiledModel& cm) {
+  const expr::Env state = cm.initialStateEnv();
+  std::vector<expr::ExprPtr> parts;
+  for (const auto& br : cm.branches) {
+    if (parts.size() >= 6) break;
+    auto r = expr::substitute(br.pathConstraint, state);
+    if (r->op != expr::Op::kConst) parts.push_back(std::move(r));
+  }
+  expr::ExprPtr goal = expr::orAll(parts);
+  if (goal->op != expr::Op::kConst) return goal;
+  const auto& v = cm.inputs[0].info;
+  return expr::geE(expr::mkVar(v), expr::cReal((v.lo + v.hi) * 0.5));
+}
+
+double measureCandidatesPerSec(const expr::ExprPtr& goal,
+                               const std::vector<expr::VarInfo>& vars,
+                               int lanes, double window) {
+  // The same deterministic mutation stream at every width: start from
+  // the domain midpoint, move one coordinate per candidate.
+  Rng rng(4242);
+  std::vector<double> point(vars.size());
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    point[i] = (vars[i].lo + vars[i].hi) * 0.5;
+  }
+  const auto mutate = [&] {
+    const std::size_t i = rng.index(vars.size());
+    point[i] = vars[i].type == expr::Type::kReal
+                   ? rng.uniformReal(vars[i].lo, vars[i].hi)
+                   : static_cast<double>(rng.uniformInt(
+                         static_cast<std::int64_t>(vars[i].lo),
+                         static_cast<std::int64_t>(vars[i].hi)));
+  };
+
+  double sink = 0;  // defeat dead-code elimination of the measured work
+  std::size_t cands = 0;
+  const auto t0 = Clock::now();
+  double elapsed = 0;
+  if (lanes <= 1) {
+    solver::DistanceTape dt(goal, vars);
+    do {
+      for (int i = 0; i < 64; ++i) {
+        mutate();
+        sink += dt.rebind(point);
+      }
+      cands += 64;
+      elapsed = secondsSince(t0);
+    } while (elapsed < window);
+  } else {
+    solver::BatchDistanceTape bdt(goal, vars, lanes);
+    do {
+      for (int l = 0; l < lanes; ++l) {
+        mutate();
+        bdt.setPoint(l, point);
+      }
+      bdt.run();
+      for (int l = 0; l < lanes; ++l) sink += bdt.distance(l);
+      cands += static_cast<std::size_t>(lanes);
+      elapsed = secondsSince(t0);
+    } while (elapsed < window);
+  }
+  if (sink == -1.0) std::cerr << "";  // keep `sink` observable
+  return static_cast<double>(cands) / elapsed;
+}
+
+double measureReplayStepsPerSec(const compile::CompiledModel& cm, int lanes,
+                                const std::vector<sim::InputVector>& inputs,
+                                double window) {
+  coverage::CoverageTracker cov(cm);
+  std::size_t cursor = 0;
+  std::size_t steps = 0;
+  double elapsed = 0;
+  if (lanes <= 1) {
+    sim::Simulator s(cm, sim::EvalEngine::kTape);
+    for (int i = 0; i < 64; ++i) {  // warmup
+      (void)s.step(inputs[cursor], &cov);
+      cursor = (cursor + 1) % inputs.size();
+    }
+    const auto t0 = Clock::now();
+    do {
+      for (int i = 0; i < 128; ++i) {
+        (void)s.step(inputs[cursor], &cov);
+        cursor = (cursor + 1) % inputs.size();
+      }
+      steps += 128;
+      elapsed = secondsSince(t0);
+    } while (elapsed < window);
+    return static_cast<double>(steps) / elapsed;
+  }
+  sim::BatchSimulator bs(cm, lanes);
+  std::vector<const sim::InputVector*> in(static_cast<std::size_t>(lanes));
+  std::vector<sim::StepObservation> obs;
+  const auto batchStep = [&] {
+    for (int l = 0; l < lanes; ++l) {
+      in[static_cast<std::size_t>(l)] = &inputs[cursor];
+      cursor = (cursor + 1) % inputs.size();
+    }
+    bs.stepBatch(in, obs);
+    for (int l = 0; l < lanes; ++l) {
+      (void)sim::recordObservation(cm, obs[static_cast<std::size_t>(l)], cov);
+    }
+  };
+  for (int i = 0; i < 8; ++i) batchStep();  // warmup
+  const auto t0 = Clock::now();
+  do {
+    for (int i = 0; i < 16; ++i) batchStep();
+    steps += 16 * static_cast<std::size_t>(lanes);
+    elapsed = secondsSince(t0);
+  } while (elapsed < window);
+  return static_cast<double>(steps) / elapsed;
+}
+
+void writeJson(const std::string& path, const std::vector<Row>& rows) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"batch_eval\",\n  \"models\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"name\": \"" << r.name << "\"";
+    char buf[128];
+    for (std::size_t w = 0; w < kNumWidths; ++w) {
+      std::snprintf(buf, sizeof buf, ", \"cand_per_sec_b%d\": %.0f",
+                    kWidths[w], r.cand[w]);
+      out << buf;
+    }
+    for (std::size_t w = 0; w < kNumWidths; ++w) {
+      std::snprintf(buf, sizeof buf, ", \"replay_steps_per_sec_b%d\": %.0f",
+                    kWidths[w], r.steps[w]);
+      out << buf;
+    }
+    std::snprintf(buf, sizeof buf,
+                  ", \"cand_speedup_b8\": %.2f, \"replay_speedup_b8\": %.2f}%s\n",
+                  r.candSpeedupB8(), r.stepSpeedupB8(),
+                  i + 1 < rows.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+}
+
+int run(int argc, char** argv) {
+  bool quick = false;
+  std::string jsonPath;
+  double window = 0.25;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+      window = 0.05;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
+    } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      window = std::strtod(argv[++i], nullptr);
+    } else {
+      std::cerr << "usage: bench_batch_eval [--quick] [--json PATH] "
+                   "[--seconds S]\n";
+      return 2;
+    }
+  }
+
+  std::vector<Row> rows;
+  for (const auto& info : bench::allBenchModels()) {
+    const auto cm = compile::compile(info.build());
+    Row row;
+    row.name = info.name;
+
+    const auto goal = residualGoal(cm);
+    const auto vars = cm.inputInfos();
+    Rng inputRng(42);
+    std::vector<sim::InputVector> inputs;
+    for (int i = 0; i < 256; ++i) {
+      inputs.push_back(sim::randomInput(cm, inputRng));
+    }
+    for (std::size_t w = 0; w < kNumWidths; ++w) {
+      row.cand[w] = measureCandidatesPerSec(goal, vars, kWidths[w], window);
+      row.steps[w] =
+          measureReplayStepsPerSec(cm, kWidths[w], inputs, window);
+    }
+    rows.push_back(std::move(row));
+  }
+
+  std::printf("%-12s | %s\n", "", "candidates/sec by lane width (speedup)");
+  std::printf("%-12s %12s %12s %12s %12s %12s %8s\n", "model", "B=1", "B=4",
+              "B=8", "B=16", "B=32", "b8 spd");
+  for (const Row& r : rows) {
+    std::printf("%-12s %12.0f %12.0f %12.0f %12.0f %12.0f %7.2fx\n",
+                r.name.c_str(), r.cand[0], r.cand[1], r.cand[2], r.cand[3],
+                r.cand[4], r.candSpeedupB8());
+  }
+  std::printf("%-12s | %s\n", "", "replay steps/sec by lane width (speedup)");
+  for (const Row& r : rows) {
+    std::printf("%-12s %12.0f %12.0f %12.0f %12.0f %12.0f %7.2fx\n",
+                r.name.c_str(), r.steps[0], r.steps[1], r.steps[2],
+                r.steps[3], r.steps[4], r.stepSpeedupB8());
+  }
+  int candWins = 0;
+  for (const Row& r : rows) candWins += r.candSpeedupB8() >= 2.0 ? 1 : 0;
+  std::printf("models with B=8 candidate speedup >= 2x: %d/%zu\n", candWins,
+              rows.size());
+
+  if (!jsonPath.empty()) {
+    writeJson(jsonPath, rows);
+    std::printf("wrote %s\n", jsonPath.c_str());
+  }
+
+  if (quick) {
+    for (const Row& r : rows) {
+      if (r.cand[2] <= r.cand[0]) {
+        std::fprintf(stderr,
+                     "FAIL: B=8 batch not faster than scalar tape on %s "
+                     "(%.0f vs %.0f cand/s)\n",
+                     r.name.c_str(), r.cand[2], r.cand[0]);
+        return 1;
+      }
+    }
+    std::printf("quick gate passed: B=8 beats scalar on every model\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace stcg
+
+int main(int argc, char** argv) { return stcg::run(argc, argv); }

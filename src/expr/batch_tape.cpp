@@ -1,0 +1,799 @@
+#include "expr/batch_tape.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "expr/builder.h"
+
+namespace stcg::expr {
+
+namespace {
+
+inline std::uint64_t realBits(double d) {
+  std::uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+inline double bitsReal(std::uint64_t u) {
+  double d;
+  std::memcpy(&d, &u, sizeof(d));
+  return d;
+}
+
+/// Exactly Scalar::toInt for a real payload (saturating, non-finite -> 0).
+inline std::int64_t realToInt(double r) {
+  if (!std::isfinite(r)) return 0;
+  if (r >= 9.2e18) return INT64_MAX;
+  if (r <= -9.2e18) return INT64_MIN;
+  return static_cast<std::int64_t>(r);
+}
+
+inline std::uint64_t bitsOf(const Scalar& s) {
+  switch (s.type()) {
+    case Type::kBool:
+      return s.asBool() ? 1 : 0;
+    case Type::kInt:
+      return static_cast<std::uint64_t>(s.asInt());
+    case Type::kReal:
+      return realBits(s.asReal());
+  }
+  return 0;
+}
+
+}  // namespace
+
+BatchTapeExecutor::BatchTapeExecutor(std::shared_ptr<const Tape> tape,
+                                     int lanes)
+    : tape_(std::move(tape)), lanes_(lanes < 1 ? 1 : lanes) {
+  const std::size_t ns = tape_->scalarSlotCount();
+  const std::size_t na = tape_->arraySlotCount();
+  const auto B = static_cast<std::size_t>(lanes_);
+
+  // Static slot typing. Every scalar slot's payload type is known at
+  // compile time except kSelect results over arrays whose element type
+  // isn't statically uniform — only var-bound arrays qualify (setArrayVar
+  // keeps elements uncast); const arrays are element-cast by the builder
+  // and kStore/array-kIte results preserve uniformity, so selects over
+  // them stay statically typed and don't poison their downstream cone
+  // into the generic path.
+  slotType_.assign(ns, Type::kInt);
+  slotDynamic_.assign(ns, 0);
+  for (const std::int32_t s : tape_->constScalarSlots()) {
+    slotType_[static_cast<std::size_t>(s)] =
+        tape_->scalarInit()[static_cast<std::size_t>(s)].type();
+  }
+  for (const auto& b : tape_->varBindings()) {
+    slotType_[static_cast<std::size_t>(b.slot)] = b.type;
+  }
+
+  // Per array slot: statically uniform element type, if any. Computed in
+  // the same forward pass as the scalar types (the tape is topologically
+  // ordered SSA, so operands are classified before their consumers).
+  std::vector<std::uint8_t> arrStatic(na, 0);
+  std::vector<Type> arrType(na, Type::kInt);
+  for (const std::int32_t s : tape_->constArraySlots()) {
+    const auto& init = tape_->arrayInit()[static_cast<std::size_t>(s)];
+    if (init.empty()) continue;
+    bool uniform = true;
+    for (const Scalar& e : init) uniform &= e.type() == init[0].type();
+    if (uniform) {
+      arrStatic[static_cast<std::size_t>(s)] = 1;
+      arrType[static_cast<std::size_t>(s)] = init[0].type();
+    }
+  }
+
+  const auto& code = tape_->code();
+  kind_.reserve(code.size());
+  const auto dyn = [&](std::int32_t s) {
+    return slotDynamic_[static_cast<std::size_t>(s)] != 0;
+  };
+  for (const TapeInstr& in : code) {
+    if (in.arrayResult) {
+      const auto dst = static_cast<std::size_t>(in.dst);
+      if (in.op == Op::kStore) {
+        // Elements: the source array's plus one value cast to in.type.
+        const auto src = static_cast<std::size_t>(in.a);
+        arrStatic[dst] = arrStatic[src] != 0 && arrType[src] == in.type;
+        arrType[dst] = in.type;
+      } else {  // array kIte
+        const auto tb = static_cast<std::size_t>(in.b);
+        const auto fc = static_cast<std::size_t>(in.c);
+        arrStatic[dst] = arrStatic[tb] != 0 && arrStatic[fc] != 0 &&
+                         arrType[tb] == arrType[fc];
+        arrType[dst] = arrType[tb];
+      }
+    } else {
+      auto& t = slotType_[static_cast<std::size_t>(in.dst)];
+      switch (in.op) {
+        case Op::kNot:
+          t = Type::kBool;  // applyUnary returns Scalar::b, uncast
+          break;
+        case Op::kNeg:
+        case Op::kAbs:
+          // applyUnary returns Scalar::i even over kBool input.
+          t = in.type == Type::kReal ? Type::kReal : Type::kInt;
+          break;
+        case Op::kSelect:
+          if (arrStatic[static_cast<std::size_t>(in.a)] != 0) {
+            t = arrType[static_cast<std::size_t>(in.a)];
+          } else {
+            slotDynamic_[static_cast<std::size_t>(in.dst)] = 1;
+            t = in.type;  // unused while dynamic; keep something sane
+          }
+          break;
+        default:
+          // kCast, scalar kIte and every binary cast to the node type.
+          t = in.type;
+          break;
+      }
+    }
+    Kind k = Kind::kGeneric;
+    if (!in.arrayResult && in.op != Op::kSelect && in.op != Op::kStore) {
+      switch (in.op) {
+        case Op::kNot:
+        case Op::kNeg:
+        case Op::kAbs:
+        case Op::kCast:
+          if (!dyn(in.a)) k = Kind::kUnary;
+          break;
+        case Op::kIte:
+          if (!dyn(in.a) && !dyn(in.b) && !dyn(in.c)) k = Kind::kIteScalar;
+          break;
+        default:
+          if (!dyn(in.a) && !dyn(in.b)) k = Kind::kBinary;
+          break;
+      }
+    }
+    kind_.push_back(k);
+  }
+
+  // Lane images. Payload types start at the static slot type so typed
+  // kernels and the generic path agree on every slot's representation;
+  // non-const slots hold zero until bound/computed (the tape is
+  // topologically ordered and run() refuses unbound variables, so those
+  // zeros are never observed).
+  vals_.assign(ns * B, 0);
+  types_.assign(ns * B, Type::kInt);
+  const auto& sinit = tape_->scalarInit();
+  for (std::size_t s = 0; s < ns; ++s) {
+    const std::uint64_t bits =
+        bitsOf(sinit[s].castTo(slotType_[s]));  // consts: identity cast
+    for (std::size_t l = 0; l < B; ++l) {
+      vals_[s * B + l] = bits;
+      types_[s * B + l] = slotType_[s];
+    }
+  }
+  arrays_.resize(na * B);
+  const auto& ainit = tape_->arrayInit();
+  for (std::size_t s = 0; s < na; ++s) {
+    for (std::size_t l = 0; l < B; ++l) arrays_[s * B + l] = ainit[s];
+  }
+
+  varBound_.assign(tape_->varBindings().size() * B, false);
+  arrayBound_.assign(tape_->arrayBindings().size() * B, false);
+
+  ra_.resize(B);
+  rb_.resize(B);
+  ia_.resize(B);
+  ib_.resize(B);
+  ba_.resize(B);
+  bb_.resize(B);
+  bc_.resize(B);
+}
+
+void BatchTapeExecutor::setVar(int lane, VarId id, const Scalar& v) {
+  const auto& bindings = tape_->varBindings();
+  auto it = std::lower_bound(
+      bindings.begin(), bindings.end(), id,
+      [](const TapeVarBinding& b, VarId want) { return b.var < want; });
+  for (; it != bindings.end() && it->var == id; ++it) {
+    // Same coercion as TapeExecutor::setVar; the payload type stays the
+    // binding type the slot was initialized with.
+    vals_[idx(it->slot, lane)] = bitsOf(v.castTo(it->type));
+    varBound_[static_cast<std::size_t>(it - bindings.begin()) *
+                  static_cast<std::size_t>(lanes_) +
+              static_cast<std::size_t>(lane)] = true;
+  }
+}
+
+void BatchTapeExecutor::setVarReal(int lane, VarId id, double v) {
+  const auto& bindings = tape_->varBindings();
+  auto it = std::lower_bound(
+      bindings.begin(), bindings.end(), id,
+      [](const TapeVarBinding& b, VarId want) { return b.var < want; });
+  for (; it != bindings.end() && it->var == id; ++it) {
+    // Payload of Scalar::r(v).castTo(it->type), computed directly.
+    std::uint64_t bits = 0;
+    switch (it->type) {
+      case Type::kReal: bits = realBits(v); break;
+      case Type::kInt: bits = static_cast<std::uint64_t>(realToInt(v)); break;
+      case Type::kBool: bits = v != 0.0 ? 1 : 0; break;
+    }
+    vals_[idx(it->slot, lane)] = bits;
+    varBound_[static_cast<std::size_t>(it - bindings.begin()) *
+                  static_cast<std::size_t>(lanes_) +
+              static_cast<std::size_t>(lane)] = true;
+  }
+}
+
+void BatchTapeExecutor::setVarInt(int lane, VarId id, std::int64_t v) {
+  const auto& bindings = tape_->varBindings();
+  auto it = std::lower_bound(
+      bindings.begin(), bindings.end(), id,
+      [](const TapeVarBinding& b, VarId want) { return b.var < want; });
+  for (; it != bindings.end() && it->var == id; ++it) {
+    std::uint64_t bits = 0;
+    switch (it->type) {
+      case Type::kInt: bits = static_cast<std::uint64_t>(v); break;
+      case Type::kReal: bits = realBits(static_cast<double>(v)); break;
+      case Type::kBool: bits = v != 0 ? 1 : 0; break;
+    }
+    vals_[idx(it->slot, lane)] = bits;
+    varBound_[static_cast<std::size_t>(it - bindings.begin()) *
+                  static_cast<std::size_t>(lanes_) +
+              static_cast<std::size_t>(lane)] = true;
+  }
+}
+
+void BatchTapeExecutor::setVarBool(int lane, VarId id, bool v) {
+  const auto& bindings = tape_->varBindings();
+  auto it = std::lower_bound(
+      bindings.begin(), bindings.end(), id,
+      [](const TapeVarBinding& b, VarId want) { return b.var < want; });
+  for (; it != bindings.end() && it->var == id; ++it) {
+    std::uint64_t bits = 0;
+    switch (it->type) {
+      case Type::kBool:
+      case Type::kInt: bits = v ? 1 : 0; break;
+      case Type::kReal: bits = realBits(v ? 1.0 : 0.0); break;
+    }
+    vals_[idx(it->slot, lane)] = bits;
+    varBound_[static_cast<std::size_t>(it - bindings.begin()) *
+                  static_cast<std::size_t>(lanes_) +
+              static_cast<std::size_t>(lane)] = true;
+  }
+}
+
+void BatchTapeExecutor::setArrayVar(int lane, VarId id,
+                                    const std::vector<Scalar>& v) {
+  const auto& bindings = tape_->arrayBindings();
+  auto it = std::lower_bound(
+      bindings.begin(), bindings.end(), id,
+      [](const TapeArrayBinding& b, VarId want) { return b.var < want; });
+  for (; it != bindings.end() && it->var == id; ++it) {
+    arrays_[idx(it->slot, lane)] = v;
+    arrayBound_[static_cast<std::size_t>(it - bindings.begin()) *
+                    static_cast<std::size_t>(lanes_) +
+                static_cast<std::size_t>(lane)] = true;
+  }
+}
+
+void BatchTapeExecutor::bindEnv(int lane, const Env& env) {
+  for (const auto& b : tape_->varBindings()) {
+    if (env.has(b.var)) setVar(lane, b.var, env.get(b.var));
+  }
+  for (const auto& b : tape_->arrayBindings()) {
+    if (env.hasArray(b.var)) setArrayVar(lane, b.var, env.getArray(b.var));
+  }
+}
+
+void BatchTapeExecutor::requireAllBound() {
+  if (checkedBound_) return;
+  const auto B = static_cast<std::size_t>(lanes_);
+  const auto& vb = tape_->varBindings();
+  for (std::size_t i = 0; i < vb.size(); ++i) {
+    for (std::size_t l = 0; l < B; ++l) {
+      if (!varBound_[i * B + l]) {
+        throw EvalError("unbound variable '" + vb[i].name + "' (id " +
+                        std::to_string(vb[i].var) + ") in lane " +
+                        std::to_string(l) + " during batch tape execution");
+      }
+    }
+  }
+  const auto& ab = tape_->arrayBindings();
+  for (std::size_t i = 0; i < ab.size(); ++i) {
+    for (std::size_t l = 0; l < B; ++l) {
+      if (!arrayBound_[i * B + l]) {
+        throw EvalError("unbound array variable '" + ab[i].name + "' (id " +
+                        std::to_string(ab[i].var) + ") in lane " +
+                        std::to_string(l) + " during batch tape execution");
+      }
+    }
+  }
+  checkedBound_ = true;
+}
+
+Scalar BatchTapeExecutor::loadScalar(std::int32_t slot, int lane) const {
+  const std::size_t k = idx(slot, lane);
+  switch (types_[k]) {
+    case Type::kBool:
+      return Scalar::b(vals_[k] != 0);
+    case Type::kInt:
+      return Scalar::i(static_cast<std::int64_t>(vals_[k]));
+    case Type::kReal:
+      return Scalar::r(bitsReal(vals_[k]));
+  }
+  return Scalar();
+}
+
+void BatchTapeExecutor::storeScalar(std::int32_t slot, int lane,
+                                    const Scalar& s) {
+  const std::size_t k = idx(slot, lane);
+  vals_[k] = bitsOf(s);
+  types_[k] = s.type();
+}
+
+void BatchTapeExecutor::loadReal(std::int32_t slot, double* out) const {
+  const std::uint64_t* v = &vals_[idx(slot, 0)];
+  const int B = lanes_;
+  switch (slotType_[static_cast<std::size_t>(slot)]) {
+    case Type::kBool:
+      for (int l = 0; l < B; ++l) out[l] = static_cast<double>(v[l]);
+      break;
+    case Type::kInt:
+      for (int l = 0; l < B; ++l) {
+        out[l] = static_cast<double>(static_cast<std::int64_t>(v[l]));
+      }
+      break;
+    case Type::kReal:
+      for (int l = 0; l < B; ++l) out[l] = bitsReal(v[l]);
+      break;
+  }
+}
+
+void BatchTapeExecutor::loadInt(std::int32_t slot, std::int64_t* out) const {
+  const std::uint64_t* v = &vals_[idx(slot, 0)];
+  const int B = lanes_;
+  switch (slotType_[static_cast<std::size_t>(slot)]) {
+    case Type::kBool:
+    case Type::kInt:
+      for (int l = 0; l < B; ++l) out[l] = static_cast<std::int64_t>(v[l]);
+      break;
+    case Type::kReal:
+      for (int l = 0; l < B; ++l) out[l] = realToInt(bitsReal(v[l]));
+      break;
+  }
+}
+
+void BatchTapeExecutor::loadBool(std::int32_t slot, std::uint64_t* out) const {
+  const std::uint64_t* v = &vals_[idx(slot, 0)];
+  const int B = lanes_;
+  switch (slotType_[static_cast<std::size_t>(slot)]) {
+    case Type::kBool:
+      for (int l = 0; l < B; ++l) out[l] = v[l];
+      break;
+    case Type::kInt:
+      for (int l = 0; l < B; ++l) out[l] = v[l] != 0 ? 1 : 0;
+      break;
+    case Type::kReal:
+      // Compare as double, not bits: -0.0 is false.
+      for (int l = 0; l < B; ++l) out[l] = bitsReal(v[l]) != 0.0 ? 1 : 0;
+      break;
+  }
+}
+
+void BatchTapeExecutor::storeRealAs(std::int32_t dst, Type dstType,
+                                    const double* in) {
+  std::uint64_t* out = &vals_[idx(dst, 0)];
+  const int B = lanes_;
+  switch (dstType) {
+    case Type::kReal:
+      for (int l = 0; l < B; ++l) out[l] = realBits(in[l]);
+      break;
+    case Type::kInt:
+      for (int l = 0; l < B; ++l) {
+        out[l] = static_cast<std::uint64_t>(realToInt(in[l]));
+      }
+      break;
+    case Type::kBool:
+      for (int l = 0; l < B; ++l) out[l] = in[l] != 0.0 ? 1 : 0;
+      break;
+  }
+}
+
+void BatchTapeExecutor::storeIntAs(std::int32_t dst, Type dstType,
+                                   const std::int64_t* in) {
+  std::uint64_t* out = &vals_[idx(dst, 0)];
+  const int B = lanes_;
+  switch (dstType) {
+    case Type::kInt:
+      for (int l = 0; l < B; ++l) out[l] = static_cast<std::uint64_t>(in[l]);
+      break;
+    case Type::kReal:
+      for (int l = 0; l < B; ++l) {
+        out[l] = realBits(static_cast<double>(in[l]));
+      }
+      break;
+    case Type::kBool:
+      for (int l = 0; l < B; ++l) out[l] = in[l] != 0 ? 1 : 0;
+      break;
+  }
+}
+
+void BatchTapeExecutor::storeBoolAs(std::int32_t dst, Type dstType,
+                                    const std::uint64_t* in) {
+  std::uint64_t* out = &vals_[idx(dst, 0)];
+  const int B = lanes_;
+  switch (dstType) {
+    case Type::kBool:
+    case Type::kInt:
+      for (int l = 0; l < B; ++l) out[l] = in[l];
+      break;
+    case Type::kReal:
+      for (int l = 0; l < B; ++l) {
+        out[l] = realBits(static_cast<double>(in[l]));
+      }
+      break;
+  }
+}
+
+void BatchTapeExecutor::execUnary(const TapeInstr& in) {
+  const int B = lanes_;
+  switch (in.op) {
+    case Op::kNot:
+      loadBool(in.a, ba_.data());
+      for (int l = 0; l < B; ++l) ba_[static_cast<std::size_t>(l)] ^= 1;
+      storeBoolAs(in.dst, Type::kBool, ba_.data());
+      break;
+    case Op::kNeg:
+      if (in.type == Type::kReal) {
+        loadReal(in.a, ra_.data());
+        for (int l = 0; l < B; ++l) {
+          ra_[static_cast<std::size_t>(l)] = -ra_[static_cast<std::size_t>(l)];
+        }
+        storeRealAs(in.dst, Type::kReal, ra_.data());
+      } else {
+        loadInt(in.a, ia_.data());
+        for (int l = 0; l < B; ++l) {
+          ia_[static_cast<std::size_t>(l)] = -ia_[static_cast<std::size_t>(l)];
+        }
+        storeIntAs(in.dst, Type::kInt, ia_.data());
+      }
+      break;
+    case Op::kAbs:
+      if (in.type == Type::kReal) {
+        loadReal(in.a, ra_.data());
+        for (int l = 0; l < B; ++l) {
+          ra_[static_cast<std::size_t>(l)] =
+              std::fabs(ra_[static_cast<std::size_t>(l)]);
+        }
+        storeRealAs(in.dst, Type::kReal, ra_.data());
+      } else {
+        loadInt(in.a, ia_.data());
+        for (int l = 0; l < B; ++l) {
+          auto& x = ia_[static_cast<std::size_t>(l)];
+          x = x < 0 ? -x : x;
+        }
+        storeIntAs(in.dst, Type::kInt, ia_.data());
+      }
+      break;
+    default:  // kCast
+      switch (in.type) {
+        case Type::kReal:
+          loadReal(in.a, ra_.data());
+          storeRealAs(in.dst, Type::kReal, ra_.data());
+          break;
+        case Type::kInt:
+          loadInt(in.a, ia_.data());
+          storeIntAs(in.dst, Type::kInt, ia_.data());
+          break;
+        case Type::kBool:
+          loadBool(in.a, ba_.data());
+          storeBoolAs(in.dst, Type::kBool, ba_.data());
+          break;
+      }
+      break;
+  }
+}
+
+void BatchTapeExecutor::execBinary(const TapeInstr& in) {
+  const int B = lanes_;
+  switch (in.op) {
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kMin:
+    case Op::kMax: {
+      const Type ta = slotType_[static_cast<std::size_t>(in.a)];
+      const Type tb = slotType_[static_cast<std::size_t>(in.b)];
+      const Type nt = promote(ta == Type::kBool ? Type::kInt : ta,
+                              tb == Type::kBool ? Type::kInt : tb);
+      if (nt == Type::kReal) {
+        loadReal(in.a, ra_.data());
+        loadReal(in.b, rb_.data());
+        double* a = ra_.data();
+        const double* b = rb_.data();
+        switch (in.op) {
+          case Op::kAdd:
+            for (int l = 0; l < B; ++l) a[l] += b[l];
+            break;
+          case Op::kSub:
+            for (int l = 0; l < B; ++l) a[l] -= b[l];
+            break;
+          case Op::kMul:
+            for (int l = 0; l < B; ++l) a[l] *= b[l];
+            break;
+          case Op::kDiv:
+            for (int l = 0; l < B; ++l) {
+              a[l] = b[l] == 0.0 ? 0.0 : a[l] / b[l];
+            }
+            break;
+          case Op::kMin:
+            for (int l = 0; l < B; ++l) a[l] = std::fmin(a[l], b[l]);
+            break;
+          default:
+            for (int l = 0; l < B; ++l) a[l] = std::fmax(a[l], b[l]);
+            break;
+        }
+        storeRealAs(in.dst, in.type, a);
+      } else {
+        loadInt(in.a, ia_.data());
+        loadInt(in.b, ib_.data());
+        std::int64_t* a = ia_.data();
+        const std::int64_t* b = ib_.data();
+        switch (in.op) {
+          case Op::kAdd:
+            for (int l = 0; l < B; ++l) a[l] += b[l];
+            break;
+          case Op::kSub:
+            for (int l = 0; l < B; ++l) a[l] -= b[l];
+            break;
+          case Op::kMul:
+            for (int l = 0; l < B; ++l) a[l] *= b[l];
+            break;
+          case Op::kDiv:
+            for (int l = 0; l < B; ++l) a[l] = b[l] == 0 ? 0 : a[l] / b[l];
+            break;
+          case Op::kMin:
+            for (int l = 0; l < B; ++l) a[l] = std::min(a[l], b[l]);
+            break;
+          default:
+            for (int l = 0; l < B; ++l) a[l] = std::max(a[l], b[l]);
+            break;
+        }
+        storeIntAs(in.dst, in.type, a);
+      }
+      break;
+    }
+    case Op::kMod:
+      // applyBinary routes kMod through toInt regardless of promotion.
+      loadInt(in.a, ia_.data());
+      loadInt(in.b, ib_.data());
+      for (int l = 0; l < B; ++l) {
+        auto& a = ia_[static_cast<std::size_t>(l)];
+        const auto b = ib_[static_cast<std::size_t>(l)];
+        a = b == 0 ? 0 : a % b;
+      }
+      storeIntAs(in.dst, in.type, ia_.data());
+      break;
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kGt:
+    case Op::kGe:
+    case Op::kEq:
+    case Op::kNe: {
+      // Comparisons always go through toReal, like applyBinary.
+      loadReal(in.a, ra_.data());
+      loadReal(in.b, rb_.data());
+      const double* a = ra_.data();
+      const double* b = rb_.data();
+      std::uint64_t* o = ba_.data();
+      switch (in.op) {
+        case Op::kLt:
+          for (int l = 0; l < B; ++l) o[l] = a[l] < b[l] ? 1 : 0;
+          break;
+        case Op::kLe:
+          for (int l = 0; l < B; ++l) o[l] = a[l] <= b[l] ? 1 : 0;
+          break;
+        case Op::kGt:
+          for (int l = 0; l < B; ++l) o[l] = a[l] > b[l] ? 1 : 0;
+          break;
+        case Op::kGe:
+          for (int l = 0; l < B; ++l) o[l] = a[l] >= b[l] ? 1 : 0;
+          break;
+        case Op::kEq:
+          for (int l = 0; l < B; ++l) o[l] = a[l] == b[l] ? 1 : 0;
+          break;
+        default:
+          for (int l = 0; l < B; ++l) o[l] = a[l] != b[l] ? 1 : 0;
+          break;
+      }
+      storeBoolAs(in.dst, in.type, o);
+      break;
+    }
+    default: {  // kAnd / kOr / kXor over 0/1 lanes
+      loadBool(in.a, ba_.data());
+      loadBool(in.b, bb_.data());
+      std::uint64_t* a = ba_.data();
+      const std::uint64_t* b = bb_.data();
+      switch (in.op) {
+        case Op::kAnd:
+          for (int l = 0; l < B; ++l) a[l] &= b[l];
+          break;
+        case Op::kOr:
+          for (int l = 0; l < B; ++l) a[l] |= b[l];
+          break;
+        default:
+          for (int l = 0; l < B; ++l) a[l] ^= b[l];
+          break;
+      }
+      storeBoolAs(in.dst, in.type, a);
+      break;
+    }
+  }
+}
+
+void BatchTapeExecutor::execIteScalar(const TapeInstr& in) {
+  const int B = lanes_;
+  loadBool(in.a, bc_.data());
+  const std::uint64_t* c = bc_.data();
+  // Converting both arms to the cast target and then selecting equals
+  // selecting the Scalar first and casting it, per lane.
+  switch (in.type) {
+    case Type::kReal:
+      loadReal(in.b, ra_.data());
+      loadReal(in.c, rb_.data());
+      for (int l = 0; l < B; ++l) {
+        ra_[static_cast<std::size_t>(l)] =
+            c[l] != 0 ? ra_[static_cast<std::size_t>(l)]
+                      : rb_[static_cast<std::size_t>(l)];
+      }
+      storeRealAs(in.dst, Type::kReal, ra_.data());
+      break;
+    case Type::kInt:
+      loadInt(in.b, ia_.data());
+      loadInt(in.c, ib_.data());
+      for (int l = 0; l < B; ++l) {
+        ia_[static_cast<std::size_t>(l)] =
+            c[l] != 0 ? ia_[static_cast<std::size_t>(l)]
+                      : ib_[static_cast<std::size_t>(l)];
+      }
+      storeIntAs(in.dst, Type::kInt, ia_.data());
+      break;
+    case Type::kBool:
+      loadBool(in.b, ba_.data());
+      loadBool(in.c, bb_.data());
+      for (int l = 0; l < B; ++l) {
+        ba_[static_cast<std::size_t>(l)] =
+            c[l] != 0 ? ba_[static_cast<std::size_t>(l)]
+                      : bb_[static_cast<std::size_t>(l)];
+      }
+      storeBoolAs(in.dst, Type::kBool, ba_.data());
+      break;
+  }
+}
+
+void BatchTapeExecutor::execGeneric(const TapeInstr& in) {
+  // Per-lane mirror of TapeExecutor::exec — same helper calls, same order.
+  for (int lane = 0; lane < lanes_; ++lane) {
+    switch (in.op) {
+      case Op::kNot:
+      case Op::kNeg:
+      case Op::kAbs:
+      case Op::kCast:
+        storeScalar(in.dst, lane,
+                    applyUnary(in.op, in.type, loadScalar(in.a, lane)));
+        break;
+      case Op::kIte:
+        if (in.arrayResult) {
+          arrays_[idx(in.dst, lane)] = loadScalar(in.a, lane).toBool()
+                                           ? arrays_[idx(in.b, lane)]
+                                           : arrays_[idx(in.c, lane)];
+        } else {
+          storeScalar(in.dst, lane,
+                      (loadScalar(in.a, lane).toBool()
+                           ? loadScalar(in.b, lane)
+                           : loadScalar(in.c, lane))
+                          .castTo(in.type));
+        }
+        break;
+      case Op::kSelect: {
+        const auto& arr = arrays_[idx(in.a, lane)];
+        auto i = loadScalar(in.b, lane).toInt();
+        const auto n = static_cast<std::int64_t>(arr.size());
+        if (i < 0) i = 0;
+        if (i >= n) i = n - 1;
+        storeScalar(in.dst, lane, arr[static_cast<std::size_t>(i)]);
+        break;
+      }
+      case Op::kStore: {
+        auto& dst = arrays_[idx(in.dst, lane)];
+        dst = arrays_[idx(in.a, lane)];
+        auto i = loadScalar(in.b, lane).toInt();
+        const auto v = loadScalar(in.c, lane).castTo(in.type);
+        const auto n = static_cast<std::int64_t>(dst.size());
+        if (i < 0) i = 0;
+        if (i >= n) i = n - 1;
+        dst[static_cast<std::size_t>(i)] = v;
+        break;
+      }
+      default:
+        storeScalar(in.dst, lane,
+                    applyBinary(in.op, loadScalar(in.a, lane),
+                                loadScalar(in.b, lane))
+                        .castTo(in.type));
+        break;
+    }
+  }
+}
+
+void BatchTapeExecutor::run() {
+  requireAllBound();
+  const auto& code = tape_->code();
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const TapeInstr& in = code[i];
+    switch (kind_[i]) {
+      case Kind::kUnary:
+        execUnary(in);
+        break;
+      case Kind::kBinary:
+        execBinary(in);
+        break;
+      case Kind::kIteScalar:
+        execIteScalar(in);
+        break;
+      case Kind::kGeneric:
+        execGeneric(in);
+        break;
+    }
+  }
+}
+
+Scalar BatchTapeExecutor::scalar(SlotRef r, int lane) const {
+  return loadScalar(r.slot, lane);
+}
+
+const std::vector<Scalar>& BatchTapeExecutor::array(SlotRef r,
+                                                    int lane) const {
+  return arrays_[idx(r.slot, lane)];
+}
+
+double BatchTapeExecutor::scalarToReal(SlotRef r, int lane) const {
+  const std::size_t k = idx(r.slot, lane);
+  switch (types_[k]) {
+    case Type::kBool:
+      return vals_[k] != 0 ? 1.0 : 0.0;
+    case Type::kInt:
+      return static_cast<double>(static_cast<std::int64_t>(vals_[k]));
+    case Type::kReal:
+      return bitsReal(vals_[k]);
+  }
+  return 0.0;
+}
+
+bool BatchTapeExecutor::scalarToBool(SlotRef r, int lane) const {
+  const std::size_t k = idx(r.slot, lane);
+  switch (types_[k]) {
+    case Type::kBool:
+    case Type::kInt:
+      return vals_[k] != 0;
+    case Type::kReal:
+      return bitsReal(vals_[k]) != 0.0;
+  }
+  return false;
+}
+
+void BatchTapeExecutor::readReals(SlotRef r, double* out) const {
+  // Non-dynamic slots hold their static type in every lane (typed kernels
+  // store the slot type; the generic path's castTo lands on it too), so
+  // the hoisted loadReal equals per-lane scalarToReal. Dynamic (kSelect)
+  // slots keep the per-lane tag dispatch.
+  if (slotDynamic_[static_cast<std::size_t>(r.slot)] == 0) {
+    loadReal(r.slot, out);
+    return;
+  }
+  for (int l = 0; l < lanes_; ++l) out[l] = scalarToReal(r, l);
+}
+
+void BatchTapeExecutor::readBools(SlotRef r, std::uint64_t* out) const {
+  if (slotDynamic_[static_cast<std::size_t>(r.slot)] == 0) {
+    loadBool(r.slot, out);
+    return;
+  }
+  for (int l = 0; l < lanes_; ++l) out[l] = scalarToBool(r, l) ? 1 : 0;
+}
+
+}  // namespace stcg::expr

@@ -1,0 +1,142 @@
+// Batched lockstep tape execution: B environments evaluated per pass.
+//
+// A BatchTapeExecutor lays the tape's scalar slots out as B-wide lanes in
+// structure-of-arrays order (`vals_[slot * B + lane]`), so one walk over
+// the instruction sequence evaluates B independent environments. The
+// per-instruction dispatch cost of the scalar TapeExecutor — the switch,
+// the operand decode, the type promotion — is paid once per instruction
+// instead of once per environment, and the inner per-lane loops are plain
+// strided arithmetic the compiler auto-vectorizes.
+//
+// Bit-identity contract: every lane computes exactly the Scalar the
+// scalar TapeExecutor would (same applyUnary/applyBinary/castTo coercions,
+// same guarded kDiv/kMod, same clamped kSelect/kStore, same saturating
+// real->int conversion). The scalar tape is the differential oracle for
+// this executor the same way the tree Evaluator is the oracle for the
+// scalar tape; tests/test_batch_tape.cpp fuzzes the equivalence
+// lane-for-lane over every Op kind.
+//
+// How lanes stay cheap without losing Scalar's dynamic typing: payloads
+// are stored as raw 64-bit words (bool as 0/1, int64 bit-stored, double
+// bit-cast) plus a per-(slot, lane) Type tag. Almost every slot's type is
+// statically known — constants carry their own type, variable slots the
+// binding's coercion type, and each instruction's result type follows
+// from applyUnary/applyBinary (e.g. a comparison is always kBool, kNeg is
+// kInt even over kBool input). The single exception is kSelect: bound
+// arrays keep their elements uncast (mirroring setArrayVar), so an
+// element read can have any per-lane type. Instructions whose scalar
+// operands are all statically typed run through tight typed lane kernels;
+// kSelect/kStore, array results, and anything downstream of a kSelect
+// fall back to a per-lane generic path that calls the exact scalar
+// helpers. Arrays themselves stay per-lane vector<Scalar> — they are rare
+// (delay buffers, data stores) and never on the hot neighbor-scoring
+// path.
+//
+// When batching is skipped: callers gate on B > 1 (a 1-lane batch is
+// strictly more bookkeeping than TapeExecutor), and consumers keep their
+// scalar code path for B <= 1 — see DESIGN.md §5f.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "expr/tape.h"
+
+namespace stcg::expr {
+
+class BatchTapeExecutor {
+ public:
+  /// `lanes` is clamped to >= 1. The tape is shared, never copied.
+  BatchTapeExecutor(std::shared_ptr<const Tape> tape, int lanes);
+
+  [[nodiscard]] int lanes() const { return lanes_; }
+
+  /// Bind a scalar variable in one lane (all its typed slots, coerced via
+  /// castTo like TapeExecutor::setVar). Unknown ids are ignored.
+  void setVar(int lane, VarId id, const Scalar& v);
+  /// Typed binds — equivalent to setVar(lane, id, Scalar::r/i/b(v)) with
+  /// the Scalar materialization and castTo dispatch folded into direct
+  /// payload conversion. These are the overlay engines' hot bind path.
+  void setVarReal(int lane, VarId id, double v);
+  void setVarInt(int lane, VarId id, std::int64_t v);
+  void setVarBool(int lane, VarId id, bool v);
+  /// Bind an array variable in one lane; elements stay uncast.
+  void setArrayVar(int lane, VarId id, const std::vector<Scalar>& v);
+  /// Bind every tape variable present in `env` into `lane`.
+  void bindEnv(int lane, const Env& env);
+
+  /// Execute the full tape across all lanes. Throws EvalError naming the
+  /// first unbound (variable, lane) pair (checked once, like the scalar
+  /// executor).
+  void run();
+
+  /// Lane views of a result slot. `scalar` materializes the exact Scalar
+  /// the scalar executor would hold in that slot.
+  [[nodiscard]] Scalar scalar(SlotRef r, int lane) const;
+  [[nodiscard]] const std::vector<Scalar>& array(SlotRef r, int lane) const;
+
+  /// Raw coercing reads for overlay engines — identical to
+  /// scalar(r, lane).toReal() / .toBool() without materializing a Scalar.
+  [[nodiscard]] double scalarToReal(SlotRef r, int lane) const;
+  [[nodiscard]] bool scalarToBool(SlotRef r, int lane) const;
+
+  /// Lane-wide coercing reads: out[l] == scalarToReal(r, l) (resp.
+  /// scalarToBool, as 0/1) for every lane, with the slot-type switch
+  /// hoisted out of the lane loop when the slot is statically typed.
+  /// `out` must hold lanes() elements.
+  void readReals(SlotRef r, double* out) const;
+  void readBools(SlotRef r, std::uint64_t* out) const;
+
+  [[nodiscard]] const Tape& tape() const { return *tape_; }
+
+ private:
+  /// Execution strategy per instruction, fixed at construction.
+  enum class Kind : std::uint8_t {
+    kGeneric,    // per-lane Scalar path (arrays, kSelect/kStore, dynamic)
+    kUnary,      // kNot/kNeg/kAbs/kCast over a statically typed operand
+    kBinary,     // arithmetic/relational/boolean, statically typed
+    kIteScalar,  // scalar select, statically typed
+  };
+
+  [[nodiscard]] std::size_t idx(std::int32_t slot, int lane) const {
+    return static_cast<std::size_t>(slot) * static_cast<std::size_t>(lanes_) +
+           static_cast<std::size_t>(lane);
+  }
+
+  [[nodiscard]] Scalar loadScalar(std::int32_t slot, int lane) const;
+  void storeScalar(std::int32_t slot, int lane, const Scalar& s);
+
+  // Lane-wide coercing loads into scratch (castTo semantics per element).
+  void loadReal(std::int32_t slot, double* out) const;
+  void loadInt(std::int32_t slot, std::int64_t* out) const;
+  void loadBool(std::int32_t slot, std::uint64_t* out) const;  // 0/1
+  // Lane-wide stores converting a typed result to the slot's cast target.
+  void storeRealAs(std::int32_t dst, Type dstType, const double* in);
+  void storeIntAs(std::int32_t dst, Type dstType, const std::int64_t* in);
+  void storeBoolAs(std::int32_t dst, Type dstType, const std::uint64_t* in);
+
+  void execGeneric(const TapeInstr& in);
+  void execUnary(const TapeInstr& in);
+  void execBinary(const TapeInstr& in);
+  void execIteScalar(const TapeInstr& in);
+  void requireAllBound();
+
+  std::shared_ptr<const Tape> tape_;
+  int lanes_ = 1;
+  std::vector<std::uint64_t> vals_;   // [slot * lanes + lane] payload
+  std::vector<Type> types_;           // [slot * lanes + lane] payload type
+  std::vector<std::vector<Scalar>> arrays_;  // [slot * lanes + lane]
+  std::vector<Type> slotType_;        // static type per scalar slot
+  std::vector<std::uint8_t> slotDynamic_;  // 1 = kSelect result slot
+  std::vector<Kind> kind_;            // parallel to tape code
+  std::vector<bool> varBound_;        // [binding * lanes + lane]
+  std::vector<bool> arrayBound_;      // [binding * lanes + lane]
+  bool checkedBound_ = false;
+  // Scratch lanes for the typed kernels.
+  std::vector<double> ra_, rb_;
+  std::vector<std::int64_t> ia_, ib_;
+  std::vector<std::uint64_t> ba_, bb_, bc_;
+};
+
+}  // namespace stcg::expr

@@ -1,0 +1,147 @@
+#include "sim/batch_simulator.h"
+
+namespace stcg::sim {
+
+using expr::Scalar;
+using expr::Value;
+
+BatchSimulator::BatchSimulator(const compile::CompiledModel& cm, int lanes)
+    : cm_(&cm), modelTape_(compile::buildModelTape(cm)) {
+  exec_.emplace(modelTape_.tape, lanes);
+  state_.resize(static_cast<std::size_t>(exec_->lanes()));
+  for (int l = 0; l < exec_->lanes(); ++l) reset(l);
+}
+
+void BatchSimulator::reset(int lane) {
+  auto& st = state_[static_cast<std::size_t>(lane)];
+  st.clear();
+  st.reserve(cm_->states.size());
+  for (const auto& s : cm_->states) st.push_back(s.init);
+}
+
+void BatchSimulator::restore(int lane, const StateSnapshot& s) {
+  if (s.size() != cm_->states.size()) {
+    throw SimError("restore: snapshot has " + std::to_string(s.size()) +
+                   " state(s), model '" + cm_->name + "' expects " +
+                   std::to_string(cm_->states.size()));
+  }
+  state_[static_cast<std::size_t>(lane)] = s;
+}
+
+void BatchSimulator::stepBatch(const std::vector<const InputVector*>& inputs,
+                               std::vector<StepObservation>& out) {
+  expr::BatchTapeExecutor& ex = *exec_;
+  const int B = ex.lanes();
+  for (int lane = 0; lane < B; ++lane) {
+    const InputVector& in = *inputs[static_cast<std::size_t>(lane)];
+    if (in.size() != cm_->inputs.size()) {
+      throw SimError("step: input vector has " + std::to_string(in.size()) +
+                     " value(s), model '" + cm_->name + "' expects " +
+                     std::to_string(cm_->inputs.size()));
+    }
+    const auto& st = state_[static_cast<std::size_t>(lane)];
+    for (std::size_t i = 0; i < cm_->states.size(); ++i) {
+      const auto& sv = cm_->states[i];
+      if (sv.width == 1) {
+        ex.setVar(lane, sv.id, st[i].scalar());
+      } else {
+        ex.setArrayVar(lane, sv.id, st[i].elems());
+      }
+    }
+    for (std::size_t i = 0; i < cm_->inputs.size(); ++i) {
+      // Same coercion chain as Simulator::stepTape.
+      ex.setVar(lane, cm_->inputs[i].info.id,
+                in[i].castTo(cm_->inputs[i].info.type));
+    }
+  }
+  ex.run();
+
+  out.resize(static_cast<std::size_t>(B));
+  for (int lane = 0; lane < B; ++lane) {
+    StepObservation& obs = out[static_cast<std::size_t>(lane)];
+    obs.decisionTaken.assign(cm_->decisions.size(), -1);
+    obs.conditionValues.assign(cm_->decisions.size(), {});
+    obs.objectiveFired.assign(cm_->objectives.size(), false);
+
+    for (std::size_t di = 0; di < cm_->decisions.size(); ++di) {
+      const auto& d = cm_->decisions[di];
+      if (!ex.scalarToBool(modelTape_.decisionActivations[di], lane)) {
+        continue;
+      }
+      int taken = -2;  // active; recordObservation throws if no arm fires
+      const auto& arms = modelTape_.decisionArms[di];
+      for (std::size_t a = 0; a < arms.size(); ++a) {
+        if (ex.scalarToBool(arms[a], lane)) {
+          taken = static_cast<int>(a);
+          break;
+        }
+      }
+      obs.decisionTaken[di] = taken;
+      if (!d.conditions.empty()) {
+        auto& vals = obs.conditionValues[di];
+        vals.reserve(d.conditions.size());
+        for (const auto& slot : modelTape_.decisionConditions[di]) {
+          vals.push_back(ex.scalarToBool(slot, lane));
+        }
+      }
+    }
+    for (std::size_t oi = 0; oi < cm_->objectives.size(); ++oi) {
+      obs.objectiveFired[oi] =
+          ex.scalarToBool(modelTape_.objectiveActivations[oi], lane) &&
+          ex.scalarToBool(modelTape_.objectiveConds[oi], lane);
+    }
+
+    obs.outputs.clear();
+    obs.outputs.reserve(cm_->outputs.size());
+    for (const auto& slot : modelTape_.outputs) {
+      obs.outputs.push_back(ex.scalar(slot, lane));
+    }
+
+    obs.next.clear();
+    obs.next.reserve(cm_->states.size());
+    for (std::size_t i = 0; i < cm_->states.size(); ++i) {
+      const auto& sv = cm_->states[i];
+      const auto& slot = modelTape_.stateNext[i];
+      if (sv.width == 1) {
+        obs.next.emplace_back(ex.scalar(slot, lane).castTo(sv.type));
+      } else {
+        obs.next.emplace_back(Value(sv.type, ex.array(slot, lane)));
+      }
+    }
+    state_[static_cast<std::size_t>(lane)] = obs.next;
+  }
+}
+
+StepResult recordObservation(const compile::CompiledModel& cm,
+                             const StepObservation& obs,
+                             coverage::CoverageTracker& cov) {
+  StepResult result;
+  for (std::size_t di = 0; di < cm.decisions.size(); ++di) {
+    const auto& d = cm.decisions[di];
+    const int taken = obs.decisionTaken[di];
+    if (taken == -1) continue;
+    if (taken == -2) {
+      throw SimError("step: no arm of decision '" + d.name +
+                     "' satisfied although its activation holds");
+    }
+    const int newBranch = cov.recordDecision(d.id, taken);
+    if (newBranch >= 0) result.newlyCovered.push_back(newBranch);
+    if (!d.conditions.empty()) {
+      if (cov.recordConditions(d.id, obs.conditionValues[di], taken == 0)) {
+        result.newConditionObservation = true;
+      }
+    }
+  }
+  for (std::size_t oi = 0; oi < cm.objectives.size(); ++oi) {
+    const auto& obj = cm.objectives[oi];
+    if (cov.objectiveCovered(obj.id)) continue;
+    if (obs.objectiveFired[oi]) {
+      if (cov.recordObjective(obj.id)) {
+        result.newConditionObservation = true;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace stcg::sim

@@ -1,0 +1,84 @@
+// Lockstep batched simulation: B independent trajectories of one compiled
+// model advanced per tape pass.
+//
+// A BatchSimulator holds B lanes of model state and executes the shared
+// model tape through expr::BatchTapeExecutor, so one instruction walk
+// advances every lane by one step. Coverage is decoupled from execution:
+// stepBatch() returns per-lane StepObservations (which decision arm fired,
+// the condition vector, objective hits, outputs, next state) and the
+// caller replays them into a CoverageTracker with recordObservation() in
+// whatever lane order its determinism contract requires. This split is
+// what lets the STCG generator run B replay sequences in lockstep and
+// still commit their coverage in the exact order the sequential engine
+// would (DESIGN.md §5f).
+//
+// Bit-identity: observation extraction reads the same slots in the same
+// order as Simulator::stepTape, and recordObservation() performs the same
+// tracker calls in the same order — including throwing the same SimError
+// when an active decision satisfies no arm (detected at execution, thrown
+// at record time, so speculative lanes that are never committed also never
+// throw, mirroring a sequential engine that never ran them).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "compile/model_tape.h"
+#include "expr/batch_tape.h"
+#include "sim/simulator.h"
+
+namespace stcg::sim {
+
+/// Everything one lane's step produced, recorded later (or never).
+struct StepObservation {
+  /// Per decision: arm index taken, -1 = activation false,
+  /// -2 = activation true but no arm satisfied (malformed compilation —
+  /// recordObservation throws SimError, like Simulator::step).
+  std::vector<int> decisionTaken;
+  /// Per decision: condition truth vector (empty when inactive or the
+  /// decision has no conditions), aligned with decisionTaken.
+  std::vector<std::vector<bool>> conditionValues;
+  /// Per objective: activation && condition held this step.
+  std::vector<bool> objectiveFired;
+  std::vector<expr::Scalar> outputs;
+  StateSnapshot next;
+};
+
+class BatchSimulator {
+ public:
+  BatchSimulator(const compile::CompiledModel& cm, int lanes);
+
+  [[nodiscard]] int lanes() const { return exec_->lanes(); }
+
+  /// Return `lane` to the model's initial state.
+  void reset(int lane);
+  /// Restore a snapshot into `lane`; throws SimError on a size mismatch.
+  void restore(int lane, const StateSnapshot& s);
+  [[nodiscard]] const StateSnapshot& state(int lane) const {
+    return state_[static_cast<std::size_t>(lane)];
+  }
+
+  /// Advance every lane one step: inputs[l] drives lane l (inputs.size()
+  /// must equal lanes()). Observations are written into `out` (resized to
+  /// lanes()). Throws SimError on an input-size mismatch, naming the
+  /// model like Simulator::step.
+  void stepBatch(const std::vector<const InputVector*>& inputs,
+                 std::vector<StepObservation>& out);
+
+  [[nodiscard]] const compile::CompiledModel& compiled() const { return *cm_; }
+
+ private:
+  const compile::CompiledModel* cm_;
+  compile::ModelTape modelTape_;
+  std::optional<expr::BatchTapeExecutor> exec_;
+  std::vector<StateSnapshot> state_;  // per lane
+};
+
+/// Replay one lane's observation into `cov`, performing exactly the
+/// tracker calls (and in the order) Simulator::step would have made, and
+/// returning the same StepResult.
+StepResult recordObservation(const compile::CompiledModel& cm,
+                             const StepObservation& obs,
+                             coverage::CoverageTracker& cov);
+
+}  // namespace stcg::sim

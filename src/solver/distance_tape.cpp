@@ -1,7 +1,9 @@
 #include "solver/distance_tape.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <unordered_map>
 
 #include "expr/eval.h"
 #include "solver/solver.h"
@@ -17,200 +19,228 @@ namespace {
 
 constexpr double kEps = 1e-6;  // same as branchDistance's atom epsilon
 
+/// Recursive overlay compiler; one instance per buildDistanceProgram call.
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(expr::TapeBuilder& b) : b_(b) {}
+
+  [[nodiscard]] DistanceProgram take(const ExprPtr& goal) {
+    (void)b_.addRoot(goal);
+    prog_.root = build(goal.get(), true);
+    return std::move(prog_);
+  }
+
+ private:
+  std::int32_t newSlot(double init) {
+    prog_.init.push_back(init);
+    return static_cast<std::int32_t>(prog_.init.size() - 1);
+  }
+
+  std::int32_t build(const Expr* e, bool want) {
+    using Instr = DistanceProgram::Instr;
+    // Memoizing on (node, want) is sound because the distance of a node
+    // is a pure function of the point — distanceRec just recomputes
+    // shared subterms; the values are identical. Look up / store by
+    // value: the recursive calls below insert into memo_, which may
+    // rehash.
+    if (const auto it = memo_.find(e); it != memo_.end()) {
+      const std::int32_t cached = it->second[want ? 1 : 0];
+      if (cached >= 0) return cached;
+    }
+    const auto emit = [&](Instr in) {
+      in.dst = newSlot(0.0);
+      prog_.code.push_back(in);
+      return in.dst;
+    };
+    const auto minOfSums = [&](std::int32_t a1, std::int32_t b1,
+                               std::int32_t a2, std::int32_t b2) {
+      Instr s1;
+      s1.kind = Instr::Kind::kSum;
+      s1.a = a1;
+      s1.b = b1;
+      const std::int32_t lhs = emit(s1);
+      Instr s2;
+      s2.kind = Instr::Kind::kSum;
+      s2.a = a2;
+      s2.b = b2;
+      const std::int32_t rhs = emit(s2);
+      Instr m;
+      m.kind = Instr::Kind::kMin;
+      m.a = lhs;
+      m.b = rhs;
+      return emit(m);
+    };
+
+    std::int32_t slot = -1;
+    switch (e->op) {
+      case Op::kConst:
+        slot = newSlot(e->constVal.toBool() == want ? 0.0 : 1.0);
+        break;
+      case Op::kNot:
+        slot = build(e->args[0].get(), !want);
+        break;
+      case Op::kAnd:
+      case Op::kOr: {
+        const std::int32_t a = build(e->args[0].get(), want);
+        const std::int32_t bb = build(e->args[1].get(), want);
+        // kAnd want / kOr !want -> sum; the dual -> min.
+        Instr in;
+        in.kind = ((e->op == Op::kAnd) == want) ? Instr::Kind::kSum
+                                                : Instr::Kind::kMin;
+        in.a = a;
+        in.b = bb;
+        slot = emit(in);
+        break;
+      }
+      case Op::kXor: {
+        const std::int32_t aT = build(e->args[0].get(), true);
+        const std::int32_t aF = build(e->args[0].get(), false);
+        const std::int32_t bT = build(e->args[1].get(), true);
+        const std::int32_t bF = build(e->args[1].get(), false);
+        // want: min(aT + bF, aF + bT); else: min(aT + bT, aF + bF).
+        slot = want ? minOfSums(aT, bF, aF, bT) : minOfSums(aT, bT, aF, bF);
+        break;
+      }
+      case Op::kIte: {
+        if (e->type != Type::kBool) break;  // non-bool ite: concrete atom
+        const std::int32_t cT = build(e->args[0].get(), true);
+        const std::int32_t cF = build(e->args[0].get(), false);
+        const std::int32_t t = build(e->args[1].get(), want);
+        const std::int32_t f = build(e->args[2].get(), want);
+        slot = minOfSums(cT, t, cF, f);
+        break;
+      }
+      default:
+        break;
+    }
+    if (slot < 0) {
+      // Atom: a comparison gets the Korel/Tracey distance off its operand
+      // values; anything else scores its concrete truth 0/1.
+      switch (e->op) {
+        case Op::kEq:
+        case Op::kNe:
+        case Op::kLt:
+        case Op::kLe:
+        case Op::kGt:
+        case Op::kGe: {
+          Instr in;
+          in.kind = Instr::Kind::kCmp;
+          in.cmpOp = e->op;
+          in.want = want;
+          in.va = b_.slotOf(e->args[0].get()).slot;
+          in.vb = b_.slotOf(e->args[1].get()).slot;
+          slot = emit(in);
+          break;
+        }
+        default: {
+          Instr in;
+          in.kind = Instr::Kind::kTruth;
+          in.want = want;
+          in.va = b_.slotOf(e).slot;
+          slot = emit(in);
+          break;
+        }
+      }
+    }
+    memo_.try_emplace(e, std::array<std::int32_t, 2>{-1, -1})
+        .first->second[want ? 1 : 0] = slot;
+    return slot;
+  }
+
+  expr::TapeBuilder& b_;
+  DistanceProgram prog_;
+  // Build-time distance memo: node -> slot per want polarity (-1 = none).
+  std::unordered_map<const Expr*, std::array<std::int32_t, 2>> memo_;
+};
+
+/// One overlay instruction over one lane's view. `dist` is a callable
+/// slot -> value view (contiguous for the scalar tape, lane-strided for
+/// the batch); `toRealOf` / `toBoolOf` abstract the executor value reads.
+/// The double expressions are atomDistance's, operand for operand.
+template <typename DistView, typename RealOf, typename BoolOf>
+double overlayStep(const DistanceProgram::Instr& in, const DistView& dist,
+                   const RealOf& toRealOf, const BoolOf& toBoolOf) {
+  using Instr = DistanceProgram::Instr;
+  switch (in.kind) {
+    case Instr::Kind::kSum:
+      return dist(in.a) + dist(in.b);
+    case Instr::Kind::kMin:
+      return std::min(dist(in.a), dist(in.b));
+    case Instr::Kind::kCmp: {
+      const double l = toRealOf(in.va);
+      const double r = toRealOf(in.vb);
+      switch (in.cmpOp) {
+        case Op::kEq: {
+          const double d = std::fabs(l - r);
+          return in.want ? d : (d == 0.0 ? 1.0 : 0.0);
+        }
+        case Op::kNe: {
+          const double d = std::fabs(l - r);
+          return in.want ? (d == 0.0 ? 1.0 : 0.0) : d;
+        }
+        case Op::kLt: {
+          const double d = l - r;
+          return in.want ? (d < 0.0 ? 0.0 : d + kEps)
+                         : (d >= 0.0 ? 0.0 : -d + kEps);
+        }
+        case Op::kLe: {
+          const double d = l - r;
+          return in.want ? (d <= 0.0 ? 0.0 : d)
+                         : (d > 0.0 ? 0.0 : -d + kEps);
+        }
+        case Op::kGt: {
+          const double d = r - l;
+          return in.want ? (d < 0.0 ? 0.0 : d + kEps)
+                         : (d >= 0.0 ? 0.0 : -d + kEps);
+        }
+        default: {  // kGe
+          const double d = r - l;
+          return in.want ? (d <= 0.0 ? 0.0 : d)
+                         : (d > 0.0 ? 0.0 : -d + kEps);
+        }
+      }
+    }
+    case Instr::Kind::kTruth:
+      return toBoolOf(in.va) == in.want ? 0.0 : 1.0;
+  }
+  return 0.0;
+}
+
 }  // namespace
 
-DistanceTape::DistanceTape(const ExprPtr& goal,
-                           const std::vector<expr::VarInfo>& vars)
-    : vars_(vars) {
+DistanceProgram buildDistanceProgram(const ExprPtr& goal,
+                                     expr::TapeBuilder& b) {
   if (goal->type != Type::kBool || goal->isArray()) {
     throw expr::EvalError(
         "DistanceTape: goal must be a scalar boolean expression");
   }
+  return ProgramBuilder(b).take(goal);
+}
+
+DistanceTape::DistanceTape(const ExprPtr& goal,
+                           const std::vector<expr::VarInfo>& vars)
+    : vars_(vars) {
   expr::TapeBuilder b;
-  (void)b.addRoot(goal);
-  root_ = build(goal.get(), true, b);
+  prog_ = buildDistanceProgram(goal, b);
   exec_.emplace(b.finish());
-}
-
-std::int32_t DistanceTape::newSlot(double init) {
-  dist_.push_back(init);
-  return static_cast<std::int32_t>(dist_.size() - 1);
-}
-
-std::int32_t DistanceTape::build(const Expr* e, bool want,
-                                 expr::TapeBuilder& b) {
-  // Memoizing on (node, want) is sound because the distance of a node is
-  // a pure function of the point — distanceRec just recomputes shared
-  // subterms; the values are identical. Look up / store by value: the
-  // recursive calls below insert into memo_, which may rehash.
-  if (const auto it = memo_.find(e); it != memo_.end()) {
-    const std::int32_t cached = it->second[want ? 1 : 0];
-    if (cached >= 0) return cached;
-  }
-  const auto emit = [&](DistInstr in) {
-    in.dst = newSlot(0.0);
-    code_.push_back(in);
-    return in.dst;
-  };
-  const auto minOfSums = [&](std::int32_t a1, std::int32_t b1,
-                             std::int32_t a2, std::int32_t b2) {
-    DistInstr s1;
-    s1.kind = DistInstr::Kind::kSum;
-    s1.a = a1;
-    s1.b = b1;
-    const std::int32_t lhs = emit(s1);
-    DistInstr s2;
-    s2.kind = DistInstr::Kind::kSum;
-    s2.a = a2;
-    s2.b = b2;
-    const std::int32_t rhs = emit(s2);
-    DistInstr m;
-    m.kind = DistInstr::Kind::kMin;
-    m.a = lhs;
-    m.b = rhs;
-    return emit(m);
-  };
-
-  std::int32_t slot = -1;
-  switch (e->op) {
-    case Op::kConst:
-      slot = newSlot(e->constVal.toBool() == want ? 0.0 : 1.0);
-      break;
-    case Op::kNot:
-      slot = build(e->args[0].get(), !want, b);
-      break;
-    case Op::kAnd:
-    case Op::kOr: {
-      const std::int32_t a = build(e->args[0].get(), want, b);
-      const std::int32_t bb = build(e->args[1].get(), want, b);
-      // kAnd want / kOr !want -> sum; the dual -> min.
-      DistInstr in;
-      in.kind = ((e->op == Op::kAnd) == want) ? DistInstr::Kind::kSum
-                                              : DistInstr::Kind::kMin;
-      in.a = a;
-      in.b = bb;
-      slot = emit(in);
-      break;
-    }
-    case Op::kXor: {
-      const std::int32_t aT = build(e->args[0].get(), true, b);
-      const std::int32_t aF = build(e->args[0].get(), false, b);
-      const std::int32_t bT = build(e->args[1].get(), true, b);
-      const std::int32_t bF = build(e->args[1].get(), false, b);
-      // want: min(aT + bF, aF + bT); else: min(aT + bT, aF + bF).
-      slot = want ? minOfSums(aT, bF, aF, bT) : minOfSums(aT, bT, aF, bF);
-      break;
-    }
-    case Op::kIte: {
-      if (e->type != Type::kBool) break;  // non-bool ite: concrete atom
-      const std::int32_t cT = build(e->args[0].get(), true, b);
-      const std::int32_t cF = build(e->args[0].get(), false, b);
-      const std::int32_t t = build(e->args[1].get(), want, b);
-      const std::int32_t f = build(e->args[2].get(), want, b);
-      slot = minOfSums(cT, t, cF, f);
-      break;
-    }
-    default:
-      break;
-  }
-  if (slot < 0) {
-    // Atom: a comparison gets the Korel/Tracey distance off its operand
-    // values; anything else scores its concrete truth 0/1.
-    switch (e->op) {
-      case Op::kEq:
-      case Op::kNe:
-      case Op::kLt:
-      case Op::kLe:
-      case Op::kGt:
-      case Op::kGe: {
-        DistInstr in;
-        in.kind = DistInstr::Kind::kCmp;
-        in.cmpOp = e->op;
-        in.want = want;
-        in.va = b.slotOf(e->args[0].get()).slot;
-        in.vb = b.slotOf(e->args[1].get()).slot;
-        slot = emit(in);
-        break;
-      }
-      default: {
-        DistInstr in;
-        in.kind = DistInstr::Kind::kTruth;
-        in.want = want;
-        in.va = b.slotOf(e).slot;
-        slot = emit(in);
-        break;
-      }
-    }
-  }
-  memo_.try_emplace(e, std::array<std::int32_t, 2>{-1, -1})
-      .first->second[want ? 1 : 0] = slot;
-  return slot;
+  dist_ = prog_.init;
 }
 
 double DistanceTape::runOverlay() {
-  const auto& scalars = *exec_;
-  for (const DistInstr& in : code_) {
-    double out = 0.0;
-    switch (in.kind) {
-      case DistInstr::Kind::kSum:
-        out = dist_[static_cast<std::size_t>(in.a)] +
-              dist_[static_cast<std::size_t>(in.b)];
-        break;
-      case DistInstr::Kind::kMin:
-        out = std::min(dist_[static_cast<std::size_t>(in.a)],
-                       dist_[static_cast<std::size_t>(in.b)]);
-        break;
-      case DistInstr::Kind::kCmp: {
-        // Same expressions as atomDistance, operand for operand.
-        const double l =
-            scalars.scalar({in.va, false}).toReal();
-        const double r =
-            scalars.scalar({in.vb, false}).toReal();
-        switch (in.cmpOp) {
-          case Op::kEq: {
-            const double d = std::fabs(l - r);
-            out = in.want ? d : (d == 0.0 ? 1.0 : 0.0);
-            break;
-          }
-          case Op::kNe: {
-            const double d = std::fabs(l - r);
-            out = in.want ? (d == 0.0 ? 1.0 : 0.0) : d;
-            break;
-          }
-          case Op::kLt: {
-            const double d = l - r;
-            out = in.want ? (d < 0.0 ? 0.0 : d + kEps)
-                          : (d >= 0.0 ? 0.0 : -d + kEps);
-            break;
-          }
-          case Op::kLe: {
-            const double d = l - r;
-            out = in.want ? (d <= 0.0 ? 0.0 : d)
-                          : (d > 0.0 ? 0.0 : -d + kEps);
-            break;
-          }
-          case Op::kGt: {
-            const double d = r - l;
-            out = in.want ? (d < 0.0 ? 0.0 : d + kEps)
-                          : (d >= 0.0 ? 0.0 : -d + kEps);
-            break;
-          }
-          default: {  // kGe
-            const double d = r - l;
-            out = in.want ? (d <= 0.0 ? 0.0 : d)
-                          : (d > 0.0 ? 0.0 : -d + kEps);
-            break;
-          }
-        }
-        break;
-      }
-      case DistInstr::Kind::kTruth:
-        out = scalars.scalar({in.va, false}).toBool() == in.want ? 0.0 : 1.0;
-        break;
-    }
-    dist_[static_cast<std::size_t>(in.dst)] = out;
+  const auto distAt = [&](std::int32_t s) {
+    return dist_[static_cast<std::size_t>(s)];
+  };
+  const auto toRealOf = [&](std::int32_t va) {
+    return exec_->scalar({va, false}).toReal();
+  };
+  const auto toBoolOf = [&](std::int32_t va) {
+    return exec_->scalar({va, false}).toBool();
+  };
+  for (const DistanceProgram::Instr& in : prog_.code) {
+    dist_[static_cast<std::size_t>(in.dst)] =
+        overlayStep(in, distAt, toRealOf, toBoolOf);
   }
-  return dist_[static_cast<std::size_t>(root_)];
+  return dist_[static_cast<std::size_t>(prog_.root)];
 }
 
 double DistanceTape::rebind(const std::vector<double>& point) {
@@ -234,6 +264,160 @@ std::size_t DistanceTape::valueInstrCount() const {
 
 std::size_t DistanceTape::maxConeSize() const {
   return exec_->tape().maxConeSize();
+}
+
+BatchDistanceTape::BatchDistanceTape(const ExprPtr& goal,
+                                     const std::vector<expr::VarInfo>& vars,
+                                     int lanes)
+    : vars_(vars) {
+  expr::TapeBuilder b;
+  prog_ = buildDistanceProgram(goal, b);
+  exec_.emplace(b.finish(), lanes);
+  const auto B = static_cast<std::size_t>(exec_->lanes());
+  dist_.resize(prog_.slotCount() * B);
+  for (std::size_t s = 0; s < prog_.slotCount(); ++s) {
+    for (std::size_t l = 0; l < B; ++l) dist_[s * B + l] = prog_.init[s];
+  }
+  va_.resize(B);
+  vb_.resize(B);
+  truth_.resize(B);
+}
+
+void BatchDistanceTape::setPoint(int lane, const std::vector<double>& point) {
+  // scalarForVar + setVar without the Scalar round trip: the typed binds
+  // apply the identical coercion chain (r/i/b construction, then the
+  // binding-type cast) directly on the payload.
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    const expr::VarInfo& v = vars_[i];
+    switch (v.type) {
+      case Type::kReal:
+        exec_->setVarReal(lane, v.id, point[i]);
+        break;
+      case Type::kInt:
+        exec_->setVarInt(lane, v.id,
+                         static_cast<std::int64_t>(std::llround(point[i])));
+        break;
+      case Type::kBool:
+        exec_->setVarBool(lane, v.id, point[i] >= 0.5);
+        break;
+    }
+  }
+}
+
+void BatchDistanceTape::run() {
+  using Instr = DistanceProgram::Instr;
+  exec_->run();
+  const int B = exec_->lanes();
+  double* d = dist_.data();
+  const auto row = [&](std::int32_t s) {
+    return d + static_cast<std::size_t>(s) * static_cast<std::size_t>(B);
+  };
+  for (const Instr& in : prog_.code) {
+    double* dst = row(in.dst);
+    switch (in.kind) {
+      case Instr::Kind::kSum: {
+        const double* a = row(in.a);
+        const double* b = row(in.b);
+        for (int l = 0; l < B; ++l) dst[l] = a[l] + b[l];
+        break;
+      }
+      case Instr::Kind::kMin: {
+        const double* a = row(in.a);
+        const double* b = row(in.b);
+        for (int l = 0; l < B; ++l) dst[l] = std::min(a[l], b[l]);
+        break;
+      }
+      case Instr::Kind::kCmp: {
+        exec_->readReals({in.va, false}, va_.data());
+        exec_->readReals({in.vb, false}, vb_.data());
+        const double* a = va_.data();
+        const double* b = vb_.data();
+        // Same double expressions as overlayStep, per lane; the (op,
+        // want) dispatch is hoisted out of the lane loop.
+        switch (in.cmpOp) {
+          case Op::kEq:
+            if (in.want) {
+              for (int l = 0; l < B; ++l) dst[l] = std::fabs(a[l] - b[l]);
+            } else {
+              for (int l = 0; l < B; ++l) {
+                dst[l] = std::fabs(a[l] - b[l]) == 0.0 ? 1.0 : 0.0;
+              }
+            }
+            break;
+          case Op::kNe:
+            if (in.want) {
+              for (int l = 0; l < B; ++l) {
+                dst[l] = std::fabs(a[l] - b[l]) == 0.0 ? 1.0 : 0.0;
+              }
+            } else {
+              for (int l = 0; l < B; ++l) dst[l] = std::fabs(a[l] - b[l]);
+            }
+            break;
+          case Op::kLt:
+            if (in.want) {
+              for (int l = 0; l < B; ++l) {
+                const double x = a[l] - b[l];
+                dst[l] = x < 0.0 ? 0.0 : x + kEps;
+              }
+            } else {
+              for (int l = 0; l < B; ++l) {
+                const double x = a[l] - b[l];
+                dst[l] = x >= 0.0 ? 0.0 : -x + kEps;
+              }
+            }
+            break;
+          case Op::kLe:
+            if (in.want) {
+              for (int l = 0; l < B; ++l) {
+                const double x = a[l] - b[l];
+                dst[l] = x <= 0.0 ? 0.0 : x;
+              }
+            } else {
+              for (int l = 0; l < B; ++l) {
+                const double x = a[l] - b[l];
+                dst[l] = x > 0.0 ? 0.0 : -x + kEps;
+              }
+            }
+            break;
+          case Op::kGt:
+            if (in.want) {
+              for (int l = 0; l < B; ++l) {
+                const double x = b[l] - a[l];
+                dst[l] = x < 0.0 ? 0.0 : x + kEps;
+              }
+            } else {
+              for (int l = 0; l < B; ++l) {
+                const double x = b[l] - a[l];
+                dst[l] = x >= 0.0 ? 0.0 : -x + kEps;
+              }
+            }
+            break;
+          default:  // kGe
+            if (in.want) {
+              for (int l = 0; l < B; ++l) {
+                const double x = b[l] - a[l];
+                dst[l] = x <= 0.0 ? 0.0 : x;
+              }
+            } else {
+              for (int l = 0; l < B; ++l) {
+                const double x = b[l] - a[l];
+                dst[l] = x > 0.0 ? 0.0 : -x + kEps;
+              }
+            }
+            break;
+        }
+        break;
+      }
+      case Instr::Kind::kTruth: {
+        exec_->readBools({in.va, false}, truth_.data());
+        const std::uint64_t want = in.want ? 1 : 0;
+        for (int l = 0; l < B; ++l) {
+          dst[l] = truth_[static_cast<std::size_t>(l)] == want ? 0.0 : 1.0;
+        }
+        break;
+      }
+    }
+  }
 }
 
 }  // namespace stcg::solver

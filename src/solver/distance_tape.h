@@ -13,23 +13,53 @@
 // only its dirty cone on the value tape before re-running the (small)
 // overlay — the incremental mode that makes tape-backed search fast.
 //
+// The overlay program (DistanceProgram) is shared with BatchDistanceTape,
+// which runs the same value tape across B lanes (expr::BatchTapeExecutor)
+// and replays the identical overlay per lane — one batched pass scores a
+// whole neighborhood of candidate points (DESIGN.md §5f).
+//
 // Bit-identity: the overlay applies the same double operations in the
 // same order as distanceRec/atomDistance (same kEps, same operand order
 // for + and std::min), and value slots are bit-identical to the tree
-// Evaluator, so every cost returned equals branchDistance() exactly.
+// Evaluator, so every cost returned equals branchDistance() exactly —
+// from either class.
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "expr/batch_tape.h"
 #include "expr/expr.h"
 #include "expr/tape.h"
 
 namespace stcg::solver {
+
+/// The compiled distance overlay: a linear program over double slots,
+/// evaluated after the value tape. Built once, shared by the scalar and
+/// batched executors.
+struct DistanceProgram {
+  struct Instr {
+    enum class Kind { kSum, kMin, kCmp, kTruth };
+    Kind kind = Kind::kSum;
+    std::int32_t dst = -1;
+    std::int32_t a = -1, b = -1;    // distance-slot operands (kSum/kMin)
+    std::int32_t va = -1, vb = -1;  // value-tape scalar slots (kCmp/kTruth)
+    expr::Op cmpOp = expr::Op::kEq; // kCmp
+    bool want = true;               // kCmp/kTruth
+  };
+  std::vector<Instr> code;
+  std::vector<double> init;  // per-slot initial value (constants pre-set)
+  std::int32_t root = -1;
+
+  [[nodiscard]] std::size_t slotCount() const { return init.size(); }
+};
+
+/// Emit `goal`'s value DAG onto `b` and compile its distance overlay.
+/// Throws expr::EvalError on a non-boolean / array goal.
+[[nodiscard]] DistanceProgram buildDistanceProgram(const expr::ExprPtr& goal,
+                                                   expr::TapeBuilder& b);
 
 class DistanceTape {
  public:
@@ -49,31 +79,57 @@ class DistanceTape {
 
   /// Diagnostics for bench reporting.
   [[nodiscard]] std::size_t valueInstrCount() const;
-  [[nodiscard]] std::size_t overlayInstrCount() const { return code_.size(); }
+  [[nodiscard]] std::size_t overlayInstrCount() const {
+    return prog_.code.size();
+  }
   [[nodiscard]] std::size_t maxConeSize() const;
 
  private:
-  struct DistInstr {
-    enum class Kind { kSum, kMin, kCmp, kTruth };
-    Kind kind = Kind::kSum;
-    std::int32_t dst = -1;
-    std::int32_t a = -1, b = -1;    // distance-slot operands (kSum/kMin)
-    std::int32_t va = -1, vb = -1;  // value-tape scalar slots (kCmp/kTruth)
-    expr::Op cmpOp = expr::Op::kEq; // kCmp
-    bool want = true;               // kCmp/kTruth
-  };
-
-  std::int32_t build(const expr::Expr* e, bool want, expr::TapeBuilder& b);
-  std::int32_t newSlot(double init);
   double runOverlay();
 
   std::vector<expr::VarInfo> vars_;
   std::optional<expr::TapeExecutor> exec_;
-  std::vector<DistInstr> code_;
-  std::vector<double> dist_;       // distance slots (constants pre-set)
-  std::int32_t root_ = -1;
-  // Build-time distance memo: node -> slot per want polarity (-1 = none).
-  std::unordered_map<const expr::Expr*, std::array<std::int32_t, 2>> memo_;
+  DistanceProgram prog_;
+  std::vector<double> dist_;  // distance slots (constants pre-set)
+};
+
+/// B-lane distance evaluation: the same value tape and overlay program as
+/// DistanceTape, executed across `lanes` candidate points per run() call.
+/// distance(lane) is bit-identical to DistanceTape::rebind of that lane's
+/// point — the batched neighborhood scorer of the local-search solver.
+class BatchDistanceTape {
+ public:
+  BatchDistanceTape(const expr::ExprPtr& goal,
+                    const std::vector<expr::VarInfo>& vars, int lanes);
+
+  [[nodiscard]] int lanes() const { return exec_->lanes(); }
+
+  /// Bind every search variable of `lane` to `point` (same scalarForVar
+  /// coercion as DistanceTape::rebind, via the executor's typed binds).
+  void setPoint(int lane, const std::vector<double>& point);
+
+  /// Evaluate all lanes: one batched value-tape pass, then the overlay
+  /// program with the instruction loop outside and the lane loop inside —
+  /// kSum/kMin become contiguous strided sweeps over the lane-major
+  /// distance slots and kCmp/kTruth read the value tape lane-wide, so the
+  /// overlay's dispatch cost amortizes across lanes exactly like the
+  /// value tape's. Each lane's arithmetic is overlayStep's, operand for
+  /// operand.
+  void run();
+
+  [[nodiscard]] double distance(int lane) const {
+    return dist_[static_cast<std::size_t>(prog_.root) *
+                     static_cast<std::size_t>(exec_->lanes()) +
+                 static_cast<std::size_t>(lane)];
+  }
+
+ private:
+  std::vector<expr::VarInfo> vars_;
+  DistanceProgram prog_;
+  std::optional<expr::BatchTapeExecutor> exec_;
+  std::vector<double> dist_;  // [slot * lanes + lane]
+  std::vector<double> va_, vb_;        // lane-wide kCmp operand scratch
+  std::vector<std::uint64_t> truth_;   // lane-wide kTruth scratch
 };
 
 }  // namespace stcg::solver

@@ -166,12 +166,38 @@ SolveResult LocalSearchSolver::solve(const ExprPtr& goal,
   // Tape engine: goal compiled once; full rebinds at (re)starts, dirty-cone
   // updates for the single-variable pattern moves below. Cost values are
   // bit-identical to branchDistance, so both engines walk the same points.
+  // With options_.batch > 1 the neighborhood is scored through a B-lane
+  // BatchDistanceTape instead: full-point evaluations in lockstep, scanned
+  // in the exact candidate order of the sequential climber, so the accept
+  // decisions (and therefore the whole search path) stay bit-identical.
   std::optional<DistanceTape> dt;
-  if (engine_ == Engine::kTape) dt.emplace(goal, vars);
+  std::optional<BatchDistanceTape> bdt;
+  if (engine_ == Engine::kTape) {
+    if (options_.batch > 1 && !vars.empty()) {
+      bdt.emplace(goal, vars, options_.batch);
+    } else {
+      dt.emplace(goal, vars);
+    }
+  }
   const auto cost = [&](const std::vector<double>& p) {
     ++result.stats.samplesTried;
+    if (bdt) {
+      // All lanes get the point: lane 0 carries the answer, the rest keep
+      // every (binding, lane) pair bound for later partial setPoint calls.
+      for (int l = 0; l < bdt->lanes(); ++l) bdt->setPoint(l, p);
+      bdt->run();
+      return bdt->distance(0);
+    }
     return dt ? dt->rebind(p) : branchDistance(goal, toEnv(p), true);
   };
+
+  // Batched-scan work lists, hoisted out of the improvement loop.
+  struct Candidate {
+    std::size_t var;
+    double val;
+  };
+  std::vector<Candidate> candidates;
+  std::vector<double> scratch;
 
   randomize();
   double best = cost(point);
@@ -186,40 +212,87 @@ SolveResult LocalSearchSolver::solve(const ExprPtr& goal,
       best = 1.0;  // fall through to keep searching
     }
     bool improved = false;
-    for (std::size_t i = 0; i < vars.size() && !deadline.expired(); ++i) {
-      const double width = vars[i].hi - vars[i].lo;
-      // Pattern moves with geometrically shrinking steps.
-      for (double frac : {0.5, 0.1, 0.01, 0.001}) {
-        double step = std::max(width * frac,
-                               vars[i].type == Type::kReal ? 1e-9 : 1.0);
-        for (const double dir : {+1.0, -1.0}) {
-          auto candidate = point;
-          candidate[i] = std::clamp(candidate[i] + dir * step, vars[i].lo,
-                                    vars[i].hi);
-          if (vars[i].type != Type::kReal) {
-            candidate[i] = std::round(candidate[i]);
+    if (bdt) {
+      // Batched neighborhood: every pattern move depends only on the
+      // fixed current point, so the full candidate list is known up
+      // front, in exactly the order the sequential loops below visit it.
+      candidates.clear();
+      for (std::size_t i = 0; i < vars.size(); ++i) {
+        const double width = vars[i].hi - vars[i].lo;
+        for (double frac : {0.5, 0.1, 0.01, 0.001}) {
+          double step = std::max(width * frac,
+                                 vars[i].type == Type::kReal ? 1e-9 : 1.0);
+          for (const double dir : {+1.0, -1.0}) {
+            double v = std::clamp(point[i] + dir * step, vars[i].lo,
+                                  vars[i].hi);
+            if (vars[i].type != Type::kReal) v = std::round(v);
+            candidates.push_back({i, v});
           }
-          double c;
-          if (dt) {
-            // Single-coordinate move: dirty-cone re-evaluation only.
-            ++result.stats.samplesTried;
-            c = dt->update(i, candidate[i]);
-          } else {
-            c = cost(candidate);
-          }
+        }
+      }
+      const auto B = static_cast<std::size_t>(bdt->lanes());
+      std::size_t ci = 0;
+      while (ci < candidates.size() && !improved && !deadline.expired()) {
+        const std::size_t n = std::min(B, candidates.size() - ci);
+        for (std::size_t l = 0; l < n; ++l) {
+          scratch = point;
+          scratch[candidates[ci + l].var] = candidates[ci + l].val;
+          bdt->setPoint(static_cast<int>(l), scratch);
+        }
+        // Lanes past n keep their previous full-point bindings.
+        bdt->run();
+        // Scan in candidate order and accept the first improvement —
+        // the same decision the one-at-a-time climber makes. Trailing
+        // lanes of an accepting chunk were evaluated speculatively and
+        // are not counted, so samplesTried matches the sequential count.
+        for (std::size_t l = 0; l < n; ++l) {
+          ++result.stats.samplesTried;
+          const double c = bdt->distance(static_cast<int>(l));
           if (c < best) {
             best = c;
-            point = std::move(candidate);
+            point[candidates[ci + l].var] = candidates[ci + l].val;
             improved = true;
             break;
           }
-          // Rejected: restore the tape to the current point (the revert
-          // replays the same cone; it is not a scored sample).
-          if (dt) (void)dt->update(i, point[i]);
+        }
+        ci += n;
+      }
+    } else {
+      for (std::size_t i = 0; i < vars.size() && !deadline.expired(); ++i) {
+        const double width = vars[i].hi - vars[i].lo;
+        // Pattern moves with geometrically shrinking steps.
+        for (double frac : {0.5, 0.1, 0.01, 0.001}) {
+          double step = std::max(width * frac,
+                                 vars[i].type == Type::kReal ? 1e-9 : 1.0);
+          for (const double dir : {+1.0, -1.0}) {
+            auto candidate = point;
+            candidate[i] = std::clamp(candidate[i] + dir * step, vars[i].lo,
+                                      vars[i].hi);
+            if (vars[i].type != Type::kReal) {
+              candidate[i] = std::round(candidate[i]);
+            }
+            double c;
+            if (dt) {
+              // Single-coordinate move: dirty-cone re-evaluation only.
+              ++result.stats.samplesTried;
+              c = dt->update(i, candidate[i]);
+            } else {
+              c = cost(candidate);
+            }
+            if (c < best) {
+              best = c;
+              point = std::move(candidate);
+              improved = true;
+              break;
+            }
+            // Rejected: restore the tape to the current point (the revert
+            // replays the same cone; it is not a scored sample).
+            if (dt) (void)dt->update(i, point[i]);
+          }
+          if (improved) break;
         }
         if (improved) break;
       }
-      if (improved) break;
     }
     if (!improved) {
       // Stagnation: random restart.

@@ -40,6 +40,12 @@ struct SolveOptions {
   int samplesPerBox = 6;                // random samples per box
   int contractPasses = 3;               // HC4 sweeps per box
   std::uint64_t seed = 1;               // sampling seed
+  /// Lane width for the local-search neighborhood scorer (tape engine
+  /// only): > 1 scores candidate moves in B-wide batches through the
+  /// BatchDistanceTape while committing the exact accept order of the
+  /// sequential climber — results are bit-identical for any value.
+  /// <= 1 keeps the scalar dirty-cone path. Ignored by the box solver.
+  int batch = 1;
 };
 
 struct SolveStats {

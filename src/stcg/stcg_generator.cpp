@@ -8,6 +8,7 @@
 
 #include "expr/builder.h"
 #include "expr/subst.h"
+#include "sim/batch_simulator.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -79,7 +80,7 @@ class Run {
         opt_(opt),
         rngRoot_(opt.seed),
         mcdcRng_(rngRoot_.fork(kMcdcStream)),
-        randomRng_(rngRoot_.fork(kRandomStream)),
+        randomBase_(rngRoot_.fork(kRandomStream)),
         inputInfos_(cm.inputInfos()),
         tracker_(cm),
         sim_(cm, opt.simEngine),
@@ -131,7 +132,11 @@ class Run {
         }
       } else {
         if (!opt_.useRandomFallback) break;
-        randomExecution();
+        if (opt_.batch > 1 && opt_.simEngine == sim::EvalEngine::kTape) {
+          randomExecutionBatch();
+        } else {
+          randomExecution();
+        }
       }
     }
 
@@ -141,7 +146,8 @@ class Run {
     result.events = std::move(events_);
     result.stats = stats_;
     result.stats.treeNodes = static_cast<int>(tree_.size());
-    const auto replay = replaySuite(cm_, result.tests, exclusions_);
+    const auto replay = replaySuite(cm_, result.tests, exclusions_,
+                                    opt_.batch);
     result.coverage = summarize(replay);
     return result;
   }
@@ -252,6 +258,7 @@ class Run {
       return;
     }
     solver::SolveOptions so = opt_.solver;
+    so.batch = opt_.batch;
     Rng taskRng = rngRoot_.fork(kSolveStream)
                       .fork(taskStream(round_, t.goalIdx, t.nodeId));
     so.seed = static_cast<std::uint64_t>(taskRng.uniformInt(1, 1'000'000'000));
@@ -355,6 +362,7 @@ class Run {
       return;
     }
     solver::SolveOptions so = opt_.solver;
+    so.batch = opt_.batch;
     so.seed =
         static_cast<std::uint64_t>(mcdcRng_.uniformInt(1, 1'000'000'000));
     const auto res = solver::solveWith(opt_.solverKind, residual,
@@ -371,34 +379,148 @@ class Run {
                     goal.label + "-mcdc-pair");
   }
 
-  void randomExecution() {
-    ++stats_.randomSequences;
-    const int start = tree_.randomNode(randomRng_);
+  /// One random-fallback sequence, fully determined by its ordinal.
+  struct ReplayPlan {
+    int start = -1;
     std::vector<sim::InputVector> seq;
-    seq.reserve(static_cast<std::size_t>(opt_.randomSeqLen));
+  };
+
+  /// Draw sequence number `seqIndex` of the random-fallback stream. Pure
+  /// in (seqIndex, tree size, library): both the scalar and the batched
+  /// expansion call this, so a sequence's draws never depend on lane
+  /// width or on how many draws its predecessors consumed.
+  [[nodiscard]] ReplayPlan drawReplayPlan(std::uint64_t seqIndex) {
+    Rng seqRng = randomBase_.fork(seqIndex);
+    ReplayPlan plan;
+    plan.start = tree_.randomNode(seqRng);
+    plan.seq.reserve(static_cast<std::size_t>(opt_.randomSeqLen));
     for (int i = 0; i < opt_.randomSeqLen; ++i) {
       if (!library_.empty() &&
-          !randomRng_.chance(opt_.freshRandomProbability)) {
-        seq.push_back(library_[randomRng_.index(library_.size())]);
+          !seqRng.chance(opt_.freshRandomProbability)) {
+        plan.seq.push_back(library_[seqRng.index(library_.size())]);
       } else {
         // Fresh domain-random draw: covers input values no solved goal
         // ever produced (also the bootstrap before anything was solved).
-        seq.push_back(sim::randomInput(cm_, randomRng_));
+        plan.seq.push_back(sim::randomInput(cm_, seqRng));
       }
     }
-    trace("random execution on S" + std::to_string(start) + " (" +
-          std::to_string(seq.size()) + " steps)");
-    executeSequence(start, std::move(seq), TestOrigin::kRandom, "");
+    return plan;
+  }
+
+  void randomExecution() {
+    ++stats_.randomSequences;
+    ReplayPlan plan = drawReplayPlan(randomSeqIndex_);
+    ++randomSeqIndex_;
+    trace("random execution on S" + std::to_string(plan.start) + " (" +
+          std::to_string(plan.seq.size()) + " steps)");
+    executeSequence(plan.start, std::move(plan.seq), TestOrigin::kRandom, "");
+  }
+
+  /// Batched replay expansion: run opt_.batch random sequences in
+  /// lockstep lanes through one BatchSimulator, then commit their
+  /// coverage/tree/test effects lane by lane in sequence order — exactly
+  /// what opt_.batch consecutive randomExecution() calls (interleaved
+  /// with the empty solve rounds the main loop would run between them)
+  /// produce. Lanes whose pre-drawn plans are invalidated by an earlier
+  /// lane's commit (the tree grew, so the next sequence's node draw and
+  /// the next solve round's grid both change), or that fall past the
+  /// deadline / full coverage, are discarded uncommitted; their forks
+  /// recompute identically on the next call.
+  void randomExecutionBatch() {
+    const int B = opt_.batch;
+    if (!bsim_) bsim_.emplace(cm_, B);
+    std::vector<ReplayPlan> plans;
+    plans.reserve(static_cast<std::size_t>(B));
+    for (int k = 0; k < B; ++k) {
+      plans.push_back(drawReplayPlan(randomSeqIndex_ +
+                                     static_cast<std::uint64_t>(k)));
+    }
+    for (int k = 0; k < B; ++k) {
+      bsim_->restore(k, tree_.node(plans[static_cast<std::size_t>(k)].start)
+                            .state);
+    }
+    const std::size_t steps = static_cast<std::size_t>(opt_.randomSeqLen);
+    // obs[i][l]: what lane l observed at step i. All lanes run the full
+    // horizon up front; commit decides below what actually happened.
+    std::vector<std::vector<sim::StepObservation>> obs(steps);
+    std::vector<const sim::InputVector*> stepInputs(
+        static_cast<std::size_t>(B));
+    for (std::size_t i = 0; i < steps; ++i) {
+      for (int l = 0; l < B; ++l) {
+        stepInputs[static_cast<std::size_t>(l)] =
+            &plans[static_cast<std::size_t>(l)].seq[i];
+      }
+      bsim_->stepBatch(stepInputs, obs[i]);
+    }
+
+    for (int k = 0; k < B; ++k) {
+      // The main loop runs a solve round between consecutive random
+      // sequences; without tree growth its grid is empty (goals only get
+      // covered, the attempted set is untouched), so its sole effect is
+      // the round counter that keys solver-seed streams. Mirror it.
+      if (k > 0) ++round_;
+      const ReplayPlan& plan = plans[static_cast<std::size_t>(k)];
+      ++stats_.randomSequences;
+      ++randomSeqIndex_;
+      trace("random execution on S" + std::to_string(plan.start) + " (" +
+            std::to_string(plan.seq.size()) + " steps)");
+      bool grew = false;
+      int cur = plan.start;
+      std::vector<sim::InputVector> executed;
+      executed.reserve(plan.seq.size());
+      for (std::size_t i = 0; i < steps; ++i) {
+        const sim::StepObservation& o = obs[i][static_cast<std::size_t>(k)];
+        const auto res = sim::recordObservation(cm_, o, tracker_);
+        ++stats_.stepsExecuted;
+        executed.push_back(plan.seq[i]);
+        const int existing = tree_.findByState(o.next);
+        if (existing >= 0) {
+          cur = existing;
+        } else if (tree_.size() <
+                   static_cast<std::size_t>(opt_.maxTreeNodes)) {
+          cur = tree_.addChild(cur, plan.seq[i], o.next);
+          grew = true;
+          trace("new state S" + std::to_string(cur));
+        }
+        if (res.foundNewCoverage()) {
+          TestCase tc;
+          tc.steps = tree_.pathInputs(plan.start);
+          tc.steps.insert(tc.steps.end(), executed.begin(), executed.end());
+          tc.timestampSec = watch_.elapsedSeconds();
+          tc.origin = TestOrigin::kRandom;
+          tests_.push_back(std::move(tc));
+          events_.push_back(GenEvent{watch_.elapsedSeconds(),
+                                     tracker_.decisionCoverage(),
+                                     TestOrigin::kRandom});
+          trace("test case emitted (random), DC=" +
+                std::to_string(tracker_.decisionCoverage()));
+        }
+        if (deadline_.expired()) break;
+      }
+      if (deadline_.expired() || allGoalsCovered() || grew) return;
+    }
   }
 
   const compile::CompiledModel& cm_;
   const GenOptions& opt_;
-  Rng rngRoot_;    // never drawn from directly; phases fork below
-  Rng mcdcRng_;    // MCDC-pair solver seeds (coordinator only)
-  Rng randomRng_;  // random-fallback draws (coordinator only)
+  Rng rngRoot_;  // never drawn from directly; phases fork below
+  Rng mcdcRng_;  // MCDC-pair solver seeds (coordinator only)
+  /// Base of the random-fallback stream. Never drawn from directly:
+  /// sequence s draws everything (start node, per-step library/fresh
+  /// choices) from randomBase_.fork(randomSeqIndex_ == s), so the draws a
+  /// sequence sees depend only on its ordinal — not on the lane width the
+  /// batched expansion happens to run, and not on how many draws earlier
+  /// sequences consumed. The counter advances only when a sequence is
+  /// committed; discarded speculative lanes recompute identical plans on
+  /// the next call.
+  Rng randomBase_;
+  std::uint64_t randomSeqIndex_ = 0;
   std::vector<expr::VarInfo> inputInfos_;
   coverage::CoverageTracker tracker_;
   sim::Simulator sim_;
+  /// Lockstep lanes for the batched replay expansion; constructed on the
+  /// first randomExecutionBatch() call (never when opt_.batch <= 1).
+  std::optional<sim::BatchSimulator> bsim_;
   StateTree tree_;
   Deadline deadline_;
   Stopwatch watch_;

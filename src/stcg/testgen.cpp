@@ -6,6 +6,7 @@
 
 #include "expr/builder.h"
 #include "lint/lint.h"
+#include "sim/batch_simulator.h"
 
 namespace stcg::gen {
 
@@ -172,14 +173,67 @@ CoverageSummary summarize(const coverage::CoverageTracker& cov) {
 
 coverage::CoverageTracker replaySuite(const compile::CompiledModel& cm,
                                       const std::vector<TestCase>& tests,
-                                      const coverage::Exclusions& excl) {
+                                      const coverage::Exclusions& excl,
+                                      int batch) {
   coverage::CoverageTracker cov(cm);
   if (!excl.empty()) cov.applyExclusions(excl);
-  sim::Simulator simulator(cm);
-  for (const auto& t : tests) {
-    simulator.reset();
-    for (const auto& step : t.steps) {
-      (void)simulator.step(step, &cov);
+  const std::size_t lanes =
+      std::min<std::size_t>(batch > 1 ? static_cast<std::size_t>(batch) : 1,
+                            tests.size());
+  if (lanes <= 1) {
+    sim::Simulator simulator(cm);
+    for (const auto& t : tests) {
+      simulator.reset();
+      for (const auto& step : t.steps) {
+        (void)simulator.step(step, &cov);
+      }
+    }
+    return cov;
+  }
+
+  // Batched path: a work queue of tests over B lockstep lanes. Each lane
+  // replays one test from reset and picks up the next when it finishes;
+  // lanes with nothing left are fed a zero input vector and simply not
+  // recorded. Tests drift out of phase as lengths differ, but every
+  // tracker call is a set union, so the result matches the scalar loop.
+  const int B = static_cast<int>(lanes);
+  sim::BatchSimulator bsim(cm, B);
+  constexpr std::size_t kIdle = static_cast<std::size_t>(-1);
+  const sim::InputVector idleInput(cm.inputs.size(), expr::Scalar::i(0));
+  std::vector<std::size_t> laneTest(lanes, kIdle);
+  std::vector<std::size_t> laneStep(lanes, 0);
+  std::size_t next = 0;
+  int active = 0;
+  auto feed = [&](int l) {
+    // Zero-step tests record nothing under the scalar loop; skip them.
+    while (next < tests.size() && tests[next].steps.empty()) ++next;
+    if (next >= tests.size()) {
+      laneTest[static_cast<std::size_t>(l)] = kIdle;
+      return false;
+    }
+    laneTest[static_cast<std::size_t>(l)] = next++;
+    laneStep[static_cast<std::size_t>(l)] = 0;
+    bsim.reset(l);
+    return true;
+  };
+  for (int l = 0; l < B; ++l) active += feed(l) ? 1 : 0;
+  std::vector<const sim::InputVector*> in(lanes);
+  std::vector<sim::StepObservation> obs;
+  while (active > 0) {
+    for (int l = 0; l < B; ++l) {
+      const std::size_t t = laneTest[static_cast<std::size_t>(l)];
+      in[static_cast<std::size_t>(l)] =
+          t == kIdle ? &idleInput
+                     : &tests[t].steps[laneStep[static_cast<std::size_t>(l)]];
+    }
+    bsim.stepBatch(in, obs);
+    for (int l = 0; l < B; ++l) {
+      const std::size_t t = laneTest[static_cast<std::size_t>(l)];
+      if (t == kIdle) continue;
+      (void)sim::recordObservation(cm, obs[static_cast<std::size_t>(l)], cov);
+      if (++laneStep[static_cast<std::size_t>(l)] >= tests[t].steps.size()) {
+        if (!feed(l)) --active;
+      }
     }
   }
   return cov;

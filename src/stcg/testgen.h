@@ -91,6 +91,13 @@ struct GenOptions {
   /// flattened instruction tape; kTree keeps the recursive Evaluator as a
   /// semantic oracle. Results are bit-identical either way.
   sim::EvalEngine simEngine = sim::EvalEngine::kTape;
+  /// Lane width for batched lockstep tape execution (SoA lanes, see
+  /// DESIGN.md §5f): the random-replay expansion and final suite replay
+  /// run this many trajectories per tape pass (tape engine only), and the
+  /// value is plumbed into solver::SolveOptions::batch so the local-search
+  /// neighborhood scorer batches too. Output is bit-identical for any
+  /// value; <= 1 disables batching.
+  int batch = 8;
   int randomSeqLen = 24;             // N of Algorithm 2
   int maxTreeNodes = 4096;
   int maxUnrollDepth = 3;            // SLDV-like unrolling bound
@@ -174,9 +181,12 @@ class Generator {
 /// Replay a test suite from reset and return the resulting tracker (the
 /// paper's "fair comparison via Signal Builder" measurement). Exclusions
 /// from the pruning pass are applied to the fresh tracker so replayed
-/// percentages use the same denominators as generation.
+/// percentages use the same denominators as generation. `batch` > 1
+/// replays up to that many tests in lockstep lanes through the batched
+/// tape executor; the tracker is identical either way because every
+/// recording call is a set union (DESIGN.md §5f).
 [[nodiscard]] coverage::CoverageTracker replaySuite(
     const compile::CompiledModel& cm, const std::vector<TestCase>& tests,
-    const coverage::Exclusions& excl = {});
+    const coverage::Exclusions& excl = {}, int batch = 1);
 
 }  // namespace stcg::gen

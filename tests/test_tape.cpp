@@ -40,8 +40,21 @@
 #include "stcg/stcg_generator.h"
 #include "util/rng.h"
 
+#include "fuzz_dag.h"
+
 namespace stcg {
 namespace {
+
+using fuzz::clampInt;
+using fuzz::clampReal;
+using fuzz::FuzzDag;
+using fuzz::kIntArrId;
+using fuzz::kRealArrId;
+using fuzz::makeFuzzDag;
+using fuzz::randomEnv;
+using fuzz::randomScalarFor;
+using fuzz::sameBits;
+using fuzz::sameScalar;
 
 using expr::Env;
 using expr::ExprPtr;
@@ -51,222 +64,11 @@ using expr::Type;
 using expr::VarInfo;
 using interval::Interval;
 
-// Bitwise comparison helpers. Scalar::operator== compares doubles with
-// ==, which would miss a NaN-vs-NaN agreement and accept -0.0 == +0.0;
-// the tape contract is *bit* identity, so compare payload bits.
-bool sameBits(double a, double b) {
-  std::uint64_t x = 0, y = 0;
-  std::memcpy(&x, &a, sizeof a);
-  std::memcpy(&y, &b, sizeof b);
-  return x == y;
-}
-
-bool sameScalar(const Scalar& a, const Scalar& b) {
-  if (a.type() != b.type()) return false;
-  if (a.type() == Type::kReal) return sameBits(a.toReal(), b.toReal());
-  return a == b;
-}
-
+// Bitwise comparison helpers live in fuzz_dag.h (shared with the batch
+// executor's differential tests); the interval flavour is only used here.
 bool sameInterval(const Interval& a, const Interval& b) {
   if (a.isEmpty() || b.isEmpty()) return a.isEmpty() == b.isEmpty();
   return sameBits(a.lo(), b.lo()) && sameBits(a.hi(), b.hi());
-}
-
-// ----- Random-DAG fuzz harness --------------------------------------------
-//
-// Grows pools of well-typed expressions by repeatedly applying random
-// productions to random pool members, which yields genuinely shared DAG
-// structure (the same subterm feeds many parents). Integer and real
-// arithmetic results are clamped through min/max towers so no value chain
-// can reach signed-overflow or out-of-int64 territory — the tape evaluates
-// untaken kIte arms eagerly, so *every* emitted computation must stay
-// defined under UBSAN, not just the taken path.
-
-ExprPtr clampInt(ExprPtr e) {
-  return expr::minE(expr::maxE(std::move(e), expr::cInt(-100000)),
-                    expr::cInt(100000));
-}
-
-ExprPtr clampReal(ExprPtr e) {
-  return expr::minE(expr::maxE(std::move(e), expr::cReal(-1e6)),
-                    expr::cReal(1e6));
-}
-
-struct FuzzDag {
-  std::vector<VarInfo> vars;  // scalar variables, ids 0..7
-  std::vector<ExprPtr> bools, ints, reals;
-  std::vector<ExprPtr> realArrays, intArrays;  // ids 8 (real,4) / 9 (int,3)
-  bool withArrays = false;
-
-  std::vector<ExprPtr>& pool(Type t) {
-    return t == Type::kBool ? bools : (t == Type::kInt ? ints : reals);
-  }
-};
-
-constexpr expr::VarId kRealArrId = 8;
-constexpr expr::VarId kIntArrId = 9;
-
-FuzzDag makeFuzzDag(Rng& rng, bool withArrays) {
-  FuzzDag d;
-  d.withArrays = withArrays;
-  d.vars = {
-      {0, "b0", Type::kBool, 0, 1},      {1, "b1", Type::kBool, 0, 1},
-      {2, "i0", Type::kInt, -10, 10},    {3, "i1", Type::kInt, -10, 10},
-      {4, "i2", Type::kInt, -10, 10},    {5, "r0", Type::kReal, -100, 100},
-      {6, "r1", Type::kReal, -100, 100}, {7, "r2", Type::kReal, -100, 100},
-  };
-  for (const auto& v : d.vars) d.pool(v.type).push_back(expr::mkVar(v));
-  d.ints.push_back(expr::cInt(rng.uniformInt(-5, 5)));
-  d.reals.push_back(expr::cReal(rng.uniformReal(-5.0, 5.0)));
-  if (withArrays) {
-    d.realArrays.push_back(expr::mkVarArray(kRealArrId, "ar", Type::kReal, 4));
-    d.intArrays.push_back(expr::mkVarArray(kIntArrId, "ai", Type::kInt, 3));
-    d.realArrays.push_back(expr::cArray(
-        Type::kReal,
-        {Scalar::r(0.5), Scalar::r(-2.0), Scalar::r(7.25), Scalar::r(3.0)}));
-    d.intArrays.push_back(
-        expr::cArray(Type::kInt, {Scalar::i(1), Scalar::i(-4), Scalar::i(9)}));
-  }
-
-  const auto pick = [&](const std::vector<ExprPtr>& pool) -> const ExprPtr& {
-    return pool[rng.index(pool.size())];
-  };
-  const auto pickNumPool = [&]() -> std::vector<ExprPtr>& {
-    return rng.chance(0.5) ? d.ints : d.reals;
-  };
-
-  const int kGrow = 80;
-  for (int it = 0; it < kGrow; ++it) {
-    switch (rng.index(withArrays ? 11 : 8)) {
-      case 0:
-        d.bools.push_back(expr::notE(pick(d.bools)));
-        break;
-      case 1: {
-        const auto& a = pick(d.bools);
-        const auto& b = pick(d.bools);
-        switch (rng.index(3)) {
-          case 0: d.bools.push_back(expr::andE(a, b)); break;
-          case 1: d.bools.push_back(expr::orE(a, b)); break;
-          default: d.bools.push_back(expr::xorE(a, b)); break;
-        }
-        break;
-      }
-      case 2: {  // scalar ite, same-typed arms
-        const Type t = std::vector<Type>{Type::kBool, Type::kInt,
-                                         Type::kReal}[rng.index(3)];
-        auto& p = d.pool(t);
-        p.push_back(expr::iteE(pick(d.bools), pick(p), pick(p)));
-        break;
-      }
-      case 3: {  // relational over numerics (mixed int/real promotes)
-        const auto& a = pick(pickNumPool());
-        const auto& b = pick(pickNumPool());
-        switch (rng.index(6)) {
-          case 0: d.bools.push_back(expr::ltE(a, b)); break;
-          case 1: d.bools.push_back(expr::leE(a, b)); break;
-          case 2: d.bools.push_back(expr::gtE(a, b)); break;
-          case 3: d.bools.push_back(expr::geE(a, b)); break;
-          case 4: d.bools.push_back(expr::eqE(a, b)); break;
-          default: d.bools.push_back(expr::neE(a, b)); break;
-        }
-        break;
-      }
-      case 4: {  // integer arithmetic, clamped
-        const auto& a = pick(d.ints);
-        const auto& b = pick(d.ints);
-        ExprPtr e;
-        switch (rng.index(7)) {
-          case 0: e = expr::addE(a, b); break;
-          case 1: e = expr::subE(a, b); break;
-          case 2: e = expr::mulE(a, b); break;
-          case 3: e = expr::divE(a, b); break;  // guarded: x/0 == 0
-          case 4: e = expr::modE(a, b); break;  // guarded: x%0 == 0
-          case 5: e = expr::minE(a, b); break;
-          default: e = expr::maxE(a, b); break;
-        }
-        d.ints.push_back(clampInt(std::move(e)));
-        break;
-      }
-      case 5: {  // real arithmetic, clamped
-        const auto& a = pick(d.reals);
-        const auto& b = pick(d.reals);
-        ExprPtr e;
-        switch (rng.index(7)) {
-          case 0: e = expr::addE(a, b); break;
-          case 1: e = expr::subE(a, b); break;
-          case 2: e = expr::mulE(a, b); break;
-          case 3: e = expr::divE(a, b); break;
-          case 4: e = expr::modE(a, b); break;
-          case 5: e = expr::minE(a, b); break;
-          default: e = expr::maxE(a, b); break;
-        }
-        d.reals.push_back(clampReal(std::move(e)));
-        break;
-      }
-      case 6: {  // unary numeric (stays within the clamped range)
-        auto& p = pickNumPool();
-        p.push_back(rng.chance(0.5) ? expr::negE(pick(p))
-                                    : expr::absE(pick(p)));
-        break;
-      }
-      case 7: {  // cast between scalar types
-        const Type from = std::vector<Type>{Type::kBool, Type::kInt,
-                                            Type::kReal}[rng.index(3)];
-        const Type to = std::vector<Type>{Type::kBool, Type::kInt,
-                                          Type::kReal}[rng.index(3)];
-        d.pool(to).push_back(expr::castE(pick(d.pool(from)), to));
-        break;
-      }
-      case 8: {  // select (index clamps at runtime)
-        if (rng.chance(0.5)) {
-          d.reals.push_back(expr::selectE(pick(d.realArrays), pick(d.ints)));
-        } else {
-          d.ints.push_back(expr::selectE(pick(d.intArrays), pick(d.ints)));
-        }
-        break;
-      }
-      case 9: {  // store
-        if (rng.chance(0.5)) {
-          d.realArrays.push_back(expr::storeE(pick(d.realArrays),
-                                              pick(d.ints), pick(d.reals)));
-        } else {
-          d.intArrays.push_back(expr::storeE(pick(d.intArrays), pick(d.ints),
-                                             pick(d.ints)));
-        }
-        break;
-      }
-      default: {  // array ite
-        auto& p = rng.chance(0.5) ? d.realArrays : d.intArrays;
-        p.push_back(expr::iteE(pick(d.bools), pick(p), pick(p)));
-        break;
-      }
-    }
-  }
-  return d;
-}
-
-Scalar randomScalarFor(Rng& rng, const VarInfo& v) {
-  switch (v.type) {
-    case Type::kBool: return Scalar::b(rng.chance(0.5));
-    case Type::kInt: return Scalar::i(rng.uniformInt(-10, 10));
-    case Type::kReal: return Scalar::r(rng.uniformReal(-100.0, 100.0));
-  }
-  return Scalar::r(0);
-}
-
-Env randomEnv(Rng& rng, const FuzzDag& d) {
-  Env env;
-  env.reserve(10);
-  for (const auto& v : d.vars) env.set(v.id, randomScalarFor(rng, v));
-  if (d.withArrays) {
-    std::vector<Scalar> ar;
-    for (int i = 0; i < 4; ++i) ar.push_back(Scalar::r(rng.uniformReal(-50.0, 50.0)));
-    env.setArray(kRealArrId, std::move(ar));
-    std::vector<Scalar> ai;
-    for (int i = 0; i < 3; ++i) ai.push_back(Scalar::i(rng.uniformInt(-20, 20)));
-    env.setArray(kIntArrId, std::move(ai));
-  }
-  return env;
 }
 
 // ----- Tape basics ---------------------------------------------------------

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Release-mode evaluation-engine benchmark: builds bench_eval_tape with
-# full optimization and writes the measured tree-vs-tape table to
-# BENCH_eval.json at the repo root (the numbers quoted in EXPERIMENTS.md).
+# Release-mode evaluation-engine benchmarks: builds bench_eval_tape and
+# bench_batch_eval with full optimization and writes the measured tables
+# to BENCH_eval.json / BENCH_batch.json at the repo root (the numbers
+# quoted in EXPERIMENTS.md).
 #
-# Usage: tools/bench.sh [build-dir] [-- extra bench_eval_tape args]
+# Usage: tools/bench.sh [build-dir] [-- extra bench args]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -15,8 +16,12 @@ echo "== configure (Release) =="
 cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release \
   ${STCG_CHECK_GENERATOR:+-G "$STCG_CHECK_GENERATOR"}
 
-echo "== build bench_eval_tape =="
-cmake --build "$build_dir" -j "$(nproc)" --target bench_eval_tape
+echo "== build bench_eval_tape bench_batch_eval =="
+cmake --build "$build_dir" -j "$(nproc)" \
+  --target bench_eval_tape --target bench_batch_eval
 
-echo "== run =="
+echo "== run bench_eval_tape =="
 "$build_dir/bench/bench_eval_tape" --json "$repo_root/BENCH_eval.json" "$@"
+
+echo "== run bench_batch_eval =="
+"$build_dir/bench/bench_batch_eval" --json "$repo_root/BENCH_batch.json" "$@"

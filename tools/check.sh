@@ -48,14 +48,17 @@ fi
 rm -rf "$tsan_probe"
 
 # The tape engine's perf contract is meaningless under sanitizers, so the
-# bench smoke gate gets its own small Release build: --quick fails (exit 1)
-# if the tape engine is ever slower than the tree walk it replaced.
-echo "== release bench smoke (bench_eval_tape --quick) =="
+# bench smoke gates get their own small Release build: --quick fails
+# (exit 1) if the tape engine is ever slower than the tree walk it
+# replaced, or if the B=8 batched lanes fail to beat the scalar tape.
+echo "== release bench smoke (bench_eval_tape / bench_batch_eval --quick) =="
 bench_dir="${build_dir}-bench"
 cmake -S "$repo_root" -B "$bench_dir" -DCMAKE_BUILD_TYPE=Release \
   ${STCG_CHECK_GENERATOR:+-G "$STCG_CHECK_GENERATOR"}
-cmake --build "$bench_dir" -j "$(nproc)" --target bench_eval_tape
+cmake --build "$bench_dir" -j "$(nproc)" \
+  --target bench_eval_tape --target bench_batch_eval
 "$bench_dir/bench/bench_eval_tape" --quick
+"$bench_dir/bench/bench_batch_eval" --quick
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "== clang-tidy (src/) =="

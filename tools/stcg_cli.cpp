@@ -38,11 +38,15 @@ int usage(const char* argv0) {
       "usage: %s --list\n"
       "       %s lint <model> [--json] [--no-reachability]\n"
       "       %s <model> [--tool stcg|sldv|simcotest] [--budget MS]\n"
-      "            [--seed N] [--jobs N] [--solver box|local|portfolio]\n"
+      "            [--seed N] [--jobs N] [--batch N]\n"
+      "            [--solver box|local|portfolio]\n"
       "            [--prune-dead] [--export FILE] [--csv FILE] [--dot FILE]\n"
       "            [--save-model FILE] [--invariant] [--trace]\n"
       "  <model> is a benchmark name (--list) or an .stcgm file path\n"
       "  --jobs N runs the STCG solve loop on N lanes (0 = all cores);\n"
+      "    results are identical for a fixed seed regardless of N\n"
+      "  --batch N sets the lockstep tape lane width for replay expansion,\n"
+      "    suite replay, and local-search scoring (default 8, 1 = scalar);\n"
       "    results are identical for a fixed seed regardless of N\n"
       "  lint exits 0 (clean), 1 (errors found) or 2 (bad usage/load)\n",
       argv0, argv0, argv0);
@@ -146,6 +150,8 @@ int main(int argc, char** argv) {
       opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--jobs") {
       opt.jobs = std::atoi(next());
+    } else if (arg == "--batch") {
+      opt.batch = std::atoi(next());
     } else if (arg == "--solver") {
       const std::string s = next();
       if (s == "box") {
