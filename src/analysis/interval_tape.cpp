@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+
+#include "expr/tape_verify.h"
 
 namespace stcg::analysis {
 
@@ -9,6 +12,138 @@ using expr::Op;
 using expr::TapeInstr;
 using expr::Type;
 using interval::Interval;
+
+Interval intervalTransferScalar(Op op, Type type, const Interval& a,
+                                const Interval& b, const Interval& c) {
+  switch (op) {
+    case Op::kNot:
+      return notI(a);
+    case Op::kNeg:
+      return negI(a);
+    case Op::kAbs:
+      return absI(a);
+    case Op::kCast: {
+      if (type == Type::kBool) {
+        if (a.isEmpty()) return a;
+        if (a.isPoint()) {
+          return a.lo() == 0.0 ? Interval::boolFalse() : Interval::boolTrue();
+        }
+        return a.containsZero() ? Interval::boolUnknown()
+                                : Interval::boolTrue();
+      }
+      if (type == Type::kInt) {
+        return a.isEmpty() ? a
+                           : Interval(std::trunc(a.lo()), std::trunc(a.hi()));
+      }
+      return a;
+    }
+    case Op::kAdd:
+      return addI(a, b);
+    case Op::kSub:
+      return subI(a, b);
+    case Op::kMul:
+      return mulI(a, b);
+    case Op::kDiv: {
+      Interval out = divI(a, b);
+      // Integer division truncates toward zero (see IntervalEvaluator).
+      if (type == Type::kInt && !out.isEmpty()) {
+        out = Interval(std::trunc(out.lo()), std::trunc(out.hi()));
+      }
+      return out;
+    }
+    case Op::kMod:
+      return modI(a, b);
+    case Op::kMin:
+      return minI(a, b);
+    case Op::kMax:
+      return maxI(a, b);
+    case Op::kLt:
+      return ltI(a, b);
+    case Op::kLe:
+      return leI(a, b);
+    case Op::kGt:
+      return ltI(b, a);
+    case Op::kGe:
+      return leI(b, a);
+    case Op::kEq:
+      return eqI(a, b);
+    case Op::kNe:
+      return notI(eqI(a, b));
+    case Op::kAnd:
+      return andI(a, b);
+    case Op::kOr:
+      return orI(a, b);
+    case Op::kXor:
+      return xorI(a, b);
+    case Op::kIte:  // scalar result; no cast, unlike the concrete engine
+      if (a.isTrue()) return b;
+      if (a.isFalse()) return c;
+      return b.hull(c);
+    default:
+      return Interval::whole();
+  }
+}
+
+namespace {
+
+bool sameBits(double x, double y) {
+  std::uint64_t bx = 0, by = 0;
+  std::memcpy(&bx, &x, sizeof(bx));
+  std::memcpy(&by, &y, sizeof(by));
+  return bx == by;
+}
+
+}  // namespace
+
+expr::TapePassOptions intervalSafePassOptions() {
+  expr::TapePassOptions opts;
+  opts.intervalSafe = true;
+  opts.foldGuard = [](const TapeInstr& in, const expr::Scalar* a,
+                      const expr::Scalar* b, const expr::Scalar* c,
+                      const expr::Scalar& folded) {
+    if (in.arrayResult || in.op == Op::kSelect || in.op == Op::kStore) {
+      return false;
+    }
+    const auto pt = [](const expr::Scalar* s) {
+      return s != nullptr ? Interval::point(s->toReal()) : Interval::empty();
+    };
+    // The fold replaces the instruction's slot with a constant slot; the
+    // executor's constructor images that as point(folded.toReal()). The
+    // fold is exact iff the transfer on the operands' point images lands
+    // on exactly those bits.
+    const Interval got =
+        intervalTransferScalar(in.op, in.type, pt(a), pt(b), pt(c));
+    const Interval want = Interval::point(folded.toReal());
+    return !got.isEmpty() && sameBits(got.lo(), want.lo()) &&
+           sameBits(got.hi(), want.hi());
+  };
+  return opts;
+}
+
+IntervalTapeBuild buildIntervalTape(const std::vector<expr::ExprPtr>& roots) {
+  expr::TapeBuilder b;
+  IntervalTapeBuild out;
+  out.rootSlots.reserve(roots.size());
+  for (const auto& r : roots) out.rootSlots.push_back(b.addRoot(r));
+  out.rawTape = b.finish();
+  expr::maybeRequireVerifiedTape(*out.rawTape, "buildIntervalTape(raw)");
+  if (expr::tapeOptEnabled()) {
+    expr::OptimizedTape opt =
+        expr::optimizeTape(out.rawTape, {}, intervalSafePassOptions());
+    expr::maybeRequireVerifiedTape(*opt.tape, "buildIntervalTape(optimized)");
+    out.tape = std::move(opt.tape);
+    out.stats = opt.stats;
+    for (expr::SlotRef& r : out.rootSlots) r = opt.remap(r);
+  } else {
+    out.tape = out.rawTape;
+    out.stats.instrsBefore = out.stats.instrsAfter = out.tape->code().size();
+    out.stats.scalarSlotsBefore = out.stats.scalarSlotsAfter =
+        out.tape->scalarSlotCount();
+    out.stats.arraySlotsBefore = out.stats.arraySlotsAfter =
+        out.tape->arraySlotCount();
+  }
+  return out;
+}
 
 IntervalTapeExecutor::IntervalTapeExecutor(
     std::shared_ptr<const expr::Tape> tape)
@@ -56,8 +191,10 @@ void IntervalTapeExecutor::run() {
 }
 
 void IntervalTapeExecutor::exec(const TapeInstr& in) {
-  // Per-op transfer functions copied from IntervalEvaluator::scalarRec /
-  // arrayRec — results are identical to the tree walk.
+  // Per-op transfer functions mirror IntervalEvaluator::scalarRec /
+  // arrayRec — results are identical to the tree walk. Pure scalar ops
+  // delegate to intervalTransferScalar (shared with the optimizer's
+  // fold guard); the array-reading ops stay here.
   const auto s = [&](std::int32_t slot) -> const Interval& {
     return scalars_[static_cast<std::size_t>(slot)];
   };
@@ -66,89 +203,9 @@ void IntervalTapeExecutor::exec(const TapeInstr& in) {
   };
   Interval out;
   switch (in.op) {
-    case Op::kNot:
-      out = notI(s(in.a));
-      break;
-    case Op::kNeg:
-      out = negI(s(in.a));
-      break;
-    case Op::kAbs:
-      out = absI(s(in.a));
-      break;
-    case Op::kCast: {
-      const Interval& x = s(in.a);
-      if (in.type == Type::kBool) {
-        if (x.isEmpty()) {
-          out = x;
-        } else if (x.isPoint()) {
-          out = x.lo() == 0.0 ? Interval::boolFalse() : Interval::boolTrue();
-        } else {
-          out = x.containsZero() ? Interval::boolUnknown()
-                                 : Interval::boolTrue();
-        }
-      } else if (in.type == Type::kInt) {
-        out = x.isEmpty() ? x
-                          : Interval(std::trunc(x.lo()), std::trunc(x.hi()));
-      } else {
-        out = x;
-      }
-      break;
-    }
-    case Op::kAdd:
-      out = addI(s(in.a), s(in.b));
-      break;
-    case Op::kSub:
-      out = subI(s(in.a), s(in.b));
-      break;
-    case Op::kMul:
-      out = mulI(s(in.a), s(in.b));
-      break;
-    case Op::kDiv:
-      out = divI(s(in.a), s(in.b));
-      // Integer division truncates toward zero (see IntervalEvaluator).
-      if (in.type == Type::kInt && !out.isEmpty()) {
-        out = Interval(std::trunc(out.lo()), std::trunc(out.hi()));
-      }
-      break;
-    case Op::kMod:
-      out = modI(s(in.a), s(in.b));
-      break;
-    case Op::kMin:
-      out = minI(s(in.a), s(in.b));
-      break;
-    case Op::kMax:
-      out = maxI(s(in.a), s(in.b));
-      break;
-    case Op::kLt:
-      out = ltI(s(in.a), s(in.b));
-      break;
-    case Op::kLe:
-      out = leI(s(in.a), s(in.b));
-      break;
-    case Op::kGt:
-      out = ltI(s(in.b), s(in.a));
-      break;
-    case Op::kGe:
-      out = leI(s(in.b), s(in.a));
-      break;
-    case Op::kEq:
-      out = eqI(s(in.a), s(in.b));
-      break;
-    case Op::kNe:
-      out = notI(eqI(s(in.a), s(in.b)));
-      break;
-    case Op::kAnd:
-      out = andI(s(in.a), s(in.b));
-      break;
-    case Op::kOr:
-      out = orI(s(in.a), s(in.b));
-      break;
-    case Op::kXor:
-      out = xorI(s(in.a), s(in.b));
-      break;
-    case Op::kIte: {
-      const Interval& c = s(in.a);
+    case Op::kIte:
       if (in.arrayResult) {
+        const Interval& c = s(in.a);
         auto& dst = arrays_[static_cast<std::size_t>(in.dst)];
         if (c.isTrue()) {
           dst = a(in.b);
@@ -163,15 +220,8 @@ void IntervalTapeExecutor::exec(const TapeInstr& in) {
         }
         return;
       }
-      if (c.isTrue()) {
-        out = s(in.b);
-      } else if (c.isFalse()) {
-        out = s(in.c);
-      } else {
-        out = s(in.b).hull(s(in.c));
-      }
+      out = intervalTransferScalar(in.op, in.type, s(in.a), s(in.b), s(in.c));
       break;
-    }
     case Op::kSelect: {
       const auto& arr = a(in.a);
       const Interval idx = s(in.b).integralHull();
@@ -212,7 +262,10 @@ void IntervalTapeExecutor::exec(const TapeInstr& in) {
       return;
     }
     default:
-      out = Interval::whole();
+      out = intervalTransferScalar(
+          in.op, in.type, s(in.a),
+          in.b >= 0 ? s(in.b) : Interval::empty(),
+          in.c >= 0 ? s(in.c) : Interval::empty());
       break;
   }
   scalars_[static_cast<std::size_t>(in.dst)] = out;
@@ -220,16 +273,13 @@ void IntervalTapeExecutor::exec(const TapeInstr& in) {
 
 std::vector<Interval> intervalVerdicts(
     const std::vector<expr::ExprPtr>& roots, const IntervalEnv& env) {
-  expr::TapeBuilder b;
-  std::vector<expr::SlotRef> slots;
-  slots.reserve(roots.size());
-  for (const auto& r : roots) slots.push_back(b.addRoot(r));
-  IntervalTapeExecutor ex(b.finish());
+  const IntervalTapeBuild built = buildIntervalTape(roots);
+  IntervalTapeExecutor ex(built.tape);
   ex.bind(env);
   ex.run();
   std::vector<Interval> out;
-  out.reserve(slots.size());
-  for (const auto& slot : slots) out.push_back(ex.scalar(slot));
+  out.reserve(built.rootSlots.size());
+  for (const auto& slot : built.rootSlots) out.push_back(ex.scalar(slot));
   return out;
 }
 

@@ -62,13 +62,14 @@ StateInvariant computeStateInvariant(const compile::CompiledModel& cm,
   for (const auto& sv : cm.states) domains.push_back(initDomains(sv));
 
   // The fixpoint re-evaluates the same next-state functions dozens of
-  // times: compile them to one CSE-shared tape up front and rebind the
-  // interval environment per iteration.
-  expr::TapeBuilder builder;
-  std::vector<expr::SlotRef> nextSlots;
-  nextSlots.reserve(cm.states.size());
-  for (const auto& sv : cm.states) nextSlots.push_back(builder.addRoot(sv.next));
-  IntervalTapeExecutor eval(builder.finish());
+  // times: compile them to one CSE-shared, interval-safely optimized
+  // tape up front and rebind the interval environment per iteration.
+  std::vector<expr::ExprPtr> nextRoots;
+  nextRoots.reserve(cm.states.size());
+  for (const auto& sv : cm.states) nextRoots.push_back(sv.next);
+  const IntervalTapeBuild built = buildIntervalTape(nextRoots);
+  const std::vector<expr::SlotRef>& nextSlots = built.rootSlots;
+  IntervalTapeExecutor eval(built.tape);
 
   StateInvariant result;
   for (int iter = 0; iter < opt.maxIterations; ++iter) {

@@ -49,43 +49,66 @@ std::uint64_t instrKey(const TapeInstr& in) {
   return h;
 }
 
-bool sameComputation(const TapeInstr& x, const TapeInstr& y) {
-  return x.op == y.op && x.type == y.type && x.arrayResult == y.arrayResult &&
-         x.a == y.a && x.b == y.b && x.c == y.c;
-}
+}  // namespace
 
-/// Visit each operand slot of `in` as (slot, isArray).
-template <typename Fn>
-void forEachOperand(const TapeInstr& in, Fn&& fn) {
-  switch (in.op) {
-    case Op::kNot:
-    case Op::kNeg:
-    case Op::kAbs:
-    case Op::kCast:
-      fn(in.a, false);
-      break;
-    case Op::kIte:
-      fn(in.a, false);
-      fn(in.b, in.arrayResult);
-      fn(in.c, in.arrayResult);
-      break;
-    case Op::kSelect:
-      fn(in.a, true);
-      fn(in.b, false);
-      break;
-    case Op::kStore:
-      fn(in.a, true);
-      fn(in.b, false);
-      fn(in.c, false);
-      break;
-    default:  // binary scalar ops
-      fn(in.a, false);
-      fn(in.b, false);
-      break;
+void Tape::recomputeCones() {
+  // Dirty cones: propagate per-slot variable-dependency bitsets through
+  // the (topologically ordered) code, then invert into per-variable
+  // ascending instruction lists. Exact for single-assignment tapes and
+  // for pass-pipeline tapes whose shared slots have equal-dependency
+  // writers (the only sharing the linear-scan reallocator performs).
+  cones_.clear();
+  maxConeSize_ = 0;
+  std::vector<VarId> vars;
+  for (const auto& b : varBindings_) vars.push_back(b.var);
+  for (const auto& b : arrayBindings_) vars.push_back(b.var);
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  const std::size_t nVars = vars.size();
+  const std::size_t words = (nVars + 63) / 64;
+  const auto varIndex = [&](VarId v) {
+    return static_cast<std::size_t>(
+        std::lower_bound(vars.begin(), vars.end(), v) - vars.begin());
+  };
+
+  std::vector<std::uint64_t> sdeps(scalarInit_.size() * words, 0);
+  std::vector<std::uint64_t> adeps(arrayInit_.size() * words, 0);
+  const auto depWord = [&](std::vector<std::uint64_t>& v, std::int32_t slot) {
+    return v.data() + static_cast<std::size_t>(slot) * words;
+  };
+  for (const auto& b : varBindings_) {
+    const std::size_t i = varIndex(b.var);
+    depWord(sdeps, b.slot)[i / 64] |= 1ULL << (i % 64);
+  }
+  for (const auto& b : arrayBindings_) {
+    const std::size_t i = varIndex(b.var);
+    depWord(adeps, b.slot)[i / 64] |= 1ULL << (i % 64);
+  }
+
+  std::vector<std::vector<std::int32_t>> cones(nVars);
+  for (std::size_t idx = 0; idx < code_.size(); ++idx) {
+    const TapeInstr& in = code_[idx];
+    std::uint64_t* dst =
+        in.arrayResult ? depWord(adeps, in.dst) : depWord(sdeps, in.dst);
+    forEachTapeOperand(in, [&](std::int32_t slot, bool isArray) {
+      const std::uint64_t* src =
+          isArray ? depWord(adeps, slot) : depWord(sdeps, slot);
+      for (std::size_t w = 0; w < words; ++w) dst[w] |= src[w];
+    });
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t bits = dst[w];
+      while (bits != 0) {
+        const auto bit = static_cast<std::size_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        cones[w * 64 + bit].push_back(static_cast<std::int32_t>(idx));
+      }
+    }
+  }
+  for (std::size_t i = 0; i < nVars; ++i) {
+    maxConeSize_ = std::max(maxConeSize_, cones[i].size());
+    cones_.emplace_back(vars[i], std::move(cones[i]));
   }
 }
-
-}  // namespace
 
 const std::vector<std::int32_t>* Tape::coneOf(VarId var) const {
   const auto it = std::lower_bound(
@@ -100,7 +123,9 @@ SlotRef TapeBuilder::addRoot(const ExprPtr& e) {
     throw EvalError("TapeBuilder::addRoot after finish()");
   }
   tape_->pinnedRoots_.push_back(e);
-  return emitDag(e.get());
+  const SlotRef r = emitDag(e.get());
+  tape_->rootSlots_.push_back(r);
+  return r;
 }
 
 SlotRef TapeBuilder::slotOf(const Expr* e) const {
@@ -211,7 +236,7 @@ SlotRef TapeBuilder::assignSlot(const Expr* e) {
   auto& bucket = instrBuckets_[key];
   for (const std::int32_t idx : bucket) {
     const TapeInstr& prev = tape_->code_[static_cast<std::size_t>(idx)];
-    if (sameComputation(prev, in)) return {prev.dst, prev.arrayResult};
+    if (sameTapeComputation(prev, in)) return {prev.dst, prev.arrayResult};
   }
   in.dst = in.arrayResult ? newArraySlot({}) : newScalarSlot(Scalar::i(0));
   bucket.push_back(static_cast<std::int32_t>(tape_->code_.size()));
@@ -231,58 +256,7 @@ std::shared_ptr<const Tape> TapeBuilder::finish() {
               return x.var < y.var;
             });
 
-  // Dirty cones: propagate per-slot variable-dependency bitsets through
-  // the (topologically ordered) code, then invert into per-variable
-  // ascending instruction lists.
-  std::vector<VarId> vars;
-  for (const auto& b : t.varBindings_) vars.push_back(b.var);
-  for (const auto& b : t.arrayBindings_) vars.push_back(b.var);
-  std::sort(vars.begin(), vars.end());
-  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
-  const std::size_t nVars = vars.size();
-  const std::size_t words = (nVars + 63) / 64;
-  const auto varIndex = [&](VarId v) {
-    return static_cast<std::size_t>(
-        std::lower_bound(vars.begin(), vars.end(), v) - vars.begin());
-  };
-
-  std::vector<std::uint64_t> sdeps(t.scalarInit_.size() * words, 0);
-  std::vector<std::uint64_t> adeps(t.arrayInit_.size() * words, 0);
-  const auto depWord = [&](std::vector<std::uint64_t>& v, std::int32_t slot) {
-    return v.data() + static_cast<std::size_t>(slot) * words;
-  };
-  for (const auto& b : t.varBindings_) {
-    const std::size_t i = varIndex(b.var);
-    depWord(sdeps, b.slot)[i / 64] |= 1ULL << (i % 64);
-  }
-  for (const auto& b : t.arrayBindings_) {
-    const std::size_t i = varIndex(b.var);
-    depWord(adeps, b.slot)[i / 64] |= 1ULL << (i % 64);
-  }
-
-  std::vector<std::vector<std::int32_t>> cones(nVars);
-  for (std::size_t idx = 0; idx < t.code_.size(); ++idx) {
-    const TapeInstr& in = t.code_[idx];
-    std::uint64_t* dst = in.arrayResult ? depWord(adeps, in.dst)
-                                        : depWord(sdeps, in.dst);
-    forEachOperand(in, [&](std::int32_t slot, bool isArray) {
-      const std::uint64_t* src =
-          isArray ? depWord(adeps, slot) : depWord(sdeps, slot);
-      for (std::size_t w = 0; w < words; ++w) dst[w] |= src[w];
-    });
-    for (std::size_t w = 0; w < words; ++w) {
-      std::uint64_t bits = dst[w];
-      while (bits != 0) {
-        const auto bit = static_cast<std::size_t>(__builtin_ctzll(bits));
-        bits &= bits - 1;
-        cones[w * 64 + bit].push_back(static_cast<std::int32_t>(idx));
-      }
-    }
-  }
-  for (std::size_t i = 0; i < nVars; ++i) {
-    t.maxConeSize_ = std::max(t.maxConeSize_, cones[i].size());
-    t.cones_.emplace_back(vars[i], std::move(cones[i]));
-  }
+  t.recomputeCones();
 
   std::shared_ptr<const Tape> out = std::move(tape_);
   tape_ = nullptr;

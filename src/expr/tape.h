@@ -51,6 +51,8 @@ struct SlotRef {
   [[nodiscard]] bool valid() const { return slot >= 0; }
 };
 
+class TapeRewriter;
+
 /// One tape instruction. Operand meaning depends on op:
 ///   unary (kNot/kNeg/kAbs/kCast)  a = scalar operand
 ///   binary arith/rel/bool         a, b = scalar operands
@@ -129,11 +131,31 @@ class Tape {
   /// variable / nothing depends on it.
   [[nodiscard]] const std::vector<std::int32_t>* coneOf(VarId var) const;
 
+  /// Every dirty cone, sorted by VarId (verifier / pass-pipeline input).
+  [[nodiscard]] const std::vector<std::pair<VarId, std::vector<std::int32_t>>>&
+  cones() const {
+    return cones_;
+  }
+
   /// Largest dirty-cone size (diagnostics / bench reporting).
   [[nodiscard]] std::size_t maxConeSize() const { return maxConeSize_; }
 
+  /// Slots handed out by TapeBuilder::addRoot, in call order (duplicates
+  /// kept). These are the externally visible reads the optimizer must
+  /// keep live; producers with extra out-of-tape reads (the distance
+  /// overlay) pass those separately.
+  [[nodiscard]] const std::vector<SlotRef>& rootSlots() const {
+    return rootSlots_;
+  }
+
  private:
   friend class TapeBuilder;
+  friend class TapeRewriter;
+
+  /// Re-derive cones_ / maxConeSize_ from code_ and the bindings (the
+  /// algorithm TapeBuilder::finish runs; the pass pipeline reruns it
+  /// after rewriting the code).
+  void recomputeCones();
 
   std::vector<TapeInstr> code_;
   std::vector<Scalar> scalarInit_;
@@ -142,6 +164,7 @@ class Tape {
   std::vector<std::int32_t> constArraySlots_;
   std::vector<TapeVarBinding> varBindings_;
   std::vector<TapeArrayBinding> arrayBindings_;
+  std::vector<SlotRef> rootSlots_;
   // Sorted by VarId; cones hold ascending instruction indices.
   std::vector<std::pair<VarId, std::vector<std::int32_t>>> cones_;
   std::size_t maxConeSize_ = 0;
@@ -149,6 +172,46 @@ class Tape {
   // Evaluator's pinnedRoots_ contract).
   std::vector<ExprPtr> pinnedRoots_;
 };
+
+/// Visit each operand slot of `in` as fn(slot, isArray). Shared by the
+/// cone computation, the verifier and the optimizer passes.
+template <typename Fn>
+void forEachTapeOperand(const TapeInstr& in, Fn&& fn) {
+  switch (in.op) {
+    case Op::kNot:
+    case Op::kNeg:
+    case Op::kAbs:
+    case Op::kCast:
+      fn(in.a, false);
+      break;
+    case Op::kIte:
+      fn(in.a, false);
+      fn(in.b, in.arrayResult);
+      fn(in.c, in.arrayResult);
+      break;
+    case Op::kSelect:
+      fn(in.a, true);
+      fn(in.b, false);
+      break;
+    case Op::kStore:
+      fn(in.a, true);
+      fn(in.b, false);
+      fn(in.c, false);
+      break;
+    default:  // binary scalar ops
+      fn(in.a, false);
+      fn(in.b, false);
+      break;
+  }
+}
+
+/// Structural identity: same op, result type/space and operand slots —
+/// the value-numbering equivalence the builder's CSE collapses on.
+[[nodiscard]] inline bool sameTapeComputation(const TapeInstr& x,
+                                              const TapeInstr& y) {
+  return x.op == y.op && x.type == y.type && x.arrayResult == y.arrayResult &&
+         x.a == y.a && x.b == y.b && x.c == y.c;
+}
 
 /// Compiles expression DAGs into a Tape. Add every root first (CSE is
 /// global across roots), then finish() — the builder is spent afterwards.

@@ -37,6 +37,27 @@ const std::vector<CheckInfo>& allChecks() {
       {"unreachable-condition", Severity::kNote,
        "condition polarity proven unobservable while its decision is "
        "active"},
+      // Tape layer (--tape): static verification of the compiled tapes.
+      {"tape-slot-bounds", Severity::kError,
+       "tape instruction reads or writes a slot outside its space"},
+      {"tape-use-before-def", Severity::kError,
+       "tape operand slot read before any instruction defines it"},
+      {"tape-const-clobbered", Severity::kError,
+       "tape instruction overwrites a constant or variable slot"},
+      {"tape-type-mismatch", Severity::kError,
+       "tape result type breaks the typed-lane executor contract"},
+      {"tape-root-undefined", Severity::kError,
+       "tape root names an invalid or never-defined slot"},
+      {"tape-stale-cone", Severity::kError,
+       "recorded dirty cones differ from the recomputed dependency cones"},
+      {"tape-unsafe-sharing", Severity::kError,
+       "physical slot shared across incoherent dependency cones"},
+      {"tape-cse-duplicate", Severity::kWarning,
+       "two live pure tape instructions compute the same value"},
+      {"tape-internal-error", Severity::kError,
+       "tape construction or producer-side verification threw"},
+      {"tape-shrink", Severity::kNote,
+       "pass-pipeline instruction/slot reduction for one compiled tape"},
   };
   return kChecks;
 }
@@ -48,6 +69,7 @@ LintResult lintModel(const model::Model& m, const LintOptions& opt) {
     try {
       const compile::CompiledModel cm = compile::compile(m);
       runCompiledChecks(cm, opt, result);
+      if (opt.tapeChecks) runTapeChecks(cm, result.sink);
     } catch (const compile::CompileError& e) {
       // The model layer aims to catch everything compile() rejects, but
       // stays sound if lowering finds a problem the checks missed.

@@ -42,6 +42,11 @@ struct LintOptions {
   /// are near-instant.
   bool reachabilityChecks = true;
   analysis::ReachabilityOptions reach{};
+  /// Run the tape-layer checks: static verification (expr::verifyTape)
+  /// of every tape the engines would execute — sim, interval, distance —
+  /// raw and optimized, plus per-tape shrink notes. Off by default: the
+  /// findings judge the tape pipeline, not the model.
+  bool tapeChecks = false;
 };
 
 /// One entry of the static check registry.
@@ -79,6 +84,12 @@ void runModelChecks(const model::Model& m, DiagnosticSink& sink);
 /// `out.exclusions`. Sets out.compiledChecksRan.
 void runCompiledChecks(const compile::CompiledModel& cm,
                        const LintOptions& opt, LintResult& out);
+
+/// Tape-layer checks only: build and statically verify the model's sim,
+/// interval and distance tapes (raw and pass-pipeline-optimized), report
+/// each verifier finding under its stable check id, and emit one
+/// "tape-shrink" note per tape.
+void runTapeChecks(const compile::CompiledModel& cm, DiagnosticSink& sink);
 
 /// The generator entry point: prove coverage goals unreachable and return
 /// them as exclusions (optionally with one label per excluded goal).

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "expr/eval.h"
+#include "expr/tape_verify.h"
 #include "solver/solver.h"
 
 namespace stcg::solver {
@@ -206,6 +207,48 @@ double overlayStep(const DistanceProgram::Instr& in, const DistView& dist,
   return 0.0;
 }
 
+/// Build the value tape + overlay for `goal`, run the (concrete-mode)
+/// pass pipeline on the value tape, and remap the overlay's interior
+/// value reads. The overlay's va/vb slots are out-of-tape reads, so they
+/// ride through optimizeTape as extraLive slots — kept live by DCE and
+/// never freed by the slot allocator.
+struct BuiltDistance {
+  DistanceProgram prog;
+  std::shared_ptr<const expr::Tape> tape;
+  expr::TapePassStats stats;
+};
+
+BuiltDistance buildOptimizedDistance(const ExprPtr& goal) {
+  expr::TapeBuilder b;
+  BuiltDistance out;
+  out.prog = buildDistanceProgram(goal, b);
+  std::shared_ptr<const expr::Tape> raw = b.finish();
+  expr::maybeRequireVerifiedTape(*raw, "DistanceTape(raw)");
+  if (!expr::tapeOptEnabled()) {
+    out.tape = std::move(raw);
+    out.stats.instrsBefore = out.stats.instrsAfter = out.tape->code().size();
+    out.stats.scalarSlotsBefore = out.stats.scalarSlotsAfter =
+        out.tape->scalarSlotCount();
+    out.stats.arraySlotsBefore = out.stats.arraySlotsAfter =
+        out.tape->arraySlotCount();
+    return out;
+  }
+  std::vector<expr::SlotRef> extra;
+  for (const DistanceProgram::Instr& in : out.prog.code) {
+    if (in.va >= 0) extra.push_back({in.va, false});
+    if (in.vb >= 0) extra.push_back({in.vb, false});
+  }
+  expr::OptimizedTape opt = expr::optimizeTape(raw, extra);
+  expr::maybeRequireVerifiedTape(*opt.tape, "DistanceTape(optimized)");
+  for (DistanceProgram::Instr& in : out.prog.code) {
+    if (in.va >= 0) in.va = opt.remap({in.va, false}).slot;
+    if (in.vb >= 0) in.vb = opt.remap({in.vb, false}).slot;
+  }
+  out.tape = std::move(opt.tape);
+  out.stats = opt.stats;
+  return out;
+}
+
 }  // namespace
 
 DistanceProgram buildDistanceProgram(const ExprPtr& goal,
@@ -220,9 +263,10 @@ DistanceProgram buildDistanceProgram(const ExprPtr& goal,
 DistanceTape::DistanceTape(const ExprPtr& goal,
                            const std::vector<expr::VarInfo>& vars)
     : vars_(vars) {
-  expr::TapeBuilder b;
-  prog_ = buildDistanceProgram(goal, b);
-  exec_.emplace(b.finish());
+  BuiltDistance built = buildOptimizedDistance(goal);
+  prog_ = std::move(built.prog);
+  passStats_ = built.stats;
+  exec_.emplace(std::move(built.tape));
   dist_ = prog_.init;
 }
 
@@ -270,9 +314,9 @@ BatchDistanceTape::BatchDistanceTape(const ExprPtr& goal,
                                      const std::vector<expr::VarInfo>& vars,
                                      int lanes)
     : vars_(vars) {
-  expr::TapeBuilder b;
-  prog_ = buildDistanceProgram(goal, b);
-  exec_.emplace(b.finish(), lanes);
+  BuiltDistance built = buildOptimizedDistance(goal);
+  prog_ = std::move(built.prog);
+  exec_.emplace(std::move(built.tape), lanes);
   const auto B = static_cast<std::size_t>(exec_->lanes());
   dist_.resize(prog_.slotCount() * B);
   for (std::size_t s = 0; s < prog_.slotCount(); ++s) {

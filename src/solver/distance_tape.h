@@ -33,6 +33,7 @@
 #include "expr/batch_tape.h"
 #include "expr/expr.h"
 #include "expr/tape.h"
+#include "expr/tape_passes.h"
 
 namespace stcg::solver {
 
@@ -83,6 +84,11 @@ class DistanceTape {
     return prog_.code.size();
   }
   [[nodiscard]] std::size_t maxConeSize() const;
+  /// Pass-pipeline shrink of the value tape (before == after when
+  /// STCG_TAPE_OPT=0 disabled optimization).
+  [[nodiscard]] const expr::TapePassStats& passStats() const {
+    return passStats_;
+  }
 
  private:
   double runOverlay();
@@ -90,6 +96,7 @@ class DistanceTape {
   std::vector<expr::VarInfo> vars_;
   std::optional<expr::TapeExecutor> exec_;
   DistanceProgram prog_;
+  expr::TapePassStats passStats_;
   std::vector<double> dist_;  // distance slots (constants pre-set)
 };
 

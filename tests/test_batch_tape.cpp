@@ -148,6 +148,62 @@ TEST(BatchTapeFuzz, LanesMatchScalarTapeBitwise) {
   }
 }
 
+// ----- Differential fuzz: batch lanes on the optimized tape ----------------
+
+TEST(BatchTapeFuzz, LanesOnOptimizedTapeMatchScalarRawBitwise) {
+  Rng rng(44203);
+  for (int trial = 0; trial < 12; ++trial) {
+    FuzzDag d = makeFuzzDag(rng, /*withArrays=*/true);
+    std::vector<ExprPtr> roots;
+    const auto addRootFrom = [&](const std::vector<ExprPtr>& pool) {
+      roots.push_back(pool[rng.index(pool.size())]);
+    };
+    for (int i = 0; i < 3; ++i) addRootFrom(d.bools);
+    for (int i = 0; i < 2; ++i) {
+      addRootFrom(d.ints);
+      addRootFrom(d.reals);
+    }
+    addRootFrom(d.realArrays);
+    addRootFrom(d.intArrays);
+
+    // Batch lanes execute the optimized tape (slot sharing shrinks the
+    // B-wide SoA frame); the oracle is a scalar executor per lane on the
+    // RAW tape, so this differential crosses both the pass pipeline and
+    // the lane kernels at once.
+    const fuzz::TapePair p = fuzz::buildTapePair(roots);
+    expr::BatchTapeExecutor bx(p.optimized, kLanes);
+    std::vector<std::unique_ptr<expr::TapeExecutor>> refs;
+    for (int l = 0; l < kLanes; ++l) {
+      const Env env = randomEnv(rng, d);
+      refs.push_back(std::make_unique<expr::TapeExecutor>(p.raw));
+      refs.back()->bindEnv(env);
+      bx.bindEnv(l, env);
+    }
+    bx.run();
+    for (int l = 0; l < kLanes; ++l) {
+      auto& ref = *refs[static_cast<std::size_t>(l)];
+      ref.run();
+      for (std::size_t i = 0; i < roots.size(); ++i) {
+        if (roots[i]->isArray()) {
+          const auto& a = ref.array(p.rawSlots[i]);
+          const auto& bt = bx.array(p.optSlots[i], l);
+          ASSERT_EQ(a.size(), bt.size())
+              << "trial " << trial << " lane " << l << " root " << i;
+          for (std::size_t j = 0; j < a.size(); ++j) {
+            EXPECT_TRUE(sameScalar(a[j], bt[j]))
+                << "trial " << trial << " lane " << l << " root " << i << " ["
+                << j << "]";
+          }
+        } else {
+          EXPECT_TRUE(
+              sameScalar(ref.scalar(p.rawSlots[i]), bx.scalar(p.optSlots[i], l)))
+              << "trial " << trial << " lane " << l << " root " << i;
+        }
+      }
+    }
+  }
+}
+
 // ----- Targeted per-lane guards and clamps ---------------------------------
 
 TEST(BatchTape, PerLaneDivModGuardsAndIndexClampsMatchScalar) {

@@ -31,6 +31,8 @@
 #include "expr/builder.h"
 #include "expr/eval.h"
 #include "expr/tape.h"
+#include "expr/tape_passes.h"
+#include "expr/tape_verify.h"
 #include "interval/interval.h"
 #include "model/model.h"
 #include "sim/simulator.h"
@@ -376,6 +378,188 @@ TEST(TapeFuzz, DistanceTapeMatchesBranchDistanceBitwise) {
     EXPECT_EQ(dt.rebind(point),
               solver::branchDistance(goal, toEnv(point), true))
         << "trial " << trial << " restart rebind";
+  }
+}
+
+// ----- Differential fuzz: pass-pipeline output vs raw tape -----------------
+
+TEST(TapePassFuzz, OptimizedTapeMatchesRawConcreteAndConeExecution) {
+  Rng rng(20260807);
+  for (int trial = 0; trial < 25; ++trial) {
+    FuzzDag d = makeFuzzDag(rng, /*withArrays=*/true);
+    std::vector<ExprPtr> roots;
+    const auto addRootFrom = [&](const std::vector<ExprPtr>& pool) {
+      roots.push_back(pool[rng.index(pool.size())]);
+    };
+    for (int i = 0; i < 3; ++i) addRootFrom(d.bools);
+    for (int i = 0; i < 2; ++i) {
+      addRootFrom(d.ints);
+      addRootFrom(d.reals);
+    }
+    addRootFrom(d.realArrays);
+    addRootFrom(d.intArrays);
+
+    const fuzz::TapePair p = fuzz::buildTapePair(roots);
+    ASSERT_FALSE(expr::verifyTape(*p.raw).hasErrors()) << "trial " << trial;
+    ASSERT_FALSE(expr::verifyTape(*p.optimized).hasErrors())
+        << "trial " << trial
+        << "\n" << expr::verifyTape(*p.optimized).render();
+
+    expr::TapeExecutor raw(p.raw), opt(p.optimized);
+    Env env = randomEnv(rng, d);
+    raw.bindEnv(env);
+    raw.run();
+    opt.bindEnv(env);
+    opt.run();
+
+    const auto checkAll = [&](const char* what) {
+      for (std::size_t i = 0; i < roots.size(); ++i) {
+        if (roots[i]->isArray()) {
+          const auto& a = raw.array(p.rawSlots[i]);
+          const auto& b = opt.array(p.optSlots[i]);
+          ASSERT_EQ(a.size(), b.size())
+              << what << " trial " << trial << " root " << i;
+          for (std::size_t j = 0; j < a.size(); ++j) {
+            EXPECT_TRUE(sameScalar(a[j], b[j]))
+                << what << " trial " << trial << " root " << i << " [" << j
+                << "]";
+          }
+        } else {
+          EXPECT_TRUE(
+              sameScalar(raw.scalar(p.rawSlots[i]), opt.scalar(p.optSlots[i])))
+              << what << " trial " << trial << " root " << i;
+        }
+      }
+    };
+    checkAll("full");
+
+    // Incremental cone replay must stay exact on the slot-shared tape —
+    // the property the allocator's cone-coherence restriction protects.
+    for (int m = 0; m < 6; ++m) {
+      const auto& v = d.vars[rng.index(d.vars.size())];
+      const Scalar nv = randomScalarFor(rng, v);
+      raw.setVar(v.id, nv);
+      raw.runCone(v.id);
+      opt.setVar(v.id, nv);
+      opt.runCone(v.id);
+      checkAll("cone");
+    }
+    std::vector<Scalar> ar;
+    for (int i = 0; i < 4; ++i) {
+      ar.push_back(Scalar::r(rng.uniformReal(-50.0, 50.0)));
+    }
+    raw.setArrayVar(kRealArrId, ar);
+    raw.runCone(kRealArrId);
+    opt.setArrayVar(kRealArrId, ar);
+    opt.runCone(kRealArrId);
+    checkAll("array-cone");
+  }
+}
+
+TEST(TapePassFuzz, IntervalSafeOptimizationMatchesRawIntervalExecution) {
+  Rng rng(88002);
+  for (int trial = 0; trial < 20; ++trial) {
+    FuzzDag d = makeFuzzDag(rng, /*withArrays=*/true);
+    std::vector<ExprPtr> roots;
+    const auto addRootFrom = [&](const std::vector<ExprPtr>& pool) {
+      roots.push_back(pool[rng.index(pool.size())]);
+    };
+    for (int i = 0; i < 3; ++i) addRootFrom(d.bools);
+    for (int i = 0; i < 2; ++i) {
+      addRootFrom(d.ints);
+      addRootFrom(d.reals);
+    }
+    addRootFrom(d.realArrays);
+    addRootFrom(d.intArrays);
+
+    const fuzz::TapePair p =
+        fuzz::buildTapePair(roots, analysis::intervalSafePassOptions());
+    ASSERT_FALSE(expr::verifyTape(*p.optimized).hasErrors())
+        << "trial " << trial;
+
+    // Random partial binding, as in the interval-vs-tree fuzz above.
+    analysis::IntervalEnv env;
+    for (const auto& v : d.vars) {
+      if (!rng.chance(0.6)) continue;
+      double a = rng.uniformReal(v.lo, v.hi);
+      double c = rng.uniformReal(v.lo, v.hi);
+      if (a > c) std::swap(a, c);
+      Interval iv(a, c);
+      if (v.type != Type::kReal) iv = iv.integralHull();
+      env.set(v.id, iv);
+    }
+    if (rng.chance(0.5)) {
+      std::vector<Interval> elems;
+      for (int i = 0; i < 4; ++i) {
+        const double m = rng.uniformReal(-50.0, 50.0);
+        elems.push_back(Interval(m, m + rng.uniformReal(0.0, 10.0)));
+      }
+      env.setArray(kRealArrId, std::move(elems));
+    }
+
+    analysis::IntervalTapeExecutor raw(p.raw), opt(p.optimized);
+    raw.bind(env);
+    raw.run();
+    opt.bind(env);
+    opt.run();
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+      if (roots[i]->isArray()) {
+        const auto& a = raw.array(p.rawSlots[i]);
+        const auto& b = opt.array(p.optSlots[i]);
+        ASSERT_EQ(a.size(), b.size()) << "trial " << trial << " root " << i;
+        for (std::size_t j = 0; j < a.size(); ++j) {
+          EXPECT_TRUE(sameInterval(a[j], b[j]))
+              << "trial " << trial << " root " << i << " [" << j << "]: ["
+              << a[j].lo() << "," << a[j].hi() << "] vs [" << b[j].lo() << ","
+              << b[j].hi() << "]";
+        }
+      } else {
+        const Interval& a = raw.scalar(p.rawSlots[i]);
+        const Interval& b = opt.scalar(p.optSlots[i]);
+        EXPECT_TRUE(sameInterval(a, b))
+            << "trial " << trial << " root " << i << ": [" << a.lo() << ","
+            << a.hi() << "] vs [" << b.lo() << "," << b.hi() << "]";
+      }
+    }
+  }
+}
+
+TEST(TapePassFuzz, DistanceOverlayTapsMatchRawAfterOptimization) {
+  Rng rng(314159);
+  for (int trial = 0; trial < 15; ++trial) {
+    FuzzDag d = makeFuzzDag(rng, /*withArrays=*/false);
+    ExprPtr goal = d.bools[rng.index(d.bools.size())];
+    goal = expr::andE(std::move(goal), d.bools[rng.index(d.bools.size())]);
+
+    // The producer's build: value tape + overlay, interior value taps
+    // (va/vb) pinned live through the optimizer.
+    expr::TapeBuilder b;
+    const solver::DistanceProgram prog = solver::buildDistanceProgram(goal, b);
+    const std::shared_ptr<const expr::Tape> raw = b.finish();
+    std::vector<SlotRef> taps;
+    for (const auto& in : prog.code) {
+      if (in.va >= 0) taps.push_back({in.va, false});
+      if (in.vb >= 0) taps.push_back({in.vb, false});
+    }
+    const expr::OptimizedTape o = expr::optimizeTape(raw, taps);
+    ASSERT_FALSE(expr::verifyTape(*o.tape).hasErrors()) << "trial " << trial;
+
+    // Every overlay tap must read the same bits from either tape — the
+    // overlay is a pure function of the taps, so the distances agree too.
+    expr::TapeExecutor rawEx(raw), optEx(o.tape);
+    for (int probe = 0; probe < 5; ++probe) {
+      const Env env = randomEnv(rng, d);
+      rawEx.bindEnv(env);
+      rawEx.run();
+      optEx.bindEnv(env);
+      optEx.run();
+      for (std::size_t i = 0; i < taps.size(); ++i) {
+        const SlotRef mapped = o.remap(taps[i]);
+        ASSERT_TRUE(mapped.valid()) << "trial " << trial << " tap " << i;
+        EXPECT_TRUE(sameScalar(rawEx.scalar(taps[i]), optEx.scalar(mapped)))
+            << "trial " << trial << " probe " << probe << " tap " << i;
+      }
+    }
   }
 }
 

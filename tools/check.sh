@@ -28,6 +28,13 @@ cmake --build "$build_dir" -j "$(nproc)"
 echo "== test =="
 ctest --test-dir "$build_dir" --output-on-failure
 
+# Full tape-verifier sweep under ASan/UBSan: all eight bench models'
+# sim/interval/distance tapes plus a random-model and random-DAG corpus,
+# raw and pass-pipeline output both verified and differentially compared.
+echo "== tape audit (full, sanitized) =="
+cmake --build "$build_dir" -j "$(nproc)" --target tape_audit
+"$build_dir/tools/tape_audit"
+
 # TSAN is a separate build: it cannot share shadow memory with ASAN, and
 # the race it exists to catch (the work-stealing pool's batch handover)
 # only shows in the threaded tests, so only those run here.
@@ -56,9 +63,12 @@ bench_dir="${build_dir}-bench"
 cmake -S "$repo_root" -B "$bench_dir" -DCMAKE_BUILD_TYPE=Release \
   ${STCG_CHECK_GENERATOR:+-G "$STCG_CHECK_GENERATOR"}
 cmake --build "$bench_dir" -j "$(nproc)" \
-  --target bench_eval_tape --target bench_batch_eval
+  --target bench_eval_tape --target bench_batch_eval --target tape_audit
 "$bench_dir/bench/bench_eval_tape" --quick
 "$bench_dir/bench/bench_batch_eval" --quick
+# Quick tape-audit smoke in Release too: the producers' own debug-build
+# verification is compiled out here, so the explicit sweep is the gate.
+"$bench_dir/tools/tape_audit" --quick
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "== clang-tidy (src/) =="

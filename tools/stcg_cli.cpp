@@ -36,7 +36,7 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --list\n"
-      "       %s lint <model> [--json] [--no-reachability]\n"
+      "       %s lint <model> [--json] [--no-reachability] [--tape]\n"
       "       %s <model> [--tool stcg|sldv|simcotest] [--budget MS]\n"
       "            [--seed N] [--jobs N] [--batch N]\n"
       "            [--solver box|local|portfolio]\n"
@@ -89,6 +89,8 @@ int runLint(int argc, char** argv) {
       wantJson = true;
     } else if (arg == "--no-reachability") {
       opt.reachabilityChecks = false;
+    } else if (arg == "--tape") {
+      opt.tapeChecks = true;
     } else {
       return usage(argv[0]);
     }
