@@ -34,6 +34,7 @@ std::vector<sim::InputVector> mutateSequence(
 
 GenResult SimCoTestLikeGenerator::generate(const compile::CompiledModel& cm,
                                            const GenOptions& opt) {
+  validateGenOptions(opt);
   Stopwatch watch;
   const Deadline deadline = Deadline::afterMillis(opt.budgetMillis);
   // Per-phase RNG streams: archive selection, mutation, and fresh

@@ -28,6 +28,7 @@ expr::ExprPtr initLeafConst(const compile::StateVar& sv) {
 
 GenResult SldvLikeGenerator::generate(const compile::CompiledModel& cm,
                                       const GenOptions& opt) {
+  validateGenOptions(opt);
   Stopwatch watch;
   const Deadline deadline = Deadline::afterMillis(opt.budgetMillis);
   // Solver seeds are forked per (depth, goal) rather than drawn from one

@@ -23,12 +23,7 @@ inline double bitsReal(std::uint64_t u) {
 }
 
 /// Exactly Scalar::toInt for a real payload (saturating, non-finite -> 0).
-inline std::int64_t realToInt(double r) {
-  if (!std::isfinite(r)) return 0;
-  if (r >= 9.2e18) return INT64_MAX;
-  if (r <= -9.2e18) return INT64_MIN;
-  return static_cast<std::int64_t>(r);
-}
+inline std::int64_t realToInt(double r) { return saturatingRealToInt(r); }
 
 inline std::uint64_t bitsOf(const Scalar& s) {
   switch (s.type()) {

@@ -40,15 +40,20 @@ std::int64_t Scalar::toInt() const {
   switch (type()) {
     case Type::kBool: return asBool() ? 1 : 0;
     case Type::kInt: return asInt();
-    case Type::kReal: {
-      double r = asReal();
-      if (!std::isfinite(r)) return 0;
-      if (r >= 9.2e18) return INT64_MAX;
-      if (r <= -9.2e18) return INT64_MIN;
-      return static_cast<std::int64_t>(r);
-    }
+    case Type::kReal: return saturatingRealToInt(asReal());
   }
   return 0;
+}
+
+const char* saturatingRealToIntC() {
+  // Keep in lockstep with saturatingRealToInt in scalar.h: isfinite guard,
+  // the ±9.2e18 clamps, then a plain truncating cast.
+  return "static inline i64 sat_i64(double r) {\n"
+         "  if (!isfinite(r)) return 0;\n"
+         "  if (r >= 9.2e18) return INT64_MAX;\n"
+         "  if (r <= -9.2e18) return INT64_MIN;\n"
+         "  return (i64)r;\n"
+         "}\n";
 }
 
 bool Scalar::toBool() const {

@@ -260,13 +260,65 @@ DistanceProgram buildDistanceProgram(const ExprPtr& goal,
   return ProgramBuilder(b).take(goal);
 }
 
+namespace {
+
+/// DistanceProgram -> the expr-layer overlay mirror the JIT emitter
+/// compiles (field-for-field; the kinds and operand meanings coincide).
+expr::JitOverlay toJitOverlay(const DistanceProgram& prog) {
+  expr::JitOverlay ov;
+  ov.init = prog.init;
+  ov.root = prog.root;
+  ov.code.reserve(prog.code.size());
+  for (const DistanceProgram::Instr& in : prog.code) {
+    expr::JitOverlayInstr j;
+    switch (in.kind) {
+      case DistanceProgram::Instr::Kind::kSum:
+        j.kind = expr::JitOverlayInstr::Kind::kSum;
+        break;
+      case DistanceProgram::Instr::Kind::kMin:
+        j.kind = expr::JitOverlayInstr::Kind::kMin;
+        break;
+      case DistanceProgram::Instr::Kind::kCmp:
+        j.kind = expr::JitOverlayInstr::Kind::kCmp;
+        break;
+      case DistanceProgram::Instr::Kind::kTruth:
+        j.kind = expr::JitOverlayInstr::Kind::kTruth;
+        break;
+    }
+    j.dst = in.dst;
+    j.a = in.a;
+    j.b = in.b;
+    j.va = in.va;
+    j.vb = in.vb;
+    j.cmpOp = in.cmpOp;
+    j.want = in.want;
+    ov.code.push_back(j);
+  }
+  return ov;
+}
+
+}  // namespace
+
 DistanceTape::DistanceTape(const ExprPtr& goal,
-                           const std::vector<expr::VarInfo>& vars)
+                           const std::vector<expr::VarInfo>& vars,
+                           bool useJit)
     : vars_(vars) {
   BuiltDistance built = buildOptimizedDistance(goal);
   prog_ = std::move(built.prog);
   passStats_ = built.stats;
-  exec_.emplace(std::move(built.tape));
+  if (useJit) {
+    const expr::JitOverlay ov = toJitOverlay(prog_);
+    expr::TapeJit::Options jopt;
+    jopt.overlay = &ov;
+    jopt.coneVars.reserve(vars_.size());
+    for (const expr::VarInfo& v : vars_) jopt.coneVars.push_back(v.id);
+    if (auto jit = expr::TapeJit::compile(built.tape, jopt)) {
+      jexec_.emplace(built.tape, std::move(jit));
+    }
+    // On environment failure compile() has recorded a diagnostic; fall
+    // through to the (bit-identical) interpreter.
+  }
+  if (!jexec_) exec_.emplace(std::move(built.tape));
   dist_ = prog_.init;
 }
 
@@ -288,6 +340,12 @@ double DistanceTape::runOverlay() {
 }
 
 double DistanceTape::rebind(const std::vector<double>& point) {
+  if (jexec_) {
+    for (std::size_t i = 0; i < vars_.size(); ++i) {
+      jexec_->setVar(vars_[i].id, scalarForVar(vars_[i], point[i]));
+    }
+    return jexec_->runDistance();
+  }
   for (std::size_t i = 0; i < vars_.size(); ++i) {
     exec_->setVar(vars_[i].id, scalarForVar(vars_[i], point[i]));
   }
@@ -297,17 +355,21 @@ double DistanceTape::rebind(const std::vector<double>& point) {
 
 double DistanceTape::update(std::size_t varIdx, double value) {
   const auto& v = vars_[varIdx];
+  if (jexec_) {
+    jexec_->setVar(v.id, scalarForVar(v, value));
+    return jexec_->runDistanceCone(v.id);
+  }
   exec_->setVar(v.id, scalarForVar(v, value));
   exec_->runCone(v.id);
   return runOverlay();
 }
 
 std::size_t DistanceTape::valueInstrCount() const {
-  return exec_->tape().code().size();
+  return (jexec_ ? jexec_->tape() : exec_->tape()).code().size();
 }
 
 std::size_t DistanceTape::maxConeSize() const {
-  return exec_->tape().maxConeSize();
+  return (jexec_ ? jexec_->tape() : exec_->tape()).maxConeSize();
 }
 
 BatchDistanceTape::BatchDistanceTape(const ExprPtr& goal,

@@ -32,6 +32,7 @@
 
 #include "expr/batch_tape.h"
 #include "expr/expr.h"
+#include "expr/jit.h"
 #include "expr/tape.h"
 #include "expr/tape_passes.h"
 
@@ -65,9 +66,17 @@ struct DistanceProgram {
 class DistanceTape {
  public:
   /// Compile `goal` (scalar boolean) for the variable list the search
-  /// mutates. Throws expr::EvalError on a non-boolean goal.
+  /// mutates. Throws expr::EvalError on a non-boolean goal. With
+  /// `useJit`, additionally compile value tape + overlay (plus per-var
+  /// native cone functions) into one native module via expr::TapeJit;
+  /// when the toolchain is unavailable the instance silently runs on the
+  /// interpreter instead (usingJit() reports which happened) — the
+  /// distances are bit-identical either way.
   DistanceTape(const expr::ExprPtr& goal,
-               const std::vector<expr::VarInfo>& vars);
+               const std::vector<expr::VarInfo>& vars, bool useJit = false);
+
+  /// True when rebind/update run the native module.
+  [[nodiscard]] bool usingJit() const { return jexec_.has_value(); }
 
   /// Bind every variable to `point` (raw reals, scalarForVar coercion)
   /// and return the full-evaluation distance.
@@ -95,6 +104,7 @@ class DistanceTape {
 
   std::vector<expr::VarInfo> vars_;
   std::optional<expr::TapeExecutor> exec_;
+  std::optional<expr::JitTapeExecutor> jexec_;  // engaged iff JIT active
   DistanceProgram prog_;
   expr::TapePassStats passStats_;
   std::vector<double> dist_;  // distance slots (constants pre-set)

@@ -123,6 +123,11 @@ SolveResult LocalSearchSolver::solve(const ExprPtr& goal,
     throw expr::EvalError(
         "LocalSearchSolver::solve: goal must be a scalar boolean expression");
   }
+  if (options_.batch < 0 || options_.batch > 4096) {
+    throw expr::EvalError("LocalSearchSolver::solve: batch must be in "
+                          "[0, 4096], got " +
+                          std::to_string(options_.batch));
+  }
   SolveResult result;
   Stopwatch watch;
   const Deadline deadline = Deadline::afterMillis(options_.timeBudgetMillis);
@@ -172,7 +177,12 @@ SolveResult LocalSearchSolver::solve(const ExprPtr& goal,
   // decisions (and therefore the whole search path) stay bit-identical.
   std::optional<DistanceTape> dt;
   std::optional<BatchDistanceTape> bdt;
-  if (engine_ == Engine::kTape) {
+  if (engine_ == Engine::kJit) {
+    // Native scalar scorer (DistanceTape falls back to the interpreter
+    // internally when no toolchain is available). The batch path stays a
+    // kTape concern; batched and scalar scoring are bit-identical anyway.
+    dt.emplace(goal, vars, /*useJit=*/true);
+  } else if (engine_ == Engine::kTape) {
     if (options_.batch > 1 && !vars.empty()) {
       bdt.emplace(goal, vars, options_.batch);
     } else {

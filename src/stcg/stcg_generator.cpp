@@ -541,6 +541,7 @@ class Run {
 
 GenResult StcgGenerator::generate(const compile::CompiledModel& cm,
                                   const GenOptions& options) {
+  validateGenOptions(options);
   Run run(cm, options, trace_, traceUser_);
   return run.execute();
 }

@@ -5,10 +5,24 @@
 #include <tuple>
 
 #include "expr/builder.h"
+#include "expr/eval.h"
 #include "lint/lint.h"
 #include "sim/batch_simulator.h"
 
 namespace stcg::gen {
+
+void validateGenOptions(const GenOptions& options) {
+  const auto check = [](const char* name, int value) {
+    if (value < 0 || value > 4096) {
+      throw expr::EvalError(std::string("GenOptions: ") + name +
+                            " must be in [0, 4096], got " +
+                            std::to_string(value));
+    }
+  };
+  check("jobs", options.jobs);
+  check("batch", options.batch);
+  check("solver.batch", options.solver.batch);
+}
 
 std::vector<Goal> buildGoals(const compile::CompiledModel& cm,
                              bool includeConditionGoals,

@@ -125,6 +125,14 @@ struct GenOptions {
   bool pruneProvablyDead = false;
 };
 
+/// Validate the user-settable numeric knobs at the library boundary:
+/// `jobs` and `batch` (and the plumbed-through solver.batch) must lie in
+/// [0, 4096]. Throws expr::EvalError naming the offending option and its
+/// value — every Generator::generate implementation calls this first, so
+/// out-of-range values from a CLI or embedding fail with a typed error
+/// instead of a thread explosion or a negative-size allocation.
+void validateGenOptions(const GenOptions& options);
+
 enum class TestOrigin { kSolved, kRandom };
 
 struct TestCase {

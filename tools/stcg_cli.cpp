@@ -3,7 +3,8 @@
 //   stcg_cli --list
 //   stcg_cli lint <model> [--json] [--no-reachability]
 //   stcg_cli <model> [--tool stcg|sldv|simcotest] [--budget MS] [--seed N]
-//            [--jobs N] [--solver box|local|portfolio] [--prune-dead]
+//            [--jobs N] [--engine tree|tape|jit]
+//            [--solver box|local|portfolio] [--prune-dead]
 //            [--export suite.txt] [--csv curve.csv] [--dot model.dot]
 //            [--invariant] [--trace]
 //
@@ -11,6 +12,8 @@
 //
 // `lint` exit codes: 0 = no errors (warnings/notes allowed), 1 = errors
 // found, 2 = usage or model-load failure.
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +28,7 @@
 #include "lint/lint.h"
 #include "model/export.h"
 #include "model/serialize.h"
+#include "sim/simulator.h"
 #include "stcg/export.h"
 #include "stcg/stcg_generator.h"
 
@@ -38,7 +42,7 @@ int usage(const char* argv0) {
       "usage: %s --list\n"
       "       %s lint <model> [--json] [--no-reachability] [--tape]\n"
       "       %s <model> [--tool stcg|sldv|simcotest] [--budget MS]\n"
-      "            [--seed N] [--jobs N] [--batch N]\n"
+      "            [--seed N] [--jobs N] [--batch N] [--engine tree|tape|jit]\n"
       "            [--solver box|local|portfolio]\n"
       "            [--prune-dead] [--export FILE] [--csv FILE] [--dot FILE]\n"
       "            [--save-model FILE] [--invariant] [--trace]\n"
@@ -48,6 +52,11 @@ int usage(const char* argv0) {
       "  --batch N sets the lockstep tape lane width for replay expansion,\n"
       "    suite replay, and local-search scoring (default 8, 1 = scalar);\n"
       "    results are identical for a fixed seed regardless of N\n"
+      "  --engine selects the simulation engine: tape (default), tree (the\n"
+      "    semantic oracle) or jit (native code via the system C compiler;\n"
+      "    falls back to tape with a warning when unavailable — see\n"
+      "    STCG_JIT / STCG_JIT_CC / STCG_JIT_CACHE in the README); results\n"
+      "    are bit-identical across engines\n"
       "  lint exits 0 (clean), 1 (errors found) or 2 (bad usage/load)\n",
       argv0, argv0, argv0);
   return 2;
@@ -55,6 +64,28 @@ int usage(const char* argv0) {
 
 void traceSink(const std::string& line, void*) {
   std::printf("  %s\n", line.c_str());
+}
+
+/// Strict integer parse for numeric flags: the whole token must be a
+/// decimal integer within [lo, hi]. Anything else — trailing junk
+/// ("8x"), non-numeric text ("abc"), empty strings, out-of-range or
+/// overflowing values ("-1" for a count, 20-digit numbers) — exits 2
+/// with a diagnostic naming the flag. std::atoi's silent 0 / UB on
+/// overflow is exactly what this replaces.
+std::int64_t parseIntFlag(const std::string& flag, const char* text,
+                          std::int64_t lo, std::int64_t hi) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || v < lo || v > hi) {
+    std::fprintf(stderr,
+                 "invalid value for %s: '%s' (expected integer in "
+                 "[%lld, %lld])\n",
+                 flag.c_str(), text, static_cast<long long>(lo),
+                 static_cast<long long>(hi));
+    std::exit(2);
+  }
+  return v;
 }
 
 /// Resolve <model> as a benchmark name or an .stcgm file path; exits
@@ -147,13 +178,29 @@ int main(int argc, char** argv) {
     if (arg == "--tool") {
       tool = next();
     } else if (arg == "--budget") {
-      opt.budgetMillis = std::atoll(next());
+      opt.budgetMillis = parseIntFlag(arg, next(), 0, INT64_MAX);
     } else if (arg == "--seed") {
-      opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
+      opt.seed =
+          static_cast<std::uint64_t>(parseIntFlag(arg, next(), 0, INT64_MAX));
     } else if (arg == "--jobs") {
-      opt.jobs = std::atoi(next());
+      opt.jobs = static_cast<int>(parseIntFlag(arg, next(), 0, 4096));
     } else if (arg == "--batch") {
-      opt.batch = std::atoi(next());
+      opt.batch = static_cast<int>(parseIntFlag(arg, next(), 0, 4096));
+    } else if (arg == "--engine") {
+      const std::string s = next();
+      if (s == "tape") {
+        opt.simEngine = sim::EvalEngine::kTape;
+      } else if (s == "tree") {
+        opt.simEngine = sim::EvalEngine::kTree;
+      } else if (s == "jit") {
+        opt.simEngine = sim::EvalEngine::kJit;
+      } else {
+        std::fprintf(stderr,
+                     "invalid value for --engine: '%s' (expected tree, tape "
+                     "or jit)\n",
+                     s.c_str());
+        return 2;
+      }
     } else if (arg == "--solver") {
       const std::string s = next();
       if (s == "box") {
@@ -202,6 +249,17 @@ int main(int argc, char** argv) {
               cm.name.c_str(), cm.branches.size(), cm.conditionCount(),
               cm.states.size());
   std::printf("%s", model::modelStats(m).toString().c_str());
+
+  if (opt.simEngine == sim::EvalEngine::kJit) {
+    // Probe once so a toolchain failure is reported up front (the module
+    // is memoized in-process, so the generator's simulators reuse it).
+    const sim::Simulator probe(cm, sim::EvalEngine::kJit);
+    if (probe.engine() != sim::EvalEngine::kJit) {
+      std::printf("warning [jit-unavailable] %s; running on the interpreted "
+                  "tape engine\n",
+                  probe.jitFallbackReason().c_str());
+    }
+  }
 
   if (wantInvariant) {
     const auto inv = analysis::computeStateInvariant(cm);
