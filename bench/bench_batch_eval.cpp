@@ -13,28 +13,43 @@
 //     trajectories per BatchSimulator::stepBatch and replays every
 //     lane's observation into the tracker, the same work the generator's
 //     batched replay expansion and replaySuite do per committed lane.
+//   - masked scoring at B=8 (candidates/sec + overlay skip rate): the
+//     same candidate stream scored through runBounded() against an
+//     improving incumbent, surfacing how many per-lane overlay
+//     instructions the early-exit masks retire vs skip.
+//   - interval refutation throughput (boxes/sec, B=1 vs B=8): candidate
+//     sub-boxes of the input domains judged against every branch
+//     constraint through the B-lane BatchIntervalTapeExecutor — the
+//     sub-box refutation layer of analysis::proveConstraintDeadFrom.
 //
 // Usage: bench_batch_eval [--quick] [--json PATH] [--seconds S]
+//                         [--git SHA] [--timestamp TS]
 //   --quick    short windows and a pass/fail gate: exits 1 unless B=8
 //              beats the scalar tape on candidates/sec for every model
 //              (Release smoke stage of tools/check.sh);
 //   --json     write the measured table as JSON (tools/bench.sh writes
 //              BENCH_batch.json for EXPERIMENTS.md);
-//   --seconds  measurement window per cell (default 0.25; 0.05 in quick).
+//   --seconds  measurement window per cell (default 0.25; 0.05 in quick);
+//   --git/--timestamp  run metadata echoed into the JSON meta block
+//              (CPU model and SIMD level are detected in-process).
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
+#include "analysis/interval_tape.h"
+#include "bench_meta.h"
 #include "benchmodels/benchmodels.h"
 #include "compile/compiler.h"
 #include "coverage/coverage.h"
 #include "expr/builder.h"
 #include "expr/subst.h"
+#include "interval/interval.h"
 #include "sim/batch_simulator.h"
 #include "sim/simulator.h"
 #include "solver/distance_tape.h"
@@ -57,12 +72,18 @@ struct Row {
   std::string name;
   double cand[kNumWidths] = {};   // candidates/sec at kWidths[i]
   double steps[kNumWidths] = {};  // replay steps/sec at kWidths[i]
+  double maskedCand = 0;          // candidates/sec, runBounded at B=8
+  double skipRate = 0;            // skipped / (retired + skipped), B=8
+  double iboxB1 = 0, iboxB8 = 0;  // interval boxes judged/sec
 
   [[nodiscard]] double candSpeedupB8() const {
     return cand[0] > 0 ? cand[2] / cand[0] : 0;  // kWidths[2] == 8
   }
   [[nodiscard]] double stepSpeedupB8() const {
     return steps[0] > 0 ? steps[2] / steps[0] : 0;
+  }
+  [[nodiscard]] double iboxSpeedupB8() const {
+    return iboxB1 > 0 ? iboxB8 / iboxB1 : 0;
   }
 };
 
@@ -79,6 +100,24 @@ expr::ExprPtr residualGoal(const compile::CompiledModel& cm) {
     if (r->op != expr::Op::kConst) parts.push_back(std::move(r));
   }
   expr::ExprPtr goal = expr::orAll(parts);
+  if (goal->op != expr::Op::kConst) return goal;
+  const auto& v = cm.inputs[0].info;
+  return expr::geE(expr::mkVar(v), expr::cReal((v.lo + v.hi) * 0.5));
+}
+
+// Conjunction of the same residuals: a sum-shaped distance overlay (the
+// Tracey AND rule adds part distances), the shape of the climber's
+// path-constraint goals — and the shape where runBounded()'s monotone
+// lower-bound early exit can fire (a kMin root admits no partial bound).
+expr::ExprPtr conjunctionGoal(const compile::CompiledModel& cm) {
+  const expr::Env state = cm.initialStateEnv();
+  std::vector<expr::ExprPtr> parts;
+  for (const auto& br : cm.branches) {
+    if (parts.size() >= 6) break;
+    auto r = expr::substitute(br.pathConstraint, state);
+    if (r->op != expr::Op::kConst) parts.push_back(std::move(r));
+  }
+  expr::ExprPtr goal = expr::andAll(parts);
   if (goal->op != expr::Op::kConst) return goal;
   const auto& v = cm.inputs[0].info;
   return expr::geE(expr::mkVar(v), expr::cReal((v.lo + v.hi) * 0.5));
@@ -134,6 +173,114 @@ double measureCandidatesPerSec(const expr::ExprPtr& goal,
   return static_cast<double>(cands) / elapsed;
 }
 
+/// Masked scoring at B=8: the same deterministic candidate stream as
+/// measureCandidatesPerSec, but scored through runBounded() against an
+/// improving incumbent (min distance seen so far) — the climber's actual
+/// neighbor-scan contract. Reports throughput and, via `skipRate`, the
+/// fraction of per-lane overlay instructions the early-exit masks skipped.
+double measureMaskedCandidatesPerSec(const expr::ExprPtr& goal,
+                                     const std::vector<expr::VarInfo>& vars,
+                                     int lanes, double window,
+                                     double* skipRate) {
+  Rng rng(4242);
+  std::vector<double> point(vars.size());
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    point[i] = (vars[i].lo + vars[i].hi) * 0.5;
+  }
+  const auto mutate = [&] {
+    const std::size_t i = rng.index(vars.size());
+    point[i] = vars[i].type == expr::Type::kReal
+                   ? rng.uniformReal(vars[i].lo, vars[i].hi)
+                   : static_cast<double>(rng.uniformInt(
+                         static_cast<std::int64_t>(vars[i].lo),
+                         static_cast<std::int64_t>(vars[i].hi)));
+  };
+  solver::BatchDistanceTape bdt(goal, vars, lanes);
+  double best = std::numeric_limits<double>::infinity();
+  double sink = 0;
+  std::size_t cands = 0;
+  double elapsed = 0;
+  const auto t0 = Clock::now();
+  do {
+    for (int l = 0; l < lanes; ++l) {
+      mutate();
+      bdt.setPoint(l, point);
+    }
+    bdt.runBounded(best);
+    for (int l = 0; l < lanes; ++l) {
+      const double d = bdt.distance(l);
+      sink += d;
+      if (d < best) best = d;
+    }
+    cands += static_cast<std::size_t>(lanes);
+    elapsed = secondsSince(t0);
+  } while (elapsed < window);
+  if (sink == -1.0) std::cerr << "";
+  const auto& st = bdt.overlayStats();
+  const double total =
+      static_cast<double>(st.laneInstrsRetired + st.laneInstrsSkipped);
+  *skipRate =
+      total > 0 ? static_cast<double>(st.laneInstrsSkipped) / total : 0.0;
+  return static_cast<double>(cands) / elapsed;
+}
+
+/// Interval refutation throughput: candidate sub-boxes of the declared
+/// input domains judged against every branch path constraint, through
+/// the two public entry points the refutation layer can use. B=1 is
+/// intervalVerdicts per box (one tape build + one pass each — judging
+/// boxes one at a time); B>1 is intervalVerdictsBatch per B boxes (one
+/// build + one B-lane pass). boxes-judged/sec.
+double measureIntervalBoxesPerSec(const compile::CompiledModel& cm,
+                                  int lanes, double window) {
+  std::vector<expr::ExprPtr> roots;
+  roots.reserve(cm.branches.size());
+  for (const auto& br : cm.branches) roots.push_back(br.pathConstraint);
+
+  // Deterministic pool of candidate sub-boxes over the input domains
+  // (state variables fall back to their declared domains on bind).
+  Rng rng(977);
+  std::vector<analysis::IntervalEnv> envs;
+  envs.reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    analysis::IntervalEnv env;
+    for (const auto& in : cm.inputs) {
+      const double lo = rng.uniformReal(in.info.lo, in.info.hi);
+      const double hi = rng.uniformReal(lo, in.info.hi);
+      env.set(in.info.id, interval::Interval(lo, hi));
+    }
+    envs.push_back(std::move(env));
+  }
+
+  double sink = 0;
+  std::size_t boxes = 0;
+  std::size_t cursor = 0;
+  double elapsed = 0;
+  std::vector<analysis::IntervalEnv> laneEnvs(
+      static_cast<std::size_t>(lanes));
+  const auto t0 = Clock::now();
+  do {
+    if (lanes <= 1) {
+      const auto verdicts = analysis::intervalVerdicts(roots, envs[cursor]);
+      cursor = (cursor + 1) % envs.size();
+      for (const auto& v : verdicts) sink += v.isFalse() ? 1.0 : 0.0;
+      boxes += 1;
+    } else {
+      for (int l = 0; l < lanes; ++l) {
+        laneEnvs[static_cast<std::size_t>(l)] = envs[cursor];
+        cursor = (cursor + 1) % envs.size();
+      }
+      const auto verdicts = analysis::intervalVerdictsBatch(roots, laneEnvs);
+      for (const auto& lane : verdicts) {
+        for (const auto& v : lane) sink += v.isFalse() ? 1.0 : 0.0;
+      }
+      boxes += static_cast<std::size_t>(lanes);
+    }
+    elapsed = secondsSince(t0);
+  } while (elapsed < window);
+  if (sink == -1.0) std::cerr << "";
+  return static_cast<double>(boxes) / elapsed;
+}
+
 double measureReplayStepsPerSec(const compile::CompiledModel& cm, int lanes,
                                 const std::vector<sim::InputVector>& inputs,
                                 double window) {
@@ -160,7 +307,7 @@ double measureReplayStepsPerSec(const compile::CompiledModel& cm, int lanes,
   }
   sim::BatchSimulator bs(cm, lanes);
   std::vector<const sim::InputVector*> in(static_cast<std::size_t>(lanes));
-  std::vector<sim::StepObservation> obs;
+  sim::StepObservationBatch obs;  // pooled across the whole measurement
   const auto batchStep = [&] {
     for (int l = 0; l < lanes; ++l) {
       in[static_cast<std::size_t>(l)] = &inputs[cursor];
@@ -168,7 +315,7 @@ double measureReplayStepsPerSec(const compile::CompiledModel& cm, int lanes,
     }
     bs.stepBatch(in, obs);
     for (int l = 0; l < lanes; ++l) {
-      (void)sim::recordObservation(cm, obs[static_cast<std::size_t>(l)], cov);
+      (void)sim::recordObservation(cm, obs, l, cov);
     }
   };
   for (int i = 0; i < 8; ++i) batchStep();  // warmup
@@ -181,9 +328,12 @@ double measureReplayStepsPerSec(const compile::CompiledModel& cm, int lanes,
   return static_cast<double>(steps) / elapsed;
 }
 
-void writeJson(const std::string& path, const std::vector<Row>& rows) {
+void writeJson(const std::string& path, const std::vector<Row>& rows,
+               const benchx::RunMeta& meta) {
   std::ofstream out(path);
-  out << "{\n  \"bench\": \"batch_eval\",\n  \"models\": [\n";
+  out << "{\n  \"bench\": \"batch_eval\",\n";
+  benchx::writeJsonMeta(out, meta);
+  out << "  \"models\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     out << "    {\"name\": \"" << r.name << "\"";
@@ -199,8 +349,19 @@ void writeJson(const std::string& path, const std::vector<Row>& rows) {
       out << buf;
     }
     std::snprintf(buf, sizeof buf,
-                  ", \"cand_speedup_b8\": %.2f, \"replay_speedup_b8\": %.2f}%s\n",
-                  r.candSpeedupB8(), r.stepSpeedupB8(),
+                  ", \"cand_speedup_b8\": %.2f, \"replay_speedup_b8\": %.2f",
+                  r.candSpeedupB8(), r.stepSpeedupB8());
+    out << buf;
+    std::snprintf(buf, sizeof buf,
+                  ", \"masked_cand_per_sec_b8\": %.0f"
+                  ", \"overlay_skip_rate_b8\": %.4f",
+                  r.maskedCand, r.skipRate);
+    out << buf;
+    std::snprintf(buf, sizeof buf,
+                  ", \"interval_boxes_per_sec_b1\": %.0f"
+                  ", \"interval_boxes_per_sec_b8\": %.0f"
+                  ", \"interval_speedup_b8\": %.2f}%s\n",
+                  r.iboxB1, r.iboxB8, r.iboxSpeedupB8(),
                   i + 1 < rows.size() ? "," : "");
     out << buf;
   }
@@ -211,6 +372,7 @@ int run(int argc, char** argv) {
   bool quick = false;
   std::string jsonPath;
   double window = 0.25;
+  benchx::RunMeta meta;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
@@ -219,9 +381,11 @@ int run(int argc, char** argv) {
       jsonPath = argv[++i];
     } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
       window = std::strtod(argv[++i], nullptr);
+    } else if (benchx::parseMetaArg(argc, argv, i, meta)) {
+      // consumed
     } else {
       std::cerr << "usage: bench_batch_eval [--quick] [--json PATH] "
-                   "[--seconds S]\n";
+                   "[--seconds S] [--git SHA] [--timestamp TS]\n";
       return 2;
     }
   }
@@ -244,6 +408,10 @@ int run(int argc, char** argv) {
       row.steps[w] =
           measureReplayStepsPerSec(cm, kWidths[w], inputs, window);
     }
+    row.maskedCand = measureMaskedCandidatesPerSec(conjunctionGoal(cm), vars,
+                                                   8, window, &row.skipRate);
+    row.iboxB1 = measureIntervalBoxesPerSec(cm, 1, window);
+    row.iboxB8 = measureIntervalBoxesPerSec(cm, 8, window);
     rows.push_back(std::move(row));
   }
 
@@ -261,13 +429,22 @@ int run(int argc, char** argv) {
                 r.name.c_str(), r.steps[0], r.steps[1], r.steps[2],
                 r.steps[3], r.steps[4], r.stepSpeedupB8());
   }
+  std::printf("%-12s | %s\n", "",
+              "masked scan B=8 (runBounded) and interval refutation");
+  std::printf("%-12s %14s %10s %14s %14s %8s\n", "model", "masked c/s",
+              "skip", "boxes/s B=1", "boxes/s B=8", "i spd");
+  for (const Row& r : rows) {
+    std::printf("%-12s %14.0f %9.1f%% %14.0f %14.0f %7.2fx\n",
+                r.name.c_str(), r.maskedCand, r.skipRate * 100.0, r.iboxB1,
+                r.iboxB8, r.iboxSpeedupB8());
+  }
   int candWins = 0;
   for (const Row& r : rows) candWins += r.candSpeedupB8() >= 2.0 ? 1 : 0;
   std::printf("models with B=8 candidate speedup >= 2x: %d/%zu\n", candWins,
               rows.size());
 
   if (!jsonPath.empty()) {
-    writeJson(jsonPath, rows);
+    writeJson(jsonPath, rows, meta);
     std::printf("wrote %s\n", jsonPath.c_str());
   }
 

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_meta.h"
 #include "benchmodels/benchmodels.h"
 #include "compile/compiler.h"
 #include "compile/model_tape.h"
@@ -195,9 +196,12 @@ double measureCandidatesPerSec(const expr::ExprPtr& goal,
   return static_cast<double>(cands) / elapsed;
 }
 
-void writeJson(const std::string& path, const std::vector<Row>& rows) {
+void writeJson(const std::string& path, const std::vector<Row>& rows,
+               const benchx::RunMeta& meta) {
   std::ofstream out(path);
-  out << "{\n  \"bench\": \"eval_tape\",\n  \"models\": [\n";
+  out << "{\n  \"bench\": \"eval_tape\",\n";
+  benchx::writeJsonMeta(out, meta);
+  out << "  \"models\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     char buf[1024];
@@ -228,6 +232,7 @@ int run(int argc, char** argv) {
   bool quick = false;
   std::string jsonPath;
   double window = 0.25;
+  benchx::RunMeta meta;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
@@ -236,9 +241,11 @@ int run(int argc, char** argv) {
       jsonPath = argv[++i];
     } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
       window = std::strtod(argv[++i], nullptr);
+    } else if (benchx::parseMetaArg(argc, argv, i, meta)) {
+      // consumed
     } else {
       std::cerr << "usage: bench_eval_tape [--quick] [--json PATH] "
-                   "[--seconds S]\n";
+                   "[--seconds S] [--git SHA] [--timestamp TS]\n";
       return 2;
     }
   }
@@ -325,7 +332,7 @@ int run(int argc, char** argv) {
   }
 
   if (!jsonPath.empty()) {
-    writeJson(jsonPath, rows);
+    writeJson(jsonPath, rows, meta);
     std::printf("wrote %s\n", jsonPath.c_str());
   }
 

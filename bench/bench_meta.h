@@ -1,0 +1,69 @@
+// Run metadata for the JSON-writing benchmarks (BENCH_eval.json /
+// BENCH_batch.json): the numbers in EXPERIMENTS.md are only reproducible
+// claims when pinned to the commit, CPU, and SIMD level that produced
+// them. tools/bench.sh passes --git/--timestamp; the CPU model and the
+// active SIMD dispatch level are read from the process itself.
+#pragma once
+
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <string>
+
+#include "expr/simd.h"
+
+namespace stcg::benchx {
+
+struct RunMeta {
+  std::string gitCommit;   // --git (empty when not passed)
+  std::string timestamp;   // --timestamp (empty when not passed)
+};
+
+/// "model name" from /proc/cpuinfo, or "" when unavailable.
+inline std::string detectCpuModel() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto pos = line.find("model name");
+    if (pos != 0) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) break;
+    auto start = line.find_first_not_of(" \t", colon + 1);
+    return start == std::string::npos ? "" : line.substr(start);
+  }
+  return "";
+}
+
+/// Consume `--git SHA` / `--timestamp TS` at argv[i] into `meta`.
+/// Returns true (advancing i past the value) when the flag matched.
+inline bool parseMetaArg(int argc, char** argv, int& i, RunMeta& meta) {
+  if (std::strcmp(argv[i], "--git") == 0 && i + 1 < argc) {
+    meta.gitCommit = argv[++i];
+    return true;
+  }
+  if (std::strcmp(argv[i], "--timestamp") == 0 && i + 1 < argc) {
+    meta.timestamp = argv[++i];
+    return true;
+  }
+  return false;
+}
+
+/// Emit the metadata as a `"meta": {...},` JSON member (two-space indent,
+/// trailing comma + newline), shared by both bench writers.
+inline void writeJsonMeta(std::ostream& out, const RunMeta& meta) {
+  const auto esc = [](const std::string& s) {
+    std::string r;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') r += '\\';
+      r += c;
+    }
+    return r;
+  };
+  out << "  \"meta\": {\"git_commit\": \"" << esc(meta.gitCommit)
+      << "\", \"timestamp\": \"" << esc(meta.timestamp)
+      << "\", \"cpu_model\": \"" << esc(detectCpuModel())
+      << "\", \"simd_level\": \""
+      << expr::simdLevelName(expr::activeSimdLevel()) << "\"},\n";
+}
+
+}  // namespace stcg::benchx

@@ -185,6 +185,69 @@ bool proofVariables(const compile::CompiledModel& cm,
   return true;
 }
 
+/// Decompose the proof box spanned by `vars` into up to `lanes` sub-boxes
+/// whose union covers it: greedy widest-dimension bisection, splitting
+/// integer dimensions between integers (a width-k mode domain decomposes
+/// into exact cases). Returns one environment per sub-box — a copy of
+/// `base` (so array state stays bound) with the box variables overridden.
+std::vector<IntervalEnv> splitProofBox(const std::vector<expr::VarInfo>& vars,
+                                       const IntervalEnv& base, int lanes) {
+  using Box = std::vector<Interval>;
+  Box whole;
+  whole.reserve(vars.size());
+  for (const auto& v : vars) {
+    Interval iv(v.lo, v.hi);
+    if (v.type != expr::Type::kReal) iv = iv.integralHull();
+    whole.push_back(iv);
+  }
+  std::vector<Box> boxes{std::move(whole)};
+  while (static_cast<int>(boxes.size()) < lanes) {
+    // Pick the (box, dim) pair with the widest splittable dimension.
+    std::size_t bestB = boxes.size();
+    std::size_t bestD = 0;
+    double bestW = 0.0;
+    for (std::size_t b = 0; b < boxes.size(); ++b) {
+      for (std::size_t d = 0; d < vars.size(); ++d) {
+        const Interval& iv = boxes[b][d];
+        if (iv.isEmpty() || !std::isfinite(iv.lo()) ||
+            !std::isfinite(iv.hi())) {
+          continue;  // unbounded dims can't be midpoint-bisected
+        }
+        const bool integral = vars[d].type != expr::Type::kReal;
+        const double w = iv.hi() - iv.lo();
+        if (integral ? w < 1.0 : !(w > 0.0)) continue;  // atomic
+        if (w > bestW) {
+          bestW = w;
+          bestB = b;
+          bestD = d;
+        }
+      }
+    }
+    if (bestB == boxes.size()) break;  // nothing left to split
+    Box right = boxes[bestB];
+    Box& left = boxes[bestB];
+    const Interval iv = left[bestD];
+    if (vars[bestD].type != expr::Type::kReal) {
+      const double m = std::floor(0.5 * (iv.lo() + iv.hi()));
+      left[bestD] = Interval(iv.lo(), m);
+      right[bestD] = Interval(m + 1.0, iv.hi());
+    } else {
+      const double m = 0.5 * (iv.lo() + iv.hi());
+      left[bestD] = Interval(iv.lo(), m);
+      right[bestD] = Interval(m, iv.hi());
+    }
+    boxes.push_back(std::move(right));
+  }
+  std::vector<IntervalEnv> envs;
+  envs.reserve(boxes.size());
+  for (const auto& box : boxes) {
+    IntervalEnv env = base;
+    for (std::size_t d = 0; d < vars.size(); ++d) env.set(vars[d].id, box[d]);
+    envs.push_back(std::move(env));
+  }
+  return envs;
+}
+
 }  // namespace
 
 bool proveConstraintDead(const compile::CompiledModel& cm,
@@ -215,6 +278,22 @@ bool proveConstraintDeadFrom(const compile::CompiledModel& cm,
   interval::Hc4Contractor contractor(constraint);
   if (contractor.contract(box, 8) == interval::ContractOutcome::kEmpty) {
     return true;
+  }
+
+  // Lane-parallel sub-box refutation: bisect the proof box into
+  // opt.subBoxLanes sub-boxes and judge the constraint under all of them
+  // in one batched interval pass. Their union covers the box, so
+  // definitely-false on every lane refutes the constraint everywhere —
+  // catching case splits (small integer mode domains) the whole-box
+  // verdict hulls away.
+  if (opt.subBoxLanes > 1 && !vars.empty()) {
+    const auto envs = splitProofBox(vars, inv.env, opt.subBoxLanes);
+    if (envs.size() > 1) {
+      const auto lanes = intervalVerdictsBatch({constraint}, envs);
+      bool allFalse = true;
+      for (const auto& v : lanes) allFalse = allFalse && v[0].isFalse();
+      if (allFalse) return true;
+    }
   }
 
   if (!opt.solverBackedProofs) return false;

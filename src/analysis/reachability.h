@@ -43,6 +43,15 @@ struct ReachabilityOptions {
   /// left at the interval verdict.
   bool solverBackedProofs = true;
   std::int64_t solverBudgetMillis = 60;  // per-branch proof budget
+  /// Lane-parallel sub-box refutation (between HC4 and the solver): the
+  /// invariant-bounded proof box is bisected along its widest dimensions —
+  /// integer dims split between integers, so a small mode domain
+  /// decomposes into exact cases — into up to this many sub-boxes, and
+  /// the constraint is judged under all of them in one B-wide batched
+  /// interval pass (analysis::intervalVerdictsBatch). Definitely-false on
+  /// every lane is a dead proof (the sub-boxes cover the box) at a
+  /// fraction of a solver query's cost. <= 1 disables the layer.
+  int subBoxLanes = 8;
 };
 
 /// The state invariant: interval domains per state variable (elementwise
@@ -69,12 +78,14 @@ struct DeadBranchReport {
     const compile::CompiledModel& cm, const ReachabilityOptions& opt = {});
 
 /// Attempt to prove an arbitrary boolean constraint over (inputs, state)
-/// unsatisfiable from every reachable state. Three escalating layers:
+/// unsatisfiable from every reachable state. Four escalating layers:
 /// (1) forward interval evaluation under the invariant, (2) HC4
-/// contraction of the invariant-bounded box (inputs + scalar state), and
-/// (3) an exhaustive solver refutation when solverBackedProofs is set.
-/// A true result is a proof; false means "possibly satisfiable".
-/// Constraints over array state stop after layer (1).
+/// contraction of the invariant-bounded box (inputs + scalar state),
+/// (3) lane-parallel sub-box refutation (subBoxLanes candidate sub-boxes
+/// judged per batched interval pass), and (4) an exhaustive solver
+/// refutation when solverBackedProofs is set. A true result is a proof;
+/// false means "possibly satisfiable". Constraints over array state stop
+/// after layer (1).
 [[nodiscard]] bool proveConstraintDead(const compile::CompiledModel& cm,
                                        const StateInvariant& inv,
                                        const expr::ExprPtr& constraint,

@@ -77,14 +77,15 @@ int CoverageTracker::recordDecision(int decisionId, int arm) {
   return -1;
 }
 
-bool CoverageTracker::recordConditions(int decisionId,
-                                       const std::vector<bool>& condVals,
-                                       bool outcome) {
+template <typename Vals>
+bool CoverageTracker::recordConditionsWith(int decisionId,
+                                           const Vals& condVals,
+                                           std::size_t n, bool outcome) {
   auto& seen = condSeen_.at(static_cast<std::size_t>(decisionId));
-  assert(condVals.size() == seen.size());
+  assert(n == seen.size());
   bool anyNew = false;
   std::uint64_t mask = 0;
-  for (std::size_t i = 0; i < condVals.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     auto& slot = seen[i][condVals[i] ? 1 : 0];
     if (!slot) {
       slot = true;
@@ -112,6 +113,18 @@ bool CoverageTracker::recordConditions(int decisionId,
     anyNew = true;
   }
   return anyNew;
+}
+
+bool CoverageTracker::recordConditions(int decisionId,
+                                       const std::vector<bool>& condVals,
+                                       bool outcome) {
+  return recordConditionsWith(decisionId, condVals, condVals.size(), outcome);
+}
+
+bool CoverageTracker::recordConditions(int decisionId,
+                                       const std::uint8_t* condVals,
+                                       std::size_t count, bool outcome) {
+  return recordConditionsWith(decisionId, condVals, count, outcome);
 }
 
 bool CoverageTracker::mcdcDemonstrated(int decisionId, int cond) const {

@@ -88,6 +88,10 @@ class CoverageTracker {
   /// polarity was observed for the first time.
   bool recordConditions(int decisionId, const std::vector<bool>& condVals,
                         bool outcome);
+  /// Same record, reading `count` 0/1 bytes — the allocation-free form
+  /// the pooled sim::StepObservationBatch rows feed directly.
+  bool recordConditions(int decisionId, const std::uint8_t* condVals,
+                        std::size_t count, bool outcome);
 
   [[nodiscard]] bool branchCovered(int branchId) const {
     return branchCovered_.at(static_cast<std::size_t>(branchId));
@@ -145,6 +149,12 @@ class CoverageTracker {
   [[nodiscard]] bool mcdcExcluded(int decisionId, int cond) const;
 
  private:
+  // Shared body of the two recordConditions overloads; instantiated only
+  // in coverage.cpp, where both call it.
+  template <typename Vals>
+  bool recordConditionsWith(int decisionId, const Vals& condVals,
+                            std::size_t n, bool outcome);
+
   const compile::CompiledModel* cm_;
   std::vector<bool> branchCovered_;
   std::vector<bool> branchExcluded_;

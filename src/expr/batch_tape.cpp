@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "expr/builder.h"
+#include "expr/simd_ops.h"
 
 namespace stcg::expr {
 
@@ -41,7 +42,10 @@ inline std::uint64_t bitsOf(const Scalar& s) {
 
 BatchTapeExecutor::BatchTapeExecutor(std::shared_ptr<const Tape> tape,
                                      int lanes)
-    : tape_(std::move(tape)), lanes_(lanes < 1 ? 1 : lanes) {
+    : tape_(std::move(tape)),
+      lanes_(lanes < 1 ? 1 : lanes),
+      simdLevel_(activeSimdLevel()),
+      kern_(&laneKernelsFor(simdLevel_)) {
   const std::size_t ns = tape_->scalarSlotCount();
   const std::size_t na = tape_->arraySlotCount();
   const auto B = static_cast<std::size_t>(lanes_);
@@ -81,9 +85,18 @@ BatchTapeExecutor::BatchTapeExecutor(std::shared_ptr<const Tape> tape,
 
   const auto& code = tape_->code();
   kind_.reserve(code.size());
+  fast_.reserve(code.size());
   const auto dyn = [&](std::int32_t s) {
     return slotDynamic_[static_cast<std::size_t>(s)] != 0;
   };
+  // Static payload representation of an operand row. kBool and kInt lanes
+  // share the int representation for loadInt purposes (0/1 payloads are
+  // valid int64 bit patterns), which is what makes bool operands eligible
+  // for the int kernels.
+  const auto st = [&](std::int32_t s) {
+    return slotType_[static_cast<std::size_t>(s)];
+  };
+  const auto intRep = [&](std::int32_t s) { return st(s) != Type::kReal; };
   for (const TapeInstr& in : code) {
     if (in.arrayResult) {
       const auto dst = static_cast<std::size_t>(in.dst);
@@ -142,6 +155,163 @@ BatchTapeExecutor::BatchTapeExecutor(std::shared_ptr<const Tape> tape,
       }
     }
     kind_.push_back(k);
+
+    // Direct-row kernel eligibility: the operand rows must already hold
+    // the representation the op consumes and the store target must be the
+    // representation it produces, so the kernel can skip the scratch
+    // convert/store round-trip. Comparison and boolean results stored as
+    // kBool or kInt are both raw 0/1 copies, hence `!= kReal` below.
+    FastK f = FastK::kNone;
+    switch (k) {
+      case Kind::kBinary: {
+        const bool rr = st(in.a) == Type::kReal && st(in.b) == Type::kReal;
+        const bool ii = intRep(in.a) && intRep(in.b);
+        switch (in.op) {
+          case Op::kAdd:
+            if (rr && in.type == Type::kReal) f = FastK::kRAdd;
+            else if (ii && in.type == Type::kInt) f = FastK::kIAdd;
+            break;
+          case Op::kSub:
+            if (rr && in.type == Type::kReal) f = FastK::kRSub;
+            else if (ii && in.type == Type::kInt) f = FastK::kISub;
+            break;
+          case Op::kMul:
+            if (rr && in.type == Type::kReal) f = FastK::kRMul;
+            break;
+          case Op::kDiv:
+            if (rr && in.type == Type::kReal) f = FastK::kRDivG;
+            break;
+          case Op::kMin:
+            if (rr && in.type == Type::kReal) f = FastK::kRFmin;
+            else if (ii && in.type == Type::kInt) f = FastK::kIMin;
+            break;
+          case Op::kMax:
+            if (rr && in.type == Type::kReal) f = FastK::kRFmax;
+            else if (ii && in.type == Type::kInt) f = FastK::kIMax;
+            break;
+          case Op::kLt:
+          case Op::kLe:
+          case Op::kGt:
+          case Op::kGe:
+          case Op::kEq:
+          case Op::kNe:
+            if (rr && in.type != Type::kReal) {
+              f = static_cast<FastK>(static_cast<int>(FastK::kRCmpLt) +
+                                     simd_detail::cmpIndex(in.op));
+            }
+            break;
+          case Op::kAnd:
+            if (st(in.a) == Type::kBool && st(in.b) == Type::kBool &&
+                in.type != Type::kReal) {
+              f = FastK::kBAnd;
+            }
+            break;
+          case Op::kOr:
+            if (st(in.a) == Type::kBool && st(in.b) == Type::kBool &&
+                in.type != Type::kReal) {
+              f = FastK::kBOr;
+            }
+            break;
+          case Op::kXor:
+            if (st(in.a) == Type::kBool && st(in.b) == Type::kBool &&
+                in.type != Type::kReal) {
+              f = FastK::kBXor;
+            }
+            break;
+          default:  // kMod and friends: scratch path
+            break;
+        }
+        break;
+      }
+      case Kind::kUnary:
+        switch (in.op) {
+          case Op::kNot:
+            if (st(in.a) == Type::kBool) f = FastK::kBNot;
+            break;
+          case Op::kNeg:
+            if (in.type == Type::kReal && st(in.a) == Type::kReal) {
+              f = FastK::kRNeg;
+            } else if (in.type != Type::kReal && intRep(in.a)) {
+              f = FastK::kINeg;
+            }
+            break;
+          case Op::kAbs:
+            if (in.type == Type::kReal && st(in.a) == Type::kReal) {
+              f = FastK::kRAbs;
+            } else if (in.type != Type::kReal && intRep(in.a)) {
+              f = FastK::kIAbs;
+            }
+            break;
+          default:  // kCast: identity when the payload doesn't change
+            if (in.type == st(in.a) ||
+                (in.type == Type::kInt && st(in.a) == Type::kBool)) {
+              f = FastK::kCopy;
+            }
+            break;
+        }
+        break;
+      case Kind::kIteScalar:
+        if (st(in.a) == Type::kBool &&
+            ((in.type == Type::kReal && st(in.b) == Type::kReal &&
+              st(in.c) == Type::kReal) ||
+             (in.type == Type::kInt && intRep(in.b) && intRep(in.c)) ||
+             (in.type == Type::kBool && st(in.b) == Type::kBool &&
+              st(in.c) == Type::kBool))) {
+          f = FastK::kSel;
+        }
+        break;
+      case Kind::kGeneric:
+        break;
+    }
+    fast_.push_back(f);
+  }
+
+  // Move-eligibility for the array-copying ops (kStore, array kIte). The
+  // per-lane vector copy degrades to an O(1) buffer swap when the consumed
+  // array slot (a) is written by an earlier instruction — recomputed on
+  // every run; run() always executes the full tape, this executor has no
+  // partial cone replay — (b) is not a root (the only slots callers may
+  // read after run()), and (c) has no later reader. The stale buffer the
+  // swap leaves in the dead slot is overwritten by that slot's defining
+  // instruction on the next run before anything reads it. Per-slot (not
+  // per-live-range) liveness is conservative under optimizer slot reuse.
+  arrMove_.assign(code.size(), 0);
+  {
+    std::vector<std::int32_t> lastRead(na, -1);
+    std::vector<std::uint8_t> isRoot(na, 0);
+    for (const SlotRef& r : tape_->rootSlots()) {
+      if (r.isArray) isRoot[static_cast<std::size_t>(r.slot)] = 1;
+    }
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      const TapeInstr& in = code[i];
+      if (in.op == Op::kSelect || in.op == Op::kStore) {
+        lastRead[static_cast<std::size_t>(in.a)] =
+            static_cast<std::int32_t>(i);
+      } else if (in.op == Op::kIte && in.arrayResult) {
+        lastRead[static_cast<std::size_t>(in.b)] =
+            static_cast<std::int32_t>(i);
+        lastRead[static_cast<std::size_t>(in.c)] =
+            static_cast<std::int32_t>(i);
+      }
+    }
+    std::vector<std::uint8_t> defined(na, 0);
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      const TapeInstr& in = code[i];
+      if (in.arrayResult) {
+        const auto movable = [&](std::int32_t src) {
+          const auto s = static_cast<std::size_t>(src);
+          return src != in.dst && defined[s] != 0 && isRoot[s] == 0 &&
+                 lastRead[s] == static_cast<std::int32_t>(i);
+        };
+        if (in.op == Op::kStore) {
+          if (movable(in.a)) arrMove_[i] = 1;
+        } else if (in.op == Op::kIte && in.b != in.c) {
+          arrMove_[i] = static_cast<std::uint8_t>((movable(in.b) ? 1 : 0) |
+                                                  (movable(in.c) ? 2 : 0));
+        }
+        defined[static_cast<std::size_t>(in.dst)] = 1;
+      }
+    }
   }
 
   // Lane images. Payload types start at the static slot type so typed
@@ -661,9 +831,75 @@ void BatchTapeExecutor::execIteScalar(const TapeInstr& in) {
   }
 }
 
-void BatchTapeExecutor::execGeneric(const TapeInstr& in) {
-  // Per-lane mirror of TapeExecutor::exec — same helper calls, same order.
-  for (int lane = 0; lane < lanes_; ++lane) {
+void BatchTapeExecutor::execGeneric(const TapeInstr& in, std::uint8_t mv) {
+  // Per-lane mirror of TapeExecutor::exec — same helper calls, same
+  // results. The array ops hoist statically typed scalar operands into a
+  // lane-wide coercing load (loadInt/loadBool apply the exact
+  // Scalar::toInt/toBool conversions) and honor the arrMove_ swap
+  // permission computed at construction; dynamically typed operands take
+  // the per-lane Scalar path unchanged.
+  const int B = lanes_;
+  const auto dyn = [&](std::int32_t s) {
+    return slotDynamic_[static_cast<std::size_t>(s)] != 0;
+  };
+  switch (in.op) {
+    case Op::kIte:
+      if (in.arrayResult) {
+        const bool staticCond = !dyn(in.a);
+        if (staticCond) loadBool(in.a, bc_.data());
+        for (int lane = 0; lane < B; ++lane) {
+          const bool t = staticCond
+                             ? bc_[static_cast<std::size_t>(lane)] != 0
+                             : loadScalar(in.a, lane).toBool();
+          const std::int32_t src = t ? in.b : in.c;
+          auto& dst = arrays_[idx(in.dst, lane)];
+          if ((mv & (t ? 1u : 2u)) != 0) {
+            dst.swap(arrays_[idx(src, lane)]);
+          } else {
+            dst = arrays_[idx(src, lane)];
+          }
+        }
+        return;
+      }
+      break;
+    case Op::kSelect: {
+      const bool staticIdx = !dyn(in.b);
+      if (staticIdx) loadInt(in.b, ia_.data());
+      for (int lane = 0; lane < B; ++lane) {
+        const auto& arr = arrays_[idx(in.a, lane)];
+        auto i = staticIdx ? ia_[static_cast<std::size_t>(lane)]
+                           : loadScalar(in.b, lane).toInt();
+        const auto n = static_cast<std::int64_t>(arr.size());
+        if (i < 0) i = 0;
+        if (i >= n) i = n - 1;
+        storeScalar(in.dst, lane, arr[static_cast<std::size_t>(i)]);
+      }
+      return;
+    }
+    case Op::kStore: {
+      const bool staticIdx = !dyn(in.b);
+      if (staticIdx) loadInt(in.b, ia_.data());
+      for (int lane = 0; lane < B; ++lane) {
+        auto& dst = arrays_[idx(in.dst, lane)];
+        if ((mv & 1u) != 0) {
+          dst.swap(arrays_[idx(in.a, lane)]);
+        } else {
+          dst = arrays_[idx(in.a, lane)];
+        }
+        auto i = staticIdx ? ia_[static_cast<std::size_t>(lane)]
+                           : loadScalar(in.b, lane).toInt();
+        const auto v = loadScalar(in.c, lane).castTo(in.type);
+        const auto n = static_cast<std::int64_t>(dst.size());
+        if (i < 0) i = 0;
+        if (i >= n) i = n - 1;
+        dst[static_cast<std::size_t>(i)] = v;
+      }
+      return;
+    }
+    default:
+      break;
+  }
+  for (int lane = 0; lane < B; ++lane) {
     switch (in.op) {
       case Op::kNot:
       case Op::kNeg:
@@ -672,39 +908,13 @@ void BatchTapeExecutor::execGeneric(const TapeInstr& in) {
         storeScalar(in.dst, lane,
                     applyUnary(in.op, in.type, loadScalar(in.a, lane)));
         break;
-      case Op::kIte:
-        if (in.arrayResult) {
-          arrays_[idx(in.dst, lane)] = loadScalar(in.a, lane).toBool()
-                                           ? arrays_[idx(in.b, lane)]
-                                           : arrays_[idx(in.c, lane)];
-        } else {
-          storeScalar(in.dst, lane,
-                      (loadScalar(in.a, lane).toBool()
-                           ? loadScalar(in.b, lane)
-                           : loadScalar(in.c, lane))
-                          .castTo(in.type));
-        }
+      case Op::kIte:  // scalar result with a dynamic operand
+        storeScalar(in.dst, lane,
+                    (loadScalar(in.a, lane).toBool()
+                         ? loadScalar(in.b, lane)
+                         : loadScalar(in.c, lane))
+                        .castTo(in.type));
         break;
-      case Op::kSelect: {
-        const auto& arr = arrays_[idx(in.a, lane)];
-        auto i = loadScalar(in.b, lane).toInt();
-        const auto n = static_cast<std::int64_t>(arr.size());
-        if (i < 0) i = 0;
-        if (i >= n) i = n - 1;
-        storeScalar(in.dst, lane, arr[static_cast<std::size_t>(i)]);
-        break;
-      }
-      case Op::kStore: {
-        auto& dst = arrays_[idx(in.dst, lane)];
-        dst = arrays_[idx(in.a, lane)];
-        auto i = loadScalar(in.b, lane).toInt();
-        const auto v = loadScalar(in.c, lane).castTo(in.type);
-        const auto n = static_cast<std::int64_t>(dst.size());
-        if (i < 0) i = 0;
-        if (i >= n) i = n - 1;
-        dst[static_cast<std::size_t>(i)] = v;
-        break;
-      }
       default:
         storeScalar(in.dst, lane,
                     applyBinary(in.op, loadScalar(in.a, lane),
@@ -715,11 +925,60 @@ void BatchTapeExecutor::execGeneric(const TapeInstr& in) {
   }
 }
 
+void BatchTapeExecutor::execFast(const TapeInstr& in, FastK f) {
+  // The tape is SSA, so dst never aliases an operand row.
+  const int B = lanes_;
+  const LaneKernels& k = *kern_;
+  std::uint64_t* d = &vals_[idx(in.dst, 0)];
+  const std::uint64_t* a = &vals_[idx(in.a, 0)];
+  switch (f) {
+    case FastK::kRAdd: k.rAdd(d, a, &vals_[idx(in.b, 0)], B); break;
+    case FastK::kRSub: k.rSub(d, a, &vals_[idx(in.b, 0)], B); break;
+    case FastK::kRMul: k.rMul(d, a, &vals_[idx(in.b, 0)], B); break;
+    case FastK::kRDivG: k.rDivG(d, a, &vals_[idx(in.b, 0)], B); break;
+    case FastK::kRFmin: k.rFmin(d, a, &vals_[idx(in.b, 0)], B); break;
+    case FastK::kRFmax: k.rFmax(d, a, &vals_[idx(in.b, 0)], B); break;
+    case FastK::kRNeg: k.rNeg(d, a, B); break;
+    case FastK::kRAbs: k.rAbs(d, a, B); break;
+    case FastK::kRCmpLt:
+    case FastK::kRCmpLe:
+    case FastK::kRCmpGt:
+    case FastK::kRCmpGe:
+    case FastK::kRCmpEq:
+    case FastK::kRCmpNe:
+      k.rCmp[static_cast<int>(f) - static_cast<int>(FastK::kRCmpLt)](
+          d, a, &vals_[idx(in.b, 0)], B);
+      break;
+    case FastK::kIAdd: k.iAdd(d, a, &vals_[idx(in.b, 0)], B); break;
+    case FastK::kISub: k.iSub(d, a, &vals_[idx(in.b, 0)], B); break;
+    case FastK::kIMin: k.iMin(d, a, &vals_[idx(in.b, 0)], B); break;
+    case FastK::kIMax: k.iMax(d, a, &vals_[idx(in.b, 0)], B); break;
+    case FastK::kINeg: k.iNeg(d, a, B); break;
+    case FastK::kIAbs: k.iAbs(d, a, B); break;
+    case FastK::kBAnd: k.bAnd(d, a, &vals_[idx(in.b, 0)], B); break;
+    case FastK::kBOr: k.bOr(d, a, &vals_[idx(in.b, 0)], B); break;
+    case FastK::kBXor: k.bXor(d, a, &vals_[idx(in.b, 0)], B); break;
+    case FastK::kBNot: k.bNot(d, a, B); break;
+    case FastK::kSel:
+      k.sel64(d, a, &vals_[idx(in.b, 0)], &vals_[idx(in.c, 0)], B);
+      break;
+    case FastK::kCopy:
+      std::memcpy(d, a, static_cast<std::size_t>(B) * sizeof(std::uint64_t));
+      break;
+    case FastK::kNone:
+      break;
+  }
+}
+
 void BatchTapeExecutor::run() {
   requireAllBound();
   const auto& code = tape_->code();
   for (std::size_t i = 0; i < code.size(); ++i) {
     const TapeInstr& in = code[i];
+    if (fast_[i] != FastK::kNone) {
+      execFast(in, fast_[i]);
+      continue;
+    }
     switch (kind_[i]) {
       case Kind::kUnary:
         execUnary(in);
@@ -731,7 +990,7 @@ void BatchTapeExecutor::run() {
         execIteScalar(in);
         break;
       case Kind::kGeneric:
-        execGeneric(in);
+        execGeneric(in, arrMove_[i]);
         break;
     }
   }

@@ -5,8 +5,13 @@
 // the instruction sequence evaluates B independent environments. The
 // per-instruction dispatch cost of the scalar TapeExecutor — the switch,
 // the operand decode, the type promotion — is paid once per instruction
-// instead of once per environment, and the inner per-lane loops are plain
-// strided arithmetic the compiler auto-vectorizes.
+// instead of once per environment. The inner per-lane loops run through
+// the runtime-dispatched SIMD lane kernels (expr/simd.h): instructions
+// whose operand representations already match the op (all-real
+// arithmetic, real comparisons, 0/1 boolean rows, type-aligned scalar
+// kIte, identity kCast) execute a kernel straight on the 64-byte-aligned
+// SoA rows; mixed-type instructions keep the scratch-convert-store
+// fallback, which is identical under every SIMD level.
 //
 // Bit-identity contract: every lane computes exactly the Scalar the
 // scalar TapeExecutor would (same applyUnary/applyBinary/castTo coercions,
@@ -41,7 +46,9 @@
 #include <memory>
 #include <vector>
 
+#include "expr/simd.h"
 #include "expr/tape.h"
+#include "util/aligned.h"
 
 namespace stcg::expr {
 
@@ -90,6 +97,10 @@ class BatchTapeExecutor {
 
   [[nodiscard]] const Tape& tape() const { return *tape_; }
 
+  /// SIMD level whose kernel table this executor captured at construction
+  /// (see expr/simd.h; pin with forceSimdLevel before constructing).
+  [[nodiscard]] SimdLevel simdLevel() const { return simdLevel_; }
+
  private:
   /// Execution strategy per instruction, fixed at construction.
   enum class Kind : std::uint8_t {
@@ -97,6 +108,23 @@ class BatchTapeExecutor {
     kUnary,      // kNot/kNeg/kAbs/kCast over a statically typed operand
     kBinary,     // arithmetic/relational/boolean, statically typed
     kIteScalar,  // scalar select, statically typed
+  };
+
+  /// Direct-row kernel per instruction, fixed at construction: when every
+  /// operand's static payload representation already matches what the op
+  /// consumes (and the store target matches what it produces), the lane
+  /// kernel runs straight on the SoA rows — no scratch conversion, no
+  /// per-op switch at run time. kNone falls back to the Kind path.
+  enum class FastK : std::uint8_t {
+    kNone,
+    kRAdd, kRSub, kRMul, kRDivG, kRFmin, kRFmax,   // real x real -> real
+    kRNeg, kRAbs,                                  // real -> real
+    kRCmpLt, kRCmpLe, kRCmpGt, kRCmpGe, kRCmpEq, kRCmpNe,  // real -> 0/1
+    kIAdd, kISub, kIMin, kIMax,                    // int-rep x int-rep
+    kINeg, kIAbs,                                  // int-rep -> int
+    kBAnd, kBOr, kBXor, kBNot,                     // 0/1 rows
+    kSel,                                          // scalar kIte, aligned
+    kCopy,                                         // identity kCast
   };
 
   [[nodiscard]] std::size_t idx(std::int32_t slot, int lane) const {
@@ -116,20 +144,30 @@ class BatchTapeExecutor {
   void storeIntAs(std::int32_t dst, Type dstType, const std::int64_t* in);
   void storeBoolAs(std::int32_t dst, Type dstType, const std::uint64_t* in);
 
-  void execGeneric(const TapeInstr& in);
+  void execGeneric(const TapeInstr& in, std::uint8_t mv);
   void execUnary(const TapeInstr& in);
   void execBinary(const TapeInstr& in);
   void execIteScalar(const TapeInstr& in);
+  void execFast(const TapeInstr& in, FastK f);
   void requireAllBound();
 
   std::shared_ptr<const Tape> tape_;
   int lanes_ = 1;
-  std::vector<std::uint64_t> vals_;   // [slot * lanes + lane] payload
+  SimdLevel simdLevel_ = SimdLevel::kScalar;
+  const LaneKernels* kern_ = nullptr;  // table for simdLevel_, never null
+  util::AlignedVec<std::uint64_t> vals_;  // [slot * lanes + lane] payload
   std::vector<Type> types_;           // [slot * lanes + lane] payload type
   std::vector<std::vector<Scalar>> arrays_;  // [slot * lanes + lane]
   std::vector<Type> slotType_;        // static type per scalar slot
   std::vector<std::uint8_t> slotDynamic_;  // 1 = kSelect result slot
   std::vector<Kind> kind_;            // parallel to tape code
+  std::vector<FastK> fast_;           // parallel to tape code
+  // Parallel to code, kStore / array kIte only: bit0 = the kStore source
+  // (or kIte then-arm), bit1 = the kIte else-arm, may be *swapped* into
+  // the destination instead of copied — set when that operand slot is
+  // instruction-defined, non-root, and this is its final read (see the
+  // constructor; valid because run() always executes the full tape).
+  std::vector<std::uint8_t> arrMove_;
   std::vector<bool> varBound_;        // [binding * lanes + lane]
   std::vector<bool> arrayBound_;      // [binding * lanes + lane]
   bool checkedBound_ = false;

@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "expr/tape_verify.h"
+#include "util/env.h"
 
 #if !defined(_WIN32)
 #include <dlfcn.h>
@@ -97,8 +98,8 @@ void recordDiagnostic(const char* severity, const char* check,
 // Cache-file plumbing.
 
 fs::path jitCacheDir() {
-  if (const char* e = std::getenv("STCG_JIT_CACHE"); e != nullptr && *e != 0) {
-    return fs::path(e);
+  if (const auto e = util::envString("STCG_JIT_CACHE")) {
+    return fs::path(*e);
   }
   std::error_code ec;
   fs::path tmp = fs::temp_directory_path(ec);
@@ -644,19 +645,19 @@ class CEmitter {
               break;
             case Op::kLt:
               e = in.want ? "x - y < 0.0 ? 0.0 : (x - y) + " + eps
-                          : "x - y >= 0.0 ? 0.0 : -(x - y) + " + eps;
+                          : "x - y >= 0.0 ? 0.0 : " + eps + " - (x - y)";
               break;
             case Op::kLe:
               e = in.want ? "x - y <= 0.0 ? 0.0 : x - y"
-                          : "x - y > 0.0 ? 0.0 : -(x - y) + " + eps;
+                          : "x - y > 0.0 ? 0.0 : " + eps + " - (x - y)";
               break;
             case Op::kGt:
               e = in.want ? "y - x < 0.0 ? 0.0 : (y - x) + " + eps
-                          : "y - x >= 0.0 ? 0.0 : -(y - x) + " + eps;
+                          : "y - x >= 0.0 ? 0.0 : " + eps + " - (y - x)";
               break;
             default:  // kGe
               e = in.want ? "y - x <= 0.0 ? 0.0 : y - x"
-                          : "y - x > 0.0 ? 0.0 : -(y - x) + " + eps;
+                          : "y - x > 0.0 ? 0.0 : " + eps + " - (y - x)";
               break;
           }
           o += "  { double x = " + l + ", y = " + r + "; " + dst + " = " + e +
@@ -743,16 +744,12 @@ void* tryLoadModule(const fs::path& so, const std::string& hash,
 }  // namespace
 
 bool jitEnabled() {
-  static const bool on = [] {
-    const char* e = std::getenv("STCG_JIT");
-    return e == nullptr || std::strcmp(e, "0") != 0;
-  }();
+  static const bool on = util::envFlag("STCG_JIT", true);
   return on;
 }
 
 std::string jitCompiler() {
-  const char* e = std::getenv("STCG_JIT_CC");
-  return (e != nullptr && *e != 0) ? std::string(e) : std::string("cc");
+  return util::envString("STCG_JIT_CC").value_or("cc");
 }
 
 std::vector<JitDiagnostic> jitDiagnostics() {

@@ -1,0 +1,200 @@
+#include "expr/simd.h"
+
+#include <cstdio>
+
+#include "expr/simd_ops.h"
+#include "util/env.h"
+
+namespace stcg::expr {
+
+namespace simd_detail {
+
+// Defined in simd_avx2.cpp / simd_neon.cpp; null when the build target
+// lacks the architecture.
+const LaneKernels* avx2KernelsOrNull();
+const LaneKernels* neonKernelsOrNull();
+
+namespace {
+
+// ---- portable scalar kernel table (the reference implementation) --------
+
+template <std::uint64_t (*ElemOp)(std::uint64_t, std::uint64_t)>
+void u64BinLoop(std::uint64_t* dst, const std::uint64_t* a,
+                const std::uint64_t* b, int n) {
+  for (int i = 0; i < n; ++i) dst[i] = ElemOp(a[i], b[i]);
+}
+
+template <std::uint64_t (*ElemOp)(std::uint64_t)>
+void u64UnLoop(std::uint64_t* dst, const std::uint64_t* a, int n) {
+  for (int i = 0; i < n; ++i) dst[i] = ElemOp(a[i]);
+}
+
+void sel64Loop(std::uint64_t* dst, const std::uint64_t* c,
+               const std::uint64_t* a, const std::uint64_t* b, int n) {
+  for (int i = 0; i < n; ++i) dst[i] = c[i] != 0 ? a[i] : b[i];
+}
+
+void dSumLoop(double* dst, const double* a, const double* b, int n) {
+  for (int i = 0; i < n; ++i) dst[i] = dSumOp(a[i], b[i]);
+}
+
+void dMinLoop(double* dst, const double* a, const double* b, int n) {
+  for (int i = 0; i < n; ++i) dst[i] = dMinOp(a[i], b[i]);
+}
+
+/// One dCmp kernel: Form applied to a[i] - b[i] or b[i] - a[i].
+template <int Form, bool Swap>
+void dCmpLoop(double* dst, const double* a, const double* b, int n) {
+  for (int i = 0; i < n; ++i) {
+    dst[i] = dFormOp<Form>(Swap ? b[i] - a[i] : a[i] - b[i]);
+  }
+}
+
+void dTruthLoop(double* dst, const std::uint64_t* truth, std::uint64_t want,
+                int n) {
+  for (int i = 0; i < n; ++i) dst[i] = dTruthOp(truth[i], want);
+}
+
+constexpr LaneKernels makeScalarKernels() {
+  LaneKernels k{};
+  k.rAdd = u64BinLoop<rAddOp>;
+  k.rSub = u64BinLoop<rSubOp>;
+  k.rMul = u64BinLoop<rMulOp>;
+  k.rDivG = u64BinLoop<rDivGOp>;
+  k.rFmin = u64BinLoop<rFminOp>;
+  k.rFmax = u64BinLoop<rFmaxOp>;
+  k.rNeg = u64UnLoop<rNegOp>;
+  k.rAbs = u64UnLoop<rAbsOp>;
+  k.rCmp[kIxLt] = u64BinLoop<rCmpOp<kIxLt>>;
+  k.rCmp[kIxLe] = u64BinLoop<rCmpOp<kIxLe>>;
+  k.rCmp[kIxGt] = u64BinLoop<rCmpOp<kIxGt>>;
+  k.rCmp[kIxGe] = u64BinLoop<rCmpOp<kIxGe>>;
+  k.rCmp[kIxEq] = u64BinLoop<rCmpOp<kIxEq>>;
+  k.rCmp[kIxNe] = u64BinLoop<rCmpOp<kIxNe>>;
+  k.iAdd = u64BinLoop<iAddOp>;
+  k.iSub = u64BinLoop<iSubOp>;
+  k.iMin = u64BinLoop<iMinOp>;
+  k.iMax = u64BinLoop<iMaxOp>;
+  k.iNeg = u64UnLoop<iNegOp>;
+  k.iAbs = u64UnLoop<iAbsOp>;
+  k.bAnd = u64BinLoop<bAndOp>;
+  k.bOr = u64BinLoop<bOrOp>;
+  k.bXor = u64BinLoop<bXorOp>;
+  k.bNot = u64UnLoop<bNotOp>;
+  k.sel64 = sel64Loop;
+  k.dSum = dSumLoop;
+  k.dMin = dMinLoop;
+  // [CmpIx][want]: Eq want / Ne !want share Form0; Eq !want / Ne want
+  // Form1; Lt/Le use x = a-b, Gt/Ge the swapped difference.
+  k.dCmp[kIxEq][1] = dCmpLoop<0, false>;
+  k.dCmp[kIxEq][0] = dCmpLoop<1, false>;
+  k.dCmp[kIxNe][1] = dCmpLoop<1, false>;
+  k.dCmp[kIxNe][0] = dCmpLoop<0, false>;
+  k.dCmp[kIxLt][1] = dCmpLoop<2, false>;
+  k.dCmp[kIxLt][0] = dCmpLoop<3, false>;
+  k.dCmp[kIxLe][1] = dCmpLoop<4, false>;
+  k.dCmp[kIxLe][0] = dCmpLoop<5, false>;
+  k.dCmp[kIxGt][1] = dCmpLoop<2, true>;
+  k.dCmp[kIxGt][0] = dCmpLoop<3, true>;
+  k.dCmp[kIxGe][1] = dCmpLoop<4, true>;
+  k.dCmp[kIxGe][0] = dCmpLoop<5, true>;
+  k.dTruth = dTruthLoop;
+  return k;
+}
+
+const LaneKernels kScalarKernels = makeScalarKernels();
+
+std::optional<SimdLevel>& forcedLevel() {
+  static std::optional<SimdLevel> lvl;
+  return lvl;
+}
+
+}  // namespace
+
+}  // namespace simd_detail
+
+const char* simdLevelName(SimdLevel lvl) {
+  switch (lvl) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kAvx2: return "avx2";
+    case SimdLevel::kNeon: return "neon";
+  }
+  return "scalar";
+}
+
+SimdLevel detectedSimdLevel() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") ? SimdLevel::kAvx2
+                                        : SimdLevel::kScalar;
+#elif defined(__aarch64__)
+  return SimdLevel::kNeon;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+bool simdLevelAvailable(SimdLevel lvl) {
+  switch (lvl) {
+    case SimdLevel::kScalar:
+      return true;
+    case SimdLevel::kAvx2:
+      return simd_detail::avx2KernelsOrNull() != nullptr &&
+             detectedSimdLevel() == SimdLevel::kAvx2;
+    case SimdLevel::kNeon:
+      return simd_detail::neonKernelsOrNull() != nullptr;
+  }
+  return false;
+}
+
+SimdLevel activeSimdLevel() {
+  if (simd_detail::forcedLevel()) return *simd_detail::forcedLevel();
+  static const SimdLevel lvl = [] {
+    const int ix = util::envEnum(
+        "STCG_SIMD", {"0", "scalar", "avx2", "neon", "1", "auto"});
+    SimdLevel want = detectedSimdLevel();
+    switch (ix) {
+      case 0:
+      case 1:
+        return SimdLevel::kScalar;
+      case 2:
+        want = SimdLevel::kAvx2;
+        break;
+      case 3:
+        want = SimdLevel::kNeon;
+        break;
+      default:  // unset, unrecognized (diagnosed by envEnum), 1, auto
+        return want;
+    }
+    if (!simdLevelAvailable(want)) {
+      std::fprintf(stderr,
+                   "stcg: STCG_SIMD requests %s but this CPU/build lacks it; "
+                   "using %s\n",
+                   simdLevelName(want), simdLevelName(detectedSimdLevel()));
+      return detectedSimdLevel();
+    }
+    return want;
+  }();
+  return lvl;
+}
+
+void forceSimdLevel(std::optional<SimdLevel> lvl) {
+  simd_detail::forcedLevel() = lvl;
+}
+
+const LaneKernels& laneKernelsFor(SimdLevel lvl) {
+  switch (lvl) {
+    case SimdLevel::kAvx2:
+      if (const LaneKernels* k = simd_detail::avx2KernelsOrNull()) return *k;
+      break;
+    case SimdLevel::kNeon:
+      if (const LaneKernels* k = simd_detail::neonKernelsOrNull()) return *k;
+      break;
+    case SimdLevel::kScalar:
+      break;
+  }
+  return simd_detail::kScalarKernels;
+}
+
+const LaneKernels& laneKernels() { return laneKernelsFor(activeSimdLevel()); }
+
+}  // namespace stcg::expr

@@ -1,0 +1,403 @@
+// AVX2 implementation of the LaneKernels table (x86 only).
+//
+// Compiled without a global -mavx2: every kernel sits inside a
+// `#pragma GCC target("avx2")` region, and simd.cpp only hands the table
+// out after __builtin_cpu_supports("avx2") succeeds. The entry point
+// avx2KernelsOrNull() is defined outside the region so calling it on a
+// non-AVX2 CPU is safe.
+//
+// Bit-identity contract (see simd_ops.h): vector bodies replicate glibc's
+// runtime fmin/fmax selection (first operand when equal, non-NaN operand
+// when one side is NaN, second operand when both are), the guarded
+// x/0 == +0.0, and the Korel/Tracey distance forms with `eps - x`
+// subtraction (not negate-then-add, which would flip a NaN's sign bit) so
+// NaN bit patterns match the scalar path; tail lanes (n % 4) run the
+// exact scalar helpers. This TU is built with -ffp-contract=off so GCC
+// cannot contract mul+add into an FMA the scalar reference lacks.
+#include "expr/simd.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include "expr/simd_ops.h"
+
+namespace stcg::expr::simd_detail {
+namespace {
+
+#pragma GCC push_options
+#pragma GCC target("avx2")
+
+inline __m256d loadPd(const std::uint64_t* p) {
+  return _mm256_castsi256_pd(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+}
+inline void storePd(std::uint64_t* p, __m256d v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), _mm256_castpd_si256(v));
+}
+inline __m256i loadI(const std::uint64_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+inline void storeI(std::uint64_t* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+inline __m256d signMask() { return _mm256_set1_pd(-0.0); }
+
+// ---- real rows ----------------------------------------------------------
+
+void rAddAvx2(std::uint64_t* dst, const std::uint64_t* a,
+              const std::uint64_t* b, int n) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    storePd(dst + i, _mm256_add_pd(loadPd(a + i), loadPd(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = rAddOp(a[i], b[i]);
+}
+
+void rSubAvx2(std::uint64_t* dst, const std::uint64_t* a,
+              const std::uint64_t* b, int n) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    storePd(dst + i, _mm256_sub_pd(loadPd(a + i), loadPd(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = rSubOp(a[i], b[i]);
+}
+
+void rMulAvx2(std::uint64_t* dst, const std::uint64_t* a,
+              const std::uint64_t* b, int n) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    storePd(dst + i, _mm256_mul_pd(loadPd(a + i), loadPd(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = rMulOp(a[i], b[i]);
+}
+
+void rDivGAvx2(std::uint64_t* dst, const std::uint64_t* a,
+               const std::uint64_t* b, int n) {
+  const __m256d zero = _mm256_setzero_pd();
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vb = loadPd(b + i);
+    const __m256d q = _mm256_div_pd(loadPd(a + i), vb);
+    // b == 0 (either sign) -> +0.0; NaN b compares unequal and divides.
+    const __m256d guard = _mm256_cmp_pd(vb, zero, _CMP_EQ_OQ);
+    storePd(dst + i, _mm256_andnot_pd(guard, q));
+  }
+  for (; i < n; ++i) dst[i] = rDivGOp(a[i], b[i]);
+}
+
+void rFminAvx2(std::uint64_t* dst, const std::uint64_t* a,
+               const std::uint64_t* b, int n) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d va = loadPd(a + i), vb = loadPd(b + i);
+    // Runtime glibc fmin: a iff a <= b (equal, incl. +/-0, picks the
+    // FIRST operand) or b alone is NaN; both-NaN picks b. See
+    // simd_ops.h — the folded fmin differs, only the call semantics
+    // count.
+    const __m256d pick_a = _mm256_or_pd(
+        _mm256_cmp_pd(va, vb, _CMP_LE_OQ),
+        _mm256_and_pd(_mm256_cmp_pd(vb, vb, _CMP_UNORD_Q),
+                      _mm256_cmp_pd(va, va, _CMP_ORD_Q)));
+    storePd(dst + i, _mm256_blendv_pd(vb, va, pick_a));
+  }
+  for (; i < n; ++i) dst[i] = rFminOp(a[i], b[i]);
+}
+
+void rFmaxAvx2(std::uint64_t* dst, const std::uint64_t* a,
+               const std::uint64_t* b, int n) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d va = loadPd(a + i), vb = loadPd(b + i);
+    const __m256d pick_a = _mm256_or_pd(
+        _mm256_cmp_pd(va, vb, _CMP_GE_OQ),
+        _mm256_and_pd(_mm256_cmp_pd(vb, vb, _CMP_UNORD_Q),
+                      _mm256_cmp_pd(va, va, _CMP_ORD_Q)));
+    storePd(dst + i, _mm256_blendv_pd(vb, va, pick_a));
+  }
+  for (; i < n; ++i) dst[i] = rFmaxOp(a[i], b[i]);
+}
+
+void rNegAvx2(std::uint64_t* dst, const std::uint64_t* a, int n) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    storePd(dst + i, _mm256_xor_pd(loadPd(a + i), signMask()));
+  }
+  for (; i < n; ++i) dst[i] = rNegOp(a[i]);
+}
+
+void rAbsAvx2(std::uint64_t* dst, const std::uint64_t* a, int n) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    storePd(dst + i, _mm256_andnot_pd(signMask(), loadPd(a + i)));
+  }
+  for (; i < n; ++i) dst[i] = rAbsOp(a[i]);
+}
+
+template <int Ix>
+void rCmpAvx2(std::uint64_t* dst, const std::uint64_t* a,
+              const std::uint64_t* b, int n) {
+  constexpr int kPred = Ix == kIxLt   ? _CMP_LT_OQ
+                        : Ix == kIxLe ? _CMP_LE_OQ
+                        : Ix == kIxGt ? _CMP_GT_OQ
+                        : Ix == kIxGe ? _CMP_GE_OQ
+                        : Ix == kIxEq ? _CMP_EQ_OQ
+                                      : _CMP_NEQ_UQ;
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d m = _mm256_cmp_pd(loadPd(a + i), loadPd(b + i), kPred);
+    storeI(dst + i, _mm256_srli_epi64(_mm256_castpd_si256(m), 63));
+  }
+  for (; i < n; ++i) dst[i] = rCmpOp<Ix>(a[i], b[i]);
+}
+
+// ---- int rows -----------------------------------------------------------
+
+void iAddAvx2(std::uint64_t* dst, const std::uint64_t* a,
+              const std::uint64_t* b, int n) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    storeI(dst + i, _mm256_add_epi64(loadI(a + i), loadI(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = iAddOp(a[i], b[i]);
+}
+
+void iSubAvx2(std::uint64_t* dst, const std::uint64_t* a,
+              const std::uint64_t* b, int n) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    storeI(dst + i, _mm256_sub_epi64(loadI(a + i), loadI(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = iSubOp(a[i], b[i]);
+}
+
+void iMinAvx2(std::uint64_t* dst, const std::uint64_t* a,
+              const std::uint64_t* b, int n) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = loadI(a + i), vb = loadI(b + i);
+    // std::min: b iff b < a, i.e. a > b; equal -> a.
+    storeI(dst + i,
+           _mm256_blendv_epi8(va, vb, _mm256_cmpgt_epi64(va, vb)));
+  }
+  for (; i < n; ++i) dst[i] = iMinOp(a[i], b[i]);
+}
+
+void iMaxAvx2(std::uint64_t* dst, const std::uint64_t* a,
+              const std::uint64_t* b, int n) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = loadI(a + i), vb = loadI(b + i);
+    storeI(dst + i,
+           _mm256_blendv_epi8(va, vb, _mm256_cmpgt_epi64(vb, va)));
+  }
+  for (; i < n; ++i) dst[i] = iMaxOp(a[i], b[i]);
+}
+
+void iNegAvx2(std::uint64_t* dst, const std::uint64_t* a, int n) {
+  const __m256i zero = _mm256_setzero_si256();
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    storeI(dst + i, _mm256_sub_epi64(zero, loadI(a + i)));
+  }
+  for (; i < n; ++i) dst[i] = iNegOp(a[i]);
+}
+
+void iAbsAvx2(std::uint64_t* dst, const std::uint64_t* a, int n) {
+  const __m256i zero = _mm256_setzero_si256();
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = loadI(a + i);
+    const __m256i neg = _mm256_sub_epi64(zero, va);
+    storeI(dst + i,
+           _mm256_blendv_epi8(va, neg, _mm256_cmpgt_epi64(zero, va)));
+  }
+  for (; i < n; ++i) dst[i] = iAbsOp(a[i]);
+}
+
+// ---- bool rows ----------------------------------------------------------
+
+void bAndAvx2(std::uint64_t* dst, const std::uint64_t* a,
+              const std::uint64_t* b, int n) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    storeI(dst + i, _mm256_and_si256(loadI(a + i), loadI(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = bAndOp(a[i], b[i]);
+}
+
+void bOrAvx2(std::uint64_t* dst, const std::uint64_t* a,
+             const std::uint64_t* b, int n) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    storeI(dst + i, _mm256_or_si256(loadI(a + i), loadI(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = bOrOp(a[i], b[i]);
+}
+
+void bXorAvx2(std::uint64_t* dst, const std::uint64_t* a,
+              const std::uint64_t* b, int n) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    storeI(dst + i, _mm256_xor_si256(loadI(a + i), loadI(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = bXorOp(a[i], b[i]);
+}
+
+void bNotAvx2(std::uint64_t* dst, const std::uint64_t* a, int n) {
+  const __m256i one = _mm256_set1_epi64x(1);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    storeI(dst + i, _mm256_xor_si256(loadI(a + i), one));
+  }
+  for (; i < n; ++i) dst[i] = bNotOp(a[i]);
+}
+
+void sel64Avx2(std::uint64_t* dst, const std::uint64_t* c,
+               const std::uint64_t* a, const std::uint64_t* b, int n) {
+  const __m256i zero = _mm256_setzero_si256();
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i isZero = _mm256_cmpeq_epi64(loadI(c + i), zero);
+    storeI(dst + i, _mm256_blendv_epi8(loadI(a + i), loadI(b + i), isZero));
+  }
+  for (; i < n; ++i) dst[i] = c[i] != 0 ? a[i] : b[i];
+}
+
+// ---- distance-overlay rows (genuine doubles) ----------------------------
+
+void dSumAvx2(double* dst, const double* a, const double* b, int n) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(dst + i, _mm256_add_pd(_mm256_loadu_pd(a + i),
+                                            _mm256_loadu_pd(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = dSumOp(a[i], b[i]);
+}
+
+void dMinAvx2(double* dst, const double* a, const double* b, int n) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d va = _mm256_loadu_pd(a + i), vb = _mm256_loadu_pd(b + i);
+    // std::min: b iff b < a; equal or unordered -> a.
+    storePd(reinterpret_cast<std::uint64_t*>(dst + i),
+            _mm256_blendv_pd(va, vb, _mm256_cmp_pd(vb, va, _CMP_LT_OQ)));
+  }
+  for (; i < n; ++i) dst[i] = dMinOp(a[i], b[i]);
+}
+
+template <int Form>
+inline __m256d dFormAvx2(__m256d x) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d eps = _mm256_set1_pd(kDistEps);
+  if constexpr (Form == 0) {
+    return _mm256_andnot_pd(signMask(), x);
+  } else if constexpr (Form == 1) {
+    // fabs(x) == 0 ? 1 : 0; NaN -> 0 (EQ_OQ is false on unordered).
+    return _mm256_and_pd(_mm256_cmp_pd(x, zero, _CMP_EQ_OQ),
+                         _mm256_set1_pd(1.0));
+  } else if constexpr (Form == 2) {
+    // x < 0 ? 0 : x + eps; NaN falls through to NaN + eps = NaN.
+    return _mm256_andnot_pd(_mm256_cmp_pd(x, zero, _CMP_LT_OQ),
+                            _mm256_add_pd(x, eps));
+  } else if constexpr (Form == 3) {
+    // x >= 0 ? 0 : eps - x — subtraction, not negate-then-add, so a NaN
+    // x flows through with its sign bit untouched (simd_ops.h dFormOp).
+    return _mm256_andnot_pd(_mm256_cmp_pd(x, zero, _CMP_GE_OQ),
+                            _mm256_sub_pd(eps, x));
+  } else if constexpr (Form == 4) {
+    return _mm256_andnot_pd(_mm256_cmp_pd(x, zero, _CMP_LE_OQ), x);
+  } else {
+    return _mm256_andnot_pd(_mm256_cmp_pd(x, zero, _CMP_GT_OQ),
+                            _mm256_sub_pd(eps, x));
+  }
+}
+
+template <int Form, bool Swap>
+void dCmpAvx2(double* dst, const double* a, const double* b, int n) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d va = _mm256_loadu_pd(a + i), vb = _mm256_loadu_pd(b + i);
+    const __m256d x = Swap ? _mm256_sub_pd(vb, va) : _mm256_sub_pd(va, vb);
+    _mm256_storeu_pd(dst + i, dFormAvx2<Form>(x));
+  }
+  for (; i < n; ++i) {
+    dst[i] = dFormOp<Form>(Swap ? b[i] - a[i] : a[i] - b[i]);
+  }
+}
+
+void dTruthAvx2(double* dst, const std::uint64_t* truth, std::uint64_t want,
+                int n) {
+  const __m256i vwant = _mm256_set1_epi64x(static_cast<long long>(want));
+  const __m256d one = _mm256_set1_pd(1.0);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i hit = _mm256_cmpeq_epi64(loadI(truth + i), vwant);
+    _mm256_storeu_pd(dst + i,
+                     _mm256_andnot_pd(_mm256_castsi256_pd(hit), one));
+  }
+  for (; i < n; ++i) dst[i] = dTruthOp(truth[i], want);
+}
+
+#pragma GCC pop_options
+
+const LaneKernels makeAvx2Kernels() {
+  LaneKernels k{};
+  k.rAdd = rAddAvx2;
+  k.rSub = rSubAvx2;
+  k.rMul = rMulAvx2;
+  k.rDivG = rDivGAvx2;
+  k.rFmin = rFminAvx2;
+  k.rFmax = rFmaxAvx2;
+  k.rNeg = rNegAvx2;
+  k.rAbs = rAbsAvx2;
+  k.rCmp[kIxLt] = rCmpAvx2<kIxLt>;
+  k.rCmp[kIxLe] = rCmpAvx2<kIxLe>;
+  k.rCmp[kIxGt] = rCmpAvx2<kIxGt>;
+  k.rCmp[kIxGe] = rCmpAvx2<kIxGe>;
+  k.rCmp[kIxEq] = rCmpAvx2<kIxEq>;
+  k.rCmp[kIxNe] = rCmpAvx2<kIxNe>;
+  k.iAdd = iAddAvx2;
+  k.iSub = iSubAvx2;
+  k.iMin = iMinAvx2;
+  k.iMax = iMaxAvx2;
+  k.iNeg = iNegAvx2;
+  k.iAbs = iAbsAvx2;
+  k.bAnd = bAndAvx2;
+  k.bOr = bOrAvx2;
+  k.bXor = bXorAvx2;
+  k.bNot = bNotAvx2;
+  k.sel64 = sel64Avx2;
+  k.dSum = dSumAvx2;
+  k.dMin = dMinAvx2;
+  k.dCmp[kIxEq][1] = dCmpAvx2<0, false>;
+  k.dCmp[kIxEq][0] = dCmpAvx2<1, false>;
+  k.dCmp[kIxNe][1] = dCmpAvx2<1, false>;
+  k.dCmp[kIxNe][0] = dCmpAvx2<0, false>;
+  k.dCmp[kIxLt][1] = dCmpAvx2<2, false>;
+  k.dCmp[kIxLt][0] = dCmpAvx2<3, false>;
+  k.dCmp[kIxLe][1] = dCmpAvx2<4, false>;
+  k.dCmp[kIxLe][0] = dCmpAvx2<5, false>;
+  k.dCmp[kIxGt][1] = dCmpAvx2<2, true>;
+  k.dCmp[kIxGt][0] = dCmpAvx2<3, true>;
+  k.dCmp[kIxGe][1] = dCmpAvx2<4, true>;
+  k.dCmp[kIxGe][0] = dCmpAvx2<5, true>;
+  k.dTruth = dTruthAvx2;
+  return k;
+}
+
+const LaneKernels kAvx2Kernels = makeAvx2Kernels();
+
+}  // namespace
+
+const LaneKernels* avx2KernelsOrNull() { return &kAvx2Kernels; }
+
+}  // namespace stcg::expr::simd_detail
+
+#else  // non-x86 build: no AVX2 table
+
+namespace stcg::expr::simd_detail {
+const LaneKernels* avx2KernelsOrNull() { return nullptr; }
+}  // namespace stcg::expr::simd_detail
+
+#endif

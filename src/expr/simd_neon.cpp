@@ -1,0 +1,365 @@
+// NEON implementation of the LaneKernels table (AArch64 only, where the
+// float64x2 unit is architectural baseline — no runtime detection needed).
+// Formulas mirror simd_avx2.cpp two lanes at a time; odd tails run the
+// scalar helpers from simd_ops.h so vector body and tail cannot disagree.
+// Built with -ffp-contract=off like the other kernel TUs.
+#include "expr/simd.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "expr/simd_ops.h"
+
+namespace stcg::expr::simd_detail {
+namespace {
+
+inline float64x2_t loadPd(const std::uint64_t* p) {
+  return vreinterpretq_f64_u64(vld1q_u64(p));
+}
+inline void storePd(std::uint64_t* p, float64x2_t v) {
+  vst1q_u64(p, vreinterpretq_u64_f64(v));
+}
+inline uint64x2_t notU64(uint64x2_t m) {
+  return veorq_u64(m, vdupq_n_u64(~std::uint64_t{0}));
+}
+inline float64x2_t negPd(float64x2_t v) {
+  return vreinterpretq_f64_u64(veorq_u64(vreinterpretq_u64_f64(v),
+                                         vdupq_n_u64(0x8000000000000000ULL)));
+}
+inline float64x2_t andNotPd(uint64x2_t mask, float64x2_t v) {
+  return vreinterpretq_f64_u64(vbicq_u64(vreinterpretq_u64_f64(v), mask));
+}
+
+void rAddNeon(std::uint64_t* dst, const std::uint64_t* a,
+              const std::uint64_t* b, int n) {
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    storePd(dst + i, vaddq_f64(loadPd(a + i), loadPd(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = rAddOp(a[i], b[i]);
+}
+
+void rSubNeon(std::uint64_t* dst, const std::uint64_t* a,
+              const std::uint64_t* b, int n) {
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    storePd(dst + i, vsubq_f64(loadPd(a + i), loadPd(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = rSubOp(a[i], b[i]);
+}
+
+void rMulNeon(std::uint64_t* dst, const std::uint64_t* a,
+              const std::uint64_t* b, int n) {
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    storePd(dst + i, vmulq_f64(loadPd(a + i), loadPd(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = rMulOp(a[i], b[i]);
+}
+
+void rDivGNeon(std::uint64_t* dst, const std::uint64_t* a,
+               const std::uint64_t* b, int n) {
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t vb = loadPd(b + i);
+    const float64x2_t q = vdivq_f64(loadPd(a + i), vb);
+    storePd(dst + i, andNotPd(vceqq_f64(vb, zero), q));
+  }
+  for (; i < n; ++i) dst[i] = rDivGOp(a[i], b[i]);
+}
+
+void rFminNeon(std::uint64_t* dst, const std::uint64_t* a,
+               const std::uint64_t* b, int n) {
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t va = loadPd(a + i), vb = loadPd(b + i);
+    // Runtime glibc fmin: a iff a <= b (equal picks the FIRST operand)
+    // or b alone is NaN; both-NaN picks b (simd_ops.h).
+    const uint64x2_t pick_a =
+        vorrq_u64(vcleq_f64(va, vb),
+                  vandq_u64(notU64(vceqq_f64(vb, vb)), vceqq_f64(va, va)));
+    storePd(dst + i, vbslq_f64(pick_a, va, vb));
+  }
+  for (; i < n; ++i) dst[i] = rFminOp(a[i], b[i]);
+}
+
+void rFmaxNeon(std::uint64_t* dst, const std::uint64_t* a,
+               const std::uint64_t* b, int n) {
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t va = loadPd(a + i), vb = loadPd(b + i);
+    const uint64x2_t pick_a =
+        vorrq_u64(vcgeq_f64(va, vb),
+                  vandq_u64(notU64(vceqq_f64(vb, vb)), vceqq_f64(va, va)));
+    storePd(dst + i, vbslq_f64(pick_a, va, vb));
+  }
+  for (; i < n; ++i) dst[i] = rFmaxOp(a[i], b[i]);
+}
+
+void rNegNeon(std::uint64_t* dst, const std::uint64_t* a, int n) {
+  int i = 0;
+  for (; i + 2 <= n; i += 2) storePd(dst + i, negPd(loadPd(a + i)));
+  for (; i < n; ++i) dst[i] = rNegOp(a[i]);
+}
+
+void rAbsNeon(std::uint64_t* dst, const std::uint64_t* a, int n) {
+  int i = 0;
+  for (; i + 2 <= n; i += 2) storePd(dst + i, vabsq_f64(loadPd(a + i)));
+  for (; i < n; ++i) dst[i] = rAbsOp(a[i]);
+}
+
+template <int Ix>
+void rCmpNeon(std::uint64_t* dst, const std::uint64_t* a,
+              const std::uint64_t* b, int n) {
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t va = loadPd(a + i), vb = loadPd(b + i);
+    uint64x2_t m;
+    if constexpr (Ix == kIxLt) m = vcltq_f64(va, vb);
+    if constexpr (Ix == kIxLe) m = vcleq_f64(va, vb);
+    if constexpr (Ix == kIxGt) m = vcgtq_f64(va, vb);
+    if constexpr (Ix == kIxGe) m = vcgeq_f64(va, vb);
+    if constexpr (Ix == kIxEq) m = vceqq_f64(va, vb);
+    if constexpr (Ix == kIxNe) m = notU64(vceqq_f64(va, vb));
+    vst1q_u64(dst + i, vshrq_n_u64(m, 63));
+  }
+  for (; i < n; ++i) dst[i] = rCmpOp<Ix>(a[i], b[i]);
+}
+
+void iAddNeon(std::uint64_t* dst, const std::uint64_t* a,
+              const std::uint64_t* b, int n) {
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vaddq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = iAddOp(a[i], b[i]);
+}
+
+void iSubNeon(std::uint64_t* dst, const std::uint64_t* a,
+              const std::uint64_t* b, int n) {
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vsubq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = iSubOp(a[i], b[i]);
+}
+
+void iMinNeon(std::uint64_t* dst, const std::uint64_t* a,
+              const std::uint64_t* b, int n) {
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const int64x2_t va = vreinterpretq_s64_u64(vld1q_u64(a + i));
+    const int64x2_t vb = vreinterpretq_s64_u64(vld1q_u64(b + i));
+    // std::min: b iff b < a; equal -> a.
+    vst1q_u64(dst + i,
+              vreinterpretq_u64_s64(
+                  vbslq_s64(vcltq_s64(vb, va), vb, va)));
+  }
+  for (; i < n; ++i) dst[i] = iMinOp(a[i], b[i]);
+}
+
+void iMaxNeon(std::uint64_t* dst, const std::uint64_t* a,
+              const std::uint64_t* b, int n) {
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const int64x2_t va = vreinterpretq_s64_u64(vld1q_u64(a + i));
+    const int64x2_t vb = vreinterpretq_s64_u64(vld1q_u64(b + i));
+    vst1q_u64(dst + i,
+              vreinterpretq_u64_s64(
+                  vbslq_s64(vcgtq_s64(vb, va), vb, va)));
+  }
+  for (; i < n; ++i) dst[i] = iMaxOp(a[i], b[i]);
+}
+
+void iNegNeon(std::uint64_t* dst, const std::uint64_t* a, int n) {
+  const uint64x2_t zero = vdupq_n_u64(0);
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vsubq_u64(zero, vld1q_u64(a + i)));
+  }
+  for (; i < n; ++i) dst[i] = iNegOp(a[i]);
+}
+
+void iAbsNeon(std::uint64_t* dst, const std::uint64_t* a, int n) {
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const int64x2_t va = vreinterpretq_s64_u64(vld1q_u64(a + i));
+    vst1q_u64(dst + i, vreinterpretq_u64_s64(vabsq_s64(va)));
+  }
+  for (; i < n; ++i) dst[i] = iAbsOp(a[i]);
+}
+
+void bAndNeon(std::uint64_t* dst, const std::uint64_t* a,
+              const std::uint64_t* b, int n) {
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vandq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = bAndOp(a[i], b[i]);
+}
+
+void bOrNeon(std::uint64_t* dst, const std::uint64_t* a,
+             const std::uint64_t* b, int n) {
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vorrq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = bOrOp(a[i], b[i]);
+}
+
+void bXorNeon(std::uint64_t* dst, const std::uint64_t* a,
+              const std::uint64_t* b, int n) {
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, veorq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = bXorOp(a[i], b[i]);
+}
+
+void bNotNeon(std::uint64_t* dst, const std::uint64_t* a, int n) {
+  const uint64x2_t one = vdupq_n_u64(1);
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, veorq_u64(vld1q_u64(a + i), one));
+  }
+  for (; i < n; ++i) dst[i] = bNotOp(a[i]);
+}
+
+void sel64Neon(std::uint64_t* dst, const std::uint64_t* c,
+               const std::uint64_t* a, const std::uint64_t* b, int n) {
+  const uint64x2_t zero = vdupq_n_u64(0);
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t isZero = vceqq_u64(vld1q_u64(c + i), zero);
+    vst1q_u64(dst + i,
+              vbslq_u64(isZero, vld1q_u64(b + i), vld1q_u64(a + i)));
+  }
+  for (; i < n; ++i) dst[i] = c[i] != 0 ? a[i] : b[i];
+}
+
+void dSumNeon(double* dst, const double* a, const double* b, int n) {
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(dst + i, vaddq_f64(vld1q_f64(a + i), vld1q_f64(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = dSumOp(a[i], b[i]);
+}
+
+void dMinNeon(double* dst, const double* a, const double* b, int n) {
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t va = vld1q_f64(a + i), vb = vld1q_f64(b + i);
+    vst1q_f64(dst + i, vbslq_f64(vcltq_f64(vb, va), vb, va));
+  }
+  for (; i < n; ++i) dst[i] = dMinOp(a[i], b[i]);
+}
+
+template <int Form>
+inline float64x2_t dFormNeon(float64x2_t x) {
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  const float64x2_t eps = vdupq_n_f64(kDistEps);
+  if constexpr (Form == 0) {
+    return vabsq_f64(x);
+  } else if constexpr (Form == 1) {
+    return vreinterpretq_f64_u64(
+        vandq_u64(vceqq_f64(x, zero),
+                  vreinterpretq_u64_f64(vdupq_n_f64(1.0))));
+  } else if constexpr (Form == 2) {
+    return andNotPd(vcltq_f64(x, zero), vaddq_f64(x, eps));
+  } else if constexpr (Form == 3) {
+    // eps - x, not negate-then-add: NaN sign parity (simd_ops.h dFormOp).
+    return andNotPd(vcgeq_f64(x, zero), vsubq_f64(eps, x));
+  } else if constexpr (Form == 4) {
+    return andNotPd(vcleq_f64(x, zero), x);
+  } else {
+    return andNotPd(vcgtq_f64(x, zero), vsubq_f64(eps, x));
+  }
+}
+
+template <int Form, bool Swap>
+void dCmpNeon(double* dst, const double* a, const double* b, int n) {
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t va = vld1q_f64(a + i), vb = vld1q_f64(b + i);
+    const float64x2_t x = Swap ? vsubq_f64(vb, va) : vsubq_f64(va, vb);
+    vst1q_f64(dst + i, dFormNeon<Form>(x));
+  }
+  for (; i < n; ++i) {
+    dst[i] = dFormOp<Form>(Swap ? b[i] - a[i] : a[i] - b[i]);
+  }
+}
+
+void dTruthNeon(double* dst, const std::uint64_t* truth, std::uint64_t want,
+                int n) {
+  const uint64x2_t vwant = vdupq_n_u64(want);
+  const float64x2_t one = vdupq_n_f64(1.0);
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t hit = vceqq_u64(vld1q_u64(truth + i), vwant);
+    vst1q_f64(dst + i, andNotPd(hit, one));
+  }
+  for (; i < n; ++i) dst[i] = dTruthOp(truth[i], want);
+}
+
+const LaneKernels makeNeonKernels() {
+  LaneKernels k{};
+  k.rAdd = rAddNeon;
+  k.rSub = rSubNeon;
+  k.rMul = rMulNeon;
+  k.rDivG = rDivGNeon;
+  k.rFmin = rFminNeon;
+  k.rFmax = rFmaxNeon;
+  k.rNeg = rNegNeon;
+  k.rAbs = rAbsNeon;
+  k.rCmp[kIxLt] = rCmpNeon<kIxLt>;
+  k.rCmp[kIxLe] = rCmpNeon<kIxLe>;
+  k.rCmp[kIxGt] = rCmpNeon<kIxGt>;
+  k.rCmp[kIxGe] = rCmpNeon<kIxGe>;
+  k.rCmp[kIxEq] = rCmpNeon<kIxEq>;
+  k.rCmp[kIxNe] = rCmpNeon<kIxNe>;
+  k.iAdd = iAddNeon;
+  k.iSub = iSubNeon;
+  k.iMin = iMinNeon;
+  k.iMax = iMaxNeon;
+  k.iNeg = iNegNeon;
+  k.iAbs = iAbsNeon;
+  k.bAnd = bAndNeon;
+  k.bOr = bOrNeon;
+  k.bXor = bXorNeon;
+  k.bNot = bNotNeon;
+  k.sel64 = sel64Neon;
+  k.dSum = dSumNeon;
+  k.dMin = dMinNeon;
+  k.dCmp[kIxEq][1] = dCmpNeon<0, false>;
+  k.dCmp[kIxEq][0] = dCmpNeon<1, false>;
+  k.dCmp[kIxNe][1] = dCmpNeon<1, false>;
+  k.dCmp[kIxNe][0] = dCmpNeon<0, false>;
+  k.dCmp[kIxLt][1] = dCmpNeon<2, false>;
+  k.dCmp[kIxLt][0] = dCmpNeon<3, false>;
+  k.dCmp[kIxLe][1] = dCmpNeon<4, false>;
+  k.dCmp[kIxLe][0] = dCmpNeon<5, false>;
+  k.dCmp[kIxGt][1] = dCmpNeon<2, true>;
+  k.dCmp[kIxGt][0] = dCmpNeon<3, true>;
+  k.dCmp[kIxGe][1] = dCmpNeon<4, true>;
+  k.dCmp[kIxGe][0] = dCmpNeon<5, true>;
+  k.dTruth = dTruthNeon;
+  return k;
+}
+
+const LaneKernels kNeonKernels = makeNeonKernels();
+
+}  // namespace
+
+const LaneKernels* neonKernelsOrNull() { return &kNeonKernels; }
+
+}  // namespace stcg::expr::simd_detail
+
+#else  // non-AArch64 build: no NEON table
+
+namespace stcg::expr::simd_detail {
+const LaneKernels* neonKernelsOrNull() { return nullptr; }
+}  // namespace stcg::expr::simd_detail
+
+#endif

@@ -9,6 +9,7 @@
 
 #include "expr/builder.h"
 #include "expr/tape_verify.h"
+#include "util/env.h"
 
 namespace stcg::expr {
 
@@ -905,10 +906,7 @@ OptimizedTape optimizeTape(const std::shared_ptr<const Tape>& tape,
 }
 
 bool tapeOptEnabled() {
-  static const bool on = [] {
-    const char* e = std::getenv("STCG_TAPE_OPT");
-    return e == nullptr || std::strcmp(e, "0") != 0;
-  }();
+  static const bool on = util::envFlag("STCG_TAPE_OPT", true);
   return on;
 }
 

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "util/env.h"
+
 namespace stcg::expr {
 
 namespace {
@@ -755,10 +757,7 @@ bool tapeVerifyEnabled() {
 #ifndef NDEBUG
   return true;
 #else
-  static const bool on = [] {
-    const char* e = std::getenv("STCG_TAPE_VERIFY");
-    return e != nullptr && *e != '\0' && std::strcmp(e, "0") != 0;
-  }();
+  static const bool on = util::envFlag("STCG_TAPE_VERIFY", false);
   return on;
 #endif
 }

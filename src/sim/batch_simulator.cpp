@@ -5,6 +5,27 @@ namespace stcg::sim {
 using expr::Scalar;
 using expr::Value;
 
+void StepObservationBatch::ensureShape(const compile::CompiledModel& cm,
+                                       int lanes) {
+  if (cm_ == &cm && lanes_ == lanes) return;
+  cm_ = &cm;
+  lanes_ = lanes;
+  decisions_ = cm.decisions.size();
+  objectives_ = cm.objectives.size();
+  outputCount_ = cm.outputs.size();
+  condOffset_.assign(decisions_ + 1, 0);
+  for (std::size_t di = 0; di < decisions_; ++di) {
+    condOffset_[di + 1] = condOffset_[di] + cm.decisions[di].conditions.size();
+  }
+  condTotal_ = condOffset_[decisions_];
+  const auto B = static_cast<std::size_t>(lanes);
+  taken_.assign(B * decisions_, -1);
+  conds_.assign(B * condTotal_, 0);
+  objFired_.assign(B * objectives_, 0);
+  outputs_.assign(B * outputCount_, Scalar{});
+  next_.assign(B, StateSnapshot{});
+}
+
 BatchSimulator::BatchSimulator(const compile::CompiledModel& cm, int lanes)
     : cm_(&cm), modelTape_(compile::buildModelTape(cm)) {
   exec_.emplace(modelTape_.tape, lanes);
@@ -29,7 +50,7 @@ void BatchSimulator::restore(int lane, const StateSnapshot& s) {
 }
 
 void BatchSimulator::stepBatch(const std::vector<const InputVector*>& inputs,
-                               std::vector<StepObservation>& out) {
+                               StepObservationBatch& out) {
   expr::BatchTapeExecutor& ex = *exec_;
   const int B = ex.lanes();
   for (int lane = 0; lane < B; ++lane) {
@@ -56,69 +77,84 @@ void BatchSimulator::stepBatch(const std::vector<const InputVector*>& inputs,
   }
   ex.run();
 
-  out.resize(static_cast<std::size_t>(B));
+  out.ensureShape(*cm_, B);
   for (int lane = 0; lane < B; ++lane) {
-    StepObservation& obs = out[static_cast<std::size_t>(lane)];
-    obs.decisionTaken.assign(cm_->decisions.size(), -1);
-    obs.conditionValues.assign(cm_->decisions.size(), {});
-    obs.objectiveFired.assign(cm_->objectives.size(), false);
+    const std::size_t L = static_cast<std::size_t>(lane);
+    int* taken = out.taken_.data() + L * out.decisions_;
+    std::uint8_t* condRow = out.conds_.data() + L * out.condTotal_;
+    std::uint8_t* fired = out.objFired_.data() + L * out.objectives_;
 
     for (std::size_t di = 0; di < cm_->decisions.size(); ++di) {
-      const auto& d = cm_->decisions[di];
       if (!ex.scalarToBool(modelTape_.decisionActivations[di], lane)) {
+        taken[di] = -1;
         continue;
       }
-      int taken = -2;  // active; recordObservation throws if no arm fires
+      int t = -2;  // active; recordObservation throws if no arm fires
       const auto& arms = modelTape_.decisionArms[di];
       for (std::size_t a = 0; a < arms.size(); ++a) {
         if (ex.scalarToBool(arms[a], lane)) {
-          taken = static_cast<int>(a);
+          t = static_cast<int>(a);
           break;
         }
       }
-      obs.decisionTaken[di] = taken;
-      if (!d.conditions.empty()) {
-        auto& vals = obs.conditionValues[di];
-        vals.reserve(d.conditions.size());
-        for (const auto& slot : modelTape_.decisionConditions[di]) {
-          vals.push_back(ex.scalarToBool(slot, lane));
-        }
+      taken[di] = t;
+      std::uint8_t* vals = condRow + out.condOffset_[di];
+      const auto& condSlots = modelTape_.decisionConditions[di];
+      for (std::size_t ci = 0; ci < condSlots.size(); ++ci) {
+        vals[ci] = ex.scalarToBool(condSlots[ci], lane) ? 1 : 0;
       }
     }
     for (std::size_t oi = 0; oi < cm_->objectives.size(); ++oi) {
-      obs.objectiveFired[oi] =
-          ex.scalarToBool(modelTape_.objectiveActivations[oi], lane) &&
-          ex.scalarToBool(modelTape_.objectiveConds[oi], lane);
+      fired[oi] =
+          (ex.scalarToBool(modelTape_.objectiveActivations[oi], lane) &&
+           ex.scalarToBool(modelTape_.objectiveConds[oi], lane))
+              ? 1
+              : 0;
     }
 
-    obs.outputs.clear();
-    obs.outputs.reserve(cm_->outputs.size());
-    for (const auto& slot : modelTape_.outputs) {
-      obs.outputs.push_back(ex.scalar(slot, lane));
+    for (std::size_t i = 0; i < modelTape_.outputs.size(); ++i) {
+      out.outputs_[L * out.outputCount_ + i] =
+          ex.scalar(modelTape_.outputs[i], lane);
     }
 
-    obs.next.clear();
-    obs.next.reserve(cm_->states.size());
+    // Advance the lane's state in place: element-wise Scalar stores into
+    // the existing Value cells (Value::set casts to the cell's type, the
+    // same castTo the snapshot-rebuilding path applied), falling back to
+    // a full rebuild only if a restore() injected a mismatched cell.
+    auto& st = state_[L];
     for (std::size_t i = 0; i < cm_->states.size(); ++i) {
       const auto& sv = cm_->states[i];
       const auto& slot = modelTape_.stateNext[i];
+      Value& cell = st[i];
       if (sv.width == 1) {
-        obs.next.emplace_back(ex.scalar(slot, lane).castTo(sv.type));
+        if (cell.type() == sv.type && cell.width() == 1) {
+          cell.set(0, ex.scalar(slot, lane));
+        } else {
+          cell = Value(ex.scalar(slot, lane).castTo(sv.type));
+        }
       } else {
-        obs.next.emplace_back(Value(sv.type, ex.array(slot, lane)));
+        const auto& arr = ex.array(slot, lane);
+        if (cell.type() == sv.type &&
+            cell.width() == static_cast<int>(arr.size())) {
+          for (std::size_t j = 0; j < arr.size(); ++j) {
+            cell.set(static_cast<int>(j), arr[j]);
+          }
+        } else {
+          cell = Value(sv.type, arr);
+        }
       }
     }
-    state_[static_cast<std::size_t>(lane)] = obs.next;
+    out.next_[L] = st;  // copy-assign: element storage reused after step 1
   }
 }
 
 StepResult recordObservation(const compile::CompiledModel& cm,
-                             const StepObservation& obs,
+                             const StepObservationBatch& obs, int lane,
                              coverage::CoverageTracker& cov) {
   StepResult result;
   for (std::size_t di = 0; di < cm.decisions.size(); ++di) {
     const auto& d = cm.decisions[di];
-    const int taken = obs.decisionTaken[di];
+    const int taken = obs.decisionTaken(lane, di);
     if (taken == -1) continue;
     if (taken == -2) {
       throw SimError("step: no arm of decision '" + d.name +
@@ -127,7 +163,8 @@ StepResult recordObservation(const compile::CompiledModel& cm,
     const int newBranch = cov.recordDecision(d.id, taken);
     if (newBranch >= 0) result.newlyCovered.push_back(newBranch);
     if (!d.conditions.empty()) {
-      if (cov.recordConditions(d.id, obs.conditionValues[di], taken == 0)) {
+      if (cov.recordConditions(d.id, obs.conditionValues(lane, di),
+                               obs.conditionCount(di), taken == 0)) {
         result.newConditionObservation = true;
       }
     }
@@ -135,7 +172,7 @@ StepResult recordObservation(const compile::CompiledModel& cm,
   for (std::size_t oi = 0; oi < cm.objectives.size(); ++oi) {
     const auto& obj = cm.objectives[oi];
     if (cov.objectiveCovered(obj.id)) continue;
-    if (obs.objectiveFired[oi]) {
+    if (obs.objectiveFired(lane, oi)) {
       if (cov.recordObjective(obj.id)) {
         result.newConditionObservation = true;
       }

@@ -4,13 +4,21 @@
 // A BatchSimulator holds B lanes of model state and executes the shared
 // model tape through expr::BatchTapeExecutor, so one instruction walk
 // advances every lane by one step. Coverage is decoupled from execution:
-// stepBatch() returns per-lane StepObservations (which decision arm fired,
-// the condition vector, objective hits, outputs, next state) and the
-// caller replays them into a CoverageTracker with recordObservation() in
-// whatever lane order its determinism contract requires. This split is
-// what lets the STCG generator run B replay sequences in lockstep and
-// still commit their coverage in the exact order the sequential engine
-// would (DESIGN.md §5f).
+// stepBatch() fills a pooled StepObservationBatch (which decision arm
+// fired, the condition vector, objective hits, outputs, next state — per
+// lane) and the caller replays lanes into a CoverageTracker with
+// recordObservation() in whatever lane order its determinism contract
+// requires. This split is what lets the STCG generator run B replay
+// sequences in lockstep and still commit their coverage in the exact
+// order the sequential engine would (DESIGN.md §5f).
+//
+// Pooling: the batch lays observations out as flat lane-major SoA rows
+// (decision arms, condition bytes, objective flags, output scalars) plus
+// one persistent StateSnapshot per lane, all sized once on first use and
+// reused across steps — the replay hot loops (stepBatch + record) touch
+// the allocator only while the pool grows, never per step. Lane state is
+// likewise advanced in place (element-wise Scalar stores into the
+// existing Value cells) instead of rebuilding a snapshot per step.
 //
 // Bit-identity: observation extraction reads the same slots in the same
 // order as Simulator::stepTape, and recordObservation() performs the same
@@ -20,6 +28,7 @@
 // throw, mirroring a sequential engine that never ran them).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -29,19 +38,62 @@
 
 namespace stcg::sim {
 
-/// Everything one lane's step produced, recorded later (or never).
-struct StepObservation {
-  /// Per decision: arm index taken, -1 = activation false,
+/// Pooled observations for every lane of one stepBatch() call. Flat
+/// lane-major storage, shaped once per (model, lane-count) and reused —
+/// keep one instance (or one per pipelined step) alive across the replay
+/// loop to amortize all allocation.
+class StepObservationBatch {
+ public:
+  [[nodiscard]] int lanes() const { return lanes_; }
+
+  /// Arm index decision `di` took in `lane`: -1 = activation false,
   /// -2 = activation true but no arm satisfied (malformed compilation —
   /// recordObservation throws SimError, like Simulator::step).
-  std::vector<int> decisionTaken;
-  /// Per decision: condition truth vector (empty when inactive or the
-  /// decision has no conditions), aligned with decisionTaken.
-  std::vector<std::vector<bool>> conditionValues;
-  /// Per objective: activation && condition held this step.
-  std::vector<bool> objectiveFired;
-  std::vector<expr::Scalar> outputs;
-  StateSnapshot next;
+  [[nodiscard]] int decisionTaken(int lane, std::size_t di) const {
+    return taken_[static_cast<std::size_t>(lane) * decisions_ + di];
+  }
+  /// Condition truth values (0/1 bytes) of decision `di` in `lane`;
+  /// meaningful only when the decision was active that step.
+  [[nodiscard]] const std::uint8_t* conditionValues(int lane,
+                                                   std::size_t di) const {
+    return conds_.data() + static_cast<std::size_t>(lane) * condTotal_ +
+           condOffset_[di];
+  }
+  [[nodiscard]] std::size_t conditionCount(std::size_t di) const {
+    return condOffset_[di + 1] - condOffset_[di];
+  }
+  /// Objective `oi` fired (activation && condition) in `lane`.
+  [[nodiscard]] bool objectiveFired(int lane, std::size_t oi) const {
+    return objFired_[static_cast<std::size_t>(lane) * objectives_ + oi] != 0;
+  }
+  [[nodiscard]] const expr::Scalar& output(int lane, std::size_t oi) const {
+    return outputs_[static_cast<std::size_t>(lane) * outputCount_ + oi];
+  }
+  [[nodiscard]] std::size_t outputCount() const { return outputCount_; }
+  /// The state snapshot `lane` advanced to (persistent storage, valid
+  /// until the next stepBatch into this pool).
+  [[nodiscard]] const StateSnapshot& next(int lane) const {
+    return next_[static_cast<std::size_t>(lane)];
+  }
+
+ private:
+  friend class BatchSimulator;
+
+  /// (Re)shape for `cm` across `lanes`; cheap no-op when already shaped.
+  void ensureShape(const compile::CompiledModel& cm, int lanes);
+
+  const compile::CompiledModel* cm_ = nullptr;
+  int lanes_ = 0;
+  std::size_t decisions_ = 0;
+  std::size_t condTotal_ = 0;     // sum of per-decision condition counts
+  std::size_t objectives_ = 0;
+  std::size_t outputCount_ = 0;
+  std::vector<std::size_t> condOffset_;   // [decisions_ + 1] prefix sums
+  std::vector<int> taken_;                // [lane * decisions_ + di]
+  std::vector<std::uint8_t> conds_;       // [lane * condTotal_ + off + ci]
+  std::vector<std::uint8_t> objFired_;    // [lane * objectives_ + oi]
+  std::vector<expr::Scalar> outputs_;     // [lane * outputCount_ + oi]
+  std::vector<StateSnapshot> next_;       // per lane
 };
 
 class BatchSimulator {
@@ -59,11 +111,11 @@ class BatchSimulator {
   }
 
   /// Advance every lane one step: inputs[l] drives lane l (inputs.size()
-  /// must equal lanes()). Observations are written into `out` (resized to
-  /// lanes()). Throws SimError on an input-size mismatch, naming the
-  /// model like Simulator::step.
+  /// must equal lanes()). Observations are written into the pooled `out`
+  /// (shaped on first use, storage reused afterwards). Throws SimError on
+  /// an input-size mismatch, naming the model like Simulator::step.
   void stepBatch(const std::vector<const InputVector*>& inputs,
-                 std::vector<StepObservation>& out);
+                 StepObservationBatch& out);
 
   [[nodiscard]] const compile::CompiledModel& compiled() const { return *cm_; }
 
@@ -74,11 +126,11 @@ class BatchSimulator {
   std::vector<StateSnapshot> state_;  // per lane
 };
 
-/// Replay one lane's observation into `cov`, performing exactly the
-/// tracker calls (and in the order) Simulator::step would have made, and
+/// Replay `lane`'s observation into `cov`, performing exactly the tracker
+/// calls (and in the order) Simulator::step would have made, and
 /// returning the same StepResult.
 StepResult recordObservation(const compile::CompiledModel& cm,
-                             const StepObservation& obs,
+                             const StepObservationBatch& obs, int lane,
                              coverage::CoverageTracker& cov);
 
 }  // namespace stcg::sim

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <limits>
 #include <unordered_map>
 
 #include "expr/eval.h"
+#include "expr/simd_ops.h"
 #include "expr/tape_verify.h"
 #include "solver/solver.h"
 
@@ -182,22 +184,22 @@ double overlayStep(const DistanceProgram::Instr& in, const DistView& dist,
         case Op::kLt: {
           const double d = l - r;
           return in.want ? (d < 0.0 ? 0.0 : d + kEps)
-                         : (d >= 0.0 ? 0.0 : -d + kEps);
+                         : (d >= 0.0 ? 0.0 : kEps - d);
         }
         case Op::kLe: {
           const double d = l - r;
           return in.want ? (d <= 0.0 ? 0.0 : d)
-                         : (d > 0.0 ? 0.0 : -d + kEps);
+                         : (d > 0.0 ? 0.0 : kEps - d);
         }
         case Op::kGt: {
           const double d = r - l;
           return in.want ? (d < 0.0 ? 0.0 : d + kEps)
-                         : (d >= 0.0 ? 0.0 : -d + kEps);
+                         : (d >= 0.0 ? 0.0 : kEps - d);
         }
         default: {  // kGe
           const double d = r - l;
           return in.want ? (d <= 0.0 ? 0.0 : d)
-                         : (d > 0.0 ? 0.0 : -d + kEps);
+                         : (d > 0.0 ? 0.0 : kEps - d);
         }
       }
     }
@@ -379,6 +381,7 @@ BatchDistanceTape::BatchDistanceTape(const ExprPtr& goal,
   BuiltDistance built = buildOptimizedDistance(goal);
   prog_ = std::move(built.prog);
   exec_.emplace(std::move(built.tape), lanes);
+  kern_ = &expr::laneKernelsFor(exec_->simdLevel());
   const auto B = static_cast<std::size_t>(exec_->lanes());
   dist_.resize(prog_.slotCount() * B);
   for (std::size_t s = 0; s < prog_.slotCount(); ++s) {
@@ -387,6 +390,25 @@ BatchDistanceTape::BatchDistanceTape(const ExprPtr& goal,
   va_.resize(B);
   vb_.resize(B);
   truth_.resize(B);
+  active_.assign(B, 1);
+
+  // Monotone lower-bound slots for runBounded: the root, plus transitively
+  // the operands of every kSum feeding it. Distances are nonnegative (or
+  // NaN, which fails every `< bound` test), so root >= each such slot and
+  // a slot failing `value < bound` proves the lane's root will too. A
+  // single reverse sweep suffices — slots are written in instruction
+  // order, so a sum's operands are defined strictly earlier.
+  lowerSlot_.assign(prog_.slotCount(), 0);
+  if (prog_.root >= 0) {
+    lowerSlot_[static_cast<std::size_t>(prog_.root)] = 1;
+  }
+  for (auto it = prog_.code.rbegin(); it != prog_.code.rend(); ++it) {
+    if (it->kind == DistanceProgram::Instr::Kind::kSum &&
+        lowerSlot_[static_cast<std::size_t>(it->dst)] != 0) {
+      lowerSlot_[static_cast<std::size_t>(it->a)] = 1;
+      lowerSlot_[static_cast<std::size_t>(it->b)] = 1;
+    }
+  }
 }
 
 void BatchDistanceTape::setPoint(int lane, const std::vector<double>& point) {
@@ -410,118 +432,78 @@ void BatchDistanceTape::setPoint(int lane, const std::vector<double>& point) {
   }
 }
 
-void BatchDistanceTape::run() {
+void BatchDistanceTape::overlayInstr(const DistanceProgram::Instr& in) {
   using Instr = DistanceProgram::Instr;
-  exec_->run();
   const int B = exec_->lanes();
   double* d = dist_.data();
   const auto row = [&](std::int32_t s) {
     return d + static_cast<std::size_t>(s) * static_cast<std::size_t>(B);
   };
-  for (const Instr& in : prog_.code) {
-    double* dst = row(in.dst);
-    switch (in.kind) {
-      case Instr::Kind::kSum: {
-        const double* a = row(in.a);
-        const double* b = row(in.b);
-        for (int l = 0; l < B; ++l) dst[l] = a[l] + b[l];
-        break;
-      }
-      case Instr::Kind::kMin: {
-        const double* a = row(in.a);
-        const double* b = row(in.b);
-        for (int l = 0; l < B; ++l) dst[l] = std::min(a[l], b[l]);
-        break;
-      }
-      case Instr::Kind::kCmp: {
-        exec_->readReals({in.va, false}, va_.data());
-        exec_->readReals({in.vb, false}, vb_.data());
-        const double* a = va_.data();
-        const double* b = vb_.data();
-        // Same double expressions as overlayStep, per lane; the (op,
-        // want) dispatch is hoisted out of the lane loop.
-        switch (in.cmpOp) {
-          case Op::kEq:
-            if (in.want) {
-              for (int l = 0; l < B; ++l) dst[l] = std::fabs(a[l] - b[l]);
-            } else {
-              for (int l = 0; l < B; ++l) {
-                dst[l] = std::fabs(a[l] - b[l]) == 0.0 ? 1.0 : 0.0;
-              }
-            }
-            break;
-          case Op::kNe:
-            if (in.want) {
-              for (int l = 0; l < B; ++l) {
-                dst[l] = std::fabs(a[l] - b[l]) == 0.0 ? 1.0 : 0.0;
-              }
-            } else {
-              for (int l = 0; l < B; ++l) dst[l] = std::fabs(a[l] - b[l]);
-            }
-            break;
-          case Op::kLt:
-            if (in.want) {
-              for (int l = 0; l < B; ++l) {
-                const double x = a[l] - b[l];
-                dst[l] = x < 0.0 ? 0.0 : x + kEps;
-              }
-            } else {
-              for (int l = 0; l < B; ++l) {
-                const double x = a[l] - b[l];
-                dst[l] = x >= 0.0 ? 0.0 : -x + kEps;
-              }
-            }
-            break;
-          case Op::kLe:
-            if (in.want) {
-              for (int l = 0; l < B; ++l) {
-                const double x = a[l] - b[l];
-                dst[l] = x <= 0.0 ? 0.0 : x;
-              }
-            } else {
-              for (int l = 0; l < B; ++l) {
-                const double x = a[l] - b[l];
-                dst[l] = x > 0.0 ? 0.0 : -x + kEps;
-              }
-            }
-            break;
-          case Op::kGt:
-            if (in.want) {
-              for (int l = 0; l < B; ++l) {
-                const double x = b[l] - a[l];
-                dst[l] = x < 0.0 ? 0.0 : x + kEps;
-              }
-            } else {
-              for (int l = 0; l < B; ++l) {
-                const double x = b[l] - a[l];
-                dst[l] = x >= 0.0 ? 0.0 : -x + kEps;
-              }
-            }
-            break;
-          default:  // kGe
-            if (in.want) {
-              for (int l = 0; l < B; ++l) {
-                const double x = b[l] - a[l];
-                dst[l] = x <= 0.0 ? 0.0 : x;
-              }
-            } else {
-              for (int l = 0; l < B; ++l) {
-                const double x = b[l] - a[l];
-                dst[l] = x > 0.0 ? 0.0 : -x + kEps;
-              }
-            }
-            break;
+  double* dst = row(in.dst);
+  switch (in.kind) {
+    case Instr::Kind::kSum:
+      kern_->dSum(dst, row(in.a), row(in.b), B);
+      break;
+    case Instr::Kind::kMin:
+      kern_->dMin(dst, row(in.a), row(in.b), B);
+      break;
+    case Instr::Kind::kCmp:
+      // The dCmp kernel table bakes overlayStep's (op, want) dispatch into
+      // the function pointer: same six distance forms, same operand order,
+      // same kEps, per lane.
+      exec_->readReals({in.va, false}, va_.data());
+      exec_->readReals({in.vb, false}, vb_.data());
+      kern_->dCmp[expr::simd_detail::cmpIndex(in.cmpOp)][in.want ? 1 : 0](
+          dst, va_.data(), vb_.data(), B);
+      break;
+    case Instr::Kind::kTruth:
+      exec_->readBools({in.va, false}, truth_.data());
+      kern_->dTruth(dst, truth_.data(), in.want ? 1 : 0, B);
+      break;
+  }
+}
+
+void BatchDistanceTape::run() {
+  exec_->run();
+  for (const DistanceProgram::Instr& in : prog_.code) overlayInstr(in);
+  const auto B = static_cast<std::uint64_t>(exec_->lanes());
+  stats_.laneInstrsRetired += prog_.code.size() * B;
+  ++stats_.fullRuns;
+}
+
+void BatchDistanceTape::runBounded(double bound) {
+  exec_->run();
+  const int B = exec_->lanes();
+  active_.assign(active_.size(), 1);
+  int nActive = B;
+  const auto& code = prog_.code;
+  std::size_t i = 0;
+  for (; i < code.size() && nActive > 0; ++i) {
+    const DistanceProgram::Instr& in = code[i];
+    overlayInstr(in);
+    stats_.laneInstrsRetired += static_cast<std::uint64_t>(nActive);
+    stats_.laneInstrsSkipped += static_cast<std::uint64_t>(B - nActive);
+    if (lowerSlot_[static_cast<std::size_t>(in.dst)] != 0) {
+      const double* dst = &dist_[static_cast<std::size_t>(in.dst) *
+                                 static_cast<std::size_t>(B)];
+      for (int l = 0; l < B; ++l) {
+        // `!(x < bound)` also catches NaN, whose root is NaN too.
+        if (active_[static_cast<std::size_t>(l)] != 0 && !(dst[l] < bound)) {
+          active_[static_cast<std::size_t>(l)] = 0;
+          --nActive;
         }
-        break;
       }
-      case Instr::Kind::kTruth: {
-        exec_->readBools({in.va, false}, truth_.data());
-        const std::uint64_t want = in.want ? 1 : 0;
-        for (int l = 0; l < B; ++l) {
-          dst[l] = truth_[static_cast<std::size_t>(l)] == want ? 0.0 : 1.0;
-        }
-        break;
-      }
+    }
+  }
+  stats_.laneInstrsSkipped +=
+      static_cast<std::uint64_t>(code.size() - i) *
+      static_cast<std::uint64_t>(B);
+  ++stats_.boundedRuns;
+  double* root = &dist_[static_cast<std::size_t>(prog_.root) *
+                        static_cast<std::size_t>(B)];
+  for (int l = 0; l < B; ++l) {
+    if (active_[static_cast<std::size_t>(l)] == 0) {
+      root[l] = std::numeric_limits<double>::infinity();
     }
   }
 }

@@ -116,6 +116,19 @@ class DistanceTape {
 /// point — the batched neighborhood scorer of the local-search solver.
 class BatchDistanceTape {
  public:
+  /// Cumulative lane-instruction accounting for the overlay executor:
+  /// one "lane instruction" is one overlay instruction evaluated for one
+  /// lane. runBounded() skips lane instructions once a lane is provably
+  /// worse than the bound (and whole instructions once every lane is);
+  /// the retired/skipped split makes the early-exit rate visible in
+  /// bench output without touching the candidates/sec methodology.
+  struct OverlayStats {
+    std::uint64_t laneInstrsRetired = 0;
+    std::uint64_t laneInstrsSkipped = 0;
+    std::uint64_t boundedRuns = 0;
+    std::uint64_t fullRuns = 0;
+  };
+
   BatchDistanceTape(const expr::ExprPtr& goal,
                     const std::vector<expr::VarInfo>& vars, int lanes);
 
@@ -127,12 +140,26 @@ class BatchDistanceTape {
 
   /// Evaluate all lanes: one batched value-tape pass, then the overlay
   /// program with the instruction loop outside and the lane loop inside —
-  /// kSum/kMin become contiguous strided sweeps over the lane-major
-  /// distance slots and kCmp/kTruth read the value tape lane-wide, so the
-  /// overlay's dispatch cost amortizes across lanes exactly like the
-  /// value tape's. Each lane's arithmetic is overlayStep's, operand for
-  /// operand.
+  /// kSum/kMin run the dSum/dMin lane kernels over the lane-major
+  /// distance rows and kCmp/kTruth read the value tape lane-wide into the
+  /// dCmp/dTruth kernels (expr/simd.h), so the overlay's dispatch cost
+  /// amortizes across lanes exactly like the value tape's. Each lane's
+  /// arithmetic is overlayStep's, operand for operand, at every SIMD
+  /// level.
   void run();
+
+  /// run() with per-lane early-exit masks: while sweeping the overlay, a
+  /// lane whose value at any monotone lower-bound slot (the root plus,
+  /// transitively, the operands of kSum instructions feeding it — every
+  /// distance is >= 0, so a partial sum can only grow) fails
+  /// `value < bound` can never come in under `bound`; it is masked off
+  /// and its distance(lane) reports +infinity. Once every lane is masked
+  /// the remaining overlay instructions are skipped outright. Callers
+  /// that only consume distances through `d < bound` comparisons (the
+  /// climber's accept test with `bound` = incumbent cost) observe
+  /// behavior identical to run() — masked lanes fail that test either
+  /// way, so accept order and final suites cannot change.
+  void runBounded(double bound);
 
   [[nodiscard]] double distance(int lane) const {
     return dist_[static_cast<std::size_t>(prog_.root) *
@@ -140,13 +167,22 @@ class BatchDistanceTape {
                  static_cast<std::size_t>(lane)];
   }
 
+  [[nodiscard]] const OverlayStats& overlayStats() const { return stats_; }
+
  private:
+  /// One overlay instruction, full row width, through the lane kernels.
+  void overlayInstr(const DistanceProgram::Instr& in);
+
   std::vector<expr::VarInfo> vars_;
   DistanceProgram prog_;
   std::optional<expr::BatchTapeExecutor> exec_;
-  std::vector<double> dist_;  // [slot * lanes + lane]
-  std::vector<double> va_, vb_;        // lane-wide kCmp operand scratch
-  std::vector<std::uint64_t> truth_;   // lane-wide kTruth scratch
+  const expr::LaneKernels* kern_ = nullptr;  // same level as exec_
+  util::AlignedVec<double> dist_;  // [slot * lanes + lane]
+  util::AlignedVec<double> va_, vb_;      // lane-wide kCmp operand scratch
+  util::AlignedVec<std::uint64_t> truth_; // lane-wide kTruth scratch
+  std::vector<std::uint8_t> lowerSlot_;  // 1 = monotone lower bound of root
+  std::vector<std::uint8_t> active_;     // runBounded lane mask scratch
+  OverlayStats stats_;
 };
 
 }  // namespace stcg::solver

@@ -40,20 +40,20 @@ double atomDistance(const ExprPtr& e, expr::Evaluator& ev, bool want) {
     case Op::kLt: {
       const double d = lhs() - rhs();
       return want ? (d < 0.0 ? 0.0 : d + kEps)
-                  : (d >= 0.0 ? 0.0 : -d + kEps);
+                  : (d >= 0.0 ? 0.0 : kEps - d);
     }
     case Op::kLe: {
       const double d = lhs() - rhs();
-      return want ? (d <= 0.0 ? 0.0 : d) : (d > 0.0 ? 0.0 : -d + kEps);
+      return want ? (d <= 0.0 ? 0.0 : d) : (d > 0.0 ? 0.0 : kEps - d);
     }
     case Op::kGt: {
       const double d = rhs() - lhs();
       return want ? (d < 0.0 ? 0.0 : d + kEps)
-                  : (d >= 0.0 ? 0.0 : -d + kEps);
+                  : (d >= 0.0 ? 0.0 : kEps - d);
     }
     case Op::kGe: {
       const double d = rhs() - lhs();
-      return want ? (d <= 0.0 ? 0.0 : d) : (d > 0.0 ? 0.0 : -d + kEps);
+      return want ? (d <= 0.0 ? 0.0 : d) : (d > 0.0 ? 0.0 : kEps - d);
     }
     default: {
       // Boolean leaf (variable, cast, select of booleans, ...): use its
@@ -249,8 +249,13 @@ SolveResult LocalSearchSolver::solve(const ExprPtr& goal,
           scratch[candidates[ci + l].var] = candidates[ci + l].val;
           bdt->setPoint(static_cast<int>(l), scratch);
         }
-        // Lanes past n keep their previous full-point bindings.
-        bdt->run();
+        // Lanes past n keep their previous full-point bindings. The scan
+        // below only consumes distances through `c < best`, which is
+        // exactly the contract runBounded's early-exit masks preserve:
+        // masked lanes report +inf and fail the test the same way their
+        // true (>= best) distance would, so the accept order — and the
+        // whole search path — matches bdt->run().
+        bdt->runBounded(best);
         // Scan in candidate order and accept the first improvement —
         // the same decision the one-at-a-time climber makes. Trailing
         // lanes of an accepting chunk were evaluated speculatively and

@@ -440,9 +440,9 @@ class Run {
                             .state);
     }
     const std::size_t steps = static_cast<std::size_t>(opt_.randomSeqLen);
-    // obs[i][l]: what lane l observed at step i. All lanes run the full
-    // horizon up front; commit decides below what actually happened.
-    std::vector<std::vector<sim::StepObservation>> obs(steps);
+    // obsPool_[i]: what every lane observed at step i. All lanes run the
+    // full horizon up front; commit decides below what actually happened.
+    if (obsPool_.size() < steps) obsPool_.resize(steps);
     std::vector<const sim::InputVector*> stepInputs(
         static_cast<std::size_t>(B));
     for (std::size_t i = 0; i < steps; ++i) {
@@ -450,7 +450,7 @@ class Run {
         stepInputs[static_cast<std::size_t>(l)] =
             &plans[static_cast<std::size_t>(l)].seq[i];
       }
-      bsim_->stepBatch(stepInputs, obs[i]);
+      bsim_->stepBatch(stepInputs, obsPool_[i]);
     }
 
     for (int k = 0; k < B; ++k) {
@@ -469,16 +469,16 @@ class Run {
       std::vector<sim::InputVector> executed;
       executed.reserve(plan.seq.size());
       for (std::size_t i = 0; i < steps; ++i) {
-        const sim::StepObservation& o = obs[i][static_cast<std::size_t>(k)];
-        const auto res = sim::recordObservation(cm_, o, tracker_);
+        const sim::StepObservationBatch& o = obsPool_[i];
+        const auto res = sim::recordObservation(cm_, o, k, tracker_);
         ++stats_.stepsExecuted;
         executed.push_back(plan.seq[i]);
-        const int existing = tree_.findByState(o.next);
+        const int existing = tree_.findByState(o.next(k));
         if (existing >= 0) {
           cur = existing;
         } else if (tree_.size() <
                    static_cast<std::size_t>(opt_.maxTreeNodes)) {
-          cur = tree_.addChild(cur, plan.seq[i], o.next);
+          cur = tree_.addChild(cur, plan.seq[i], o.next(k));
           grew = true;
           trace("new state S" + std::to_string(cur));
         }
@@ -521,6 +521,10 @@ class Run {
   /// Lockstep lanes for the batched replay expansion; constructed on the
   /// first randomExecutionBatch() call (never when opt_.batch <= 1).
   std::optional<sim::BatchSimulator> bsim_;
+  // Pooled per-step observation batches for randomExecutionBatch():
+  // obsPool_[i] holds step i of every lane, reused across calls (the
+  // commit loop needs every (step, lane) next-state alive at once).
+  std::vector<sim::StepObservationBatch> obsPool_;
   StateTree tree_;
   Deadline deadline_;
   Stopwatch watch_;

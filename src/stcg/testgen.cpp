@@ -232,7 +232,7 @@ coverage::CoverageTracker replaySuite(const compile::CompiledModel& cm,
   };
   for (int l = 0; l < B; ++l) active += feed(l) ? 1 : 0;
   std::vector<const sim::InputVector*> in(lanes);
-  std::vector<sim::StepObservation> obs;
+  sim::StepObservationBatch obs;  // pooled: shaped once, reused per step
   while (active > 0) {
     for (int l = 0; l < B; ++l) {
       const std::size_t t = laneTest[static_cast<std::size_t>(l)];
@@ -244,7 +244,7 @@ coverage::CoverageTracker replaySuite(const compile::CompiledModel& cm,
     for (int l = 0; l < B; ++l) {
       const std::size_t t = laneTest[static_cast<std::size_t>(l)];
       if (t == kIdle) continue;
-      (void)sim::recordObservation(cm, obs[static_cast<std::size_t>(l)], cov);
+      (void)sim::recordObservation(cm, obs, l, cov);
       if (++laneStep[static_cast<std::size_t>(l)] >= tests[t].steps.size()) {
         if (!feed(l)) --active;
       }

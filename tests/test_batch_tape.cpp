@@ -398,7 +398,7 @@ TEST_P(BatchSimSweep, LanesAgreeWithScalarSimulatorsStepForStep) {
   std::vector<sim::StateSnapshot> marks(B);
   std::vector<sim::InputVector> ins(B);
   std::vector<const sim::InputVector*> inPtrs(B);
-  std::vector<sim::StepObservation> obs;
+  sim::StepObservationBatch obs;
   for (int stepNo = 0; stepNo < 150; ++stepNo) {
     if (stepNo == 60) {
       for (int l = 0; l < B; ++l) marks[l] = bsim.state(l);
@@ -419,18 +419,16 @@ TEST_P(BatchSimSweep, LanesAgreeWithScalarSimulatorsStepForStep) {
       const auto rs =
           scalarSim.step(ins[static_cast<std::size_t>(l)],
                          covScalar[static_cast<std::size_t>(l)].get());
-      const auto rb =
-          sim::recordObservation(cm, obs[static_cast<std::size_t>(l)],
-                                 *covBatch[static_cast<std::size_t>(l)]);
+      const auto rb = sim::recordObservation(
+          cm, obs, l, *covBatch[static_cast<std::size_t>(l)]);
       EXPECT_EQ(rs.newlyCovered, rb.newlyCovered)
           << "step " << stepNo << " lane " << l;
       EXPECT_EQ(rs.newConditionObservation, rb.newConditionObservation)
           << "step " << stepNo << " lane " << l;
       const auto& outS = scalarSim.lastOutputs();
-      const auto& outB = obs[static_cast<std::size_t>(l)].outputs;
-      ASSERT_EQ(outS.size(), outB.size());
+      ASSERT_EQ(outS.size(), obs.outputCount());
       for (std::size_t i = 0; i < outS.size(); ++i) {
-        EXPECT_TRUE(sameScalar(outS[i], outB[i]))
+        EXPECT_TRUE(sameScalar(outS[i], obs.output(l, i)))
             << "step " << stepNo << " lane " << l << " output " << i;
       }
       EXPECT_TRUE(scalarSim.state() == bsim.state(l))

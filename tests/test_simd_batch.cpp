@@ -1,0 +1,732 @@
+// SIMD dispatch-parity and early-exit-mask tests (DESIGN.md §5i).
+//
+//   - runtime dispatch: detection invariants, forceSimdLevel pinning an
+//     executor's path at construction, unavailable levels degrading to
+//     the scalar table,
+//   - the STCG_SIMD-style env grammar through util::envFlag/envEnum
+//     (exercised on scratch variable names: the real STCG_SIMD parse is
+//     cached process-wide),
+//   - dispatch parity: random-DAG differential fuzz plus targeted
+//     special values (NaN, ±inf, ±0, fmin/fmax equal operands, int
+//     wrap extremes, division by zero) pinned bitwise between the
+//     scalar kernels, the vector kernels, and the scalar TapeExecutor,
+//   - the Korel/Tracey kCmp distance forms (all six comparisons, both
+//     wants, plus kTruth) bitwise across levels and vs DistanceTape,
+//   - an 8-model sweep: BatchSimulator observations, outputs, and state
+//     hashes bit-identical scalar vs vectorized,
+//   - early-exit masks: runBounded() vs run() equivalence for callers
+//     that consume distances through `d < bound`, masked lanes pinned
+//     to +inf, the climber's accept order provably unchanged, and the
+//     retired/skipped overlay accounting closed,
+//   - lane-parallel interval slots: intervalVerdictsBatch vs per-env
+//     intervalVerdicts, and sub-box dead-branch proofs validated
+//     against random simulation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/interval_tape.h"
+#include "analysis/reachability.h"
+#include "benchmodels/benchmodels.h"
+#include "compile/compiler.h"
+#include "coverage/coverage.h"
+#include "expr/batch_tape.h"
+#include "expr/builder.h"
+#include "expr/simd.h"
+#include "expr/tape.h"
+#include "interval/interval.h"
+#include "sim/batch_simulator.h"
+#include "sim/simulator.h"
+#include "solver/distance_tape.h"
+#include "util/env.h"
+#include "util/rng.h"
+
+#include "fuzz_dag.h"
+
+namespace stcg {
+namespace {
+
+using fuzz::FuzzDag;
+using fuzz::makeFuzzDag;
+using fuzz::randomEnv;
+using fuzz::randomScalarFor;
+using fuzz::sameBits;
+using fuzz::sameScalar;
+
+using expr::Env;
+using expr::ExprPtr;
+using expr::Scalar;
+using expr::SimdLevel;
+using expr::SlotRef;
+using expr::Type;
+using expr::VarInfo;
+using interval::Interval;
+
+constexpr int kLanes = 8;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kQnan = std::numeric_limits<double>::quiet_NaN();
+
+/// Pin activeSimdLevel() for a scope; executors constructed inside keep
+/// the pinned kernel table for their whole lifetime.
+class ForcedLevel {
+ public:
+  explicit ForcedLevel(SimdLevel lvl) { expr::forceSimdLevel(lvl); }
+  ~ForcedLevel() { expr::forceSimdLevel(std::nullopt); }
+  ForcedLevel(const ForcedLevel&) = delete;
+  ForcedLevel& operator=(const ForcedLevel&) = delete;
+};
+
+/// The best non-scalar level on this machine, or nullopt when the build
+/// or CPU has none (parity tests skip: there is nothing to compare).
+std::optional<SimdLevel> vectorLevel() {
+  const SimdLevel det = expr::detectedSimdLevel();
+  if (det == SimdLevel::kScalar) return std::nullopt;
+  return det;
+}
+
+// ----- Dispatch: detection, pinning, fallback ------------------------------
+
+TEST(SimdDispatch, ScalarAlwaysAvailableAndActiveLevelIsAvailable) {
+  EXPECT_TRUE(expr::simdLevelAvailable(SimdLevel::kScalar));
+  EXPECT_TRUE(expr::simdLevelAvailable(expr::detectedSimdLevel()));
+  EXPECT_TRUE(expr::simdLevelAvailable(expr::activeSimdLevel()));
+  EXPECT_STREQ(expr::simdLevelName(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(expr::simdLevelName(SimdLevel::kAvx2), "avx2");
+  EXPECT_STREQ(expr::simdLevelName(SimdLevel::kNeon), "neon");
+}
+
+TEST(SimdDispatch, ForceLevelPinsExecutorsAtConstruction) {
+  const VarInfo x{0, "x", Type::kReal, -10, 10};
+  expr::TapeBuilder b;
+  (void)b.addRoot(expr::addE(expr::mkVar(x), expr::cReal(1.0)));
+  const auto tape = b.finish();
+
+  {
+    ForcedLevel pin(SimdLevel::kScalar);
+    expr::BatchTapeExecutor bx(tape, 4);
+    EXPECT_EQ(bx.simdLevel(), SimdLevel::kScalar);
+  }
+  if (const auto vec = vectorLevel()) {
+    ForcedLevel pin(*vec);
+    expr::BatchTapeExecutor bx(tape, 4);
+    EXPECT_EQ(bx.simdLevel(), *vec);
+    // Restoring the hook must not retro-actively change the pinned path.
+    expr::forceSimdLevel(std::nullopt);
+    EXPECT_EQ(bx.simdLevel(), *vec);
+  }
+  // An executor constructed after the guard reverts to the active level.
+  expr::BatchTapeExecutor bx(tape, 4);
+  EXPECT_EQ(bx.simdLevel(), expr::activeSimdLevel());
+}
+
+TEST(SimdDispatch, UnavailableLevelsResolveToTheScalarTable) {
+  for (const SimdLevel lvl :
+       {SimdLevel::kScalar, SimdLevel::kAvx2, SimdLevel::kNeon}) {
+    if (expr::simdLevelAvailable(lvl)) continue;
+    EXPECT_EQ(&expr::laneKernelsFor(lvl),
+              &expr::laneKernelsFor(SimdLevel::kScalar))
+        << expr::simdLevelName(lvl);
+  }
+}
+
+// ----- The STCG_SIMD env grammar (on scratch variables) --------------------
+
+TEST(SimdEnv, EnumGrammarMatchesTheSimdSpellings) {
+  // The accepted STCG_SIMD spellings, in the order simd.cpp passes them.
+  const std::vector<std::string> allowed = {"0",    "scalar", "avx2",
+                                            "neon", "1",      "auto"};
+  const char* var = "STCG_TEST_SIMD_ENUM";
+  ::unsetenv(var);
+  EXPECT_EQ(util::envEnum(var, allowed), -1) << "unset -> -1";
+  ::setenv(var, "", 1);
+  EXPECT_EQ(util::envEnum(var, allowed), -1) << "empty -> -1";
+  ::setenv(var, "scalar", 1);
+  EXPECT_EQ(util::envEnum(var, allowed), 1);
+  ::setenv(var, "AVX2", 1);
+  EXPECT_EQ(util::envEnum(var, allowed), 2) << "case-insensitive";
+  ::setenv(var, "auto", 1);
+  EXPECT_EQ(util::envEnum(var, allowed), 5);
+
+  const std::size_t before = util::envDiagnosticCount();
+  ::setenv(var, "avx512-definitely-not-a-level", 1);
+  EXPECT_EQ(util::envEnum(var, allowed), -1);
+  EXPECT_EQ(util::envDiagnosticCount(), before + 1)
+      << "unrecognized value -> one diagnostic";
+  EXPECT_EQ(util::envEnum(var, allowed), -1);
+  EXPECT_EQ(util::envDiagnosticCount(), before + 1)
+      << "repeated parse of the same (variable, value) stays silent";
+  ::unsetenv(var);
+}
+
+TEST(SimdEnv, FlagGrammarKeepsDefaultsOnGarbage) {
+  const char* var = "STCG_TEST_SIMD_FLAG";
+  ::unsetenv(var);
+  EXPECT_TRUE(util::envFlag(var, true));
+  EXPECT_FALSE(util::envFlag(var, false));
+  for (const char* on : {"1", "true", "ON", "yes"}) {
+    ::setenv(var, on, 1);
+    EXPECT_TRUE(util::envFlag(var, false)) << on;
+  }
+  for (const char* off : {"0", "FALSE", "off", "No"}) {
+    ::setenv(var, off, 1);
+    EXPECT_FALSE(util::envFlag(var, true)) << off;
+  }
+  const std::size_t before = util::envDiagnosticCount();
+  ::setenv(var, "definitely-not-boolean", 1);
+  EXPECT_TRUE(util::envFlag(var, true)) << "garbage keeps the default";
+  EXPECT_GE(util::envDiagnosticCount(), before + 1);
+  ::unsetenv(var);
+}
+
+// ----- Dispatch parity: random-DAG differential fuzz -----------------------
+
+TEST(SimdParityFuzz, RandomDagLanesBitIdenticalAcrossLevels) {
+  const auto vec = vectorLevel();
+  if (!vec) GTEST_SKIP() << "no vector unit: nothing to compare";
+  Rng rng(52801);
+  for (int trial = 0; trial < 12; ++trial) {
+    FuzzDag d = makeFuzzDag(rng, /*withArrays=*/true);
+    expr::TapeBuilder b;
+    std::vector<ExprPtr> roots;
+    std::vector<SlotRef> slots;
+    const auto addRootFrom = [&](const std::vector<ExprPtr>& pool) {
+      const auto& e = pool[rng.index(pool.size())];
+      roots.push_back(e);
+      slots.push_back(b.addRoot(e));
+    };
+    for (int i = 0; i < 3; ++i) addRootFrom(d.bools);
+    for (int i = 0; i < 2; ++i) {
+      addRootFrom(d.ints);
+      addRootFrom(d.reals);
+    }
+    addRootFrom(d.realArrays);
+    addRootFrom(d.intArrays);
+    const auto tape = b.finish();
+
+    std::unique_ptr<expr::BatchTapeExecutor> sx, vx;
+    {
+      ForcedLevel pin(SimdLevel::kScalar);
+      sx = std::make_unique<expr::BatchTapeExecutor>(tape, kLanes);
+    }
+    {
+      ForcedLevel pin(*vec);
+      vx = std::make_unique<expr::BatchTapeExecutor>(tape, kLanes);
+    }
+    ASSERT_EQ(sx->simdLevel(), SimdLevel::kScalar);
+    ASSERT_EQ(vx->simdLevel(), *vec);
+
+    // A scalar TapeExecutor per lane as the third, kernel-free oracle.
+    std::vector<std::unique_ptr<expr::TapeExecutor>> refs;
+    for (int l = 0; l < kLanes; ++l) {
+      const Env env = randomEnv(rng, d);
+      refs.push_back(std::make_unique<expr::TapeExecutor>(tape));
+      refs.back()->bindEnv(env);
+      sx->bindEnv(l, env);
+      vx->bindEnv(l, env);
+    }
+    const auto runAndCheck = [&](const char* what) {
+      sx->run();
+      vx->run();
+      for (int l = 0; l < kLanes; ++l) {
+        auto& ref = *refs[static_cast<std::size_t>(l)];
+        ref.run();
+        for (std::size_t i = 0; i < roots.size(); ++i) {
+          if (roots[i]->isArray()) {
+            const auto& a = ref.array(slots[i]);
+            const auto& sa = sx->array(slots[i], l);
+            const auto& va = vx->array(slots[i], l);
+            ASSERT_EQ(a.size(), sa.size());
+            ASSERT_EQ(a.size(), va.size());
+            for (std::size_t j = 0; j < a.size(); ++j) {
+              EXPECT_TRUE(sameScalar(a[j], sa[j]))
+                  << what << " trial " << trial << " lane " << l << " root "
+                  << i << " [" << j << "] (scalar kernels)";
+              EXPECT_TRUE(sameScalar(sa[j], va[j]))
+                  << what << " trial " << trial << " lane " << l << " root "
+                  << i << " [" << j << "] (vector kernels)";
+            }
+          } else {
+            EXPECT_TRUE(sameScalar(ref.scalar(slots[i]), sx->scalar(slots[i], l)))
+                << what << " trial " << trial << " lane " << l << " root " << i
+                << " (scalar kernels)";
+            EXPECT_TRUE(sameScalar(sx->scalar(slots[i], l),
+                                   vx->scalar(slots[i], l)))
+                << what << " trial " << trial << " lane " << l << " root " << i
+                << " (vector kernels)";
+          }
+        }
+      }
+    };
+    runAndCheck("initial");
+    for (int round = 0; round < 2; ++round) {
+      for (int l = 0; l < kLanes; ++l) {
+        for (int m = 0; m < 2; ++m) {
+          const auto& v = d.vars[rng.index(d.vars.size())];
+          const Scalar nv = randomScalarFor(rng, v);
+          refs[static_cast<std::size_t>(l)]->setVar(v.id, nv);
+          sx->setVar(l, v.id, nv);
+          vx->setVar(l, v.id, nv);
+        }
+      }
+      runAndCheck("rebound");
+    }
+  }
+}
+
+// ----- Dispatch parity: targeted special values ----------------------------
+
+TEST(SimdParity, SpecialValuesBitIdenticalAcrossLevels) {
+  const auto vec = vectorLevel();
+  if (!vec) GTEST_SKIP() << "no vector unit: nothing to compare";
+
+  const VarInfo r0{0, "r0", Type::kReal, -100, 100};
+  const VarInfo r1{1, "r1", Type::kReal, -100, 100};
+  const VarInfo i0{2, "i0", Type::kInt, -100, 100};
+  const VarInfo i1{3, "i1", Type::kInt, -100, 100};
+  const VarInfo b0{4, "b0", Type::kBool, 0, 1};
+  const VarInfo b1{5, "b1", Type::kBool, 0, 1};
+  const auto R0 = expr::mkVar(r0), R1 = expr::mkVar(r1);
+  const auto I0 = expr::mkVar(i0), I1 = expr::mkVar(i1);
+  const auto B0 = expr::mkVar(b0), B1 = expr::mkVar(b1);
+
+  expr::TapeBuilder b;
+  std::vector<SlotRef> slots;
+  const auto root = [&](ExprPtr e) { slots.push_back(b.addRoot(std::move(e))); };
+  // Real kernels: arithmetic, guarded division, fmin/fmax, neg/abs, the
+  // six comparisons.
+  root(expr::addE(R0, R1));
+  root(expr::subE(R0, R1));
+  root(expr::mulE(R0, R1));
+  root(expr::divE(R0, R1));
+  root(expr::minE(R0, R1));
+  root(expr::maxE(R0, R1));
+  root(expr::negE(R0));
+  root(expr::absE(R0));
+  root(expr::ltE(R0, R1));
+  root(expr::leE(R0, R1));
+  root(expr::gtE(R0, R1));
+  root(expr::geE(R0, R1));
+  root(expr::eqE(R0, R1));
+  root(expr::neE(R0, R1));
+  // Int kernels (wrap semantics) and the guarded int division.
+  root(expr::addE(I0, I1));
+  root(expr::subE(I0, I1));
+  root(expr::minE(I0, I1));
+  root(expr::maxE(I0, I1));
+  root(expr::negE(I0));
+  root(expr::absE(I0));
+  root(expr::divE(I0, I1));
+  root(expr::modE(I0, I1));
+  // Bool kernels and the raw-payload select.
+  root(expr::andE(B0, B1));
+  root(expr::orE(B0, B1));
+  root(expr::xorE(B0, B1));
+  root(expr::notE(B0));
+  root(expr::iteE(B0, R0, R1));
+  root(expr::iteE(B1, I0, I1));
+  const auto tape = b.finish();
+
+  // One special pair per lane: NaN on either side and both, ±0 in both
+  // orders (fmin/fmax equal-operand: glibc returns the SECOND operand),
+  // opposite infinities (their sum is NaN), equal infinities, and an
+  // ordinary equal pair. Int lanes mix signs and hit the guarded zero
+  // divisors at the same time (the engine's int domain excludes the
+  // overflow extremes — the fuzz harness clamps for the same reason).
+  struct LaneEnv {
+    double r0v, r1v;
+    std::int64_t i0v, i1v;
+    bool b0v, b1v;
+  };
+  const std::vector<LaneEnv> laneEnvs = {
+      {kQnan, 1.0, 83, 7, true, false},
+      {1.0, kQnan, -100, -1, false, true},
+      {kQnan, kQnan, -100, -100, true, true},
+      {+0.0, -0.0, 7, 0, false, false},
+      {-0.0, +0.0, -7, 0, true, false},
+      {kInf, -kInf, 100, 100, false, true},
+      {kInf, kInf, -100, 1, true, true},
+      {3.5, 3.5, 0, 0, false, false},
+  };
+  const int B = static_cast<int>(laneEnvs.size());
+
+  std::unique_ptr<expr::BatchTapeExecutor> sx, vx;
+  {
+    ForcedLevel pin(SimdLevel::kScalar);
+    sx = std::make_unique<expr::BatchTapeExecutor>(tape, B);
+  }
+  {
+    ForcedLevel pin(*vec);
+    vx = std::make_unique<expr::BatchTapeExecutor>(tape, B);
+  }
+  std::vector<std::unique_ptr<expr::TapeExecutor>> refs;
+  for (int l = 0; l < B; ++l) {
+    const LaneEnv& le = laneEnvs[static_cast<std::size_t>(l)];
+    Env env;
+    env.set(r0.id, Scalar::r(le.r0v));
+    env.set(r1.id, Scalar::r(le.r1v));
+    env.set(i0.id, Scalar::i(le.i0v));
+    env.set(i1.id, Scalar::i(le.i1v));
+    env.set(b0.id, Scalar::b(le.b0v));
+    env.set(b1.id, Scalar::b(le.b1v));
+    refs.push_back(std::make_unique<expr::TapeExecutor>(tape));
+    refs.back()->bindEnv(env);
+    sx->bindEnv(l, env);
+    vx->bindEnv(l, env);
+  }
+  sx->run();
+  vx->run();
+  for (int l = 0; l < B; ++l) {
+    auto& ref = *refs[static_cast<std::size_t>(l)];
+    ref.run();
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      EXPECT_TRUE(sameScalar(ref.scalar(slots[i]), sx->scalar(slots[i], l)))
+          << "lane " << l << " root " << i << " (scalar kernels vs tree)";
+      EXPECT_TRUE(sameScalar(sx->scalar(slots[i], l), vx->scalar(slots[i], l)))
+          << "lane " << l << " root " << i << " (vector vs scalar kernels)";
+    }
+  }
+  // Spot-check the operand-order contract survived vectorization: with
+  // r0 = +0.0, r1 = -0.0 (lane 3), runtime glibc fmin/fmax return the
+  // FIRST operand when the arguments compare equal (simd_ops.h).
+  EXPECT_TRUE(sameBits(vx->scalar(slots[4], 3).toReal(), +0.0));
+  EXPECT_TRUE(sameBits(vx->scalar(slots[5], 3).toReal(), +0.0));
+}
+
+// ----- Dispatch parity: Korel/Tracey kCmp distance forms -------------------
+
+TEST(SimdParity, DistanceKCmpFormsBitIdenticalAcrossLevels) {
+  const auto vec = vectorLevel();
+  if (!vec) GTEST_SKIP() << "no vector unit: nothing to compare";
+
+  const VarInfo x{0, "x", Type::kReal, -1000, 1000};
+  const VarInfo y{1, "y", Type::kReal, -1000, 1000};
+  const std::vector<VarInfo> vars = {x, y};
+  const auto X = expr::mkVar(x), Y = expr::mkVar(y);
+
+  std::vector<ExprPtr> goals;
+  for (const auto& mk : {expr::ltE, expr::leE, expr::gtE, expr::geE,
+                         expr::eqE, expr::neE}) {
+    goals.push_back(mk(X, Y));             // dCmp[ix][want=true]
+    goals.push_back(expr::notE(mk(X, Y))); // dCmp[ix][want=false]
+  }
+  // A composite goal (kSum + kMin over the forms) and a bare truth goal.
+  goals.push_back(expr::orE(expr::andE(expr::ltE(X, Y), expr::geE(X, Y)),
+                            expr::eqE(X, Y)));
+
+  // Special pairs first, then deterministic random points.
+  std::vector<std::vector<double>> points = {
+      {kQnan, 1.0}, {1.0, kQnan}, {kInf, -kInf}, {-0.0, +0.0},
+      {3.5, 3.5},   {-2.0, 7.0},
+  };
+  Rng rng(9917);
+  while (points.size() < 4 * kLanes) {
+    points.push_back({rng.uniformReal(-1000, 1000),
+                      rng.uniformReal(-1000, 1000)});
+  }
+
+  for (std::size_t g = 0; g < goals.size(); ++g) {
+    solver::DistanceTape oracle(goals[g], vars);
+    std::unique_ptr<solver::BatchDistanceTape> sx, vx;
+    {
+      ForcedLevel pin(SimdLevel::kScalar);
+      sx = std::make_unique<solver::BatchDistanceTape>(goals[g], vars, kLanes);
+    }
+    {
+      ForcedLevel pin(*vec);
+      vx = std::make_unique<solver::BatchDistanceTape>(goals[g], vars, kLanes);
+    }
+    for (std::size_t base = 0; base + kLanes <= points.size();
+         base += kLanes) {
+      for (int l = 0; l < kLanes; ++l) {
+        sx->setPoint(l, points[base + static_cast<std::size_t>(l)]);
+        vx->setPoint(l, points[base + static_cast<std::size_t>(l)]);
+      }
+      sx->run();
+      vx->run();
+      for (int l = 0; l < kLanes; ++l) {
+        const double ref =
+            oracle.rebind(points[base + static_cast<std::size_t>(l)]);
+        EXPECT_TRUE(sameBits(ref, sx->distance(l)))
+            << "goal " << g << " point " << base + l << " (scalar kernels)";
+        EXPECT_TRUE(sameBits(sx->distance(l), vx->distance(l)))
+            << "goal " << g << " point " << base + l << " (vector kernels)";
+      }
+    }
+  }
+}
+
+// ----- Dispatch parity: 8-model simulation sweep ---------------------------
+
+class SimdModelSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SimdModelSweep, BatchSimulationBitIdenticalScalarVsVector) {
+  const auto vec = vectorLevel();
+  if (!vec) GTEST_SKIP() << "no vector unit: nothing to compare";
+  const auto cm = compile::compile(bench::buildBenchModel(GetParam()));
+  constexpr int B = 4;
+
+  std::unique_ptr<sim::BatchSimulator> ssim, vsim;
+  {
+    ForcedLevel pin(SimdLevel::kScalar);
+    ssim = std::make_unique<sim::BatchSimulator>(cm, B);
+  }
+  {
+    ForcedLevel pin(*vec);
+    vsim = std::make_unique<sim::BatchSimulator>(cm, B);
+  }
+
+  Rng rng(41117);
+  std::vector<sim::InputVector> ins(B);
+  std::vector<const sim::InputVector*> inPtrs(B);
+  sim::StepObservationBatch obsS, obsV;
+  const std::size_t nDecisions = cm.decisions.size();
+  for (int stepNo = 0; stepNo < 80; ++stepNo) {
+    for (int l = 0; l < B; ++l) {
+      ins[static_cast<std::size_t>(l)] = sim::randomInput(cm, rng);
+      inPtrs[static_cast<std::size_t>(l)] = &ins[static_cast<std::size_t>(l)];
+    }
+    ssim->stepBatch(inPtrs, obsS);
+    vsim->stepBatch(inPtrs, obsV);
+    for (int l = 0; l < B; ++l) {
+      ASSERT_EQ(obsS.outputCount(), obsV.outputCount());
+      for (std::size_t i = 0; i < obsS.outputCount(); ++i) {
+        EXPECT_TRUE(sameScalar(obsS.output(l, i), obsV.output(l, i)))
+            << "step " << stepNo << " lane " << l << " output " << i;
+      }
+      for (std::size_t di = 0; di < nDecisions; ++di) {
+        ASSERT_EQ(obsS.decisionTaken(l, di), obsV.decisionTaken(l, di))
+            << "step " << stepNo << " lane " << l << " decision " << di;
+        if (obsS.decisionTaken(l, di) < 0) continue;
+        const std::size_t nc = obsS.conditionCount(di);
+        ASSERT_EQ(nc, obsV.conditionCount(di));
+        for (std::size_t ci = 0; ci < nc; ++ci) {
+          EXPECT_EQ(obsS.conditionValues(l, di)[ci],
+                    obsV.conditionValues(l, di)[ci])
+              << "step " << stepNo << " lane " << l << " decision " << di
+              << " condition " << ci;
+        }
+      }
+      EXPECT_TRUE(ssim->state(l) == vsim->state(l))
+          << "step " << stepNo << " lane " << l;
+      EXPECT_EQ(sim::snapshotHash(ssim->state(l)),
+                sim::snapshotHash(vsim->state(l)))
+          << "step " << stepNo << " lane " << l;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, SimdModelSweep,
+                         ::testing::Values("CPUTask", "AFC", "TWC",
+                                           "NICProtocol", "UTPC", "LANSwitch",
+                                           "LEDLC", "TCP"));
+
+// ----- Early-exit masks: runBounded vs run ---------------------------------
+
+// Random conjunction/disjunction goals over the fuzz variables: random
+// and/or mixing inside for kMin coverage, but always a top-level andE —
+// a kMin root has no monotone lower-bound slot before the final
+// instruction, so an or-rooted goal can never skip anything and the
+// skip-rate assertions below would be vacuous.
+ExprPtr mixedGoal(Rng& rng, const FuzzDag& d) {
+  ExprPtr g = d.bools[rng.index(d.bools.size())];
+  for (int i = 0; i < 2; ++i) {
+    const auto& b = d.bools[rng.index(d.bools.size())];
+    g = rng.chance(0.6) ? expr::andE(std::move(g), b)
+                        : expr::orE(std::move(g), b);
+  }
+  // Conjoin two fresh variable comparisons (never constant-foldable, so
+  // the top-level kSum survives even when g collapses to a constant).
+  ExprPtr c1 = expr::leE(expr::mkVar(d.vars[5]), expr::mkVar(d.vars[6]));
+  ExprPtr c2 = expr::geE(expr::mkVar(d.vars[2]), expr::mkVar(d.vars[3]));
+  return expr::andE(std::move(c1), expr::andE(std::move(g), std::move(c2)));
+}
+
+std::vector<double> randomPoint(Rng& rng, const std::vector<VarInfo>& vars) {
+  std::vector<double> p(vars.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const auto& v = vars[i];
+    p[i] = v.type == Type::kReal
+               ? rng.uniformReal(v.lo, v.hi)
+               : static_cast<double>(
+                     rng.uniformInt(static_cast<std::int64_t>(v.lo),
+                                    static_cast<std::int64_t>(v.hi)));
+  }
+  return p;
+}
+
+TEST(EarlyExitMask, BoundedDistancesEquivalentForBoundConsumers) {
+  Rng rng(77031);
+  for (int trial = 0; trial < 10; ++trial) {
+    FuzzDag d = makeFuzzDag(rng, /*withArrays=*/false);
+    const ExprPtr goal = mixedGoal(rng, d);
+    solver::BatchDistanceTape full(goal, d.vars, kLanes);
+    solver::BatchDistanceTape mask(goal, d.vars, kLanes);
+    solver::DistanceTape probe(goal, d.vars);  // overlay size for accounting
+
+    std::uint64_t boundedRuns = 0;
+    for (int round = 0; round < 6; ++round) {
+      std::vector<std::vector<double>> pts;
+      for (int l = 0; l < kLanes; ++l) {
+        pts.push_back(randomPoint(rng, d.vars));
+        full.setPoint(l, pts.back());
+        mask.setPoint(l, pts.back());
+      }
+      full.run();
+      // Bounds from loose to degenerate: +inf masks nothing, the lane
+      // distances themselves make some lanes borderline, 0 masks all.
+      std::vector<double> bounds = {kInf, 0.0};
+      for (int l = 0; l < kLanes; l += 3) bounds.push_back(full.distance(l));
+      for (const double bound : bounds) {
+        mask.runBounded(bound);
+        ++boundedRuns;
+        for (int l = 0; l < kLanes; ++l) {
+          const double df = full.distance(l);
+          const double db = mask.distance(l);
+          // The contract consumers rely on: the accept test is identical.
+          EXPECT_EQ(db < bound, df < bound)
+              << "trial " << trial << " round " << round << " lane " << l
+              << " bound " << bound;
+          if (df < bound) {
+            EXPECT_TRUE(sameBits(df, db))
+                << "surviving lanes must carry the exact distance";
+          } else if (!sameBits(df, db)) {
+            EXPECT_EQ(db, kInf)
+                << "masked lanes must report +inf, nothing else";
+          }
+        }
+      }
+    }
+    // The retired/skipped accounting closes: every (instruction, lane)
+    // pair of every run is counted exactly once, on one side or the other.
+    const auto& st = mask.overlayStats();
+    EXPECT_EQ(st.boundedRuns, boundedRuns);
+    EXPECT_EQ(st.fullRuns, 0u);
+    EXPECT_EQ(st.laneInstrsRetired + st.laneInstrsSkipped,
+              static_cast<std::uint64_t>(probe.overlayInstrCount()) * kLanes *
+                  boundedRuns)
+        << "trial " << trial;
+    EXPECT_GT(st.laneInstrsSkipped, 0u)
+        << "the bound=0 rounds must mask every lane";
+  }
+}
+
+TEST(EarlyExitMask, ClimberAcceptOrderAndFinalBestUnchanged) {
+  Rng rng(90121);
+  for (int trial = 0; trial < 8; ++trial) {
+    FuzzDag d = makeFuzzDag(rng, /*withArrays=*/false);
+    const ExprPtr goal = mixedGoal(rng, d);
+    // The same deterministic candidate stream scanned twice: once with
+    // full evaluation, once through the bounded path exactly as the
+    // climber uses it (bound = incumbent at chunk start, sequential
+    // accept commit inside the chunk).
+    std::vector<std::vector<double>> pts;
+    for (int i = 0; i < 48 * kLanes; ++i) pts.push_back(randomPoint(rng, d.vars));
+
+    solver::BatchDistanceTape full(goal, d.vars, kLanes);
+    solver::BatchDistanceTape mask(goal, d.vars, kLanes);
+    double bestFull = kInf, bestMask = kInf;
+    std::vector<std::size_t> accFull, accMask;
+    for (std::size_t base = 0; base + kLanes <= pts.size(); base += kLanes) {
+      for (int l = 0; l < kLanes; ++l) {
+        full.setPoint(l, pts[base + static_cast<std::size_t>(l)]);
+        mask.setPoint(l, pts[base + static_cast<std::size_t>(l)]);
+      }
+      full.run();
+      mask.runBounded(bestMask);
+      for (int l = 0; l < kLanes; ++l) {
+        if (full.distance(l) < bestFull) {
+          bestFull = full.distance(l);
+          accFull.push_back(base + static_cast<std::size_t>(l));
+        }
+        if (mask.distance(l) < bestMask) {
+          bestMask = mask.distance(l);
+          accMask.push_back(base + static_cast<std::size_t>(l));
+        }
+      }
+    }
+    EXPECT_EQ(accFull, accMask)
+        << "trial " << trial << ": masking must never change accept order";
+    EXPECT_TRUE(sameBits(bestFull, bestMask)) << "trial " << trial;
+  }
+}
+
+// ----- Lane-parallel interval slots ----------------------------------------
+
+TEST(BatchInterval, LaneVerdictsMatchPerEnvVerdictsOnBenchModels) {
+  Rng rng(66180);
+  for (const auto& info : bench::allBenchModels()) {
+    const auto cm = compile::compile(info.build());
+    const auto inv = analysis::computeStateInvariant(cm);
+    std::vector<ExprPtr> roots;
+    for (const auto& br : cm.branches) roots.push_back(br.pathConstraint);
+    if (roots.empty()) continue;
+
+    // One random input sub-box per lane on top of the state invariant —
+    // the exact shape the sub-box refutation layer binds.
+    std::vector<analysis::IntervalEnv> envs;
+    for (int l = 0; l < kLanes; ++l) {
+      analysis::IntervalEnv env = inv.env;
+      for (const auto& in : cm.inputs) {
+        const auto& v = in.info;
+        if (v.type == Type::kReal) {
+          double a = rng.uniformReal(v.lo, v.hi);
+          double bb = rng.uniformReal(v.lo, v.hi);
+          if (a > bb) std::swap(a, bb);
+          env.set(v.id, Interval(a, bb));
+        } else {
+          std::int64_t a = rng.uniformInt(static_cast<std::int64_t>(v.lo),
+                                          static_cast<std::int64_t>(v.hi));
+          std::int64_t bb = rng.uniformInt(static_cast<std::int64_t>(v.lo),
+                                           static_cast<std::int64_t>(v.hi));
+          if (a > bb) std::swap(a, bb);
+          env.set(v.id, Interval(static_cast<double>(a),
+                                 static_cast<double>(bb)));
+        }
+      }
+      envs.push_back(std::move(env));
+    }
+
+    const auto lanes = analysis::intervalVerdictsBatch(roots, envs);
+    ASSERT_EQ(lanes.size(), envs.size()) << info.name;
+    for (std::size_t e = 0; e < envs.size(); ++e) {
+      const auto single = analysis::intervalVerdicts(roots, envs[e]);
+      ASSERT_EQ(lanes[e].size(), single.size()) << info.name;
+      for (std::size_t i = 0; i < single.size(); ++i) {
+        EXPECT_TRUE(lanes[e][i] == single[i])
+            << info.name << " env " << e << " root " << i << ": ["
+            << lanes[e][i].lo() << "," << lanes[e][i].hi() << "] vs ["
+            << single[i].lo() << "," << single[i].hi() << "]";
+      }
+    }
+  }
+}
+
+TEST(SubBoxRefutation, DeadBranchProofsHoldUnderRandomSimulation) {
+  for (const auto& info : bench::allBenchModels()) {
+    const auto cm = compile::compile(info.build());
+    analysis::ReachabilityOptions opt;
+    ASSERT_GT(opt.subBoxLanes, 1) << "the lane-parallel layer defaults on";
+    const auto report = analysis::findDeadBranches(cm, opt);
+    if (report.deadBranches.empty()) continue;
+
+    coverage::CoverageTracker cov(cm);
+    sim::Simulator s(cm);
+    Rng rng(5209);
+    for (int step = 0; step < 1200; ++step) {
+      (void)s.step(sim::randomInput(cm, rng), &cov);
+    }
+    for (const int b : report.deadBranches) {
+      EXPECT_FALSE(cov.branchCovered(b))
+          << info.name << ": branch " << b
+          << " was proven dead but fired under random simulation";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stcg

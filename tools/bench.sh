@@ -20,8 +20,15 @@ echo "== build bench_eval_tape bench_batch_eval =="
 cmake --build "$build_dir" -j "$(nproc)" \
   --target bench_eval_tape --target bench_batch_eval
 
+# Run metadata pinned into both JSON files (CPU model and SIMD level are
+# detected by the binaries themselves).
+git_sha="$(git -C "$repo_root" rev-parse HEAD 2>/dev/null || echo unknown)"
+stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
 echo "== run bench_eval_tape =="
-"$build_dir/bench/bench_eval_tape" --json "$repo_root/BENCH_eval.json" "$@"
+"$build_dir/bench/bench_eval_tape" --json "$repo_root/BENCH_eval.json" \
+  --git "$git_sha" --timestamp "$stamp" "$@"
 
 echo "== run bench_batch_eval =="
-"$build_dir/bench/bench_batch_eval" --json "$repo_root/BENCH_batch.json" "$@"
+"$build_dir/bench/bench_batch_eval" --json "$repo_root/BENCH_batch.json" \
+  --git "$git_sha" --timestamp "$stamp" "$@"

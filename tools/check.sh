@@ -65,6 +65,12 @@ cmake -S "$repo_root" -B "$bench_dir" -DCMAKE_BUILD_TYPE=Release \
 cmake --build "$bench_dir" -j "$(nproc)" \
   --target bench_eval_tape --target bench_batch_eval --target tape_audit
 "$bench_dir/bench/bench_eval_tape" --quick
+# The batch gate runs twice: once pinned to the portable scalar kernels
+# and once at the best level the CPU dispatches to, so a vectorized-path
+# regression can't hide behind the scalar fallback (or vice versa).
+echo "== bench_batch_eval --quick (STCG_SIMD=scalar) =="
+STCG_SIMD=scalar "$bench_dir/bench/bench_batch_eval" --quick
+echo "== bench_batch_eval --quick (detected SIMD level) =="
 "$bench_dir/bench/bench_batch_eval" --quick
 # Quick tape-audit smoke in Release too: the producers' own debug-build
 # verification is compiled out here, so the explicit sweep is the gate.
