@@ -372,6 +372,7 @@ int run(int argc, char** argv) {
   bool quick = false;
   std::string jsonPath;
   double window = 0.25;
+  int repeat = 1;
   benchx::RunMeta meta;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
@@ -383,11 +384,21 @@ int run(int argc, char** argv) {
       window = std::strtod(argv[++i], nullptr);
     } else if (benchx::parseMetaArg(argc, argv, i, meta)) {
       // consumed
+    } else if (benchx::parseRepeatArg(argc, argv, i, repeat)) {
+      if (repeat < 1) {
+        std::cerr << "invalid value for --repeat (expected integer in "
+                     "[1, 99])\n";
+        return 2;
+      }
     } else {
       std::cerr << "usage: bench_batch_eval [--quick] [--json PATH] "
-                   "[--seconds S] [--git SHA] [--timestamp TS]\n";
+                   "[--seconds S] [--repeat N] [--git SHA] "
+                   "[--timestamp TS]\n";
       return 2;
     }
+  }
+  if (repeat > 1) {
+    std::printf("reporting the median of %d repeats per cell\n", repeat);
   }
 
   std::vector<Row> rows;
@@ -404,14 +415,21 @@ int run(int argc, char** argv) {
       inputs.push_back(sim::randomInput(cm, inputRng));
     }
     for (std::size_t w = 0; w < kNumWidths; ++w) {
-      row.cand[w] = measureCandidatesPerSec(goal, vars, kWidths[w], window);
-      row.steps[w] =
-          measureReplayStepsPerSec(cm, kWidths[w], inputs, window);
+      row.cand[w] = benchx::medianOf(repeat, [&] {
+        return measureCandidatesPerSec(goal, vars, kWidths[w], window);
+      });
+      row.steps[w] = benchx::medianOf(repeat, [&] {
+        return measureReplayStepsPerSec(cm, kWidths[w], inputs, window);
+      });
     }
-    row.maskedCand = measureMaskedCandidatesPerSec(conjunctionGoal(cm), vars,
-                                                   8, window, &row.skipRate);
-    row.iboxB1 = measureIntervalBoxesPerSec(cm, 1, window);
-    row.iboxB8 = measureIntervalBoxesPerSec(cm, 8, window);
+    row.maskedCand = benchx::medianOf(repeat, [&] {
+      return measureMaskedCandidatesPerSec(conjunctionGoal(cm), vars, 8,
+                                           window, &row.skipRate);
+    });
+    row.iboxB1 = benchx::medianOf(
+        repeat, [&] { return measureIntervalBoxesPerSec(cm, 1, window); });
+    row.iboxB8 = benchx::medianOf(
+        repeat, [&] { return measureIntervalBoxesPerSec(cm, 8, window); });
     rows.push_back(std::move(row));
   }
 

@@ -1,0 +1,92 @@
+// Checkpoint cost microbenchmark: on-disk size and save/load wall time of
+// a campaign checkpoint per benchmark model (the table in EXPERIMENTS.md,
+// "Checkpoint size and save/load overhead").
+//
+// Each model runs a short STCG campaign (a fixed round cap, so the
+// measured state is reproducible for a fixed seed), then the checkpoint
+// is saved and loaded `--repeat` times and the medians are reported,
+// along with what the checkpoint carries (tree nodes, tests, library
+// entries). The point of the numbers: a save is cheap enough to take
+// every round (default --checkpoint-every 1) without denting generation
+// throughput.
+//
+// Usage: bench_checkpoint [--rounds N] [--repeat N]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bench_meta.h"
+#include "benchmodels/benchmodels.h"
+#include "compile/compiler.h"
+#include "stcg/campaign.h"
+#include "stcg/checkpoint.h"
+
+namespace stcg {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double millisSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+int run(int argc, char** argv) {
+  int rounds = 6;
+  int repeat = 9;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
+      rounds = std::atoi(argv[++i]);
+    } else if (benchx::parseRepeatArg(argc, argv, i, repeat)) {
+      if (repeat < 1) {
+        std::cerr << "invalid value for --repeat\n";
+        return 2;
+      }
+    } else {
+      std::cerr << "usage: bench_checkpoint [--rounds N] [--repeat N]\n";
+      return 2;
+    }
+  }
+
+  const std::string path = "/tmp/stcg_bench_checkpoint.ck";
+  std::printf("campaign: %d rounds, seed 1; medians of %d repeats\n\n",
+              rounds, repeat);
+  std::printf("%-12s %10s %8s %8s %10s %8s %8s\n", "model", "bytes",
+              "save ms", "load ms", "tree", "tests", "library");
+  for (const auto& info : bench::allBenchModels()) {
+    const auto cm = compile::compile(info.build());
+    gen::GenOptions opt;
+    opt.budgetMillis = 600000;  // non-binding; the round cap stops the run
+    opt.solver.timeBudgetMillis = 20;
+    opt.maxRounds = rounds;
+    gen::Campaign c(cm, opt);
+    while (!c.finished()) c.runRound();
+
+    const double saveMs = benchx::medianOf(repeat, [&] {
+      const auto t0 = Clock::now();
+      c.saveCheckpoint(path);
+      return millisSince(t0);
+    });
+    std::ifstream f(path, std::ios::binary | std::ios::ate);
+    const auto bytes = static_cast<long long>(f.tellg());
+    const double loadMs = benchx::medianOf(repeat, [&] {
+      gen::Campaign fresh(cm, opt);
+      const auto t0 = Clock::now();
+      fresh.restore(path);
+      return millisSince(t0);
+    });
+    std::printf("%-12s %10lld %8.2f %8.2f %10zu %8zu %8zu\n",
+                info.name.c_str(), bytes, saveMs, loadMs, c.state().tree.size(),
+                c.state().tests.size(), c.state().library.size());
+  }
+  std::remove(path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace stcg
+
+int main(int argc, char** argv) { return stcg::run(argc, argv); }

@@ -232,6 +232,7 @@ int run(int argc, char** argv) {
   bool quick = false;
   std::string jsonPath;
   double window = 0.25;
+  int repeat = 1;
   benchx::RunMeta meta;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
@@ -243,11 +244,21 @@ int run(int argc, char** argv) {
       window = std::strtod(argv[++i], nullptr);
     } else if (benchx::parseMetaArg(argc, argv, i, meta)) {
       // consumed
+    } else if (benchx::parseRepeatArg(argc, argv, i, repeat)) {
+      if (repeat < 1) {
+        std::cerr << "invalid value for --repeat (expected integer in "
+                     "[1, 99])\n";
+        return 2;
+      }
     } else {
       std::cerr << "usage: bench_eval_tape [--quick] [--json PATH] "
-                   "[--seconds S] [--git SHA] [--timestamp TS]\n";
+                   "[--seconds S] [--repeat N] [--git SHA] "
+                   "[--timestamp TS]\n";
       return 2;
     }
+  }
+  if (repeat > 1) {
+    std::printf("reporting the median of %d repeats per cell\n", repeat);
   }
 
   std::vector<Row> rows;
@@ -271,13 +282,16 @@ int run(int argc, char** argv) {
     Rng inputRng(42);
     std::vector<sim::InputVector> inputs;
     for (int i = 0; i < 256; ++i) inputs.push_back(sim::randomInput(cm, inputRng));
-    row.stepsTree =
-        measureStepsPerSec(cm, sim::EvalEngine::kTree, inputs, window);
-    row.stepsTape =
-        measureStepsPerSec(cm, sim::EvalEngine::kTape, inputs, window);
+    row.stepsTree = benchx::medianOf(repeat, [&] {
+      return measureStepsPerSec(cm, sim::EvalEngine::kTree, inputs, window);
+    });
+    row.stepsTape = benchx::medianOf(repeat, [&] {
+      return measureStepsPerSec(cm, sim::EvalEngine::kTape, inputs, window);
+    });
     if (haveJit) {
-      row.stepsJit =
-          measureStepsPerSec(cm, sim::EvalEngine::kJit, inputs, window);
+      row.stepsJit = benchx::medianOf(repeat, [&] {
+        return measureStepsPerSec(cm, sim::EvalEngine::kJit, inputs, window);
+      });
     }
 
     const auto goal = residualGoal(cm);
@@ -286,15 +300,21 @@ int run(int argc, char** argv) {
     row.tapeInstrs = probe.valueInstrCount();
     row.maxCone = probe.maxConeSize();
     row.overlayInstrs = probe.overlayInstrCount();
-    row.candTree =
-        measureCandidatesPerSec(goal, vars, CandMode::kTree, window);
-    row.candRebind =
-        measureCandidatesPerSec(goal, vars, CandMode::kRebind, window);
-    row.candIncr =
-        measureCandidatesPerSec(goal, vars, CandMode::kIncremental, window);
+    row.candTree = benchx::medianOf(repeat, [&] {
+      return measureCandidatesPerSec(goal, vars, CandMode::kTree, window);
+    });
+    row.candRebind = benchx::medianOf(repeat, [&] {
+      return measureCandidatesPerSec(goal, vars, CandMode::kRebind, window);
+    });
+    row.candIncr = benchx::medianOf(repeat, [&] {
+      return measureCandidatesPerSec(goal, vars, CandMode::kIncremental,
+                                     window);
+    });
     if (haveJit) {
-      row.candJitIncr = measureCandidatesPerSec(
-          goal, vars, CandMode::kJitIncremental, window);
+      row.candJitIncr = benchx::medianOf(repeat, [&] {
+        return measureCandidatesPerSec(goal, vars, CandMode::kJitIncremental,
+                                       window);
+      });
     }
     rows.push_back(std::move(row));
   }

@@ -5,14 +5,48 @@
 // active SIMD dispatch level are read from the process itself.
 #pragma once
 
+#include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "expr/simd.h"
 
 namespace stcg::benchx {
+
+/// Run the measurement `repeat` times and report the median (mean of the
+/// two middle samples for even repeat counts). One noisy neighbor or a
+/// frequency-scaling blip skews a single sample arbitrarily; the median
+/// of N is stable against up to (N-1)/2 outliers. repeat <= 1 measures
+/// once (the default, so --repeat is pay-for-what-you-use).
+template <typename Fn>
+double medianOf(int repeat, Fn&& fn) {
+  if (repeat <= 1) return fn();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(repeat));
+  for (int i = 0; i < repeat; ++i) samples.push_back(fn());
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  return n % 2 == 1 ? samples[n / 2]
+                    : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+}
+
+/// Consume `--repeat N` at argv[i]. Returns true when matched; exits 2
+/// via return-false-at-caller style is avoided — invalid N (non-numeric,
+/// < 1, > 99) is clamped into [1, 99] by strtol semantics plus the caller
+/// printing usage; keep N small, each repeat multiplies the wall time.
+inline bool parseRepeatArg(int argc, char** argv, int& i, int& repeat) {
+  if (std::strcmp(argv[i], "--repeat") != 0 || i + 1 >= argc) return false;
+  char* end = nullptr;
+  const long v = std::strtol(argv[++i], &end, 10);
+  repeat = (end == argv[i] || *end != '\0' || v < 1 || v > 99)
+               ? -1  // caller treats as a usage error
+               : static_cast<int>(v);
+  return true;
+}
 
 struct RunMeta {
   std::string gitCommit;   // --git (empty when not passed)

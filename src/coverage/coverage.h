@@ -17,6 +17,7 @@
 
 #include <array>
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <utility>
 #include <vector>
@@ -49,12 +50,14 @@ struct Exclusions {
     int decision = -1;
     int cond = -1;
     bool polarity = false;
+    [[nodiscard]] bool operator==(const ConditionSlot&) const = default;
   };
   std::vector<ConditionSlot> conditionSlots;
   /// MCDC obligations with an unreachable outcome or polarity.
   struct McdcSlot {
     int decision = -1;
     int cond = -1;
+    [[nodiscard]] bool operator==(const McdcSlot&) const = default;
   };
   std::vector<McdcSlot> mcdcSlots;
 
@@ -62,6 +65,7 @@ struct Exclusions {
     return branches.empty() && objectives.empty() &&
            conditionSlots.empty() && mcdcSlots.empty();
   }
+  [[nodiscard]] bool operator==(const Exclusions&) const = default;
   /// Total number of excluded goals across all four kinds.
   [[nodiscard]] int count() const {
     return static_cast<int>(branches.size() + objectives.size() +
@@ -138,6 +142,19 @@ class CoverageTracker {
   /// Multi-line human-readable summary.
   [[nodiscard]] std::string report() const;
 
+  /// Serialize the mutable observation + exclusion state (covered
+  /// branches, condition polarities, the ordered MCDC vector log and its
+  /// demonstrated/excluded masks, objectives) as whitespace-separated
+  /// tokens. The model structure is NOT serialized: restoreState() reads
+  /// the stream back into a tracker constructed from the same compiled
+  /// model and throws expr::EvalError when any recorded size disagrees
+  /// with that model (a stale or corrupt checkpoint). MCDC vectors keep
+  /// their insertion order — the unique-cause pairing of future records
+  /// and the kMaxVectorsPerDecision cut-off depend on it, so a reordered
+  /// restore would diverge from the uninterrupted run.
+  void serializeState(std::ostream& os) const;
+  void restoreState(std::istream& is);
+
   [[nodiscard]] bool branchExcluded(int branchId) const {
     return branchExcluded_.at(static_cast<std::size_t>(branchId));
   }
@@ -173,5 +190,12 @@ class CoverageTracker {
   std::vector<bool> objectiveCovered_;
   static constexpr std::size_t kMaxVectorsPerDecision = 512;
 };
+
+/// Token-stream serialization for an exclusion table (the campaign
+/// checkpoint embeds one so a resumed run replays its suite against the
+/// same coverage denominators). readExclusions throws expr::EvalError on
+/// malformed input.
+void writeExclusions(std::ostream& os, const Exclusions& excl);
+[[nodiscard]] Exclusions readExclusions(std::istream& is);
 
 }  // namespace stcg::coverage

@@ -1,0 +1,196 @@
+#include "sim/snapshot_io.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "expr/eval.h"
+
+namespace stcg::sim {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& token) {
+  throw expr::EvalError("snapshot_io: " + what +
+                        (token.empty() ? std::string()
+                                       : " (got '" + token + "')"));
+}
+
+std::string nextToken(std::istream& is, const char* what) {
+  std::string tok;
+  if (!(is >> tok)) fail(std::string("unexpected EOF reading ") + what, "");
+  return tok;
+}
+
+std::int64_t parseInt(const std::string& text, const char* what) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    fail(std::string("malformed integer for ") + what, text);
+  }
+  return v;
+}
+
+std::size_t parseCount(std::istream& is, const char* what) {
+  const std::int64_t n = parseInt(nextToken(is, what), what);
+  // An absurd count means a corrupt stream; refuse before reserving.
+  if (n < 0 || n > (std::int64_t{1} << 32)) {
+    fail(std::string("count out of range for ") + what, std::to_string(n));
+  }
+  return static_cast<std::size_t>(n);
+}
+
+void expectTag(std::istream& is, const char* tag) {
+  const std::string tok = nextToken(is, tag);
+  if (tok != tag) fail(std::string("expected tag '") + tag + "'", tok);
+}
+
+char typeChar(expr::Type t) {
+  switch (t) {
+    case expr::Type::kBool: return 'b';
+    case expr::Type::kInt: return 'i';
+    case expr::Type::kReal: return 'r';
+  }
+  return '?';
+}
+
+expr::Type typeFromChar(const std::string& tok) {
+  if (tok == "b") return expr::Type::kBool;
+  if (tok == "i") return expr::Type::kInt;
+  if (tok == "r") return expr::Type::kReal;
+  fail("unknown type tag", tok);
+}
+
+}  // namespace
+
+void writeScalar(std::ostream& os, const expr::Scalar& s) {
+  switch (s.type()) {
+    case expr::Type::kBool:
+      os << (s.asBool() ? "B1" : "B0");
+      return;
+    case expr::Type::kInt:
+      os << 'I' << s.asInt();
+      return;
+    case expr::Type::kReal: {
+      // %a round-trips every double bit-exactly through strtod, including
+      // -0.0, denormals and infinities. NaNs carry their payload in the
+      // raw bit pattern instead (snapshotHash hashes real bits, so a
+      // payload change across save/load would change the state hash).
+      const double r = s.asReal();
+      if (r != r) {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &r, sizeof bits);
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "Rn%016llx",
+                      static_cast<unsigned long long>(bits));
+        os << buf;
+        return;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "R%a", r);
+      os << buf;
+      return;
+    }
+  }
+}
+
+expr::Scalar readScalar(std::istream& is) {
+  const std::string tok = nextToken(is, "scalar");
+  if (tok == "B0") return expr::Scalar::b(false);
+  if (tok == "B1") return expr::Scalar::b(true);
+  if (tok.size() < 2) fail("truncated scalar token", tok);
+  const std::string payload = tok.substr(1);
+  if (tok[0] == 'I') {
+    return expr::Scalar::i(parseInt(payload, "int scalar"));
+  }
+  if (tok[0] == 'R') {
+    if (payload.size() > 1 && payload[0] == 'n') {
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long bits =
+          std::strtoull(payload.c_str() + 1, &end, 16);
+      if (end == payload.c_str() + 1 || *end != '\0' || errno == ERANGE) {
+        fail("malformed NaN bits", tok);
+      }
+      double v = 0;
+      const std::uint64_t b = bits;
+      std::memcpy(&v, &b, sizeof v);
+      if (v == v) fail("NaN token decodes to a non-NaN", tok);
+      return expr::Scalar::r(v);
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(payload.c_str(), &end);
+    if (end == payload.c_str() || *end != '\0') {
+      fail("malformed real scalar", tok);
+    }
+    return expr::Scalar::r(v);
+  }
+  fail("unknown scalar tag", tok);
+}
+
+void writeValue(std::ostream& os, const expr::Value& v) {
+  os << "V " << typeChar(v.type()) << ' ' << v.width();
+  for (const auto& e : v.elems()) {
+    os << ' ';
+    writeScalar(os, e);
+  }
+}
+
+expr::Value readValue(std::istream& is) {
+  expectTag(is, "V");
+  const expr::Type t = typeFromChar(nextToken(is, "value type"));
+  const std::size_t width = parseCount(is, "value width");
+  std::vector<expr::Scalar> elems;
+  elems.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    expr::Scalar s = readScalar(is);
+    if (s.type() != t) {
+      fail("value element type disagrees with value header", s.toString());
+    }
+    elems.push_back(s);
+  }
+  return expr::Value(t, std::move(elems));
+}
+
+void writeSnapshot(std::ostream& os, const StateSnapshot& s) {
+  os << "S " << s.size();
+  for (const auto& v : s) {
+    os << ' ';
+    writeValue(os, v);
+  }
+}
+
+StateSnapshot readSnapshot(std::istream& is) {
+  expectTag(is, "S");
+  const std::size_t n = parseCount(is, "snapshot size");
+  StateSnapshot s;
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) s.push_back(readValue(is));
+  return s;
+}
+
+void writeInputVector(std::ostream& os, const InputVector& in) {
+  os << "I " << in.size();
+  for (const auto& e : in) {
+    os << ' ';
+    writeScalar(os, e);
+  }
+}
+
+InputVector readInputVector(std::istream& is) {
+  expectTag(is, "I");
+  const std::size_t n = parseCount(is, "input size");
+  InputVector in;
+  in.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) in.push_back(readScalar(is));
+  return in;
+}
+
+}  // namespace stcg::sim

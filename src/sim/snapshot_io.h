@@ -1,0 +1,38 @@
+// Exact text serialization for simulator values: scalars, typed value
+// vectors, state snapshots, and input vectors.
+//
+// The format is token-oriented (whitespace separated), following the
+// line/token conventions of model/serialize. Reals are written as C99
+// hexfloats ("%a"), so every double — including -0.0, denormals, ±inf and
+// NaN payload sign — round-trips bit-exactly; ints are decimal int64;
+// bools are B0/B1. This is the codec the campaign checkpoint
+// (stcg/checkpoint) builds on: a snapshot that fails to round-trip would
+// silently break StateTree dedup across a kill-and-resume, so the readers
+// throw expr::EvalError on any malformed token instead of guessing.
+#pragma once
+
+#include <iosfwd>
+
+#include "sim/simulator.h"
+
+namespace stcg::sim {
+
+/// Write one scalar as a single token: B0/B1, I<dec> or R<hexfloat>.
+void writeScalar(std::ostream& os, const expr::Scalar& s);
+/// Read a token written by writeScalar. Throws expr::EvalError on
+/// malformed input or EOF.
+[[nodiscard]] expr::Scalar readScalar(std::istream& is);
+
+/// Write a typed value as "V <typechar> <width> <elem tokens...>".
+void writeValue(std::ostream& os, const expr::Value& v);
+[[nodiscard]] expr::Value readValue(std::istream& is);
+
+/// Write a snapshot as "S <count>" followed by its values.
+void writeSnapshot(std::ostream& os, const StateSnapshot& s);
+[[nodiscard]] StateSnapshot readSnapshot(std::istream& is);
+
+/// Write an input vector as "I <count>" followed by its scalar tokens.
+void writeInputVector(std::ostream& os, const InputVector& in);
+[[nodiscard]] InputVector readInputVector(std::istream& is);
+
+}  // namespace stcg::sim

@@ -16,12 +16,18 @@ StateTree::StateTree(sim::StateSnapshot rootState) {
 
 int StateTree::addChild(int parent, sim::InputVector input,
                         sim::StateSnapshot state) {
+  const std::uint64_t h = sim::snapshotHash(state);
+  return addChild(parent, std::move(input), std::move(state), h);
+}
+
+int StateTree::addChild(int parent, sim::InputVector input,
+                        sim::StateSnapshot state, std::uint64_t stateHash) {
   StateTreeNode n;
   n.id = static_cast<int>(nodes_.size());
   n.parent = parent;
   n.inputFromParent = std::move(input);
   n.state = std::move(state);
-  n.stateHash = sim::snapshotHash(n.state);
+  n.stateHash = stateHash;
   byHash_.emplace(n.stateHash, n.id);
   nodes_[static_cast<std::size_t>(parent)].children.push_back(n.id);
   nodes_.push_back(std::move(n));
@@ -29,7 +35,12 @@ int StateTree::addChild(int parent, sim::InputVector input,
 }
 
 int StateTree::findByState(const sim::StateSnapshot& s) const {
-  const auto [lo, hi] = byHash_.equal_range(sim::snapshotHash(s));
+  return findByState(s, sim::snapshotHash(s));
+}
+
+int StateTree::findByState(const sim::StateSnapshot& s,
+                           std::uint64_t stateHash) const {
+  const auto [lo, hi] = byHash_.equal_range(stateHash);
   for (auto it = lo; it != hi; ++it) {
     if (nodes_[static_cast<std::size_t>(it->second)].state == s) {
       return it->second;

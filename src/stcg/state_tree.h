@@ -56,8 +56,23 @@ class StateTree {
   /// Add a child of `parent` reached by `input` with resulting `state`.
   int addChild(int parent, sim::InputVector input, sim::StateSnapshot state);
 
+  /// Same, with the caller supplying the state hash instead of computing
+  /// snapshotHash(state). Two users: the checkpoint loader (which verifies
+  /// the recorded hash against a recomputation before trusting it) and
+  /// the collision tests, which force two distinct snapshots onto one
+  /// hash to prove findByState never merges them.
+  int addChild(int parent, sim::InputVector input, sim::StateSnapshot state,
+               std::uint64_t stateHash);
+
   /// Node id of an existing node with exactly this state, or -1.
   [[nodiscard]] int findByState(const sim::StateSnapshot& s) const;
+
+  /// Same lookup with an explicit hash (must match the hash the candidate
+  /// nodes were inserted under). Hash equality only selects the bucket;
+  /// the returned node's state compares equal to `s` value-for-value, so
+  /// colliding snapshots are never conflated.
+  [[nodiscard]] int findByState(const sim::StateSnapshot& s,
+                                std::uint64_t stateHash) const;
 
   /// The input sequence along the path root -> `id` (root's empty input
   /// excluded), i.e. a test case prefix reaching node `id`'s state.

@@ -1,553 +1,19 @@
 #include "stcg/stcg_generator.h"
 
-#include <algorithm>
-#include <atomic>
-#include <memory>
-#include <optional>
-#include <utility>
-
-#include "expr/builder.h"
-#include "expr/subst.h"
-#include "sim/batch_simulator.h"
-#include "util/stopwatch.h"
-#include "util/thread_pool.h"
-
 namespace stcg::gen {
-
-namespace {
-
-/// Bind a state snapshot into an Env keyed by the compiled state leaves.
-expr::Env stateEnv(const compile::CompiledModel& cm,
-                   const sim::StateSnapshot& s) {
-  expr::Env env;
-  env.reserve(cm.varCount());
-  for (std::size_t i = 0; i < cm.states.size(); ++i) {
-    const auto& sv = cm.states[i];
-    if (sv.width == 1) {
-      env.set(sv.id, s[i].scalar());
-    } else {
-      env.setArray(sv.id, s[i].elems());
-    }
-  }
-  return env;
-}
-
-/// Named RNG streams forked off the run seed. Every stochastic phase owns
-/// a stream: draws in one phase can never shift another phase's sequence,
-/// so ablations and repetitions stay independently seeded.
-enum RngStream : std::uint64_t {
-  kSolveStream = 1,   // per-task solver seeds (counter-based per cell)
-  kMcdcStream = 2,    // MCDC-pair completion solver seeds
-  kRandomStream = 3,  // random-fallback node/input/library draws
-};
-
-/// Counter-based stream id for one cell of one solve round. Depends only
-/// on the cell coordinates, never on thread count or execution order.
-std::uint64_t taskStream(int round, int goalIdx, int nodeId) {
-  std::uint64_t h = splitmix64(static_cast<std::uint64_t>(round));
-  h = splitmix64(h ^ static_cast<std::uint64_t>(goalIdx));
-  return splitmix64(h ^ static_cast<std::uint64_t>(nodeId));
-}
-
-struct SolveHit {
-  int nodeId = -1;
-  int goalIdx = -1;
-  sim::InputVector input;
-};
-
-/// One cell of the goal × node solve grid of a round.
-struct SolveTask {
-  int goalIdx = -1;
-  int nodeId = -1;
-};
-
-/// What a worker found for one cell. Workers fill these in parallel; the
-/// coordinator replays the prefix the sequential scan would have visited
-/// and commits stats/marks/trace lines in grid order.
-struct TaskOutcome {
-  bool ran = false;
-  bool folded = false;  // residual folded to const false; no solver call
-  solver::SolveStatus status = solver::SolveStatus::kUnknown;
-  sim::InputVector input;  // populated on SAT
-  std::string traceLine;
-};
-
-class Run {
- public:
-  Run(const compile::CompiledModel& cm, const GenOptions& opt,
-      StcgGenerator::TraceFn trace, void* traceUser)
-      : cm_(cm),
-        opt_(opt),
-        rngRoot_(opt.seed),
-        mcdcRng_(rngRoot_.fork(kMcdcStream)),
-        randomBase_(rngRoot_.fork(kRandomStream)),
-        inputInfos_(cm.inputInfos()),
-        tracker_(cm),
-        sim_(cm, opt.simEngine),
-        tree_(sim_.snapshot()),
-        deadline_(Deadline::afterMillis(opt.budgetMillis)),
-        pool_(std::make_unique<ThreadPool>(
-            opt.jobs <= 0 ? ThreadPool::hardwareThreads() : opt.jobs)),
-        trace_(trace),
-        traceUser_(traceUser) {
-    goals_ = buildGoals(cm, opt.includeConditionGoals,
-                        /*includeMcdcGoals=*/opt.includeConditionGoals);
-    if (opt.pruneProvablyDead) {
-      // Dead-goal pre-verification (paper Discussion): the lint
-      // reachability pass proves goals unreachable from every reachable
-      // state; they are removed from the goal list and excluded from the
-      // coverage denominators.
-      PruneResult pr = pruneUnreachableGoals(cm, goals_, tracker_);
-      exclusions_ = std::move(pr.exclusions);
-      stats_.goalsPruned = pr.removed;
-      for (const auto& label : pr.prunedLabels) {
-        this->trace("pruned provably-dead goal " + label);
-      }
-    }
-    order_.resize(goals_.size());
-    for (std::size_t i = 0; i < order_.size(); ++i) {
-      order_[i] = static_cast<int>(i);
-    }
-    if (opt.sortGoalsByDepth) {
-      std::stable_sort(order_.begin(), order_.end(), [&](int a, int b) {
-        return goals_[static_cast<std::size_t>(a)].depth <
-               goals_[static_cast<std::size_t>(b)].depth;
-      });
-    }
-  }
-
-  GenResult execute() {
-    // Main loop: Algorithm 1 then Algorithm 2, until budget or full
-    // coverage of the goal set.
-    while (!deadline_.expired() && !allGoalsCovered()) {
-      const auto hit = stateAwareSolve();
-      if (hit.has_value()) {
-        const Goal& goal = goals_[static_cast<std::size_t>(hit->goalIdx)];
-        library_.push_back(hit->input);
-        executeSequence(hit->nodeId, {hit->input}, TestOrigin::kSolved,
-                        goal.label);
-        if (goal.kind == GoalKind::kCondition ||
-            goal.kind == GoalKind::kMcdcPair) {
-          tryMcdcPair(*hit, goal);
-        }
-      } else {
-        if (!opt_.useRandomFallback) break;
-        if (opt_.batch > 1 && opt_.simEngine == sim::EvalEngine::kTape) {
-          randomExecutionBatch();
-        } else {
-          randomExecution();
-        }
-      }
-    }
-
-    GenResult result;
-    result.toolName = "STCG";
-    result.tests = std::move(tests_);
-    result.events = std::move(events_);
-    result.stats = stats_;
-    result.stats.treeNodes = static_cast<int>(tree_.size());
-    const auto replay = replaySuite(cm_, result.tests, exclusions_,
-                                    opt_.batch);
-    result.coverage = summarize(replay);
-    return result;
-  }
-
- private:
-  void trace(const std::string& line) {
-    if (trace_ != nullptr) trace_(line, traceUser_);
-  }
-
-  [[nodiscard]] bool allGoalsCovered() const {
-    for (const auto& g : goals_) {
-      if (!goalCovered(tracker_, g)) return false;
-    }
-    return true;
-  }
-
-  // ----- Algorithm 1: state-aware solving --------------------------------
-  //
-  // Each round enumerates the grid of (uncovered goal × tree node) cells
-  // not yet attempted, in the order the paper's sequential scan visits
-  // them, then fans the cells across the pool. Every cell is hermetic: it
-  // reads only immutable round state (compiled model, node snapshots,
-  // goal expressions) and draws its solver seed from a counter-based
-  // stream keyed by (round, goal, node). The coordinator then commits, in
-  // grid order, exactly the prefix the sequential scan would have
-  // visited: every cell before the lowest SAT cell, plus that cell.
-  // Speculative results past the winner are discarded — never marked
-  // attempted, never counted — so tree, tracker, stats, and trace are
-  // bit-identical for any jobs value.
-  [[nodiscard]] std::optional<SolveHit> stateAwareSolve() {
-    ++round_;
-    std::vector<SolveTask> tasks;
-    for (const int goalIdx : order_) {
-      const Goal& goal = goals_[static_cast<std::size_t>(goalIdx)];
-      if (goalCovered(tracker_, goal)) continue;
-      const std::size_t nodeCount = opt_.solveOnAllNodes ? tree_.size() : 1;
-      for (std::size_t nodeId = 0; nodeId < nodeCount; ++nodeId) {
-        const int nid = static_cast<int>(nodeId);
-        if (tree_.isAttempted(nid, goalIdx)) continue;
-        tasks.push_back(SolveTask{goalIdx, nid});
-      }
-    }
-    if (tasks.empty()) return std::nullopt;
-
-    std::vector<TaskOutcome> outcomes(tasks.size());
-    // Lowest grid index that solved SAT so far; cells past it are skipped
-    // (their work would be discarded by the commit rule anyway).
-    std::atomic<std::size_t> winner{tasks.size()};
-
-    pool_->parallelFor(tasks.size(), [&](std::size_t i) {
-      if (i > winner.load(std::memory_order_acquire)) return;
-      if (deadline_.expired()) return;
-      runSolveTask(tasks[i], outcomes[i]);
-      if (!outcomes[i].folded &&
-          outcomes[i].status == solver::SolveStatus::kSat) {
-        std::size_t cur = winner.load(std::memory_order_acquire);
-        while (i < cur && !winner.compare_exchange_weak(
-                              cur, i, std::memory_order_acq_rel,
-                              std::memory_order_acquire)) {
-        }
-      }
-    });
-
-    const std::size_t w = winner.load(std::memory_order_acquire);
-    const std::size_t limit = w == tasks.size() ? tasks.size() : w + 1;
-    std::optional<SolveHit> hit;
-    for (std::size_t i = 0; i < limit; ++i) {
-      TaskOutcome& out = outcomes[i];
-      if (!out.ran) break;  // deadline expired before this cell ran
-      const SolveTask& t = tasks[i];
-      tree_.markAttempted(t.nodeId, t.goalIdx);
-      ++stats_.solveCalls;
-      if (out.folded || out.status == solver::SolveStatus::kUnsat) {
-        ++stats_.solveUnsat;
-      } else if (out.status == solver::SolveStatus::kUnknown) {
-        ++stats_.solveUnknown;
-      } else {
-        ++stats_.solveSat;
-      }
-      if (!out.traceLine.empty()) trace(out.traceLine);
-      if (i == w) {
-        hit = SolveHit{t.nodeId, t.goalIdx, std::move(out.input)};
-      }
-    }
-    return hit;
-  }
-
-  /// Solve one grid cell. Hermetic: reads only round-immutable state and
-  /// writes only `out` — safe to run from any pool lane.
-  void runSolveTask(const SolveTask& t, TaskOutcome& out) {
-    out.ran = true;
-    const Goal& goal = goals_[static_cast<std::size_t>(t.goalIdx)];
-    const bool wantTrace = trace_ != nullptr;
-
-    // "Bring the model state value as constants into the model."
-    const expr::Env env = stateEnv(cm_, tree_.node(t.nodeId).state);
-    const expr::ExprPtr residual = expr::substitute(goal.pathConstraint, env);
-    if (residual->op == expr::Op::kConst && !residual->constVal.toBool()) {
-      // Folded to false: this state provably cannot reach the goal in
-      // one step.
-      out.folded = true;
-      out.status = solver::SolveStatus::kUnsat;
-      if (wantTrace) {
-        out.traceLine = "solve " + goal.label + " on S" +
-                        std::to_string(t.nodeId) +
-                        ": infeasible (state-folded)";
-      }
-      return;
-    }
-    solver::SolveOptions so = opt_.solver;
-    so.batch = opt_.batch;
-    Rng taskRng = rngRoot_.fork(kSolveStream)
-                      .fork(taskStream(round_, t.goalIdx, t.nodeId));
-    so.seed = static_cast<std::uint64_t>(taskRng.uniformInt(1, 1'000'000'000));
-    const auto res =
-        solver::solveWith(opt_.solverKind, residual, inputInfos_, so);
-    out.status = res.status;
-    switch (res.status) {
-      case solver::SolveStatus::kSat:
-        out.input = inputsFromEnv(cm_, res.model);
-        if (wantTrace) {
-          out.traceLine = "solve " + goal.label + " on S" +
-                          std::to_string(t.nodeId) + ": SAT";
-        }
-        break;
-      case solver::SolveStatus::kUnsat:
-        if (wantTrace) {
-          out.traceLine = "solve " + goal.label + " on S" +
-                          std::to_string(t.nodeId) + ": UNSAT";
-        }
-        break;
-      case solver::SolveStatus::kUnknown:
-        if (wantTrace) {
-          out.traceLine = "solve " + goal.label + " on S" +
-                          std::to_string(t.nodeId) + ": UNKNOWN (budget)";
-        }
-        break;
-    }
-  }
-
-  // ----- Algorithm 2: dynamic execution -----------------------------------
-  void executeSequence(int startNode, std::vector<sim::InputVector> seq,
-                       TestOrigin origin, const std::string& goalLabel) {
-    sim_.restore(tree_.node(startNode).state);
-    int cur = startNode;
-    std::vector<sim::InputVector> executed;
-    executed.reserve(seq.size());
-    for (auto& input : seq) {
-      const auto res = sim_.step(input, &tracker_);
-      ++stats_.stepsExecuted;
-      executed.push_back(input);
-      const auto snap = sim_.snapshot();
-      const int existing = tree_.findByState(snap);
-      if (existing >= 0) {
-        cur = existing;
-      } else if (tree_.size() <
-                 static_cast<std::size_t>(opt_.maxTreeNodes)) {
-        cur = tree_.addChild(cur, input, snap);
-        trace("new state S" + std::to_string(cur));
-      }
-      if (res.foundNewCoverage()) {
-        TestCase tc;
-        tc.steps = tree_.pathInputs(startNode);
-        tc.steps.insert(tc.steps.end(), executed.begin(), executed.end());
-        tc.timestampSec = watch_.elapsedSeconds();
-        tc.origin = origin;
-        tc.goalLabel = goalLabel;
-        tests_.push_back(std::move(tc));
-        events_.push_back(GenEvent{watch_.elapsedSeconds(),
-                                   tracker_.decisionCoverage(), origin});
-        trace("test case emitted (" +
-              std::string(origin == TestOrigin::kSolved ? "solved" : "random") +
-              "), DC=" + std::to_string(tracker_.decisionCoverage()));
-      }
-      if (deadline_.expired()) break;
-    }
-  }
-
-  // ----- MCDC pair completion ---------------------------------------------
-  // After satisfying a condition-polarity goal, immediately look for the
-  // unique-cause partner on the same state: flip the target condition while
-  // pinning every sibling condition to the value it just took. Executing
-  // both inputs from one state records two MCDC vectors differing only in
-  // the target condition — the same "derived test objectives" SLDV builds
-  // for the MCDC criterion.
-  void tryMcdcPair(const SolveHit& hit, const Goal& goal) {
-    const auto& d =
-        cm_.decisions[static_cast<std::size_t>(goal.decisionId)];
-    if (!d.isBooleanDecision() || d.conditions.size() < 2) return;
-    if (deadline_.expired()) return;
-
-    // Observed sibling condition values under the solved input.
-    expr::Env env = stateEnv(cm_, tree_.node(hit.nodeId).state);
-    for (std::size_t i = 0; i < cm_.inputs.size(); ++i) {
-      env.set(cm_.inputs[i].info.id, hit.input[i]);
-    }
-    std::vector<expr::ExprPtr> pins;
-    pins.push_back(d.activation);
-    for (std::size_t c = 0; c < d.conditions.size(); ++c) {
-      const bool v = expr::evaluate(d.conditions[c], env).toBool();
-      if (static_cast<int>(c) == goal.condIndex) {
-        pins.push_back(v ? expr::notE(d.conditions[c]) : d.conditions[c]);
-      } else {
-        pins.push_back(v ? d.conditions[c] : expr::notE(d.conditions[c]));
-      }
-    }
-    const expr::ExprPtr residual = expr::substitute(
-        expr::andAll(pins), stateEnv(cm_, tree_.node(hit.nodeId).state));
-    ++stats_.solveCalls;
-    if (residual->op == expr::Op::kConst && !residual->constVal.toBool()) {
-      ++stats_.solveUnsat;
-      return;
-    }
-    solver::SolveOptions so = opt_.solver;
-    so.batch = opt_.batch;
-    so.seed =
-        static_cast<std::uint64_t>(mcdcRng_.uniformInt(1, 1'000'000'000));
-    const auto res = solver::solveWith(opt_.solverKind, residual,
-                                       inputInfos_, so);
-    if (res.status != solver::SolveStatus::kSat) {
-      res.status == solver::SolveStatus::kUnsat ? ++stats_.solveUnsat
-                                                : ++stats_.solveUnknown;
-      return;
-    }
-    ++stats_.solveSat;
-    auto pairInput = inputsFromEnv(cm_, res.model);
-    library_.push_back(pairInput);
-    executeSequence(hit.nodeId, {std::move(pairInput)}, TestOrigin::kSolved,
-                    goal.label + "-mcdc-pair");
-  }
-
-  /// One random-fallback sequence, fully determined by its ordinal.
-  struct ReplayPlan {
-    int start = -1;
-    std::vector<sim::InputVector> seq;
-  };
-
-  /// Draw sequence number `seqIndex` of the random-fallback stream. Pure
-  /// in (seqIndex, tree size, library): both the scalar and the batched
-  /// expansion call this, so a sequence's draws never depend on lane
-  /// width or on how many draws its predecessors consumed.
-  [[nodiscard]] ReplayPlan drawReplayPlan(std::uint64_t seqIndex) {
-    Rng seqRng = randomBase_.fork(seqIndex);
-    ReplayPlan plan;
-    plan.start = tree_.randomNode(seqRng);
-    plan.seq.reserve(static_cast<std::size_t>(opt_.randomSeqLen));
-    for (int i = 0; i < opt_.randomSeqLen; ++i) {
-      if (!library_.empty() &&
-          !seqRng.chance(opt_.freshRandomProbability)) {
-        plan.seq.push_back(library_[seqRng.index(library_.size())]);
-      } else {
-        // Fresh domain-random draw: covers input values no solved goal
-        // ever produced (also the bootstrap before anything was solved).
-        plan.seq.push_back(sim::randomInput(cm_, seqRng));
-      }
-    }
-    return plan;
-  }
-
-  void randomExecution() {
-    ++stats_.randomSequences;
-    ReplayPlan plan = drawReplayPlan(randomSeqIndex_);
-    ++randomSeqIndex_;
-    trace("random execution on S" + std::to_string(plan.start) + " (" +
-          std::to_string(plan.seq.size()) + " steps)");
-    executeSequence(plan.start, std::move(plan.seq), TestOrigin::kRandom, "");
-  }
-
-  /// Batched replay expansion: run opt_.batch random sequences in
-  /// lockstep lanes through one BatchSimulator, then commit their
-  /// coverage/tree/test effects lane by lane in sequence order — exactly
-  /// what opt_.batch consecutive randomExecution() calls (interleaved
-  /// with the empty solve rounds the main loop would run between them)
-  /// produce. Lanes whose pre-drawn plans are invalidated by an earlier
-  /// lane's commit (the tree grew, so the next sequence's node draw and
-  /// the next solve round's grid both change), or that fall past the
-  /// deadline / full coverage, are discarded uncommitted; their forks
-  /// recompute identically on the next call.
-  void randomExecutionBatch() {
-    const int B = opt_.batch;
-    if (!bsim_) bsim_.emplace(cm_, B);
-    std::vector<ReplayPlan> plans;
-    plans.reserve(static_cast<std::size_t>(B));
-    for (int k = 0; k < B; ++k) {
-      plans.push_back(drawReplayPlan(randomSeqIndex_ +
-                                     static_cast<std::uint64_t>(k)));
-    }
-    for (int k = 0; k < B; ++k) {
-      bsim_->restore(k, tree_.node(plans[static_cast<std::size_t>(k)].start)
-                            .state);
-    }
-    const std::size_t steps = static_cast<std::size_t>(opt_.randomSeqLen);
-    // obsPool_[i]: what every lane observed at step i. All lanes run the
-    // full horizon up front; commit decides below what actually happened.
-    if (obsPool_.size() < steps) obsPool_.resize(steps);
-    std::vector<const sim::InputVector*> stepInputs(
-        static_cast<std::size_t>(B));
-    for (std::size_t i = 0; i < steps; ++i) {
-      for (int l = 0; l < B; ++l) {
-        stepInputs[static_cast<std::size_t>(l)] =
-            &plans[static_cast<std::size_t>(l)].seq[i];
-      }
-      bsim_->stepBatch(stepInputs, obsPool_[i]);
-    }
-
-    for (int k = 0; k < B; ++k) {
-      // The main loop runs a solve round between consecutive random
-      // sequences; without tree growth its grid is empty (goals only get
-      // covered, the attempted set is untouched), so its sole effect is
-      // the round counter that keys solver-seed streams. Mirror it.
-      if (k > 0) ++round_;
-      const ReplayPlan& plan = plans[static_cast<std::size_t>(k)];
-      ++stats_.randomSequences;
-      ++randomSeqIndex_;
-      trace("random execution on S" + std::to_string(plan.start) + " (" +
-            std::to_string(plan.seq.size()) + " steps)");
-      bool grew = false;
-      int cur = plan.start;
-      std::vector<sim::InputVector> executed;
-      executed.reserve(plan.seq.size());
-      for (std::size_t i = 0; i < steps; ++i) {
-        const sim::StepObservationBatch& o = obsPool_[i];
-        const auto res = sim::recordObservation(cm_, o, k, tracker_);
-        ++stats_.stepsExecuted;
-        executed.push_back(plan.seq[i]);
-        const int existing = tree_.findByState(o.next(k));
-        if (existing >= 0) {
-          cur = existing;
-        } else if (tree_.size() <
-                   static_cast<std::size_t>(opt_.maxTreeNodes)) {
-          cur = tree_.addChild(cur, plan.seq[i], o.next(k));
-          grew = true;
-          trace("new state S" + std::to_string(cur));
-        }
-        if (res.foundNewCoverage()) {
-          TestCase tc;
-          tc.steps = tree_.pathInputs(plan.start);
-          tc.steps.insert(tc.steps.end(), executed.begin(), executed.end());
-          tc.timestampSec = watch_.elapsedSeconds();
-          tc.origin = TestOrigin::kRandom;
-          tests_.push_back(std::move(tc));
-          events_.push_back(GenEvent{watch_.elapsedSeconds(),
-                                     tracker_.decisionCoverage(),
-                                     TestOrigin::kRandom});
-          trace("test case emitted (random), DC=" +
-                std::to_string(tracker_.decisionCoverage()));
-        }
-        if (deadline_.expired()) break;
-      }
-      if (deadline_.expired() || allGoalsCovered() || grew) return;
-    }
-  }
-
-  const compile::CompiledModel& cm_;
-  const GenOptions& opt_;
-  Rng rngRoot_;  // never drawn from directly; phases fork below
-  Rng mcdcRng_;  // MCDC-pair solver seeds (coordinator only)
-  /// Base of the random-fallback stream. Never drawn from directly:
-  /// sequence s draws everything (start node, per-step library/fresh
-  /// choices) from randomBase_.fork(randomSeqIndex_ == s), so the draws a
-  /// sequence sees depend only on its ordinal — not on the lane width the
-  /// batched expansion happens to run, and not on how many draws earlier
-  /// sequences consumed. The counter advances only when a sequence is
-  /// committed; discarded speculative lanes recompute identical plans on
-  /// the next call.
-  Rng randomBase_;
-  std::uint64_t randomSeqIndex_ = 0;
-  std::vector<expr::VarInfo> inputInfos_;
-  coverage::CoverageTracker tracker_;
-  sim::Simulator sim_;
-  /// Lockstep lanes for the batched replay expansion; constructed on the
-  /// first randomExecutionBatch() call (never when opt_.batch <= 1).
-  std::optional<sim::BatchSimulator> bsim_;
-  // Pooled per-step observation batches for randomExecutionBatch():
-  // obsPool_[i] holds step i of every lane, reused across calls (the
-  // commit loop needs every (step, lane) next-state alive at once).
-  std::vector<sim::StepObservationBatch> obsPool_;
-  StateTree tree_;
-  Deadline deadline_;
-  Stopwatch watch_;
-  std::unique_ptr<ThreadPool> pool_;
-  int round_ = 0;  // solve rounds completed (keys per-task RNG streams)
-  std::vector<Goal> goals_;
-  std::vector<int> order_;
-  coverage::Exclusions exclusions_;  // proven-unreachable goals
-  std::vector<sim::InputVector> library_;  // the solved-input library
-  std::vector<TestCase> tests_;
-  std::vector<GenEvent> events_;
-  GenStats stats_;
-  StcgGenerator::TraceFn trace_;
-  void* traceUser_;
-};
-
-}  // namespace
 
 GenResult StcgGenerator::generate(const compile::CompiledModel& cm,
                                   const GenOptions& options) {
   validateGenOptions(options);
-  Run run(cm, options, trace_, traceUser_);
-  return run.execute();
+  Campaign campaign(cm, options, trace_, traceUser_);
+  if (options.resume) campaign.restore(options.checkpointPath);
+  while (!campaign.finished()) {
+    campaign.runRound();
+    if (campaign.checkpointDue()) {
+      campaign.saveCheckpoint(options.checkpointPath);
+    }
+  }
+  return campaign.finish();
 }
 
 }  // namespace stcg::gen

@@ -14,9 +14,14 @@
 //
 // Ablation switches in GenOptions turn off depth sorting, the random
 // fallback, or multi-node solving (root only), for the ablation bench.
+//
+// The loop itself lives in stcg/campaign.h as the resumable Campaign
+// class; this Generator is the run-to-completion driver: construct a
+// campaign, optionally restore a checkpoint, advance rounds until
+// finished, saving periodic checkpoints along the way.
 #pragma once
 
-#include "stcg/state_tree.h"
+#include "stcg/campaign.h"
 #include "stcg/testgen.h"
 
 namespace stcg::gen {
@@ -29,7 +34,7 @@ class StcgGenerator final : public Generator {
 
   /// Per-step trace hook for the Table-I style walkthrough bench. Set
   /// before generate(); receives human-readable trace lines.
-  using TraceFn = void (*)(const std::string& line, void* user);
+  using TraceFn = gen::TraceFn;
   void setTrace(TraceFn fn, void* user) {
     trace_ = fn;
     traceUser_ = user;

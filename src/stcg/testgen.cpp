@@ -1,6 +1,8 @@
 #include "stcg/testgen.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <set>
 #include <tuple>
 
@@ -22,6 +24,39 @@ void validateGenOptions(const GenOptions& options) {
   check("jobs", options.jobs);
   check("batch", options.batch);
   check("solver.batch", options.solver.batch);
+  if (options.checkpointEveryRounds < 1 ||
+      options.checkpointEveryRounds > 1'000'000) {
+    throw expr::EvalError(
+        "GenOptions: checkpointEveryRounds must be in [1, 1000000], got " +
+        std::to_string(options.checkpointEveryRounds));
+  }
+  if (options.maxRounds < 0) {
+    throw expr::EvalError("GenOptions: maxRounds must be >= 0, got " +
+                          std::to_string(options.maxRounds));
+  }
+  if (options.resume && options.checkpointPath.empty()) {
+    throw expr::EvalError(
+        "GenOptions: resume requires a non-empty checkpointPath");
+  }
+  if (!options.checkpointPath.empty()) {
+    // Probe writability now (append mode: never clobbers an existing
+    // checkpoint) so a doomed path fails before the campaign burns its
+    // budget, with a typed error instead of a mid-run save failure. If
+    // the probe had to create the file, remove it again — an empty file
+    // left behind would make a later `resume-if-exists` caller try to
+    // load a zero-byte checkpoint.
+    const bool existed =
+        static_cast<bool>(std::ifstream(options.checkpointPath));
+    std::ofstream probe(options.checkpointPath,
+                        std::ios::binary | std::ios::app);
+    const bool writable = static_cast<bool>(probe);
+    probe.close();
+    if (!existed && writable) std::remove(options.checkpointPath.c_str());
+    if (!writable) {
+      throw expr::EvalError("GenOptions: checkpointPath '" +
+                            options.checkpointPath + "' is not writable");
+    }
+  }
 }
 
 std::vector<Goal> buildGoals(const compile::CompiledModel& cm,

@@ -123,6 +123,25 @@ struct GenOptions {
   /// sequence can reach), so reported percentages reflect satisfiable
   /// goals only.
   bool pruneProvablyDead = false;
+
+  // Campaign checkpointing (STCG only; see stcg/campaign.h).
+  /// When non-empty, the campaign state is periodically serialized here
+  /// (atomic write: temp file + rename). Empty disables checkpointing.
+  std::string checkpointPath;
+  /// Save a checkpoint every this many completed rounds (>= 1). Only
+  /// meaningful with a non-empty checkpointPath.
+  int checkpointEveryRounds = 1;
+  /// Resume from checkpointPath instead of starting fresh. The file must
+  /// have been saved for the same model and the same trajectory-relevant
+  /// options (seed, solver budgets, sequence length, tree cap, ablation
+  /// switches) — jobs/batch/simEngine/budgetMillis/maxRounds may differ.
+  /// A missing/corrupt/stale file throws expr::EvalError.
+  bool resume = false;
+  /// Stop after this many rounds (0 = unlimited). Unlike budgetMillis,
+  /// the round cap is deterministic: two runs with the same seed and the
+  /// same maxRounds produce bit-identical results even on a loaded
+  /// machine, which is what the kill-and-resume fuzz harness compares.
+  int maxRounds = 0;
 };
 
 /// Validate the user-settable numeric knobs at the library boundary:

@@ -70,4 +70,36 @@ class Rng {
   std::uint64_t seed_;
 };
 
+/// Explicit cursor over a counter-based fork stream: child i is always
+/// `Rng(seed).fork(i)`, so the entire stream position is two integers —
+/// (seed, next counter). That makes a stream checkpointable: persist
+/// position(), later seek() to it, and next() resumes the exact child
+/// sequence in a fresh process. All campaign-lifetime randomness in the
+/// STCG generator flows through these cursors (see stcg::gen::Campaign);
+/// an Rng engine position, by contrast, is not serializable.
+class CounterStream {
+ public:
+  CounterStream() = default;
+  explicit CounterStream(std::uint64_t seed) : seed_(seed) {}
+  /// Cursor over the children of `base`: at(i) == base.fork(i) (fork(i)
+  /// depends only on base.seed(), never on its engine position).
+  explicit CounterStream(const Rng& base) : seed_(base.seed()) {}
+
+  /// Child `i` of the stream, position unchanged.
+  [[nodiscard]] Rng at(std::uint64_t i) const { return Rng(seed_).fork(i); }
+  /// The child at the cursor; advances the cursor.
+  [[nodiscard]] Rng next() { return at(pos_++); }
+  /// Advance the cursor without materializing the child (a lane computed
+  /// via at() was committed).
+  void skip() { ++pos_; }
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] std::uint64_t position() const { return pos_; }
+  void seek(std::uint64_t pos) { pos_ = pos; }
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::uint64_t pos_ = 0;
+};
+
 }  // namespace stcg

@@ -1,0 +1,609 @@
+// Resumable campaign core tests: the serialization codecs (scalars,
+// snapshots, coverage tracker, exclusions), checkpoint save/load with
+// version/signature/checksum rejection, the golden snapshot-hash pins for
+// the benchmark models, state-tree dedup under forced hash collisions,
+// and the headline contract — a campaign killed at round k and resumed
+// from its checkpoint finishes bit-identical to one never interrupted,
+// across jobs × batch × engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchmodels/benchmodels.h"
+#include "compile/compiler.h"
+#include "coverage/coverage.h"
+#include "model/model.h"
+#include "sim/simulator.h"
+#include "sim/snapshot_io.h"
+#include "stcg/campaign.h"
+#include "stcg/checkpoint.h"
+#include "stcg/stcg_generator.h"
+
+namespace stcg::gen {
+namespace {
+
+using expr::Scalar;
+using expr::Type;
+using model::Model;
+
+std::string tmpPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+// ----- snapshot_io: exact scalar/value/snapshot round-trips ---------------
+
+expr::Scalar roundTripScalar(const expr::Scalar& s) {
+  std::ostringstream os;
+  sim::writeScalar(os, s);
+  std::istringstream is(os.str());
+  return sim::readScalar(is);
+}
+
+std::uint64_t bitsOf(double d) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof u);
+  return u;
+}
+
+TEST(SnapshotIo, RealsRoundTripBitExactly) {
+  const double denormal = std::numeric_limits<double>::denorm_min();
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0 / 3.0,
+                           -1e308,
+                           denormal,
+                           -denormal,
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::max()};
+  for (const double v : values) {
+    const auto back = roundTripScalar(Scalar::r(v));
+    EXPECT_EQ(bitsOf(back.toReal()), bitsOf(v)) << v;
+  }
+}
+
+TEST(SnapshotIo, NanPayloadRoundTripsBitExactly) {
+  // snapshotHash hashes the raw 64-bit pattern, so a NaN that loses its
+  // payload across save/load would silently break state-tree dedup.
+  const std::uint64_t payloads[] = {0x7ff8000000000001ULL,
+                                    0xfff8deadbeef1234ULL,
+                                    0x7ff0000000000042ULL};
+  for (const std::uint64_t bits : payloads) {
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof v);
+    ASSERT_TRUE(std::isnan(v));
+    const auto back = roundTripScalar(Scalar::r(v));
+    EXPECT_EQ(bitsOf(back.toReal()), bits);
+  }
+}
+
+TEST(SnapshotIo, IntsAndBoolsRoundTrip) {
+  const std::int64_t ints[] = {0, -1, 42, INT64_MIN, INT64_MAX};
+  for (const std::int64_t v : ints) {
+    const auto back = roundTripScalar(Scalar::i(v));
+    EXPECT_EQ(back.type(), Type::kInt);
+    EXPECT_EQ(back.toInt(), v);
+  }
+  EXPECT_EQ(roundTripScalar(Scalar::b(true)).toBool(), true);
+  EXPECT_EQ(roundTripScalar(Scalar::b(false)).toBool(), false);
+}
+
+TEST(SnapshotIo, SnapshotsAndInputVectorsRoundTrip) {
+  const sim::StateSnapshot snap{
+      expr::Value(Scalar::i(7)),
+      expr::Value(Type::kReal,
+                  {Scalar::r(1.5), Scalar::r(-0.0), Scalar::r(2e-308)}),
+      expr::Value(Scalar::b(true))};
+  std::ostringstream os;
+  sim::writeSnapshot(os, snap);
+  std::istringstream is(os.str());
+  const auto back = sim::readSnapshot(is);
+  EXPECT_TRUE(back == snap);
+  EXPECT_EQ(sim::snapshotHash(back), sim::snapshotHash(snap));
+
+  const sim::InputVector in{Scalar::i(3), Scalar::r(0.25), Scalar::b(false)};
+  std::ostringstream os2;
+  sim::writeInputVector(os2, in);
+  std::istringstream is2(os2.str());
+  EXPECT_EQ(sim::readInputVector(is2), in);
+}
+
+TEST(SnapshotIo, MalformedInputThrowsTypedError) {
+  const char* bad[] = {"", "X3", "I", "Iabc", "R0x1p", "S 2 V i 1 I1",
+                       "V q 1 I1", "B2"};
+  for (const char* text : bad) {
+    std::istringstream is(text);
+    EXPECT_THROW((void)sim::readScalar(is), expr::EvalError) << text;
+  }
+  std::istringstream shortSnap("S 3 V i 1 I1");
+  EXPECT_THROW((void)sim::readSnapshot(shortSnap), expr::EvalError);
+}
+
+// ----- Golden snapshot hashes (satellite: pins hashScalar/snapshotHash) ---
+
+TEST(SnapshotHash, GoldenInitialStateHashesForBenchModels) {
+  // Literal pins of sim::snapshotHash over every benchmark model's initial
+  // snapshot. A change here means the hash function or an initial state
+  // changed — both invalidate existing checkpoints (the loader verifies
+  // recorded node hashes), so this must be a deliberate, versioned event.
+  const struct {
+    const char* name;
+    std::uint64_t hash;
+  } golden[] = {
+      {"CPUTask", 0x579eb28e29f1b459ULL},
+      {"AFC", 0x9a942a2d1556e65bULL},
+      {"TWC", 0x7017a79caa537c21ULL},
+      {"NICProtocol", 0x9963174fc5eab7e2ULL},
+      {"UTPC", 0x7017a79caa537c21ULL},
+      {"LANSwitch", 0xd944f50f54de9303ULL},
+      {"LEDLC", 0x8d5c1e331b18e2f5ULL},
+      {"TCP", 0xaee54f373aa5b402ULL},
+  };
+  for (const auto& g : golden) {
+    const auto cm = compile::compile(bench::buildBenchModel(g.name));
+    const sim::Simulator s(cm, sim::EvalEngine::kTape);
+    EXPECT_EQ(sim::snapshotHash(s.snapshot()), g.hash) << g.name;
+  }
+}
+
+// ----- StateTree under deliberate hash collisions -------------------------
+
+TEST(StateTree, CollidingHashesNeverMergeDistinctStates) {
+  const sim::StateSnapshot root{expr::Value(Scalar::i(0))};
+  const sim::StateSnapshot s1{expr::Value(Scalar::i(1))};
+  const sim::StateSnapshot s2{expr::Value(Scalar::i(2))};
+  StateTree tree(root);
+  // Force both distinct snapshots into the same hash bucket.
+  const std::uint64_t kForced = 0xc0111de1c0111de1ULL;
+  const int id1 = tree.addChild(0, {}, s1, kForced);
+  const int id2 = tree.addChild(0, {}, s2, kForced);
+  ASSERT_NE(id1, id2);
+  // findByState compares full state values inside the bucket: each
+  // snapshot resolves to its own node, a third value to neither.
+  EXPECT_EQ(tree.findByState(s1, kForced), id1);
+  EXPECT_EQ(tree.findByState(s2, kForced), id2);
+  const sim::StateSnapshot s3{expr::Value(Scalar::i(3))};
+  EXPECT_EQ(tree.findByState(s3, kForced), -1);
+}
+
+TEST(StateTree, AttemptedPairDedupIsByHashByDesign) {
+  // The global (stateHash, goal) set is deliberately hash-keyed: a
+  // collision merges attempt marks (documented tradeoff — it can only
+  // skip one solve attempt, deterministically). Pin that semantic so a
+  // future "fix" is a conscious decision.
+  const sim::StateSnapshot root{expr::Value(Scalar::i(0))};
+  const sim::StateSnapshot s1{expr::Value(Scalar::i(1))};
+  const sim::StateSnapshot s2{expr::Value(Scalar::i(2))};
+  StateTree tree(root);
+  const std::uint64_t kForced = 77;
+  const int id1 = tree.addChild(0, {}, s1, kForced);
+  const int id2 = tree.addChild(0, {}, s2, kForced);
+  tree.markAttempted(id1, 5);
+  EXPECT_TRUE(tree.isAttempted(id2, 5));
+  EXPECT_FALSE(tree.isAttempted(id2, 6));
+  EXPECT_EQ(tree.attemptedPairCount(), 1u);
+}
+
+// ----- Coverage tracker serialization -------------------------------------
+
+Model makeLatchModel() {
+  Model m("Latch");
+  auto code = m.addInport("code", Type::kInt, 0, 100000);
+  auto arm = m.addInport("arm", Type::kBool, 0, 1);
+  auto latch = m.addUnitDelayHole("latched", Scalar::i(-1));
+  auto latchNext = m.addSwitch("latch_next", code, arm, latch,
+                               model::SwitchCriteria::kNotZero, 0.0);
+  m.bindDelayInput(latch, latchNext);
+  auto match = m.addRelational("match", model::RelOp::kEq, code, latch);
+  auto valid = m.addCompareToConst("valid", latch, model::RelOp::kGe, 0.0);
+  auto unlock = m.addLogical("unlock", model::LogicOp::kAnd, {match, valid});
+  auto one = m.addConstant("one", Scalar::i(1));
+  auto zero = m.addConstant("zero", Scalar::i(0));
+  m.addOutport("y", m.addSwitch("out", one, unlock, zero,
+                                model::SwitchCriteria::kNotZero, 0.0));
+  return m;
+}
+
+TEST(CoverageSerialization, TrackerRoundTripsByteIdentically) {
+  const auto cm = compile::compile(makeLatchModel());
+  coverage::CoverageTracker tracker(cm);
+  sim::Simulator sim(cm, sim::EvalEngine::kTape);
+  Rng rng(123);
+  for (int i = 0; i < 40; ++i) {
+    (void)sim.step(sim::randomInput(cm, rng), &tracker);
+  }
+  std::ostringstream first;
+  tracker.serializeState(first);
+
+  coverage::CoverageTracker restored(cm);
+  std::istringstream is(first.str());
+  restored.restoreState(is);
+  std::ostringstream second;
+  restored.serializeState(second);
+  EXPECT_EQ(first.str(), second.str());
+  EXPECT_EQ(restored.decisionCoverage(), tracker.decisionCoverage());
+  EXPECT_EQ(restored.conditionCoverage(), tracker.conditionCoverage());
+  EXPECT_EQ(restored.mcdcCoverage(), tracker.mcdcCoverage());
+}
+
+TEST(CoverageSerialization, RestoreRejectsWrongShape) {
+  const auto cm = compile::compile(makeLatchModel());
+  coverage::CoverageTracker tracker(cm);
+  std::ostringstream os;
+  tracker.serializeState(os);
+
+  // A tracker for a structurally different model must refuse the blob.
+  Model tiny("tiny");
+  auto a = tiny.addInport("a", Type::kBool, 0, 1);
+  auto one = tiny.addConstant("one", Scalar::i(1));
+  auto zero = tiny.addConstant("zero", Scalar::i(0));
+  tiny.addOutport("y", tiny.addSwitch("sw", one, a, zero,
+                                      model::SwitchCriteria::kNotZero, 0.0));
+  const auto cmTiny = compile::compile(tiny);
+  coverage::CoverageTracker other(cmTiny);
+  std::istringstream is(os.str());
+  EXPECT_THROW(other.restoreState(is), expr::EvalError);
+}
+
+TEST(CoverageSerialization, ExclusionsRoundTrip) {
+  coverage::Exclusions excl;
+  excl.branches = {1, 4, 7};
+  excl.objectives = {0};
+  excl.conditionSlots = {{2, 0, true}, {2, 1, false}};
+  excl.mcdcSlots = {{3, 1}};
+  std::ostringstream os;
+  coverage::writeExclusions(os, excl);
+  std::istringstream is(os.str());
+  const auto back = coverage::readExclusions(is);
+  EXPECT_TRUE(back == excl);
+}
+
+// ----- Checkpoint save/load ------------------------------------------------
+
+GenOptions latchOptions() {
+  GenOptions opt;
+  opt.budgetMillis = 60000;  // non-binding; runs stop on the round cap
+  opt.seed = 77;
+  opt.solver.timeBudgetMillis = 50;
+  opt.maxRounds = 8;
+  return opt;
+}
+
+/// Drop the lines that legitimately differ between two saves of the same
+/// state (wall-clock elapsed time feeds the `elapsed` line and, through
+/// it, the checksum).
+std::string withoutVolatileLines(const std::string& text) {
+  std::istringstream is(text);
+  std::ostringstream os;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("elapsed ", 0) == 0) continue;
+    if (line.rfind("checksum ", 0) == 0) continue;
+    os << line << '\n';
+  }
+  return os.str();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+TEST(Checkpoint, SaveLoadSaveIsByteStable) {
+  const auto cm = compile::compile(makeLatchModel());
+  const GenOptions opt = latchOptions();
+  const std::string p1 = tmpPath("ck_stable_1");
+  const std::string p2 = tmpPath("ck_stable_2");
+
+  Campaign c1(cm, opt);
+  for (int i = 0; i < 4 && !c1.finished(); ++i) c1.runRound();
+  c1.saveCheckpoint(p1);
+
+  Campaign c2(cm, opt);
+  c2.restore(p1);
+  c2.saveCheckpoint(p2);
+  EXPECT_EQ(withoutVolatileLines(slurp(p1)), withoutVolatileLines(slurp(p2)));
+}
+
+TEST(Checkpoint, RejectsCorruptTruncatedStaleAndMissing) {
+  const auto cm = compile::compile(makeLatchModel());
+  const GenOptions opt = latchOptions();
+  const std::string good = tmpPath("ck_good");
+  {
+    Campaign c(cm, opt);
+    for (int i = 0; i < 3 && !c.finished(); ++i) c.runRound();
+    c.saveCheckpoint(good);
+  }
+  const std::string blob = slurp(good);
+  ASSERT_FALSE(blob.empty());
+
+  const auto expectRejected = [&](const std::string& path,
+                                  const char* needle) {
+    Campaign c(cm, opt);
+    try {
+      c.restore(path);
+      FAIL() << "expected EvalError for " << path;
+    } catch (const expr::EvalError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+
+  // Missing file.
+  expectRejected(tmpPath("ck_does_not_exist"), "cannot open");
+
+  // Truncations at several byte lengths: never UB, always a typed error.
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{10}, blob.size() / 2, blob.size() - 3}) {
+    const std::string p = tmpPath("ck_trunc");
+    std::ofstream(p, std::ios::binary) << blob.substr(0, len);
+    Campaign c(cm, opt);
+    EXPECT_THROW(c.restore(p), expr::EvalError) << "length " << len;
+  }
+
+  // Single flipped byte in the middle.
+  {
+    std::string bad = blob;
+    bad[bad.size() / 2] ^= 0x40;
+    const std::string p = tmpPath("ck_flip");
+    std::ofstream(p, std::ios::binary) << bad;
+    expectRejected(p, "checksum mismatch");
+  }
+
+  // Trailing junk after the checksum line: a full extra line hits the
+  // trailing-data check, an unterminated tail the final-newline check.
+  {
+    const std::string p = tmpPath("ck_tail");
+    std::ofstream(p, std::ios::binary) << blob << "junk\n";
+    expectRejected(p, "trailing data");
+  }
+  {
+    const std::string p = tmpPath("ck_tail2");
+    std::ofstream(p, std::ios::binary) << blob << "junk";
+    expectRejected(p, "end with a newline");
+  }
+
+  // Future format version (valid checksum, so the version check fires).
+  {
+    std::string body = "stcg-checkpoint v99\n";
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char ch : body) {
+      h ^= static_cast<unsigned char>(ch);
+      h *= 0x100000001b3ULL;
+    }
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(h));
+    const std::string p = tmpPath("ck_version");
+    std::ofstream(p, std::ios::binary)
+        << body << "checksum " << buf << '\n';
+    expectRejected(p, "unsupported format version");
+  }
+
+  // Stale trajectory-relevant options (different seed).
+  {
+    GenOptions other = opt;
+    other.seed = 78;
+    Campaign c(cm, other);
+    try {
+      c.restore(good);
+      FAIL() << "expected options-signature rejection";
+    } catch (const expr::EvalError& e) {
+      EXPECT_NE(std::string(e.what()).find("options signature"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+
+  // Different model.
+  {
+    const auto cmOther = compile::compile(bench::buildBenchModel("AFC"));
+    Campaign c(cmOther, opt);
+    try {
+      c.restore(good);
+      FAIL() << "expected model-signature rejection";
+    } catch (const expr::EvalError& e) {
+      EXPECT_NE(std::string(e.what()).find("model signature"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+
+  // Execution-strategy knobs and stop conditions are NOT in the
+  // signature: a checkpoint saved under one jobs/batch/budget must load
+  // under another.
+  {
+    GenOptions other = opt;
+    other.jobs = 4;
+    other.batch = 1;
+    other.budgetMillis = 123456;
+    other.maxRounds = 20;
+    Campaign c(cm, other);
+    EXPECT_NO_THROW(c.restore(good));
+  }
+}
+
+// ----- Resume equivalence --------------------------------------------------
+
+void expectIdentical(const GenResult& a, const GenResult& b,
+                     const std::string& what) {
+  ASSERT_EQ(a.tests.size(), b.tests.size()) << what;
+  for (std::size_t i = 0; i < a.tests.size(); ++i) {
+    EXPECT_EQ(a.tests[i].steps, b.tests[i].steps) << what << " test " << i;
+    EXPECT_EQ(a.tests[i].origin, b.tests[i].origin) << what << " test " << i;
+    EXPECT_EQ(a.tests[i].goalLabel, b.tests[i].goalLabel)
+        << what << " test " << i;
+  }
+  ASSERT_EQ(a.events.size(), b.events.size()) << what;
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].decisionCoverage, b.events[i].decisionCoverage)
+        << what << " event " << i;
+    EXPECT_EQ(a.events[i].origin, b.events[i].origin)
+        << what << " event " << i;
+  }
+  EXPECT_EQ(a.coverage.decision, b.coverage.decision) << what;
+  EXPECT_EQ(a.coverage.condition, b.coverage.condition) << what;
+  EXPECT_EQ(a.coverage.mcdc, b.coverage.mcdc) << what;
+  EXPECT_EQ(a.coverage.coveredBranches, b.coverage.coveredBranches) << what;
+  EXPECT_EQ(a.stats.solveCalls, b.stats.solveCalls) << what;
+  EXPECT_EQ(a.stats.solveSat, b.stats.solveSat) << what;
+  EXPECT_EQ(a.stats.solveUnsat, b.stats.solveUnsat) << what;
+  EXPECT_EQ(a.stats.solveUnknown, b.stats.solveUnknown) << what;
+  EXPECT_EQ(a.stats.stepsExecuted, b.stats.stepsExecuted) << what;
+  EXPECT_EQ(a.stats.treeNodes, b.stats.treeNodes) << what;
+  EXPECT_EQ(a.stats.randomSequences, b.stats.randomSequences) << what;
+}
+
+GenResult runUninterrupted(const compile::CompiledModel& cm,
+                           const GenOptions& opt) {
+  Campaign c(cm, opt);
+  while (!c.finished()) c.runRound();
+  return c.finish();
+}
+
+GenResult runKilledAtRound(const compile::CompiledModel& cm,
+                           const GenOptions& opt, int k,
+                           const std::string& path) {
+  {
+    Campaign c(cm, opt);
+    for (int i = 0; i < k && !c.finished(); ++i) c.runRound();
+    c.saveCheckpoint(path);
+    // The first process "dies" here; nothing after the save survives.
+  }
+  Campaign c(cm, opt);
+  c.restore(path);
+  while (!c.finished()) c.runRound();
+  return c.finish();
+}
+
+TEST(ResumeEquivalence, BitIdenticalAcrossJobsBatchEngine) {
+  // The headline contract: run-to-round-k -> serialize -> fresh process
+  // deserialize -> run-to-end equals the uninterrupted run, for every
+  // jobs × batch × engine combination. The latch model keeps
+  // unsatisfiable MCDC goals alive, so random fallback rounds (the
+  // batched path) genuinely execute before the round cap stops the run.
+  const auto cm = compile::compile(makeLatchModel());
+  for (const auto engine : {sim::EvalEngine::kTape, sim::EvalEngine::kJit}) {
+    for (const int jobs : {1, 4}) {
+      for (const int batch : {1, 8}) {
+        GenOptions opt = latchOptions();
+        opt.simEngine = engine;
+        opt.jobs = jobs;
+        opt.batch = batch;
+        opt.solver.batch = batch;
+        const std::string what =
+            std::string(engine == sim::EvalEngine::kTape ? "tape" : "jit") +
+            " jobs=" + std::to_string(jobs) +
+            " batch=" + std::to_string(batch);
+        const GenResult ref = runUninterrupted(cm, opt);
+        for (const int k : {1, 3, 6}) {
+          const GenResult resumed = runKilledAtRound(
+              cm, opt, k, tmpPath("ck_resume_" + std::to_string(k)));
+          expectIdentical(ref, resumed,
+                          what + " killed at round " + std::to_string(k));
+        }
+      }
+    }
+  }
+}
+
+TEST(ResumeEquivalence, CheckpointFromOneConfigResumesUnderAnother) {
+  // Save under jobs=1/batch=8, resume under jobs=4/batch=1 (and the
+  // reverse) — execution strategy is free to change across the kill.
+  const auto cm = compile::compile(makeLatchModel());
+  GenOptions optA = latchOptions();
+  optA.jobs = 1;
+  optA.batch = 8;
+  GenOptions optB = latchOptions();
+  optB.jobs = 4;
+  optB.batch = 1;
+  const GenResult ref = runUninterrupted(cm, optA);
+  expectIdentical(ref, runUninterrupted(cm, optB), "A vs B uninterrupted");
+
+  const std::string path = tmpPath("ck_cross");
+  {
+    Campaign c(cm, optA);
+    for (int i = 0; i < 3 && !c.finished(); ++i) c.runRound();
+    c.saveCheckpoint(path);
+  }
+  Campaign c(cm, optB);
+  c.restore(path);
+  while (!c.finished()) c.runRound();
+  GenResult crossed = c.finish();
+  expectIdentical(ref, crossed, "saved under A, resumed under B");
+}
+
+TEST(ResumeEquivalence, GeneratorLevelCheckpointEveryRound) {
+  // Through the public StcgGenerator API: checkpoint every round, then
+  // resume from the final checkpoint with a higher round cap; compare to
+  // an uninterrupted run with the same cap.
+  const auto cm = compile::compile(makeLatchModel());
+  GenOptions full = latchOptions();
+  full.maxRounds = 10;
+  StcgGenerator g;
+  const GenResult ref = g.generate(cm, full);
+
+  GenOptions staged = latchOptions();
+  staged.maxRounds = 4;
+  staged.checkpointPath = tmpPath("ck_gen");
+  staged.checkpointEveryRounds = 1;
+  (void)g.generate(cm, staged);
+
+  staged.maxRounds = 10;
+  staged.resume = true;
+  const GenResult resumed = g.generate(cm, staged);
+  expectIdentical(ref, resumed, "generator-level resume");
+}
+
+TEST(ResumeEquivalence, MaxRoundsIsDeterministic) {
+  const auto cm = compile::compile(makeLatchModel());
+  const GenOptions opt = latchOptions();
+  expectIdentical(runUninterrupted(cm, opt), runUninterrupted(cm, opt),
+                  "repeat");
+}
+
+// ----- Option validation ---------------------------------------------------
+
+TEST(GenOptionsValidation, ChecksCheckpointKnobs) {
+  GenOptions opt;
+  opt.checkpointEveryRounds = 0;
+  EXPECT_THROW(validateGenOptions(opt), expr::EvalError);
+  opt.checkpointEveryRounds = 1'000'001;
+  EXPECT_THROW(validateGenOptions(opt), expr::EvalError);
+  opt = {};
+  opt.maxRounds = -1;
+  EXPECT_THROW(validateGenOptions(opt), expr::EvalError);
+  opt = {};
+  opt.resume = true;  // resume without a checkpoint path
+  EXPECT_THROW(validateGenOptions(opt), expr::EvalError);
+  opt = {};
+  opt.checkpointPath = "/nonexistent-dir-zz/sub/ck";
+  try {
+    validateGenOptions(opt);
+    FAIL() << "expected unwritable-path rejection";
+  } catch (const expr::EvalError& e) {
+    EXPECT_NE(std::string(e.what()).find("not writable"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(GenOptionsValidation, WritabilityProbeLeavesNoFileBehind) {
+  GenOptions opt;
+  opt.checkpointPath = tmpPath("ck_probe_artifact");
+  validateGenOptions(opt);
+  EXPECT_FALSE(static_cast<bool>(std::ifstream(opt.checkpointPath)))
+      << "probe must not leave an empty file a resume-if-exists caller "
+         "would then try to load";
+}
+
+}  // namespace
+}  // namespace stcg::gen

@@ -4,12 +4,27 @@
 # to BENCH_eval.json / BENCH_batch.json at the repo root (the numbers
 # quoted in EXPERIMENTS.md).
 #
-# Usage: tools/bench.sh [build-dir] [-- extra bench args]
+# Usage: tools/bench.sh [build-dir] [--repeat N] [-- extra bench args]
+#   --repeat N  measure every cell N times and report the median per row
+#               (forwarded to both binaries; stabilizes the JSON numbers
+#               against noisy-neighbor and frequency-scaling blips)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-"$repo_root/build-release"}"
-shift || true
+build_dir="$repo_root/build-release"
+repeat_args=()
+if [ $# -gt 0 ] && [ "$1" != "--" ] && [ "$1" != "--repeat" ]; then
+  build_dir="$1"
+  shift
+fi
+if [ "${1:-}" = "--repeat" ]; then
+  if [ $# -lt 2 ]; then
+    echo "error: --repeat requires a value" >&2
+    exit 2
+  fi
+  repeat_args=(--repeat "$2")
+  shift 2
+fi
 [ "${1:-}" = "--" ] && shift
 
 echo "== configure (Release) =="
@@ -27,8 +42,8 @@ stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 
 echo "== run bench_eval_tape =="
 "$build_dir/bench/bench_eval_tape" --json "$repo_root/BENCH_eval.json" \
-  --git "$git_sha" --timestamp "$stamp" "$@"
+  --git "$git_sha" --timestamp "$stamp" ${repeat_args[@]+"${repeat_args[@]}"} "$@"
 
 echo "== run bench_batch_eval =="
 "$build_dir/bench/bench_batch_eval" --json "$repo_root/BENCH_batch.json" \
-  --git "$git_sha" --timestamp "$stamp" "$@"
+  --git "$git_sha" --timestamp "$stamp" ${repeat_args[@]+"${repeat_args[@]}"} "$@"

@@ -76,6 +76,15 @@ echo "== bench_batch_eval --quick (detected SIMD level) =="
 # verification is compiled out here, so the explicit sweep is the gate.
 "$bench_dir/tools/tape_audit" --quick
 
+# Kill-and-resume fuzz against the Release CLI: SIGKILL a checkpointed
+# campaign at random points, resume until it completes, and require the
+# exported suite to be byte-identical to an uninterrupted run; then a
+# sweep of corrupt/truncated checkpoints that must all be rejected with
+# a typed error (never a crash, never silent acceptance).
+echo "== checkpoint kill/resume fuzz (tools/resume_fuzz.sh) =="
+cmake --build "$bench_dir" -j "$(nproc)" --target stcg_cli
+"$repo_root/tools/resume_fuzz.sh" "$bench_dir/tools/stcg_cli"
+
 # JIT differential sweep in Release: the emitted C is compiled at -O2 and
 # must stay bit-identical to the interpreter even when the host build is
 # optimized. Containers without a C compiler skip (the library degrades

@@ -43,7 +43,8 @@ int usage(const char* argv0) {
       "       %s lint <model> [--json] [--no-reachability] [--tape]\n"
       "       %s <model> [--tool stcg|sldv|simcotest] [--budget MS]\n"
       "            [--seed N] [--jobs N] [--batch N] [--engine tree|tape|jit]\n"
-      "            [--solver box|local|portfolio]\n"
+      "            [--solver box|local|portfolio] [--max-rounds N]\n"
+      "            [--checkpoint FILE] [--checkpoint-every N] [--resume]\n"
       "            [--prune-dead] [--export FILE] [--csv FILE] [--dot FILE]\n"
       "            [--save-model FILE] [--invariant] [--trace]\n"
       "  <model> is a benchmark name (--list) or an .stcgm file path\n"
@@ -57,6 +58,13 @@ int usage(const char* argv0) {
       "    falls back to tape with a warning when unavailable — see\n"
       "    STCG_JIT / STCG_JIT_CC / STCG_JIT_CACHE in the README); results\n"
       "    are bit-identical across engines\n"
+      "  --checkpoint FILE saves the STCG campaign state to FILE every\n"
+      "    --checkpoint-every N rounds (default 1, atomic tmp+rename);\n"
+      "    --resume continues from FILE if it exists (fresh start with a\n"
+      "    note otherwise); the resumed run is bit-identical to one that\n"
+      "    was never interrupted\n"
+      "  --max-rounds N stops after N campaign rounds (0 = unlimited), a\n"
+      "    deterministic stop condition unlike the wall-clock --budget\n"
       "  lint exits 0 (clean), 1 (errors found) or 2 (bad usage/load)\n",
       argv0, argv0, argv0);
   return 2;
@@ -163,7 +171,7 @@ int main(int argc, char** argv) {
   const std::string modelName = argv[1];
   std::string tool = "stcg";
   std::string exportPath, csvPath, dotPath, saveModelPath;
-  bool wantInvariant = false, wantTrace = false;
+  bool wantInvariant = false, wantTrace = false, wantResume = false;
   gen::GenOptions opt;
 
   for (int i = 2; i < argc; ++i) {
@@ -214,6 +222,15 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--prune-dead") {
       opt.pruneProvablyDead = true;
+    } else if (arg == "--checkpoint") {
+      opt.checkpointPath = next();
+    } else if (arg == "--checkpoint-every") {
+      opt.checkpointEveryRounds =
+          static_cast<int>(parseIntFlag(arg, next(), 1, 1'000'000));
+    } else if (arg == "--resume") {
+      wantResume = true;
+    } else if (arg == "--max-rounds") {
+      opt.maxRounds = static_cast<int>(parseIntFlag(arg, next(), 0, 1'000'000));
     } else if (arg == "--export") {
       exportPath = next();
     } else if (arg == "--csv") {
@@ -228,6 +245,30 @@ int main(int argc, char** argv) {
       wantTrace = true;
     } else {
       return usage(argv[0]);
+    }
+  }
+
+  if (wantResume && opt.checkpointPath.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint FILE\n");
+    return 2;
+  }
+  if (!opt.checkpointPath.empty() && tool != "stcg") {
+    std::fprintf(stderr,
+                 "--checkpoint/--resume only apply to --tool stcg (got "
+                 "'%s')\n",
+                 tool.c_str());
+    return 2;
+  }
+  if (wantResume) {
+    // Lenient at the CLI: resume when the checkpoint exists, otherwise
+    // start fresh (so a kill-early/retry loop needs no state of its
+    // own). The library call itself stays strict and throws on a
+    // missing file.
+    if (static_cast<bool>(std::ifstream(opt.checkpointPath))) {
+      opt.resume = true;
+    } else {
+      std::printf("checkpoint '%s' not found; starting fresh\n",
+                  opt.checkpointPath.c_str());
     }
   }
 
@@ -290,7 +331,15 @@ int main(int argc, char** argv) {
     return usage(argv[0]);
   }
 
-  const auto res = g->generate(cm, opt);
+  gen::GenResult res;
+  try {
+    res = g->generate(cm, opt);
+  } catch (const expr::EvalError& e) {
+    // Typed generation-time failure: bad options, or a missing/corrupt/
+    // stale checkpoint under --resume.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
   std::printf(
       "\n%s: %zu tests | Decision %.1f%% | Condition %.1f%% | MCDC %.1f%%\n",
       res.toolName.c_str(), res.tests.size(), res.coverage.decision * 100,
