@@ -75,6 +75,10 @@ struct Row {
   double maskedCand = 0;          // candidates/sec, runBounded at B=8
   double skipRate = 0;            // skipped / (retired + skipped), B=8
   double iboxB1 = 0, iboxB8 = 0;  // interval boxes judged/sec
+  // Payload-row array path counters from the B=8 replay executor (see
+  // expr::BatchArrayStats) — a regression on the array word-move/typed-row
+  // fast paths shows up here before it shows up in steps/sec.
+  expr::BatchArrayStats arr;
 
   [[nodiscard]] double candSpeedupB8() const {
     return cand[0] > 0 ? cand[2] / cand[0] : 0;  // kWidths[2] == 8
@@ -283,7 +287,8 @@ double measureIntervalBoxesPerSec(const compile::CompiledModel& cm,
 
 double measureReplayStepsPerSec(const compile::CompiledModel& cm, int lanes,
                                 const std::vector<sim::InputVector>& inputs,
-                                double window) {
+                                double window,
+                                expr::BatchArrayStats* arrStats = nullptr) {
   coverage::CoverageTracker cov(cm);
   std::size_t cursor = 0;
   std::size_t steps = 0;
@@ -325,6 +330,7 @@ double measureReplayStepsPerSec(const compile::CompiledModel& cm, int lanes,
     steps += 16 * static_cast<std::size_t>(lanes);
     elapsed = secondsSince(t0);
   } while (elapsed < window);
+  if (arrStats != nullptr) *arrStats = bs.executor().arrayStats();
   return static_cast<double>(steps) / elapsed;
 }
 
@@ -337,7 +343,7 @@ void writeJson(const std::string& path, const std::vector<Row>& rows,
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     out << "    {\"name\": \"" << r.name << "\"";
-    char buf[128];
+    char buf[256];
     for (std::size_t w = 0; w < kNumWidths; ++w) {
       std::snprintf(buf, sizeof buf, ", \"cand_per_sec_b%d\": %.0f",
                     kWidths[w], r.cand[w]);
@@ -360,8 +366,23 @@ void writeJson(const std::string& path, const std::vector<Row>& rows,
     std::snprintf(buf, sizeof buf,
                   ", \"interval_boxes_per_sec_b1\": %.0f"
                   ", \"interval_boxes_per_sec_b8\": %.0f"
-                  ", \"interval_speedup_b8\": %.2f}%s\n",
-                  r.iboxB1, r.iboxB8, r.iboxSpeedupB8(),
+                  ", \"interval_speedup_b8\": %.2f",
+                  r.iboxB1, r.iboxB8, r.iboxSpeedupB8());
+    out << buf;
+    std::snprintf(buf, sizeof buf,
+                  ", \"array_typed_row_rate_b8\": %.4f"
+                  ", \"array_word_move_rate_b8\": %.4f",
+                  r.arr.typedRowRate(), r.arr.wordMoveRate());
+    out << buf;
+    std::snprintf(buf, sizeof buf,
+                  ", \"array_row_swaps_b8\": %llu"
+                  ", \"array_plane_copies_b8\": %llu"
+                  ", \"array_broadcast_binds_b8\": %llu"
+                  ", \"array_resident_rebinds_b8\": %llu}%s\n",
+                  static_cast<unsigned long long>(r.arr.planeSwaps),
+                  static_cast<unsigned long long>(r.arr.planeCopies),
+                  static_cast<unsigned long long>(r.arr.broadcastBinds),
+                  static_cast<unsigned long long>(r.arr.residentRebinds),
                   i + 1 < rows.size() ? "," : "");
     out << buf;
   }
@@ -419,7 +440,9 @@ int run(int argc, char** argv) {
         return measureCandidatesPerSec(goal, vars, kWidths[w], window);
       });
       row.steps[w] = benchx::medianOf(repeat, [&] {
-        return measureReplayStepsPerSec(cm, kWidths[w], inputs, window);
+        return measureReplayStepsPerSec(
+            cm, kWidths[w], inputs, window,
+            kWidths[w] == 8 ? &row.arr : nullptr);
       });
     }
     row.maskedCand = benchx::medianOf(repeat, [&] {
@@ -456,6 +479,19 @@ int run(int argc, char** argv) {
                 r.name.c_str(), r.maskedCand, r.skipRate * 100.0, r.iboxB1,
                 r.iboxB8, r.iboxSpeedupB8());
   }
+  std::printf("%-12s | %s\n", "",
+              "payload-row array paths at B=8 replay");
+  std::printf("%-12s %10s %10s %10s %10s %10s %10s\n", "model", "typed",
+              "wmove", "swaps", "copies", "bcasts", "resident");
+  for (const Row& r : rows) {
+    std::printf("%-12s %9.1f%% %9.1f%% %10llu %10llu %10llu %10llu\n",
+                r.name.c_str(), r.arr.typedRowRate() * 100.0,
+                r.arr.wordMoveRate() * 100.0,
+                static_cast<unsigned long long>(r.arr.planeSwaps),
+                static_cast<unsigned long long>(r.arr.planeCopies),
+                static_cast<unsigned long long>(r.arr.broadcastBinds),
+                static_cast<unsigned long long>(r.arr.residentRebinds));
+  }
   int candWins = 0;
   for (const Row& r : rows) candWins += r.candSpeedupB8() >= 2.0 ? 1 : 0;
   std::printf("models with B=8 candidate speedup >= 2x: %d/%zu\n", candWins,
@@ -475,8 +511,20 @@ int run(int argc, char** argv) {
                      r.name.c_str(), r.cand[2], r.cand[0]);
         return 1;
       }
+      // The two state-array-heavy rows were flat before the payload-row
+      // array planes; keep them strictly ahead of the scalar engine.
+      if ((r.name == "CPUTask" || r.name == "LANSwitch") &&
+          r.steps[2] <= r.steps[0]) {
+        std::fprintf(stderr,
+                     "FAIL: B=8 replay not faster than scalar on %s "
+                     "(%.0f vs %.0f steps/s)\n",
+                     r.name.c_str(), r.steps[2], r.steps[0]);
+        return 1;
+      }
     }
-    std::printf("quick gate passed: B=8 beats scalar on every model\n");
+    std::printf(
+        "quick gate passed: B=8 beats scalar on every model "
+        "(incl. CPUTask/LANSwitch replay)\n");
   }
   return 0;
 }

@@ -6,6 +6,7 @@
 
 #include "expr/builder.h"
 #include "expr/simd_ops.h"
+#include "expr/tape_verify.h"
 
 namespace stcg::expr {
 
@@ -50,37 +51,17 @@ BatchTapeExecutor::BatchTapeExecutor(std::shared_ptr<const Tape> tape,
   const std::size_t na = tape_->arraySlotCount();
   const auto B = static_cast<std::size_t>(lanes_);
 
-  // Static slot typing. Every scalar slot's payload type is known at
-  // compile time except kSelect results over arrays whose element type
-  // isn't statically uniform — only var-bound arrays qualify (setArrayVar
-  // keeps elements uncast); const arrays are element-cast by the builder
-  // and kStore/array-kIte results preserve uniformity, so selects over
-  // them stay statically typed and don't poison their downstream cone
-  // into the generic path.
-  slotType_.assign(ns, Type::kInt);
-  slotDynamic_.assign(ns, 0);
-  for (const std::int32_t s : tape_->constScalarSlots()) {
-    slotType_[static_cast<std::size_t>(s)] =
-        tape_->scalarInit()[static_cast<std::size_t>(s)].type();
-  }
-  for (const auto& b : tape_->varBindings()) {
-    slotType_[static_cast<std::size_t>(b.slot)] = b.type;
-  }
-
-  // Per array slot: statically uniform element type, if any. Computed in
-  // the same forward pass as the scalar types (the tape is topologically
-  // ordered SSA, so operands are classified before their consumers).
-  std::vector<std::uint8_t> arrStatic(na, 0);
-  std::vector<Type> arrType(na, Type::kInt);
-  for (const std::int32_t s : tape_->constArraySlots()) {
-    const auto& init = tape_->arrayInit()[static_cast<std::size_t>(s)];
-    if (init.empty()) continue;
-    bool uniform = true;
-    for (const Scalar& e : init) uniform &= e.type() == init[0].type();
-    if (uniform) {
-      arrStatic[static_cast<std::size_t>(s)] = 1;
-      arrType[static_cast<std::size_t>(s)] = init[0].type();
-    }
+  // Static slot typing, shared with the verifier and the JIT
+  // (analyzeTapeStaticTypes; see its doc for the per-op derivation).
+  // Consuming the per-slot summary in place of a per-program-point walk
+  // is sound because array slots are never shared by the optimizer
+  // (tape_passes.cpp: "arrays never share") and shared scalar slots only
+  // merge writers that agree on (static type, dynamic) — the verifier's
+  // checkTape enforces both invariants.
+  {
+    TapeStaticTypes st0 = analyzeTapeStaticTypes(*tape_);
+    slotType_ = std::move(st0.scalarType);
+    slotDynamic_ = std::move(st0.scalarDynamic);
   }
 
   const auto& code = tape_->code();
@@ -98,45 +79,10 @@ BatchTapeExecutor::BatchTapeExecutor(std::shared_ptr<const Tape> tape,
   };
   const auto intRep = [&](std::int32_t s) { return st(s) != Type::kReal; };
   for (const TapeInstr& in : code) {
-    if (in.arrayResult) {
-      const auto dst = static_cast<std::size_t>(in.dst);
-      if (in.op == Op::kStore) {
-        // Elements: the source array's plus one value cast to in.type.
-        const auto src = static_cast<std::size_t>(in.a);
-        arrStatic[dst] = arrStatic[src] != 0 && arrType[src] == in.type;
-        arrType[dst] = in.type;
-      } else {  // array kIte
-        const auto tb = static_cast<std::size_t>(in.b);
-        const auto fc = static_cast<std::size_t>(in.c);
-        arrStatic[dst] = arrStatic[tb] != 0 && arrStatic[fc] != 0 &&
-                         arrType[tb] == arrType[fc];
-        arrType[dst] = arrType[tb];
-      }
-    } else {
-      auto& t = slotType_[static_cast<std::size_t>(in.dst)];
-      switch (in.op) {
-        case Op::kNot:
-          t = Type::kBool;  // applyUnary returns Scalar::b, uncast
-          break;
-        case Op::kNeg:
-        case Op::kAbs:
-          // applyUnary returns Scalar::i even over kBool input.
-          t = in.type == Type::kReal ? Type::kReal : Type::kInt;
-          break;
-        case Op::kSelect:
-          if (arrStatic[static_cast<std::size_t>(in.a)] != 0) {
-            t = arrType[static_cast<std::size_t>(in.a)];
-          } else {
-            slotDynamic_[static_cast<std::size_t>(in.dst)] = 1;
-            t = in.type;  // unused while dynamic; keep something sane
-          }
-          break;
-        default:
-          // kCast, scalar kIte and every binary cast to the node type.
-          t = in.type;
-          break;
-      }
-    }
+    // Dynamic operands are fine everywhere the result representation does
+    // not depend on them (see the Kind doc): the coercing loads resolve
+    // each lane through its types_ row. Only the numeric binary group
+    // promotes over runtime types and needs the re-dispatching kind.
     Kind k = Kind::kGeneric;
     if (!in.arrayResult && in.op != Op::kSelect && in.op != Op::kStore) {
       switch (in.op) {
@@ -144,13 +90,21 @@ BatchTapeExecutor::BatchTapeExecutor(std::shared_ptr<const Tape> tape,
         case Op::kNeg:
         case Op::kAbs:
         case Op::kCast:
-          if (!dyn(in.a)) k = Kind::kUnary;
+          k = Kind::kUnary;
           break;
         case Op::kIte:
-          if (!dyn(in.a) && !dyn(in.b) && !dyn(in.c)) k = Kind::kIteScalar;
+          k = Kind::kIteScalar;
           break;
-        default:
-          if (!dyn(in.a) && !dyn(in.b)) k = Kind::kBinary;
+        case Op::kAdd:
+        case Op::kSub:
+        case Op::kMul:
+        case Op::kDiv:
+        case Op::kMin:
+        case Op::kMax:
+          k = !dyn(in.a) && !dyn(in.b) ? Kind::kBinary : Kind::kBinaryNumDyn;
+          break;
+        default:  // comparisons, kAnd/kOr/kXor, kMod
+          k = Kind::kBinary;
           break;
       }
     }
@@ -162,7 +116,14 @@ BatchTapeExecutor::BatchTapeExecutor(std::shared_ptr<const Tape> tape,
     // convert/store round-trip. Comparison and boolean results stored as
     // kBool or kInt are both raw 0/1 copies, hence `!= kReal` below.
     FastK f = FastK::kNone;
-    switch (k) {
+    // Direct-row kernels need the operands' static representation; a
+    // dynamic operand resolves per lane through types_, so those
+    // instructions stay on the scratch (or re-dispatching) path.
+    const bool dynOperand =
+        (k == Kind::kBinary && (dyn(in.a) || dyn(in.b))) ||
+        (k == Kind::kUnary && dyn(in.a)) ||
+        (k == Kind::kIteScalar && (dyn(in.a) || dyn(in.b) || dyn(in.c)));
+    switch (dynOperand ? Kind::kGeneric : k) {
       case Kind::kBinary: {
         const bool rr = st(in.a) == Type::kReal && st(in.b) == Type::kReal;
         const bool ii = intRep(in.a) && intRep(in.b);
@@ -260,6 +221,7 @@ BatchTapeExecutor::BatchTapeExecutor(std::shared_ptr<const Tape> tape,
           f = FastK::kSel;
         }
         break;
+      case Kind::kBinaryNumDyn:
       case Kind::kGeneric:
         break;
     }
@@ -330,10 +292,11 @@ BatchTapeExecutor::BatchTapeExecutor(std::shared_ptr<const Tape> tape,
       types_[s * B + l] = slotType_[s];
     }
   }
-  arrays_.resize(na * B);
+  planes_.resize(na);
   const auto& ainit = tape_->arrayInit();
   for (std::size_t s = 0; s < na; ++s) {
-    for (std::size_t l = 0; l < B; ++l) arrays_[s * B + l] = ainit[s];
+    planes_[s].len.assign(B, 0);
+    planeBroadcast(planes_[s], ainit[s]);
   }
 
   varBound_.assign(tape_->varBindings().size() * B, false);
@@ -428,11 +391,48 @@ void BatchTapeExecutor::setArrayVar(int lane, VarId id,
       bindings.begin(), bindings.end(), id,
       [](const TapeArrayBinding& b, VarId want) { return b.var < want; });
   for (; it != bindings.end() && it->var == id; ++it) {
-    arrays_[idx(it->slot, lane)] = v;
+    planeBindLane(planes_[static_cast<std::size_t>(it->slot)], lane, v);
     arrayBound_[static_cast<std::size_t>(it - bindings.begin()) *
                     static_cast<std::size_t>(lanes_) +
                 static_cast<std::size_t>(lane)] = true;
   }
+}
+
+void BatchTapeExecutor::setArrayVarBroadcast(VarId id,
+                                             const std::vector<Scalar>& v) {
+  const auto& bindings = tape_->arrayBindings();
+  auto it = std::lower_bound(
+      bindings.begin(), bindings.end(), id,
+      [](const TapeArrayBinding& b, VarId want) { return b.var < want; });
+  const auto B = static_cast<std::size_t>(lanes_);
+  for (; it != bindings.end() && it->var == id; ++it) {
+    planeBroadcast(planes_[static_cast<std::size_t>(it->slot)], v);
+    const std::size_t base =
+        static_cast<std::size_t>(it - bindings.begin()) * B;
+    for (std::size_t l = 0; l < B; ++l) arrayBound_[base + l] = true;
+    ++stats_.broadcastBinds;
+  }
+}
+
+bool BatchTapeExecutor::rebindArrayVarFromSlot(VarId id, SlotRef src,
+                                               Type want) {
+  if (!src.valid() || !src.isArray) return false;
+  const ArrayPlane& sp = planes_[static_cast<std::size_t>(src.slot)];
+  if (sp.uni != static_cast<std::int8_t>(want)) return false;
+  const auto& bindings = tape_->arrayBindings();
+  auto it = std::lower_bound(
+      bindings.begin(), bindings.end(), id,
+      [](const TapeArrayBinding& b, VarId v) { return b.var < v; });
+  const auto B = static_cast<std::size_t>(lanes_);
+  for (; it != bindings.end() && it->var == id; ++it) {
+    ArrayPlane& dp = planes_[static_cast<std::size_t>(it->slot)];
+    if (&dp != &sp) planeCopy(dp, sp);
+    const std::size_t base =
+        static_cast<std::size_t>(it - bindings.begin()) * B;
+    for (std::size_t l = 0; l < B; ++l) arrayBound_[base + l] = true;
+    ++stats_.residentRebinds;
+  }
+  return true;
 }
 
 void BatchTapeExecutor::bindEnv(int lane, const Env& env) {
@@ -493,6 +493,21 @@ void BatchTapeExecutor::storeScalar(std::int32_t slot, int lane,
 void BatchTapeExecutor::loadReal(std::int32_t slot, double* out) const {
   const std::uint64_t* v = &vals_[idx(slot, 0)];
   const int B = lanes_;
+  if (slotDynamic_[static_cast<std::size_t>(slot)] != 0) {
+    // kSelect-fed slot: the types_ row is authoritative per lane; this is
+    // Scalar::toReal applied to each lane's payload.
+    const Type* t = &types_[idx(slot, 0)];
+    for (int l = 0; l < B; ++l) {
+      switch (t[l]) {
+        case Type::kBool: out[l] = static_cast<double>(v[l]); break;
+        case Type::kInt:
+          out[l] = static_cast<double>(static_cast<std::int64_t>(v[l]));
+          break;
+        case Type::kReal: out[l] = bitsReal(v[l]); break;
+      }
+    }
+    return;
+  }
   switch (slotType_[static_cast<std::size_t>(slot)]) {
     case Type::kBool:
       for (int l = 0; l < B; ++l) out[l] = static_cast<double>(v[l]);
@@ -511,6 +526,14 @@ void BatchTapeExecutor::loadReal(std::int32_t slot, double* out) const {
 void BatchTapeExecutor::loadInt(std::int32_t slot, std::int64_t* out) const {
   const std::uint64_t* v = &vals_[idx(slot, 0)];
   const int B = lanes_;
+  if (slotDynamic_[static_cast<std::size_t>(slot)] != 0) {
+    const Type* t = &types_[idx(slot, 0)];
+    for (int l = 0; l < B; ++l) {
+      out[l] = t[l] == Type::kReal ? realToInt(bitsReal(v[l]))
+                                   : static_cast<std::int64_t>(v[l]);
+    }
+    return;
+  }
   switch (slotType_[static_cast<std::size_t>(slot)]) {
     case Type::kBool:
     case Type::kInt:
@@ -525,6 +548,18 @@ void BatchTapeExecutor::loadInt(std::int32_t slot, std::int64_t* out) const {
 void BatchTapeExecutor::loadBool(std::int32_t slot, std::uint64_t* out) const {
   const std::uint64_t* v = &vals_[idx(slot, 0)];
   const int B = lanes_;
+  if (slotDynamic_[static_cast<std::size_t>(slot)] != 0) {
+    const Type* t = &types_[idx(slot, 0)];
+    for (int l = 0; l < B; ++l) {
+      switch (t[l]) {
+        case Type::kBool: out[l] = v[l]; break;
+        case Type::kInt: out[l] = v[l] != 0 ? 1 : 0; break;
+        // Compare as double, not bits: -0.0 is false.
+        case Type::kReal: out[l] = bitsReal(v[l]) != 0.0 ? 1 : 0; break;
+      }
+    }
+    return;
+  }
   switch (slotType_[static_cast<std::size_t>(slot)]) {
     case Type::kBool:
       for (int l = 0; l < B; ++l) out[l] = v[l];
@@ -653,6 +688,95 @@ void BatchTapeExecutor::execUnary(const TapeInstr& in) {
   }
 }
 
+void BatchTapeExecutor::execBinaryArith(const TapeInstr& in, bool real) {
+  const int B = lanes_;
+  if (real) {
+    loadReal(in.a, ra_.data());
+    loadReal(in.b, rb_.data());
+    double* a = ra_.data();
+    const double* b = rb_.data();
+    switch (in.op) {
+      case Op::kAdd:
+        for (int l = 0; l < B; ++l) a[l] += b[l];
+        break;
+      case Op::kSub:
+        for (int l = 0; l < B; ++l) a[l] -= b[l];
+        break;
+      case Op::kMul:
+        for (int l = 0; l < B; ++l) a[l] *= b[l];
+        break;
+      case Op::kDiv:
+        for (int l = 0; l < B; ++l) {
+          a[l] = b[l] == 0.0 ? 0.0 : a[l] / b[l];
+        }
+        break;
+      case Op::kMin:
+        for (int l = 0; l < B; ++l) a[l] = std::fmin(a[l], b[l]);
+        break;
+      default:
+        for (int l = 0; l < B; ++l) a[l] = std::fmax(a[l], b[l]);
+        break;
+    }
+    storeRealAs(in.dst, in.type, a);
+  } else {
+    loadInt(in.a, ia_.data());
+    loadInt(in.b, ib_.data());
+    std::int64_t* a = ia_.data();
+    const std::int64_t* b = ib_.data();
+    switch (in.op) {
+      case Op::kAdd:
+        for (int l = 0; l < B; ++l) a[l] += b[l];
+        break;
+      case Op::kSub:
+        for (int l = 0; l < B; ++l) a[l] -= b[l];
+        break;
+      case Op::kMul:
+        for (int l = 0; l < B; ++l) a[l] *= b[l];
+        break;
+      case Op::kDiv:
+        for (int l = 0; l < B; ++l) a[l] = b[l] == 0 ? 0 : a[l] / b[l];
+        break;
+      case Op::kMin:
+        for (int l = 0; l < B; ++l) a[l] = std::min(a[l], b[l]);
+        break;
+      default:
+        for (int l = 0; l < B; ++l) a[l] = std::max(a[l], b[l]);
+        break;
+    }
+    storeIntAs(in.dst, in.type, a);
+  }
+}
+
+bool BatchTapeExecutor::rowUniformType(std::int32_t slot, Type* t) const {
+  if (slotDynamic_[static_cast<std::size_t>(slot)] == 0) {
+    *t = slotType_[static_cast<std::size_t>(slot)];
+    return true;
+  }
+  const Type* row = &types_[idx(slot, 0)];
+  for (int l = 1; l < lanes_; ++l) {
+    if (row[l] != row[0]) return false;
+  }
+  *t = row[0];
+  return true;
+}
+
+void BatchTapeExecutor::execBinaryNumDyn(const TapeInstr& in,
+                                         std::uint8_t mv) {
+  // applyBinary promotes over the RUNTIME operand types. When each
+  // dynamic operand's type row is lane-uniform the whole row shares one
+  // promotion, so the typed scratch path computes exactly the per-lane
+  // Scalar results; a mixed row keeps the Scalar walk.
+  Type ta{};
+  Type tb{};
+  if (!rowUniformType(in.a, &ta) || !rowUniformType(in.b, &tb)) {
+    execGeneric(in, mv);
+    return;
+  }
+  const Type nt = promote(ta == Type::kBool ? Type::kInt : ta,
+                          tb == Type::kBool ? Type::kInt : tb);
+  execBinaryArith(in, nt == Type::kReal);
+}
+
 void BatchTapeExecutor::execBinary(const TapeInstr& in) {
   const int B = lanes_;
   switch (in.op) {
@@ -666,61 +790,7 @@ void BatchTapeExecutor::execBinary(const TapeInstr& in) {
       const Type tb = slotType_[static_cast<std::size_t>(in.b)];
       const Type nt = promote(ta == Type::kBool ? Type::kInt : ta,
                               tb == Type::kBool ? Type::kInt : tb);
-      if (nt == Type::kReal) {
-        loadReal(in.a, ra_.data());
-        loadReal(in.b, rb_.data());
-        double* a = ra_.data();
-        const double* b = rb_.data();
-        switch (in.op) {
-          case Op::kAdd:
-            for (int l = 0; l < B; ++l) a[l] += b[l];
-            break;
-          case Op::kSub:
-            for (int l = 0; l < B; ++l) a[l] -= b[l];
-            break;
-          case Op::kMul:
-            for (int l = 0; l < B; ++l) a[l] *= b[l];
-            break;
-          case Op::kDiv:
-            for (int l = 0; l < B; ++l) {
-              a[l] = b[l] == 0.0 ? 0.0 : a[l] / b[l];
-            }
-            break;
-          case Op::kMin:
-            for (int l = 0; l < B; ++l) a[l] = std::fmin(a[l], b[l]);
-            break;
-          default:
-            for (int l = 0; l < B; ++l) a[l] = std::fmax(a[l], b[l]);
-            break;
-        }
-        storeRealAs(in.dst, in.type, a);
-      } else {
-        loadInt(in.a, ia_.data());
-        loadInt(in.b, ib_.data());
-        std::int64_t* a = ia_.data();
-        const std::int64_t* b = ib_.data();
-        switch (in.op) {
-          case Op::kAdd:
-            for (int l = 0; l < B; ++l) a[l] += b[l];
-            break;
-          case Op::kSub:
-            for (int l = 0; l < B; ++l) a[l] -= b[l];
-            break;
-          case Op::kMul:
-            for (int l = 0; l < B; ++l) a[l] *= b[l];
-            break;
-          case Op::kDiv:
-            for (int l = 0; l < B; ++l) a[l] = b[l] == 0 ? 0 : a[l] / b[l];
-            break;
-          case Op::kMin:
-            for (int l = 0; l < B; ++l) a[l] = std::min(a[l], b[l]);
-            break;
-          default:
-            for (int l = 0; l < B; ++l) a[l] = std::max(a[l], b[l]);
-            break;
-        }
-        storeIntAs(in.dst, in.type, a);
-      }
+      execBinaryArith(in, nt == Type::kReal);
       break;
     }
     case Op::kMod:
@@ -831,71 +901,404 @@ void BatchTapeExecutor::execIteScalar(const TapeInstr& in) {
   }
 }
 
+void BatchTapeExecutor::planeEnsureCap(ArrayPlane& p, std::int32_t elems) {
+  if (elems < 1) elems = 1;  // keep row 0 allocated for empty-array clamps
+  if (elems <= p.cap) return;
+  const auto B = static_cast<std::size_t>(lanes_);
+  p.pay.resize(static_cast<std::size_t>(elems) * B, 0);
+  p.tag.resize(static_cast<std::size_t>(elems) * B,
+               static_cast<std::uint8_t>(Type::kInt));
+  p.cap = elems;
+}
+
+void BatchTapeExecutor::planeMaterializeTags(ArrayPlane& p) {
+  std::memset(p.tag.data(), p.uni, p.tag.size());
+  p.uni = -1;
+}
+
+void BatchTapeExecutor::planeCopy(ArrayPlane& dst, const ArrayPlane& src) {
+  ++stats_.planeCopies;
+  const int B = lanes_;
+  const auto lanes = static_cast<std::size_t>(B);
+  std::int32_t maxLen = 0;
+  for (int l = 0; l < B; ++l) {
+    maxLen = std::max(maxLen, src.len[static_cast<std::size_t>(l)]);
+  }
+  planeEnsureCap(dst, maxLen);
+  dst.len = src.len;
+  dst.lensEqual = src.lensEqual;
+  dst.uni = src.uni;
+  if (src.lensEqual) {
+    const std::size_t words =
+        static_cast<std::size_t>(src.len[0]) * lanes;
+    std::memcpy(dst.pay.data(), src.pay.data(),
+                words * sizeof(std::uint64_t));
+    if (src.uni < 0) std::memcpy(dst.tag.data(), src.tag.data(), words);
+    stats_.wordMoveRows += static_cast<std::uint64_t>(src.len[0]);
+  } else {
+    for (int l = 0; l < B; ++l) {
+      for (std::int32_t e = 0; e < src.len[static_cast<std::size_t>(l)];
+           ++e) {
+        const std::size_t k = static_cast<std::size_t>(e) * lanes +
+                              static_cast<std::size_t>(l);
+        dst.pay[k] = src.pay[k];
+        if (src.uni < 0) dst.tag[k] = src.tag[k];
+      }
+    }
+    stats_.stridedRows += static_cast<std::uint64_t>(maxLen);
+  }
+}
+
+void BatchTapeExecutor::planeBroadcast(ArrayPlane& p,
+                                       const std::vector<Scalar>& v) {
+  const int B = lanes_;
+  const auto lanes = static_cast<std::size_t>(B);
+  const auto n = static_cast<std::int32_t>(v.size());
+  planeEnsureCap(p, n);
+  std::int8_t vU = n > 0 ? static_cast<std::int8_t>(v[0].type()) : p.uni;
+  for (std::size_t e = 1; e < v.size(); ++e) {
+    if (v[e].type() != static_cast<Type>(vU)) {
+      vU = -1;
+      break;
+    }
+  }
+  for (std::int32_t e = 0; e < n; ++e) {
+    const std::uint64_t w = bitsOf(v[static_cast<std::size_t>(e)]);
+    std::uint64_t* row = &p.pay[static_cast<std::size_t>(e) * lanes];
+    for (int l = 0; l < B; ++l) row[l] = w;
+  }
+  if (n > 0) {
+    // The whole valid region of every lane is rewritten, so the plane's
+    // uniformity is exactly the bound vector's.
+    p.uni = vU;
+    if (vU < 0) {
+      for (std::int32_t e = 0; e < n; ++e) {
+        std::memset(
+            &p.tag[static_cast<std::size_t>(e) * lanes],
+            static_cast<int>(v[static_cast<std::size_t>(e)].type()), lanes);
+      }
+    }
+  }
+  std::fill(p.len.begin(), p.len.end(), n);
+  p.lensEqual = true;
+}
+
+void BatchTapeExecutor::planeBindLane(ArrayPlane& p, int lane,
+                                      const std::vector<Scalar>& v) {
+  const int B = lanes_;
+  const auto lanes = static_cast<std::size_t>(B);
+  const auto n = static_cast<std::int32_t>(v.size());
+  planeEnsureCap(p, n);
+  for (std::size_t e = 0; e < v.size(); ++e) {
+    p.pay[e * lanes + static_cast<std::size_t>(lane)] = bitsOf(v[e]);
+  }
+  std::int8_t vU = n > 0 ? static_cast<std::int8_t>(v[0].type()) : p.uni;
+  for (std::size_t e = 1; e < v.size(); ++e) {
+    if (v[e].type() != static_cast<Type>(vU)) {
+      vU = -1;
+      break;
+    }
+  }
+  if (p.uni >= 0 && vU != p.uni && n > 0) {
+    // Uniformity can survive a differently-typed bind only when this lane
+    // is the plane's sole content (the other lanes are empty).
+    bool othersEmpty = true;
+    for (int l = 0; l < B; ++l) {
+      if (l != lane && p.len[static_cast<std::size_t>(l)] != 0) {
+        othersEmpty = false;
+        break;
+      }
+    }
+    if (othersEmpty && vU >= 0) {
+      p.uni = vU;
+    } else {
+      planeMaterializeTags(p);
+    }
+  }
+  if (p.uni < 0) {
+    for (std::size_t e = 0; e < v.size(); ++e) {
+      p.tag[e * lanes + static_cast<std::size_t>(lane)] =
+          static_cast<std::uint8_t>(v[e].type());
+    }
+  }
+  p.len[static_cast<std::size_t>(lane)] = n;
+  bool eq = true;
+  for (int l = 1; l < B; ++l) {
+    eq &= p.len[static_cast<std::size_t>(l)] == p.len[0];
+  }
+  p.lensEqual = eq;
+}
+
+Scalar BatchTapeExecutor::planeElem(const ArrayPlane& p, std::int32_t e,
+                                    int lane) const {
+  const std::size_t k =
+      static_cast<std::size_t>(e) * static_cast<std::size_t>(lanes_) +
+      static_cast<std::size_t>(lane);
+  const Type t =
+      p.uni >= 0 ? static_cast<Type>(p.uni) : static_cast<Type>(p.tag[k]);
+  switch (t) {
+    case Type::kBool:
+      return Scalar::b(p.pay[k] != 0);
+    case Type::kInt:
+      return Scalar::i(static_cast<std::int64_t>(p.pay[k]));
+    case Type::kReal:
+      return Scalar::r(bitsReal(p.pay[k]));
+  }
+  return Scalar();
+}
+
+bool BatchTapeExecutor::clampIndexRow(const ArrayPlane& p,
+                                      std::int64_t* common) {
+  const int B = lanes_;
+  bool same = true;
+  for (int l = 0; l < B; ++l) {
+    const auto n =
+        static_cast<std::int64_t>(p.len[static_cast<std::size_t>(l)]);
+    std::int64_t i = ia_[static_cast<std::size_t>(l)];
+    if (i < 0) i = 0;
+    if (i >= n) i = n - 1;
+    if (i < 0) i = 0;  // n == 0: stay on the allocated row 0
+    ia_[static_cast<std::size_t>(l)] = i;
+    same &= i == ia_[0];
+  }
+  *common = ia_[0];
+  return same;
+}
+
+void BatchTapeExecutor::execArraySelect(const TapeInstr& in) {
+  ++stats_.arrayOps;
+  const int B = lanes_;
+  const auto lanes = static_cast<std::size_t>(B);
+  const ArrayPlane& p = planes_[static_cast<std::size_t>(in.a)];
+  if (slotDynamic_[static_cast<std::size_t>(in.b)] == 0) {
+    loadInt(in.b, ia_.data());
+  } else {
+    for (int l = 0; l < B; ++l) {
+      ia_[static_cast<std::size_t>(l)] = loadScalar(in.b, l).toInt();
+    }
+  }
+  std::int64_t common = 0;
+  const bool sameRow = clampIndexRow(p, &common);
+  std::uint64_t* d = &vals_[idx(in.dst, 0)];
+  Type* dt = &types_[idx(in.dst, 0)];
+  if (sameRow && p.uni >= 0) {
+    // All lanes read the same uniformly-typed element row: one contiguous
+    // word move, no per-lane dispatch at all.
+    std::memcpy(d, &p.pay[static_cast<std::size_t>(common) * lanes],
+                lanes * sizeof(std::uint64_t));
+    std::fill(dt, dt + B, static_cast<Type>(p.uni));
+    ++stats_.typedRowOps;
+    ++stats_.wordMoveRows;
+    return;
+  }
+  for (int l = 0; l < B; ++l) {
+    const std::size_t k =
+        static_cast<std::size_t>(ia_[static_cast<std::size_t>(l)]) * lanes +
+        static_cast<std::size_t>(l);
+    d[l] = p.pay[k];
+    dt[l] = p.uni >= 0 ? static_cast<Type>(p.uni)
+                       : static_cast<Type>(p.tag[k]);
+  }
+  ++stats_.stridedRows;
+}
+
+void BatchTapeExecutor::execArrayStore(const TapeInstr& in, std::uint8_t mv) {
+  ++stats_.arrayOps;
+  const int B = lanes_;
+  const auto lanes = static_cast<std::size_t>(B);
+  if (in.a != in.dst) {
+    if ((mv & 1u) != 0) {
+      std::swap(planes_[static_cast<std::size_t>(in.dst)],
+                planes_[static_cast<std::size_t>(in.a)]);
+      ++stats_.planeSwaps;
+    } else {
+      planeCopy(planes_[static_cast<std::size_t>(in.dst)],
+                planes_[static_cast<std::size_t>(in.a)]);
+    }
+  }
+  ArrayPlane& p = planes_[static_cast<std::size_t>(in.dst)];
+  if (slotDynamic_[static_cast<std::size_t>(in.b)] == 0) {
+    loadInt(in.b, ia_.data());
+  } else {
+    for (int l = 0; l < B; ++l) {
+      ia_[static_cast<std::size_t>(l)] = loadScalar(in.b, l).toInt();
+    }
+  }
+  std::int64_t common = 0;
+  const bool sameRow = clampIndexRow(p, &common);
+  // Stored-value payload row: loadReal/loadInt/loadBool apply the exact
+  // Scalar::castTo(in.type) coercions lane-wide; a dynamically typed value
+  // slot takes the per-lane Scalar path. ia_ holds indices, so the value
+  // converts through the other scratch rows.
+  std::uint64_t* bits = bb_.data();
+  if (slotDynamic_[static_cast<std::size_t>(in.c)] == 0) {
+    switch (in.type) {
+      case Type::kReal:
+        loadReal(in.c, ra_.data());
+        for (int l = 0; l < B; ++l) {
+          bits[l] = realBits(ra_[static_cast<std::size_t>(l)]);
+        }
+        break;
+      case Type::kInt:
+        loadInt(in.c, ib_.data());
+        for (int l = 0; l < B; ++l) {
+          bits[l] =
+              static_cast<std::uint64_t>(ib_[static_cast<std::size_t>(l)]);
+        }
+        break;
+      case Type::kBool:
+        loadBool(in.c, bits);
+        break;
+    }
+  } else {
+    for (int l = 0; l < B; ++l) {
+      bits[l] = bitsOf(loadScalar(in.c, l).castTo(in.type));
+    }
+  }
+  if (sameRow) {
+    std::memcpy(&p.pay[static_cast<std::size_t>(common) * lanes], bits,
+                lanes * sizeof(std::uint64_t));
+    ++stats_.wordMoveRows;
+  } else {
+    for (int l = 0; l < B; ++l) {
+      p.pay[static_cast<std::size_t>(ia_[static_cast<std::size_t>(l)]) *
+                lanes +
+            static_cast<std::size_t>(l)] = bits[l];
+    }
+    ++stats_.stridedRows;
+  }
+  // The written elements are exactly in.type; keep uni/tags truthful.
+  if (p.uni != static_cast<std::int8_t>(in.type)) {
+    if (p.uni >= 0) planeMaterializeTags(p);
+    if (sameRow) {
+      std::memset(&p.tag[static_cast<std::size_t>(common) * lanes],
+                  static_cast<int>(in.type), lanes);
+    } else {
+      for (int l = 0; l < B; ++l) {
+        p.tag[static_cast<std::size_t>(ia_[static_cast<std::size_t>(l)]) *
+                  lanes +
+              static_cast<std::size_t>(l)] =
+            static_cast<std::uint8_t>(in.type);
+      }
+    }
+  }
+  if (p.uni >= 0 && sameRow) ++stats_.typedRowOps;
+}
+
+void BatchTapeExecutor::execArrayIte(const TapeInstr& in, std::uint8_t mv) {
+  ++stats_.arrayOps;
+  const int B = lanes_;
+  const auto lanes = static_cast<std::size_t>(B);
+  if (slotDynamic_[static_cast<std::size_t>(in.a)] == 0) {
+    loadBool(in.a, bc_.data());
+  } else {
+    for (int l = 0; l < B; ++l) {
+      bc_[static_cast<std::size_t>(l)] =
+          loadScalar(in.a, l).toBool() ? 1 : 0;
+    }
+  }
+  int trues = 0;
+  for (int l = 0; l < B; ++l) {
+    trues += bc_[static_cast<std::size_t>(l)] != 0 ? 1 : 0;
+  }
+  if (trues == B || trues == 0) {
+    // Every lane picks the same arm: whole-plane move (or nothing when
+    // the arm is the destination slot itself).
+    const std::int32_t src = trues == B ? in.b : in.c;
+    const std::uint8_t bit = trues == B ? 1u : 2u;
+    if (src != in.dst) {
+      if ((mv & bit) != 0) {
+        std::swap(planes_[static_cast<std::size_t>(in.dst)],
+                  planes_[static_cast<std::size_t>(src)]);
+        ++stats_.planeSwaps;
+      } else {
+        planeCopy(planes_[static_cast<std::size_t>(in.dst)],
+                  planes_[static_cast<std::size_t>(src)]);
+      }
+    }
+    if (planes_[static_cast<std::size_t>(in.dst)].uni >= 0) {
+      ++stats_.typedRowOps;
+    }
+    return;
+  }
+  // Mixed condition: build dst per lane from both arms. dst may alias an
+  // arm slot; every move below reads the chosen source at the exact
+  // (elem, lane) position it writes, so aliased positions only copy onto
+  // themselves. Capture per-lane chosen lengths (ib_ scratch) before any
+  // plane mutation.
+  ArrayPlane& pb = planes_[static_cast<std::size_t>(in.b)];
+  ArrayPlane& pc = planes_[static_cast<std::size_t>(in.c)];
+  std::int32_t maxLen = 0;
+  bool lensEq = true;
+  for (int l = 0; l < B; ++l) {
+    const ArrayPlane& s = bc_[static_cast<std::size_t>(l)] != 0 ? pb : pc;
+    const std::int32_t n = s.len[static_cast<std::size_t>(l)];
+    ib_[static_cast<std::size_t>(l)] = n;
+    maxLen = std::max(maxLen, n);
+    lensEq &= n == static_cast<std::int32_t>(ib_[0]);
+  }
+  ArrayPlane& d = planes_[static_cast<std::size_t>(in.dst)];
+  planeEnsureCap(d, maxLen);
+  const bool bothUniSame = pb.uni >= 0 && pb.uni == pc.uni;
+  if (bothUniSame && pb.lensEqual && pc.lensEqual &&
+      pb.len[0] == pc.len[0]) {
+    // Uniform same-typed arms of identical shape: per-element-row payload
+    // select through the LaneKernels table (sel64 allows dst == a or
+    // dst == b exactly, which covers the aliasing case).
+    const std::int32_t n = pb.len[0];
+    for (std::int32_t e = 0; e < n; ++e) {
+      kern_->sel64(&d.pay[static_cast<std::size_t>(e) * lanes], bc_.data(),
+                   &pb.pay[static_cast<std::size_t>(e) * lanes],
+                   &pc.pay[static_cast<std::size_t>(e) * lanes], B);
+    }
+    d.uni = pb.uni;
+    stats_.wordMoveRows += static_cast<std::uint64_t>(n);
+    ++stats_.typedRowOps;
+  } else {
+    for (int l = 0; l < B; ++l) {
+      const ArrayPlane& s = bc_[static_cast<std::size_t>(l)] != 0 ? pb : pc;
+      const std::int8_t su = s.uni;
+      const auto n = static_cast<std::int32_t>(ib_[static_cast<std::size_t>(l)]);
+      for (std::int32_t e = 0; e < n; ++e) {
+        const std::size_t k =
+            static_cast<std::size_t>(e) * lanes + static_cast<std::size_t>(l);
+        d.pay[k] = s.pay[k];
+        if (!bothUniSame) {
+          d.tag[k] = su >= 0 ? static_cast<std::uint8_t>(su) : s.tag[k];
+        }
+      }
+    }
+    // Tags were written at every valid (elem, lane); positions beyond a
+    // lane's length are never read, so no materialization pass is needed.
+    d.uni = bothUniSame ? pb.uni : -1;
+    stats_.stridedRows += static_cast<std::uint64_t>(maxLen);
+  }
+  for (int l = 0; l < B; ++l) {
+    d.len[static_cast<std::size_t>(l)] =
+        static_cast<std::int32_t>(ib_[static_cast<std::size_t>(l)]);
+  }
+  d.lensEqual = lensEq;
+}
+
 void BatchTapeExecutor::execGeneric(const TapeInstr& in, std::uint8_t mv) {
   // Per-lane mirror of TapeExecutor::exec — same helper calls, same
-  // results. The array ops hoist statically typed scalar operands into a
-  // lane-wide coercing load (loadInt/loadBool apply the exact
-  // Scalar::toInt/toBool conversions) and honor the arrMove_ swap
-  // permission computed at construction; dynamically typed operands take
-  // the per-lane Scalar path unchanged.
+  // results. The array ops dispatch to the payload-row movers above;
+  // dynamically typed scalar operands take the per-lane Scalar path
+  // unchanged.
   const int B = lanes_;
-  const auto dyn = [&](std::int32_t s) {
-    return slotDynamic_[static_cast<std::size_t>(s)] != 0;
-  };
   switch (in.op) {
     case Op::kIte:
       if (in.arrayResult) {
-        const bool staticCond = !dyn(in.a);
-        if (staticCond) loadBool(in.a, bc_.data());
-        for (int lane = 0; lane < B; ++lane) {
-          const bool t = staticCond
-                             ? bc_[static_cast<std::size_t>(lane)] != 0
-                             : loadScalar(in.a, lane).toBool();
-          const std::int32_t src = t ? in.b : in.c;
-          auto& dst = arrays_[idx(in.dst, lane)];
-          if ((mv & (t ? 1u : 2u)) != 0) {
-            dst.swap(arrays_[idx(src, lane)]);
-          } else {
-            dst = arrays_[idx(src, lane)];
-          }
-        }
+        execArrayIte(in, mv);
         return;
       }
       break;
-    case Op::kSelect: {
-      const bool staticIdx = !dyn(in.b);
-      if (staticIdx) loadInt(in.b, ia_.data());
-      for (int lane = 0; lane < B; ++lane) {
-        const auto& arr = arrays_[idx(in.a, lane)];
-        auto i = staticIdx ? ia_[static_cast<std::size_t>(lane)]
-                           : loadScalar(in.b, lane).toInt();
-        const auto n = static_cast<std::int64_t>(arr.size());
-        if (i < 0) i = 0;
-        if (i >= n) i = n - 1;
-        storeScalar(in.dst, lane, arr[static_cast<std::size_t>(i)]);
-      }
+    case Op::kSelect:
+      execArraySelect(in);
       return;
-    }
-    case Op::kStore: {
-      const bool staticIdx = !dyn(in.b);
-      if (staticIdx) loadInt(in.b, ia_.data());
-      for (int lane = 0; lane < B; ++lane) {
-        auto& dst = arrays_[idx(in.dst, lane)];
-        if ((mv & 1u) != 0) {
-          dst.swap(arrays_[idx(in.a, lane)]);
-        } else {
-          dst = arrays_[idx(in.a, lane)];
-        }
-        auto i = staticIdx ? ia_[static_cast<std::size_t>(lane)]
-                           : loadScalar(in.b, lane).toInt();
-        const auto v = loadScalar(in.c, lane).castTo(in.type);
-        const auto n = static_cast<std::int64_t>(dst.size());
-        if (i < 0) i = 0;
-        if (i >= n) i = n - 1;
-        dst[static_cast<std::size_t>(i)] = v;
-      }
+    case Op::kStore:
+      execArrayStore(in, mv);
       return;
-    }
     default:
       break;
   }
@@ -986,6 +1389,9 @@ void BatchTapeExecutor::run() {
       case Kind::kBinary:
         execBinary(in);
         break;
+      case Kind::kBinaryNumDyn:
+        execBinaryNumDyn(in, arrMove_[i]);
+        break;
       case Kind::kIteScalar:
         execIteScalar(in);
         break;
@@ -1000,9 +1406,25 @@ Scalar BatchTapeExecutor::scalar(SlotRef r, int lane) const {
   return loadScalar(r.slot, lane);
 }
 
-const std::vector<Scalar>& BatchTapeExecutor::array(SlotRef r,
-                                                    int lane) const {
-  return arrays_[idx(r.slot, lane)];
+std::vector<Scalar> BatchTapeExecutor::array(SlotRef r, int lane) const {
+  const ArrayPlane& p = planes_[static_cast<std::size_t>(r.slot)];
+  const std::int32_t n = p.len[static_cast<std::size_t>(lane)];
+  std::vector<Scalar> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::int32_t e = 0; e < n; ++e) out.push_back(planeElem(p, e, lane));
+  return out;
+}
+
+std::size_t BatchTapeExecutor::arrayLen(SlotRef r, int lane) const {
+  return static_cast<std::size_t>(
+      planes_[static_cast<std::size_t>(r.slot)]
+          .len[static_cast<std::size_t>(lane)]);
+}
+
+Scalar BatchTapeExecutor::arrayElem(SlotRef r, int lane,
+                                    std::size_t i) const {
+  return planeElem(planes_[static_cast<std::size_t>(r.slot)],
+                   static_cast<std::int32_t>(i), lane);
 }
 
 double BatchTapeExecutor::scalarToReal(SlotRef r, int lane) const {

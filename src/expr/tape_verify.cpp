@@ -273,6 +273,12 @@ class Verifier {
     // multi-writer agreement check.
     std::vector<std::int8_t> seenType(t_.scalarSlotCount(), -1);
     std::vector<std::uint8_t> seenDyn(t_.scalarSlotCount(), 0);
+    // Likewise per array slot: (statically uniform?, element type). The
+    // batch executor's payload planes fix this summary at construction,
+    // so writers sharing an array slot must agree on it. The optimizer
+    // never shares array slots; this fires only on hand-built tapes.
+    std::vector<std::int8_t> seenAUni(t_.arraySlotCount(), -1);
+    std::vector<std::int8_t> seenAElem(t_.arraySlotCount(), 0);
 
     const auto& code = t_.code();
     for (std::size_t i = 0; i < code.size(); ++i) {
@@ -332,6 +338,31 @@ class Verifier {
             issue(TapeIssueKind::kConstClobbered, idx,
                   "instruction overwrites constant/variable array slot " +
                       std::to_string(in.dst));
+          }
+          // Re-derive this writer's (uniform, element type) contribution
+          // from its operands' summaries, mirroring analyzeTapeStaticTypes.
+          bool myUni = false;
+          Type myElem = in.type;
+          if (in.op == Op::kStore) {
+            const auto a = static_cast<std::size_t>(in.a);
+            myUni = in.a >= 0 && in.a < nArray() &&
+                    st.arrayUniform[a] != 0 && st.arrayElemType[a] == in.type;
+          } else if (in.op == Op::kIte && in.b >= 0 && in.b < nArray() &&
+                     in.c >= 0 && in.c < nArray()) {
+            const auto tb = static_cast<std::size_t>(in.b);
+            const auto fc = static_cast<std::size_t>(in.c);
+            myUni = st.arrayUniform[tb] != 0 && st.arrayUniform[fc] != 0 &&
+                    st.arrayElemType[tb] == st.arrayElemType[fc];
+            myElem = st.arrayElemType[tb];
+          }
+          if (seenAUni[d] < 0) {
+            seenAUni[d] = myUni ? 1 : 0;
+            seenAElem[d] = static_cast<std::int8_t>(myElem);
+          } else if ((seenAUni[d] != 0) != myUni ||
+                     (myUni && static_cast<Type>(seenAElem[d]) != myElem)) {
+            issue(TapeIssueKind::kTypeMismatch, idx,
+                  "writers of shared array slot " + std::to_string(in.dst) +
+                      " disagree on its static element type");
           }
           aDef[d] = 1;
         } else {

@@ -1,5 +1,7 @@
 #include "sim/batch_simulator.h"
 
+#include <algorithm>
+
 namespace stcg::sim {
 
 using expr::Scalar;
@@ -30,6 +32,8 @@ BatchSimulator::BatchSimulator(const compile::CompiledModel& cm, int lanes)
     : cm_(&cm), modelTape_(compile::buildModelTape(cm)) {
   exec_.emplace(modelTape_.tape, lanes);
   state_.resize(static_cast<std::size_t>(exec_->lanes()));
+  freshReset_.assign(static_cast<std::size_t>(exec_->lanes()), 0);
+  laneClean_.assign(static_cast<std::size_t>(exec_->lanes()), 0);
   for (int l = 0; l < exec_->lanes(); ++l) reset(l);
 }
 
@@ -38,6 +42,8 @@ void BatchSimulator::reset(int lane) {
   st.clear();
   st.reserve(cm_->states.size());
   for (const auto& s : cm_->states) st.push_back(s.init);
+  freshReset_[static_cast<std::size_t>(lane)] = 1;
+  laneClean_[static_cast<std::size_t>(lane)] = 0;
 }
 
 void BatchSimulator::restore(int lane, const StateSnapshot& s) {
@@ -47,12 +53,46 @@ void BatchSimulator::restore(int lane, const StateSnapshot& s) {
                    std::to_string(cm_->states.size()));
   }
   state_[static_cast<std::size_t>(lane)] = s;
+  freshReset_[static_cast<std::size_t>(lane)] = 0;
+  laneClean_[static_cast<std::size_t>(lane)] = 0;
 }
 
 void BatchSimulator::stepBatch(const std::vector<const InputVector*>& inputs,
                                StepObservationBatch& out) {
   expr::BatchTapeExecutor& ex = *exec_;
   const int B = ex.lanes();
+  // Freshly reset lanes all hold the model's initial state, so wide
+  // states can be bound once for every lane with a broadcast fan-out
+  // instead of B per-lane column writes — the common replay-reset case.
+  // Lanes whose state came from our own last readback (no reset/restore
+  // since) are even cheaper: the value about to be bound is exactly the
+  // previous run's next-state plane, so one plane copy replaces B
+  // per-lane Scalar binds — the steady-state replay path.
+  bool allFresh = true;
+  bool allClean = true;
+  for (int lane = 0; lane < B; ++lane) {
+    allFresh &= freshReset_[static_cast<std::size_t>(lane)] != 0;
+    allClean &= laneClean_[static_cast<std::size_t>(lane)] != 0;
+  }
+  boundWide_.assign(cm_->states.size(), 0);
+  if (allFresh) {
+    for (std::size_t i = 0; i < cm_->states.size(); ++i) {
+      const auto& sv = cm_->states[i];
+      if (sv.width != 1) {
+        ex.setArrayVarBroadcast(sv.id, sv.init.elems());
+        boundWide_[i] = 1;
+      }
+    }
+  } else if (allClean) {
+    for (std::size_t i = 0; i < cm_->states.size(); ++i) {
+      const auto& sv = cm_->states[i];
+      if (sv.width != 1 &&
+          ex.rebindArrayVarFromSlot(sv.id, modelTape_.stateNext[i],
+                                    sv.type)) {
+        boundWide_[i] = 1;
+      }
+    }
+  }
   for (int lane = 0; lane < B; ++lane) {
     const InputVector& in = *inputs[static_cast<std::size_t>(lane)];
     if (in.size() != cm_->inputs.size()) {
@@ -65,7 +105,7 @@ void BatchSimulator::stepBatch(const std::vector<const InputVector*>& inputs,
       const auto& sv = cm_->states[i];
       if (sv.width == 1) {
         ex.setVar(lane, sv.id, st[i].scalar());
-      } else {
+      } else if (!boundWide_[i]) {
         ex.setArrayVar(lane, sv.id, st[i].elems());
       }
     }
@@ -133,19 +173,23 @@ void BatchSimulator::stepBatch(const std::vector<const InputVector*>& inputs,
           cell = Value(ex.scalar(slot, lane).castTo(sv.type));
         }
       } else {
-        const auto& arr = ex.array(slot, lane);
+        // Element reads straight off the payload plane — no vector<Scalar>
+        // materialization on the hot path.
+        const std::size_t n = ex.arrayLen(slot, lane);
         if (cell.type() == sv.type &&
-            cell.width() == static_cast<int>(arr.size())) {
-          for (std::size_t j = 0; j < arr.size(); ++j) {
-            cell.set(static_cast<int>(j), arr[j]);
+            cell.width() == static_cast<int>(n)) {
+          for (std::size_t j = 0; j < n; ++j) {
+            cell.set(static_cast<int>(j), ex.arrayElem(slot, lane, j));
           }
         } else {
-          cell = Value(sv.type, arr);
+          cell = Value(sv.type, ex.array(slot, lane));
         }
       }
     }
     out.next_[L] = st;  // copy-assign: element storage reused after step 1
   }
+  std::fill(freshReset_.begin(), freshReset_.end(), 0);
+  std::fill(laneClean_.begin(), laneClean_.end(), 1);
 }
 
 StepResult recordObservation(const compile::CompiledModel& cm,

@@ -119,11 +119,29 @@ class BatchSimulator {
 
   [[nodiscard]] const compile::CompiledModel& compiled() const { return *cm_; }
 
+  /// The underlying batch executor (e.g. for its array-path counters).
+  [[nodiscard]] const expr::BatchTapeExecutor& executor() const {
+    return *exec_;
+  }
+
  private:
   const compile::CompiledModel* cm_;
   compile::ModelTape modelTape_;
   std::optional<expr::BatchTapeExecutor> exec_;
   std::vector<StateSnapshot> state_;  // per lane
+  // 1 while the lane still holds the model's initial state (reset() and
+  // never stepped/restored since) — when every lane is fresh, stepBatch
+  // binds wide states once via setArrayVarBroadcast instead of per lane.
+  std::vector<std::uint8_t> freshReset_;
+  // 1 while the lane's state came from this simulator's own last
+  // stepBatch readback (no reset()/restore() since) — when every lane is
+  // clean, each wide state's next bind is exactly the previous run's
+  // next-state plane cast to the state's type, so stepBatch rebinds it
+  // with one plane copy (rebindArrayVarFromSlot) instead of B per-lane
+  // Scalar binds. The executor falls back (returns false) whenever the
+  // cast is not provably the identity at run time.
+  std::vector<std::uint8_t> laneClean_;
+  std::vector<std::uint8_t> boundWide_;  // per state: bound wide this step
 };
 
 /// Replay `lane`'s observation into `cov`, performing exactly the tracker

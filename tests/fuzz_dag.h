@@ -280,4 +280,56 @@ inline expr::Env randomEnv(Rng& rng, const FuzzDag& d) {
   return env;
 }
 
+/// One random element whose *type* is also random — bound arrays keep
+/// elements uncast, so a mixed vector drives every select over the
+/// var-bound arrays through the per-lane dynamic path and forces the
+/// batch executor's tag planes out of their uniform fast path.
+inline expr::Scalar randomMixedElem(Rng& rng) {
+  using expr::Scalar;
+  switch (rng.index(3)) {
+    case 0: return Scalar::b(rng.chance(0.5));
+    case 1: return Scalar::i(rng.uniformInt(-20, 20));
+    default: return Scalar::r(rng.uniformReal(-50.0, 50.0));
+  }
+}
+
+inline std::vector<expr::Scalar> randomMixedArray(Rng& rng, int n) {
+  std::vector<expr::Scalar> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) v.push_back(randomMixedElem(rng));
+  return v;
+}
+
+/// randomEnv with mixed-element-type array bindings (uniform ones with
+/// probability `uniformChance`, so uniform<->mixed plane transitions are
+/// also exercised).
+inline expr::Env randomEnvMixedArrays(Rng& rng, const FuzzDag& d,
+                                      double uniformChance = 0.25) {
+  using expr::Scalar;
+  expr::Env env;
+  env.reserve(10);
+  for (const auto& v : d.vars) env.set(v.id, randomScalarFor(rng, v));
+  if (d.withArrays) {
+    if (rng.chance(uniformChance)) {
+      std::vector<Scalar> ar;
+      for (int i = 0; i < 4; ++i) {
+        ar.push_back(Scalar::r(rng.uniformReal(-50.0, 50.0)));
+      }
+      env.setArray(kRealArrId, std::move(ar));
+    } else {
+      env.setArray(kRealArrId, randomMixedArray(rng, 4));
+    }
+    if (rng.chance(uniformChance)) {
+      std::vector<Scalar> ai;
+      for (int i = 0; i < 3; ++i) {
+        ai.push_back(Scalar::i(rng.uniformInt(-20, 20)));
+      }
+      env.setArray(kIntArrId, std::move(ai));
+    } else {
+      env.setArray(kIntArrId, randomMixedArray(rng, 3));
+    }
+  }
+  return env;
+}
+
 }  // namespace stcg::fuzz

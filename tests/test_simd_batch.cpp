@@ -278,6 +278,182 @@ TEST(SimdParityFuzz, RandomDagLanesBitIdenticalAcrossLevels) {
   }
 }
 
+// ----- Dispatch parity: payload-row array paths ----------------------------
+
+// Mixed-element-type arrays, forced-dynamic selects, out-of-range index
+// clamps, and arrMove_ swap interleavings, lane-for-lane against the
+// scalar TapeExecutor under both the scalar and the vector kernel tables.
+// Rounds alternate per-lane binds (column writes into the tag planes)
+// with broadcast binds (row fan-out), so uniform<->mixed plane
+// transitions and setArrayVarBroadcast parity are both covered.
+TEST(SimdArrayParityFuzz, MixedTypeArraysBitIdenticalAcrossLevels) {
+  const auto vec = vectorLevel();
+  if (!vec) GTEST_SKIP() << "no vector unit: nothing to compare";
+  Rng rng(90217);
+  for (int trial = 0; trial < 12; ++trial) {
+    FuzzDag d = makeFuzzDag(rng, /*withArrays=*/true);
+    expr::TapeBuilder b;
+    std::vector<ExprPtr> roots;
+    std::vector<SlotRef> slots;
+    const auto addRootFrom = [&](const std::vector<ExprPtr>& pool) {
+      const auto& e = pool[rng.index(pool.size())];
+      roots.push_back(e);
+      slots.push_back(b.addRoot(e));
+    };
+    // Array-heavy roots: rooted array slots are never swap-eligible while
+    // the unrooted intermediates between them are, so kStore/array-kIte
+    // chains interleave planeCopy and plane swap on the same run.
+    for (int i = 0; i < 2; ++i) {
+      addRootFrom(d.realArrays);
+      addRootFrom(d.intArrays);
+    }
+    for (int i = 0; i < 2; ++i) {
+      addRootFrom(d.ints);
+      addRootFrom(d.reals);
+    }
+    addRootFrom(d.bools);
+    const auto tape = b.finish();
+
+    std::unique_ptr<expr::BatchTapeExecutor> sx, vx;
+    {
+      ForcedLevel pin(SimdLevel::kScalar);
+      sx = std::make_unique<expr::BatchTapeExecutor>(tape, kLanes);
+    }
+    {
+      ForcedLevel pin(*vec);
+      vx = std::make_unique<expr::BatchTapeExecutor>(tape, kLanes);
+    }
+
+    std::vector<std::unique_ptr<expr::TapeExecutor>> refs;
+    for (int l = 0; l < kLanes; ++l) {
+      const Env env = fuzz::randomEnvMixedArrays(rng, d);
+      refs.push_back(std::make_unique<expr::TapeExecutor>(tape));
+      refs.back()->bindEnv(env);
+      sx->bindEnv(l, env);
+      vx->bindEnv(l, env);
+    }
+    const auto runAndCheck = [&](const char* what) {
+      sx->run();
+      vx->run();
+      for (int l = 0; l < kLanes; ++l) {
+        auto& ref = *refs[static_cast<std::size_t>(l)];
+        ref.run();
+        for (std::size_t i = 0; i < roots.size(); ++i) {
+          if (roots[i]->isArray()) {
+            const auto& a = ref.array(slots[i]);
+            const auto& sa = sx->array(slots[i], l);
+            const auto& va = vx->array(slots[i], l);
+            ASSERT_EQ(a.size(), sa.size());
+            ASSERT_EQ(a.size(), va.size());
+            ASSERT_EQ(a.size(), sx->arrayLen(slots[i], l));
+            for (std::size_t j = 0; j < a.size(); ++j) {
+              EXPECT_TRUE(sameScalar(a[j], sa[j]))
+                  << what << " trial " << trial << " lane " << l << " root "
+                  << i << " [" << j << "] (scalar kernels)";
+              EXPECT_TRUE(sameScalar(sa[j], va[j]))
+                  << what << " trial " << trial << " lane " << l << " root "
+                  << i << " [" << j << "] (vector kernels)";
+              EXPECT_TRUE(sameScalar(a[j], sx->arrayElem(slots[i], l, j)))
+                  << what << " trial " << trial << " lane " << l << " root "
+                  << i << " [" << j << "] (arrayElem)";
+            }
+          } else {
+            EXPECT_TRUE(
+                sameScalar(ref.scalar(slots[i]), sx->scalar(slots[i], l)))
+                << what << " trial " << trial << " lane " << l << " root " << i
+                << " (scalar kernels)";
+            EXPECT_TRUE(sameScalar(sx->scalar(slots[i], l),
+                                   vx->scalar(slots[i], l)))
+                << what << " trial " << trial << " lane " << l << " root " << i
+                << " (vector kernels)";
+          }
+        }
+      }
+    };
+    runAndCheck("initial");
+    for (int round = 0; round < 3; ++round) {
+      if (round == 1) {
+        // Broadcast round: one mixed vector fanned out to every lane must
+        // equal B per-lane binds of the same vector.
+        const auto ar = fuzz::randomMixedArray(rng, 4);
+        const auto ai = fuzz::randomMixedArray(rng, 3);
+        sx->setArrayVarBroadcast(fuzz::kRealArrId, ar);
+        vx->setArrayVarBroadcast(fuzz::kRealArrId, ar);
+        sx->setArrayVarBroadcast(fuzz::kIntArrId, ai);
+        vx->setArrayVarBroadcast(fuzz::kIntArrId, ai);
+        for (int l = 0; l < kLanes; ++l) {
+          refs[static_cast<std::size_t>(l)]->setArrayVar(fuzz::kRealArrId, ar);
+          refs[static_cast<std::size_t>(l)]->setArrayVar(fuzz::kIntArrId, ai);
+        }
+      } else {
+        for (int l = 0; l < kLanes; ++l) {
+          auto& ref = *refs[static_cast<std::size_t>(l)];
+          const auto ar = fuzz::randomMixedArray(rng, 4);
+          const auto ai = fuzz::randomMixedArray(rng, 3);
+          ref.setArrayVar(fuzz::kRealArrId, ar);
+          ref.setArrayVar(fuzz::kIntArrId, ai);
+          sx->setArrayVar(l, fuzz::kRealArrId, ar);
+          vx->setArrayVar(l, fuzz::kRealArrId, ar);
+          sx->setArrayVar(l, fuzz::kIntArrId, ai);
+          vx->setArrayVar(l, fuzz::kIntArrId, ai);
+          const auto& v = d.vars[rng.index(d.vars.size())];
+          const Scalar nv = randomScalarFor(rng, v);
+          ref.setVar(v.id, nv);
+          sx->setVar(l, v.id, nv);
+          vx->setVar(l, v.id, nv);
+        }
+      }
+      runAndCheck(round == 1 ? "broadcast" : "rebound");
+    }
+  }
+}
+
+// Saturation edges of the index clamp: INT64_MIN/MAX, -1, 0, n-1, n as
+// literal indices through kSelect and kStore, plus a real index whose
+// toInt saturates, at every level against the scalar executor.
+TEST(SimdArrayParity, ExtremeIndexClampEdges) {
+  const std::vector<std::int64_t> idxs = {
+      std::numeric_limits<std::int64_t>::min(), -1, 0, 2, 3, 4,
+      std::numeric_limits<std::int64_t>::max()};
+  const VarInfo iv{0, "i", Type::kInt, -10, 10};
+  const auto arr = expr::cArray(
+      Type::kReal, {Scalar::r(1.5), Scalar::r(-2.5), Scalar::r(4.0),
+                    Scalar::r(-8.0)});
+  expr::TapeBuilder b;
+  std::vector<SlotRef> slots;
+  for (const std::int64_t i : idxs) {
+    slots.push_back(b.addRoot(expr::selectE(arr, expr::cInt(i))));
+    slots.push_back(b.addRoot(expr::selectE(
+        expr::storeE(arr, expr::cInt(i), expr::cReal(99.0)), expr::cInt(0))));
+  }
+  // Saturating real->int index conversions (±inf, NaN -> 0, huge finite).
+  for (const double r : {1e300, -1e300, kInf, -kInf, kQnan}) {
+    slots.push_back(b.addRoot(
+        expr::selectE(arr, expr::castE(expr::cReal(r), Type::kInt))));
+  }
+  // A variable index so the slot isn't constant-folded away.
+  slots.push_back(b.addRoot(expr::selectE(arr, expr::mkVar(iv))));
+  const auto tape = b.finish();
+
+  expr::TapeExecutor ref(tape);
+  ref.setVar(iv.id, Scalar::i(7));
+  ref.run();
+  for (const SimdLevel lvl :
+       {SimdLevel::kScalar, expr::detectedSimdLevel()}) {
+    ForcedLevel pin(lvl);
+    expr::BatchTapeExecutor bx(tape, kLanes);
+    for (int l = 0; l < kLanes; ++l) bx.setVar(l, iv.id, Scalar::i(7));
+    bx.run();
+    for (const SlotRef& s : slots) {
+      for (int l = 0; l < kLanes; ++l) {
+        EXPECT_TRUE(sameScalar(ref.scalar(s), bx.scalar(s, l)))
+            << expr::simdLevelName(lvl) << " slot " << s.slot << " lane "
+            << l;
+      }
+    }
+  }
+}
+
 // ----- Dispatch parity: targeted special values ----------------------------
 
 TEST(SimdParity, SpecialValuesBitIdenticalAcrossLevels) {

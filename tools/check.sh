@@ -67,7 +67,10 @@ cmake --build "$bench_dir" -j "$(nproc)" \
 "$bench_dir/bench/bench_eval_tape" --quick
 # The batch gate runs twice: once pinned to the portable scalar kernels
 # and once at the best level the CPU dispatches to, so a vectorized-path
-# regression can't hide behind the scalar fallback (or vice versa).
+# regression can't hide behind the scalar fallback (or vice versa). Since
+# the payload-row array planes landed, --quick also asserts B=8 *replay*
+# beats the scalar simulator on the two array-bound models (CPUTask,
+# LANSwitch) at both levels, so the array fast paths can't silently rot.
 echo "== bench_batch_eval --quick (STCG_SIMD=scalar) =="
 STCG_SIMD=scalar "$bench_dir/bench/bench_batch_eval" --quick
 echo "== bench_batch_eval --quick (detected SIMD level) =="
